@@ -1,0 +1,34 @@
+// Figure 5: the full FFNN computation — forward pass, complete
+// backpropagation, and a second forward pass (a 57-vertex compute graph),
+// hidden layer size 80K, ten workers. Paper: auto 0:59:02 (opt 1:03),
+// hand-written 1:25:34, all-tile 1:54:18.
+
+#include "bench_util.h"
+
+using namespace matopt;
+
+int main() {
+  PrintHeader("Figure 5",
+              "FFNN fwd + full backprop + fwd (57 vertices, h=80K, 10 "
+              "workers)");
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(10);
+  FfnnConfig cfg;
+  cfg.hidden = 80000;
+  cfg.full_pass = true;
+  auto graph = BuildFfnnGraph(cfg).value();
+  std::printf("compute graph vertices: %d\n\n", graph.num_vertices());
+
+  BenchCell autoc = RunAuto(graph, catalog, cluster);
+  BenchCell hand = RunRules(graph, catalog, cluster, ExpertRules());
+  BenchCell tile = RunRules(graph, catalog, cluster, AllTileRules(1000));
+
+  std::printf("%-10s %-18s %-14s %-14s\n", "", "Auto-gen", "Hand-written",
+              "All-tile");
+  std::printf("%-10s %-18s %-14s %-14s\n", "measured",
+              autoc.ToString(true).c_str(), hand.ToString().c_str(),
+              tile.ToString().c_str());
+  std::printf("%-10s %-18s %-14s %-14s\n", "paper", "0:59:02 (1:03)",
+              "1:25:34", "1:54:18");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 6: FFNN forward pass plus backpropagation to the updated W2, on
+// ten workers, sweeping the hidden layer size over {10K, 40K, 80K, 160K}.
+// Paper rows (Auto / Hand / All-tile):
+//   10K:  00:06:15 (:08) / 00:10:06 / 00:09:01
+//   40K:  00:12:18 (:11) / 00:17:58 / 00:18:43
+//   80K:  00:23:46 (:06) / 00:42:47 / 00:50:23
+//   160K: 00:55:16 (:04) / 02:15:01 / Fail
+
+#include "bench_util.h"
+
+using namespace matopt;
+
+int main() {
+  PrintHeader("Figure 6", "FFNN fwd + backprop-to-W2 vs layer size");
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(10);
+
+  static const char* kPaper[4][3] = {
+      {"00:06:15 (0:08)", "00:10:06", "00:09:01"},
+      {"00:12:18 (0:11)", "00:17:58", "00:18:43"},
+      {"00:23:46 (0:06)", "00:42:47", "00:50:23"},
+      {"00:55:16 (0:04)", "02:15:01", "Fail"}};
+
+  std::printf("%-6s | %-18s %-12s %-12s | paper: auto / hand / all-tile\n",
+              "Dims", "Auto-gen", "Hand", "All-tile");
+  int row = 0;
+  for (int64_t hidden : {10000, 40000, 80000, 160000}) {
+    FfnnConfig cfg;
+    cfg.hidden = hidden;
+    auto graph = BuildFfnnGraph(cfg).value();
+    BenchCell autoc = RunAuto(graph, catalog, cluster);
+    BenchCell hand = RunRules(graph, catalog, cluster, ExpertRules());
+    BenchCell tile = RunRules(graph, catalog, cluster, AllTileRules(1000));
+    std::printf("%-6lld | %-18s %-12s %-12s | %s / %s / %s\n",
+                static_cast<long long>(hidden / 1000),
+                autoc.ToString(true).c_str(), hand.ToString().c_str(),
+                tile.ToString().c_str(), kPaper[row][0], kPaper[row][1],
+                kPaper[row][2]);
+    ++row;
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 7: FFNN forward pass plus backpropagation to W2 with the hidden
+// layer fixed at 160K, sweeping the cluster size over {5, 10, 20, 25}.
+// Paper rows (Auto / Hand / All-tile):
+//    5: 01:19:32 (:04) / Fail     / Fail
+//   10: 00:55:16 (:04) / 02:15:01 / Fail
+//   20: 00:44:19 (:04) / 01:19:27 / 01:45:50
+//   25: 00:38:19 (:05) / 01:18:59 / 01:31:15
+
+#include "bench_util.h"
+
+using namespace matopt;
+
+int main() {
+  PrintHeader("Figure 7", "FFNN fwd + backprop-to-W2, h=160K, vs workers");
+
+  static const char* kPaper[4][3] = {
+      {"01:19:32 (0:04)", "Fail", "Fail"},
+      {"00:55:16 (0:04)", "02:15:01", "Fail"},
+      {"00:44:19 (0:04)", "01:19:27", "01:45:50"},
+      {"00:38:19 (0:05)", "01:18:59", "01:31:15"}};
+
+  std::printf("%-8s | %-18s %-12s %-12s | paper: auto / hand / all-tile\n",
+              "Workers", "Auto-gen", "Hand", "All-tile");
+  int row = 0;
+  for (int workers : {5, 10, 20, 25}) {
+    Catalog catalog;
+    ClusterConfig cluster = SimSqlProfile(workers);
+    FfnnConfig cfg;
+    cfg.hidden = 160000;
+    auto graph = BuildFfnnGraph(cfg).value();
+    BenchCell autoc = RunAuto(graph, catalog, cluster);
+    BenchCell hand = RunRules(graph, catalog, cluster, ExpertRules());
+    BenchCell tile = RunRules(graph, catalog, cluster, AllTileRules(1000));
+    std::printf("%-8d | %-18s %-12s %-12s | %s / %s / %s\n", workers,
+                autoc.ToString(true).c_str(), hand.ToString().c_str(),
+                tile.ToString().c_str(), kPaper[row][0], kPaper[row][1],
+                kPaper[row][2]);
+    ++row;
+  }
+  return 0;
+}

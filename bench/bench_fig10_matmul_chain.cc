@@ -1,0 +1,35 @@
+// Figure 10 (with the Figure 4 size sets): the matrix multiplication
+// chain T1 = AxB; T2 = CxD; O = ((T1xE) x (T1xT2)) x (T2xF) on ten
+// workers. Paper rows (Auto / Hand / All-tile):
+//   set 1: 00:08:45 (:05) / 00:20:22 / 00:21:38
+//   set 2: 01:05:36 (:00) / 02:26:32 / 01:56:15
+//   set 3: 00:34:52 (:00) / 01:46:20 / 02:02:54
+
+#include "bench_util.h"
+
+using namespace matopt;
+
+int main() {
+  PrintHeader("Figure 10", "matrix multiplication chain (sizes of Figure 4)");
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(10);
+
+  static const char* kPaper[3][3] = {
+      {"00:08:45 (0:05)", "00:20:22", "00:21:38"},
+      {"01:05:36 (0:00)", "02:26:32", "01:56:15"},
+      {"00:34:52 (0:00)", "01:46:20", "02:02:54"}};
+
+  std::printf("%-10s | %-18s %-12s %-12s | paper: auto / hand / all-tile\n",
+              "Input", "Auto-gen", "Hand", "All-tile");
+  for (int set = 1; set <= 3; ++set) {
+    auto graph = BuildMatMulChainGraph(ChainSizeSet(set)).value();
+    BenchCell autoc = RunAuto(graph, catalog, cluster);
+    BenchCell hand = RunRules(graph, catalog, cluster, ExpertRules());
+    BenchCell tile = RunRules(graph, catalog, cluster, AllTileRules(1000));
+    std::printf("Size Set %d | %-18s %-12s %-12s | %s / %s / %s\n", set,
+                autoc.ToString(true).c_str(), hand.ToString().c_str(),
+                tile.ToString().c_str(), kPaper[set - 1][0],
+                kPaper[set - 1][1], kPaper[set - 1][2]);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 11: FFNN forward + backprop on the (synthetic) AmazonCat-14K
+// shape — 597,540 features, 14,588 labels — with a 1K batch, on the
+// PlinyCompute-style engine profile, versus simulated PyTorch and
+// SystemDS. PlinyCompute is constrained to dense operations, as in the
+// paper. Paper values are printed alongside (PC / PyTorch / SystemDS).
+
+#include "baselines/pytorch_sim.h"
+#include "baselines/systemds_sim.h"
+#include "bench_util.h"
+#include "ml/generators.h"
+
+using namespace matopt;
+
+int main() {
+  PrintHeader("Figure 11", "FFNN on AmazonCat-14K shape, 1K batch, dense");
+
+  static const char* kPaper[3][3][3] = {
+      {{"0:23 (0:04)", "0:26", "1:10"},
+       {"0:28 (0:03)", "0:31", "1:24"},
+       {"0:53 (0:03)", "Fail", "1:36"}},
+      {{"0:18 (0:04)", "0:39", "0:56"},
+       {"0:20 (0:04)", "0:46", "1:01"},
+       {"0:30 (0:03)", "Fail", "0:39"}},
+      {{"0:20 (0:04)", "0:40", "0:44"},
+       {"0:22 (0:03)", "0:50", "0:52"},
+       {"0:25 (0:04)", "Fail", "0:34"}}};
+
+  int wi = 0;
+  for (int workers : {2, 5, 10}) {
+    std::printf("\nCluster with %d workers\n", workers);
+    std::printf("%-6s | %-16s %-10s %-10s | paper: PC / PyTorch / SystemDS\n",
+                "Layer", "PC (no sparsity)", "PyTorch", "SystemDS");
+    ClusterConfig cluster = PlinyProfile(workers);
+    Catalog catalog;
+    int hi = 0;
+    for (int64_t hidden : {4000, 5000, 7000}) {
+      FfnnConfig cfg;
+      cfg.batch = 1000;
+      cfg.features = AmazonCat14K::kFeatures;
+      cfg.labels = AmazonCat14K::kLabels;
+      cfg.hidden = hidden;
+      auto graph = BuildFfnnGraph(cfg).value();
+      OptimizerOptions options;
+      options.allow_sparse = false;  // "constrained to use dense operations"
+      BenchCell pc = RunAuto(graph, catalog, cluster, options);
+
+      CompetitorResult torch = SimulatePyTorchFfnn(cfg, cluster);
+      BenchCell torch_cell;
+      torch_cell.failed = !torch.status.ok();
+      torch_cell.sim_seconds = torch.sim_seconds;
+
+      CompetitorResult sds = SimulateSystemDsFfnn(cfg, cluster);
+      BenchCell sds_cell;
+      sds_cell.failed = !sds.status.ok();
+      sds_cell.sim_seconds = sds.sim_seconds;
+
+      std::printf("%-6lld | %-16s %-10s %-10s | %s / %s / %s\n",
+                  static_cast<long long>(hidden), pc.ToString(true).c_str(),
+                  torch_cell.ToString().c_str(), sds_cell.ToString().c_str(),
+                  kPaper[wi][hi][0], kPaper[wi][hi][1], kPaper[wi][hi][2]);
+      ++hi;
+    }
+    ++wi;
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 13: optimization times of the dynamic-programming algorithms
+// (tree DP for the Tree graphs, frontier DP for DAG1/DAG2) versus the
+// brute-force search, over scale-1..4 chains of 20000x20000 single-tuple
+// matrices on ten machines, for three catalog restrictions:
+// all 19 formats, single/strip/block (16), and single/block (10).
+//
+// Times here are REAL wall-clock seconds of the optimizer. The paper used
+// a 30-minute cutoff for "Fail"; this bench scales the cutoff down (30 s
+// at scale 1, 5 s beyond — brute-force state counts grow as |choices|^|V|,
+// so a run that misses the short cutoff would miss the long one by orders
+// of magnitude). Pass a different scale-1 cutoff in argv[1] if desired.
+//
+// Paper observations to reproduce: brute force is viable only at scale 1
+// with the 10-format catalog; DP times grow linearly with scale; DAG2
+// costs more than DAG1 costs more than Tree.
+
+#include <cstdlib>
+
+#include "bench_util.h"
+
+using namespace matopt;
+
+namespace {
+
+std::string OptCell(const Result<PlanResult>& plan) {
+  if (!plan.ok()) return "Fail";
+  return FormatMs(plan.value().opt_seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintHeader("Figure 13", "optimizer runtimes: DP vs brute force "
+                           "(real wall-clock)");
+  double cutoff1 = argc > 1 ? std::atof(argv[1]) : 120.0;
+  double cutoff_n = 5.0;
+  ClusterConfig cluster = SimSqlProfile(10);
+
+  struct FormatSet {
+    const char* name;
+    std::vector<FormatId> ids;
+  };
+  FormatSet sets[3] = {{"All formats", AllFormatIds()},
+                       {"Single/Strip/Block formats",
+                        SingleStripBlockFormatIds()},
+                       {"Single/Block formats", SingleBlockFormatIds()}};
+
+  for (const FormatSet& set : sets) {
+    Catalog catalog(set.ids);
+    CostModel model = CostModel::Analytic(cluster);
+    std::printf("\n%s (%zu formats)\n", set.name, set.ids.size());
+    std::printf("%-6s | %-9s %-9s | %-9s %-9s | %-9s %-9s\n", "Scale",
+                "DP DAG2", "BruteDAG2", "DP DAG1", "BruteDAG1", "DP Tree",
+                "BruteTree");
+    for (int scale = 1; scale <= 4; ++scale) {
+      std::printf("%-6d |", scale);
+      for (OptBenchKind kind :
+           {OptBenchKind::kDag2, OptBenchKind::kDag1, OptBenchKind::kTree}) {
+        auto graph = BuildOptBenchGraph(kind, scale).value();
+        OptimizerOptions dp_options;
+        dp_options.time_limit_sec = 600.0;
+        auto dp = kind == OptBenchKind::kTree
+                      ? TreeDpOptimize(graph, catalog, model, cluster,
+                                       dp_options)
+                      : FrontierOptimize(graph, catalog, model, cluster,
+                                         dp_options);
+        OptimizerOptions brute_options;
+        brute_options.time_limit_sec = scale == 1 ? cutoff1 : cutoff_n;
+        auto brute =
+            BruteForceOptimize(graph, catalog, model, cluster, brute_options);
+        std::printf(" %-9s %-9s %s", OptCell(dp).c_str(),
+                    OptCell(brute).c_str(),
+                    kind == OptBenchKind::kTree ? "\n" : "|");
+        // Cross-check: when both finish, they must agree on the optimum.
+        if (dp.ok() && brute.ok()) {
+          double diff = std::abs(dp.value().cost - brute.value().cost);
+          if (diff > 1e-6 * brute.value().cost + 1e-9) {
+            std::printf("  ** DP/brute optimum mismatch: %f vs %f **\n",
+                        dp.value().cost, brute.value().cost);
+          }
+        }
+      }
+    }
+  }
+  std::printf("\nPaper (all formats, scale 1): DP 0:01/0:01/0:00, brute "
+              "26:54/27:13/25:31;\nbrute fails beyond scale 1 everywhere, "
+              "and under 30 min only the 10-format\ncatalog lets brute "
+              "finish scale 1 (0:28/0:26/0:20).\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Microbenchmarks (google-benchmark) for the local LA kernels and the
+// optimizer's hot primitives. These are sanity/regression benchmarks, not
+// paper figures.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cost/cost_model.h"
+#include "core/opt/optimizer.h"
+#include "la/kernels.h"
+#include "ml/generators.h"
+#include "ml/workloads.h"
+
+namespace matopt {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  int64_t n = state.range(0);
+  DenseMatrix a = GaussianMatrix(n, n, 1);
+  DenseMatrix b = GaussianMatrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Gemm(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SpMm(benchmark::State& state) {
+  int64_t n = state.range(0);
+  SparseMatrix a = RandomSparse(n, n, 8.0, 3);
+  DenseMatrix b = GaussianMatrix(n, n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpMm(a, b));
+  }
+}
+BENCHMARK(BM_SpMm)->Arg(256)->Arg(1024);
+
+void BM_Inverse(benchmark::State& state) {
+  int64_t n = state.range(0);
+  DenseMatrix a = GaussianMatrix(n, n, 5);
+  for (int64_t i = 0; i < n; ++i) a(i, i) += n;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Inverse(a));
+  }
+}
+BENCHMARK(BM_Inverse)->Arg(64)->Arg(128);
+
+void BM_Softmax(benchmark::State& state) {
+  DenseMatrix a = GaussianMatrix(512, 512, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Softmax(a));
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_TransformTable(benchmark::State& state) {
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(10);
+  CostModel model = CostModel::Analytic(cluster);
+  MatrixType type(20000, 20000);
+  for (auto _ : state) {
+    TransformTable table(catalog, model, cluster, type, 1.0);
+    benchmark::DoNotOptimize(table.Get(0, 1));
+  }
+}
+BENCHMARK(BM_TransformTable);
+
+void BM_TreeDpOptimize(benchmark::State& state) {
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(10);
+  CostModel model = CostModel::Analytic(cluster);
+  auto graph = BuildOptBenchGraph(OptBenchKind::kTree, state.range(0)).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TreeDpOptimize(graph, catalog, model, cluster));
+  }
+}
+BENCHMARK(BM_TreeDpOptimize)->Arg(1)->Arg(4);
+
+void BM_FrontierOptimize(benchmark::State& state) {
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(10);
+  CostModel model = CostModel::Analytic(cluster);
+  auto graph = BuildOptBenchGraph(OptBenchKind::kDag2, state.range(0)).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FrontierOptimize(graph, catalog, model, cluster));
+  }
+}
+BENCHMARK(BM_FrontierOptimize)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace matopt
+
+BENCHMARK_MAIN();

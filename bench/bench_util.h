@@ -1,0 +1,93 @@
+#ifndef MATOPT_BENCH_BENCH_UTIL_H_
+#define MATOPT_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the per-figure benchmark binaries. Each binary
+// regenerates one table/figure of the paper on the simulated cluster and
+// prints the measured rows next to the paper's published values (see
+// EXPERIMENTS.md for the comparison record).
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/all_tile_planner.h"
+#include "baselines/expert_planner.h"
+#include "common/units.h"
+#include "core/cost/cost_model.h"
+#include "core/opt/optimizer.h"
+#include "engine/executor.h"
+#include "ml/workloads.h"
+
+namespace matopt {
+
+/// Outcome of planning + executing one configuration.
+struct BenchCell {
+  bool failed = false;        // engine OOM / no feasible plan => "Fail"
+  double sim_seconds = 0.0;   // simulated runtime
+  double opt_seconds = -1.0;  // optimizer wall-clock (when applicable)
+
+  std::string ToString(bool with_opt = false) const {
+    if (failed) return "Fail";
+    std::string out = FormatHms(sim_seconds);
+    if (with_opt && opt_seconds >= 0.0) {
+      out += " (" + FormatMs(opt_seconds) + ")";
+    }
+    return out;
+  }
+};
+
+/// Optimizes `graph` and dry-runs the plan; failures map to "Fail".
+inline BenchCell RunAuto(const ComputeGraph& graph, const Catalog& catalog,
+                         const ClusterConfig& cluster,
+                         const OptimizerOptions& options = {}) {
+  BenchCell cell;
+  CostModel model = CostModel::Analytic(cluster);
+  auto plan = Optimize(graph, catalog, model, cluster, options);
+  if (!plan.ok()) {
+    cell.failed = true;
+    return cell;
+  }
+  cell.opt_seconds = plan.value().opt_seconds;
+  PlanExecutor executor(catalog, cluster);
+  auto run = executor.DryRun(graph, plan.value().annotation);
+  if (!run.ok()) {
+    cell.failed = true;
+    return cell;
+  }
+  cell.sim_seconds = run.value().stats.sim_seconds;
+  return cell;
+}
+
+/// Plans with a human-style rule set and dry-runs the plan.
+inline BenchCell RunRules(const ComputeGraph& graph, const Catalog& catalog,
+                          const ClusterConfig& cluster,
+                          const PlannerRules& rules) {
+  BenchCell cell;
+  auto annotation = PlanWithRules(graph, catalog, cluster, rules);
+  if (!annotation.ok()) {
+    cell.failed = true;
+    return cell;
+  }
+  PlanExecutor executor(catalog, cluster);
+  auto run = executor.DryRun(graph, annotation.value());
+  if (!run.ok()) {
+    cell.failed = true;
+    return cell;
+  }
+  cell.sim_seconds = run.value().stats.sim_seconds;
+  return cell;
+}
+
+inline void PrintHeader(const char* figure, const char* title) {
+  std::printf("==============================================================="
+              "=\n%s — %s\n"
+              "Times are simulated seconds on the modeled cluster (H:MM:SS / "
+              "MM:SS);\nparenthesized opt times are real wall-clock. 'Fail' ="
+              " resource budget\nexceeded, as in the paper.\n"
+              "==============================================================="
+              "=\n",
+              figure, title);
+}
+
+}  // namespace matopt
+
+#endif  // MATOPT_BENCH_BENCH_UTIL_H_

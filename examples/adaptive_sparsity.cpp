@@ -1,0 +1,62 @@
+// Adaptive execution example (Section 7's re-optimization sketch): a chain
+// of element-wise operations over sparse matrices whose supports are
+// secretly correlated, so the optimizer's independence-based sparsity
+// estimates are badly wrong. The ReoptimizingExecutor detects the
+// mis-estimate after the first Hadamard product, pins the observed
+// sparsities, and re-plans the remaining operations.
+
+#include <cstdio>
+
+#include "core/cost/cost_model.h"
+#include "core/cost/sparsity.h"
+#include "engine/reopt_executor.h"
+#include "la/kernels.h"
+#include "ml/generators.h"
+
+using namespace matopt;
+
+int main() {
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(4);
+  CostModel model = CostModel::Analytic(cluster);
+  FormatId sp = catalog.FindFormat({Layout::kSpRowStripsCsr, 1000, 0});
+
+  // A and B share the same support: the Hadamard product keeps *all* of
+  // A's non-zeros, while the independence estimate predicts s^2.
+  SparseMatrix a = RandomSparse(2000, 1500, 30.0, 42);
+  SparseMatrix b = a.Scaled(0.5);
+  std::printf("input sparsity: %.4f (estimate for A .* B under "
+              "independence: %.6f; actual: %.4f)\n",
+              a.Sparsity(), a.Sparsity() * b.Sparsity(), a.Sparsity());
+
+  ComputeGraph g;
+  int va = g.AddInput(MatrixType(2000, 1500), sp, "A", a.Sparsity());
+  int vb = g.AddInput(MatrixType(2000, 1500), sp, "B", b.Sparsity());
+  int h = g.AddOp(OpKind::kHadamard, {va, vb}, "H").value();
+  int s = g.AddOp(OpKind::kAdd, {h, vb}, "S").value();
+  int t = g.AddOp(OpKind::kScalarMul, {s}, "T", 2.0).value();
+  g.AddOp(OpKind::kRowSum, {t}, "O").value();
+
+  std::unordered_map<int, Relation> inputs;
+  inputs[va] = MakeSparseRelation(a, sp, cluster).value();
+  inputs[vb] = MakeSparseRelation(b, sp, cluster).value();
+
+  ReoptimizingExecutor executor(catalog, model, cluster);
+  auto result = executor.Execute(g, std::move(inputs));
+  if (!result.ok()) {
+    std::printf("execution failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("re-optimizations triggered: %d\n",
+              result.value().reoptimizations);
+  std::printf("simulated time: %.2f s (plus %.3f s of optimizer time)\n",
+              result.value().stats.sim_seconds, result.value().opt_seconds);
+
+  DenseMatrix out =
+      MaterializeDense(result.value().sinks.begin()->second).value();
+  DenseMatrix expected = RowSum(
+      ScalarMul(Add(Hadamard(a.ToDense(), b.ToDense()), b.ToDense()), 2.0));
+  std::printf("result matches the local reference: %s\n",
+              AllClose(out, expected, 1e-9, 1e-9) ? "yes" : "NO");
+  return 0;
+}

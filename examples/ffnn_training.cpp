@@ -1,0 +1,83 @@
+// FFNN training-step example: builds the paper's feed-forward network
+// compute graph (forward pass + backprop to the updated W2), optimizes it,
+// and compares the auto-generated plan against the hand-written and
+// all-tile baselines on the simulated cluster (Section 8.2 workloads).
+//
+// Usage: ffnn_training [hidden_size] [workers]   (defaults: 40000, 10)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/all_tile_planner.h"
+#include "baselines/expert_planner.h"
+#include "common/units.h"
+#include "core/cost/cost_model.h"
+#include "core/opt/optimizer.h"
+#include "engine/executor.h"
+#include "ml/workloads.h"
+
+using namespace matopt;
+
+int main(int argc, char** argv) {
+  int64_t hidden = argc > 1 ? std::atoll(argv[1]) : 40000;
+  int workers = argc > 2 ? std::atoi(argv[2]) : 10;
+
+  ClusterConfig cluster = SimSqlProfile(workers);
+  Catalog catalog;
+  CostModel model = CostModel::Analytic(cluster);
+
+  FfnnConfig cfg;
+  cfg.hidden = hidden;
+  auto graph = BuildFfnnGraph(cfg);
+  if (!graph.ok()) {
+    std::printf("graph error: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("FFNN fwd+backprop-to-W2: batch=%lld features=%lld hidden=%lld"
+              " labels=%lld (%d vertices, %d workers)\n\n",
+              static_cast<long long>(cfg.batch),
+              static_cast<long long>(cfg.features),
+              static_cast<long long>(hidden),
+              static_cast<long long>(cfg.labels),
+              graph.value().num_vertices(), workers);
+
+  PlanExecutor executor(catalog, cluster);
+
+  auto report = [&](const char* name, const Annotation& annotation,
+                    double opt_seconds) {
+    auto run = executor.DryRun(graph.value(), annotation);
+    if (!run.ok()) {
+      std::printf("%-14s Fail (%s)\n", name,
+                  Status::CodeName(run.status().code()));
+      return;
+    }
+    std::printf("%-14s %s", name,
+                FormatHms(run.value().stats.sim_seconds).c_str());
+    if (opt_seconds >= 0) {
+      std::printf("  (opt %s)", FormatMs(opt_seconds).c_str());
+    }
+    std::printf("\n");
+  };
+
+  auto plan = Optimize(graph.value(), catalog, model, cluster);
+  if (plan.ok()) {
+    report("auto-gen", plan.value().annotation, plan.value().opt_seconds);
+  } else {
+    std::printf("auto-gen       %s\n", plan.status().ToString().c_str());
+  }
+  for (const PlannerRules& rules : {ExpertRules(), AllTileRules(1000)}) {
+    auto annotation = PlanWithRules(graph.value(), catalog, cluster, rules);
+    if (annotation.ok()) {
+      report(rules.name.c_str(), annotation.value(), -1.0);
+    } else {
+      std::printf("%-14s planning failed: %s\n", rules.name.c_str(),
+                  annotation.status().ToString().c_str());
+    }
+  }
+
+  if (plan.ok()) {
+    std::printf("\nAuto-generated physical plan:\n%s",
+                plan.value().annotation.ToString(graph.value()).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+#include "baselines/all_tile_planner.h"
+
+namespace matopt {
+
+namespace {
+
+FormatId Find(const Format& f) {
+  const auto& all = BuiltinFormats();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == f) return static_cast<FormatId>(i);
+  }
+  return kNoFormat;
+}
+
+}  // namespace
+
+PlannerRules AllTileRules(int64_t tile) {
+  PlannerRules rules;
+  rules.name = "all-tile(" + std::to_string(tile) + ")";
+  FormatId tiles = Find({Layout::kTiles, tile, tile});
+  rules.score = [=](const ScoreContext& ctx) {
+    const Vertex& vx = ctx.graph.vertex(ctx.vertex);
+    double score = 0.0;
+    for (FormatId pout : ctx.pouts) {
+      if (pout != tiles) score += 10.0;
+    }
+    if (ctx.out_format != tiles) score += 5.0;
+    if (vx.op == OpKind::kMatMul && ctx.impl != ImplKind::kMmTilesShuffle) {
+      score += 1000.0;  // the heuristic always uses the tile shuffle join
+    }
+    return score;
+  };
+  return rules;
+}
+
+}  // namespace matopt

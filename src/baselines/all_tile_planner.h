@@ -1,0 +1,16 @@
+#ifndef MATOPT_BASELINES_ALL_TILE_PLANNER_H_
+#define MATOPT_BASELINES_ALL_TILE_PLANNER_H_
+
+#include "baselines/expert_planner.h"
+
+namespace matopt {
+
+/// The "simply tile everything" heuristic of Section 8.2: every matrix is
+/// chunked into `tile` x `tile` tiles (1000 in the paper) and every matrix
+/// multiply runs as a tile shuffle join with group-by SUM. Operations
+/// without a tile implementation (softmax, inverse) transform out and back.
+PlannerRules AllTileRules(int64_t tile = 1000);
+
+}  // namespace matopt
+
+#endif  // MATOPT_BASELINES_ALL_TILE_PLANNER_H_

@@ -1,0 +1,152 @@
+#include "baselines/expert_planner.h"
+
+#include <limits>
+
+#include "core/cost/cost_model.h"
+#include "core/opt/enumerate.h"
+
+namespace matopt {
+
+Result<Annotation> PlanWithRules(const ComputeGraph& graph,
+                                 const Catalog& catalog,
+                                 const ClusterConfig& cluster,
+                                 const PlannerRules& rules) {
+  // Human planners do not run the optimizer's cost model or resource
+  // checks; the analytic model below is used only to order equal-score
+  // transform chains deterministically.
+  CostModel model = CostModel::Analytic(cluster);
+  OptimizerOptions options;
+  options.enforce_resource_limits = false;
+
+  const int num_formats = static_cast<int>(BuiltinFormats().size());
+  Annotation annotation;
+  annotation.vertices.resize(graph.num_vertices());
+
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    const Vertex& vx = graph.vertex(v);
+    VertexAnnotation& va = annotation.at(v);
+    if (vx.op == OpKind::kInput) {
+      va.output_format = vx.input_format;
+      continue;
+    }
+    const size_t arity = vx.inputs.size();
+    std::vector<FormatId> pins(arity);
+    std::vector<TransformTable> tables;
+    std::vector<std::vector<FormatId>> pout_options(arity);
+    for (size_t j = 0; j < arity; ++j) {
+      const Vertex& child = graph.vertex(vx.inputs[j]);
+      pins[j] = annotation.at(vx.inputs[j]).output_format;
+      tables.emplace_back(catalog, model, cluster, child.type, child.sparsity);
+      for (FormatId pout = 0; pout < num_formats; ++pout) {
+        if (tables[j].Get(pins[j], pout).feasible) {
+          pout_options[j].push_back(pout);
+        }
+      }
+    }
+
+    double best_score = std::numeric_limits<double>::infinity();
+    bool found = false;
+    ForEachImplChoice(
+        graph, v, catalog, model, cluster, options, pout_options,
+        [&](ImplKind impl, const std::vector<FormatId>& pouts, FormatId out,
+            double impl_cost) {
+          ScoreContext ctx{graph, v, impl, pouts, pins, out};
+          // The tiny cost tie-breaker keeps plans deterministic without
+          // letting the analytic model drive the decision.
+          double score = rules.score(ctx) + 1e-12 * impl_cost;
+          if (score < best_score) {
+            best_score = score;
+            found = true;
+            va.impl = impl;
+            va.output_format = out;
+            va.input_edges.resize(arity);
+            for (size_t j = 0; j < arity; ++j) {
+              va.input_edges[j] = EdgeAnnotation{
+                  pins[j], tables[j].Get(pins[j], pouts[j]).kind, pouts[j]};
+            }
+          }
+        });
+    if (!found) {
+      return Status::TypeError(rules.name +
+                               ": no feasible choice at vertex " +
+                               std::to_string(v) + " (" +
+                               OpKindName(vx.op) + ")");
+    }
+  }
+  return annotation;
+}
+
+namespace {
+
+FormatId Find(const Format& f) {
+  const auto& all = BuiltinFormats();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == f) return static_cast<FormatId>(i);
+  }
+  return kNoFormat;
+}
+
+}  // namespace
+
+PlannerRules ExpertRules() {
+  PlannerRules rules;
+  rules.name = "hand-written";
+  FormatId single = Find({Layout::kSingleTuple, 0, 0});
+  FormatId row1k = Find({Layout::kRowStrips, 1000, 0});
+  FormatId tiles1k = Find({Layout::kTiles, 1000, 1000});
+  rules.score = [=](const ScoreContext& ctx) {
+    const Vertex& vx = ctx.graph.vertex(ctx.vertex);
+    auto preferred = [&](const MatrixType& t) {
+      if (t.DenseBytes() <= 2.56e8) return single;
+      if (t.rows() <= 16000) return row1k;  // batch-shaped activations
+      return tiles1k;
+    };
+    double score = 0.0;
+    // Prefer keeping inputs in their producers' formats (humans avoid
+    // writing extra conversion queries).
+    for (size_t j = 0; j < ctx.pouts.size(); ++j) {
+      if (ctx.pouts[j] != ctx.pins[j]) score += 10.0;
+    }
+    if (ctx.out_format != preferred(vx.type)) score += 5.0;
+    if (vx.op == OpKind::kMatMul) {
+      double lhs_bytes =
+          ctx.graph.vertex(vx.inputs[0]).type.DenseBytes();
+      double rhs_bytes =
+          ctx.graph.vertex(vx.inputs[1]).type.DenseBytes();
+      switch (ctx.impl) {
+        case ImplKind::kMmSingleSingle:
+        case ImplKind::kMmSpSingleXSingle:
+          // Local multiply only for genuinely small operands; no human
+          // would run a 12 GB GEMM on one node.
+          score += (lhs_bytes <= 2.56e8 && rhs_bytes <= 2.56e8) ? 0.0 : 800.0;
+          break;
+        case ImplKind::kMmRowStripsXBcastSingle:
+        case ImplKind::kMmBcastSingleXColStrips:
+        case ImplKind::kMmSpRowStripsXBcastSingle:
+        case ImplKind::kMmSpSingleXColStrips:
+          score += 100.0;
+          break;
+        case ImplKind::kMmBcastTilesXTiles:
+        case ImplKind::kMmTilesXBcastTiles:
+          // The [23] code broadcast one tiled side whenever it fit and
+          // relied on the group-by aggregate; its hash state grows with
+          // the output and sinks small clusters (the Figure 7 "Fail").
+          score += 150.0;
+          break;
+        case ImplKind::kMmTilesShuffle:
+          score += 200.0;
+          break;
+        default:
+          // The hand-written code never used the cross-join or
+          // outer-product-sum strategies (one reason it loses to the
+          // optimizer).
+          score += 1000.0;
+          break;
+      }
+    }
+    return score;
+  };
+  return rules;
+}
+
+}  // namespace matopt

@@ -1,0 +1,55 @@
+#ifndef MATOPT_BASELINES_EXPERT_PLANNER_H_
+#define MATOPT_BASELINES_EXPERT_PLANNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/graph/graph.h"
+#include "core/opt/annotation.h"
+#include "core/opt/optimizer.h"
+#include "core/ops/catalog.h"
+#include "engine/cluster.h"
+
+namespace matopt {
+
+/// Context handed to a rule-based planner's scoring function for one
+/// candidate (implementation, transformed input formats, output format).
+struct ScoreContext {
+  const ComputeGraph& graph;
+  int vertex;
+  ImplKind impl;
+  const std::vector<FormatId>& pouts;  // post-transformation input formats
+  const std::vector<FormatId>& pins;   // producer output formats
+  FormatId out_format;
+};
+
+/// A human-style planning heuristic: picks, per vertex in topological
+/// order, the candidate with the lowest score. Scores are heuristic
+/// preferences (format and join-strategy rules), *not* the optimizer's
+/// cost model — these planners stand in for the hand-written plans and
+/// recruited-expert plans of Section 8.2.
+struct PlannerRules {
+  std::string name;
+  std::function<double(const ScoreContext&)> score;
+};
+
+/// Greedily annotates `graph` using `rules`. The planner does not check
+/// resource feasibility (humans did not either: the paper's weaker plans
+/// crashed at runtime); the returned plan is type-correct but may OOM on
+/// the engine.
+Result<Annotation> PlanWithRules(const ComputeGraph& graph,
+                                 const Catalog& catalog,
+                                 const ClusterConfig& cluster,
+                                 const PlannerRules& rules);
+
+/// The hand-written baseline derived from the SimSQL FFNN code of [23]:
+/// single tuples for small matrices, row strips for batch-shaped
+/// activations, 1K tiles for large weights; broadcast joins when one side
+/// is small, tile shuffle joins otherwise.
+PlannerRules ExpertRules();
+
+}  // namespace matopt
+
+#endif  // MATOPT_BASELINES_EXPERT_PLANNER_H_

@@ -1,0 +1,31 @@
+#ifndef MATOPT_BASELINES_PERSONAS_H_
+#define MATOPT_BASELINES_PERSONAS_H_
+
+#include <vector>
+
+#include "baselines/expert_planner.h"
+
+namespace matopt {
+
+/// The three recruited ML-expert personas of Experiment 4 (Figure 8).
+/// Each persona is a scripted labeling heuristic whose sophistication
+/// tracks the recruit's distributed-ML expertise; the low- and
+/// medium-expertise personas' first attempts produce plans that exceed
+/// the engine's memory budget (the paper's recruits' first attempts
+/// crashed and were re-designed).
+struct Persona {
+  std::string label;           // "User 1 (dist-ML: low)" etc.
+  PlannerRules first_attempt;  // may crash on the engine
+  PlannerRules redesigned;     // the plan after the crash feedback
+  bool first_attempt_fails;    // expected engine outcome
+};
+
+Persona LowExpertisePersona();     // over-tiles with 100x100 tiles
+Persona MediumExpertisePersona();  // single-tuple-happy outer products
+Persona HighExpertisePersona();    // near-optimal broadcast-aware plan
+
+std::vector<Persona> AllPersonas();
+
+}  // namespace matopt
+
+#endif  // MATOPT_BASELINES_PERSONAS_H_

@@ -1,0 +1,49 @@
+#include "baselines/pytorch_sim.h"
+
+#include <algorithm>
+
+namespace matopt {
+
+CompetitorResult SimulatePyTorchFfnn(const FfnnConfig& cfg,
+                                     const ClusterConfig& cluster) {
+  CompetitorResult result;
+  const double k = static_cast<double>(cluster.num_workers);
+  const double b = static_cast<double>(cfg.batch);
+  const double d = static_cast<double>(cfg.features);
+  const double h = static_cast<double>(cfg.hidden);
+  const double l = static_cast<double>(cfg.labels);
+
+  // Model replicated on every worker; the data-parallel wrapper keeps
+  // gradient and communication buffers alongside the parameters (~2.5x
+  // the model), plus double-buffered activations/deltas for the shard.
+  const double model_bytes = 8.0 * (d * h + h * h + h * l + 2.0 * h + l);
+  const double shard_rows = b / k;
+  const double input_bytes =
+      cfg.x_sparsity < 0.5 ? 16.0 * cfg.x_sparsity * shard_rows * d
+                           : 8.0 * shard_rows * d;
+  const double activation_bytes = 8.0 * shard_rows * (4.0 * h + 2.0 * l);
+  const double worker_bytes =
+      2.5 * model_bytes + 2.0 * activation_bytes + input_bytes;
+  if (worker_bytes > cluster.worker_mem_bytes) {
+    result.status = Status::OutOfMemory(
+        "PyTorch data-parallel replica does not fit worker memory");
+    return result;
+  }
+
+  // Broadcast the model, compute locally, all-reduce the gradients. The
+  // driver pushes the replicated model to each worker, so broadcast cost
+  // grows with the cluster — which is why the paper's PyTorch runs get
+  // *slower* with more workers on small batches (Figure 11).
+  double seconds = 0.0;
+  seconds += k * model_bytes / cluster.net_bytes_per_sec;    // broadcast
+  double flops_fwd = 2.0 * shard_rows * (d * h + h * h + h * l);
+  double flops = 3.0 * flops_fwd;                            // fwd + bwd
+  seconds += flops / cluster.flops_per_sec;
+  seconds += 2.0 * model_bytes / cluster.net_bytes_per_sec;  // all-reduce
+  seconds += cluster.per_op_latency_sec;
+  result.sim_seconds = seconds;
+  result.status = Status::OK();
+  return result;
+}
+
+}  // namespace matopt

@@ -1,0 +1,28 @@
+#ifndef MATOPT_BASELINES_PYTORCH_SIM_H_
+#define MATOPT_BASELINES_PYTORCH_SIM_H_
+
+#include "common/status.h"
+#include "engine/cluster.h"
+#include "ml/workloads.h"
+
+namespace matopt {
+
+/// Outcome of simulating a competing system on one FFNN training step.
+struct CompetitorResult {
+  Status status;         // OutOfMemory reproduces the paper's "Fail"
+  double sim_seconds = 0.0;
+};
+
+/// Simulates PyTorch's standard data-parallel FFNN implementation ([19]
+/// in the paper) on the same machine model: the full model is broadcast
+/// to every worker, the input batch is sharded by rows, each worker runs
+/// a local forward+backward, and gradients are all-reduced. Fails when a
+/// worker cannot hold the replicated model, its gradients, and the local
+/// activations — which is exactly how the paper's PyTorch runs failed for
+/// 7000-wide hidden layers and 10K batches.
+CompetitorResult SimulatePyTorchFfnn(const FfnnConfig& config,
+                                     const ClusterConfig& cluster);
+
+}  // namespace matopt
+
+#endif  // MATOPT_BASELINES_PYTORCH_SIM_H_

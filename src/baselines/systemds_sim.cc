@@ -1,0 +1,79 @@
+#include "baselines/systemds_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace matopt {
+
+namespace {
+
+/// Seconds for one distributed matrix multiply over 1000x1000 blocks:
+/// shuffle join on the inner block index plus a group-by SUM, mirroring
+/// SystemDS's mapmm/cpmm Spark operators.
+double DistributedBlockMm(double r, double k, double c, double density,
+                          const ClusterConfig& cluster) {
+  const double workers = static_cast<double>(cluster.num_workers);
+  double flops = 2.0 * r * k * c * density;
+  double in_bytes = 8.0 * (r * k * density + k * c);
+  double partials = std::ceil(r / 1000.0) * std::ceil(k / 1000.0) *
+                    std::ceil(c / 1000.0);
+  double partial_bytes = partials * 8.0e6;
+  double tuples = std::ceil(r / 1000.0) * std::ceil(k / 1000.0) +
+                  std::ceil(k / 1000.0) * std::ceil(c / 1000.0) + partials;
+  return 2.0 * cluster.per_op_latency_sec +
+         flops / (cluster.flops_per_sec * workers) +
+         (in_bytes + partial_bytes) / (cluster.net_bytes_per_sec * workers) +
+         tuples * cluster.per_tuple_overhead_sec / workers;
+}
+
+/// Seconds for a single-node (driver) operation.
+double LocalOp(double flops, double bytes, const ClusterConfig& cluster) {
+  return flops / cluster.flops_per_sec + bytes / cluster.disk_bytes_per_sec;
+}
+
+}  // namespace
+
+CompetitorResult SimulateSystemDsFfnn(const FfnnConfig& cfg,
+                                      const ClusterConfig& cluster) {
+  CompetitorResult result;
+  const double b = static_cast<double>(cfg.batch);
+  const double d = static_cast<double>(cfg.features);
+  const double h = static_cast<double>(cfg.hidden);
+  const double l = static_cast<double>(cfg.labels);
+  // SystemDS runs an op on the driver when its operands fit the driver
+  // memory budget (a fraction of one worker's RAM).
+  const double driver_budget = 0.3 * cluster.worker_mem_bytes;
+
+  double seconds = 0.0;
+  auto mm = [&](double r, double k, double c, double density) {
+    double operand_bytes = 8.0 * (r * k * density + k * c + r * c);
+    if (operand_bytes <= driver_budget) {
+      // Local in-memory multiply (MKL-backed in the real system), plus the
+      // collect of distributed operands that SystemDS does not cost.
+      seconds += LocalOp(2.0 * r * k * c * density, operand_bytes, cluster);
+      seconds += operand_bytes / cluster.net_bytes_per_sec;
+    } else {
+      seconds += DistributedBlockMm(r, k, c, density, cluster);
+    }
+  };
+
+  // Forward: X*W1 exploits the sparse input; the rest is dense.
+  mm(b, d, h, cfg.x_sparsity);
+  mm(b, h, h, 1.0);
+  mm(b, h, l, 1.0);
+  // Backward to all weights (transposed multiplies).
+  mm(h, b, l, 1.0);   // A2' * D3
+  mm(b, l, h, 1.0);   // D3 * W3'
+  mm(h, b, h, 1.0);   // A1' * G2
+  mm(b, h, h, 1.0);   // G2 * W2'
+  mm(d, b, h, cfg.x_sparsity);  // X' * G1
+  // Element-wise work (relu, bias, deltas), charged at memory bandwidth.
+  double elem_bytes = 8.0 * b * (4.0 * h + 2.0 * l);
+  seconds += elem_bytes / cluster.disk_bytes_per_sec;
+
+  result.sim_seconds = seconds;
+  result.status = Status::OK();
+  return result;
+}
+
+}  // namespace matopt

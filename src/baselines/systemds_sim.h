@@ -1,0 +1,23 @@
+#ifndef MATOPT_BASELINES_SYSTEMDS_SIM_H_
+#define MATOPT_BASELINES_SYSTEMDS_SIM_H_
+
+#include "baselines/pytorch_sim.h"
+#include "common/status.h"
+#include "engine/cluster.h"
+#include "ml/workloads.h"
+
+namespace matopt {
+
+/// Simulates a SystemDS-style execution of the FFNN step on the same
+/// machine model. Per the paper's characterization (Section 9): fixed
+/// 1000x1000 block layout for distributed matrices, per-operator choice
+/// between local (driver) and distributed execution by operand size,
+/// sparse-input exploitation for the first-layer multiply, but no global
+/// layout optimization and no costing of the conversions between local
+/// and distributed representations.
+CompetitorResult SimulateSystemDsFfnn(const FfnnConfig& config,
+                                      const ClusterConfig& cluster);
+
+}  // namespace matopt
+
+#endif  // MATOPT_BASELINES_SYSTEMDS_SIM_H_

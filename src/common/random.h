@@ -1,0 +1,34 @@
+#ifndef MATOPT_COMMON_RANDOM_H_
+#define MATOPT_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace matopt {
+
+/// Deterministic random source for data generators and tests. All
+/// experiment data in this repository is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  /// Standard normal sample (the paper generates dense inputs from N(0,1)).
+  double Normal() { return normal_(gen_); }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return uniform_(gen_); }
+
+  /// Uniform integer in [0, n).
+  int64_t UniformInt(int64_t n) {
+    return std::uniform_int_distribution<int64_t>(0, n - 1)(gen_);
+  }
+
+ private:
+  std::mt19937_64 gen_;
+  std::normal_distribution<double> normal_{0.0, 1.0};
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};
+
+}  // namespace matopt
+
+#endif  // MATOPT_COMMON_RANDOM_H_

@@ -1,0 +1,126 @@
+#ifndef MATOPT_COMMON_STATUS_H_
+#define MATOPT_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace matopt {
+
+/// Error codes used across the library. Modeled on the Arrow/RocksDB idiom:
+/// library entry points return Status (or Result<T>) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kTypeError,       // compute-graph / annotation type errors (the paper's ⊥)
+  kNotFound,
+  kOutOfMemory,     // simulated worker memory / spill budget exceeded
+  kTimeout,         // optimizer exceeded its time budget
+  kInternal,
+};
+
+/// A success-or-error outcome. Cheap to copy on the success path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status TypeError(std::string m) {
+    return Status(StatusCode::kTypeError, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status OutOfMemory(std::string m) {
+    return Status(StatusCode::kOutOfMemory, std::move(m));
+  }
+  static Status Timeout(std::string m) {
+    return Status(StatusCode::kTimeout, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsTypeError() const { return code_ == StatusCode::kTypeError; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + std::string(": ") + message_;
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kTypeError: return "TypeError";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kOutOfMemory: return "OutOfMemory";
+      case StatusCode::kTimeout: return "Timeout";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. `value()` must only be
+/// called when `ok()` is true.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace matopt
+
+/// Propagates a non-OK Status from an expression.
+#define MATOPT_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::matopt::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+/// Evaluates a Result<T> expression and either binds the value or returns
+/// the error. Usage: MATOPT_ASSIGN_OR_RETURN(auto v, ComputeV());
+#define MATOPT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define MATOPT_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define MATOPT_ASSIGN_OR_RETURN_NAME(a, b) MATOPT_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define MATOPT_ASSIGN_OR_RETURN(lhs, expr) \
+  MATOPT_ASSIGN_OR_RETURN_IMPL(            \
+      MATOPT_ASSIGN_OR_RETURN_NAME(_matopt_result_, __LINE__), lhs, expr)
+
+#endif  // MATOPT_COMMON_STATUS_H_

@@ -1,0 +1,27 @@
+#ifndef MATOPT_COMMON_STOPWATCH_H_
+#define MATOPT_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace matopt {
+
+/// Wall-clock stopwatch used to time the optimizer itself (the paper's
+/// parenthesized "opt time" and the Figure 13 experiment).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace matopt
+
+#endif  // MATOPT_COMMON_STOPWATCH_H_

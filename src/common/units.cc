@@ -1,0 +1,54 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace matopt {
+
+std::string FormatHms(double seconds) {
+  if (seconds < 0) return "n/a";
+  int64_t total = static_cast<int64_t>(std::llround(seconds));
+  int64_t h = total / 3600;
+  int64_t m = (total % 3600) / 60;
+  int64_t s = total % 60;
+  char buf[64];
+  if (h > 0) {
+    std::snprintf(buf, sizeof(buf), "%lld:%02lld:%02lld",
+                  static_cast<long long>(h), static_cast<long long>(m),
+                  static_cast<long long>(s));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%02lld:%02lld",
+                  static_cast<long long>(m), static_cast<long long>(s));
+  }
+  return buf;
+}
+
+std::string FormatMs(double seconds) {
+  if (seconds < 0) return "n/a";
+  int64_t total = static_cast<int64_t>(std::llround(seconds));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld:%02lld",
+                static_cast<long long>(total / 60),
+                static_cast<long long>(total % 60));
+  return buf;
+}
+
+std::string FormatBytes(double bytes) {
+  const char* suffix = "B";
+  double v = bytes;
+  if (v >= kGiB) {
+    v /= kGiB;
+    suffix = "GiB";
+  } else if (v >= kMiB) {
+    v /= kMiB;
+    suffix = "MiB";
+  } else if (v >= kKiB) {
+    v /= kKiB;
+    suffix = "KiB";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", v, suffix);
+  return buf;
+}
+
+}  // namespace matopt

@@ -1,0 +1,28 @@
+#ifndef MATOPT_COMMON_UNITS_H_
+#define MATOPT_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace matopt {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+/// Bytes of one double-precision matrix entry.
+inline constexpr double kEntryBytes = 8.0;
+
+/// Formats a duration in seconds like the paper's tables: H:MM:SS when at
+/// least an hour, MM:SS otherwise.
+std::string FormatHms(double seconds);
+
+/// Formats seconds as MM:SS (used for the parenthesized optimization times).
+std::string FormatMs(double seconds);
+
+/// Formats a byte count with a binary-unit suffix, e.g. "1.5 GiB".
+std::string FormatBytes(double bytes);
+
+}  // namespace matopt
+
+#endif  // MATOPT_COMMON_UNITS_H_

@@ -1,0 +1,209 @@
+#include "core/cost/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine/exec_stats.h"
+#include "engine/operators.h"
+#include "engine/relation.h"
+#include "la/kernels.h"
+
+namespace matopt {
+
+namespace {
+
+/// Shapes exercised by the calibration suite; spans small local work to
+/// shuffles with thousands of tuples.
+struct Shape {
+  int64_t r, k, c;
+};
+
+const Shape kShapes[] = {
+    {2000, 2000, 2000},   {10000, 1000, 10000}, {1000, 40000, 1000},
+    {30000, 30000, 300},  {4000, 4000, 4000},   {20000, 20000, 2000},
+};
+
+/// Runs one implementation on dry-run relations and records the charged
+/// seconds against its analytic features.
+void SampleImpl(const Catalog& catalog, const ClusterConfig& cluster,
+                ImplKind kind, const std::vector<ArgInfo>& args,
+                std::vector<CalibrationSample>* out) {
+  auto out_format = catalog.ImplOutputFormat(kind, args, cluster);
+  if (!out_format.has_value() ||
+      !catalog.ImplResourceFeasible(kind, args, cluster)) {
+    return;
+  }
+  std::vector<Relation> rels;
+  std::vector<const Relation*> ptrs;
+  rels.reserve(args.size());
+  for (const ArgInfo& a : args) {
+    rels.push_back(MakeDryRelation(a.type, a.format, a.sparsity, cluster));
+  }
+  for (const Relation& r : rels) ptrs.push_back(&r);
+
+  Vertex vertex;
+  vertex.op = ImplOp(kind);
+  std::vector<MatrixType> in_types;
+  for (const ArgInfo& a : args) in_types.push_back(a.type);
+  auto type = InferOutputType(vertex.op, in_types);
+  if (!type.ok()) return;
+  vertex.type = type.value();
+  vertex.scalar = 0.5;
+
+  ExecStats stats;
+  auto result = ExecuteImpl(catalog, kind, *out_format, ptrs, vertex, cluster,
+                            &stats);
+  if (!result.ok()) return;
+
+  CalibrationSample sample;
+  sample.klass = ImplClassOf(kind);
+  sample.features = catalog.ImplFeatures(kind, args, cluster);
+  sample.seconds = stats.sim_seconds;
+  out->push_back(sample);
+}
+
+void SampleTransform(const Catalog& catalog, const ClusterConfig& cluster,
+                     TransformKind kind, const ArgInfo& arg,
+                     std::vector<CalibrationSample>* out) {
+  auto target = catalog.TransformOutputFormat(kind, arg, cluster);
+  if (!target.has_value()) return;
+  Relation rel = MakeDryRelation(arg.type, arg.format, arg.sparsity, cluster);
+  ExecStats stats;
+  auto result = ExecuteTransform(catalog, kind, rel, cluster, &stats);
+  if (!result.ok()) return;
+  CalibrationSample sample;
+  sample.klass = ImplClass::kTransform;
+  sample.features = catalog.TransformFeatures(kind, arg, cluster);
+  sample.seconds = stats.sim_seconds;
+  out->push_back(sample);
+}
+
+}  // namespace
+
+std::vector<CalibrationSample> CollectCalibrationSamples(
+    const Catalog& catalog, const ClusterConfig& cluster) {
+  std::vector<CalibrationSample> samples;
+  const auto formats = catalog.enabled_formats();
+  for (const Shape& shape : kShapes) {
+    MatrixType a_type(shape.r, shape.k);
+    MatrixType b_type(shape.k, shape.c);
+    MatrixType square(shape.r, shape.r);
+    for (FormatId fa : formats) {
+      if (!FormatApplicable(BuiltinFormats()[fa], a_type,
+                            cluster.single_tuple_cap_bytes, 0.01)) {
+        continue;
+      }
+      // Unary implementations over a_type.
+      for (ImplKind kind :
+           {ImplKind::kReluMap, ImplKind::kScalarMulMap,
+            ImplKind::kSoftmaxRowStrips, ImplKind::kSoftmaxSingle,
+            ImplKind::kTransposeSingle, ImplKind::kTransposeRowToCol,
+            ImplKind::kTransposeColToRow, ImplKind::kTransposeTiles,
+            ImplKind::kRowSumRowStrips, ImplKind::kRowSumTilesAgg,
+            ImplKind::kRowSumSingle, ImplKind::kColSumColStrips,
+            ImplKind::kColSumTilesAgg, ImplKind::kColSumSingle}) {
+        SampleImpl(catalog, cluster, kind,
+                   {ArgInfo{a_type, fa, kind == ImplKind::kScalarMulMap
+                                            ? 0.01
+                                            : 1.0}},
+                   &samples);
+      }
+      // Binary element-wise over matching formats.
+      for (ImplKind kind : {ImplKind::kAddZip, ImplKind::kHadamardZip}) {
+        SampleImpl(catalog, cluster, kind,
+                   {ArgInfo{a_type, fa, 1.0}, ArgInfo{a_type, fa, 1.0}},
+                   &samples);
+      }
+      // Inverse over square matrices.
+      for (ImplKind kind :
+           {ImplKind::kInverseSingleLu, ImplKind::kInverseGatherLu}) {
+        if (FormatApplicable(BuiltinFormats()[fa], square,
+                             cluster.single_tuple_cap_bytes, 1.0)) {
+          SampleImpl(catalog, cluster, kind, {ArgInfo{square, fa, 1.0}},
+                     &samples);
+        }
+      }
+      // MatMul across format pairs.
+      for (FormatId fb : formats) {
+        if (!FormatApplicable(BuiltinFormats()[fb], b_type,
+                              cluster.single_tuple_cap_bytes, 1.0)) {
+          continue;
+        }
+        for (ImplKind kind : catalog.ImplsFor(OpKind::kMatMul)) {
+          SampleImpl(catalog, cluster, kind,
+                     {ArgInfo{a_type, fa, 0.01}, ArgInfo{b_type, fb, 1.0}},
+                     &samples);
+        }
+      }
+      // Transformations out of fa.
+      for (TransformKind kind : Catalog::AllTransforms()) {
+        SampleTransform(catalog, cluster, kind, ArgInfo{a_type, fa, 0.01},
+                        &samples);
+      }
+    }
+  }
+  return samples;
+}
+
+CostModel FitCostModel(const std::vector<CalibrationSample>& samples,
+                       const ClusterConfig& cluster) {
+  CostModel analytic = CostModel::Analytic(cluster);
+  CostModel fitted = analytic;
+  for (int c = 0; c < kNumImplClasses; ++c) {
+    std::vector<const CalibrationSample*> klass_samples;
+    for (const CalibrationSample& s : samples) {
+      if (static_cast<int>(s.klass) == c) klass_samples.push_back(&s);
+    }
+    if (klass_samples.size() < 2 * kNumCostFeatures) continue;
+
+    // Column scaling keeps the normal equations well conditioned: raw
+    // features span ~15 orders of magnitude (flops vs stage counts).
+    std::array<double, kNumCostFeatures> scale;
+    scale.fill(0.0);
+    for (const CalibrationSample* s : klass_samples) {
+      auto x = CostFeatureVector(s->features);
+      for (int i = 0; i < kNumCostFeatures; ++i) {
+        scale[i] = std::max(scale[i], std::abs(x[i]));
+      }
+    }
+    for (double& v : scale) {
+      if (v == 0.0) v = 1.0;
+    }
+
+    // Ridge-regularized normal equations (X'X + λI) w = X'y.
+    DenseMatrix xtx(kNumCostFeatures, kNumCostFeatures);
+    DenseMatrix xty(kNumCostFeatures, 1);
+    for (const CalibrationSample* s : klass_samples) {
+      auto x = CostFeatureVector(s->features);
+      for (int i = 0; i < kNumCostFeatures; ++i) x[i] /= scale[i];
+      for (int i = 0; i < kNumCostFeatures; ++i) {
+        for (int j = 0; j < kNumCostFeatures; ++j) {
+          xtx(i, j) += x[i] * x[j];
+        }
+        xty(i, 0) += x[i] * s->seconds;
+      }
+    }
+    const double lambda = 1e-8 * static_cast<double>(klass_samples.size());
+    for (int i = 0; i < kNumCostFeatures; ++i) xtx(i, i) += lambda;
+    auto inv = Inverse(xtx);
+    if (!inv.ok()) continue;
+    DenseMatrix w = Gemm(inv.value(), xty);
+
+    CostModel::Weights weights;
+    for (int i = 0; i < kNumCostFeatures; ++i) {
+      double v = w(i, 0) / scale[i];
+      // Negative rates are artifacts of collinear features; a negative
+      // weight would reward wasted work, so clamp at zero.
+      weights[i] = std::max(0.0, v);
+    }
+    fitted.SetWeights(static_cast<ImplClass>(c), weights);
+  }
+  return fitted;
+}
+
+CostModel CalibrateCostModel(const Catalog& catalog,
+                             const ClusterConfig& cluster) {
+  return FitCostModel(CollectCalibrationSamples(catalog, cluster), cluster);
+}
+
+}  // namespace matopt

@@ -1,0 +1,40 @@
+#ifndef MATOPT_CORE_COST_CALIBRATION_H_
+#define MATOPT_CORE_COST_CALIBRATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/cost/cost_model.h"
+#include "core/ops/catalog.h"
+#include "engine/cluster.h"
+
+namespace matopt {
+
+/// One calibration observation: the analytic features of a benchmark
+/// operation and the seconds the engine actually charged for it.
+struct CalibrationSample {
+  ImplClass klass = ImplClass::kLocal;
+  OpFeatures features;
+  double seconds = 0.0;
+};
+
+/// Runs the "installation time" benchmark suite of Section 7: executes a
+/// spread of atomic computation implementations and transformations over
+/// varied matrix sizes and formats on the engine (dry-run mode, so the
+/// machine model provides the timings) and records (features, time) pairs.
+std::vector<CalibrationSample> CollectCalibrationSamples(
+    const Catalog& catalog, const ClusterConfig& cluster);
+
+/// Fits one linear regression per implementation class by ridge-regularized
+/// least squares over the collected samples. Classes with too few samples
+/// fall back to the analytic weights of `cluster`'s machine model.
+CostModel FitCostModel(const std::vector<CalibrationSample>& samples,
+                       const ClusterConfig& cluster);
+
+/// CollectCalibrationSamples + FitCostModel.
+CostModel CalibrateCostModel(const Catalog& catalog,
+                             const ClusterConfig& cluster);
+
+}  // namespace matopt
+
+#endif  // MATOPT_CORE_COST_CALIBRATION_H_

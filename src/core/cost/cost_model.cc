@@ -1,0 +1,78 @@
+#include "core/cost/cost_model.h"
+
+#include <sstream>
+
+namespace matopt {
+
+std::array<double, kNumCostFeatures> CostFeatureVector(const OpFeatures& f) {
+  return {f.flops, f.net_bytes, f.inter_bytes, f.tuples, f.out_bytes,
+          f.latency_ops};
+}
+
+CostModel::CostModel() {
+  for (auto& w : weights_) w.fill(0.0);
+}
+
+CostModel CostModel::Analytic(const ClusterConfig& cluster) {
+  CostModel model;
+  const double k = static_cast<double>(cluster.num_workers);
+  // Features are per-worker critical-path quantities (see catalog.h), so
+  // the analytic weights are the raw per-worker machine rates; only the
+  // per-tuple overhead is amortized cluster-wide.
+  Weights w{};
+  w[0] = 1.0 / cluster.flops_per_sec;         // flops
+  w[1] = 1.0 / cluster.net_bytes_per_sec;     // network bytes
+  w[2] = 1.0 / cluster.disk_bytes_per_sec;    // intermediate bytes
+  w[3] = cluster.per_tuple_overhead_sec / k;  // tuples
+  w[4] = 1.0 / cluster.disk_bytes_per_sec;    // output materialization
+  w[5] = cluster.per_op_latency_sec;          // operator stages
+  for (int c = 0; c < kNumImplClasses; ++c) {
+    model.weights_[c] = w;
+  }
+  // GPU class: arithmetic at the device rate, transfers at PCIe rate.
+  Weights gpu = w;
+  gpu[0] = 1.0 / cluster.gpu_flops_per_sec;
+  gpu[2] = 1.0 / cluster.pcie_bytes_per_sec;
+  model.weights_[static_cast<int>(ImplClass::kGpu)] = gpu;
+  return model;
+}
+
+double CostModel::Predict(ImplClass klass, const OpFeatures& features) const {
+  const Weights& w = weights_[static_cast<int>(klass)];
+  auto x = CostFeatureVector(features);
+  double cost = 0.0;
+  for (int i = 0; i < kNumCostFeatures; ++i) cost += w[i] * x[i];
+  return cost;
+}
+
+double CostModel::ImplCost(const Catalog& catalog, ImplKind kind,
+                           const std::vector<ArgInfo>& args,
+                           const ClusterConfig& cluster) const {
+  return Predict(ImplClassOf(kind), catalog.ImplFeatures(kind, args, cluster));
+}
+
+double CostModel::TransformCost(const Catalog& catalog, TransformKind kind,
+                                const ArgInfo& arg,
+                                const ClusterConfig& cluster) const {
+  return Predict(ImplClass::kTransform,
+                 catalog.TransformFeatures(kind, arg, cluster));
+}
+
+void CostModel::SetWeights(ImplClass klass, const Weights& weights) {
+  weights_[static_cast<int>(klass)] = weights;
+}
+
+std::string CostModel::ToString() const {
+  static const char* kClassNames[kNumImplClasses] = {
+      "local", "broadcast-join", "shuffle-join", "aggregation", "map",
+      "transform", "gpu"};
+  std::ostringstream out;
+  for (int c = 0; c < kNumImplClasses; ++c) {
+    out << kClassNames[c] << ":";
+    for (double w : weights_[c]) out << " " << w;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace matopt

@@ -1,0 +1,62 @@
+#ifndef MATOPT_CORE_COST_COST_MODEL_H_
+#define MATOPT_CORE_COST_COST_MODEL_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/ops/catalog.h"
+#include "engine/cluster.h"
+
+namespace matopt {
+
+/// Number of regression features per implementation class: flops, network
+/// bytes, intermediate bytes, tuples, output bytes, latency stages.
+inline constexpr int kNumCostFeatures = 6;
+
+/// Extracts the regression feature vector from analytic OpFeatures.
+std::array<double, kNumCostFeatures> CostFeatureVector(const OpFeatures& f);
+
+/// The learned cost function of Section 7. One linear regression per
+/// implementation class maps the analytic features (flops, worst-case
+/// network traffic, intermediate bytes, tuple counts, output bytes,
+/// operator stages) to predicted seconds. "Installation time" calibration
+/// (see calibration.h) fits the weights against engine measurements; the
+/// default weights are the analytic rates of the cluster's machine model.
+class CostModel {
+ public:
+  using Weights = std::array<double, kNumCostFeatures>;
+
+  CostModel();
+
+  /// Analytic weights derived from the cluster's machine model; a usable
+  /// cost model without any calibration runs.
+  static CostModel Analytic(const ClusterConfig& cluster);
+
+  /// Predicted seconds for running one atomic computation implementation.
+  double ImplCost(const Catalog& catalog, ImplKind kind,
+                  const std::vector<ArgInfo>& args,
+                  const ClusterConfig& cluster) const;
+
+  /// Predicted seconds for one physical matrix transformation.
+  double TransformCost(const Catalog& catalog, TransformKind kind,
+                       const ArgInfo& arg, const ClusterConfig& cluster) const;
+
+  /// Predicted seconds from raw features for a class (used by calibration
+  /// tests and the ablation bench).
+  double Predict(ImplClass klass, const OpFeatures& features) const;
+
+  void SetWeights(ImplClass klass, const Weights& weights);
+  const Weights& weights(ImplClass klass) const {
+    return weights_[static_cast<int>(klass)];
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::array<Weights, kNumImplClasses> weights_;
+};
+
+}  // namespace matopt
+
+#endif  // MATOPT_CORE_COST_COST_MODEL_H_

@@ -1,0 +1,96 @@
+#include "core/cost/sparsity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace matopt {
+
+namespace {
+
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+}  // namespace
+
+double EstimateOpSparsity(OpKind op, const std::vector<double>& inputs,
+                          const std::vector<MatrixType>& types) {
+  auto in = [&](size_t i) { return i < inputs.size() ? inputs[i] : 1.0; };
+  switch (op) {
+    case OpKind::kMatMul: {
+      // Each output entry is a sum of k products; it is non-zero unless
+      // every product vanishes (independent-position model).
+      double k = static_cast<double>(types[0].cols());
+      double p = in(0) * in(1);
+      if (p >= 1.0) return 1.0;
+      // log1p-based evaluation stays accurate for tiny p and huge k.
+      return Clamp01(1.0 - std::exp(k * std::log1p(-p)));
+    }
+    case OpKind::kAdd:
+    case OpKind::kSub:
+      return Clamp01(1.0 - (1.0 - in(0)) * (1.0 - in(1)));
+    case OpKind::kHadamard:
+      return Clamp01(in(0) * in(1));
+    case OpKind::kElemDiv:
+      return Clamp01(in(0));  // zeros of the numerator survive
+    case OpKind::kScalarMul:
+    case OpKind::kTranspose:
+      return Clamp01(in(0));
+    case OpKind::kRelu:
+      // Zero-mean entries are negative (hence clipped) half the time.
+      return Clamp01(in(0) * 0.5);
+    case OpKind::kReluGrad:
+      // Upstream gradient masked by the ~half-active pre-activation.
+      return Clamp01(in(1) * 0.5);
+    case OpKind::kSoftmax:
+    case OpKind::kSigmoid:
+    case OpKind::kExp:
+    case OpKind::kInverse:
+      return 1.0;  // densifying
+    case OpKind::kRowSum: {
+      double k = static_cast<double>(types[0].cols());
+      if (in(0) >= 1.0) return 1.0;
+      return Clamp01(1.0 - std::exp(k * std::log1p(-in(0))));
+    }
+    case OpKind::kColSum: {
+      double k = static_cast<double>(types[0].rows());
+      if (in(0) >= 1.0) return 1.0;
+      return Clamp01(1.0 - std::exp(k * std::log1p(-in(0))));
+    }
+    case OpKind::kBroadcastRowAdd:
+      return Clamp01(1.0 - (1.0 - in(0)) * (1.0 - in(1)));
+    case OpKind::kInput:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+void PropagateSparsity(ComputeGraph* graph,
+                       const std::vector<std::pair<int, double>>& actual) {
+  std::vector<double> pinned(graph->num_vertices(), -1.0);
+  for (const auto& [v, sparsity] : actual) pinned[v] = sparsity;
+  for (int v = 0; v < graph->num_vertices(); ++v) {
+    Vertex& vx = graph->vertex(v);
+    if (pinned[v] >= 0.0) {
+      vx.sparsity = pinned[v];
+      continue;
+    }
+    if (vx.op == OpKind::kInput) continue;  // data-derived, keep
+    std::vector<double> in_sparsities;
+    std::vector<MatrixType> in_types;
+    for (int input : vx.inputs) {
+      in_sparsities.push_back(graph->vertex(input).sparsity);
+      in_types.push_back(graph->vertex(input).type);
+    }
+    vx.sparsity = EstimateOpSparsity(vx.op, in_sparsities, in_types);
+  }
+}
+
+double SparsityRelativeError(double estimated, double actual) {
+  double lo = std::min(estimated, actual);
+  double hi = std::max(estimated, actual);
+  if (hi <= 0.0) return 1.0;
+  if (lo <= 0.0) return std::numeric_limits<double>::infinity();
+  return hi / lo;
+}
+
+}  // namespace matopt

@@ -1,0 +1,41 @@
+#ifndef MATOPT_CORE_COST_SPARSITY_H_
+#define MATOPT_CORE_COST_SPARSITY_H_
+
+#include <vector>
+
+#include "core/graph/graph.h"
+
+namespace matopt {
+
+/// Sparsity estimation for chains of operations over sparse inputs
+/// (Section 7). The default graph-construction heuristic is the paper's
+/// dense-model assumption (anything touched by a dense operand is dense);
+/// this estimator instead propagates non-zero fractions probabilistically,
+/// in the spirit of the MNC estimator of Sommer et al. [33] that the paper
+/// proposes to plug in:
+///
+///   matmul:    1 - (1 - sa*sb)^k      (independent-position model)
+///   add/sub:   1 - (1-sa)(1-sb)       (union of supports)
+///   hadamard:  sa * sb                (intersection of supports)
+///   relu:      sa / 2                 (zero-mean value model)
+///   exp/sigmoid/softmax: 1            (densifying maps)
+///   scalar_mul/transpose/div: unchanged; row/col sums: union along the
+///   reduced dimension; inverse: 1.
+double EstimateOpSparsity(OpKind op, const std::vector<double>& inputs,
+                          const std::vector<MatrixType>& types);
+
+/// Re-annotates every op vertex of `graph` with the estimator's sparsity,
+/// propagating from the source vertices' (known, data-derived) values.
+/// `actual` may pin already-observed sparsities by vertex id (used by
+/// mid-execution re-optimization); pass {} to propagate estimates only.
+void PropagateSparsity(ComputeGraph* graph,
+                       const std::vector<std::pair<int, double>>& actual = {});
+
+/// Sommer-style relative error between an estimated and an actual non-zero
+/// fraction: max/min ratio, 1.0 = perfect. The paper suggests halting and
+/// re-optimizing when this exceeds ~1.2.
+double SparsityRelativeError(double estimated, double actual);
+
+}  // namespace matopt
+
+#endif  // MATOPT_CORE_COST_SPARSITY_H_

@@ -1,0 +1,159 @@
+#include "core/format/format.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace matopt {
+
+std::string Format::ToString() const {
+  std::ostringstream out;
+  switch (layout) {
+    case Layout::kSingleTuple: return "single";
+    case Layout::kRowStrips: out << "row-strips(" << p1 << ")"; break;
+    case Layout::kColStrips: out << "col-strips(" << p1 << ")"; break;
+    case Layout::kTiles: out << "tiles(" << p1 << "x" << p2 << ")"; break;
+    case Layout::kSpSingleCsr: return "sp-single-csr";
+    case Layout::kSpCoo: return "sp-coo";
+    case Layout::kSpRowStripsCsr:
+      out << "sp-row-strips-csr(" << p1 << ")";
+      break;
+    case Layout::kSpColStripsCsc:
+      out << "sp-col-strips-csc(" << p1 << ")";
+      break;
+    case Layout::kSpTilesCsr: out << "sp-tiles-csr(" << p1 << ")"; break;
+  }
+  return out.str();
+}
+
+int64_t NumChunks(int64_t extent, int64_t chunk) {
+  if (extent <= 0) return 0;
+  return (extent + chunk - 1) / chunk;
+}
+
+FormatStats ComputeFormatStats(const MatrixType& m, const Format& f,
+                               double sparsity) {
+  FormatStats s;
+  const double entries = static_cast<double>(m.NumEntries());
+  const double dense_bytes = 8.0 * entries;
+  const double nnz = std::max(1.0, sparsity * entries);
+  switch (f.layout) {
+    case Layout::kSingleTuple:
+      s.num_tuples = 1;
+      s.total_bytes = dense_bytes;
+      s.max_tuple_bytes = dense_bytes;
+      break;
+    case Layout::kRowStrips:
+      s.num_tuples = NumChunks(m.rows(), f.p1);
+      s.total_bytes = dense_bytes;
+      s.max_tuple_bytes =
+          8.0 * static_cast<double>(std::min(f.p1, m.rows())) *
+          static_cast<double>(m.cols());
+      break;
+    case Layout::kColStrips:
+      s.num_tuples = NumChunks(m.cols(), f.p1);
+      s.total_bytes = dense_bytes;
+      s.max_tuple_bytes =
+          8.0 * static_cast<double>(m.rows()) *
+          static_cast<double>(std::min(f.p1, m.cols()));
+      break;
+    case Layout::kTiles:
+      s.num_tuples = NumChunks(m.rows(), f.p1) * NumChunks(m.cols(), f.p2);
+      s.total_bytes = dense_bytes;
+      s.max_tuple_bytes =
+          8.0 * static_cast<double>(std::min(f.p1, m.rows())) *
+          static_cast<double>(std::min(f.p2, m.cols()));
+      break;
+    case Layout::kSpSingleCsr:
+      s.num_tuples = 1;
+      s.total_bytes = m.SparseBytes(sparsity);
+      s.max_tuple_bytes = s.total_bytes;
+      break;
+    case Layout::kSpCoo:
+      // One relational tuple per non-zero: (rowIndex, colIndex, value).
+      s.num_tuples = static_cast<int64_t>(nnz);
+      s.total_bytes = 24.0 * nnz;
+      s.max_tuple_bytes = 24.0;
+      break;
+    case Layout::kSpRowStripsCsr: {
+      s.num_tuples = NumChunks(m.rows(), f.p1);
+      s.total_bytes = m.SparseBytes(sparsity);
+      double rows_per_strip = static_cast<double>(std::min(f.p1, m.rows()));
+      s.max_tuple_bytes = 16.0 * sparsity * rows_per_strip *
+                              static_cast<double>(m.cols()) +
+                          8.0 * rows_per_strip;
+      break;
+    }
+    case Layout::kSpColStripsCsc: {
+      s.num_tuples = NumChunks(m.cols(), f.p1);
+      s.total_bytes = m.SparseBytes(sparsity);
+      double cols_per_strip = static_cast<double>(std::min(f.p1, m.cols()));
+      s.max_tuple_bytes = 16.0 * sparsity * cols_per_strip *
+                              static_cast<double>(m.rows()) +
+                          8.0 * cols_per_strip;
+      break;
+    }
+    case Layout::kSpTilesCsr: {
+      s.num_tuples = NumChunks(m.rows(), f.p1) * NumChunks(m.cols(), f.p1);
+      s.total_bytes = m.SparseBytes(sparsity);
+      double side = static_cast<double>(f.p1);
+      s.max_tuple_bytes = 16.0 * sparsity * side * side + 8.0 * side;
+      break;
+    }
+  }
+  return s;
+}
+
+bool FormatApplicable(const Format& f, const MatrixType& m,
+                      double single_tuple_cap_bytes, double sparsity) {
+  if (m.dims() < 1 || m.dims() > 2) return false;
+  if (m.NumEntries() <= 0) return false;
+  FormatStats s = ComputeFormatStats(m, f, sparsity);
+  return s.max_tuple_bytes <= single_tuple_cap_bytes;
+}
+
+const std::vector<Format>& BuiltinFormats() {
+  static const std::vector<Format>& formats = *new std::vector<Format>{
+      // 0: dense single tuple
+      {Layout::kSingleTuple, 0, 0},
+      // 1-3: row strips
+      {Layout::kRowStrips, 100, 0},
+      {Layout::kRowStrips, 1000, 0},
+      {Layout::kRowStrips, 10000, 0},
+      // 4-6: column strips
+      {Layout::kColStrips, 100, 0},
+      {Layout::kColStrips, 1000, 0},
+      {Layout::kColStrips, 10000, 0},
+      // 7-9: square tiles
+      {Layout::kTiles, 100, 100},
+      {Layout::kTiles, 1000, 1000},
+      {Layout::kTiles, 10000, 10000},
+      // 10-15: rectangular tiles
+      {Layout::kTiles, 100, 1000},
+      {Layout::kTiles, 1000, 100},
+      {Layout::kTiles, 100, 10000},
+      {Layout::kTiles, 10000, 100},
+      {Layout::kTiles, 1000, 10000},
+      {Layout::kTiles, 10000, 1000},
+      // 16-18: sparse
+      {Layout::kSpSingleCsr, 0, 0},
+      {Layout::kSpCoo, 0, 0},
+      {Layout::kSpRowStripsCsr, 1000, 0},
+  };
+  return formats;
+}
+
+std::vector<FormatId> AllFormatIds() {
+  std::vector<FormatId> ids(BuiltinFormats().size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<FormatId>(i);
+  return ids;
+}
+
+std::vector<FormatId> SingleStripBlockFormatIds() {
+  return {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
+}
+
+std::vector<FormatId> SingleBlockFormatIds() {
+  return {0, 7, 8, 9, 10, 11, 12, 13, 14, 15};
+}
+
+}  // namespace matopt

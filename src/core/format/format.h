@@ -1,0 +1,93 @@
+#ifndef MATOPT_CORE_FORMAT_FORMAT_H_
+#define MATOPT_CORE_FORMAT_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/format/matrix_type.h"
+
+namespace matopt {
+
+/// Layout families for physical matrix implementations.
+enum class Layout {
+  kSingleTuple,      // whole matrix in one tuple
+  kRowStrips,        // horizontal strips of height p1
+  kColStrips,        // vertical strips of width p1
+  kTiles,            // p1 x p2 tiles
+  kSpSingleCsr,      // whole matrix, CSR, one tuple
+  kSpCoo,            // (rowIndex, colIndex, value) triples
+  kSpRowStripsCsr,   // sparse row strips of height p1, CSR per strip
+  kSpColStripsCsc,   // sparse column strips of width p1
+  kSpTilesCsr,       // sparse p1 x p1 tiles
+};
+
+/// A physical matrix implementation (Section 3): a storage specification
+/// such as "tile-based with 1000 x 1000 tiles" or "row strips of height
+/// 100". The library's catalog instantiates 19 of these, matching the
+/// paper's SimSQL prototype count.
+struct Format {
+  Layout layout = Layout::kSingleTuple;
+  int64_t p1 = 0;  // strip height/width or tile rows
+  int64_t p2 = 0;  // tile cols (square tiles when p2 == p1)
+
+  bool sparse() const {
+    return layout == Layout::kSpSingleCsr || layout == Layout::kSpCoo ||
+           layout == Layout::kSpRowStripsCsr ||
+           layout == Layout::kSpColStripsCsc ||
+           layout == Layout::kSpTilesCsr;
+  }
+
+  bool operator==(const Format& other) const = default;
+
+  std::string ToString() const;
+};
+
+/// Index of a format in the catalog's format list. -1 means "none".
+using FormatId = int;
+inline constexpr FormatId kNoFormat = -1;
+
+/// Per-layout tuple accounting used by both the cost features and the
+/// engine. `sparsity` is the non-zero fraction (1.0 for dense data).
+struct FormatStats {
+  int64_t num_tuples = 0;       // tuples in the relation
+  double total_bytes = 0.0;     // payload bytes across all tuples
+  double max_tuple_bytes = 0.0; // largest single tuple
+};
+
+/// Number of chunks along a dimension of extent `extent` when chunk size is
+/// `chunk` (ceiling division; the last chunk may be ragged).
+int64_t NumChunks(int64_t extent, int64_t chunk);
+
+/// Computes tuple/byte statistics for storing a matrix of type `m` with
+/// non-zero fraction `sparsity` in format `f`. The format must be
+/// applicable to `m`.
+FormatStats ComputeFormatStats(const MatrixType& m, const Format& f,
+                               double sparsity);
+
+/// The matrix type specification function p.f(m) of Section 3: can format
+/// `f` implement type `m`? `single_tuple_cap_bytes` bounds the size of any
+/// one tuple (the paper's example: a 40GB matrix cannot be a single tuple).
+/// `sparsity` is the non-zero fraction used to size sparse tuples.
+bool FormatApplicable(const Format& f, const MatrixType& m,
+                      double single_tuple_cap_bytes, double sparsity = 1.0);
+
+/// The 19 built-in physical matrix implementations of the prototype,
+/// chosen so that the Figure 13 subsets come out exactly as in the paper
+/// (all = 19, single/strip/block = 16, single/block = 10):
+///   1 dense single tuple;
+///   6 strips: row strips {100, 1000, 10000}, column strips {100, 1000,
+///     10000};
+///   9 tiles (blocks): square {100, 1000, 10000} plus rectangular
+///     {100x1000, 1000x100, 100x10000, 10000x100, 1000x10000, 10000x1000};
+///   3 sparse: single-tuple CSR, COO triples, sparse row strips of 1000.
+const std::vector<Format>& BuiltinFormats();
+
+/// Format subsets used by the Figure 13 experiment.
+std::vector<FormatId> AllFormatIds();               // 19 formats
+std::vector<FormatId> SingleStripBlockFormatIds();  // 16 formats
+std::vector<FormatId> SingleBlockFormatIds();       // 10 formats
+
+}  // namespace matopt
+
+#endif  // MATOPT_CORE_FORMAT_FORMAT_H_

@@ -1,0 +1,18 @@
+#include "core/format/matrix_type.h"
+
+#include <sstream>
+
+namespace matopt {
+
+std::string MatrixType::ToString() const {
+  std::ostringstream out;
+  out << "(" << dims() << ", <";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << ">)";
+  return out.str();
+}
+
+}  // namespace matopt

@@ -1,0 +1,48 @@
+#ifndef MATOPT_CORE_FORMAT_MATRIX_TYPE_H_
+#define MATOPT_CORE_FORMAT_MATRIX_TYPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace matopt {
+
+/// A matrix type in the paper's sense (Section 3): a pair (d, b) of the
+/// dimensionality and the extent along each dimension. All the paper's
+/// experiments use d = 2; we support d = 1 (vectors, stored as 1 x n or
+/// n x 1 here) and d = 2 throughout, and the type itself is general.
+struct MatrixType {
+  std::vector<int64_t> shape;
+
+  MatrixType() = default;
+  MatrixType(int64_t rows, int64_t cols) : shape{rows, cols} {}
+
+  int dims() const { return static_cast<int>(shape.size()); }
+  int64_t rows() const { return shape.empty() ? 0 : shape[0]; }
+  int64_t cols() const { return shape.size() < 2 ? 1 : shape[1]; }
+
+  /// Total number of entries.
+  int64_t NumEntries() const {
+    int64_t n = 1;
+    for (int64_t s : shape) n *= s;
+    return n;
+  }
+
+  /// Bytes of the matrix when stored densely.
+  double DenseBytes() const { return 8.0 * static_cast<double>(NumEntries()); }
+
+  /// Bytes when stored sparsely in CSR at the given non-zero fraction
+  /// (8B value + 8B column index per nnz, plus a row-pointer array).
+  double SparseBytes(double sparsity) const {
+    return 16.0 * sparsity * static_cast<double>(NumEntries()) +
+           8.0 * static_cast<double>(rows());
+  }
+
+  bool operator==(const MatrixType& other) const = default;
+
+  std::string ToString() const;
+};
+
+}  // namespace matopt
+
+#endif  // MATOPT_CORE_FORMAT_MATRIX_TYPE_H_

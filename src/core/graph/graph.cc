@@ -1,0 +1,223 @@
+#include "core/graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace matopt {
+
+const char* OpKindName(OpKind op) {
+  switch (op) {
+    case OpKind::kInput: return "input";
+    case OpKind::kMatMul: return "matmul";
+    case OpKind::kAdd: return "add";
+    case OpKind::kSub: return "sub";
+    case OpKind::kHadamard: return "hadamard";
+    case OpKind::kElemDiv: return "elemdiv";
+    case OpKind::kScalarMul: return "scalar_mul";
+    case OpKind::kTranspose: return "transpose";
+    case OpKind::kRelu: return "relu";
+    case OpKind::kReluGrad: return "relu_grad";
+    case OpKind::kSoftmax: return "softmax";
+    case OpKind::kSigmoid: return "sigmoid";
+    case OpKind::kExp: return "exp";
+    case OpKind::kRowSum: return "row_sum";
+    case OpKind::kColSum: return "col_sum";
+    case OpKind::kBroadcastRowAdd: return "broadcast_row_add";
+    case OpKind::kInverse: return "inverse";
+  }
+  return "unknown";
+}
+
+int OpArity(OpKind op) {
+  switch (op) {
+    case OpKind::kInput:
+      return 0;
+    case OpKind::kMatMul:
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kHadamard:
+    case OpKind::kElemDiv:
+    case OpKind::kReluGrad:
+    case OpKind::kBroadcastRowAdd:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+Result<MatrixType> InferOutputType(OpKind op,
+                                   const std::vector<MatrixType>& in) {
+  if (static_cast<int>(in.size()) != OpArity(op)) {
+    return Status::TypeError(std::string(OpKindName(op)) +
+                             ": wrong number of arguments");
+  }
+  auto same_shape = [&]() -> Result<MatrixType> {
+    if (in[0] != in[1]) {
+      return Status::TypeError(std::string(OpKindName(op)) +
+                               ": shapes differ: " + in[0].ToString() +
+                               " vs " + in[1].ToString());
+    }
+    return in[0];
+  };
+  switch (op) {
+    case OpKind::kInput:
+      return Status::TypeError("input vertices have no inferred type");
+    case OpKind::kMatMul:
+      if (in[0].cols() != in[1].rows()) {
+        return Status::TypeError("matmul: inner dimensions differ: " +
+                                 in[0].ToString() + " x " + in[1].ToString());
+      }
+      return MatrixType(in[0].rows(), in[1].cols());
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kHadamard:
+    case OpKind::kElemDiv:
+    case OpKind::kReluGrad:
+      return same_shape();
+    case OpKind::kScalarMul:
+    case OpKind::kTranspose:
+      if (op == OpKind::kTranspose) return MatrixType(in[0].cols(), in[0].rows());
+      return in[0];
+    case OpKind::kRelu:
+    case OpKind::kSoftmax:
+    case OpKind::kSigmoid:
+    case OpKind::kExp:
+      return in[0];
+    case OpKind::kRowSum:
+      return MatrixType(in[0].rows(), 1);
+    case OpKind::kColSum:
+      return MatrixType(1, in[0].cols());
+    case OpKind::kBroadcastRowAdd:
+      if (in[1].rows() != 1 || in[1].cols() != in[0].cols()) {
+        return Status::TypeError(
+            "broadcast_row_add: second argument must be 1 x cols");
+      }
+      return in[0];
+    case OpKind::kInverse:
+      if (in[0].rows() != in[0].cols()) {
+        return Status::TypeError("inverse: matrix must be square");
+      }
+      return in[0];
+  }
+  return Status::TypeError("unknown op");
+}
+
+int ComputeGraph::AddInput(const MatrixType& type, FormatId format,
+                           std::string name, double sparsity) {
+  Vertex v;
+  v.op = OpKind::kInput;
+  v.type = type;
+  v.input_format = format;
+  v.sparsity = sparsity;
+  v.name = std::move(name);
+  vertices_.push_back(std::move(v));
+  return num_vertices() - 1;
+}
+
+Result<int> ComputeGraph::AddOp(OpKind op, std::vector<int> inputs,
+                                std::string name, double scalar) {
+  std::vector<MatrixType> in_types;
+  in_types.reserve(inputs.size());
+  for (int id : inputs) {
+    if (id < 0 || id >= num_vertices()) {
+      return Status::InvalidArgument("AddOp: input vertex id out of range");
+    }
+    in_types.push_back(vertices_[id].type);
+  }
+  MATOPT_ASSIGN_OR_RETURN(MatrixType out_type, InferOutputType(op, in_types));
+  Vertex v;
+  v.op = op;
+  v.inputs = std::move(inputs);
+  v.type = out_type;
+  v.scalar = scalar;
+  v.name = name.empty() ? std::string(OpKindName(op)) + "_" +
+                              std::to_string(num_vertices())
+                        : std::move(name);
+  // Dense-model heuristic of Section 7: an operation over any dense input
+  // produces a dense output; fully sparse chains keep the max sparsity.
+  double sp = 0.0;
+  for (int id : v.inputs) sp = std::max(sp, vertices_[id].sparsity);
+  v.sparsity = (op == OpKind::kMatMul) ? 1.0 : sp;
+  if (op == OpKind::kMatMul) {
+    // Multiplying a sparse data matrix against a dense model matrix
+    // typically yields a dense result (Section 7); approximate the output
+    // density as min(1, nnz growth) of the denser input.
+    double s0 = vertices_[v.inputs[0]].sparsity;
+    double s1 = vertices_[v.inputs[1]].sparsity;
+    v.sparsity = std::min(1.0, std::max(s0, s1));
+  }
+  vertices_.push_back(std::move(v));
+  return num_vertices() - 1;
+}
+
+std::vector<int> ComputeGraph::Sinks() const {
+  std::vector<bool> has_consumer(vertices_.size(), false);
+  for (const Vertex& v : vertices_) {
+    for (int in : v.inputs) has_consumer[in] = true;
+  }
+  std::vector<int> sinks;
+  for (int i = 0; i < num_vertices(); ++i) {
+    if (!has_consumer[i]) sinks.push_back(i);
+  }
+  return sinks;
+}
+
+std::vector<std::vector<int>> ComputeGraph::BuildConsumers() const {
+  std::vector<std::vector<int>> consumers(vertices_.size());
+  for (int i = 0; i < num_vertices(); ++i) {
+    for (int in : vertices_[i].inputs) consumers[in].push_back(i);
+  }
+  return consumers;
+}
+
+bool ComputeGraph::IsTree() const {
+  std::vector<int> out_degree(vertices_.size(), 0);
+  for (const Vertex& v : vertices_) {
+    for (int in : v.inputs) ++out_degree[in];
+  }
+  for (int d : out_degree) {
+    if (d > 1) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<uint64_t>> ComputeGraph::AncestorBitsets() const {
+  const size_t words = (vertices_.size() + 63) / 64;
+  std::vector<std::vector<uint64_t>> anc(vertices_.size(),
+                                         std::vector<uint64_t>(words, 0));
+  for (int i = 0; i < num_vertices(); ++i) {
+    anc[i][i / 64] |= (uint64_t{1} << (i % 64));
+    for (int in : vertices_[i].inputs) {
+      for (size_t w = 0; w < words; ++w) anc[i][w] |= anc[in][w];
+    }
+  }
+  return anc;
+}
+
+std::string ComputeGraph::ToString() const {
+  std::ostringstream out;
+  for (int i = 0; i < num_vertices(); ++i) {
+    const Vertex& v = vertices_[i];
+    out << "v" << i << " [" << v.name << "] " << OpKindName(v.op) << " "
+        << v.type.ToString();
+    if (!v.inputs.empty()) {
+      out << " <-";
+      for (int in : v.inputs) out << " v" << in;
+    }
+    if (v.op == OpKind::kInput) {
+      out << " format=" << BuiltinFormats()[v.input_format].ToString();
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+bool BitsetsIntersect(const std::vector<uint64_t>& a,
+                      const std::vector<uint64_t>& b) {
+  for (size_t w = 0; w < a.size() && w < b.size(); ++w) {
+    if (a[w] & b[w]) return true;
+  }
+  return false;
+}
+
+}  // namespace matopt

@@ -1,0 +1,144 @@
+#ifndef MATOPT_CORE_GRAPH_GRAPH_H_
+#define MATOPT_CORE_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/format/format.h"
+#include "core/format/matrix_type.h"
+
+namespace matopt {
+
+/// The 16 atomic computations of the prototype, plus kInput for source
+/// vertices (input matrices).
+enum class OpKind {
+  kInput = 0,
+  kMatMul,
+  kAdd,
+  kSub,
+  kHadamard,
+  kElemDiv,
+  kScalarMul,        // scalar attribute on the vertex
+  kTranspose,
+  kRelu,
+  kReluGrad,         // args: pre-activation z, upstream gradient
+  kSoftmax,
+  kSigmoid,
+  kExp,
+  kRowSum,
+  kColSum,
+  kBroadcastRowAdd,  // args: matrix, 1 x cols row vector
+  kInverse,
+};
+
+/// Number of distinct atomic computations (excluding kInput).
+inline constexpr int kNumAtomicComputations = 16;
+
+const char* OpKindName(OpKind op);
+
+/// Arity of an atomic computation.
+int OpArity(OpKind op);
+
+/// The type specification function a.f of Section 3: output type from
+/// input types, or TypeError (the paper's ⊥) when the op cannot accept
+/// the input types.
+Result<MatrixType> InferOutputType(OpKind op,
+                                   const std::vector<MatrixType>& inputs);
+
+/// One vertex of a compute graph. Source vertices (op == kInput) carry a
+/// concrete physical format and the data sparsity; inner vertices carry an
+/// atomic computation whose output type is inferred.
+struct Vertex {
+  OpKind op = OpKind::kInput;
+  std::vector<int> inputs;       // argument vertex ids, in argument order
+  MatrixType type;
+  FormatId input_format = kNoFormat;  // only for source vertices
+  double sparsity = 1.0;              // estimated non-zero fraction
+  double scalar = 0.0;                // attribute for kScalarMul
+  std::string name;
+};
+
+/// A compute graph (Section 4.1): a DAG whose sources are input matrices
+/// and whose inner vertices are atomic computations. Vertices are stored
+/// in a valid topological order by construction (an op may only reference
+/// previously added vertices).
+class ComputeGraph {
+ public:
+  /// Adds an input matrix with a known physical format.
+  int AddInput(const MatrixType& type, FormatId format, std::string name,
+               double sparsity = 1.0);
+
+  /// Adds an operation vertex; infers and checks the output type.
+  Result<int> AddOp(OpKind op, std::vector<int> inputs, std::string name = "",
+                    double scalar = 0.0);
+
+  int num_vertices() const { return static_cast<int>(vertices_.size()); }
+  const Vertex& vertex(int id) const { return vertices_[id]; }
+  Vertex& vertex(int id) { return vertices_[id]; }
+  const std::vector<Vertex>& vertices() const { return vertices_; }
+
+  /// Vertices with no consumers (the computation outputs).
+  std::vector<int> Sinks() const;
+
+  /// Consumers of each vertex, in vertex order.
+  std::vector<std::vector<int>> BuildConsumers() const;
+
+  /// True when every vertex has at most one out-edge, i.e. the graph is
+  /// tree-shaped in the paper's sense (Section 5) and the tree DP applies.
+  bool IsTree() const;
+
+  /// For every vertex, the set of its ancestors (including itself) as a
+  /// bitset over vertex ids. Used by the frontier algorithm's equivalence
+  /// classes.
+  std::vector<std::vector<uint64_t>> AncestorBitsets() const;
+
+  /// Human-readable dump for debugging and examples.
+  std::string ToString() const;
+
+ private:
+  std::vector<Vertex> vertices_;
+};
+
+/// Returns true when ancestor bitsets `a` and `b` intersect.
+bool BitsetsIntersect(const std::vector<uint64_t>& a,
+                      const std::vector<uint64_t>& b);
+
+/// Error-latching convenience builder: `Op` returns vertex ids directly and
+/// records the first failure; `Finish` surfaces it. Keeps large graph
+/// constructions (the 57-vertex FFNN) readable.
+class GraphBuilder {
+ public:
+  int Input(const MatrixType& type, FormatId format, std::string name,
+            double sparsity = 1.0) {
+    return graph_.AddInput(type, format, std::move(name), sparsity);
+  }
+
+  int Op(OpKind op, std::vector<int> inputs, std::string name = "",
+         double scalar = 0.0) {
+    if (!status_.ok()) return -1;
+    Result<int> id =
+        graph_.AddOp(op, std::move(inputs), std::move(name), scalar);
+    if (!id.ok()) {
+      status_ = id.status();
+      return -1;
+    }
+    return id.value();
+  }
+
+  const Status& status() const { return status_; }
+
+  Result<ComputeGraph> Finish() {
+    if (!status_.ok()) return status_;
+    return std::move(graph_);
+  }
+
+ private:
+  ComputeGraph graph_;
+  Status status_;
+};
+
+}  // namespace matopt
+
+#endif  // MATOPT_CORE_GRAPH_GRAPH_H_

@@ -1,0 +1,635 @@
+#include "core/ops/catalog.h"
+
+#include <algorithm>
+
+namespace matopt {
+
+namespace {
+
+const Format& FormatOf(FormatId id) { return BuiltinFormats()[id]; }
+
+bool IsDense(FormatId id) { return !FormatOf(id).sparse(); }
+
+bool IsLayout(FormatId id, Layout layout) {
+  return FormatOf(id).layout == layout;
+}
+
+double DenseBytes(const ArgInfo& a) { return a.type.DenseBytes(); }
+
+double StoredBytes(const ArgInfo& a) {
+  return ComputeFormatStats(a.type, FormatOf(a.format), a.sparsity)
+      .total_bytes;
+}
+
+}  // namespace
+
+const char* ImplKindName(ImplKind kind) {
+  switch (kind) {
+    case ImplKind::kMmSingleSingle: return "mm:single*single";
+    case ImplKind::kMmRowStripsXBcastSingle: return "mm:rowstrips*bcast-single";
+    case ImplKind::kMmBcastSingleXColStrips: return "mm:bcast-single*colstrips";
+    case ImplKind::kMmCrossStrips: return "mm:rowstrips*colstrips-cross";
+    case ImplKind::kMmTilesShuffle: return "mm:tiles-shuffle";
+    case ImplKind::kMmBcastTilesXTiles: return "mm:bcast-tiles*tiles";
+    case ImplKind::kMmTilesXBcastTiles: return "mm:tiles*bcast-tiles";
+    case ImplKind::kMmColStripsXRowStripsOuterSum:
+      return "mm:colstrips*rowstrips-outer-sum";
+    case ImplKind::kMmRowStripsXBcastColStrips:
+      return "mm:rowstrips*bcast-colstrips";
+    case ImplKind::kMmSpRowStripsXBcastSingle:
+      return "mm:sp-rowstrips*bcast-single";
+    case ImplKind::kMmSpRowStripsXTiles: return "mm:sp-rowstrips*tiles";
+    case ImplKind::kMmSpSingleXSingle: return "mm:sp-single*single";
+    case ImplKind::kMmSpSingleXColStrips: return "mm:bcast-sp-single*colstrips";
+    case ImplKind::kAddZip: return "add:zip";
+    case ImplKind::kSubZip: return "sub:zip";
+    case ImplKind::kHadamardZip: return "hadamard:zip";
+    case ImplKind::kElemDivZip: return "elemdiv:zip";
+    case ImplKind::kAddSparseZip: return "add:sparse-zip";
+    case ImplKind::kScalarMulMap: return "scalar_mul:map";
+    case ImplKind::kTransposeSingle: return "transpose:single";
+    case ImplKind::kTransposeRowToCol: return "transpose:row->col";
+    case ImplKind::kTransposeColToRow: return "transpose:col->row";
+    case ImplKind::kTransposeTiles: return "transpose:tiles";
+    case ImplKind::kReluMap: return "relu:map";
+    case ImplKind::kReluGradZip: return "relu_grad:zip";
+    case ImplKind::kSoftmaxRowStrips: return "softmax:rowstrips";
+    case ImplKind::kSoftmaxSingle: return "softmax:single";
+    case ImplKind::kSigmoidMap: return "sigmoid:map";
+    case ImplKind::kExpMap: return "exp:map";
+    case ImplKind::kRowSumRowStrips: return "row_sum:rowstrips";
+    case ImplKind::kRowSumTilesAgg: return "row_sum:tiles-agg";
+    case ImplKind::kRowSumSingle: return "row_sum:single";
+    case ImplKind::kColSumColStrips: return "col_sum:colstrips";
+    case ImplKind::kColSumTilesAgg: return "col_sum:tiles-agg";
+    case ImplKind::kColSumSingle: return "col_sum:single";
+    case ImplKind::kBroadcastRowAddBcastVec: return "bra:bcast-vec";
+    case ImplKind::kInverseSingleLu: return "inverse:single-lu";
+    case ImplKind::kInverseGatherLu: return "inverse:gather-lu";
+    case ImplKind::kGpuMmSingleSingle: return "gpu-mm:single*single";
+    case ImplKind::kGpuMmRowStripsXBcastSingle:
+      return "gpu-mm:rowstrips*bcast-single";
+    case ImplKind::kGpuMmBcastSingleXColStrips:
+      return "gpu-mm:bcast-single*colstrips";
+    case ImplKind::kGpuInverseSingleLu: return "gpu-inverse:single-lu";
+  }
+  return "unknown-impl";
+}
+
+const char* TransformKindName(TransformKind kind) {
+  static const char* kNames[kNumTransforms] = {
+      "to:single",          "to:row-strips(100)",  "to:row-strips(1000)",
+      "to:row-strips(10000)", "to:col-strips(100)", "to:col-strips(1000)",
+      "to:col-strips(10000)", "to:tiles(100)",      "to:tiles(1000)",
+      "to:tiles(10000)",      "to:tiles(100x1000)", "to:tiles(1000x100)",
+      "to:tiles(100x10000)",  "to:tiles(10000x100)", "to:tiles(1000x10000)",
+      "to:tiles(10000x1000)", "dense->sp-single-csr", "dense->sp-coo",
+      "dense->sp-row-strips(1000)", "sparse->dense"};
+  int idx = static_cast<int>(kind);
+  if (idx < 0 || idx >= kNumTransforms) return "unknown-transform";
+  return kNames[idx];
+}
+
+OpKind ImplOp(ImplKind kind) {
+  switch (kind) {
+    case ImplKind::kMmSingleSingle:
+    case ImplKind::kMmRowStripsXBcastSingle:
+    case ImplKind::kMmBcastSingleXColStrips:
+    case ImplKind::kMmCrossStrips:
+    case ImplKind::kMmTilesShuffle:
+    case ImplKind::kMmBcastTilesXTiles:
+    case ImplKind::kMmTilesXBcastTiles:
+    case ImplKind::kMmColStripsXRowStripsOuterSum:
+    case ImplKind::kMmRowStripsXBcastColStrips:
+    case ImplKind::kMmSpRowStripsXBcastSingle:
+    case ImplKind::kMmSpRowStripsXTiles:
+    case ImplKind::kMmSpSingleXSingle:
+    case ImplKind::kMmSpSingleXColStrips:
+      return OpKind::kMatMul;
+    case ImplKind::kAddZip:
+    case ImplKind::kAddSparseZip:
+      return OpKind::kAdd;
+    case ImplKind::kSubZip: return OpKind::kSub;
+    case ImplKind::kHadamardZip: return OpKind::kHadamard;
+    case ImplKind::kElemDivZip: return OpKind::kElemDiv;
+    case ImplKind::kScalarMulMap: return OpKind::kScalarMul;
+    case ImplKind::kTransposeSingle:
+    case ImplKind::kTransposeRowToCol:
+    case ImplKind::kTransposeColToRow:
+    case ImplKind::kTransposeTiles:
+      return OpKind::kTranspose;
+    case ImplKind::kReluMap: return OpKind::kRelu;
+    case ImplKind::kReluGradZip: return OpKind::kReluGrad;
+    case ImplKind::kSoftmaxRowStrips:
+    case ImplKind::kSoftmaxSingle:
+      return OpKind::kSoftmax;
+    case ImplKind::kSigmoidMap: return OpKind::kSigmoid;
+    case ImplKind::kExpMap: return OpKind::kExp;
+    case ImplKind::kRowSumRowStrips:
+    case ImplKind::kRowSumTilesAgg:
+    case ImplKind::kRowSumSingle:
+      return OpKind::kRowSum;
+    case ImplKind::kColSumColStrips:
+    case ImplKind::kColSumTilesAgg:
+    case ImplKind::kColSumSingle:
+      return OpKind::kColSum;
+    case ImplKind::kBroadcastRowAddBcastVec:
+      return OpKind::kBroadcastRowAdd;
+    case ImplKind::kInverseSingleLu:
+    case ImplKind::kInverseGatherLu:
+    case ImplKind::kGpuInverseSingleLu:
+      return OpKind::kInverse;
+    case ImplKind::kGpuMmSingleSingle:
+    case ImplKind::kGpuMmRowStripsXBcastSingle:
+    case ImplKind::kGpuMmBcastSingleXColStrips:
+      return OpKind::kMatMul;
+  }
+  return OpKind::kInput;
+}
+
+ImplClass ImplClassOf(ImplKind kind) {
+  switch (kind) {
+    case ImplKind::kGpuMmSingleSingle:
+    case ImplKind::kGpuMmRowStripsXBcastSingle:
+    case ImplKind::kGpuMmBcastSingleXColStrips:
+    case ImplKind::kGpuInverseSingleLu:
+      return ImplClass::kGpu;
+    case ImplKind::kMmSingleSingle:
+    case ImplKind::kMmSpSingleXSingle:
+    case ImplKind::kTransposeSingle:
+    case ImplKind::kSoftmaxSingle:
+    case ImplKind::kRowSumSingle:
+    case ImplKind::kColSumSingle:
+    case ImplKind::kInverseSingleLu:
+      return ImplClass::kLocal;
+    case ImplKind::kMmRowStripsXBcastSingle:
+    case ImplKind::kMmBcastSingleXColStrips:
+    case ImplKind::kMmBcastTilesXTiles:
+    case ImplKind::kMmTilesXBcastTiles:
+    case ImplKind::kMmRowStripsXBcastColStrips:
+    case ImplKind::kMmSpRowStripsXBcastSingle:
+    case ImplKind::kMmSpSingleXColStrips:
+    case ImplKind::kBroadcastRowAddBcastVec:
+      return ImplClass::kBroadcastJoin;
+    case ImplKind::kMmCrossStrips:
+    case ImplKind::kMmTilesShuffle:
+    case ImplKind::kMmSpRowStripsXTiles:
+    case ImplKind::kTransposeTiles:
+      return ImplClass::kShuffleJoin;
+    case ImplKind::kMmColStripsXRowStripsOuterSum:
+    case ImplKind::kRowSumTilesAgg:
+    case ImplKind::kColSumTilesAgg:
+    case ImplKind::kInverseGatherLu:
+      return ImplClass::kAggregation;
+    default:
+      return ImplClass::kMap;
+  }
+}
+
+std::vector<ImplKind> Catalog::AllImpls() {
+  std::vector<ImplKind> out;
+  out.reserve(kNumImpls);
+  for (int i = 0; i < kNumImpls; ++i) out.push_back(static_cast<ImplKind>(i));
+  return out;
+}
+
+std::vector<ImplKind> Catalog::GpuImpls() {
+  std::vector<ImplKind> out;
+  out.reserve(kNumGpuImpls);
+  for (int i = kNumImpls; i < kNumImpls + kNumGpuImpls; ++i) {
+    out.push_back(static_cast<ImplKind>(i));
+  }
+  return out;
+}
+
+std::vector<TransformKind> Catalog::AllTransforms() {
+  std::vector<TransformKind> out;
+  out.reserve(kNumTransforms);
+  for (int i = 0; i < kNumTransforms; ++i) {
+    out.push_back(static_cast<TransformKind>(i));
+  }
+  return out;
+}
+
+Catalog::Catalog(std::vector<FormatId> enabled_formats)
+    : enabled_(std::move(enabled_formats)),
+      enabled_mask_(BuiltinFormats().size(), false),
+      impls_by_op_(kNumAtomicComputations + 1) {
+  for (FormatId id : enabled_) enabled_mask_[id] = true;
+  for (ImplKind kind : AllImpls()) {
+    impls_by_op_[static_cast<int>(ImplOp(kind))].push_back(kind);
+  }
+  // GPU variants are always listed; their i.f returns ⊥ on clusters
+  // without accelerators, so they only ever fire when usable.
+  for (ImplKind kind : GpuImpls()) {
+    impls_by_op_[static_cast<int>(ImplOp(kind))].push_back(kind);
+  }
+}
+
+bool Catalog::FormatEnabled(FormatId id) const {
+  return id >= 0 && id < static_cast<FormatId>(enabled_mask_.size()) &&
+         enabled_mask_[id];
+}
+
+const std::vector<ImplKind>& Catalog::ImplsFor(OpKind op) const {
+  return impls_by_op_[static_cast<int>(op)];
+}
+
+FormatId Catalog::FindFormat(const Format& format) const {
+  const std::vector<Format>& all = BuiltinFormats();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == format && enabled_mask_[i]) {
+      return static_cast<FormatId>(i);
+    }
+  }
+  return kNoFormat;
+}
+
+namespace {
+
+/// Checks that `id` names an enabled format applicable to (`m`, sparsity).
+FormatId CheckedFormat(const Catalog& catalog, FormatId id,
+                       const MatrixType& m, double sparsity,
+                       const ClusterConfig& cluster) {
+  if (id == kNoFormat || !catalog.FormatEnabled(id)) return kNoFormat;
+  if (!FormatApplicable(BuiltinFormats()[id], m, cluster.single_tuple_cap_bytes,
+                        sparsity)) {
+    return kNoFormat;
+  }
+  return id;
+}
+
+}  // namespace
+
+std::optional<FormatId> Catalog::ImplOutputFormat(
+    ImplKind kind, const std::vector<ArgInfo>& args,
+    const ClusterConfig& cluster) const {
+  auto ok = [&](FormatId id, const MatrixType& m,
+                double sparsity = 1.0) -> std::optional<FormatId> {
+    FormatId checked = CheckedFormat(*this, id, m, sparsity, cluster);
+    if (checked == kNoFormat) return std::nullopt;
+    return checked;
+  };
+  auto find = [&](const Format& f) { return FindFormat(f); };
+
+  switch (kind) {
+    // ---------------- MatMul ----------------
+    case ImplKind::kMmSingleSingle: {
+      const ArgInfo& a = args[0];
+      const ArgInfo& b = args[1];
+      if (!IsLayout(a.format, Layout::kSingleTuple) ||
+          !IsLayout(b.format, Layout::kSingleTuple)) {
+        return std::nullopt;
+      }
+      MatrixType out(a.type.rows(), b.type.cols());
+      return ok(find({Layout::kSingleTuple, 0, 0}), out);
+    }
+    case ImplKind::kMmRowStripsXBcastSingle: {
+      const ArgInfo& a = args[0];
+      const ArgInfo& b = args[1];
+      if (!IsLayout(a.format, Layout::kRowStrips) ||
+          !IsLayout(b.format, Layout::kSingleTuple)) {
+        return std::nullopt;
+      }
+      if (DenseBytes(b) > cluster.broadcast_cap_bytes) return std::nullopt;
+      MatrixType out(a.type.rows(), b.type.cols());
+      return ok(find({Layout::kRowStrips, FormatOf(a.format).p1, 0}), out);
+    }
+    case ImplKind::kMmBcastSingleXColStrips: {
+      const ArgInfo& a = args[0];
+      const ArgInfo& b = args[1];
+      if (!IsLayout(a.format, Layout::kSingleTuple) ||
+          !IsLayout(b.format, Layout::kColStrips)) {
+        return std::nullopt;
+      }
+      if (DenseBytes(a) > cluster.broadcast_cap_bytes) return std::nullopt;
+      MatrixType out(a.type.rows(), b.type.cols());
+      return ok(find({Layout::kColStrips, FormatOf(b.format).p1, 0}), out);
+    }
+    case ImplKind::kMmCrossStrips: {
+      const ArgInfo& a = args[0];
+      const ArgInfo& b = args[1];
+      if (!IsLayout(a.format, Layout::kRowStrips) ||
+          !IsLayout(b.format, Layout::kColStrips)) {
+        return std::nullopt;
+      }
+      MatrixType out(a.type.rows(), b.type.cols());
+      return ok(find({Layout::kTiles, FormatOf(a.format).p1,
+                      FormatOf(b.format).p1}),
+                out);
+    }
+    case ImplKind::kMmTilesShuffle: {
+      const ArgInfo& a = args[0];
+      const ArgInfo& b = args[1];
+      if (!IsLayout(a.format, Layout::kTiles) ||
+          !IsLayout(b.format, Layout::kTiles)) {
+        return std::nullopt;
+      }
+      if (FormatOf(a.format).p2 != FormatOf(b.format).p1) return std::nullopt;
+      MatrixType out(a.type.rows(), b.type.cols());
+      return ok(find({Layout::kTiles, FormatOf(a.format).p1,
+                      FormatOf(b.format).p2}),
+                out);
+    }
+    case ImplKind::kMmBcastTilesXTiles: {
+      const ArgInfo& a = args[0];
+      const ArgInfo& b = args[1];
+      if (!IsLayout(a.format, Layout::kTiles) ||
+          !IsLayout(b.format, Layout::kTiles)) {
+        return std::nullopt;
+      }
+      if (FormatOf(a.format).p2 != FormatOf(b.format).p1) return std::nullopt;
+      if (DenseBytes(a) > cluster.broadcast_cap_bytes) return std::nullopt;
+      MatrixType out(a.type.rows(), b.type.cols());
+      return ok(find({Layout::kTiles, FormatOf(a.format).p1,
+                      FormatOf(b.format).p2}),
+                out);
+    }
+    case ImplKind::kMmTilesXBcastTiles: {
+      const ArgInfo& a = args[0];
+      const ArgInfo& b = args[1];
+      if (!IsLayout(a.format, Layout::kTiles) ||
+          !IsLayout(b.format, Layout::kTiles)) {
+        return std::nullopt;
+      }
+      if (FormatOf(a.format).p2 != FormatOf(b.format).p1) return std::nullopt;
+      if (DenseBytes(b) > cluster.broadcast_cap_bytes) return std::nullopt;
+      MatrixType out(a.type.rows(), b.type.cols());
+      return ok(find({Layout::kTiles, FormatOf(a.format).p1,
+                      FormatOf(b.format).p2}),
+                out);
+    }
+    case ImplKind::kMmColStripsXRowStripsOuterSum: {
+      const ArgInfo& a = args[0];
+      const ArgInfo& b = args[1];
+      if (!IsLayout(a.format, Layout::kColStrips) ||
+          !IsLayout(b.format, Layout::kRowStrips)) {
+        return std::nullopt;
+      }
+      if (FormatOf(a.format).p1 != FormatOf(b.format).p1) return std::nullopt;
+      MatrixType out(a.type.rows(), b.type.cols());
+      return ok(find({Layout::kSingleTuple, 0, 0}), out);
+    }
+    case ImplKind::kMmRowStripsXBcastColStrips: {
+      const ArgInfo& a = args[0];
+      const ArgInfo& b = args[1];
+      if (!IsLayout(a.format, Layout::kRowStrips) ||
+          !IsLayout(b.format, Layout::kColStrips)) {
+        return std::nullopt;
+      }
+      if (DenseBytes(b) > cluster.broadcast_cap_bytes) return std::nullopt;
+      MatrixType out(a.type.rows(), b.type.cols());
+      return ok(find({Layout::kRowStrips, FormatOf(a.format).p1, 0}), out);
+    }
+    case ImplKind::kMmSpRowStripsXBcastSingle: {
+      const ArgInfo& a = args[0];
+      const ArgInfo& b = args[1];
+      if (!IsLayout(a.format, Layout::kSpRowStripsCsr) ||
+          !IsLayout(b.format, Layout::kSingleTuple)) {
+        return std::nullopt;
+      }
+      if (DenseBytes(b) > cluster.broadcast_cap_bytes) return std::nullopt;
+      MatrixType out(a.type.rows(), b.type.cols());
+      return ok(find({Layout::kRowStrips, FormatOf(a.format).p1, 0}), out);
+    }
+    case ImplKind::kMmSpRowStripsXTiles: {
+      const ArgInfo& a = args[0];
+      const ArgInfo& b = args[1];
+      if (!IsLayout(a.format, Layout::kSpRowStripsCsr) ||
+          !IsLayout(b.format, Layout::kTiles)) {
+        return std::nullopt;
+      }
+      MatrixType out(a.type.rows(), b.type.cols());
+      // The k-dimension of the sparse strips is chunked by the rhs tile
+      // height; the result is dense row strips of the lhs strip height
+      // after the group-by SUM.
+      return ok(find({Layout::kRowStrips, FormatOf(a.format).p1, 0}), out);
+    }
+    case ImplKind::kMmSpSingleXSingle: {
+      const ArgInfo& a = args[0];
+      const ArgInfo& b = args[1];
+      if (!IsLayout(a.format, Layout::kSpSingleCsr) ||
+          !IsLayout(b.format, Layout::kSingleTuple)) {
+        return std::nullopt;
+      }
+      MatrixType out(a.type.rows(), b.type.cols());
+      return ok(find({Layout::kSingleTuple, 0, 0}), out);
+    }
+    case ImplKind::kMmSpSingleXColStrips: {
+      const ArgInfo& a = args[0];
+      const ArgInfo& b = args[1];
+      if (!IsLayout(a.format, Layout::kSpSingleCsr) ||
+          !IsLayout(b.format, Layout::kColStrips)) {
+        return std::nullopt;
+      }
+      if (StoredBytes(a) > cluster.broadcast_cap_bytes) return std::nullopt;
+      MatrixType out(a.type.rows(), b.type.cols());
+      return ok(find({Layout::kColStrips, FormatOf(b.format).p1, 0}), out);
+    }
+    // ---------------- element-wise binary ----------------
+    case ImplKind::kAddZip:
+    case ImplKind::kSubZip:
+    case ImplKind::kHadamardZip:
+    case ImplKind::kElemDivZip:
+    case ImplKind::kReluGradZip: {
+      const ArgInfo& a = args[0];
+      const ArgInfo& b = args[1];
+      if (a.format != b.format || !IsDense(a.format)) return std::nullopt;
+      return ok(a.format, a.type);
+    }
+    case ImplKind::kAddSparseZip: {
+      const ArgInfo& a = args[0];
+      const ArgInfo& b = args[1];
+      if (a.format != b.format || IsDense(a.format)) return std::nullopt;
+      return ok(a.format, a.type, std::min(1.0, a.sparsity + b.sparsity));
+    }
+    // ---------------- maps ----------------
+    case ImplKind::kScalarMulMap:
+      return ok(args[0].format, args[0].type, args[0].sparsity);
+    case ImplKind::kReluMap:
+    case ImplKind::kSigmoidMap:
+    case ImplKind::kExpMap: {
+      if (!IsDense(args[0].format)) return std::nullopt;
+      return ok(args[0].format, args[0].type);
+    }
+    // ---------------- transpose ----------------
+    case ImplKind::kTransposeSingle: {
+      if (!IsLayout(args[0].format, Layout::kSingleTuple)) return std::nullopt;
+      MatrixType out(args[0].type.cols(), args[0].type.rows());
+      return ok(args[0].format, out);
+    }
+    case ImplKind::kTransposeRowToCol: {
+      if (!IsLayout(args[0].format, Layout::kRowStrips)) return std::nullopt;
+      MatrixType out(args[0].type.cols(), args[0].type.rows());
+      return ok(find({Layout::kColStrips, FormatOf(args[0].format).p1, 0}),
+                out);
+    }
+    case ImplKind::kTransposeColToRow: {
+      if (!IsLayout(args[0].format, Layout::kColStrips)) return std::nullopt;
+      MatrixType out(args[0].type.cols(), args[0].type.rows());
+      return ok(find({Layout::kRowStrips, FormatOf(args[0].format).p1, 0}),
+                out);
+    }
+    case ImplKind::kTransposeTiles: {
+      if (!IsLayout(args[0].format, Layout::kTiles)) return std::nullopt;
+      MatrixType out(args[0].type.cols(), args[0].type.rows());
+      return ok(find({Layout::kTiles, FormatOf(args[0].format).p2,
+                      FormatOf(args[0].format).p1}),
+                out);
+    }
+    // ---------------- softmax ----------------
+    case ImplKind::kSoftmaxRowStrips: {
+      if (!IsLayout(args[0].format, Layout::kRowStrips)) return std::nullopt;
+      return ok(args[0].format, args[0].type);
+    }
+    case ImplKind::kSoftmaxSingle: {
+      if (!IsLayout(args[0].format, Layout::kSingleTuple)) return std::nullopt;
+      return ok(args[0].format, args[0].type);
+    }
+    // ---------------- reductions ----------------
+    case ImplKind::kRowSumRowStrips: {
+      if (!IsLayout(args[0].format, Layout::kRowStrips)) return std::nullopt;
+      MatrixType out(args[0].type.rows(), 1);
+      return ok(args[0].format, out);
+    }
+    case ImplKind::kRowSumTilesAgg: {
+      if (!IsLayout(args[0].format, Layout::kTiles)) return std::nullopt;
+      MatrixType out(args[0].type.rows(), 1);
+      return ok(find({Layout::kRowStrips, FormatOf(args[0].format).p1, 0}),
+                out);
+    }
+    case ImplKind::kRowSumSingle: {
+      if (!IsLayout(args[0].format, Layout::kSingleTuple)) return std::nullopt;
+      MatrixType out(args[0].type.rows(), 1);
+      return ok(args[0].format, out);
+    }
+    case ImplKind::kColSumColStrips: {
+      if (!IsLayout(args[0].format, Layout::kColStrips)) return std::nullopt;
+      MatrixType out(1, args[0].type.cols());
+      return ok(args[0].format, out);
+    }
+    case ImplKind::kColSumTilesAgg: {
+      if (!IsLayout(args[0].format, Layout::kTiles)) return std::nullopt;
+      MatrixType out(1, args[0].type.cols());
+      return ok(find({Layout::kColStrips, FormatOf(args[0].format).p2, 0}),
+                out);
+    }
+    case ImplKind::kColSumSingle: {
+      if (!IsLayout(args[0].format, Layout::kSingleTuple)) return std::nullopt;
+      MatrixType out(1, args[0].type.cols());
+      return ok(args[0].format, out);
+    }
+    // ---------------- broadcast row add ----------------
+    case ImplKind::kBroadcastRowAddBcastVec: {
+      const ArgInfo& a = args[0];
+      const ArgInfo& b = args[1];
+      if (!IsDense(a.format) || !IsLayout(b.format, Layout::kSingleTuple)) {
+        return std::nullopt;
+      }
+      if (DenseBytes(b) > cluster.broadcast_cap_bytes) return std::nullopt;
+      return ok(a.format, a.type);
+    }
+    // ---------------- inverse ----------------
+    case ImplKind::kInverseSingleLu: {
+      if (!IsLayout(args[0].format, Layout::kSingleTuple)) return std::nullopt;
+      return ok(args[0].format, args[0].type);
+    }
+    case ImplKind::kInverseGatherLu: {
+      Layout l = FormatOf(args[0].format).layout;
+      if (l != Layout::kRowStrips && l != Layout::kColStrips &&
+          l != Layout::kTiles) {
+        return std::nullopt;
+      }
+      return ok(FindFormat({Layout::kSingleTuple, 0, 0}), args[0].type);
+    }
+    // GPU variants: require an accelerator and that the per-device working
+    // set (largest operand tuples plus the output chunk) fits GPU memory —
+    // the paper's Section 4.2 hardware-awareness example.
+    case ImplKind::kGpuMmSingleSingle:
+    case ImplKind::kGpuMmRowStripsXBcastSingle:
+    case ImplKind::kGpuMmBcastSingleXColStrips:
+    case ImplKind::kGpuInverseSingleLu: {
+      if (cluster.gpus_per_worker <= 0) return std::nullopt;
+      double device_bytes = 0.0;
+      for (const ArgInfo& a : args) {
+        device_bytes +=
+            ComputeFormatStats(a.type, FormatOf(a.format), a.sparsity)
+                .max_tuple_bytes;
+      }
+      ImplKind twin = kind == ImplKind::kGpuMmSingleSingle
+                          ? ImplKind::kMmSingleSingle
+                      : kind == ImplKind::kGpuMmRowStripsXBcastSingle
+                          ? ImplKind::kMmRowStripsXBcastSingle
+                      : kind == ImplKind::kGpuMmBcastSingleXColStrips
+                          ? ImplKind::kMmBcastSingleXColStrips
+                          : ImplKind::kInverseSingleLu;
+      auto out = ImplOutputFormat(twin, args, cluster);
+      if (!out.has_value()) return std::nullopt;
+      double out_rows = ImplOp(kind) == OpKind::kInverse
+                            ? static_cast<double>(args[0].type.rows())
+                            : static_cast<double>(args[0].type.rows());
+      double out_cols = ImplOp(kind) == OpKind::kInverse
+                            ? static_cast<double>(args[0].type.cols())
+                            : static_cast<double>(args[1].type.cols());
+      MatrixType out_type(static_cast<int64_t>(out_rows),
+                          static_cast<int64_t>(out_cols));
+      device_bytes +=
+          ComputeFormatStats(out_type, FormatOf(*out), 1.0).max_tuple_bytes;
+      if (device_bytes > cluster.gpu_mem_bytes) return std::nullopt;
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<FormatId> Catalog::TransformOutputFormat(
+    TransformKind kind, const ArgInfo& arg,
+    const ClusterConfig& cluster) const {
+  int idx = static_cast<int>(kind);
+  auto checked = [&](FormatId id, double sparsity) -> std::optional<FormatId> {
+    FormatId c = CheckedFormat(*this, id, arg.type, sparsity, cluster);
+    if (c == kNoFormat) return std::nullopt;
+    return c;
+  };
+  if (idx <= static_cast<int>(TransformKind::kToDense15)) {
+    // Re-chunk a dense matrix into the dense builtin format with the same
+    // index. Not applicable when the source is sparse or already there.
+    if (!IsDense(arg.format)) return std::nullopt;
+    FormatId target = static_cast<FormatId>(idx);
+    if (target == arg.format) return std::nullopt;
+    return checked(target, 1.0);
+  }
+  switch (kind) {
+    case TransformKind::kDenseToSpSingleCsr:
+      if (!IsDense(arg.format)) return std::nullopt;
+      return checked(FindFormat({Layout::kSpSingleCsr, 0, 0}), arg.sparsity);
+    case TransformKind::kDenseToSpCoo:
+      if (!IsDense(arg.format)) return std::nullopt;
+      return checked(FindFormat({Layout::kSpCoo, 0, 0}), arg.sparsity);
+    case TransformKind::kDenseToSpRowStrips1000:
+      if (!IsDense(arg.format)) return std::nullopt;
+      return checked(FindFormat({Layout::kSpRowStripsCsr, 1000, 0}),
+                     arg.sparsity);
+    case TransformKind::kSparseToDense: {
+      const Format& f = FormatOf(arg.format);
+      switch (f.layout) {
+        case Layout::kSpSingleCsr:
+          return checked(FindFormat({Layout::kSingleTuple, 0, 0}), 1.0);
+        case Layout::kSpCoo:
+          return checked(FindFormat({Layout::kTiles, 1000, 1000}), 1.0);
+        case Layout::kSpRowStripsCsr:
+          return checked(FindFormat({Layout::kRowStrips, f.p1, 0}), 1.0);
+        case Layout::kSpColStripsCsc:
+          return checked(FindFormat({Layout::kColStrips, f.p1, 0}), 1.0);
+        case Layout::kSpTilesCsr:
+          return checked(FindFormat({Layout::kTiles, f.p1, f.p1}), 1.0);
+        default:
+          return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace matopt

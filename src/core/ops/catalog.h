@@ -1,0 +1,223 @@
+#ifndef MATOPT_CORE_OPS_CATALOG_H_
+#define MATOPT_CORE_OPS_CATALOG_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/format/format.h"
+#include "core/format/matrix_type.h"
+#include "core/graph/graph.h"
+#include "engine/cluster.h"
+
+namespace matopt {
+
+/// One argument to an atomic computation implementation: the matrix type,
+/// its physical implementation, and the estimated non-zero fraction.
+struct ArgInfo {
+  MatrixType type;
+  FormatId format = kNoFormat;
+  double sparsity = 1.0;
+};
+
+/// The 38 atomic computation implementations of the prototype. Each value
+/// is one concrete distributed algorithm; `Catalog::ImplOutputFormat` is
+/// its type specification function i.f : (M x P)^n -> P ∪ {⊥} and
+/// `Catalog::ImplFeatures` yields the analytic cost features of Section 7.
+enum class ImplKind {
+  // --- MatMul (13) ---
+  kMmSingleSingle = 0,       // single x single -> single, local GEMM
+  kMmRowStripsXBcastSingle,  // row-strips x broadcast single -> row-strips
+  kMmBcastSingleXColStrips,  // broadcast single x col-strips -> col-strips
+  kMmCrossStrips,            // row-strips x col-strips -> tiles, no agg
+  kMmTilesShuffle,           // tiles x tiles shuffle join + group-by SUM
+  kMmBcastTilesXTiles,       // broadcast small tiled lhs, local pre-agg
+  kMmTilesXBcastTiles,       // broadcast small tiled rhs, local pre-agg
+  kMmColStripsXRowStripsOuterSum,  // outer products, SUM -> single
+  kMmRowStripsXBcastColStrips,     // broadcast whole col-striped rhs
+  kMmSpRowStripsXBcastSingle,      // sparse CSR strips x broadcast single
+  kMmSpRowStripsXTiles,            // sparse CSR strips x tiles, shuffle+agg
+  kMmSpSingleXSingle,              // local SpMM
+  kMmSpSingleXColStrips,           // broadcast sparse lhs x col-strips
+  // --- element-wise binary (5) ---
+  kAddZip,       // co-partitioned zip join, matching dense formats
+  kSubZip,
+  kHadamardZip,
+  kElemDivZip,
+  kAddSparseZip,  // matching sparse formats -> sparse
+  // --- scalar multiply (1) ---
+  kScalarMulMap,
+  // --- transpose (4) ---
+  kTransposeSingle,
+  kTransposeRowToCol,  // row-strips(h) -> col-strips(h), local per strip
+  kTransposeColToRow,
+  kTransposeTiles,     // transpose each tile, swap indices (reshuffle)
+  // --- maps and reductions (12) ---
+  kReluMap,
+  kReluGradZip,
+  kSoftmaxRowStrips,
+  kSoftmaxSingle,
+  kSigmoidMap,
+  kExpMap,
+  kRowSumRowStrips,
+  kRowSumTilesAgg,
+  kRowSumSingle,
+  kColSumColStrips,
+  kColSumTilesAgg,
+  kColSumSingle,
+  // --- broadcast row add (1) ---
+  kBroadcastRowAddBcastVec,
+  // --- inverse (2) ---
+  kInverseSingleLu,
+  kInverseGatherLu,
+  // --- GPU variants (extension; Section 4.2's hardware-aware i.f) ---
+  // These mirror CPU implementations but run the arithmetic on a worker's
+  // accelerator. Their type specification function returns ⊥ when the
+  // cluster has no GPUs or when an operand does not fit GPU memory — the
+  // paper's example of hardware-aware feasibility. They are not part of
+  // the 38-implementation census of the SimSQL prototype.
+  kGpuMmSingleSingle,
+  kGpuMmRowStripsXBcastSingle,
+  kGpuMmBcastSingleXColStrips,
+  kGpuInverseSingleLu,
+};
+
+/// The SimSQL prototype's census (the paper's "38 different atomic
+/// computation implementations"); GPU variants are an extension on top.
+inline constexpr int kNumImpls = 38;
+inline constexpr int kNumGpuImpls = 4;
+
+/// The 20 physical matrix transformations of the prototype. The first 16
+/// re-chunk into a specific dense target format (target = the dense
+/// builtin format with the same index); the rest convert between dense and
+/// sparse families. The identity (no-op) transformation is represented by
+/// an absent transform on an edge and is not part of the catalog count.
+enum class TransformKind {
+  kToDense0 = 0,   // -> single tuple (ROWMATRIX/COLMATRIX aggregation)
+  kToDense1,       // -> row-strips(100)
+  kToDense2,       // -> row-strips(1000)
+  kToDense3,       // -> row-strips(10000)
+  kToDense4,       // -> col-strips(100)
+  kToDense5,       // -> col-strips(1000)
+  kToDense6,       // -> col-strips(10000)
+  kToDense7,       // -> tiles(100x100)  (get_tile chunking)
+  kToDense8,       // -> tiles(1000x1000)
+  kToDense9,       // -> tiles(10000x10000)
+  kToDense10,      // -> tiles(100x1000)
+  kToDense11,      // -> tiles(1000x100)
+  kToDense12,      // -> tiles(100x10000)
+  kToDense13,      // -> tiles(10000x100)
+  kToDense14,      // -> tiles(1000x10000)
+  kToDense15,      // -> tiles(10000x1000)
+  kDenseToSpSingleCsr,
+  kDenseToSpCoo,
+  kDenseToSpRowStrips1000,
+  kSparseToDense,  // to the matching dense layout family
+};
+
+inline constexpr int kNumTransforms = 20;
+
+const char* ImplKindName(ImplKind kind);
+const char* TransformKindName(TransformKind kind);
+
+/// Which atomic computation an implementation implements (i.a).
+OpKind ImplOp(ImplKind kind);
+
+/// Coarse execution class of an implementation; the learned cost model of
+/// Section 7 fits one regression per class.
+enum class ImplClass {
+  kLocal = 0,
+  kBroadcastJoin,
+  kShuffleJoin,
+  kAggregation,
+  kMap,
+  kTransform,
+  /// GPU implementations: the `flops` feature is device arithmetic (rated
+  /// at the GPU flop rate) and `inter_bytes` is host<->device transfer
+  /// (rated at PCIe bandwidth).
+  kGpu,
+};
+inline constexpr int kNumImplClasses = 7;
+
+ImplClass ImplClassOf(ImplKind kind);
+
+/// Analytic features describing one atomic computation implementation or
+/// transformation application (Section 7): floating point operations,
+/// worst-case network traffic, worst-case intermediate bytes, tuples
+/// pushed through the computation, output bytes, and the number of
+/// relational operator stages (each stage pays the engine's fixed
+/// latency). `peak_worker_bytes` / `spill_bytes` drive the resource
+/// feasibility check that reproduces the paper's "Fail" entries.
+struct OpFeatures {
+  double flops = 0.0;
+  double net_bytes = 0.0;
+  double inter_bytes = 0.0;
+  double tuples = 0.0;
+  double out_bytes = 0.0;
+  double latency_ops = 1.0;
+  double peak_worker_bytes = 0.0;
+  double spill_bytes = 0.0;
+};
+
+/// The catalog of physical matrix implementations, atomic computation
+/// implementations, and physical matrix transformations available to the
+/// optimizer. A catalog may restrict the usable formats (the Figure 13
+/// experiment runs with 19, 16, and 10 formats).
+class Catalog {
+ public:
+  explicit Catalog(std::vector<FormatId> enabled_formats = AllFormatIds());
+
+  const std::vector<Format>& formats() const { return BuiltinFormats(); }
+  const std::vector<FormatId>& enabled_formats() const { return enabled_; }
+  bool FormatEnabled(FormatId id) const;
+
+  /// The 38 CPU implementations of the prototype census.
+  static std::vector<ImplKind> AllImpls();
+  /// The GPU extension implementations.
+  static std::vector<ImplKind> GpuImpls();
+  /// All 20 transformations.
+  static std::vector<TransformKind> AllTransforms();
+
+  /// Implementations of a given atomic computation (i.a == op).
+  const std::vector<ImplKind>& ImplsFor(OpKind op) const;
+
+  /// i.f — output physical implementation, or nullopt (⊥) when the
+  /// implementation cannot process the given input types/formats on this
+  /// cluster. Purely a type/format check; resource limits are separate.
+  std::optional<FormatId> ImplOutputFormat(ImplKind kind,
+                                           const std::vector<ArgInfo>& args,
+                                           const ClusterConfig& cluster) const;
+
+  /// Analytic features of running `kind` on `args`. Only meaningful when
+  /// ImplOutputFormat returned a format.
+  OpFeatures ImplFeatures(ImplKind kind, const std::vector<ArgInfo>& args,
+                          const ClusterConfig& cluster) const;
+
+  /// True when the implementation's projected per-worker memory and spill
+  /// footprints fit the cluster budgets. The optimizer treats an
+  /// infeasible implementation as ⊥ (the paper's hardware-awareness);
+  /// baseline plans may still execute one and fail at runtime.
+  bool ImplResourceFeasible(ImplKind kind, const std::vector<ArgInfo>& args,
+                            const ClusterConfig& cluster) const;
+
+  /// t.f — output physical implementation of a transformation, or nullopt.
+  std::optional<FormatId> TransformOutputFormat(
+      TransformKind kind, const ArgInfo& arg,
+      const ClusterConfig& cluster) const;
+
+  /// Features of applying a transformation.
+  OpFeatures TransformFeatures(TransformKind kind, const ArgInfo& arg,
+                               const ClusterConfig& cluster) const;
+
+  /// Finds a builtin format by value; kNoFormat when missing or disabled.
+  FormatId FindFormat(const Format& format) const;
+
+ private:
+  std::vector<FormatId> enabled_;
+  std::vector<bool> enabled_mask_;
+  std::vector<std::vector<ImplKind>> impls_by_op_;
+};
+
+}  // namespace matopt
+
+#endif  // MATOPT_CORE_OPS_CATALOG_H_

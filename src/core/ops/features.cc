@@ -1,0 +1,425 @@
+#include <algorithm>
+#include <cmath>
+
+#include "core/ops/catalog.h"
+
+namespace matopt {
+
+// Feature convention: flops / net_bytes / inter_bytes / out_bytes are
+// *per-worker critical-path* quantities — the work of the most loaded
+// worker, matching the engine's max-over-workers stage timing. A local
+// (single-tuple) implementation therefore carries its full FLOP count,
+// while a well-balanced distributed implementation carries total/K.
+// `tuples` stays a cluster-wide total (the engine amortizes the per-tuple
+// overhead across workers), and `latency_ops` counts relational stages.
+
+namespace {
+
+const Format& FormatOf(FormatId id) { return BuiltinFormats()[id]; }
+
+FormatStats Stats(const ArgInfo& a) {
+  return ComputeFormatStats(a.type, FormatOf(a.format), a.sparsity);
+}
+
+double MatMulFlops(const ArgInfo& a, const ArgInfo& b) {
+  double r = static_cast<double>(a.type.rows());
+  double k = static_cast<double>(a.type.cols());
+  double c = static_cast<double>(b.type.cols());
+  double density = FormatOf(a.format).sparse() ? a.sparsity : 1.0;
+  if (FormatOf(b.format).sparse()) density *= b.sparsity;
+  return 2.0 * r * k * c * density;
+}
+
+double OutBytes(const ArgInfo& a, const ArgInfo& b) {
+  return 8.0 * static_cast<double>(a.type.rows()) *
+         static_cast<double>(b.type.cols());
+}
+
+}  // namespace
+
+OpFeatures Catalog::ImplFeatures(ImplKind kind,
+                                 const std::vector<ArgInfo>& args,
+                                 const ClusterConfig& cluster) const {
+  OpFeatures f;
+  const double kWorkers = static_cast<double>(cluster.num_workers);
+
+  FormatStats sa = Stats(args[0]);
+  FormatStats sb = args.size() > 1 ? Stats(args[1]) : FormatStats{};
+  const double entries_a = static_cast<double>(args[0].type.NumEntries());
+  // Effective parallelism of per-tuple work over the first argument.
+  const double par_a =
+      std::min(kWorkers, std::max<double>(1.0, static_cast<double>(
+                                                   sa.num_tuples)));
+  const double par_b =
+      std::min(kWorkers, std::max<double>(1.0, static_cast<double>(
+                                                   sb.num_tuples)));
+
+  switch (kind) {
+    // ---------------- MatMul ----------------
+    case ImplKind::kMmSingleSingle:
+    case ImplKind::kMmSpSingleXSingle: {
+      // Entirely local: one worker does all the arithmetic.
+      f.flops = MatMulFlops(args[0], args[1]);
+      f.net_bytes = sb.total_bytes;
+      f.tuples = 3;
+      f.out_bytes = OutBytes(args[0], args[1]);
+      f.latency_ops = 1;
+      f.peak_worker_bytes = sa.total_bytes + sb.total_bytes + f.out_bytes;
+      break;
+    }
+    case ImplKind::kMmRowStripsXBcastSingle:
+    case ImplKind::kMmSpRowStripsXBcastSingle: {
+      f.flops = MatMulFlops(args[0], args[1]) / par_a;
+      f.net_bytes = sb.total_bytes;  // tree broadcast: ~bytes per worker
+      f.out_bytes = OutBytes(args[0], args[1]) / par_a;
+      f.tuples = 2.0 * static_cast<double>(sa.num_tuples) + kWorkers;
+      f.latency_ops = 1;
+      f.peak_worker_bytes = sb.total_bytes + sa.max_tuple_bytes +
+                            OutBytes(args[0], args[1]) /
+                                static_cast<double>(sa.num_tuples);
+      break;
+    }
+    case ImplKind::kMmBcastSingleXColStrips:
+    case ImplKind::kMmSpSingleXColStrips: {
+      f.flops = MatMulFlops(args[0], args[1]) / par_b;
+      f.net_bytes = sa.total_bytes;
+      f.out_bytes = OutBytes(args[0], args[1]) / par_b;
+      f.tuples = 2.0 * static_cast<double>(sb.num_tuples) + kWorkers;
+      f.latency_ops = 1;
+      f.peak_worker_bytes = sa.total_bytes + sb.max_tuple_bytes +
+                            OutBytes(args[0], args[1]) /
+                                static_cast<double>(sb.num_tuples);
+      break;
+    }
+    case ImplKind::kMmRowStripsXBcastColStrips: {
+      f.flops = MatMulFlops(args[0], args[1]) / par_a;
+      f.net_bytes = sb.total_bytes;
+      f.out_bytes = OutBytes(args[0], args[1]) / par_a;
+      f.tuples = 2.0 * static_cast<double>(sa.num_tuples) +
+                 static_cast<double>(sb.num_tuples) * kWorkers;
+      f.latency_ops = 1;
+      f.peak_worker_bytes = sb.total_bytes + sa.max_tuple_bytes +
+                            OutBytes(args[0], args[1]) /
+                                static_cast<double>(sa.num_tuples);
+      break;
+    }
+    case ImplKind::kMmCrossStrips: {
+      // Replicate the smaller side; outputs repartition to their homes.
+      double out_total = OutBytes(args[0], args[1]);
+      double out_tuples = static_cast<double>(sa.num_tuples) *
+                          static_cast<double>(sb.num_tuples);
+      // The non-broadcast (larger) side's tuple homes do the work.
+      double big_tuples = sa.total_bytes <= sb.total_bytes
+                              ? static_cast<double>(sb.num_tuples)
+                              : static_cast<double>(sa.num_tuples);
+      double par = std::min(kWorkers, std::max(1.0, big_tuples));
+      double small = std::min(sa.total_bytes, sb.total_bytes);
+      f.flops = MatMulFlops(args[0], args[1]) / par;
+      f.net_bytes = small + out_total / par;
+      f.out_bytes = out_total / par;
+      f.tuples = static_cast<double>(sa.num_tuples) +
+                 static_cast<double>(sb.num_tuples) + out_tuples;
+      f.latency_ops = 1;
+      f.peak_worker_bytes = small + sa.max_tuple_bytes + sb.max_tuple_bytes +
+                            out_total / std::max(1.0, out_tuples);
+      break;
+    }
+    case ImplKind::kMmTilesShuffle: {
+      // Shuffle join on the inner chunk index; materialized partial
+      // products shuffle again into the group-by SUM.
+      const Format& fa = FormatOf(args[0].format);
+      const Format& fb = FormatOf(args[1].format);
+      double r_chunks =
+          static_cast<double>(NumChunks(args[0].type.rows(), fa.p1));
+      double k_chunks =
+          static_cast<double>(NumChunks(args[1].type.rows(), fb.p1));
+      double c_chunks =
+          static_cast<double>(NumChunks(args[1].type.cols(), fb.p2));
+      double out_total = OutBytes(args[0], args[1]);
+      double out_tile_bytes = out_total / (r_chunks * c_chunks);
+      double partials = r_chunks * k_chunks * c_chunks;
+      double partial_total = partials * out_tile_bytes;
+      // The join stage hashes on the inner chunk index: its parallelism
+      // collapses to k_chunks when that is below the cluster size (join
+      // key skew). The aggregation stage hashes on the output tile.
+      double par_join = std::min(kWorkers, std::max(1.0, k_chunks));
+      double par_agg =
+          std::min(kWorkers, std::max(1.0, r_chunks * c_chunks));
+      f.flops = MatMulFlops(args[0], args[1]) / par_join +
+                partial_total / 8.0 / par_agg;
+      f.inter_bytes = partial_total / par_agg;
+      f.net_bytes = (sa.total_bytes + sb.total_bytes) / kWorkers +
+                    partial_total / par_join;
+      f.out_bytes = out_total / par_agg;
+      f.tuples = static_cast<double>(sa.num_tuples) +
+                 static_cast<double>(sb.num_tuples) + partials +
+                 r_chunks * c_chunks;
+      f.latency_ops = 2;
+      f.peak_worker_bytes = sa.max_tuple_bytes + sb.max_tuple_bytes +
+                            out_tile_bytes + 2.0 * out_total / par_agg;
+      f.spill_bytes = partial_total / par_agg;
+      break;
+    }
+    case ImplKind::kMmBcastTilesXTiles:
+    case ImplKind::kMmTilesXBcastTiles: {
+      // Broadcast the small side; partials fold into per-worker hash
+      // aggregates, so only pre-aggregated groups cross the network.
+      bool bcast_lhs = (kind == ImplKind::kMmBcastTilesXTiles);
+      const FormatStats& small = bcast_lhs ? sa : sb;
+      const FormatStats& large = bcast_lhs ? sb : sa;
+      const Format& fa = FormatOf(args[0].format);
+      const Format& fb = FormatOf(args[1].format);
+      double r_chunks =
+          static_cast<double>(NumChunks(args[0].type.rows(), fa.p1));
+      double k_chunks =
+          static_cast<double>(NumChunks(args[1].type.rows(), fb.p1));
+      double c_chunks =
+          static_cast<double>(NumChunks(args[1].type.cols(), fb.p2));
+      double partials = r_chunks * k_chunks * c_chunks;
+      double out_total = OutBytes(args[0], args[1]);
+      // Work happens at the large side's (well spread) tuple homes.
+      double par = std::min(
+          kWorkers, std::max<double>(1.0, static_cast<double>(
+                                              large.num_tuples)));
+      f.flops = (MatMulFlops(args[0], args[1]) +
+                 partials * (out_total / (r_chunks * c_chunks)) / 8.0) /
+                par;
+      f.net_bytes = small.total_bytes +
+                    std::min(k_chunks, kWorkers) * out_total / kWorkers;
+      f.out_bytes = out_total / kWorkers;
+      // Partial products fold into the per-worker hash aggregate rather
+      // than materializing as tuples.
+      f.tuples = static_cast<double>(small.num_tuples) * kWorkers +
+                 static_cast<double>(large.num_tuples) + r_chunks * c_chunks;
+      f.latency_ops = 2;
+      // Broadcast replica plus the per-worker hash-aggregation state.
+      f.peak_worker_bytes =
+          small.total_bytes +
+          2.0 * out_total /
+              std::min(kWorkers, std::max(1.0, r_chunks * c_chunks));
+      break;
+    }
+    case ImplKind::kMmColStripsXRowStripsOuterSum: {
+      // Every strip pair yields a full-size partial, SUM-aggregated at a
+      // single final site: the aggregation is serial at the owner.
+      double chunks = static_cast<double>(sa.num_tuples);
+      double out_total = OutBytes(args[0], args[1]);
+      double par = std::min(kWorkers, std::max(1.0, chunks));
+      f.flops = MatMulFlops(args[0], args[1]) / par +
+                chunks * out_total / 8.0;  // owner-side additions
+      f.inter_bytes = chunks * out_total;  // serialized through the owner
+      f.net_bytes = (sa.total_bytes + sb.total_bytes) / kWorkers +
+                    chunks * out_total / kWorkers;
+      f.out_bytes = out_total;
+      f.tuples = static_cast<double>(sa.num_tuples) +
+                 static_cast<double>(sb.num_tuples) + chunks + 1;
+      f.latency_ops = 2;
+      // Each join worker materializes a full-size partial in RAM; the
+      // owner aggregates pairs of them.
+      f.peak_worker_bytes =
+          2.0 * out_total + sa.max_tuple_bytes + sb.max_tuple_bytes;
+      f.spill_bytes = chunks * out_total;  // all partials meet the owner
+      break;
+    }
+    case ImplKind::kMmSpRowStripsXTiles: {
+      const Format& fb = FormatOf(args[1].format);
+      double k_chunks =
+          static_cast<double>(NumChunks(args[1].type.rows(), fb.p1));
+      double c_chunks =
+          static_cast<double>(NumChunks(args[1].type.cols(), fb.p2));
+      double out_total = OutBytes(args[0], args[1]);
+      double partial_total = out_total * k_chunks;  // per-strip partials
+      // Partial products are computed at the rhs tiles' homes.
+      double par = std::min(
+          kWorkers,
+          std::max<double>(1.0, static_cast<double>(sb.num_tuples)));
+      f.flops =
+          (MatMulFlops(args[0], args[1]) + partial_total / 8.0) / par;
+      f.inter_bytes = partial_total / kWorkers;
+      f.net_bytes = sa.total_bytes + partial_total / kWorkers;
+      f.out_bytes = out_total / par_a;
+      f.tuples = static_cast<double>(sa.num_tuples) +
+                 static_cast<double>(sb.num_tuples) +
+                 static_cast<double>(sa.num_tuples) *
+                     static_cast<double>(sb.num_tuples);
+      f.latency_ops = 2;
+      f.peak_worker_bytes = sa.total_bytes + sb.max_tuple_bytes +
+                            2.0 * out_total / par_a;
+      f.spill_bytes = partial_total / kWorkers;
+      (void)c_chunks;
+      break;
+    }
+    // ---------------- element-wise / maps ----------------
+    case ImplKind::kAddZip:
+    case ImplKind::kSubZip:
+    case ImplKind::kHadamardZip:
+    case ImplKind::kElemDivZip:
+    case ImplKind::kReluGradZip: {
+      f.flops = (kind == ImplKind::kReluGradZip ? 2.0 : 1.0) * entries_a /
+                par_a;
+      f.net_bytes = 0.0;  // co-partitioned by construction
+      f.out_bytes = sa.total_bytes / par_a;
+      f.tuples = 3.0 * static_cast<double>(sa.num_tuples);
+      f.latency_ops = 1;
+      f.peak_worker_bytes = 3.0 * sa.max_tuple_bytes;
+      break;
+    }
+    case ImplKind::kAddSparseZip: {
+      f.flops = entries_a * (args[0].sparsity + args[1].sparsity) / par_a;
+      f.out_bytes = (sa.total_bytes + sb.total_bytes) / par_a;
+      f.tuples = 3.0 * static_cast<double>(sa.num_tuples);
+      f.latency_ops = 1;
+      f.peak_worker_bytes = 3.0 * sa.max_tuple_bytes;
+      break;
+    }
+    case ImplKind::kScalarMulMap:
+    case ImplKind::kReluMap:
+    case ImplKind::kSigmoidMap:
+    case ImplKind::kExpMap:
+    case ImplKind::kSoftmaxRowStrips:
+    case ImplKind::kSoftmaxSingle: {
+      double density =
+          FormatOf(args[0].format).sparse() ? args[0].sparsity : 1.0;
+      double per_entry = (kind == ImplKind::kSigmoidMap ||
+                          kind == ImplKind::kExpMap ||
+                          kind == ImplKind::kSoftmaxRowStrips ||
+                          kind == ImplKind::kSoftmaxSingle)
+                             ? 4.0
+                             : 1.0;
+      f.flops = per_entry * entries_a * density / par_a;
+      f.out_bytes = sa.total_bytes / par_a;
+      f.tuples = 2.0 * static_cast<double>(sa.num_tuples);
+      f.latency_ops = 1;
+      f.peak_worker_bytes = 2.0 * sa.max_tuple_bytes;
+      break;
+    }
+    case ImplKind::kTransposeSingle:
+    case ImplKind::kTransposeRowToCol:
+    case ImplKind::kTransposeColToRow:
+    case ImplKind::kTransposeTiles: {
+      f.flops = entries_a / par_a;
+      f.out_bytes = sa.total_bytes / par_a;
+      // Swapped chunk keys re-home most tuples.
+      f.net_bytes =
+          kind == ImplKind::kTransposeSingle ? 0.0 : sa.total_bytes / par_a;
+      f.tuples = 2.0 * static_cast<double>(sa.num_tuples);
+      f.latency_ops = 1;
+      f.peak_worker_bytes = 2.0 * sa.max_tuple_bytes;
+      break;
+    }
+    case ImplKind::kRowSumRowStrips:
+    case ImplKind::kColSumColStrips:
+    case ImplKind::kRowSumSingle:
+    case ImplKind::kColSumSingle: {
+      bool row = (kind == ImplKind::kRowSumRowStrips ||
+                  kind == ImplKind::kRowSumSingle);
+      f.flops = entries_a / par_a;
+      f.out_bytes = 8.0 * static_cast<double>(row ? args[0].type.rows()
+                                                  : args[0].type.cols()) /
+                    par_a;
+      f.tuples = 2.0 * static_cast<double>(sa.num_tuples);
+      f.latency_ops = 1;
+      f.peak_worker_bytes = sa.max_tuple_bytes + f.out_bytes;
+      break;
+    }
+    case ImplKind::kRowSumTilesAgg:
+    case ImplKind::kColSumTilesAgg: {
+      bool row = (kind == ImplKind::kRowSumTilesAgg);
+      double out_total = 8.0 * static_cast<double>(row ? args[0].type.rows()
+                                                       : args[0].type.cols());
+      const Format& fa = FormatOf(args[0].format);
+      double chunk_count = static_cast<double>(
+          row ? NumChunks(args[0].type.cols(), fa.p2)
+              : NumChunks(args[0].type.rows(), fa.p1));
+      f.flops = entries_a / par_a;
+      f.inter_bytes = out_total * chunk_count / kWorkers;
+      f.net_bytes = out_total * chunk_count / kWorkers;
+      f.out_bytes = out_total / kWorkers;
+      f.tuples = 2.0 * static_cast<double>(sa.num_tuples);
+      f.latency_ops = 2;
+      f.peak_worker_bytes = sa.max_tuple_bytes + 2.0 * out_total;
+      break;
+    }
+    case ImplKind::kBroadcastRowAddBcastVec: {
+      f.flops = entries_a / par_a;
+      f.net_bytes = sb.total_bytes;  // broadcast the vector
+      f.out_bytes = sa.total_bytes / par_a;
+      f.tuples = 2.0 * static_cast<double>(sa.num_tuples) + kWorkers;
+      f.latency_ops = 1;
+      f.peak_worker_bytes = 2.0 * sa.max_tuple_bytes + sb.total_bytes;
+      break;
+    }
+    case ImplKind::kGpuMmSingleSingle:
+    case ImplKind::kGpuMmRowStripsXBcastSingle:
+    case ImplKind::kGpuMmBcastSingleXColStrips:
+    case ImplKind::kGpuInverseSingleLu: {
+      // kGpu class semantics: `flops` = device arithmetic (rated at the
+      // GPU flop rate), `inter_bytes` = host<->device transfers (PCIe).
+      ImplKind twin = kind == ImplKind::kGpuMmSingleSingle
+                          ? ImplKind::kMmSingleSingle
+                      : kind == ImplKind::kGpuMmRowStripsXBcastSingle
+                          ? ImplKind::kMmRowStripsXBcastSingle
+                      : kind == ImplKind::kGpuMmBcastSingleXColStrips
+                          ? ImplKind::kMmBcastSingleXColStrips
+                          : ImplKind::kInverseSingleLu;
+      f = ImplFeatures(twin, args, cluster);
+      f.inter_bytes = f.peak_worker_bytes;  // staged through the device
+      break;
+    }
+    case ImplKind::kInverseSingleLu:
+    case ImplKind::kInverseGatherLu: {
+      double n = static_cast<double>(args[0].type.rows());
+      f.flops = 2.0 * n * n * n;  // serial LU at one site
+      f.net_bytes = kind == ImplKind::kInverseGatherLu
+                        ? sa.total_bytes / kWorkers
+                        : 0.0;
+      f.out_bytes = args[0].type.DenseBytes();
+      f.tuples = static_cast<double>(sa.num_tuples) + 1;
+      f.latency_ops = kind == ImplKind::kInverseGatherLu ? 2 : 1;
+      f.peak_worker_bytes = 2.0 * args[0].type.DenseBytes();
+      break;
+    }
+  }
+  return f;
+}
+
+bool Catalog::ImplResourceFeasible(ImplKind kind,
+                                   const std::vector<ArgInfo>& args,
+                                   const ClusterConfig& cluster) const {
+  OpFeatures f = ImplFeatures(kind, args, cluster);
+  if (f.peak_worker_bytes > cluster.worker_mem_bytes) return false;
+  if (f.spill_bytes > cluster.worker_spill_bytes) return false;
+  return true;
+}
+
+OpFeatures Catalog::TransformFeatures(TransformKind kind, const ArgInfo& arg,
+                                      const ClusterConfig& cluster) const {
+  OpFeatures f;
+  const double kWorkers = static_cast<double>(cluster.num_workers);
+  FormatStats src = Stats(arg);
+  std::optional<FormatId> out = TransformOutputFormat(kind, arg, cluster);
+  if (!out.has_value()) return f;
+  double out_sparsity = FormatOf(*out).sparse() ? arg.sparsity : 1.0;
+  FormatStats dst = ComputeFormatStats(arg.type, FormatOf(*out), out_sparsity);
+
+  bool to_single = FormatOf(*out).layout == Layout::kSingleTuple ||
+                   FormatOf(*out).layout == Layout::kSpSingleCsr;
+  double par = std::min(
+      kWorkers, std::max<double>(1.0, static_cast<double>(src.num_tuples)));
+  f.net_bytes = src.total_bytes / par;
+  f.flops = src.total_bytes / 8.0 / par;  // scan/copy
+  // A single-tuple target lands the whole matrix on one worker and runs
+  // the two-stage ROWMATRIX/COLMATRIX aggregation of Section 2.1.
+  f.out_bytes = to_single ? dst.total_bytes : dst.total_bytes / kWorkers;
+  f.tuples = static_cast<double>(src.num_tuples) +
+             static_cast<double>(dst.num_tuples);
+  f.latency_ops = to_single ? 2 : 1;
+  // Streaming re-chunk: RAM holds one source and one target tuple, except
+  // that a single-tuple target is assembled whole on one worker.
+  f.peak_worker_bytes =
+      to_single ? src.max_tuple_bytes + dst.total_bytes
+                : src.max_tuple_bytes + dst.max_tuple_bytes;
+  return f;
+}
+
+}  // namespace matopt

@@ -1,0 +1,130 @@
+#include "core/opt/annotation.h"
+
+#include <sstream>
+
+namespace matopt {
+
+std::vector<ArgInfo> ArgsForVertex(const ComputeGraph& graph,
+                                   const Annotation& annotation, int v) {
+  const Vertex& vx = graph.vertex(v);
+  const VertexAnnotation& va = annotation.at(v);
+  std::vector<ArgInfo> args;
+  args.reserve(vx.inputs.size());
+  for (size_t j = 0; j < vx.inputs.size(); ++j) {
+    const Vertex& child = graph.vertex(vx.inputs[j]);
+    args.push_back(ArgInfo{child.type, va.input_edges[j].pout,
+                           child.sparsity});
+  }
+  return args;
+}
+
+Status ValidateAnnotation(const ComputeGraph& graph,
+                          const Annotation& annotation, const Catalog& catalog,
+                          const ClusterConfig& cluster) {
+  if (static_cast<int>(annotation.vertices.size()) != graph.num_vertices()) {
+    return Status::InvalidArgument("annotation size mismatch");
+  }
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    const Vertex& vx = graph.vertex(v);
+    const VertexAnnotation& va = annotation.at(v);
+    if (vx.op == OpKind::kInput) {
+      if (va.output_format != vx.input_format) {
+        return Status::TypeError("source vertex format altered: v" +
+                                 std::to_string(v));
+      }
+      continue;
+    }
+    if (ImplOp(va.impl) != vx.op) {
+      return Status::TypeError(
+          std::string("v") + std::to_string(v) + ": implementation " +
+          ImplKindName(va.impl) + " does not implement " + OpKindName(vx.op));
+    }
+    if (va.input_edges.size() != vx.inputs.size()) {
+      return Status::InvalidArgument("edge annotation arity mismatch at v" +
+                                     std::to_string(v));
+    }
+    for (size_t j = 0; j < vx.inputs.size(); ++j) {
+      const EdgeAnnotation& e = va.input_edges[j];
+      const Vertex& child = graph.vertex(vx.inputs[j]);
+      const VertexAnnotation& ca = annotation.at(vx.inputs[j]);
+      if (e.pin != ca.output_format) {
+        return Status::TypeError("edge pin does not match producer format at v" +
+                                 std::to_string(v));
+      }
+      if (e.transform.has_value()) {
+        ArgInfo in{child.type, e.pin, child.sparsity};
+        auto out = catalog.TransformOutputFormat(*e.transform, in, cluster);
+        if (!out.has_value() || *out != e.pout) {
+          return Status::TypeError("infeasible transformation on edge into v" +
+                                   std::to_string(v));
+        }
+      } else if (e.pin != e.pout) {
+        return Status::TypeError(
+            "identity edge with differing formats into v" + std::to_string(v));
+      }
+    }
+    auto out = catalog.ImplOutputFormat(va.impl,
+                                        ArgsForVertex(graph, annotation, v),
+                                        cluster);
+    if (!out.has_value()) {
+      return Status::TypeError(std::string("v") + std::to_string(v) + " (" +
+                               ImplKindName(va.impl) +
+                               ") cannot process its input formats (⊥)");
+    }
+    if (*out != va.output_format) {
+      return Status::TypeError("annotated output format disagrees with i.f at v" +
+                               std::to_string(v));
+    }
+  }
+  return Status::OK();
+}
+
+double AnnotationCost(const ComputeGraph& graph, const Annotation& annotation,
+                      const Catalog& catalog, const CostModel& model,
+                      const ClusterConfig& cluster) {
+  double total = 0.0;
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    const Vertex& vx = graph.vertex(v);
+    if (vx.op == OpKind::kInput) continue;
+    const VertexAnnotation& va = annotation.at(v);
+    total += model.ImplCost(catalog, va.impl,
+                            ArgsForVertex(graph, annotation, v), cluster);
+    for (size_t j = 0; j < vx.inputs.size(); ++j) {
+      const EdgeAnnotation& e = va.input_edges[j];
+      if (!e.transform.has_value()) continue;
+      const Vertex& child = graph.vertex(vx.inputs[j]);
+      total += model.TransformCost(catalog, *e.transform,
+                                   ArgInfo{child.type, e.pin, child.sparsity},
+                                   cluster);
+    }
+  }
+  return total;
+}
+
+std::string Annotation::ToString(const ComputeGraph& graph) const {
+  std::ostringstream out;
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    const Vertex& vx = graph.vertex(v);
+    const VertexAnnotation& va = vertices[v];
+    out << "v" << v << " [" << vx.name << "] ";
+    if (vx.op == OpKind::kInput) {
+      out << "input " << BuiltinFormats()[va.output_format].ToString();
+    } else {
+      out << ImplKindName(va.impl) << " -> "
+          << BuiltinFormats()[va.output_format].ToString();
+      for (size_t j = 0; j < va.input_edges.size(); ++j) {
+        const EdgeAnnotation& e = va.input_edges[j];
+        out << "\n    arg" << j << ": v" << vx.inputs[j] << " "
+            << BuiltinFormats()[e.pin].ToString();
+        if (e.transform.has_value()) {
+          out << " --" << TransformKindName(*e.transform) << "--> "
+              << BuiltinFormats()[e.pout].ToString();
+        }
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace matopt

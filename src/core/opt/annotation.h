@@ -1,0 +1,66 @@
+#ifndef MATOPT_CORE_OPT_ANNOTATION_H_
+#define MATOPT_CORE_OPT_ANNOTATION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cost/cost_model.h"
+#include "core/graph/graph.h"
+#include "core/ops/catalog.h"
+
+namespace matopt {
+
+/// Annotation of one input edge (Section 4.2): the producer's physical
+/// implementation `pin`, the transformation applied on the edge (absent =
+/// identity), and the resulting implementation `pout` fed to the consumer.
+struct EdgeAnnotation {
+  FormatId pin = kNoFormat;
+  std::optional<TransformKind> transform;
+  FormatId pout = kNoFormat;
+};
+
+/// Annotation of one vertex: the atomic computation implementation that
+/// will actually run and the physical implementation of its output. For
+/// source vertices only `output_format` is meaningful.
+struct VertexAnnotation {
+  ImplKind impl = ImplKind::kMmSingleSingle;  // unused for sources
+  FormatId output_format = kNoFormat;
+  std::vector<EdgeAnnotation> input_edges;
+};
+
+/// An annotated compute graph G' (Section 4.2): implementation choices for
+/// every vertex and transformation choices for every edge.
+struct Annotation {
+  std::vector<VertexAnnotation> vertices;
+
+  const VertexAnnotation& at(int v) const { return vertices[v]; }
+  VertexAnnotation& at(int v) { return vertices[v]; }
+
+  std::string ToString(const ComputeGraph& graph) const;
+};
+
+/// Builds the ArgInfo list seen by vertex `v`'s implementation under
+/// `annotation` (input types with the post-transformation formats).
+std::vector<ArgInfo> ArgsForVertex(const ComputeGraph& graph,
+                                   const Annotation& annotation, int v);
+
+/// Checks the type-correctness conditions of Section 4.2: every vertex's
+/// implementation implements its atomic computation (v.i.a == v.a), every
+/// edge's pin matches the producer's output format, every transformation
+/// is feasible, and every implementation accepts its transformed inputs
+/// and produces the annotated output format.
+Status ValidateAnnotation(const ComputeGraph& graph,
+                          const Annotation& annotation, const Catalog& catalog,
+                          const ClusterConfig& cluster);
+
+/// Cost(G') of Section 4.3: the sum of vertex costs and edge
+/// (transformation) costs under the cost model.
+double AnnotationCost(const ComputeGraph& graph, const Annotation& annotation,
+                      const Catalog& catalog, const CostModel& model,
+                      const ClusterConfig& cluster);
+
+}  // namespace matopt
+
+#endif  // MATOPT_CORE_OPT_ANNOTATION_H_

@@ -1,0 +1,157 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/stopwatch.h"
+#include "core/opt/enumerate.h"
+#include "core/opt/optimizer.h"
+
+namespace matopt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Recursive exhaustive search state (Algorithm 2). Vertices are assigned
+/// in topological order, so when a vertex is considered the output formats
+/// of all of its arguments are already fixed and its cost can be
+/// accumulated immediately (the paper's incremental GetCost).
+struct BruteSearch {
+  BruteSearch(const ComputeGraph& graph, const Catalog& catalog,
+              const CostModel& model, const ClusterConfig& cluster,
+              const OptimizerOptions& options)
+      : graph(graph),
+        catalog(catalog),
+        model(model),
+        cluster(cluster),
+        options(options) {}
+
+  const ComputeGraph& graph;
+  const Catalog& catalog;
+  const CostModel& model;
+  const ClusterConfig& cluster;
+  const OptimizerOptions& options;
+  Stopwatch watch;
+
+  std::vector<int> op_vertices;
+  // Per op vertex, per argument: the cheapest-transformation table for the
+  // argument's matrix type.
+  std::vector<std::vector<TransformTable>> transforms;
+
+  Annotation current;
+  Annotation best;
+  double best_cost = kInf;
+  int64_t states = 0;
+  bool timed_out = false;
+
+  void Recurse(size_t idx, double cost_so_far) {
+    if (timed_out) return;
+    if ((states & 0x3ff) == 0 &&
+        watch.ElapsedSeconds() > options.time_limit_sec) {
+      timed_out = true;
+      return;
+    }
+    if (cost_so_far >= best_cost) return;
+    if (idx == op_vertices.size()) {
+      best_cost = cost_so_far;
+      best = current;
+      return;
+    }
+    const int v = op_vertices[idx];
+    const Vertex& vx = graph.vertex(v);
+    const size_t arity = vx.inputs.size();
+
+    // Candidate post-transformation formats per argument, reachable from
+    // the argument's already-fixed output format.
+    const int num_formats = static_cast<int>(BuiltinFormats().size());
+    std::vector<std::vector<FormatId>> pout_options(arity);
+    for (size_t j = 0; j < arity; ++j) {
+      FormatId pin = current.at(vx.inputs[j]).output_format;
+      for (FormatId pout = 0; pout < num_formats; ++pout) {
+        if (transforms[idx][j].Get(pin, pout).feasible) {
+          pout_options[j].push_back(pout);
+        }
+      }
+    }
+
+    // Collect this vertex's feasible choices and try them cheapest-first:
+    // reaching a good complete plan early makes the cost-so-far bound
+    // prune most of the exponential space.
+    struct Choice {
+      ImplKind impl;
+      FormatId out;
+      double cost;
+      std::vector<EdgeAnnotation> edges;
+    };
+    std::vector<Choice> choices;
+    ForEachImplChoice(
+        graph, v, catalog, model, cluster, options, pout_options,
+        [&](ImplKind impl, const std::vector<FormatId>& pouts, FormatId out,
+            double impl_cost) {
+          ++states;
+          Choice choice{impl, out, impl_cost, {}};
+          choice.edges.resize(arity);
+          for (size_t j = 0; j < arity; ++j) {
+            FormatId pin = current.at(vx.inputs[j]).output_format;
+            const TransformChoice& t = transforms[idx][j].Get(pin, pouts[j]);
+            choice.cost += t.cost;
+            choice.edges[j] = EdgeAnnotation{pin, t.kind, pouts[j]};
+          }
+          choices.push_back(std::move(choice));
+        });
+    std::sort(choices.begin(), choices.end(),
+              [](const Choice& a, const Choice& b) { return a.cost < b.cost; });
+    for (const Choice& choice : choices) {
+      VertexAnnotation& va = current.at(v);
+      va.impl = choice.impl;
+      va.output_format = choice.out;
+      va.input_edges = choice.edges;
+      Recurse(idx + 1, cost_so_far + choice.cost);
+      if (timed_out) return;
+    }
+  }
+};
+
+}  // namespace
+
+Result<PlanResult> BruteForceOptimize(const ComputeGraph& graph,
+                                      const Catalog& catalog,
+                                      const CostModel& model,
+                                      const ClusterConfig& cluster,
+                                      const OptimizerOptions& options) {
+  BruteSearch search{graph, catalog, model, cluster, options};
+  search.current.vertices.resize(graph.num_vertices());
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    const Vertex& vx = graph.vertex(v);
+    if (vx.op == OpKind::kInput) {
+      search.current.at(v).output_format = vx.input_format;
+      continue;
+    }
+    search.op_vertices.push_back(v);
+    std::vector<TransformTable> arg_tables;
+    for (int input : vx.inputs) {
+      const Vertex& child = graph.vertex(input);
+      arg_tables.emplace_back(catalog, model, cluster, child.type,
+                              child.sparsity, options.cost_transforms,
+                              options.allow_sparse,
+                              options.enforce_resource_limits);
+    }
+    search.transforms.push_back(std::move(arg_tables));
+  }
+
+  search.Recurse(0, 0.0);
+  if (search.timed_out) {
+    return Status::Timeout("brute-force search exceeded its time budget");
+  }
+  if (std::isinf(search.best_cost)) {
+    return Status::TypeError("no type-correct annotation exists");
+  }
+  PlanResult result;
+  result.annotation = std::move(search.best);
+  result.cost = search.best_cost;
+  result.opt_seconds = search.watch.ElapsedSeconds();
+  result.states_explored = search.states;
+  return result;
+}
+
+}  // namespace matopt

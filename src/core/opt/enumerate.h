@@ -1,0 +1,68 @@
+#ifndef MATOPT_CORE_OPT_ENUMERATE_H_
+#define MATOPT_CORE_OPT_ENUMERATE_H_
+
+#include <vector>
+
+#include "core/cost/cost_model.h"
+#include "core/graph/graph.h"
+#include "core/opt/optimizer.h"
+#include "core/ops/catalog.h"
+
+namespace matopt {
+
+/// Enumerates every feasible (implementation, post-transformation input
+/// format combination) choice for op vertex `v` and invokes
+///   fn(ImplKind impl, const std::vector<FormatId>& pouts,
+///      FormatId out_format, double impl_cost)
+/// for each. `pout_options[j]` lists the candidate post-transformation
+/// formats for argument j. This is the inner loop shared by all three
+/// optimization algorithms (the "enumerate all possible combinations"
+/// step of Equations 1 and 2).
+template <typename Fn>
+void ForEachImplChoice(const ComputeGraph& graph, int v,
+                       const Catalog& catalog, const CostModel& model,
+                       const ClusterConfig& cluster,
+                       const OptimizerOptions& options,
+                       const std::vector<std::vector<FormatId>>& pout_options,
+                       Fn&& fn) {
+  const Vertex& vx = graph.vertex(v);
+  const size_t n = vx.inputs.size();
+  for (const auto& opts : pout_options) {
+    if (opts.empty()) return;  // an argument has no reachable format
+  }
+  std::vector<ArgInfo> args(n);
+  for (size_t j = 0; j < n; ++j) {
+    const Vertex& child = graph.vertex(vx.inputs[j]);
+    args[j].type = child.type;
+    args[j].sparsity = child.sparsity;
+  }
+  std::vector<size_t> odo(n, 0);
+  std::vector<FormatId> pouts(n, kNoFormat);
+  for (;;) {
+    for (size_t j = 0; j < n; ++j) {
+      pouts[j] = pout_options[j][odo[j]];
+      args[j].format = pouts[j];
+    }
+    for (ImplKind impl : catalog.ImplsFor(vx.op)) {
+      auto out = catalog.ImplOutputFormat(impl, args, cluster);
+      if (out.has_value() &&
+          (options.allow_sparse || !BuiltinFormats()[*out].sparse()) &&
+          (!options.enforce_resource_limits ||
+           catalog.ImplResourceFeasible(impl, args, cluster))) {
+        double cost = model.ImplCost(catalog, impl, args, cluster);
+        fn(impl, pouts, *out, cost);
+      }
+    }
+    // Advance the odometer; stop once every combination has been visited.
+    size_t j = 0;
+    while (j < n && ++odo[j] == pout_options[j].size()) {
+      odo[j] = 0;
+      ++j;
+    }
+    if (j == n) break;
+  }
+}
+
+}  // namespace matopt
+
+#endif  // MATOPT_CORE_OPT_ENUMERATE_H_

@@ -1,0 +1,484 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+#include "core/opt/enumerate.h"
+#include "core/opt/optimizer.h"
+
+namespace matopt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Packed format assignment for up to 25 class members (5 bits each;
+/// members 0-11 in `lo`, 12-24 in `hi`). Fixed-format members (graph
+/// inputs) contribute a single value, so only op vertices along the
+/// frontier contribute table-size dimensions.
+struct Key128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  bool operator==(const Key128&) const = default;
+};
+
+struct Key128Hash {
+  size_t operator()(const Key128& k) const {
+    uint64_t h = k.lo * 0x9e3779b97f4a7c15ull;
+    h ^= k.hi + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+constexpr int kBitsPerMember = 5;
+constexpr int kMaxMembers = 25;
+
+FormatId DecodeFormat(const Key128& key, int index) {
+  if (index < 12) {
+    return static_cast<FormatId>((key.lo >> (kBitsPerMember * index)) & 0x1f);
+  }
+  return static_cast<FormatId>(
+      (key.hi >> (kBitsPerMember * (index - 12))) & 0x1f);
+}
+
+Key128 EncodeFormat(Key128 key, int index, FormatId fmt) {
+  if (index < 12) {
+    uint64_t mask = uint64_t{0x1f} << (kBitsPerMember * index);
+    key.lo = (key.lo & ~mask) |
+             (static_cast<uint64_t>(fmt) << (kBitsPerMember * index));
+  } else {
+    int i = index - 12;
+    uint64_t mask = uint64_t{0x1f} << (kBitsPerMember * i);
+    key.hi = (key.hi & ~mask) |
+             (static_cast<uint64_t>(fmt) << (kBitsPerMember * i));
+  }
+  return key;
+}
+
+/// One entry of an equivalence-class cost table: the minimum cost to
+/// compute every member with the output formats in the entry's key, plus
+/// inline backpointers (arity and predecessor count are at most 2).
+struct ClassEntry {
+  double cost = kInf;
+  int32_t vertex = -1;  // op vertex whose processing created this entry
+  ImplKind impl = ImplKind::kMmSingleSingle;
+  FormatId out_format = kNoFormat;
+  uint8_t arity = 0;
+  uint8_t num_preds = 0;
+  std::array<EdgeAnnotation, 2> edges{};
+  std::array<std::pair<int32_t, Key128>, 2> preds{};
+};
+
+/// Joint cost table F(V, p) for one equivalence class V (Section 6.1).
+struct ClassTable {
+  std::vector<int> members;  // sorted vertex ids
+  std::unordered_map<Key128, ClassEntry, Key128Hash> entries;
+
+  int MemberIndex(int v) const {
+    auto it = std::find(members.begin(), members.end(), v);
+    return it == members.end() ? -1
+                               : static_cast<int>(it - members.begin());
+  }
+};
+
+}  // namespace
+
+Result<PlanResult> FrontierOptimize(const ComputeGraph& graph,
+                                    const Catalog& catalog,
+                                    const CostModel& model,
+                                    const ClusterConfig& cluster,
+                                    const OptimizerOptions& options) {
+  Stopwatch watch;
+  const int n = graph.num_vertices();
+  const int num_formats = static_cast<int>(BuiltinFormats().size());
+  const auto consumers = graph.BuildConsumers();
+
+  std::vector<ClassTable> tables;
+  std::vector<bool> active;              // per table id
+  std::vector<int> vertex_table(n, -1);  // frontier vertex -> active table
+  std::vector<bool> visited(n, false);
+  int64_t states = 0;
+  bool beam_pruned = false;
+
+  // Initialize: every source vertex forms a singleton class holding its
+  // given physical implementation at zero cost (Algorithm 4, lines 2-7).
+  int num_ops = 0;
+  for (int v = 0; v < n; ++v) {
+    const Vertex& vx = graph.vertex(v);
+    if (vx.op != OpKind::kInput) {
+      ++num_ops;
+      continue;
+    }
+    ClassTable table;
+    table.members = {v};
+    ClassEntry entry;
+    entry.cost = 0.0;
+    entry.out_format = vx.input_format;
+    table.entries.emplace(EncodeFormat(Key128{}, 0, vx.input_format),
+                          std::move(entry));
+    tables.push_back(std::move(table));
+    active.push_back(true);
+    vertex_table[v] = static_cast<int>(tables.size()) - 1;
+    visited[v] = true;
+  }
+
+  // Cached cheapest-transformation tables per producer vertex.
+  std::vector<std::unique_ptr<TransformTable>> transform_cache(n);
+  auto transforms_for = [&](int u) -> const TransformTable& {
+    if (!transform_cache[u]) {
+      const Vertex& ux = graph.vertex(u);
+      transform_cache[u] = std::make_unique<TransformTable>(
+          catalog, model, cluster, ux.type, ux.sparsity,
+          options.cost_transforms, options.allow_sparse,
+          options.enforce_resource_limits);
+    }
+    return *transform_cache[u];
+  };
+
+  // New-class membership if `v` were processed now: the union of the old
+  // classes containing v's arguments, plus v, minus vertices with no
+  // remaining edge to an unvisited vertex (Algorithm 4, line 13).
+  auto members_after = [&](int v) {
+    std::vector<int> old_ids;
+    for (int arg : graph.vertex(v).inputs) {
+      int id = vertex_table[arg];
+      if (std::find(old_ids.begin(), old_ids.end(), id) == old_ids.end()) {
+        old_ids.push_back(id);
+      }
+    }
+    std::vector<int> union_members;
+    for (int id : old_ids) {
+      for (int u : tables[id].members) union_members.push_back(u);
+    }
+    union_members.push_back(v);
+    std::sort(union_members.begin(), union_members.end());
+    union_members.erase(
+        std::unique(union_members.begin(), union_members.end()),
+        union_members.end());
+    std::vector<int> next;
+    for (int u : union_members) {
+      for (int c : consumers[u]) {
+        if (!visited[c] && c != v) {
+          next.push_back(u);
+          break;
+        }
+      }
+    }
+    return std::make_pair(old_ids, next);
+  };
+
+  // Process op vertices. Algorithm 4 (line 8) may choose any ready
+  // vertex; we pick the one that most reduces the number of *free* (op)
+  // frontier vertices — eagerly scheduling vertices that consume the last
+  // pending use of an intermediate, and otherwise following construction
+  // order. This keeps the joint tables small.
+  std::vector<int> pending;
+  for (int v = 0; v < n; ++v) {
+    if (graph.vertex(v).op != OpKind::kInput) pending.push_back(v);
+  }
+  auto free_op_count = [&](const std::vector<int>& members) {
+    int count = 0;
+    for (int u : members) count += (graph.vertex(u).op != OpKind::kInput);
+    return count;
+  };
+
+  while (!pending.empty()) {
+    if (watch.ElapsedSeconds() > options.time_limit_sec) {
+      return Status::Timeout("frontier DP exceeded its time budget");
+    }
+    int best_pos = -1;
+    int best_delta = 1 << 30;
+    for (size_t p = 0; p < pending.size(); ++p) {
+      int v = pending[p];
+      bool ready = true;
+      for (int arg : graph.vertex(v).inputs) ready = ready && visited[arg];
+      if (!ready) continue;
+      auto [old_ids, next] = members_after(v);
+      int before = 0;
+      for (int id : old_ids) before += free_op_count(tables[id].members);
+      // Change in live free vertices: v joins (unless it is itself dead),
+      // dying members leave.
+      int delta = free_op_count(next) - before;
+      if (best_pos < 0 || delta < best_delta) {
+        best_pos = static_cast<int>(p);
+        best_delta = delta;
+      }
+    }
+    if (best_pos < 0) {
+      return Status::Internal("no ready vertex; graph is not a DAG?");
+    }
+    const int v = pending[best_pos];
+    pending.erase(pending.begin() + best_pos);
+    const Vertex& vx = graph.vertex(v);
+    const size_t arity = vx.inputs.size();
+
+    auto [old_ids, new_members] = members_after(v);
+    visited[v] = true;
+    if (static_cast<int>(new_members.size()) >
+        std::min(options.max_class_size, kMaxMembers)) {
+      return Status::Internal(
+          "frontier equivalence class exceeds the class-size bound (" +
+          std::to_string(new_members.size()) + " members)");
+    }
+
+    ClassTable next;
+    next.members = new_members;
+    const int v_index = next.MemberIndex(v);
+
+    // Positions of surviving members and of v's arguments in the old keys.
+    struct Carry {
+      int old_pos;
+      int old_index;
+      int new_index;
+    };
+    std::vector<Carry> carries;
+    for (size_t m = 0; m < new_members.size(); ++m) {
+      int u = new_members[m];
+      if (u == v) continue;
+      for (size_t s = 0; s < old_ids.size(); ++s) {
+        int idx = tables[old_ids[s]].MemberIndex(u);
+        if (idx >= 0) {
+          carries.push_back(
+              Carry{static_cast<int>(s), idx, static_cast<int>(m)});
+          break;
+        }
+      }
+    }
+    struct ArgSlot {
+      int old_pos = 0;
+      int old_index = 0;
+    };
+    std::vector<ArgSlot> arg_slots(arity);
+    for (size_t j = 0; j < arity; ++j) {
+      for (size_t s = 0; s < old_ids.size(); ++s) {
+        int idx = tables[old_ids[s]].MemberIndex(vx.inputs[j]);
+        if (idx >= 0) {
+          arg_slots[j] = ArgSlot{static_cast<int>(s), idx};
+          break;
+        }
+      }
+    }
+
+    // Pre-compute, for every combination of argument pin formats and
+    // every output format ρ, the cheapest (implementation, transformation)
+    // choice. This factors Equation 2: v's choice depends only on its
+    // arguments' formats, so it hoists out of the cartesian entry loop.
+    struct Delta {
+      double cost = kInf;
+      ImplKind impl = ImplKind::kMmSingleSingle;
+      std::array<EdgeAnnotation, 2> edges{};
+    };
+    int64_t pin_combos = 1;
+    for (size_t j = 0; j < arity; ++j) pin_combos *= num_formats;
+    std::vector<Delta> deltas(pin_combos * num_formats);
+    {
+      std::vector<FormatId> pins(arity);
+      for (int64_t combo = 0; combo < pin_combos; ++combo) {
+        int64_t rem = combo;
+        bool pins_ok = true;
+        for (size_t j = 0; j < arity; ++j) {
+          pins[j] = static_cast<FormatId>(rem % num_formats);
+          rem /= num_formats;
+          if (!catalog.FormatEnabled(pins[j])) pins_ok = false;
+        }
+        if (!pins_ok) continue;
+        std::vector<std::vector<FormatId>> pout_options(arity);
+        for (size_t j = 0; j < arity; ++j) {
+          const TransformTable& tt = transforms_for(vx.inputs[j]);
+          for (FormatId pout = 0; pout < num_formats; ++pout) {
+            if (tt.Get(pins[j], pout).feasible) {
+              pout_options[j].push_back(pout);
+            }
+          }
+        }
+        ForEachImplChoice(
+            graph, v, catalog, model, cluster, options, pout_options,
+            [&](ImplKind impl, const std::vector<FormatId>& pouts,
+                FormatId out, double impl_cost) {
+              ++states;
+              double cost = impl_cost;
+              for (size_t j = 0; j < arity; ++j) {
+                cost +=
+                    transforms_for(vx.inputs[j]).Get(pins[j], pouts[j]).cost;
+              }
+              Delta& d = deltas[combo * num_formats + out];
+              if (cost < d.cost) {
+                d.cost = cost;
+                d.impl = impl;
+                for (size_t j = 0; j < arity; ++j) {
+                  d.edges[j] = EdgeAnnotation{
+                      pins[j],
+                      transforms_for(vx.inputs[j]).Get(pins[j], pouts[j]).kind,
+                      pouts[j]};
+                }
+              }
+            });
+      }
+    }
+
+    // Cartesian product over the old classes' entries (Equation 2's joint
+    // minimization); each combination only needs the per-(pins, ρ) deltas.
+    std::vector<const std::pair<const Key128, ClassEntry>*> picked(
+        old_ids.size());
+    bool timed_out = false;
+
+    auto process_combination = [&]() {
+      ++states;
+      double base = 0.0;
+      for (auto* p : picked) base += p->second.cost;
+
+      int64_t combo = 0;
+      for (size_t j = arity; j-- > 0;) {
+        FormatId pin = DecodeFormat(picked[arg_slots[j].old_pos]->first,
+                                    arg_slots[j].old_index);
+        combo = combo * num_formats + pin;
+      }
+
+      Key128 carried_key;
+      for (const Carry& c : carries) {
+        carried_key = EncodeFormat(
+            carried_key, c.new_index,
+            DecodeFormat(picked[c.old_pos]->first, c.old_index));
+      }
+
+      for (FormatId out = 0; out < num_formats; ++out) {
+        const Delta& d = deltas[combo * num_formats + out];
+        if (std::isinf(d.cost)) continue;
+        double cost = base + d.cost;
+        Key128 key = carried_key;
+        if (v_index >= 0) key = EncodeFormat(key, v_index, out);
+        auto [it, inserted] = next.entries.try_emplace(key);
+        if (inserted || cost < it->second.cost) {
+          ClassEntry& e = it->second;
+          e.cost = cost;
+          e.vertex = v;
+          e.impl = d.impl;
+          e.out_format = out;
+          e.arity = static_cast<uint8_t>(arity);
+          e.edges = d.edges;
+          e.num_preds = static_cast<uint8_t>(old_ids.size());
+          for (size_t s = 0; s < old_ids.size(); ++s) {
+            e.preds[s] = {old_ids[s], picked[s]->first};
+          }
+        }
+      }
+    };
+
+    auto enumerate = [&](auto&& self, size_t pos) -> void {
+      if (timed_out) return;
+      if (pos == old_ids.size()) {
+        if ((states & 0xfff) == 0 &&
+            watch.ElapsedSeconds() > options.time_limit_sec) {
+          timed_out = true;
+          return;
+        }
+        process_combination();
+        return;
+      }
+      for (const auto& kv : tables[old_ids[pos]].entries) {
+        picked[pos] = &kv;
+        self(self, pos + 1);
+        if (timed_out) return;
+      }
+    };
+    enumerate(enumerate, 0);
+    if (timed_out) {
+      return Status::Timeout("frontier DP exceeded its time budget");
+    }
+    if (next.entries.empty()) {
+      return Status::TypeError("no type-correct annotation exists at vertex " +
+                               std::to_string(v));
+    }
+
+    // Beam cap: keep only the cheapest assignments when the joint table
+    // outgrows the budget (Section 6.3's bounded-class-size assumption).
+    if (static_cast<int64_t>(next.entries.size()) >
+        options.max_table_entries) {
+      std::vector<double> costs;
+      costs.reserve(next.entries.size());
+      for (const auto& kv : next.entries) costs.push_back(kv.second.cost);
+      auto nth = costs.begin() + options.max_table_entries;
+      std::nth_element(costs.begin(), nth, costs.end());
+      double cutoff = *nth;
+      for (auto it = next.entries.begin(); it != next.entries.end();) {
+        it = it->second.cost > cutoff ? next.entries.erase(it)
+                                      : std::next(it);
+      }
+      for (auto it = next.entries.begin();
+           it != next.entries.end() &&
+           static_cast<int64_t>(next.entries.size()) >
+               options.max_table_entries;) {
+        it = it->second.cost == cutoff ? next.entries.erase(it)
+                                       : std::next(it);
+      }
+      beam_pruned = true;
+    }
+
+    if (std::getenv("MATOPT_FRONTIER_DEBUG") != nullptr) {
+      int free_ops = 0;
+      for (int u : new_members) {
+        free_ops += (graph.vertex(u).op != OpKind::kInput);
+      }
+      std::fprintf(stderr,
+                   "frontier: v%d (%s) members=%zu free=%d entries=%zu\n", v,
+                   graph.vertex(v).name.c_str(), new_members.size(), free_ops,
+                   next.entries.size());
+    }
+
+    // Install the new class (Algorithm 4, line 14).
+    int new_id = static_cast<int>(tables.size());
+    tables.push_back(std::move(next));
+    active.push_back(true);
+    for (int id : old_ids) active[id] = false;
+    for (int u : tables[new_id].members) vertex_table[u] = new_id;
+  }
+
+  // Optimal total cost: sum over remaining active classes of their best
+  // entries; reconstruct the annotation by following backpointers.
+  PlanResult result;
+  result.annotation.vertices.resize(n);
+  for (int v = 0; v < n; ++v) {
+    const Vertex& vx = graph.vertex(v);
+    if (vx.op == OpKind::kInput) {
+      result.annotation.at(v).output_format = vx.input_format;
+    }
+  }
+  double total = 0.0;
+  std::vector<std::pair<int, Key128>> stack;
+  for (size_t id = 0; id < tables.size(); ++id) {
+    if (!active[id]) continue;
+    const ClassTable& table = tables[id];
+    const std::pair<const Key128, ClassEntry>* best = nullptr;
+    for (const auto& kv : table.entries) {
+      if (best == nullptr || kv.second.cost < best->second.cost) best = &kv;
+    }
+    if (best == nullptr) return Status::TypeError("empty final class table");
+    total += best->second.cost;
+    stack.emplace_back(static_cast<int>(id), best->first);
+  }
+  while (!stack.empty()) {
+    auto [id, key] = stack.back();
+    stack.pop_back();
+    const ClassEntry& e = tables[id].entries.at(key);
+    if (e.vertex >= 0) {
+      VertexAnnotation& va = result.annotation.at(e.vertex);
+      va.impl = e.impl;
+      va.output_format = e.out_format;
+      va.input_edges.assign(e.edges.begin(), e.edges.begin() + e.arity);
+    }
+    for (int s = 0; s < e.num_preds; ++s) stack.push_back(e.preds[s]);
+  }
+
+  result.cost = total;
+  result.opt_seconds = watch.ElapsedSeconds();
+  result.states_explored = states;
+  result.beam_pruned = beam_pruned;
+  return result;
+}
+
+}  // namespace matopt

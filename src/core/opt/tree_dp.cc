@@ -1,0 +1,148 @@
+#include <cmath>
+#include <limits>
+
+#include "common/stopwatch.h"
+#include "core/opt/enumerate.h"
+#include "core/opt/optimizer.h"
+
+namespace matopt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Backpointer for one (vertex, output format) DP state.
+struct TreeBack {
+  ImplKind impl = ImplKind::kMmSingleSingle;
+  // For each argument: producer format pin, transformation, post format.
+  std::vector<EdgeAnnotation> edges;
+};
+
+}  // namespace
+
+Result<PlanResult> TreeDpOptimize(const ComputeGraph& graph,
+                                  const Catalog& catalog,
+                                  const CostModel& model,
+                                  const ClusterConfig& cluster,
+                                  const OptimizerOptions& options) {
+  if (!graph.IsTree()) {
+    return Status::InvalidArgument(
+        "TreeDpOptimize requires a tree-shaped graph; use FrontierOptimize");
+  }
+  Stopwatch watch;
+  const int num_formats = static_cast<int>(BuiltinFormats().size());
+  const int n = graph.num_vertices();
+
+  // F(v, ρ) of Section 5, indexed [v][ρ].
+  std::vector<std::vector<double>> cost_table(
+      n, std::vector<double>(num_formats, kInf));
+  std::vector<std::vector<TreeBack>> back(n,
+                                          std::vector<TreeBack>(num_formats));
+  int64_t states = 0;
+
+  // Vertices are stored in topological order by construction.
+  for (int v = 0; v < n; ++v) {
+    if (watch.ElapsedSeconds() > options.time_limit_sec) {
+      return Status::Timeout("tree DP exceeded its time budget");
+    }
+    const Vertex& vx = graph.vertex(v);
+    if (vx.op == OpKind::kInput) {
+      cost_table[v][vx.input_format] = 0.0;
+      continue;
+    }
+
+    // For each argument j and each candidate post-transformation format
+    // pout, the cheapest way to deliver the argument in that format:
+    //   reach[j][pout] = min over pin of F(child, pin) + t(pin -> pout).c
+    const size_t arity = vx.inputs.size();
+    std::vector<std::vector<double>> reach(
+        arity, std::vector<double>(num_formats, kInf));
+    std::vector<std::vector<EdgeAnnotation>> reach_edge(
+        arity, std::vector<EdgeAnnotation>(num_formats));
+    std::vector<std::vector<FormatId>> pout_options(arity);
+    for (size_t j = 0; j < arity; ++j) {
+      const Vertex& child = graph.vertex(vx.inputs[j]);
+      TransformTable transforms(catalog, model, cluster, child.type,
+                                child.sparsity, options.cost_transforms,
+                                options.allow_sparse,
+                                options.enforce_resource_limits);
+      for (FormatId pin = 0; pin < num_formats; ++pin) {
+        if (std::isinf(cost_table[vx.inputs[j]][pin])) continue;
+        for (FormatId pout = 0; pout < num_formats; ++pout) {
+          const TransformChoice& t = transforms.Get(pin, pout);
+          if (!t.feasible) continue;
+          double c = cost_table[vx.inputs[j]][pin] + t.cost;
+          if (c < reach[j][pout]) {
+            reach[j][pout] = c;
+            reach_edge[j][pout] = EdgeAnnotation{pin, t.kind, pout};
+          }
+        }
+      }
+      for (FormatId pout = 0; pout < num_formats; ++pout) {
+        if (!std::isinf(reach[j][pout])) pout_options[j].push_back(pout);
+      }
+    }
+
+    ForEachImplChoice(
+        graph, v, catalog, model, cluster, options, pout_options,
+        [&](ImplKind impl, const std::vector<FormatId>& pouts, FormatId out,
+            double impl_cost) {
+          ++states;
+          double total = impl_cost;
+          for (size_t j = 0; j < arity; ++j) total += reach[j][pouts[j]];
+          if (total < cost_table[v][out]) {
+            cost_table[v][out] = total;
+            TreeBack& b = back[v][out];
+            b.impl = impl;
+            b.edges.clear();
+            for (size_t j = 0; j < arity; ++j) {
+              b.edges.push_back(reach_edge[j][pouts[j]]);
+            }
+          }
+        });
+  }
+
+  // The optimum is the sum over sinks (a tree has one; a forest of
+  // independent trees sums) of the cheapest final format.
+  PlanResult result;
+  result.annotation.vertices.resize(n);
+  double total = 0.0;
+  std::vector<std::pair<int, FormatId>> stack;
+  for (int sink : graph.Sinks()) {
+    FormatId best = kNoFormat;
+    for (FormatId p = 0; p < num_formats; ++p) {
+      if (best == kNoFormat || cost_table[sink][p] < cost_table[sink][best]) {
+        best = p;
+      }
+    }
+    if (best == kNoFormat || std::isinf(cost_table[sink][best])) {
+      return Status::TypeError("no type-correct annotation exists");
+    }
+    total += cost_table[sink][best];
+    stack.emplace_back(sink, best);
+  }
+
+  // Backward traversal (Section 5.3): label each vertex and edge with the
+  // choices that produced the optimal cost.
+  while (!stack.empty()) {
+    auto [v, fmt] = stack.back();
+    stack.pop_back();
+    VertexAnnotation& va = result.annotation.at(v);
+    va.output_format = fmt;
+    const Vertex& vx = graph.vertex(v);
+    if (vx.op == OpKind::kInput) continue;
+    const TreeBack& b = back[v][fmt];
+    va.impl = b.impl;
+    va.input_edges = b.edges;
+    for (size_t j = 0; j < vx.inputs.size(); ++j) {
+      stack.emplace_back(vx.inputs[j], b.edges[j].pin);
+    }
+  }
+
+  result.cost = total;
+  result.opt_seconds = watch.ElapsedSeconds();
+  result.states_explored = states;
+  return result;
+}
+
+}  // namespace matopt

@@ -1,0 +1,42 @@
+#include "engine/cluster.h"
+
+#include <sstream>
+
+namespace matopt {
+
+std::string ClusterConfig::ToString() const {
+  std::ostringstream out;
+  out << "workers=" << num_workers << " flops/s=" << flops_per_sec
+      << " net B/s=" << net_bytes_per_sec
+      << " tuple-overhead=" << per_tuple_overhead_sec
+      << " op-latency=" << per_op_latency_sec
+      << " mem=" << worker_mem_bytes << " spill=" << worker_spill_bytes;
+  return out.str();
+}
+
+ClusterConfig SimSqlProfile(int num_workers) {
+  ClusterConfig c;
+  c.num_workers = num_workers;
+  c.per_op_latency_sec = 2.0;
+  c.per_tuple_overhead_sec = 1.0e-3;
+  c.net_bytes_per_sec = 1.2e8;
+  c.worker_mem_bytes = 68.0e9;
+  return c;
+}
+
+ClusterConfig PlinyProfile(int num_workers) {
+  ClusterConfig c;
+  c.num_workers = num_workers;
+  // PlinyCompute is a C++ in-memory engine on r5dn instances: MKL-class
+  // BLAS rates, 25 Gbps networking, and no per-job launch latency.
+  c.per_op_latency_sec = 0.1;
+  c.per_tuple_overhead_sec = 2.0e-5;
+  c.flops_per_sec = 2.5e11;
+  c.net_bytes_per_sec = 3.0e9;
+  c.disk_bytes_per_sec = 2.0e9;
+  c.worker_mem_bytes = 64.0e9;
+  c.worker_spill_bytes = 150.0e9;
+  return c;
+}
+
+}  // namespace matopt

@@ -1,0 +1,71 @@
+#ifndef MATOPT_ENGINE_CLUSTER_H_
+#define MATOPT_ENGINE_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace matopt {
+
+/// Machine model of the simulated distributed relational engine. The paper
+/// runs on SimSQL (Hadoop-based) and PlinyCompute clusters of EC2
+/// r5d/r5dn.2xlarge nodes; we model the cost-relevant parameters of such a
+/// cluster. All times derived from this model are *simulated seconds*.
+struct ClusterConfig {
+  /// Number of worker machines.
+  int num_workers = 10;
+
+  /// Effective per-worker dense FLOP rate (accounts for BLAS efficiency
+  /// and, for the SimSQL profile, the Java/Hadoop execution overhead).
+  double flops_per_sec = 4.0e10;
+
+  /// Per-worker network bandwidth, bytes/second.
+  double net_bytes_per_sec = 1.2e8;
+
+  /// Per-worker materialization (disk/serialization) rate, bytes/second.
+  double disk_bytes_per_sec = 4.0e8;
+
+  /// Fixed cost of producing / routing one tuple (serialization, hashing,
+  /// dispatch). Dominates plans that shatter matrices into many tiles.
+  double per_tuple_overhead_sec = 1.0e-3;
+
+  /// Fixed per-relational-operator startup latency. Large for the
+  /// Hadoop-based SimSQL profile (job launch), small for PlinyCompute.
+  double per_op_latency_sec = 2.0;
+
+  /// Per-worker RAM available to hold operator state.
+  double worker_mem_bytes = 68.0e9;
+
+  /// Per-worker spill capacity for shuffle intermediates. Exceeding it
+  /// makes the plan fail, reproducing the paper's "Fail" entries
+  /// ("crashed, typically due to too much intermediate data").
+  double worker_spill_bytes = 150.0e9;
+
+  /// Largest matrix the engine will broadcast to every worker.
+  double broadcast_cap_bytes = 16.0e9;
+
+  /// Largest payload of any one tuple (bounds single-tuple layouts).
+  double single_tuple_cap_bytes = 2.0e10;
+
+  /// Accelerators (Section 4.2: "implementations running on CPU, or
+  /// accelerators such as GPUs ... i.f takes into account the hardware
+  /// available"). Zero GPUs disables every GPU implementation.
+  int gpus_per_worker = 0;
+  double gpu_flops_per_sec = 5.0e12;
+  double gpu_mem_bytes = 16.0e9;
+  /// Host<->device transfer bandwidth (PCIe).
+  double pcie_bytes_per_sec = 1.2e10;
+
+  std::string ToString() const;
+};
+
+/// Profile matching the paper's SimSQL setup (Hadoop-based: high per-job
+/// latency, ten r5d.2xlarge workers by default).
+ClusterConfig SimSqlProfile(int num_workers = 10);
+
+/// Profile matching the paper's PlinyCompute setup (in-memory relational
+/// engine: low latency, faster network path).
+ClusterConfig PlinyProfile(int num_workers = 10);
+
+}  // namespace matopt
+
+#endif  // MATOPT_ENGINE_CLUSTER_H_

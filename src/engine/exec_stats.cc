@@ -1,0 +1,114 @@
+#include "engine/exec_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/units.h"
+
+namespace matopt {
+
+std::string ExecStats::ToString() const {
+  std::ostringstream out;
+  out << "sim time " << FormatHms(sim_seconds) << ", flops " << flops
+      << ", net " << FormatBytes(net_bytes) << ", tuples " << tuples
+      << ", peak mem/worker " << FormatBytes(peak_worker_mem_bytes);
+  return out.str();
+}
+
+StageAccountant::StageAccountant(const ClusterConfig& cluster,
+                                 ExecStats* stats, std::string label)
+    : cluster_(cluster),
+      stats_(stats),
+      label_(std::move(label)),
+      flops_(cluster.num_workers, 0.0),
+      gpu_flops_(cluster.num_workers, 0.0),
+      pcie_(cluster.num_workers, 0.0),
+      net_(cluster.num_workers, 0.0),
+      disk_(cluster.num_workers, 0.0),
+      mem_(cluster.num_workers, 0.0),
+      work_mem_(cluster.num_workers, 0.0),
+      spill_(cluster.num_workers, 0.0) {}
+
+void StageAccountant::AddFlops(int worker, double flops) {
+  flops_[worker] += flops;
+}
+void StageAccountant::AddGpuFlops(int worker, double flops) {
+  gpu_flops_[worker] += flops;
+}
+void StageAccountant::AddPcie(int worker, double bytes) {
+  pcie_[worker] += bytes;
+}
+void StageAccountant::AddNet(int worker, double sent_bytes) {
+  net_[worker] += sent_bytes;
+}
+void StageAccountant::AddDisk(int worker, double bytes) {
+  disk_[worker] += bytes;
+}
+void StageAccountant::AddTuples(double count) { tuples_ += count; }
+void StageAccountant::AddWorkerMem(int worker, double bytes) {
+  mem_[worker] += bytes;
+}
+void StageAccountant::PeakWorkerMem(int worker, double bytes) {
+  work_mem_[worker] = std::max(work_mem_[worker], bytes);
+}
+void StageAccountant::AddWorkerSpill(int worker, double bytes) {
+  spill_[worker] += bytes;
+}
+
+void StageAccountant::Broadcast(int owner, double bytes) {
+  // Tree/pipelined broadcast: every worker relays the payload once, so the
+  // stage costs ~bytes of network time per worker rather than serializing
+  // (K-1) sends through the owner's NIC.
+  (void)owner;
+  for (int w = 0; w < cluster_.num_workers; ++w) {
+    AddNet(w, bytes);
+    AddWorkerMem(w, bytes);
+  }
+}
+
+Status StageAccountant::Commit() {
+  committed_ = true;
+  double slowest = 0.0;
+  double total_flops = 0.0;
+  double total_net = 0.0;
+  for (int w = 0; w < cluster_.num_workers; ++w) {
+    double t = flops_[w] / cluster_.flops_per_sec +
+               gpu_flops_[w] / cluster_.gpu_flops_per_sec +
+               pcie_[w] / cluster_.pcie_bytes_per_sec +
+               net_[w] / cluster_.net_bytes_per_sec +
+               disk_[w] / cluster_.disk_bytes_per_sec;
+    total_flops += gpu_flops_[w];
+    slowest = std::max(slowest, t);
+    total_flops += flops_[w];
+    total_net += net_[w];
+  }
+  double seconds = cluster_.per_op_latency_sec + slowest +
+                   tuples_ * cluster_.per_tuple_overhead_sec /
+                       static_cast<double>(cluster_.num_workers);
+  stats_->sim_seconds += seconds;
+  stats_->flops += total_flops;
+  stats_->net_bytes += total_net;
+  stats_->tuples += tuples_;
+  stats_->stages.push_back({label_, seconds});
+
+  for (int w = 0; w < cluster_.num_workers; ++w) {
+    double ram = mem_[w] + work_mem_[w];
+    stats_->peak_worker_mem_bytes =
+        std::max(stats_->peak_worker_mem_bytes, ram);
+    stats_->peak_worker_spill_bytes =
+        std::max(stats_->peak_worker_spill_bytes, spill_[w]);
+    if (ram > cluster_.worker_mem_bytes) {
+      return Status::OutOfMemory(label_ + ": worker " + std::to_string(w) +
+                                 " needs " + std::to_string(ram) +
+                                 " bytes of RAM");
+    }
+    if (spill_[w] > cluster_.worker_spill_bytes) {
+      return Status::OutOfMemory(label_ + ": worker " + std::to_string(w) +
+                                 " spills " + std::to_string(spill_[w]) +
+                                 " bytes of intermediate data");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace matopt

@@ -1,0 +1,84 @@
+#ifndef MATOPT_ENGINE_EXEC_STATS_H_
+#define MATOPT_ENGINE_EXEC_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/cluster.h"
+
+namespace matopt {
+
+/// Aggregated outcome of executing one annotated plan on the simulated
+/// cluster. `sim_seconds` is the simulated wall-clock time under the
+/// machine model; the remaining fields are raw resource totals.
+struct ExecStats {
+  double sim_seconds = 0.0;
+  double flops = 0.0;
+  double net_bytes = 0.0;
+  double tuples = 0.0;
+  double peak_worker_mem_bytes = 0.0;
+  double peak_worker_spill_bytes = 0.0;
+
+  struct StageRecord {
+    std::string label;
+    double seconds = 0.0;
+  };
+  std::vector<StageRecord> stages;
+
+  std::string ToString() const;
+};
+
+/// Accounts one relational operator stage: per-worker compute, network,
+/// and disk, plus global tuple counts. `Commit` converts the tallies into
+/// simulated seconds (workers proceed in parallel within a stage; the
+/// stage ends when the slowest worker finishes) and enforces the memory
+/// and spill budgets, reproducing the paper's "Fail" behaviour.
+class StageAccountant {
+ public:
+  StageAccountant(const ClusterConfig& cluster, ExecStats* stats,
+                  std::string label);
+
+  void AddFlops(int worker, double flops);
+  /// Arithmetic offloaded to the worker's accelerator.
+  void AddGpuFlops(int worker, double flops);
+  /// Host<->device transfer bytes (PCIe).
+  void AddPcie(int worker, double bytes);
+  void AddNet(int worker, double sent_bytes);
+  void AddDisk(int worker, double bytes);
+  void AddTuples(double count);
+  /// RAM a worker holds for the whole stage — broadcast replicas, hash
+  /// aggregation state, whole single-tuple operands (accumulates).
+  void AddWorkerMem(int worker, double bytes);
+  /// Transient per-tuple working set; the stage needs the maximum, not the
+  /// sum, since tuples stream through one at a time.
+  void PeakWorkerMem(int worker, double bytes);
+  /// Shuffle-intermediate bytes a worker must spill to disk (accumulates).
+  void AddWorkerSpill(int worker, double bytes);
+
+  /// Convenience: broadcast `bytes` held by `owner` to every worker.
+  void Broadcast(int owner, double bytes);
+
+  /// Finalizes the stage. Returns OutOfMemory when a worker's resident or
+  /// spill footprint exceeds the cluster budget.
+  Status Commit();
+
+ private:
+  const ClusterConfig& cluster_;
+  ExecStats* stats_;
+  std::string label_;
+  std::vector<double> flops_;
+  std::vector<double> gpu_flops_;
+  std::vector<double> pcie_;
+  std::vector<double> net_;
+  std::vector<double> disk_;
+  std::vector<double> mem_;
+  std::vector<double> work_mem_;
+  std::vector<double> spill_;
+  double tuples_ = 0.0;
+  bool committed_ = false;
+};
+
+}  // namespace matopt
+
+#endif  // MATOPT_ENGINE_EXEC_STATS_H_

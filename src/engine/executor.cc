@@ -1,0 +1,926 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "engine/operators.h"
+#include "la/kernels.h"
+
+namespace matopt {
+
+namespace {
+
+const Format& FormatOf(FormatId id) { return BuiltinFormats()[id]; }
+
+uint64_t Key(int64_t r, int64_t c) {
+  return (static_cast<uint64_t>(r) << 32) | static_cast<uint64_t>(c);
+}
+
+using TupleMap = std::unordered_map<uint64_t, const EngineTuple*>;
+
+TupleMap MapTuples(const Relation& rel) {
+  TupleMap map;
+  map.reserve(rel.tuples.size());
+  for (const EngineTuple& t : rel.tuples) map[Key(t.r, t.c)] = &t;
+  return map;
+}
+
+/// Shared execution context for one atomic computation implementation.
+struct Ctx {
+  const ClusterConfig& cluster;
+  ExecStats* stats;
+  const Vertex& vertex;
+  FormatId out_format;
+  bool data;        // inputs carry real payloads
+  bool gpu = false;  // offload arithmetic to the worker's accelerator
+
+  int workers() const { return cluster.num_workers; }
+};
+
+/// Charges arithmetic either to the CPU or, for GPU implementations, to
+/// the device (plus the host<->device staging transfer).
+void ChargeCompute(const Ctx& ctx, StageAccountant& acct, int worker,
+                   double flops, double staged_bytes) {
+  if (ctx.gpu) {
+    acct.AddGpuFlops(worker, flops);
+    acct.AddPcie(worker, staged_bytes);
+  } else {
+    acct.AddFlops(worker, flops);
+  }
+}
+
+/// Builds the output relation skeleton (deterministic chunking/placement)
+/// and, when data is present, installs the computed payloads.
+Relation FinishOutput(const Ctx& ctx,
+                      std::unordered_map<uint64_t, DenseMatrix>* payloads) {
+  double out_sparsity =
+      FormatOf(ctx.out_format).sparse() ? ctx.vertex.sparsity : 1.0;
+  Relation out = MakeDryRelation(ctx.vertex.type, ctx.out_format, out_sparsity,
+                                 ctx.cluster);
+  if (ctx.data && payloads != nullptr) {
+    out.has_data = true;
+    for (EngineTuple& t : out.tuples) {
+      auto it = payloads->find(Key(t.r, t.c));
+      if (it != payloads->end()) {
+        t.dense = std::make_shared<DenseMatrix>(std::move(it->second));
+      } else {
+        t.dense = std::make_shared<DenseMatrix>(t.rows, t.cols);
+      }
+    }
+  }
+  return out;
+}
+
+Relation FinishSparseOutput(
+    const Ctx& ctx, std::unordered_map<uint64_t, SparseMatrix>* payloads) {
+  Relation out = MakeDryRelation(ctx.vertex.type, ctx.out_format,
+                                 ctx.vertex.sparsity, ctx.cluster);
+  if (ctx.data && payloads != nullptr) {
+    out.has_data = true;
+    for (EngineTuple& t : out.tuples) {
+      auto it = payloads->find(Key(t.r, t.c));
+      if (it != payloads->end()) {
+        t.sparse = std::make_shared<SparseMatrix>(std::move(it->second));
+        t.sparsity = t.sparse->Sparsity();
+      } else {
+        t.sparse = std::make_shared<SparseMatrix>(t.rows, t.cols);
+        t.sparsity = 0.0;
+      }
+    }
+  }
+  return out;
+}
+
+double OutTupleBytes(const Ctx& ctx) {
+  ChunkDims d = ChunkDimsFor(ctx.vertex.type, FormatOf(ctx.out_format));
+  return 8.0 * static_cast<double>(d.rows) * static_cast<double>(d.cols);
+}
+
+double TotalOutBytes(const Ctx& ctx) {
+  return ctx.vertex.type.DenseBytes();
+}
+
+/// Re-partition accounting for one tuple in a shuffle join: the tuple
+/// crosses the network (worst case) and stays resident on its worker.
+void AccountRepartition(StageAccountant& acct, const EngineTuple& t) {
+  acct.AddNet(t.worker, t.Bytes(false));
+}
+
+// ---------------------------------------------------------------------
+// MatMul implementations.
+
+Result<Relation> ExecMmLocalSingle(const Ctx& ctx, const Relation& a,
+                                   const Relation& b, bool sparse_lhs) {
+  const EngineTuple& ta = a.tuples[0];
+  const EngineTuple& tb = b.tuples[0];
+  StageAccountant acct(ctx.cluster, ctx.stats, "mm:local-single");
+  acct.AddNet(tb.worker, tb.Bytes(FormatOf(b.format).sparse()));
+  double flops = 2.0 * static_cast<double>(ta.rows) *
+                 static_cast<double>(ta.cols) * static_cast<double>(tb.cols) *
+                 (sparse_lhs ? ta.sparsity : 1.0);
+  ChargeCompute(ctx, acct, ta.worker, flops,
+                ta.Bytes(sparse_lhs) + tb.Bytes(false) + TotalOutBytes(ctx));
+  acct.AddWorkerMem(ta.worker,
+                    ta.Bytes(sparse_lhs) + tb.Bytes(false) + TotalOutBytes(ctx));
+  acct.AddDisk(ta.worker, TotalOutBytes(ctx));
+  acct.AddTuples(3);
+  MATOPT_RETURN_IF_ERROR(acct.Commit());
+
+  std::unordered_map<uint64_t, DenseMatrix> payloads;
+  if (ctx.data) {
+    payloads.emplace(Key(0, 0), sparse_lhs ? SpMm(*ta.sparse, *tb.dense)
+                                           : Gemm(*ta.dense, *tb.dense));
+  }
+  return FinishOutput(ctx, &payloads);
+}
+
+/// row-strips (dense or sparse CSR) x broadcast single -> row strips.
+Result<Relation> ExecMmStripsBcastSingle(const Ctx& ctx, const Relation& a,
+                                         const Relation& b, bool sparse_lhs) {
+  const EngineTuple& tb = b.tuples[0];
+  StageAccountant acct(ctx.cluster, ctx.stats, "mm:strips*bcast-single");
+  acct.Broadcast(tb.worker, tb.Bytes(false));
+  double out_tuple_bytes = OutTupleBytes(ctx);
+  for (const EngineTuple& t : a.tuples) {
+    double flops = 2.0 * static_cast<double>(t.rows) *
+                   static_cast<double>(t.cols) *
+                   static_cast<double>(tb.cols) *
+                   (sparse_lhs ? t.sparsity : 1.0);
+    ChargeCompute(ctx, acct, t.worker, flops,
+                  t.Bytes(sparse_lhs) + tb.Bytes(false) + out_tuple_bytes);
+    acct.PeakWorkerMem(t.worker, t.Bytes(sparse_lhs) + out_tuple_bytes);
+    acct.AddDisk(t.worker, out_tuple_bytes);
+  }
+  acct.AddTuples(2.0 * a.tuples.size() + ctx.workers());
+  MATOPT_RETURN_IF_ERROR(acct.Commit());
+
+  std::unordered_map<uint64_t, DenseMatrix> payloads;
+  if (ctx.data) {
+    for (const EngineTuple& t : a.tuples) {
+      payloads.emplace(Key(t.r, 0), sparse_lhs ? SpMm(*t.sparse, *tb.dense)
+                                               : Gemm(*t.dense, *tb.dense));
+    }
+  }
+  return FinishOutput(ctx, &payloads);
+}
+
+/// broadcast single (dense or sparse) x col-strips -> col strips.
+Result<Relation> ExecMmBcastSingleStrips(const Ctx& ctx, const Relation& a,
+                                         const Relation& b, bool sparse_lhs) {
+  const EngineTuple& ta = a.tuples[0];
+  StageAccountant acct(ctx.cluster, ctx.stats, "mm:bcast-single*strips");
+  acct.Broadcast(ta.worker, ta.Bytes(sparse_lhs));
+  double out_tuple_bytes = OutTupleBytes(ctx);
+  for (const EngineTuple& t : b.tuples) {
+    double flops = 2.0 * static_cast<double>(ta.rows) *
+                   static_cast<double>(ta.cols) * static_cast<double>(t.cols) *
+                   (sparse_lhs ? ta.sparsity : 1.0);
+    ChargeCompute(ctx, acct, t.worker, flops,
+                  ta.Bytes(sparse_lhs) + t.Bytes(false) + out_tuple_bytes);
+    acct.PeakWorkerMem(t.worker, t.Bytes(false) + out_tuple_bytes);
+    acct.AddDisk(t.worker, out_tuple_bytes);
+  }
+  acct.AddTuples(2.0 * b.tuples.size() + ctx.workers());
+  MATOPT_RETURN_IF_ERROR(acct.Commit());
+
+  std::unordered_map<uint64_t, DenseMatrix> payloads;
+  if (ctx.data) {
+    for (const EngineTuple& t : b.tuples) {
+      payloads.emplace(Key(0, t.c), sparse_lhs ? SpMm(*ta.sparse, *t.dense)
+                                               : Gemm(*ta.dense, *t.dense));
+    }
+  }
+  return FinishOutput(ctx, &payloads);
+}
+
+/// row-strips x col-strips cross join -> tiles, no aggregation.
+Result<Relation> ExecMmCrossStrips(const Ctx& ctx, const Relation& a,
+                                   const Relation& b) {
+  bool bcast_a = a.TotalBytes() <= b.TotalBytes();
+  const Relation& small = bcast_a ? a : b;
+  const Relation& big = bcast_a ? b : a;
+  StageAccountant acct(ctx.cluster, ctx.stats, "mm:cross-strips");
+  for (const EngineTuple& t : small.tuples) {
+    acct.Broadcast(t.worker, t.Bytes(false));
+  }
+  double out_tuple_bytes = OutTupleBytes(ctx);
+  for (const EngineTuple& ta : a.tuples) {
+    for (const EngineTuple& tb : b.tuples) {
+      double flops = 2.0 * static_cast<double>(ta.rows) *
+                     static_cast<double>(ta.cols) *
+                     static_cast<double>(tb.cols);
+      int compute_worker = bcast_a ? tb.worker : ta.worker;
+      acct.AddFlops(compute_worker, flops);
+      acct.PeakWorkerMem(compute_worker, ta.Bytes(false) + tb.Bytes(false) +
+                                             out_tuple_bytes);
+      int out_worker = WorkerFor(ta.r, tb.c, ctx.workers());
+      if (out_worker != compute_worker) {
+        acct.AddNet(compute_worker, out_tuple_bytes);
+      }
+      acct.AddDisk(out_worker, out_tuple_bytes);
+    }
+  }
+  acct.AddTuples(static_cast<double>(a.tuples.size()) + b.tuples.size() +
+                 static_cast<double>(a.tuples.size()) * b.tuples.size());
+  MATOPT_RETURN_IF_ERROR(acct.Commit());
+
+  std::unordered_map<uint64_t, DenseMatrix> payloads;
+  if (ctx.data) {
+    for (const EngineTuple& ta : a.tuples) {
+      for (const EngineTuple& tb : b.tuples) {
+        payloads.emplace(Key(ta.r, tb.c), Gemm(*ta.dense, *tb.dense));
+      }
+    }
+  }
+  return FinishOutput(ctx, &payloads);
+}
+
+/// tiles x tiles shuffle join + group-by SUM; `bcast` selects the
+/// broadcast variants (0 = plain shuffle, 1 = broadcast lhs, 2 = rhs).
+Result<Relation> ExecMmTiles(const Ctx& ctx, const Relation& a,
+                             const Relation& b, int bcast) {
+  const Format& fa = FormatOf(a.format);
+  const Format& fb = FormatOf(b.format);
+  int64_t nr = NumChunks(a.type.rows(), fa.p1);
+  int64_t nk = NumChunks(a.type.cols(), fa.p2);
+  int64_t nc = NumChunks(b.type.cols(), fb.p2);
+  double out_tuple_bytes = OutTupleBytes(ctx);
+
+  StageAccountant join(ctx.cluster, ctx.stats,
+                       bcast == 0 ? "mm:tiles-shuffle-join"
+                                  : "mm:tiles-bcast-join");
+  if (bcast == 0) {
+    // Re-partition both inputs by the inner chunk index.
+    for (const EngineTuple& t : a.tuples) AccountRepartition(join, t);
+    for (const EngineTuple& t : b.tuples) AccountRepartition(join, t);
+  } else {
+    const Relation& small = bcast == 1 ? a : b;
+    const Relation& big = bcast == 1 ? b : a;
+    for (const EngineTuple& t : small.tuples) {
+      join.Broadcast(t.worker, t.Bytes(false));
+    }
+  }
+
+  // Partial products. With a shuffle join the partials are materialized
+  // and shuffled to the group-by workers (SimSQL behaviour: this is the
+  // intermediate-data blow-up that crashes over-tiled plans); with a
+  // broadcast join they fold into a per-worker pre-aggregate.
+  double partial_flops_per_entry = 2.0 * static_cast<double>(fa.p2);
+  double partials = static_cast<double>(nr) * nk * nc;
+  for (int64_t i = 0; i < nr; ++i) {
+    for (int64_t k = 0; k < nk; ++k) {
+      for (int64_t j = 0; j < nc; ++j) {
+        // Plain shuffle joins co-locate on the inner chunk index; the
+        // broadcast variants compute at the large side's tuple homes.
+        int join_worker = bcast == 0 ? WorkerFor(0, k, ctx.workers())
+                          : bcast == 1
+                              ? WorkerFor(k, j, ctx.workers())  // rhs home
+                              : WorkerFor(i, k, ctx.workers());  // lhs home
+        double flops = partial_flops_per_entry * out_tuple_bytes / 8.0;
+        join.AddFlops(join_worker, flops);
+        join.PeakWorkerMem(join_worker,
+                           8.0 * static_cast<double>(fa.p1) * fa.p2 +
+                               8.0 * static_cast<double>(fb.p1) * fb.p2 +
+                               out_tuple_bytes);
+        int out_worker = WorkerFor(i, j, ctx.workers());
+        if (bcast == 0) {
+          join.AddNet(join_worker, out_tuple_bytes);
+          join.AddDisk(out_worker, out_tuple_bytes);  // materialized partial
+          join.AddWorkerSpill(out_worker, out_tuple_bytes);
+        }
+      }
+    }
+  }
+  join.AddTuples(static_cast<double>(a.tuples.size()) + b.tuples.size() +
+                 (bcast == 0 ? partials : 0.0));
+  MATOPT_RETURN_IF_ERROR(join.Commit());
+
+  StageAccountant agg(ctx.cluster, ctx.stats, "mm:tiles-agg");
+  for (int64_t i = 0; i < nr; ++i) {
+    for (int64_t j = 0; j < nc; ++j) {
+      int out_worker = WorkerFor(i, j, ctx.workers());
+      agg.AddFlops(out_worker, static_cast<double>(nk) * out_tuple_bytes / 8.0);
+      agg.AddWorkerMem(out_worker, 2.0 * out_tuple_bytes);
+      agg.AddDisk(out_worker, out_tuple_bytes);
+      if (bcast != 0) {
+        // Pre-aggregated partials still shuffle once per contributing
+        // worker (bounded by nk and the cluster size).
+        double contributions =
+            std::min<double>(static_cast<double>(nk), ctx.workers());
+        agg.AddNet(out_worker, contributions * out_tuple_bytes);
+      }
+    }
+  }
+  agg.AddTuples(static_cast<double>(nr) * nc +
+                (bcast == 0 ? partials : 0.0));
+  MATOPT_RETURN_IF_ERROR(agg.Commit());
+
+  std::unordered_map<uint64_t, DenseMatrix> payloads;
+  if (ctx.data) {
+    TupleMap ma = MapTuples(a);
+    TupleMap mb = MapTuples(b);
+    for (int64_t i = 0; i < nr; ++i) {
+      for (int64_t j = 0; j < nc; ++j) {
+        DenseMatrix sum;
+        for (int64_t k = 0; k < nk; ++k) {
+          const EngineTuple* ta = ma.at(Key(i, k));
+          const EngineTuple* tb = mb.at(Key(k, j));
+          if (sum.size() == 0) {
+            sum = DenseMatrix(ta->rows, tb->cols);
+          }
+          GemmAccumulate(*ta->dense, *tb->dense, &sum);
+        }
+        payloads.emplace(Key(i, j), std::move(sum));
+      }
+    }
+  }
+  return FinishOutput(ctx, &payloads);
+}
+
+/// col-strips x row-strips joined on the strip index; every pair yields a
+/// full-size outer product that is SUM-aggregated into a single tuple.
+Result<Relation> ExecMmOuterSum(const Ctx& ctx, const Relation& a,
+                                const Relation& b) {
+  double out_bytes = TotalOutBytes(ctx);
+  int owner = WorkerFor(0, 0, ctx.workers());
+
+  StageAccountant join(ctx.cluster, ctx.stats, "mm:outer-join");
+  for (const EngineTuple& t : a.tuples) join.AddNet(t.worker, t.Bytes(false));
+  for (const EngineTuple& t : b.tuples) join.AddNet(t.worker, t.Bytes(false));
+  for (const EngineTuple& t : a.tuples) {
+    int worker_k = WorkerFor(t.c, t.c, ctx.workers());
+    double flops = 2.0 * static_cast<double>(a.type.rows()) *
+                   static_cast<double>(t.cols) *
+                   static_cast<double>(b.type.cols());
+    join.AddFlops(worker_k, flops);
+    join.PeakWorkerMem(worker_k, 2.0 * t.Bytes(false) + out_bytes);
+    join.AddNet(worker_k, out_bytes);  // ship the partial to the aggregator
+    join.AddDisk(owner, out_bytes);    // materialized at the aggregator
+    join.AddWorkerSpill(owner, out_bytes);
+  }
+  join.AddTuples(static_cast<double>(a.tuples.size()) + b.tuples.size() +
+                 a.tuples.size());
+  MATOPT_RETURN_IF_ERROR(join.Commit());
+
+  StageAccountant agg(ctx.cluster, ctx.stats, "mm:outer-agg");
+  agg.AddFlops(owner, static_cast<double>(a.tuples.size()) * out_bytes / 8.0);
+  agg.AddWorkerMem(owner, 2.0 * out_bytes);
+  agg.AddDisk(owner, out_bytes);
+  agg.AddTuples(1);
+  MATOPT_RETURN_IF_ERROR(agg.Commit());
+
+  std::unordered_map<uint64_t, DenseMatrix> payloads;
+  if (ctx.data) {
+    TupleMap mb = MapTuples(b);
+    DenseMatrix sum(a.type.rows(), b.type.cols());
+    for (const EngineTuple& ta : a.tuples) {
+      const EngineTuple* tb = mb.at(Key(ta.c, 0));
+      GemmAccumulate(*ta.dense, *tb->dense, &sum);
+    }
+    payloads.emplace(Key(0, 0), std::move(sum));
+  }
+  return FinishOutput(ctx, &payloads);
+}
+
+/// row-strips x broadcast whole col-striped rhs -> row strips.
+Result<Relation> ExecMmStripsBcastColStrips(const Ctx& ctx, const Relation& a,
+                                            const Relation& b) {
+  StageAccountant acct(ctx.cluster, ctx.stats, "mm:strips*bcast-colstrips");
+  for (const EngineTuple& t : b.tuples) acct.Broadcast(t.worker, t.Bytes(false));
+  double out_tuple_bytes = OutTupleBytes(ctx);
+  for (const EngineTuple& t : a.tuples) {
+    double flops = 2.0 * static_cast<double>(t.rows) *
+                   static_cast<double>(t.cols) *
+                   static_cast<double>(b.type.cols());
+    acct.AddFlops(t.worker, flops);
+    acct.PeakWorkerMem(t.worker, t.Bytes(false) + out_tuple_bytes);
+    acct.AddDisk(t.worker, out_tuple_bytes);
+  }
+  acct.AddTuples(2.0 * a.tuples.size() +
+                 static_cast<double>(b.tuples.size()) * ctx.workers());
+  MATOPT_RETURN_IF_ERROR(acct.Commit());
+
+  std::unordered_map<uint64_t, DenseMatrix> payloads;
+  if (ctx.data) {
+    ChunkDims bd = ChunkDimsFor(b.type, FormatOf(b.format));
+    for (const EngineTuple& ta : a.tuples) {
+      DenseMatrix out_strip(ta.rows, b.type.cols());
+      for (const EngineTuple& tb : b.tuples) {
+        out_strip.SetBlock(0, tb.c * bd.cols, Gemm(*ta.dense, *tb.dense));
+      }
+      payloads.emplace(Key(ta.r, 0), std::move(out_strip));
+    }
+  }
+  return FinishOutput(ctx, &payloads);
+}
+
+/// sparse CSR row strips x dense tiles -> dense row strips (shuffle+agg).
+Result<Relation> ExecMmSpStripsTiles(const Ctx& ctx, const Relation& a,
+                                     const Relation& b) {
+  const Format& fb = FormatOf(b.format);
+  int64_t nk = NumChunks(b.type.rows(), fb.p1);
+  int64_t nc = NumChunks(b.type.cols(), fb.p2);
+  double out_tuple_bytes = OutTupleBytes(ctx);
+  double partial_bytes =
+      out_tuple_bytes / std::max<int64_t>(1, nc);  // one (i,k,j) block
+
+  StageAccountant join(ctx.cluster, ctx.stats, "mm:sp-strips*tiles-join");
+  for (const EngineTuple& t : a.tuples) join.Broadcast(t.worker, t.Bytes(true));
+  for (const EngineTuple& ta : a.tuples) {
+    for (const EngineTuple& tb : b.tuples) {
+      join.PeakWorkerMem(tb.worker, tb.Bytes(false) + partial_bytes);
+      double flops = 2.0 * ta.sparsity * static_cast<double>(ta.rows) *
+                     static_cast<double>(tb.rows) *
+                     static_cast<double>(tb.cols);
+      join.AddFlops(tb.worker, flops);
+      int out_worker = WorkerFor(ta.r, 0, ctx.workers());
+      join.AddNet(tb.worker, partial_bytes);
+      join.AddDisk(out_worker, partial_bytes);
+      join.AddWorkerSpill(out_worker, partial_bytes);
+    }
+  }
+  join.AddTuples(static_cast<double>(a.tuples.size()) + b.tuples.size() +
+                 static_cast<double>(a.tuples.size()) * b.tuples.size());
+  MATOPT_RETURN_IF_ERROR(join.Commit());
+
+  StageAccountant agg(ctx.cluster, ctx.stats, "mm:sp-strips*tiles-agg");
+  for (const EngineTuple& ta : a.tuples) {
+    int out_worker = WorkerFor(ta.r, 0, ctx.workers());
+    agg.AddFlops(out_worker, static_cast<double>(nk) * out_tuple_bytes / 8.0);
+    agg.AddWorkerMem(out_worker, 2.0 * out_tuple_bytes);
+    agg.AddDisk(out_worker, out_tuple_bytes);
+  }
+  agg.AddTuples(static_cast<double>(a.tuples.size()));
+  MATOPT_RETURN_IF_ERROR(agg.Commit());
+
+  std::unordered_map<uint64_t, DenseMatrix> payloads;
+  if (ctx.data) {
+    ChunkDims bd = ChunkDimsFor(b.type, FormatOf(b.format));
+    for (const EngineTuple& ta : a.tuples) {
+      DenseMatrix out_strip(ta.rows, b.type.cols());
+      for (const EngineTuple& tb : b.tuples) {
+        SparseMatrix slice = ta.sparse->ColSlice(tb.r * bd.rows, tb.rows);
+        DenseMatrix block = out_strip.Block(0, tb.c * bd.cols, ta.rows,
+                                            tb.cols);
+        SpMmAccumulate(slice, *tb.dense, &block);
+        out_strip.SetBlock(0, tb.c * bd.cols, block);
+      }
+      payloads.emplace(Key(ta.r, 0), std::move(out_strip));
+    }
+  }
+  return FinishOutput(ctx, &payloads);
+}
+
+// ---------------------------------------------------------------------
+// Element-wise, map, reduction, and inverse implementations.
+
+Result<Relation> ExecZip(const Ctx& ctx, ImplKind kind, const Relation& a,
+                         const Relation& b) {
+  StageAccountant acct(ctx.cluster, ctx.stats, "zip");
+  for (const EngineTuple& t : a.tuples) {
+    double entries = static_cast<double>(t.rows) * t.cols;
+    acct.AddFlops(t.worker,
+                  kind == ImplKind::kReluGradZip ? 2.0 * entries : entries);
+    acct.PeakWorkerMem(t.worker, 3.0 * t.Bytes(false));
+    acct.AddDisk(t.worker, t.Bytes(false));
+  }
+  acct.AddTuples(3.0 * a.tuples.size());
+  MATOPT_RETURN_IF_ERROR(acct.Commit());
+
+  std::unordered_map<uint64_t, DenseMatrix> payloads;
+  if (ctx.data) {
+    TupleMap mb = MapTuples(b);
+    for (const EngineTuple& ta : a.tuples) {
+      const EngineTuple* tb = mb.at(Key(ta.r, ta.c));
+      DenseMatrix out;
+      switch (kind) {
+        case ImplKind::kAddZip: out = Add(*ta.dense, *tb->dense); break;
+        case ImplKind::kSubZip: out = Sub(*ta.dense, *tb->dense); break;
+        case ImplKind::kHadamardZip:
+          out = Hadamard(*ta.dense, *tb->dense);
+          break;
+        case ImplKind::kElemDivZip:
+          out = ElemDiv(*ta.dense, *tb->dense);
+          break;
+        case ImplKind::kReluGradZip:
+          out = ReluGrad(*ta.dense, *tb->dense);
+          break;
+        default: return Status::Internal("not a zip implementation");
+      }
+      payloads.emplace(Key(ta.r, ta.c), std::move(out));
+    }
+  }
+  return FinishOutput(ctx, &payloads);
+}
+
+Result<Relation> ExecSparseAdd(const Ctx& ctx, const Relation& a,
+                               const Relation& b) {
+  StageAccountant acct(ctx.cluster, ctx.stats, "zip:sparse-add");
+  for (const EngineTuple& t : a.tuples) {
+    double entries = static_cast<double>(t.rows) * t.cols;
+    acct.AddFlops(t.worker, entries * (t.sparsity + b.sparsity));
+    acct.PeakWorkerMem(t.worker, 3.0 * t.Bytes(true));
+    acct.AddDisk(t.worker, t.Bytes(true));
+  }
+  acct.AddTuples(3.0 * a.tuples.size());
+  MATOPT_RETURN_IF_ERROR(acct.Commit());
+
+  std::unordered_map<uint64_t, SparseMatrix> payloads;
+  if (ctx.data) {
+    TupleMap mb = MapTuples(b);
+    for (const EngineTuple& ta : a.tuples) {
+      const EngineTuple* tb = mb.at(Key(ta.r, ta.c));
+      payloads.emplace(Key(ta.r, ta.c), SpAdd(*ta.sparse, *tb->sparse));
+    }
+  }
+  return FinishSparseOutput(ctx, &payloads);
+}
+
+Result<Relation> ExecMap(const Ctx& ctx, ImplKind kind, const Relation& a) {
+  bool sparse = FormatOf(a.format).sparse();
+  StageAccountant acct(ctx.cluster, ctx.stats, "map");
+  for (const EngineTuple& t : a.tuples) {
+    double entries = static_cast<double>(t.rows) * t.cols *
+                     (sparse ? t.sparsity : 1.0);
+    double per_entry = (kind == ImplKind::kSigmoidMap ||
+                        kind == ImplKind::kExpMap ||
+                        kind == ImplKind::kSoftmaxRowStrips ||
+                        kind == ImplKind::kSoftmaxSingle)
+                           ? 4.0
+                           : 1.0;
+    acct.AddFlops(t.worker, per_entry * entries);
+    acct.PeakWorkerMem(t.worker, 2.0 * t.Bytes(sparse));
+    acct.AddDisk(t.worker, t.Bytes(sparse));
+  }
+  acct.AddTuples(2.0 * a.tuples.size());
+  MATOPT_RETURN_IF_ERROR(acct.Commit());
+
+  if (sparse) {
+    std::unordered_map<uint64_t, SparseMatrix> payloads;
+    if (ctx.data) {
+      for (const EngineTuple& t : a.tuples) {
+        payloads.emplace(Key(t.r, t.c), t.sparse->Scaled(ctx.vertex.scalar));
+      }
+    }
+    return FinishSparseOutput(ctx, &payloads);
+  }
+  std::unordered_map<uint64_t, DenseMatrix> payloads;
+  if (ctx.data) {
+    for (const EngineTuple& t : a.tuples) {
+      DenseMatrix out;
+      switch (kind) {
+        case ImplKind::kScalarMulMap:
+          out = ScalarMul(*t.dense, ctx.vertex.scalar);
+          break;
+        case ImplKind::kReluMap: out = Relu(*t.dense); break;
+        case ImplKind::kSigmoidMap: out = Sigmoid(*t.dense); break;
+        case ImplKind::kExpMap: out = Exp(*t.dense); break;
+        case ImplKind::kSoftmaxRowStrips:
+        case ImplKind::kSoftmaxSingle:
+          out = Softmax(*t.dense);
+          break;
+        default: return Status::Internal("not a map implementation");
+      }
+      payloads.emplace(Key(t.r, t.c), std::move(out));
+    }
+  }
+  return FinishOutput(ctx, &payloads);
+}
+
+Result<Relation> ExecTranspose(const Ctx& ctx, ImplKind kind,
+                               const Relation& a) {
+  StageAccountant acct(ctx.cluster, ctx.stats, "transpose");
+  for (const EngineTuple& t : a.tuples) {
+    acct.AddFlops(t.worker, static_cast<double>(t.rows) * t.cols);
+    acct.PeakWorkerMem(t.worker, 2.0 * t.Bytes(false));
+    acct.AddDisk(t.worker, t.Bytes(false));
+    // Swapping the chunk key usually moves the tuple to another worker.
+    int64_t out_r = t.c;
+    int64_t out_c = t.r;
+    if (kind == ImplKind::kTransposeRowToCol) {
+      out_r = 0;
+      out_c = t.r;
+    } else if (kind == ImplKind::kTransposeColToRow) {
+      out_r = t.c;
+      out_c = 0;
+    }
+    int out_worker = WorkerFor(out_r, out_c, ctx.workers());
+    if (out_worker != t.worker) acct.AddNet(t.worker, t.Bytes(false));
+  }
+  acct.AddTuples(2.0 * a.tuples.size());
+  MATOPT_RETURN_IF_ERROR(acct.Commit());
+
+  std::unordered_map<uint64_t, DenseMatrix> payloads;
+  if (ctx.data) {
+    for (const EngineTuple& t : a.tuples) {
+      int64_t out_r = t.c;
+      int64_t out_c = t.r;
+      if (kind == ImplKind::kTransposeRowToCol) {
+        out_r = 0;
+        out_c = t.r;
+      } else if (kind == ImplKind::kTransposeColToRow) {
+        out_r = t.c;
+        out_c = 0;
+      } else if (kind == ImplKind::kTransposeSingle) {
+        out_r = 0;
+        out_c = 0;
+      }
+      payloads.emplace(Key(out_r, out_c), Transpose(*t.dense));
+    }
+  }
+  return FinishOutput(ctx, &payloads);
+}
+
+Result<Relation> ExecReduce(const Ctx& ctx, ImplKind kind, const Relation& a) {
+  bool row = (kind == ImplKind::kRowSumRowStrips ||
+              kind == ImplKind::kRowSumTilesAgg ||
+              kind == ImplKind::kRowSumSingle);
+  bool agg = (kind == ImplKind::kRowSumTilesAgg ||
+              kind == ImplKind::kColSumTilesAgg);
+  StageAccountant acct(ctx.cluster, ctx.stats, row ? "row_sum" : "col_sum");
+  double out_tuple_bytes = OutTupleBytes(ctx);
+  for (const EngineTuple& t : a.tuples) {
+    acct.AddFlops(t.worker, static_cast<double>(t.rows) * t.cols);
+    acct.PeakWorkerMem(t.worker, t.Bytes(false) + out_tuple_bytes);
+    if (agg) acct.AddNet(t.worker, out_tuple_bytes);  // partial vectors
+  }
+  acct.AddTuples(2.0 * a.tuples.size());
+  MATOPT_RETURN_IF_ERROR(acct.Commit());
+  if (agg) {
+    StageAccountant agg_acct(ctx.cluster, ctx.stats, "sum-agg");
+    for (const EngineTuple& t : a.tuples) {
+      int64_t group = row ? t.r : t.c;
+      int w = row ? WorkerFor(group, 0, ctx.workers())
+                  : WorkerFor(0, group, ctx.workers());
+      agg_acct.AddFlops(w, out_tuple_bytes / 8.0);
+      agg_acct.AddWorkerMem(w, 2.0 * out_tuple_bytes);
+    }
+    agg_acct.AddTuples(static_cast<double>(a.tuples.size()));
+    MATOPT_RETURN_IF_ERROR(agg_acct.Commit());
+  }
+
+  std::unordered_map<uint64_t, DenseMatrix> payloads;
+  if (ctx.data) {
+    for (const EngineTuple& t : a.tuples) {
+      DenseMatrix part = row ? RowSum(*t.dense) : ColSum(*t.dense);
+      uint64_t key = row ? Key(t.r, 0) : Key(0, t.c);
+      auto it = payloads.find(key);
+      if (it == payloads.end()) {
+        payloads.emplace(key, std::move(part));
+      } else {
+        it->second = Add(it->second, part);
+      }
+    }
+  }
+  return FinishOutput(ctx, &payloads);
+}
+
+Result<Relation> ExecBroadcastRowAdd(const Ctx& ctx, const Relation& a,
+                                     const Relation& b) {
+  const EngineTuple& vec = b.tuples[0];
+  StageAccountant acct(ctx.cluster, ctx.stats, "broadcast_row_add");
+  acct.Broadcast(vec.worker, vec.Bytes(false));
+  for (const EngineTuple& t : a.tuples) {
+    acct.AddFlops(t.worker, static_cast<double>(t.rows) * t.cols);
+    acct.PeakWorkerMem(t.worker, 2.0 * t.Bytes(false));
+    acct.AddDisk(t.worker, t.Bytes(false));
+  }
+  acct.AddTuples(2.0 * a.tuples.size() + ctx.workers());
+  MATOPT_RETURN_IF_ERROR(acct.Commit());
+
+  std::unordered_map<uint64_t, DenseMatrix> payloads;
+  if (ctx.data) {
+    ChunkDims ad = ChunkDimsFor(a.type, FormatOf(a.format));
+    for (const EngineTuple& t : a.tuples) {
+      DenseMatrix slice = vec.dense->Block(0, t.c * ad.cols, 1, t.cols);
+      payloads.emplace(Key(t.r, t.c), BroadcastRowAdd(*t.dense, slice));
+    }
+  }
+  return FinishOutput(ctx, &payloads);
+}
+
+Result<Relation> ExecInverse(const Ctx& ctx, ImplKind kind,
+                             const Relation& a) {
+  int owner = a.tuples.size() == 1 ? a.tuples[0].worker
+                                   : WorkerFor(0, 0, ctx.workers());
+  double n = static_cast<double>(a.type.rows());
+  StageAccountant acct(ctx.cluster, ctx.stats, "inverse");
+  if (kind == ImplKind::kInverseGatherLu) {
+    for (const EngineTuple& t : a.tuples) {
+      if (t.worker != owner) acct.AddNet(t.worker, t.Bytes(false));
+    }
+  }
+  ChargeCompute(ctx, acct, owner, 2.0 * n * n * n,
+                2.0 * a.type.DenseBytes());
+  acct.AddWorkerMem(owner, 2.0 * a.type.DenseBytes());
+  acct.AddDisk(owner, a.type.DenseBytes());
+  acct.AddTuples(static_cast<double>(a.tuples.size()) + 1);
+  MATOPT_RETURN_IF_ERROR(acct.Commit());
+
+  std::unordered_map<uint64_t, DenseMatrix> payloads;
+  if (ctx.data) {
+    MATOPT_ASSIGN_OR_RETURN(DenseMatrix whole, MaterializeDense(a));
+    MATOPT_ASSIGN_OR_RETURN(DenseMatrix inv, Inverse(whole));
+    payloads.emplace(Key(0, 0), std::move(inv));
+  }
+  return FinishOutput(ctx, &payloads);
+}
+
+}  // namespace
+
+Result<Relation> ExecuteImpl(const Catalog& catalog, ImplKind kind,
+                             FormatId out_format,
+                             const std::vector<const Relation*>& args,
+                             const Vertex& vertex,
+                             const ClusterConfig& cluster, ExecStats* stats) {
+  (void)catalog;
+  bool data = true;
+  for (const Relation* r : args) data = data && r->has_data;
+  Ctx ctx{cluster, stats, vertex, out_format, data};
+  switch (kind) {
+    case ImplKind::kGpuMmSingleSingle:
+      ctx.gpu = true;
+      return ExecMmLocalSingle(ctx, *args[0], *args[1], false);
+    case ImplKind::kGpuMmRowStripsXBcastSingle:
+      ctx.gpu = true;
+      return ExecMmStripsBcastSingle(ctx, *args[0], *args[1], false);
+    case ImplKind::kGpuMmBcastSingleXColStrips:
+      ctx.gpu = true;
+      return ExecMmBcastSingleStrips(ctx, *args[0], *args[1], false);
+    case ImplKind::kGpuInverseSingleLu:
+      ctx.gpu = true;
+      return ExecInverse(ctx, ImplKind::kInverseSingleLu, *args[0]);
+    case ImplKind::kMmSingleSingle:
+      return ExecMmLocalSingle(ctx, *args[0], *args[1], false);
+    case ImplKind::kMmSpSingleXSingle:
+      return ExecMmLocalSingle(ctx, *args[0], *args[1], true);
+    case ImplKind::kMmRowStripsXBcastSingle:
+      return ExecMmStripsBcastSingle(ctx, *args[0], *args[1], false);
+    case ImplKind::kMmSpRowStripsXBcastSingle:
+      return ExecMmStripsBcastSingle(ctx, *args[0], *args[1], true);
+    case ImplKind::kMmBcastSingleXColStrips:
+      return ExecMmBcastSingleStrips(ctx, *args[0], *args[1], false);
+    case ImplKind::kMmSpSingleXColStrips:
+      return ExecMmBcastSingleStrips(ctx, *args[0], *args[1], true);
+    case ImplKind::kMmCrossStrips:
+      return ExecMmCrossStrips(ctx, *args[0], *args[1]);
+    case ImplKind::kMmTilesShuffle:
+      return ExecMmTiles(ctx, *args[0], *args[1], 0);
+    case ImplKind::kMmBcastTilesXTiles:
+      return ExecMmTiles(ctx, *args[0], *args[1], 1);
+    case ImplKind::kMmTilesXBcastTiles:
+      return ExecMmTiles(ctx, *args[0], *args[1], 2);
+    case ImplKind::kMmColStripsXRowStripsOuterSum:
+      return ExecMmOuterSum(ctx, *args[0], *args[1]);
+    case ImplKind::kMmRowStripsXBcastColStrips:
+      return ExecMmStripsBcastColStrips(ctx, *args[0], *args[1]);
+    case ImplKind::kMmSpRowStripsXTiles:
+      return ExecMmSpStripsTiles(ctx, *args[0], *args[1]);
+    case ImplKind::kAddZip:
+    case ImplKind::kSubZip:
+    case ImplKind::kHadamardZip:
+    case ImplKind::kElemDivZip:
+    case ImplKind::kReluGradZip:
+      return ExecZip(ctx, kind, *args[0], *args[1]);
+    case ImplKind::kAddSparseZip:
+      return ExecSparseAdd(ctx, *args[0], *args[1]);
+    case ImplKind::kScalarMulMap:
+    case ImplKind::kReluMap:
+    case ImplKind::kSigmoidMap:
+    case ImplKind::kExpMap:
+    case ImplKind::kSoftmaxRowStrips:
+    case ImplKind::kSoftmaxSingle:
+      return ExecMap(ctx, kind, *args[0]);
+    case ImplKind::kTransposeSingle:
+    case ImplKind::kTransposeRowToCol:
+    case ImplKind::kTransposeColToRow:
+    case ImplKind::kTransposeTiles:
+      return ExecTranspose(ctx, kind, *args[0]);
+    case ImplKind::kRowSumRowStrips:
+    case ImplKind::kRowSumTilesAgg:
+    case ImplKind::kRowSumSingle:
+    case ImplKind::kColSumColStrips:
+    case ImplKind::kColSumTilesAgg:
+    case ImplKind::kColSumSingle:
+      return ExecReduce(ctx, kind, *args[0]);
+    case ImplKind::kBroadcastRowAddBcastVec:
+      return ExecBroadcastRowAdd(ctx, *args[0], *args[1]);
+    case ImplKind::kInverseSingleLu:
+    case ImplKind::kInverseGatherLu:
+      return ExecInverse(ctx, kind, *args[0]);
+  }
+  return Status::Internal("unknown implementation kind");
+}
+
+Result<ExecResult> PlanExecutor::Execute(
+    const ComputeGraph& graph, const Annotation& annotation,
+    std::unordered_map<int, Relation> inputs) const {
+  MATOPT_RETURN_IF_ERROR(
+      ValidateAnnotation(graph, annotation, catalog_, cluster_));
+  ExecResult result;
+  std::unordered_map<int, Relation> live;
+
+  // Materialized (on-disk) bytes of live relations per worker. Relations
+  // persist until their last consumer runs; exceeding the per-worker disk
+  // budget reproduces the paper's intermediate-data "Fail"s.
+  std::vector<double> live_disk(cluster_.num_workers, 0.0);
+  auto track = [&](const Relation& rel, double sign) {
+    std::vector<double> bytes = rel.WorkerBytes(cluster_.num_workers);
+    for (int w = 0; w < cluster_.num_workers; ++w) {
+      live_disk[w] += sign * bytes[w];
+    }
+  };
+  auto check_disk = [&]() -> Status {
+    for (int w = 0; w < cluster_.num_workers; ++w) {
+      result.stats.peak_worker_spill_bytes =
+          std::max(result.stats.peak_worker_spill_bytes, live_disk[w]);
+      if (live_disk[w] > cluster_.worker_spill_bytes) {
+        return Status::OutOfMemory(
+            "worker " + std::to_string(w) + " holds " +
+            std::to_string(live_disk[w]) +
+            " bytes of materialized relations (disk budget exceeded)");
+      }
+    }
+    return Status::OK();
+  };
+
+  // Number of not-yet-executed consumers per vertex, to free relations.
+  std::vector<int> remaining(graph.num_vertices(), 0);
+  for (const Vertex& v : graph.vertices()) {
+    for (int in : v.inputs) ++remaining[in];
+  }
+
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    const Vertex& vx = graph.vertex(v);
+    const VertexAnnotation& va = annotation.at(v);
+    if (vx.op == OpKind::kInput) {
+      auto it = inputs.find(v);
+      if (it == inputs.end()) {
+        return Status::InvalidArgument("missing input relation for v" +
+                                       std::to_string(v));
+      }
+      if (it->second.format != vx.input_format) {
+        return Status::InvalidArgument(
+            "input relation format mismatch for v" + std::to_string(v));
+      }
+      track(it->second, +1.0);
+      live[v] = std::move(it->second);
+      continue;
+    }
+
+    // Apply per-edge transformations, then the implementation.
+    std::vector<Relation> transformed(vx.inputs.size());
+    std::vector<const Relation*> arg_ptrs(vx.inputs.size());
+    for (size_t j = 0; j < vx.inputs.size(); ++j) {
+      const Relation& src = live.at(vx.inputs[j]);
+      const EdgeAnnotation& e = va.input_edges[j];
+      if (e.transform.has_value()) {
+        MATOPT_ASSIGN_OR_RETURN(
+            transformed[j], ExecuteTransform(catalog_, *e.transform, src,
+                                             cluster_, &result.stats));
+        track(transformed[j], +1.0);
+        arg_ptrs[j] = &transformed[j];
+      } else {
+        arg_ptrs[j] = &src;
+      }
+    }
+    MATOPT_RETURN_IF_ERROR(check_disk());
+    MATOPT_ASSIGN_OR_RETURN(
+        Relation out, ExecuteImpl(catalog_, va.impl, va.output_format,
+                                  arg_ptrs, vx, cluster_, &result.stats));
+    track(out, +1.0);
+    MATOPT_RETURN_IF_ERROR(check_disk());
+    live[v] = std::move(out);
+
+    for (size_t j = 0; j < vx.inputs.size(); ++j) {
+      if (va.input_edges[j].transform.has_value()) {
+        track(transformed[j], -1.0);  // transformed copies die immediately
+      }
+    }
+    for (int in : vx.inputs) {
+      if (--remaining[in] == 0) {
+        track(live.at(in), -1.0);
+        live.erase(in);
+      }
+    }
+  }
+
+  for (int sink : graph.Sinks()) {
+    result.sinks.emplace(sink, std::move(live.at(sink)));
+  }
+  return result;
+}
+
+Result<ExecResult> PlanExecutor::DryRun(const ComputeGraph& graph,
+                                        const Annotation& annotation) const {
+  std::unordered_map<int, Relation> inputs;
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    const Vertex& vx = graph.vertex(v);
+    if (vx.op != OpKind::kInput) continue;
+    inputs[v] = MakeDryRelation(vx.type, vx.input_format, vx.sparsity,
+                                cluster_);
+  }
+  return Execute(graph, annotation, std::move(inputs));
+}
+
+}  // namespace matopt

@@ -1,0 +1,36 @@
+#ifndef MATOPT_ENGINE_OPERATORS_H_
+#define MATOPT_ENGINE_OPERATORS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/graph/graph.h"
+#include "core/ops/catalog.h"
+#include "engine/exec_stats.h"
+#include "engine/relation.h"
+
+namespace matopt {
+
+/// Executes one physical matrix transformation on the simulated cluster:
+/// repartitions (and, for dense<->sparse, converts) the relation into the
+/// transformation's target format, charging network, tuple, and
+/// materialization costs. Works on dry-run relations (metadata only) and
+/// data relations alike.
+Result<Relation> ExecuteTransform(const Catalog& catalog, TransformKind kind,
+                                  const Relation& input,
+                                  const ClusterConfig& cluster,
+                                  ExecStats* stats);
+
+/// Executes one atomic computation implementation over its argument
+/// relations. `vertex` supplies the output type, scalar attribute, and
+/// estimated output sparsity; `out_format` is the annotated output
+/// physical implementation (already validated against i.f).
+Result<Relation> ExecuteImpl(const Catalog& catalog, ImplKind kind,
+                             FormatId out_format,
+                             const std::vector<const Relation*>& args,
+                             const Vertex& vertex,
+                             const ClusterConfig& cluster, ExecStats* stats);
+
+}  // namespace matopt
+
+#endif  // MATOPT_ENGINE_OPERATORS_H_

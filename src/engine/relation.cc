@@ -1,0 +1,212 @@
+#include "engine/relation.h"
+
+#include <algorithm>
+
+namespace matopt {
+
+namespace {
+
+const Format& FormatOf(FormatId id) { return BuiltinFormats()[id]; }
+
+/// Chunk grid (rows x cols of chunks, chunk extents) for a dense layout.
+struct ChunkGrid {
+  int64_t chunk_rows = 0;  // chunk height (0 = full)
+  int64_t chunk_cols = 0;  // chunk width (0 = full)
+  int64_t nr = 1;
+  int64_t nc = 1;
+};
+
+ChunkGrid GridFor(const MatrixType& type, const Format& f) {
+  ChunkGrid g;
+  switch (f.layout) {
+    case Layout::kSingleTuple:
+    case Layout::kSpSingleCsr:
+    case Layout::kSpCoo:
+      g.chunk_rows = type.rows();
+      g.chunk_cols = type.cols();
+      break;
+    case Layout::kRowStrips:
+    case Layout::kSpRowStripsCsr:
+      g.chunk_rows = std::min(f.p1, type.rows());
+      g.chunk_cols = type.cols();
+      g.nr = NumChunks(type.rows(), f.p1);
+      break;
+    case Layout::kColStrips:
+    case Layout::kSpColStripsCsc:
+      g.chunk_rows = type.rows();
+      g.chunk_cols = std::min(f.p1, type.cols());
+      g.nc = NumChunks(type.cols(), f.p1);
+      break;
+    case Layout::kTiles:
+    case Layout::kSpTilesCsr: {
+      int64_t tc = f.layout == Layout::kSpTilesCsr ? f.p1 : f.p2;
+      g.chunk_rows = std::min(f.p1, type.rows());
+      g.chunk_cols = std::min(tc, type.cols());
+      g.nr = NumChunks(type.rows(), f.p1);
+      g.nc = NumChunks(type.cols(), tc);
+      break;
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+ChunkDims ChunkDimsFor(const MatrixType& type, const Format& format) {
+  ChunkGrid g = GridFor(type, format);
+  return ChunkDims{g.chunk_rows, g.chunk_cols};
+}
+
+int WorkerFor(int64_t r, int64_t c, int num_workers) {
+  uint64_t h = static_cast<uint64_t>(r) * 1000003u +
+               static_cast<uint64_t>(c) * 29u + 17u;
+  return static_cast<int>(h % static_cast<uint64_t>(num_workers));
+}
+
+double Relation::TotalBytes() const {
+  bool sp = FormatOf(format).sparse();
+  double total = 0.0;
+  for (const EngineTuple& t : tuples) total += t.Bytes(sp);
+  return total;
+}
+
+std::vector<double> Relation::WorkerBytes(int num_workers) const {
+  std::vector<double> bytes(num_workers, 0.0);
+  bool sp = FormatOf(format).sparse();
+  for (const EngineTuple& t : tuples) bytes[t.worker] += t.Bytes(sp);
+  return bytes;
+}
+
+Result<Relation> MakeRelation(const DenseMatrix& matrix, FormatId format,
+                              const ClusterConfig& cluster) {
+  const Format& f = FormatOf(format);
+  if (f.sparse()) {
+    return MakeSparseRelation(SparseMatrix::FromDense(matrix), format,
+                              cluster);
+  }
+  Relation rel;
+  rel.type = MatrixType(matrix.rows(), matrix.cols());
+  rel.format = format;
+  rel.has_data = true;
+  ChunkGrid g = GridFor(rel.type, f);
+  for (int64_t r = 0; r < g.nr; ++r) {
+    for (int64_t c = 0; c < g.nc; ++c) {
+      EngineTuple t;
+      t.r = r;
+      t.c = c;
+      auto block = matrix.Block(r * g.chunk_rows, c * g.chunk_cols,
+                                g.chunk_rows, g.chunk_cols);
+      t.rows = block.rows();
+      t.cols = block.cols();
+      t.worker = WorkerFor(r, c, cluster.num_workers);
+      t.dense = std::make_shared<DenseMatrix>(std::move(block));
+      rel.tuples.push_back(std::move(t));
+    }
+  }
+  return rel;
+}
+
+Result<Relation> MakeSparseRelation(const SparseMatrix& matrix,
+                                    FormatId format,
+                                    const ClusterConfig& cluster) {
+  const Format& f = FormatOf(format);
+  if (!f.sparse()) {
+    return MakeRelation(matrix.ToDense(), format, cluster);
+  }
+  Relation rel;
+  rel.type = MatrixType(matrix.rows(), matrix.cols());
+  rel.format = format;
+  rel.sparsity = matrix.Sparsity();
+  rel.has_data = true;
+  switch (f.layout) {
+    case Layout::kSpSingleCsr:
+    case Layout::kSpCoo: {
+      EngineTuple t;
+      t.rows = matrix.rows();
+      t.cols = matrix.cols();
+      t.sparsity = rel.sparsity;
+      t.worker = WorkerFor(0, 0, cluster.num_workers);
+      t.sparse = std::make_shared<SparseMatrix>(matrix);
+      rel.tuples.push_back(std::move(t));
+      break;
+    }
+    case Layout::kSpRowStripsCsr: {
+      int64_t nr = NumChunks(matrix.rows(), f.p1);
+      for (int64_t r = 0; r < nr; ++r) {
+        EngineTuple t;
+        t.r = r;
+        auto strip = matrix.RowSlice(r * f.p1, f.p1);
+        t.rows = strip.rows();
+        t.cols = strip.cols();
+        t.sparsity = strip.Sparsity();
+        t.worker = WorkerFor(r, 0, cluster.num_workers);
+        t.sparse = std::make_shared<SparseMatrix>(std::move(strip));
+        rel.tuples.push_back(std::move(t));
+      }
+      break;
+    }
+    case Layout::kSpColStripsCsc: {
+      int64_t nc = NumChunks(matrix.cols(), f.p1);
+      for (int64_t c = 0; c < nc; ++c) {
+        EngineTuple t;
+        t.c = c;
+        auto strip = matrix.ColSlice(c * f.p1, f.p1);
+        t.rows = strip.rows();
+        t.cols = strip.cols();
+        t.sparsity = strip.Sparsity();
+        t.worker = WorkerFor(0, c, cluster.num_workers);
+        t.sparse = std::make_shared<SparseMatrix>(std::move(strip));
+        rel.tuples.push_back(std::move(t));
+      }
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unsupported sparse layout");
+  }
+  return rel;
+}
+
+Relation MakeDryRelation(const MatrixType& type, FormatId format,
+                         double sparsity, const ClusterConfig& cluster) {
+  Relation rel;
+  rel.type = type;
+  rel.format = format;
+  rel.sparsity = sparsity;
+  rel.has_data = false;
+  const Format& f = FormatOf(format);
+  ChunkGrid g = GridFor(type, f);
+  for (int64_t r = 0; r < g.nr; ++r) {
+    for (int64_t c = 0; c < g.nc; ++c) {
+      EngineTuple t;
+      t.r = r;
+      t.c = c;
+      t.rows = std::min(g.chunk_rows, type.rows() - r * g.chunk_rows);
+      t.cols = std::min(g.chunk_cols, type.cols() - c * g.chunk_cols);
+      t.sparsity = sparsity;
+      t.worker = WorkerFor(r, c, cluster.num_workers);
+      rel.tuples.push_back(std::move(t));
+    }
+  }
+  return rel;
+}
+
+Result<DenseMatrix> MaterializeDense(const Relation& relation) {
+  if (!relation.has_data) {
+    return Status::InvalidArgument("cannot materialize a dry-run relation");
+  }
+  DenseMatrix out(relation.type.rows(), relation.type.cols());
+  const Format& f = FormatOf(relation.format);
+  ChunkGrid g = GridFor(relation.type, f);
+  for (const EngineTuple& t : relation.tuples) {
+    DenseMatrix block = t.dense ? *t.dense : t.sparse->ToDense();
+    out.SetBlock(t.r * g.chunk_rows, t.c * g.chunk_cols, block);
+  }
+  return out;
+}
+
+Result<SparseMatrix> MaterializeSparse(const Relation& relation) {
+  MATOPT_ASSIGN_OR_RETURN(DenseMatrix dense, MaterializeDense(relation));
+  return SparseMatrix::FromDense(dense);
+}
+
+}  // namespace matopt

@@ -1,0 +1,162 @@
+#include "engine/reopt_executor.h"
+
+#include <algorithm>
+
+#include "core/cost/sparsity.h"
+#include "engine/operators.h"
+
+namespace matopt {
+
+namespace {
+
+/// Observed non-zero fraction of a data-carrying relation.
+double MeasuredSparsity(const Relation& rel) {
+  if (!rel.has_data) return rel.sparsity;
+  double nnz = 0.0;
+  double entries = 0.0;
+  for (const EngineTuple& t : rel.tuples) {
+    entries += static_cast<double>(t.rows) * t.cols;
+    if (t.sparse) {
+      nnz += static_cast<double>(t.sparse->nnz());
+    } else if (t.dense) {
+      nnz += t.dense->Sparsity() * t.dense->size();
+    }
+  }
+  return entries > 0.0 ? nnz / entries : 1.0;
+}
+
+}  // namespace
+
+Result<ReoptResult> ReoptimizingExecutor::Execute(
+    const ComputeGraph& graph, std::unordered_map<int, Relation> inputs,
+    const ReoptOptions& options) const {
+  ReoptResult result;
+
+  // Working copy with estimator-propagated sparsities; inputs take their
+  // relations' measured values.
+  ComputeGraph work = graph;
+  std::vector<std::pair<int, double>> observed;
+  for (auto& [v, rel] : inputs) {
+    double measured = MeasuredSparsity(rel);
+    work.vertex(v).sparsity = measured;
+    observed.emplace_back(v, measured);
+  }
+  PropagateSparsity(&work);
+
+  MATOPT_ASSIGN_OR_RETURN(
+      PlanResult plan,
+      Optimize(work, catalog_, model_, cluster_, options.optimizer));
+  result.opt_seconds += plan.opt_seconds;
+  Annotation annotation = std::move(plan.annotation);
+
+  std::unordered_map<int, Relation> live;
+  std::vector<int> remaining(graph.num_vertices(), 0);
+  for (const Vertex& v : graph.vertices()) {
+    for (int in : v.inputs) ++remaining[in];
+  }
+  std::vector<bool> computed(graph.num_vertices(), false);
+
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    const Vertex& vx = work.vertex(v);
+    if (vx.op == OpKind::kInput) {
+      auto it = inputs.find(v);
+      if (it == inputs.end()) {
+        return Status::InvalidArgument("missing input relation for v" +
+                                       std::to_string(v));
+      }
+      live[v] = std::move(it->second);
+      computed[v] = true;
+      continue;
+    }
+
+    // Execute this vertex under the current annotation.
+    const VertexAnnotation& va = annotation.at(v);
+    std::vector<Relation> transformed(vx.inputs.size());
+    std::vector<const Relation*> args(vx.inputs.size());
+    for (size_t j = 0; j < vx.inputs.size(); ++j) {
+      const Relation& src = live.at(vx.inputs[j]);
+      const EdgeAnnotation& e = va.input_edges[j];
+      if (e.transform.has_value()) {
+        MATOPT_ASSIGN_OR_RETURN(
+            transformed[j], ExecuteTransform(catalog_, *e.transform, src,
+                                             cluster_, &result.stats));
+        args[j] = &transformed[j];
+      } else {
+        args[j] = &src;
+      }
+    }
+    MATOPT_ASSIGN_OR_RETURN(
+        Relation out, ExecuteImpl(catalog_, va.impl, va.output_format, args,
+                                  vx, cluster_, &result.stats));
+    double actual = MeasuredSparsity(out);
+    double estimated = vx.sparsity;
+    live[v] = std::move(out);
+    computed[v] = true;
+    observed.emplace_back(v, actual);
+
+    for (int in : vx.inputs) {
+      if (--remaining[in] == 0 && graph.Sinks().end() ==
+                                      std::find(graph.Sinks().begin(),
+                                                graph.Sinks().end(), in)) {
+        live.erase(in);
+      }
+    }
+
+    // Mis-estimation: pin observations, re-estimate downstream, and
+    // re-optimize the remaining subgraph with computed vertices as fixed
+    // inputs.
+    if (SparsityRelativeError(estimated, actual) > options.reopt_threshold) {
+      ++result.reoptimizations;
+      PropagateSparsity(&work, observed);
+
+      ComputeGraph rest;
+      std::vector<int> to_rest(graph.num_vertices(), -1);
+      for (int u = 0; u < graph.num_vertices(); ++u) {
+        if (!computed[u]) continue;
+        if (live.find(u) == live.end()) continue;
+        const Relation& rel = live.at(u);
+        to_rest[u] = rest.AddInput(rel.type, rel.format,
+                                   work.vertex(u).name,
+                                   MeasuredSparsity(rel));
+      }
+      std::vector<int> rest_to_old;
+      rest_to_old.resize(rest.num_vertices(), -1);
+      for (int u = 0; u < graph.num_vertices(); ++u) {
+        if (to_rest[u] >= 0 && to_rest[u] < rest.num_vertices()) {
+          rest_to_old[to_rest[u]] = u;
+        }
+      }
+      for (int u = 0; u < graph.num_vertices(); ++u) {
+        if (computed[u]) continue;
+        std::vector<int> mapped;
+        for (int in : work.vertex(u).inputs) mapped.push_back(to_rest[in]);
+        MATOPT_ASSIGN_OR_RETURN(
+            int nu, rest.AddOp(work.vertex(u).op, std::move(mapped),
+                               work.vertex(u).name, work.vertex(u).scalar));
+        rest.vertex(nu).sparsity = work.vertex(u).sparsity;
+        to_rest[u] = nu;
+        rest_to_old.push_back(u);
+      }
+
+      MATOPT_ASSIGN_OR_RETURN(
+          PlanResult replanned,
+          Optimize(rest, catalog_, model_, cluster_, options.optimizer));
+      result.opt_seconds += replanned.opt_seconds;
+      for (int nu = 0; nu < rest.num_vertices(); ++nu) {
+        int old = rest_to_old[nu];
+        if (old < 0 || computed[old]) continue;
+        VertexAnnotation nva = replanned.annotation.at(nu);
+        // Re-map edge producers back to the original vertex ids (the pin
+        // formats are already those of the live relations).
+        annotation.at(old) = std::move(nva);
+      }
+    }
+  }
+
+  for (int sink : graph.Sinks()) {
+    result.sinks.emplace(sink, std::move(live.at(sink)));
+  }
+  return result;
+}
+
+}  // namespace matopt

@@ -1,0 +1,62 @@
+#ifndef MATOPT_ENGINE_REOPT_EXECUTOR_H_
+#define MATOPT_ENGINE_REOPT_EXECUTOR_H_
+
+#include <unordered_map>
+
+#include "common/status.h"
+#include "core/cost/cost_model.h"
+#include "core/graph/graph.h"
+#include "core/opt/optimizer.h"
+#include "engine/executor.h"
+
+namespace matopt {
+
+/// Options for adaptive (re-optimizing) execution.
+struct ReoptOptions {
+  /// Halt-and-re-optimize threshold on the Sommer-style relative error
+  /// between the estimated and the observed sparsity of an intermediate
+  /// (Section 7 suggests ~1.2; 1.0 would re-optimize on any deviation).
+  double reopt_threshold = 1.2;
+
+  /// Options forwarded to each (re-)optimization.
+  OptimizerOptions optimizer;
+};
+
+/// Result of an adaptive execution.
+struct ReoptResult {
+  ExecStats stats;
+  std::unordered_map<int, Relation> sinks;
+  int reoptimizations = 0;   // times the remaining plan was re-planned
+  double opt_seconds = 0.0;  // total optimizer wall-clock across plans
+};
+
+/// Executes a compute graph with mid-execution re-optimization — the
+/// adaptive scheme the paper sketches at the end of Section 7: optimize
+/// with estimated sparsities; after each operation compare the observed
+/// output sparsity with the estimate; when the relative error exceeds the
+/// threshold, pin the observed values, re-estimate everything downstream,
+/// and re-optimize the *remaining* subgraph (computed vertices become
+/// fixed-format inputs — the analogue of mid-query re-optimization in
+/// relational systems [5, 25]).
+///
+/// Requires data-carrying input relations (observed sparsity is measured
+/// from the actual intermediates).
+class ReoptimizingExecutor {
+ public:
+  ReoptimizingExecutor(const Catalog& catalog, const CostModel& model,
+                       const ClusterConfig& cluster)
+      : catalog_(catalog), model_(model), cluster_(cluster) {}
+
+  Result<ReoptResult> Execute(const ComputeGraph& graph,
+                              std::unordered_map<int, Relation> inputs,
+                              const ReoptOptions& options = {}) const;
+
+ private:
+  const Catalog& catalog_;
+  const CostModel& model_;
+  const ClusterConfig& cluster_;
+};
+
+}  // namespace matopt
+
+#endif  // MATOPT_ENGINE_REOPT_EXECUTOR_H_

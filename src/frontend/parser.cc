@@ -1,0 +1,486 @@
+#include "frontend/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace matopt {
+
+namespace {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,
+  kNumber,
+  kLBracket,   // [
+  kRBracket,   // ]
+  kLParen,     // (
+  kRParen,     // )
+  kComma,      // ,
+  kSemicolon,  // ;
+  kAssign,     // =
+  kPlus,       // +
+  kMinus,      // -
+  kStar,       // *
+  kDotStar,    // .*
+  kDotSlash,   // ./
+  kDotPlus,    // .+
+  kQuote,      // '
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double number = 0.0;
+  int line = 1;
+  int column = 1;
+};
+
+/// Hand-written lexer with line/column tracking and `#` comments.
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpaceAndComments();
+      Token t;
+      t.line = line_;
+      t.column = column_;
+      if (pos_ >= src_.size()) {
+        t.kind = TokenKind::kEnd;
+        out.push_back(t);
+        return out;
+      }
+      char c = src_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '_')) {
+          Advance();
+        }
+        t.kind = TokenKind::kIdent;
+        t.text = src_.substr(start, pos_ - start);
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t start = pos_;
+        while (pos_ < src_.size() &&
+               (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '.' || src_[pos_] == 'e' || src_[pos_] == 'E' ||
+                ((src_[pos_] == '+' || src_[pos_] == '-') && pos_ > start &&
+                 (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E')))) {
+          Advance();
+        }
+        t.kind = TokenKind::kNumber;
+        t.text = src_.substr(start, pos_ - start);
+        t.number = std::atof(t.text.c_str());
+      } else if (c == '.') {
+        if (pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+          t.kind = TokenKind::kDotStar;
+          Advance();
+          Advance();
+        } else if (pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+          t.kind = TokenKind::kDotSlash;
+          Advance();
+          Advance();
+        } else if (pos_ + 1 < src_.size() && src_[pos_ + 1] == '+') {
+          t.kind = TokenKind::kDotPlus;
+          Advance();
+          Advance();
+        } else {
+          return Err("unexpected '.'");
+        }
+      } else {
+        switch (c) {
+          case '[': t.kind = TokenKind::kLBracket; break;
+          case ']': t.kind = TokenKind::kRBracket; break;
+          case '(': t.kind = TokenKind::kLParen; break;
+          case ')': t.kind = TokenKind::kRParen; break;
+          case ',': t.kind = TokenKind::kComma; break;
+          case ';': t.kind = TokenKind::kSemicolon; break;
+          case '=': t.kind = TokenKind::kAssign; break;
+          case '+': t.kind = TokenKind::kPlus; break;
+          case '-': t.kind = TokenKind::kMinus; break;
+          case '*': t.kind = TokenKind::kStar; break;
+          case '\'': t.kind = TokenKind::kQuote; break;
+          default:
+            return Err(std::string("unexpected character '") + c + "'");
+        }
+        Advance();
+      }
+      out.push_back(std::move(t));
+    }
+  }
+
+ private:
+  void Advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void SkipSpaceAndComments() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Err(const std::string& message) const {
+    return Status::InvalidArgument(message + " at line " +
+                                   std::to_string(line_) + ", column " +
+                                   std::to_string(column_));
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+/// Recursive-descent parser building the compute graph directly.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedProgram> Parse() {
+    while (!At(TokenKind::kEnd)) {
+      if (AtKeyword("input")) {
+        MATOPT_RETURN_IF_ERROR(ParseInput());
+      } else if (AtKeyword("output")) {
+        MATOPT_RETURN_IF_ERROR(ParseOutput());
+      } else {
+        MATOPT_RETURN_IF_ERROR(ParseAssign());
+      }
+    }
+    if (program_.outputs.empty()) {
+      for (int sink : program_.graph.Sinks()) {
+        program_.outputs.push_back(sink);
+      }
+    }
+    return std::move(program_);
+  }
+
+ private:
+  // ------------------------------------------------------------ statements
+  Status ParseInput() {
+    ++pos_;  // "input"
+    MATOPT_ASSIGN_OR_RETURN(std::string name, ExpectIdent("matrix name"));
+    MATOPT_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "["));
+    MATOPT_ASSIGN_OR_RETURN(double rows, ExpectNumber("row count"));
+    MATOPT_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+    MATOPT_ASSIGN_OR_RETURN(double cols, ExpectNumber("column count"));
+    MATOPT_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "]"));
+
+    Format format{Layout::kSingleTuple, 0, 0};
+    bool format_given = false;
+    double sparsity = 1.0;
+    while (AtKeyword("format") || AtKeyword("sparsity")) {
+      bool is_format = AtKeyword("format");
+      ++pos_;
+      MATOPT_RETURN_IF_ERROR(Expect(TokenKind::kAssign, "="));
+      if (is_format) {
+        MATOPT_ASSIGN_OR_RETURN(format, ParseFormat());
+        format_given = true;
+      } else {
+        MATOPT_ASSIGN_OR_RETURN(sparsity, ExpectNumber("sparsity"));
+      }
+    }
+    MATOPT_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, ";"));
+
+    MatrixType type(static_cast<int64_t>(rows), static_cast<int64_t>(cols));
+    if (!format_given) {
+      format = type.DenseBytes() <= 2.0e10
+                   ? Format{Layout::kSingleTuple, 0, 0}
+                   : Format{Layout::kTiles, 1000, 1000};
+    }
+    FormatId id = FindFormatId(format);
+    if (id == kNoFormat) {
+      return Err("format " + format.ToString() + " is not in the catalog");
+    }
+    if (program_.names.count(name) > 0) {
+      return Err("'" + name + "' is already defined");
+    }
+    program_.names[name] =
+        program_.graph.AddInput(type, id, name, sparsity);
+    return Status::OK();
+  }
+
+  Status ParseOutput() {
+    ++pos_;  // "output"
+    while (true) {
+      MATOPT_ASSIGN_OR_RETURN(std::string name, ExpectIdent("output name"));
+      auto it = program_.names.find(name);
+      if (it == program_.names.end()) return Err("unknown matrix '" + name + "'");
+      program_.outputs.push_back(it->second);
+      if (At(TokenKind::kComma)) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return Expect(TokenKind::kSemicolon, ";");
+  }
+
+  Status ParseAssign() {
+    MATOPT_ASSIGN_OR_RETURN(std::string name, ExpectIdent("matrix name"));
+    MATOPT_RETURN_IF_ERROR(Expect(TokenKind::kAssign, "="));
+    MATOPT_ASSIGN_OR_RETURN(int value, ParseExpr());
+    MATOPT_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, ";"));
+    if (program_.names.count(name) > 0) {
+      return Err("'" + name + "' is already defined");
+    }
+    program_.names[name] = value;
+    program_.graph.vertex(value).name = name;
+    return Status::OK();
+  }
+
+  // ----------------------------------------------------------- expressions
+  Result<int> ParseExpr() { return ParseAdd(); }
+
+  Result<int> ParseAdd() {
+    MATOPT_ASSIGN_OR_RETURN(int lhs, ParseMul());
+    while (At(TokenKind::kPlus) || At(TokenKind::kMinus) ||
+           At(TokenKind::kDotPlus)) {
+      OpKind op = At(TokenKind::kPlus) ? OpKind::kAdd
+                  : At(TokenKind::kMinus) ? OpKind::kSub
+                                          : OpKind::kBroadcastRowAdd;
+      ++pos_;
+      MATOPT_ASSIGN_OR_RETURN(int rhs, ParseMul());
+      MATOPT_ASSIGN_OR_RETURN(lhs, AddOp(op, {lhs, rhs}));
+    }
+    return lhs;
+  }
+
+  Result<int> ParseMul() {
+    MATOPT_ASSIGN_OR_RETURN(int lhs, ParseUnary());
+    while (At(TokenKind::kStar) || At(TokenKind::kDotStar) ||
+           At(TokenKind::kDotSlash)) {
+      OpKind op = At(TokenKind::kStar) ? OpKind::kMatMul
+                  : At(TokenKind::kDotStar) ? OpKind::kHadamard
+                                            : OpKind::kElemDiv;
+      ++pos_;
+      MATOPT_ASSIGN_OR_RETURN(int rhs, ParseUnary());
+      MATOPT_ASSIGN_OR_RETURN(lhs, AddOp(op, {lhs, rhs}));
+    }
+    return lhs;
+  }
+
+  Result<int> ParseUnary() {
+    if (At(TokenKind::kMinus)) {
+      ++pos_;
+      MATOPT_ASSIGN_OR_RETURN(int value, ParseUnary());
+      return AddOp(OpKind::kScalarMul, {value}, -1.0);
+    }
+    if (At(TokenKind::kNumber)) {
+      // literal * expr  =>  scalar multiply
+      double scalar = tokens_[pos_].number;
+      ++pos_;
+      MATOPT_RETURN_IF_ERROR(Expect(TokenKind::kStar, "* after a literal"));
+      MATOPT_ASSIGN_OR_RETURN(int value, ParseUnary());
+      return AddOp(OpKind::kScalarMul, {value}, scalar);
+    }
+    return ParsePostfix();
+  }
+
+  Result<int> ParsePostfix() {
+    MATOPT_ASSIGN_OR_RETURN(int value, ParsePrimary());
+    while (At(TokenKind::kQuote)) {
+      ++pos_;
+      MATOPT_ASSIGN_OR_RETURN(value, AddOp(OpKind::kTranspose, {value}));
+    }
+    return value;
+  }
+
+  Result<int> ParsePrimary() {
+    if (At(TokenKind::kLParen)) {
+      ++pos_;
+      MATOPT_ASSIGN_OR_RETURN(int value, ParseExpr());
+      MATOPT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      return value;
+    }
+    MATOPT_ASSIGN_OR_RETURN(std::string name, ExpectIdent("expression"));
+    // Function call?
+    if (At(TokenKind::kLParen)) {
+      ++pos_;
+      std::vector<int> args;
+      std::vector<double> literals;
+      if (!At(TokenKind::kRParen)) {
+        while (true) {
+          if (At(TokenKind::kNumber)) {
+            literals.push_back(tokens_[pos_].number);
+            ++pos_;
+          } else {
+            MATOPT_ASSIGN_OR_RETURN(int value, ParseExpr());
+            args.push_back(value);
+          }
+          if (At(TokenKind::kComma)) {
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+      }
+      MATOPT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      return ApplyFunction(name, args, literals);
+    }
+    auto it = program_.names.find(name);
+    if (it == program_.names.end()) {
+      return Err("unknown matrix '" + name + "'");
+    }
+    return it->second;
+  }
+
+  Result<int> ApplyFunction(const std::string& name,
+                            const std::vector<int>& args,
+                            const std::vector<double>& literals) {
+    struct Unary {
+      const char* name;
+      OpKind op;
+    };
+    static const Unary kUnary[] = {
+        {"relu", OpKind::kRelu},     {"sigmoid", OpKind::kSigmoid},
+        {"softmax", OpKind::kSoftmax}, {"exp", OpKind::kExp},
+        {"inv", OpKind::kInverse},   {"rowsum", OpKind::kRowSum},
+        {"colsum", OpKind::kColSum},
+    };
+    for (const Unary& u : kUnary) {
+      if (name == u.name) {
+        if (args.size() != 1 || !literals.empty()) {
+          return Err(name + "() takes exactly one matrix argument");
+        }
+        return AddOp(u.op, args);
+      }
+    }
+    if (name == "relu_grad") {
+      if (args.size() != 2 || !literals.empty()) {
+        return Err("relu_grad() takes (pre_activation, upstream)");
+      }
+      return AddOp(OpKind::kReluGrad, args);
+    }
+    if (name == "scale") {
+      if (args.size() != 1 || literals.size() != 1) {
+        return Err("scale() takes (matrix, literal)");
+      }
+      return AddOp(OpKind::kScalarMul, args, literals[0]);
+    }
+    return Err("unknown function '" + name + "'");
+  }
+
+  Result<int> AddOp(OpKind op, std::vector<int> args, double scalar = 0.0) {
+    Result<int> v = program_.graph.AddOp(op, std::move(args), "", scalar);
+    if (!v.ok()) {
+      return Status::InvalidArgument(v.status().message() + " (near line " +
+                                     std::to_string(Here().line) + ")");
+    }
+    return v;
+  }
+
+  Result<Format> ParseFormat() {
+    MATOPT_ASSIGN_OR_RETURN(std::string name, ExpectIdent("format name"));
+    std::vector<int64_t> params;
+    if (At(TokenKind::kLParen)) {
+      ++pos_;
+      while (true) {
+        MATOPT_ASSIGN_OR_RETURN(double p, ExpectNumber("format parameter"));
+        params.push_back(static_cast<int64_t>(p));
+        if (At(TokenKind::kComma)) {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      MATOPT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+    }
+    auto param = [&](size_t i, int64_t fallback) {
+      return params.size() > i ? params[i] : fallback;
+    };
+    if (name == "single") return Format{Layout::kSingleTuple, 0, 0};
+    if (name == "row_strips") {
+      return Format{Layout::kRowStrips, param(0, 1000), 0};
+    }
+    if (name == "col_strips") {
+      return Format{Layout::kColStrips, param(0, 1000), 0};
+    }
+    if (name == "tiles") {
+      int64_t r = param(0, 1000);
+      return Format{Layout::kTiles, r, param(1, r)};
+    }
+    if (name == "sp_csr") return Format{Layout::kSpSingleCsr, 0, 0};
+    if (name == "sp_coo") return Format{Layout::kSpCoo, 0, 0};
+    if (name == "sp_row_strips") {
+      return Format{Layout::kSpRowStripsCsr, param(0, 1000), 0};
+    }
+    return Err("unknown format '" + name + "'");
+  }
+
+  static FormatId FindFormatId(const Format& f) {
+    const auto& all = BuiltinFormats();
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (all[i] == f) return static_cast<FormatId>(i);
+    }
+    return kNoFormat;
+  }
+
+  // --------------------------------------------------------------- helpers
+  const Token& Here() const { return tokens_[pos_]; }
+  bool At(TokenKind kind) const { return tokens_[pos_].kind == kind; }
+  bool AtKeyword(const char* word) const {
+    return At(TokenKind::kIdent) && tokens_[pos_].text == word;
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (!At(kind)) return Err(std::string("expected ") + what);
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent(const char* what) {
+    if (!At(TokenKind::kIdent)) {
+      return Err(std::string("expected ") + what);
+    }
+    std::string text = tokens_[pos_].text;
+    ++pos_;
+    return text;
+  }
+
+  Result<double> ExpectNumber(const char* what) {
+    if (!At(TokenKind::kNumber)) {
+      return Err(std::string("expected ") + what);
+    }
+    double value = tokens_[pos_].number;
+    ++pos_;
+    return value;
+  }
+
+  Status Err(const std::string& message) const {
+    return Status::InvalidArgument(message + " at line " +
+                                   std::to_string(Here().line) + ", column " +
+                                   std::to_string(Here().column));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  ParsedProgram program_;
+};
+
+}  // namespace
+
+Result<ParsedProgram> ParseProgram(const std::string& source) {
+  Lexer lexer(source);
+  MATOPT_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace matopt

@@ -1,0 +1,46 @@
+#ifndef MATOPT_FRONTEND_PARSER_H_
+#define MATOPT_FRONTEND_PARSER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/graph/graph.h"
+
+namespace matopt {
+
+/// A parsed logical program: the compute graph, the name of every bound
+/// matrix, and the declared outputs.
+struct ParsedProgram {
+  ComputeGraph graph;
+  std::map<std::string, int> names;  // identifier -> vertex id
+  std::vector<int> outputs;          // vertices named in `output` statements
+};
+
+/// Parses the matopt declarative matrix language — the "high-level
+/// specification" of Section 2.2, as a small expression language rather
+/// than SQL views. Statements:
+///
+///   input  A[10000, 256] format = row_strips(1000) sparsity = 0.01;
+///   H  = relu(A * W1 .+ b1);           # matmul, broadcast row add
+///   G  = relu_grad(H, D * W2');        # ' = transpose
+///   W2n = W2 - 0.05 * (H' * D);        # scalar multiply by a literal
+///   output W2n, G;
+///
+/// Operators: `*` matrix multiply, `+`/`-` element-wise, `.*` Hadamard,
+/// `./` element-wise divide, `.+` broadcast row add (rhs is a 1 x n row
+/// vector), postfix `'` transpose, prefix `-` negation, `NUMBER * expr`
+/// scalar multiply. Functions: relu, sigmoid, softmax, exp, inv, rowsum,
+/// colsum, relu_grad(z, upstream), scale(x, c).
+///
+/// Formats: single, row_strips(h), col_strips(w), tiles(n) or tiles(r, c),
+/// sp_csr, sp_coo, sp_row_strips(h). Omitted format defaults to `single`
+/// when the matrix fits one tuple and tiles(1000) otherwise.
+///
+/// `#` starts a line comment. Errors carry line/column positions.
+Result<ParsedProgram> ParseProgram(const std::string& source);
+
+}  // namespace matopt
+
+#endif  // MATOPT_FRONTEND_PARSER_H_

@@ -1,0 +1,26 @@
+#ifndef MATOPT_FRONTEND_SQL_GEN_H_
+#define MATOPT_FRONTEND_SQL_GEN_H_
+
+#include <string>
+
+#include "core/graph/graph.h"
+#include "core/opt/annotation.h"
+#include "core/ops/catalog.h"
+
+namespace matopt {
+
+/// Compiles an annotated compute graph into SimSQL-style SQL, one CREATE
+/// VIEW per transformation and atomic computation implementation, in the
+/// style of the paper's Section 2 examples. Each relation's schema follows
+/// its physical implementation: single-tuple relations have one MATRIX
+/// attribute, strips carry a tileRow/tileCol key, tiles carry both.
+///
+/// The generated SQL is documentation of the physical plan (this library
+/// executes plans on its own engine); it is what the prototype would hand
+/// to SimSQL.
+std::string GenerateSql(const ComputeGraph& graph,
+                        const Annotation& annotation, const Catalog& catalog);
+
+}  // namespace matopt
+
+#endif  // MATOPT_FRONTEND_SQL_GEN_H_

@@ -1,0 +1,44 @@
+#include "la/dense_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace matopt {
+
+DenseMatrix DenseMatrix::Block(int64_t r0, int64_t c0, int64_t nr,
+                               int64_t nc) const {
+  nr = std::min(nr, rows_ - r0);
+  nc = std::min(nc, cols_ - c0);
+  DenseMatrix out(nr, nc);
+  for (int64_t r = 0; r < nr; ++r) {
+    const double* src = row(r0 + r) + c0;
+    std::copy(src, src + nc, out.row(r));
+  }
+  return out;
+}
+
+void DenseMatrix::SetBlock(int64_t r0, int64_t c0, const DenseMatrix& block) {
+  for (int64_t r = 0; r < block.rows(); ++r) {
+    std::copy(block.row(r), block.row(r) + block.cols(), row(r0 + r) + c0);
+  }
+}
+
+double DenseMatrix::Sparsity() const {
+  if (size() == 0) return 0.0;
+  int64_t nnz = 0;
+  for (double v : data_) nnz += (v != 0.0);
+  return static_cast<double>(nnz) / static_cast<double>(size());
+}
+
+bool AllClose(const DenseMatrix& a, const DenseMatrix& b, double rtol,
+              double atol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    double x = a.data()[i];
+    double y = b.data()[i];
+    if (std::abs(x - y) > atol + rtol * std::abs(y)) return false;
+  }
+  return true;
+}
+
+}  // namespace matopt

@@ -1,0 +1,62 @@
+#ifndef MATOPT_LA_DENSE_MATRIX_H_
+#define MATOPT_LA_DENSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace matopt {
+
+/// Row-major dense matrix of doubles. This is the local computational
+/// kernel type: distributed layouts (strips, tiles, single tuple) store one
+/// DenseMatrix per tuple.
+class DenseMatrix {
+ public:
+  DenseMatrix() : rows_(0), cols_(0) {}
+  DenseMatrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  DenseMatrix(int64_t rows, int64_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {}
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+
+  double operator()(int64_t r, int64_t c) const {
+    return data_[r * cols_ + c];
+  }
+  double& operator()(int64_t r, int64_t c) { return data_[r * cols_ + c]; }
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+  const double* row(int64_t r) const { return data_.data() + r * cols_; }
+  double* row(int64_t r) { return data_.data() + r * cols_; }
+
+  /// Extracts the block [r0, r0+nr) x [c0, c0+nc). Clamps at the edges so
+  /// ragged final strips/tiles are supported.
+  DenseMatrix Block(int64_t r0, int64_t c0, int64_t nr, int64_t nc) const;
+
+  /// Writes `block` into this matrix at offset (r0, c0).
+  void SetBlock(int64_t r0, int64_t c0, const DenseMatrix& block);
+
+  /// Fraction of entries that are non-zero.
+  double Sparsity() const;
+
+  bool operator==(const DenseMatrix& other) const = default;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<double> data_;
+};
+
+/// True when the two matrices have identical shape and all entries agree
+/// within `atol + rtol * |reference|`.
+bool AllClose(const DenseMatrix& a, const DenseMatrix& b, double rtol = 1e-9,
+              double atol = 1e-9);
+
+}  // namespace matopt
+
+#endif  // MATOPT_LA_DENSE_MATRIX_H_

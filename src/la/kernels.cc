@@ -1,0 +1,196 @@
+#include "la/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace matopt {
+
+namespace {
+
+template <typename F>
+DenseMatrix ZipWith(const DenseMatrix& a, const DenseMatrix& b, F f) {
+  DenseMatrix out(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    out.data()[i] = f(a.data()[i], b.data()[i]);
+  }
+  return out;
+}
+
+template <typename F>
+DenseMatrix MapWith(const DenseMatrix& a, F f) {
+  DenseMatrix out(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.size(); ++i) out.data()[i] = f(a.data()[i]);
+  return out;
+}
+
+}  // namespace
+
+void GemmAccumulate(const DenseMatrix& a, const DenseMatrix& b,
+                    DenseMatrix* c) {
+  // i-k-j loop order: streams over B's rows with unit stride.
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    double* c_row = c->row(i);
+    const double* a_row = a.row(i);
+    for (int64_t p = 0; p < k; ++p) {
+      double av = a_row[p];
+      if (av == 0.0) continue;
+      const double* b_row = b.row(p);
+      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+DenseMatrix Gemm(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix out(a.rows(), b.cols());
+  GemmAccumulate(a, b, &out);
+  return out;
+}
+
+DenseMatrix Add(const DenseMatrix& a, const DenseMatrix& b) {
+  return ZipWith(a, b, [](double x, double y) { return x + y; });
+}
+
+DenseMatrix Sub(const DenseMatrix& a, const DenseMatrix& b) {
+  return ZipWith(a, b, [](double x, double y) { return x - y; });
+}
+
+DenseMatrix Hadamard(const DenseMatrix& a, const DenseMatrix& b) {
+  return ZipWith(a, b, [](double x, double y) { return x * y; });
+}
+
+DenseMatrix ElemDiv(const DenseMatrix& a, const DenseMatrix& b) {
+  return ZipWith(a, b, [](double x, double y) { return x / y; });
+}
+
+DenseMatrix ScalarMul(const DenseMatrix& a, double s) {
+  return MapWith(a, [s](double x) { return s * x; });
+}
+
+DenseMatrix Transpose(const DenseMatrix& a) {
+  DenseMatrix out(a.cols(), a.rows());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) out(c, r) = a(r, c);
+  }
+  return out;
+}
+
+DenseMatrix Relu(const DenseMatrix& a) {
+  return MapWith(a, [](double x) { return x > 0.0 ? x : 0.0; });
+}
+
+DenseMatrix ReluGrad(const DenseMatrix& z, const DenseMatrix& upstream) {
+  return ZipWith(upstream, z,
+                 [](double up, double zz) { return zz > 0.0 ? up : 0.0; });
+}
+
+DenseMatrix Softmax(const DenseMatrix& a) {
+  DenseMatrix out(a.rows(), a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const double* in = a.row(r);
+    double* o = out.row(r);
+    double mx = *std::max_element(in, in + a.cols());
+    double sum = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      o[c] = std::exp(in[c] - mx);
+      sum += o[c];
+    }
+    for (int64_t c = 0; c < a.cols(); ++c) o[c] /= sum;
+  }
+  return out;
+}
+
+DenseMatrix Sigmoid(const DenseMatrix& a) {
+  return MapWith(a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+}
+
+DenseMatrix Exp(const DenseMatrix& a) {
+  return MapWith(a, [](double x) { return std::exp(x); });
+}
+
+DenseMatrix RowSum(const DenseMatrix& a) {
+  DenseMatrix out(a.rows(), 1);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    double s = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) s += a(r, c);
+    out(r, 0) = s;
+  }
+  return out;
+}
+
+DenseMatrix ColSum(const DenseMatrix& a) {
+  DenseMatrix out(1, a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) out(0, c) += a(r, c);
+  }
+  return out;
+}
+
+DenseMatrix BroadcastRowAdd(const DenseMatrix& a, const DenseMatrix& vec) {
+  DenseMatrix out(a.rows(), a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c) + vec(0, c);
+  }
+  return out;
+}
+
+Result<DenseMatrix> Inverse(const DenseMatrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Inverse requires a square matrix");
+  }
+  const int64_t n = a.rows();
+  DenseMatrix lu = a;
+  std::vector<int64_t> perm(n);
+  for (int64_t i = 0; i < n; ++i) perm[i] = i;
+
+  // LU decomposition with partial pivoting, applied in place.
+  for (int64_t k = 0; k < n; ++k) {
+    int64_t pivot = k;
+    double best = std::abs(lu(k, k));
+    for (int64_t r = k + 1; r < n; ++r) {
+      if (std::abs(lu(r, k)) > best) {
+        best = std::abs(lu(r, k));
+        pivot = r;
+      }
+    }
+    if (best == 0.0) {
+      return Status::InvalidArgument("Inverse of a singular matrix");
+    }
+    if (pivot != k) {
+      for (int64_t c = 0; c < n; ++c) std::swap(lu(k, c), lu(pivot, c));
+      std::swap(perm[k], perm[pivot]);
+    }
+    for (int64_t r = k + 1; r < n; ++r) {
+      lu(r, k) /= lu(k, k);
+      double f = lu(r, k);
+      if (f == 0.0) continue;
+      for (int64_t c = k + 1; c < n; ++c) lu(r, c) -= f * lu(k, c);
+    }
+  }
+
+  // Solve LU x = P e_j for each unit vector.
+  DenseMatrix out(n, n);
+  std::vector<double> y(n);
+  for (int64_t j = 0; j < n; ++j) {
+    for (int64_t i = 0; i < n; ++i) y[i] = (perm[i] == j) ? 1.0 : 0.0;
+    for (int64_t i = 0; i < n; ++i) {       // forward substitution (L)
+      for (int64_t c = 0; c < i; ++c) y[i] -= lu(i, c) * y[c];
+    }
+    for (int64_t i = n - 1; i >= 0; --i) {  // back substitution (U)
+      for (int64_t c = i + 1; c < n; ++c) y[i] -= lu(i, c) * y[c];
+      y[i] /= lu(i, i);
+    }
+    for (int64_t i = 0; i < n; ++i) out(i, j) = y[i];
+  }
+  return out;
+}
+
+DenseMatrix Identity(int64_t n) {
+  DenseMatrix out(n, n);
+  for (int64_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+}  // namespace matopt

@@ -1,0 +1,57 @@
+#ifndef MATOPT_LA_KERNELS_H_
+#define MATOPT_LA_KERNELS_H_
+
+#include "common/status.h"
+#include "la/dense_matrix.h"
+#include "la/sparse_matrix.h"
+
+namespace matopt {
+
+/// Local dense linear-algebra kernels. These are the computational leaves
+/// of every atomic computation implementation: distributed implementations
+/// apply them per tuple and combine the results relationally.
+
+/// Returns A * B. Requires a.cols() == b.rows().
+DenseMatrix Gemm(const DenseMatrix& a, const DenseMatrix& b);
+
+/// C += A * B.
+void GemmAccumulate(const DenseMatrix& a, const DenseMatrix& b,
+                    DenseMatrix* c);
+
+DenseMatrix Add(const DenseMatrix& a, const DenseMatrix& b);
+DenseMatrix Sub(const DenseMatrix& a, const DenseMatrix& b);
+DenseMatrix Hadamard(const DenseMatrix& a, const DenseMatrix& b);
+DenseMatrix ElemDiv(const DenseMatrix& a, const DenseMatrix& b);
+DenseMatrix ScalarMul(const DenseMatrix& a, double s);
+DenseMatrix Transpose(const DenseMatrix& a);
+DenseMatrix Relu(const DenseMatrix& a);
+
+/// Derivative of relu evaluated at pre-activation `z`, multiplied
+/// element-wise into `upstream`: out = upstream .* (z > 0).
+DenseMatrix ReluGrad(const DenseMatrix& z, const DenseMatrix& upstream);
+
+/// Row-wise softmax with the usual max-subtraction for stability.
+DenseMatrix Softmax(const DenseMatrix& a);
+
+DenseMatrix Sigmoid(const DenseMatrix& a);
+DenseMatrix Exp(const DenseMatrix& a);
+
+/// Column vector (rows x 1) of row sums.
+DenseMatrix RowSum(const DenseMatrix& a);
+
+/// Row vector (1 x cols) of column sums.
+DenseMatrix ColSum(const DenseMatrix& a);
+
+/// out(r, c) = a(r, c) + vec(0, c); vec must be 1 x a.cols().
+DenseMatrix BroadcastRowAdd(const DenseMatrix& a, const DenseMatrix& vec);
+
+/// Inverse of a square matrix by LU decomposition with partial pivoting.
+/// Fails with InvalidArgument when the matrix is singular or not square.
+Result<DenseMatrix> Inverse(const DenseMatrix& a);
+
+/// Identity matrix of order n.
+DenseMatrix Identity(int64_t n);
+
+}  // namespace matopt
+
+#endif  // MATOPT_LA_KERNELS_H_

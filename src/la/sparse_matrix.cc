@@ -1,0 +1,128 @@
+#include "la/sparse_matrix.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace matopt {
+
+SparseMatrix SparseMatrix::FromDense(const DenseMatrix& dense) {
+  SparseMatrix out(dense.rows(), dense.cols());
+  for (int64_t r = 0; r < dense.rows(); ++r) {
+    for (int64_t c = 0; c < dense.cols(); ++c) {
+      double v = dense(r, c);
+      if (v != 0.0) {
+        out.col_idx_.push_back(c);
+        out.values_.push_back(v);
+      }
+    }
+    out.row_ptr_[r + 1] = static_cast<int64_t>(out.values_.size());
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::FromTriples(
+    int64_t rows, int64_t cols,
+    std::vector<std::tuple<int64_t, int64_t, double>> triples) {
+  std::sort(triples.begin(), triples.end(),
+            [](const auto& a, const auto& b) {
+              return std::tie(std::get<0>(a), std::get<1>(a)) <
+                     std::tie(std::get<0>(b), std::get<1>(b));
+            });
+  SparseMatrix out(rows, cols);
+  int64_t current_row = 0;
+  int64_t last_r = -1;
+  int64_t last_c = -1;
+  for (const auto& [r, c, v] : triples) {
+    if (r == last_r && c == last_c) {
+      out.values_.back() += v;  // merge duplicate coordinate
+      continue;
+    }
+    while (current_row < r) {
+      out.row_ptr_[current_row + 1] = static_cast<int64_t>(out.values_.size());
+      ++current_row;
+    }
+    out.col_idx_.push_back(c);
+    out.values_.push_back(v);
+    last_r = r;
+    last_c = c;
+  }
+  while (current_row < rows) {
+    out.row_ptr_[current_row + 1] = static_cast<int64_t>(out.values_.size());
+    ++current_row;
+  }
+  return out;
+}
+
+DenseMatrix SparseMatrix::ToDense() const {
+  DenseMatrix out(rows_, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      out(r, col_idx_[i]) = values_[i];
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::RowSlice(int64_t r0, int64_t nr) const {
+  nr = std::min(nr, rows_ - r0);
+  SparseMatrix out(nr, cols_);
+  int64_t base = row_ptr_[r0];
+  for (int64_t r = 0; r < nr; ++r) {
+    out.row_ptr_[r + 1] = row_ptr_[r0 + r + 1] - base;
+  }
+  out.col_idx_.assign(col_idx_.begin() + base,
+                      col_idx_.begin() + row_ptr_[r0 + nr]);
+  out.values_.assign(values_.begin() + base,
+                     values_.begin() + row_ptr_[r0 + nr]);
+  return out;
+}
+
+SparseMatrix SparseMatrix::ColSlice(int64_t c0, int64_t nc) const {
+  nc = std::min(nc, cols_ - c0);
+  SparseMatrix out(rows_, nc);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      int64_t c = col_idx_[i];
+      if (c >= c0 && c < c0 + nc) {
+        out.col_idx_.push_back(c - c0);
+        out.values_.push_back(values_[i]);
+      }
+    }
+    out.row_ptr_[r + 1] = static_cast<int64_t>(out.values_.size());
+  }
+  return out;
+}
+
+void SpMmAccumulate(const SparseMatrix& a, const DenseMatrix& b,
+                    DenseMatrix* c) {
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    double* out_row = c->row(r);
+    for (int64_t i = a.row_ptr()[r]; i < a.row_ptr()[r + 1]; ++i) {
+      double v = a.values()[i];
+      const double* b_row = b.row(a.col_idx()[i]);
+      for (int64_t j = 0; j < b.cols(); ++j) out_row[j] += v * b_row[j];
+    }
+  }
+}
+
+DenseMatrix SpMm(const SparseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix out(a.rows(), b.cols());
+  SpMmAccumulate(a, b, &out);
+  return out;
+}
+
+SparseMatrix SpAdd(const SparseMatrix& a, const SparseMatrix& b) {
+  std::vector<std::tuple<int64_t, int64_t, double>> triples;
+  triples.reserve(a.nnz() + b.nnz());
+  for (const SparseMatrix* m : {&a, &b}) {
+    for (int64_t r = 0; r < m->rows(); ++r) {
+      for (int64_t i = m->row_ptr()[r]; i < m->row_ptr()[r + 1]; ++i) {
+        triples.emplace_back(r, m->col_idx()[i], m->values()[i]);
+      }
+    }
+  }
+  return SparseMatrix::FromTriples(a.rows(), a.cols(), std::move(triples));
+}
+
+}  // namespace matopt

@@ -1,0 +1,78 @@
+#ifndef MATOPT_LA_SPARSE_MATRIX_H_
+#define MATOPT_LA_SPARSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/dense_matrix.h"
+
+namespace matopt {
+
+/// Compressed-sparse-row matrix of doubles. Sparse physical layouts
+/// (SpSingleCsr, SpRowStripsCsr, SpCoo, ...) store one SparseMatrix per
+/// tuple; COO layouts are represented as CSR in memory but costed as
+/// (row, col, value) triples.
+class SparseMatrix {
+ public:
+  SparseMatrix() : rows_(0), cols_(0), row_ptr_{0} {}
+  SparseMatrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+
+  static SparseMatrix FromDense(const DenseMatrix& dense);
+
+  /// Builds a CSR matrix from unsorted COO triples. Duplicate coordinates
+  /// are summed.
+  static SparseMatrix FromTriples(
+      int64_t rows, int64_t cols,
+      std::vector<std::tuple<int64_t, int64_t, double>> triples);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+  double Sparsity() const {
+    int64_t total = rows_ * cols_;
+    return total == 0 ? 0.0 : static_cast<double>(nnz()) / total;
+  }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  DenseMatrix ToDense() const;
+
+  /// Returns a copy with every stored value multiplied by `s`.
+  SparseMatrix Scaled(double s) const {
+    SparseMatrix out = *this;
+    for (double& v : out.values_) v *= s;
+    return out;
+  }
+
+  /// Extracts rows [r0, r0+nr) as a CSR matrix (used to chunk sparse
+  /// matrices into row strips).
+  SparseMatrix RowSlice(int64_t r0, int64_t nr) const;
+
+  /// Extracts columns [c0, c0+nc) (used for sparse column strips; this is a
+  /// CSC-flavored slice but stored as CSR of the slice).
+  SparseMatrix ColSlice(int64_t c0, int64_t nc) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int64_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// C += A_sparse * B_dense. B must have A.cols() rows.
+void SpMmAccumulate(const SparseMatrix& a, const DenseMatrix& b,
+                    DenseMatrix* c);
+
+/// Returns A_sparse * B_dense.
+DenseMatrix SpMm(const SparseMatrix& a, const DenseMatrix& b);
+
+/// Element-wise sum of two CSR matrices with identical shape.
+SparseMatrix SpAdd(const SparseMatrix& a, const SparseMatrix& b);
+
+}  // namespace matopt
+
+#endif  // MATOPT_LA_SPARSE_MATRIX_H_

@@ -1,0 +1,39 @@
+#include "ml/generators.h"
+
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+
+namespace matopt {
+
+DenseMatrix GaussianMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix out(rows, cols);
+  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] = rng.Normal();
+  return out;
+}
+
+SparseMatrix RandomSparse(int64_t rows, int64_t cols, double nnz_per_row,
+                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::tuple<int64_t, int64_t, double>> triples;
+  triples.reserve(static_cast<size_t>(rows * nnz_per_row));
+  for (int64_t r = 0; r < rows; ++r) {
+    int64_t count = static_cast<int64_t>(nnz_per_row);
+    if (rng.Uniform() < nnz_per_row - count) ++count;
+    for (int64_t i = 0; i < count; ++i) {
+      triples.emplace_back(r, rng.UniformInt(cols), rng.Normal());
+    }
+  }
+  return SparseMatrix::FromTriples(rows, cols, std::move(triples));
+}
+
+DenseMatrix OneHotLabels(int64_t rows, int64_t num_classes, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix out(rows, num_classes);
+  for (int64_t r = 0; r < rows; ++r) out(r, rng.UniformInt(num_classes)) = 1.0;
+  return out;
+}
+
+}  // namespace matopt

@@ -1,0 +1,37 @@
+#ifndef MATOPT_ML_GENERATORS_H_
+#define MATOPT_ML_GENERATORS_H_
+
+#include <cstdint>
+
+#include "la/dense_matrix.h"
+#include "la/sparse_matrix.h"
+
+namespace matopt {
+
+/// Dense matrix with i.i.d. Normal(0, 1) entries (the paper's generator
+/// for FFNN inputs, weights, and the inversion / matrix-chain inputs).
+DenseMatrix GaussianMatrix(int64_t rows, int64_t cols, uint64_t seed);
+
+/// Sparse matrix with ~`nnz_per_row` uniformly placed Normal(0,1) entries
+/// per row.
+SparseMatrix RandomSparse(int64_t rows, int64_t cols, double nnz_per_row,
+                          uint64_t seed);
+
+/// One-hot style label matrix: a single 1.0 per row in a random column.
+DenseMatrix OneHotLabels(int64_t rows, int64_t num_classes, uint64_t seed);
+
+/// Shape and density of the AmazonCat-14K extreme-classification dataset
+/// used in Section 8.3. We cannot redistribute the dataset, so the Fig
+/// 11/12 benchmarks run on a synthetic substitute with identical shape and
+/// per-row non-zero density (~51 non-zeros per row), which is all those
+/// experiments exercise.
+struct AmazonCat14K {
+  static constexpr int64_t kFeatures = 597540;
+  static constexpr int64_t kLabels = 14588;
+  static constexpr double kNnzPerRow = 51.0;
+  static constexpr double kDensity = kNnzPerRow / kFeatures;
+};
+
+}  // namespace matopt
+
+#endif  // MATOPT_ML_GENERATORS_H_

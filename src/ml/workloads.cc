@@ -1,0 +1,245 @@
+#include "ml/workloads.h"
+
+namespace matopt {
+
+namespace {
+
+FormatId Find(const Format& f) {
+  const auto& all = BuiltinFormats();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == f) return static_cast<FormatId>(i);
+  }
+  return kNoFormat;
+}
+
+FormatId SingleFmt() { return Find({Layout::kSingleTuple, 0, 0}); }
+FormatId RowStrips1000() { return Find({Layout::kRowStrips, 1000, 0}); }
+FormatId ColStrips10000() { return Find({Layout::kColStrips, 10000, 0}); }
+FormatId Tiles1000() { return Find({Layout::kTiles, 1000, 1000}); }
+
+}  // namespace
+
+Result<ComputeGraph> BuildFfnnGraph(const FfnnConfig& cfg) {
+  FormatId x_fmt = cfg.x_format != kNoFormat ? cfg.x_format : RowStrips1000();
+  FormatId l_fmt =
+      cfg.label_format != kNoFormat ? cfg.label_format : RowStrips1000();
+  FormatId w_fmt = cfg.w_format != kNoFormat ? cfg.w_format : Tiles1000();
+  FormatId single = SingleFmt();
+  const double inv_batch = 1.0 / static_cast<double>(cfg.batch);
+
+  GraphBuilder g;
+  int x = g.Input(MatrixType(cfg.batch, cfg.features), x_fmt, "X",
+                  cfg.x_sparsity);
+  int labels = g.Input(MatrixType(cfg.batch, cfg.labels), l_fmt, "L");
+  int w1 = g.Input(MatrixType(cfg.features, cfg.hidden), w_fmt, "W1");
+  int w2 = g.Input(MatrixType(cfg.hidden, cfg.hidden), w_fmt, "W2");
+  int w3 = g.Input(MatrixType(cfg.hidden, cfg.labels), single, "W3");
+  int b1 = g.Input(MatrixType(1, cfg.hidden), single, "b1");
+  int b2 = g.Input(MatrixType(1, cfg.hidden), single, "b2");
+  int b3 = g.Input(MatrixType(1, cfg.labels), single, "b3");
+
+  // Forward pass.
+  auto forward = [&](int input, int pw1, int pw2, int pw3, int pb1, int pb2,
+                     int pb3, const std::string& tag) {
+    int m1 = g.Op(OpKind::kMatMul, {input, pw1}, "M1" + tag);
+    int z1 = g.Op(OpKind::kBroadcastRowAdd, {m1, pb1}, "Z1" + tag);
+    int a1 = g.Op(OpKind::kRelu, {z1}, "A1" + tag);
+    int m2 = g.Op(OpKind::kMatMul, {a1, pw2}, "M2" + tag);
+    int z2 = g.Op(OpKind::kBroadcastRowAdd, {m2, pb2}, "Z2" + tag);
+    int a2 = g.Op(OpKind::kRelu, {z2}, "A2" + tag);
+    int m3 = g.Op(OpKind::kMatMul, {a2, pw3}, "M3" + tag);
+    int z3 = g.Op(OpKind::kBroadcastRowAdd, {m3, pb3}, "Z3" + tag);
+    int y = g.Op(OpKind::kSoftmax, {z3}, "Y" + tag);
+    return std::array<int, 9>{m1, z1, a1, m2, z2, a2, m3, z3, y};
+  };
+  auto f1 = forward(x, w1, w2, w3, b1, b2, b3, "");
+  int a1 = f1[2], a2 = f1[5], y = f1[8];
+
+  // Backpropagation: output delta, normalized by the batch size.
+  int d3 = g.Op(OpKind::kSub, {y, labels}, "D3");
+  int d3s = g.Op(OpKind::kScalarMul, {d3}, "D3s", inv_batch);
+
+  if (!cfg.full_pass) {
+    // Backprop only to the updated W2 (Experiments 2-4).
+    int tw3 = g.Op(OpKind::kTranspose, {w3}, "W3t");
+    int p2 = g.Op(OpKind::kMatMul, {d3s, tw3}, "P2");
+    // relu'(z) == relu'(relu(z)) entry-wise, so the gradient mask uses the
+    // activation (already live for the weight-gradient transpose) instead
+    // of keeping the pre-activation alive through backprop.
+    int g2 = g.Op(OpKind::kReluGrad, {a2, p2}, "G2");
+    int ta1 = g.Op(OpKind::kTranspose, {a1}, "A1t");
+    int gw2 = g.Op(OpKind::kMatMul, {ta1, g2}, "gW2");
+    int uw2 = g.Op(OpKind::kScalarMul, {gw2}, "uW2", cfg.learning_rate);
+    g.Op(OpKind::kSub, {w2, uw2}, "W2'");
+    return g.Finish();
+  }
+
+  // Full backprop: update every weight and bias, then run a second
+  // forward pass and compute the output-layer error (57 vertices total).
+  auto update = [&](int weight, int grad, const std::string& tag) {
+    int scaled = g.Op(OpKind::kScalarMul, {grad}, "u" + tag,
+                      cfg.learning_rate);
+    return g.Op(OpKind::kSub, {weight, scaled}, tag + "'");
+  };
+
+  int ta2 = g.Op(OpKind::kTranspose, {a2}, "A2t");
+  int gw3 = g.Op(OpKind::kMatMul, {ta2, d3s}, "gW3");
+  int gb3 = g.Op(OpKind::kColSum, {d3s}, "gb3");
+  int w3n = update(w3, gw3, "W3");
+  int b3n = update(b3, gb3, "b3");
+
+  // As in the to-W2 branch, gradient masks use activations, which are
+  // already live, rather than pre-activations.
+  int tw3 = g.Op(OpKind::kTranspose, {w3}, "W3t");
+  int p2 = g.Op(OpKind::kMatMul, {d3s, tw3}, "P2");
+  int g2 = g.Op(OpKind::kReluGrad, {a2, p2}, "G2");
+
+  int ta1 = g.Op(OpKind::kTranspose, {a1}, "A1t");
+  int gw2 = g.Op(OpKind::kMatMul, {ta1, g2}, "gW2");
+  int gb2 = g.Op(OpKind::kColSum, {g2}, "gb2");
+  int w2n = update(w2, gw2, "W2");
+  int b2n = update(b2, gb2, "b2");
+
+  int tw2 = g.Op(OpKind::kTranspose, {w2}, "W2t");
+  int p1 = g.Op(OpKind::kMatMul, {g2, tw2}, "P1");
+  int g1 = g.Op(OpKind::kReluGrad, {a1, p1}, "G1");
+
+  int tx = g.Op(OpKind::kTranspose, {x}, "Xt");
+  int gw1 = g.Op(OpKind::kMatMul, {tx, g1}, "gW1");
+  int gb1 = g.Op(OpKind::kColSum, {g1}, "gb1");
+  int w1n = update(w1, gw1, "W1");
+  int b1n = update(b1, gb1, "b1");
+
+  auto f2 = forward(x, w1n, w2n, w3n, b1n, b2n, b3n, "_2");
+  int e2 = g.Op(OpKind::kSub, {f2[8], labels}, "E2");
+  g.Op(OpKind::kColSum, {e2}, "err");
+  return g.Finish();
+}
+
+ChainSizes ChainSizeSet(int set_index) {
+  const int64_t K = 1000;
+  switch (set_index) {
+    case 1:
+      return {{{{10 * K, 30 * K},
+                {30 * K, 50 * K},
+                {50 * K, 1},
+                {1, 50 * K},
+                {50 * K, 10 * K},
+                {50 * K, 10 * K}}}};
+    case 2:
+      return {{{{50 * K, 1},
+                {1, 100 * K},
+                {100 * K, 30 * K},
+                {30 * K, 100 * K},
+                {100 * K, 50 * K},
+                {100 * K, 30 * K}}}};
+    default:
+      return {{{{50 * K, 50 * K},
+                {50 * K, 50 * K},
+                {50 * K, 50 * K},
+                {50 * K, 50 * K},
+                {50 * K, 50 * K},
+                {50 * K, 50 * K}}}};
+  }
+}
+
+Result<ComputeGraph> BuildMatMulChainGraph(const ChainSizes& sizes,
+                                           FormatId input_format) {
+  GraphBuilder g;
+  const char* names[6] = {"A", "B", "C", "D", "E", "F"};
+  std::array<int, 6> in{};
+  for (int i = 0; i < 6; ++i) {
+    MatrixType type(sizes.dims[i].first, sizes.dims[i].second);
+    FormatId fmt = input_format;
+    if (fmt == kNoFormat) {
+      // Default inputs: single tuple when it fits, otherwise 1K tiles.
+      fmt = type.DenseBytes() <= 2.0e10 ? SingleFmt() : Tiles1000();
+    }
+    in[i] = g.Input(type, fmt, names[i]);
+  }
+  int t1 = g.Op(OpKind::kMatMul, {in[0], in[1]}, "T1");
+  int t2 = g.Op(OpKind::kMatMul, {in[2], in[3]}, "T2");
+  int t1e = g.Op(OpKind::kMatMul, {t1, in[4]}, "T1E");
+  int t1t2 = g.Op(OpKind::kMatMul, {t1, t2}, "T1T2");
+  int left = g.Op(OpKind::kMatMul, {t1e, t1t2}, "L");
+  int t2f = g.Op(OpKind::kMatMul, {t2, in[5]}, "T2F");
+  g.Op(OpKind::kMatMul, {left, t2f}, "O");
+  return g.Finish();
+}
+
+Result<ComputeGraph> BuildBlockInverseGraph(int64_t block,
+                                            FormatId input_format) {
+  FormatId fmt = input_format != kNoFormat ? input_format : Tiles1000();
+  GraphBuilder g;
+  MatrixType type(block, block);
+  int a = g.Input(type, fmt, "A");
+  int b = g.Input(type, fmt, "B");
+  int c = g.Input(type, fmt, "C");
+  int d = g.Input(type, fmt, "D");
+
+  int ia = g.Op(OpKind::kInverse, {a}, "iA");
+  int iab = g.Op(OpKind::kMatMul, {ia, b}, "iAB");
+  int cia = g.Op(OpKind::kMatMul, {c, ia}, "CiA");
+  int t1 = g.Op(OpKind::kMatMul, {c, iab}, "CiAB");
+  int s = g.Op(OpKind::kSub, {d, t1}, "S");
+  int is = g.Op(OpKind::kInverse, {s}, "iS");
+  int b1 = g.Op(OpKind::kMatMul, {iab, is}, "iAB_iS");
+  g.Op(OpKind::kScalarMul, {b1}, "Bbar", -1.0);
+  int c1 = g.Op(OpKind::kMatMul, {is, cia}, "iS_CiA");
+  g.Op(OpKind::kScalarMul, {c1}, "Cbar", -1.0);
+  int a2 = g.Op(OpKind::kMatMul, {b1, cia}, "corr");
+  g.Op(OpKind::kAdd, {ia, a2}, "Abar");
+  return g.Finish();
+}
+
+Result<ComputeGraph> BuildOptBenchGraph(OptBenchKind kind, int scale,
+                                        int64_t dim) {
+  FormatId single = SingleFmt();
+  MatrixType type(dim, dim);
+  GraphBuilder g;
+  int a = g.Input(type, single, "A0");
+  int c = g.Input(type, single, "C0");
+  for (int s = 0; s < scale; ++s) {
+    std::string tag = "_" + std::to_string(s);
+    int b = g.Input(type, single, "B" + tag);
+    int d = g.Input(type, single, "D" + tag);
+    int e = g.Input(type, single, "E" + tag);
+    int t1 = g.Op(OpKind::kMatMul, {a, b}, "T1" + tag);
+    int t2 = g.Op(OpKind::kMatMul, {c, d}, "T2" + tag);
+    int o1 = -1;
+    int o2 = -1;
+    if (kind == OptBenchKind::kTree) {
+      int f = g.Input(type, single, "F" + tag);
+      int m = g.Op(OpKind::kMatMul, {t1, t2}, "M" + tag);
+      o1 = g.Op(OpKind::kMatMul, {m, e}, "O1" + tag);
+      o2 = g.Op(OpKind::kMatMul, {o1, f}, "O2" + tag);
+    } else {
+      int m = g.Op(OpKind::kMatMul, {t1, t2}, "M" + tag);
+      o1 = g.Op(OpKind::kMatMul, {m, e}, "O1" + tag);
+      o2 = g.Op(OpKind::kMatMul, {m, o1}, "O2" + tag);
+    }
+    // Link the next scale: DAG1 and Tree replace A with O2; DAG2 also
+    // replaces C with O1, creating the more complex dependency.
+    a = o2;
+    if (kind == OptBenchKind::kDag2) {
+      c = o1;
+    } else if (s + 1 < scale) {
+      c = g.Input(type, single, "C_" + std::to_string(s + 1));
+    }
+  }
+  return g.Finish();
+}
+
+Result<ComputeGraph> BuildMotivatingGraph() {
+  GraphBuilder g;
+  int a = g.Input(MatrixType(1000, 100000),
+                  Find({Layout::kRowStrips, 100, 0}), "matA");
+  int b = g.Input(MatrixType(100000, 1000),
+                  Find({Layout::kColStrips, 100, 0}), "matB");
+  int c = g.Input(MatrixType(1000, 1000000), ColStrips10000(), "matC");
+  int ab = g.Op(OpKind::kMatMul, {a, b}, "matAB");
+  g.Op(OpKind::kMatMul, {ab, c}, "matABC");
+  return g.Finish();
+}
+
+}  // namespace matopt

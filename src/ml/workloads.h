@@ -1,0 +1,74 @@
+#ifndef MATOPT_ML_WORKLOADS_H_
+#define MATOPT_ML_WORKLOADS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/graph/graph.h"
+#include "core/ops/catalog.h"
+
+namespace matopt {
+
+/// Construction parameters for the feed-forward-network compute graphs of
+/// Section 8.2 / 8.3: three weight layers (features x hidden,
+/// hidden x hidden, hidden x labels), relu activations, softmax output.
+struct FfnnConfig {
+  int64_t batch = 10000;
+  int64_t features = 60000;
+  int64_t hidden = 80000;
+  int64_t labels = 17;
+  double learning_rate = 0.05;
+  /// false: forward pass + backprop to the updated W2 (Figures 6-8);
+  /// true:  forward + full backprop + second forward (Figure 5's
+  ///        57-vertex graph).
+  bool full_pass = false;
+
+  /// Input physical implementations. Defaults resolve to: X and L as
+  /// row strips (1000), W1/W2 as 1000x1000 tiles, W3 and biases as single
+  /// tuples. Override x_format (and x_sparsity) to feed sparse input.
+  FormatId x_format = kNoFormat;
+  FormatId label_format = kNoFormat;
+  FormatId w_format = kNoFormat;
+  double x_sparsity = 1.0;
+};
+
+/// Builds the FFNN compute graph. The full-pass variant has exactly 57
+/// vertices, matching the paper's Experiment 1 graph size.
+Result<ComputeGraph> BuildFfnnGraph(const FfnnConfig& config);
+
+/// The matrix-multiplication chain of Section 8.2:
+///   T1 = A x B; T2 = C x D;
+///   O  = ((T1 x E) x (T1 x T2)) x (T2 x F)
+/// with the three input size sets of Figure 4.
+struct ChainSizes {
+  std::array<std::pair<int64_t, int64_t>, 6> dims;  // A..F
+};
+ChainSizes ChainSizeSet(int set_index);  // 1, 2, or 3
+Result<ComputeGraph> BuildMatMulChainGraph(const ChainSizes& sizes,
+                                           FormatId input_format = kNoFormat);
+
+/// The two-level block-wise inverse of Section 8.2 (Graybill): inputs are
+/// the four 10K x 10K blocks A, B, C, D; outputs are the blocks of the
+/// inverse. A's own inverse runs as a distributed inverse operation
+/// (DESIGN.md records this substitution for the innermost 2K/8K level).
+Result<ComputeGraph> BuildBlockInverseGraph(int64_t block = 10000,
+                                            FormatId input_format = kNoFormat);
+
+/// The optimizer-runtime stress graphs of Section 8.4. All inputs are
+/// `dim` x `dim` single-tuple matrices.
+enum class OptBenchKind { kTree, kDag1, kDag2 };
+Result<ComputeGraph> BuildOptBenchGraph(OptBenchKind kind, int scale,
+                                        int64_t dim = 20000);
+
+/// The motivating example of Section 2 (Figure 1). Row/column extents that
+/// drove the 10-wide strips are scaled 10x so chunk sizes land on catalog
+/// formats: matA (1000 x 1e5, row strips 100), matB (1e5 x 1000, col
+/// strips 100), matC (1000 x 1e6, col strips 10000 — the paper's 100
+/// strips); computation matA x matB x matC.
+Result<ComputeGraph> BuildMotivatingGraph();
+
+}  // namespace matopt
+
+#endif  // MATOPT_ML_WORKLOADS_H_

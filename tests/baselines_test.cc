@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "baselines/all_tile_planner.h"
+#include "baselines/expert_planner.h"
+#include "baselines/personas.h"
+#include "baselines/pytorch_sim.h"
+#include "baselines/systemds_sim.h"
+#include "core/opt/annotation.h"
+#include "engine/executor.h"
+#include "ml/workloads.h"
+
+namespace matopt {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+  ClusterConfig cluster_ = SimSqlProfile(10);
+};
+
+TEST_F(BaselinesTest, ExpertAndAllTilePlansValidate) {
+  FfnnConfig cfg;
+  cfg.hidden = 40000;
+  auto graph = BuildFfnnGraph(cfg);
+  ASSERT_TRUE(graph.ok());
+  for (const PlannerRules& rules : {ExpertRules(), AllTileRules(1000)}) {
+    SCOPED_TRACE(rules.name);
+    auto plan = PlanWithRules(graph.value(), catalog_, cluster_, rules);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    Status valid =
+        ValidateAnnotation(graph.value(), plan.value(), catalog_, cluster_);
+    EXPECT_TRUE(valid.ok()) << valid.ToString();
+  }
+}
+
+TEST_F(BaselinesTest, AllTilePlanKeepsMatricesTiled) {
+  auto graph = BuildMatMulChainGraph(ChainSizeSet(3));
+  ASSERT_TRUE(graph.ok());
+  auto plan =
+      PlanWithRules(graph.value(), catalog_, cluster_, AllTileRules(1000));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  Format tiles{Layout::kTiles, 1000, 1000};
+  for (int v = 0; v < graph.value().num_vertices(); ++v) {
+    if (graph.value().vertex(v).op == OpKind::kInput) continue;
+    EXPECT_EQ(BuiltinFormats()[plan.value().at(v).output_format], tiles);
+    EXPECT_EQ(plan.value().at(v).impl, ImplKind::kMmTilesShuffle);
+  }
+}
+
+TEST_F(BaselinesTest, AllTileFailsAt160KButSucceedsAt40K) {
+  PlanExecutor executor(catalog_, cluster_);
+  for (auto [hidden, expect_fail] :
+       {std::pair<int64_t, bool>{160000, true}, {40000, false}}) {
+    FfnnConfig cfg;
+    cfg.hidden = hidden;
+    auto graph = BuildFfnnGraph(cfg);
+    ASSERT_TRUE(graph.ok());
+    auto plan =
+        PlanWithRules(graph.value(), catalog_, cluster_, AllTileRules(1000));
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    auto result = executor.DryRun(graph.value(), plan.value());
+    if (expect_fail) {
+      ASSERT_FALSE(result.ok()) << "expected the Figure 6 'Fail' at 160K";
+      EXPECT_TRUE(result.status().IsOutOfMemory());
+    } else {
+      EXPECT_TRUE(result.ok()) << result.status().ToString();
+    }
+  }
+}
+
+TEST_F(BaselinesTest, PersonaFirstAttemptsFailAsInFigure8) {
+  FfnnConfig cfg;
+  cfg.hidden = 80000;
+  auto graph = BuildFfnnGraph(cfg);
+  ASSERT_TRUE(graph.ok());
+  PlanExecutor executor(catalog_, cluster_);
+  for (const Persona& persona : AllPersonas()) {
+    SCOPED_TRACE(persona.label);
+    auto first =
+        PlanWithRules(graph.value(), catalog_, cluster_, persona.first_attempt);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    auto first_run = executor.DryRun(graph.value(), first.value());
+    EXPECT_EQ(!first_run.ok(), persona.first_attempt_fails)
+        << first_run.status().ToString();
+    auto redesigned =
+        PlanWithRules(graph.value(), catalog_, cluster_, persona.redesigned);
+    ASSERT_TRUE(redesigned.ok()) << redesigned.status().ToString();
+    auto rerun = executor.DryRun(graph.value(), redesigned.value());
+    EXPECT_TRUE(rerun.ok()) << rerun.status().ToString();
+  }
+}
+
+TEST_F(BaselinesTest, PersonaQualityTracksExpertise) {
+  FfnnConfig cfg;
+  cfg.hidden = 80000;
+  auto graph = BuildFfnnGraph(cfg);
+  ASSERT_TRUE(graph.ok());
+  PlanExecutor executor(catalog_, cluster_);
+  std::vector<double> seconds;
+  for (const Persona& persona : AllPersonas()) {
+    auto plan =
+        PlanWithRules(graph.value(), catalog_, cluster_, persona.redesigned);
+    ASSERT_TRUE(plan.ok());
+    auto run = executor.DryRun(graph.value(), plan.value());
+    ASSERT_TRUE(run.ok()) << persona.label << ": "
+                          << run.status().ToString();
+    seconds.push_back(run.value().stats.sim_seconds);
+  }
+  // Low-expertise slowest, high-expertise fastest (Figure 8 ordering).
+  EXPECT_GT(seconds[0], seconds[2]);
+  EXPECT_GT(seconds[1], seconds[2]);
+}
+
+TEST_F(BaselinesTest, PyTorchFailsAt7000WideLayers) {
+  ClusterConfig pliny = PlinyProfile(5);
+  FfnnConfig cfg;
+  cfg.batch = 1000;
+  cfg.features = 597540;
+  cfg.labels = 14588;
+  cfg.hidden = 4000;
+  EXPECT_TRUE(SimulatePyTorchFfnn(cfg, pliny).status.ok());
+  cfg.hidden = 7000;
+  CompetitorResult r = SimulatePyTorchFfnn(cfg, pliny);
+  EXPECT_TRUE(r.status.IsOutOfMemory()) << r.status.ToString();
+}
+
+TEST_F(BaselinesTest, PyTorchSlowsWithMoreWorkersOnSmallBatches) {
+  // Figure 11: PyTorch's model broadcast dominates, so more workers do
+  // not help for 1K batches (2-worker times beat 5- and 10-worker times).
+  FfnnConfig cfg;
+  cfg.batch = 1000;
+  cfg.features = 597540;
+  cfg.labels = 14588;
+  cfg.hidden = 4000;
+  double t2 = SimulatePyTorchFfnn(cfg, PlinyProfile(2)).sim_seconds;
+  double t10 = SimulatePyTorchFfnn(cfg, PlinyProfile(10)).sim_seconds;
+  EXPECT_LT(t2, t10 * 1.5);  // no meaningful scaling
+}
+
+TEST_F(BaselinesTest, SystemDsExploitsSparseInput) {
+  FfnnConfig cfg;
+  cfg.batch = 10000;
+  cfg.features = 597540;
+  cfg.labels = 14588;
+  cfg.hidden = 4000;
+  cfg.x_sparsity = 1.0;
+  double dense = SimulateSystemDsFfnn(cfg, PlinyProfile(10)).sim_seconds;
+  cfg.x_sparsity = 8.6e-5;
+  double sparse = SimulateSystemDsFfnn(cfg, PlinyProfile(10)).sim_seconds;
+  EXPECT_LT(sparse, dense);
+}
+
+}  // namespace
+}  // namespace matopt

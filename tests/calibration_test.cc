@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "core/cost/calibration.h"
+
+namespace matopt {
+namespace {
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+  ClusterConfig cluster_ = SimSqlProfile(10);
+};
+
+TEST_F(CalibrationTest, CollectsSamplesAcrossAllClasses) {
+  auto samples = CollectCalibrationSamples(catalog_, cluster_);
+  ASSERT_GT(samples.size(), 100u);
+  std::array<int, kNumImplClasses> per_class{};
+  for (const auto& s : samples) {
+    ++per_class[static_cast<int>(s.klass)];
+    EXPECT_GT(s.seconds, 0.0);
+  }
+  for (int c = 0; c < kNumImplClasses; ++c) {
+    if (static_cast<ImplClass>(c) == ImplClass::kGpu) continue;  // no GPUs
+    EXPECT_GT(per_class[c], 0) << "class " << c << " has no samples";
+  }
+}
+
+TEST_F(CalibrationTest, FittedModelPredictsHeldOutTimings) {
+  auto samples = CollectCalibrationSamples(catalog_, cluster_);
+  // Odd samples train, even samples validate.
+  std::vector<CalibrationSample> train, test;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    (i % 2 ? train : test).push_back(samples[i]);
+  }
+  CostModel fitted = FitCostModel(train, cluster_);
+  // Aggregate relative error on the held-out half should be small: the
+  // engine's machine model is linear in the same features.
+  double err = 0.0, total = 0.0;
+  for (const auto& s : test) {
+    double pred = fitted.Predict(s.klass, s.features);
+    err += std::abs(pred - s.seconds);
+    total += s.seconds;
+  }
+  EXPECT_LT(err / total, 0.35) << "relative error " << err / total;
+}
+
+TEST_F(CalibrationTest, FittedWeightsAreNonNegative) {
+  CostModel fitted = CalibrateCostModel(catalog_, cluster_);
+  for (int c = 0; c < kNumImplClasses; ++c) {
+    for (double w : fitted.weights(static_cast<ImplClass>(c))) {
+      EXPECT_GE(w, 0.0);
+    }
+  }
+}
+
+TEST_F(CalibrationTest, FallsBackToAnalyticWeightsWithFewSamples) {
+  std::vector<CalibrationSample> tiny(3);
+  CostModel fitted = FitCostModel(tiny, cluster_);
+  CostModel analytic = CostModel::Analytic(cluster_);
+  for (int c = 0; c < kNumImplClasses; ++c) {
+    EXPECT_EQ(fitted.weights(static_cast<ImplClass>(c)),
+              analytic.weights(static_cast<ImplClass>(c)));
+  }
+}
+
+}  // namespace
+}  // namespace matopt

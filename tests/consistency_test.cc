@@ -1,0 +1,113 @@
+// Model-vs-engine consistency: the analytic cost model's predicted seconds
+// for an implementation must track what the engine actually charges in
+// dry-run mode. This is the property that makes the optimizer's decisions
+// meaningful — and it is exactly what Section 7's installation-time
+// regression assumes (time is linear in the analytic features).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/cost/cost_model.h"
+#include "core/opt/optimizer.h"
+#include "engine/executor.h"
+#include "engine/operators.h"
+#include "engine/relation.h"
+
+namespace matopt {
+namespace {
+
+struct ShapeCase {
+  int64_t r, k, c;
+  int workers;
+};
+
+class ModelEngineConsistencyTest : public ::testing::TestWithParam<ShapeCase> {
+};
+
+TEST_P(ModelEngineConsistencyTest, PredictionsTrackEngineCharges) {
+  const ShapeCase& sc = GetParam();
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(sc.workers);
+  CostModel model = CostModel::Analytic(cluster);
+  MatrixType a_type(sc.r, sc.k);
+  MatrixType b_type(sc.k, sc.c);
+
+  int checked = 0;
+  double worst = 0.0;
+  for (ImplKind kind : catalog.ImplsFor(OpKind::kMatMul)) {
+    for (FormatId fa : AllFormatIds()) {
+      for (FormatId fb : AllFormatIds()) {
+        std::vector<ArgInfo> args = {{a_type, fa, 0.01}, {b_type, fb, 1.0}};
+        if (!FormatApplicable(BuiltinFormats()[fa], a_type,
+                              cluster.single_tuple_cap_bytes, 0.01) ||
+            !FormatApplicable(BuiltinFormats()[fb], b_type,
+                              cluster.single_tuple_cap_bytes, 1.0)) {
+          continue;
+        }
+        auto out = catalog.ImplOutputFormat(kind, args, cluster);
+        if (!out.has_value()) continue;
+        if (!catalog.ImplResourceFeasible(kind, args, cluster)) continue;
+
+        double predicted = model.ImplCost(catalog, kind, args, cluster);
+        Relation ra = MakeDryRelation(a_type, fa, 0.01, cluster);
+        Relation rb = MakeDryRelation(b_type, fb, 1.0, cluster);
+        Vertex vertex;
+        vertex.op = OpKind::kMatMul;
+        vertex.type = MatrixType(sc.r, sc.c);
+        ExecStats stats;
+        auto result = ExecuteImpl(catalog, kind, *out, {&ra, &rb}, vertex,
+                                  cluster, &stats);
+        if (!result.ok()) continue;  // engine-side resource rejection
+        double charged = stats.sim_seconds;
+        double ratio = std::max(predicted, charged) /
+                       std::max(1e-9, std::min(predicted, charged));
+        worst = std::max(worst, ratio);
+        // The model is a model (placement skew, raggedness), but it must
+        // stay within a factor ~3 of the engine for every implementation.
+        EXPECT_LT(ratio, 3.0)
+            << ImplKindName(kind) << " on "
+            << BuiltinFormats()[fa].ToString() << " x "
+            << BuiltinFormats()[fb].ToString() << ": predicted " << predicted
+            << "s, engine charged " << charged << "s";
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 30) << "too few feasible combinations exercised";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ModelEngineConsistencyTest,
+    ::testing::Values(ShapeCase{20000, 20000, 20000, 10},
+                      ShapeCase{10000, 40000, 2000, 10},
+                      ShapeCase{3000, 50000, 30000, 5},
+                      ShapeCase{100000, 5000, 1000, 20}));
+
+// Random tiny graphs: every optimization algorithm agrees on the optimum.
+TEST(OptimalityProperty, AllAlgorithmsAgreeOnTinyGraphs) {
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(10);
+  CostModel model = CostModel::Analytic(cluster);
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    // Chain with a shared intermediate: A*B reused twice.
+    int64_t n = 1000 * (1 + static_cast<int64_t>(seed % 4));
+    ComputeGraph g;
+    int a = g.AddInput(MatrixType(n, 2 * n), 0, "A");
+    int b = g.AddInput(MatrixType(2 * n, n), 0, "B");
+    int t = g.AddOp(OpKind::kMatMul, {a, b}).value();
+    int r = g.AddOp(OpKind::kRelu, {t}).value();
+    g.AddOp(OpKind::kHadamard, {t, r}).value();
+
+    auto frontier = FrontierOptimize(g, catalog, model, cluster);
+    auto brute = BruteForceOptimize(g, catalog, model, cluster);
+    ASSERT_TRUE(frontier.ok()) << frontier.status().ToString();
+    ASSERT_TRUE(brute.ok()) << brute.status().ToString();
+    EXPECT_NEAR(frontier.value().cost, brute.value().cost,
+                1e-9 * brute.value().cost + 1e-12)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace matopt

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/cost/cost_model.h"
+
+namespace matopt {
+namespace {
+
+FormatId Find(const Format& f) {
+  const auto& all = BuiltinFormats();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == f) return static_cast<FormatId>(i);
+  }
+  return kNoFormat;
+}
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+  ClusterConfig cluster_ = SimSqlProfile(10);
+  CostModel model_ = CostModel::Analytic(SimSqlProfile(10));
+};
+
+TEST_F(CostModelTest, AnalyticWeightsReflectMachineRates) {
+  OpFeatures f;
+  // Features are per-worker critical-path quantities: 4e10 flops at the
+  // SimSQL per-worker rate of 4e10 flops/s is one second.
+  f.flops = 4.0e10;
+  f.latency_ops = 0.0;
+  EXPECT_NEAR(model_.Predict(ImplClass::kLocal, f), 1.0, 1e-9);
+  OpFeatures lat;
+  lat.latency_ops = 3.0;
+  EXPECT_NEAR(model_.Predict(ImplClass::kShuffleJoin, lat),
+              3.0 * cluster_.per_op_latency_sec, 1e-9);
+}
+
+TEST_F(CostModelTest, CostIsMonotoneInWork) {
+  OpFeatures small;
+  small.flops = 1e9;
+  small.net_bytes = 1e6;
+  OpFeatures big = small;
+  big.flops = 1e12;
+  big.net_bytes = 1e9;
+  EXPECT_LT(model_.Predict(ImplClass::kMap, small),
+            model_.Predict(ImplClass::kMap, big));
+}
+
+TEST_F(CostModelTest, BroadcastBeatsShuffleForSmallLhs) {
+  // A small single-tuple lhs times a large col-striped rhs should be far
+  // cheaper via broadcast join than re-chunking both sides into tiles.
+  FormatId single = Find({Layout::kSingleTuple, 0, 0});
+  FormatId col10k = Find({Layout::kColStrips, 10000, 0});
+  FormatId t1k = Find({Layout::kTiles, 1000, 1000});
+  std::vector<ArgInfo> bcast_args = {{MatrixType(100, 100), single, 1.0},
+                                     {MatrixType(100, 1000000), col10k, 1.0}};
+  std::vector<ArgInfo> tile_args = {{MatrixType(100, 100), t1k, 1.0},
+                                    {MatrixType(100, 1000000), t1k, 1.0}};
+  double bcast = model_.ImplCost(catalog_, ImplKind::kMmBcastSingleXColStrips,
+                                 bcast_args, cluster_);
+  double shuffle =
+      model_.ImplCost(catalog_, ImplKind::kMmTilesShuffle, tile_args,
+                      cluster_);
+  EXPECT_LT(bcast, shuffle / 2.0);
+}
+
+TEST_F(CostModelTest, SparsityReducesMatMulCost) {
+  FormatId sp = Find({Layout::kSpRowStripsCsr, 1000, 0});
+  FormatId single = Find({Layout::kSingleTuple, 0, 0});
+  std::vector<ArgInfo> sparse_args = {{MatrixType(10000, 100000), sp, 1e-4},
+                                      {MatrixType(100000, 1000), single, 1.0}};
+  std::vector<ArgInfo> dense_args = {
+      {MatrixType(10000, 100000), Find({Layout::kRowStrips, 1000, 0}), 1.0},
+      {MatrixType(100000, 1000), single, 1.0}};
+  double sparse_cost = model_.ImplCost(
+      catalog_, ImplKind::kMmSpRowStripsXBcastSingle, sparse_args, cluster_);
+  double dense_cost = model_.ImplCost(
+      catalog_, ImplKind::kMmRowStripsXBcastSingle, dense_args, cluster_);
+  EXPECT_LT(sparse_cost, dense_cost);
+}
+
+TEST_F(CostModelTest, TransformToSinglePaysTwoAggregationStages) {
+  ArgInfo tiles{MatrixType(20000, 20000), Find({Layout::kTiles, 1000, 1000}),
+                1.0};
+  OpFeatures f = catalog_.TransformFeatures(TransformKind::kToDense0, tiles,
+                                            cluster_);
+  EXPECT_DOUBLE_EQ(f.latency_ops, 2.0);
+  OpFeatures g = catalog_.TransformFeatures(TransformKind::kToDense2, tiles,
+                                            cluster_);
+  EXPECT_DOUBLE_EQ(g.latency_ops, 1.0);
+}
+
+TEST_F(CostModelTest, TupleOverheadPunishesOverTiling) {
+  // Chunking a 1000 x 1e7 matrix into 100x100 tiles creates a million
+  // tuples; the per-tuple overhead dominates (the Figure 1 story).
+  ArgInfo strips{MatrixType(1000, 10000000),
+                 Find({Layout::kColStrips, 10000, 0}), 1.0};
+  double to_tiles =
+      model_.TransformCost(catalog_, TransformKind::kToDense7, strips,
+                           cluster_);
+  double to_single_cap = model_.TransformCost(
+      catalog_, TransformKind::kToDense2, strips, cluster_);
+  EXPECT_GT(to_tiles, 10.0 * to_single_cap);
+}
+
+TEST_F(CostModelTest, SetWeightsRoundTrip) {
+  CostModel m;
+  CostModel::Weights w{1, 2, 3, 4, 5, 6};
+  m.SetWeights(ImplClass::kMap, w);
+  EXPECT_EQ(m.weights(ImplClass::kMap), w);
+  OpFeatures f;
+  f.flops = 1.0;
+  f.latency_ops = 1.0;
+  EXPECT_DOUBLE_EQ(m.Predict(ImplClass::kMap, f), 1.0 + 6.0);
+}
+
+}  // namespace
+}  // namespace matopt

@@ -1,0 +1,218 @@
+// Edge cases across modules: degenerate shapes, vectors, empty graphs,
+// duplicate arguments, clamped sparsities, ragged chunking extremes.
+
+#include <gtest/gtest.h>
+
+#include "core/cost/cost_model.h"
+#include "core/opt/optimizer.h"
+#include "engine/executor.h"
+#include "la/kernels.h"
+#include "ml/generators.h"
+
+namespace matopt {
+namespace {
+
+FormatId Find(const Format& f) {
+  const auto& all = BuiltinFormats();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == f) return static_cast<FormatId>(i);
+  }
+  return kNoFormat;
+}
+
+class EdgeCaseTest : public ::testing::Test {
+ protected:
+  EdgeCaseTest() : cluster_(SimSqlProfile(4)) {
+    model_ = CostModel::Analytic(cluster_);
+  }
+  Catalog catalog_;
+  ClusterConfig cluster_;
+  CostModel model_;
+};
+
+TEST_F(EdgeCaseTest, InputOnlyGraphOptimizesToZeroCost) {
+  ComputeGraph g;
+  g.AddInput(MatrixType(100, 100), 0, "A");
+  g.AddInput(MatrixType(50, 50), 0, "B");
+  auto plan = Optimize(g, catalog_, model_, cluster_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_DOUBLE_EQ(plan.value().cost, 0.0);
+}
+
+TEST_F(EdgeCaseTest, OneByOneMatrices) {
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(1, 1), 0, "a");
+  int b = g.AddInput(MatrixType(1, 1), 0, "b");
+  int m = g.AddOp(OpKind::kMatMul, {a, b}).value();
+  g.AddOp(OpKind::kInverse, {m}).value();
+  auto plan = Optimize(g, catalog_, model_, cluster_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  DenseMatrix ma(1, 1, {4.0});
+  DenseMatrix mb(1, 1, {2.0});
+  std::unordered_map<int, Relation> inputs;
+  inputs[a] = MakeRelation(ma, 0, cluster_).value();
+  inputs[b] = MakeRelation(mb, 0, cluster_).value();
+  PlanExecutor executor(catalog_, cluster_);
+  auto run = executor.Execute(g, plan.value().annotation, std::move(inputs));
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  DenseMatrix out =
+      MaterializeDense(run.value().sinks.begin()->second).value();
+  EXPECT_DOUBLE_EQ(out(0, 0), 1.0 / 8.0);
+}
+
+TEST_F(EdgeCaseTest, RowAndColumnVectors) {
+  // 1 x n and n x 1 vectors flow through matmul and reductions.
+  ComputeGraph g;
+  int row = g.AddInput(MatrixType(1, 500), 0, "row");
+  int col = g.AddInput(MatrixType(500, 1), 0, "col");
+  int scalar = g.AddOp(OpKind::kMatMul, {row, col}).value();   // 1 x 1
+  int outer = g.AddOp(OpKind::kMatMul, {col, row}).value();    // 500 x 500
+  int rs = g.AddOp(OpKind::kRowSum, {outer}).value();          // 500 x 1
+  g.AddOp(OpKind::kMatMul, {scalar, g.AddOp(OpKind::kTranspose, {rs}).value()})
+      .value();  // 1 x 500
+  auto plan = Optimize(g, catalog_, model_, cluster_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  DenseMatrix vrow = GaussianMatrix(1, 500, 501);
+  DenseMatrix vcol = GaussianMatrix(500, 1, 502);
+  std::unordered_map<int, Relation> inputs;
+  inputs[row] = MakeRelation(vrow, 0, cluster_).value();
+  inputs[col] = MakeRelation(vcol, 0, cluster_).value();
+  PlanExecutor executor(catalog_, cluster_);
+  auto run = executor.Execute(g, plan.value().annotation, std::move(inputs));
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  DenseMatrix expected = Gemm(Gemm(vrow, vcol),
+                              Transpose(RowSum(Gemm(vcol, vrow))));
+  DenseMatrix out =
+      MaterializeDense(run.value().sinks.begin()->second).value();
+  EXPECT_TRUE(AllClose(out, expected, 1e-8, 1e-8));
+}
+
+TEST_F(EdgeCaseTest, DuplicateArgumentsEverywhere) {
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(300, 300), Find({Layout::kTiles, 100, 100}),
+                     "A");
+  int sq = g.AddOp(OpKind::kMatMul, {a, a}).value();
+  int h = g.AddOp(OpKind::kHadamard, {sq, sq}).value();
+  g.AddOp(OpKind::kSub, {h, h}).value();  // identically zero
+  auto plan = Optimize(g, catalog_, model_, cluster_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  DenseMatrix ma = GaussianMatrix(300, 300, 503);
+  std::unordered_map<int, Relation> inputs;
+  inputs[a] = MakeRelation(ma, g.vertex(a).input_format, cluster_).value();
+  PlanExecutor executor(catalog_, cluster_);
+  auto run = executor.Execute(g, plan.value().annotation, std::move(inputs));
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  DenseMatrix out =
+      MaterializeDense(run.value().sinks.begin()->second).value();
+  EXPECT_TRUE(AllClose(out, DenseMatrix(300, 300)));
+}
+
+TEST_F(EdgeCaseTest, RaggedChunksSmallerThanChunkSize) {
+  // A 30 x 70 matrix in 100-chunk layouts: every layout degenerates to a
+  // single ragged chunk but must still round-trip and compute.
+  DenseMatrix m = GaussianMatrix(30, 70, 504);
+  for (Format f : {Format{Layout::kRowStrips, 100, 0},
+                   Format{Layout::kColStrips, 100, 0},
+                   Format{Layout::kTiles, 100, 100}}) {
+    SCOPED_TRACE(f.ToString());
+    auto rel = MakeRelation(m, Find(f), cluster_);
+    ASSERT_TRUE(rel.ok());
+    EXPECT_EQ(rel.value().tuples.size(), 1u);
+    EXPECT_EQ(rel.value().tuples[0].rows, 30);
+    EXPECT_EQ(rel.value().tuples[0].cols, 70);
+    EXPECT_TRUE(AllClose(MaterializeDense(rel.value()).value(), m));
+  }
+}
+
+TEST_F(EdgeCaseTest, ZeroMatrixSparsityHandling) {
+  // An all-zero sparse matrix has zero nnz everywhere; estimators and the
+  // engine must not divide by zero.
+  SparseMatrix zero(100, 100);
+  FormatId sp = Find({Layout::kSpRowStripsCsr, 1000, 0});
+  auto rel = MakeSparseRelation(zero, sp, cluster_);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_DOUBLE_EQ(rel.value().sparsity, 0.0);
+  auto back = MaterializeDense(rel.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(AllClose(back.value(), DenseMatrix(100, 100)));
+}
+
+TEST_F(EdgeCaseTest, AnnotationValidationCatchesCorruption) {
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(200, 200), 0, "A");
+  int b = g.AddInput(MatrixType(200, 200), 0, "B");
+  g.AddOp(OpKind::kMatMul, {a, b}).value();
+  auto plan = Optimize(g, catalog_, model_, cluster_);
+  ASSERT_TRUE(plan.ok());
+  Annotation good = plan.value().annotation;
+  ASSERT_TRUE(ValidateAnnotation(g, good, catalog_, cluster_).ok());
+
+  // Wrong op implementation.
+  Annotation bad1 = good;
+  bad1.at(2).impl = ImplKind::kReluMap;
+  EXPECT_FALSE(ValidateAnnotation(g, bad1, catalog_, cluster_).ok());
+
+  // Edge pin disagreeing with the producer's format.
+  Annotation bad2 = good;
+  bad2.at(2).input_edges[0].pin = Find({Layout::kTiles, 1000, 1000});
+  EXPECT_FALSE(ValidateAnnotation(g, bad2, catalog_, cluster_).ok());
+
+  // Claimed output format disagreeing with i.f.
+  Annotation bad3 = good;
+  bad3.at(2).output_format = Find({Layout::kSpCoo, 0, 0});
+  EXPECT_FALSE(ValidateAnnotation(g, bad3, catalog_, cluster_).ok());
+
+  // Wrong-size annotation.
+  Annotation bad4 = good;
+  bad4.vertices.pop_back();
+  EXPECT_FALSE(ValidateAnnotation(g, bad4, catalog_, cluster_).ok());
+}
+
+TEST_F(EdgeCaseTest, SingleWorkerClusterStillWorks) {
+  ClusterConfig solo = SimSqlProfile(1);
+  CostModel model = CostModel::Analytic(solo);
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(250, 340), Find({Layout::kRowStrips, 100, 0}),
+                     "A");
+  int b = g.AddInput(MatrixType(340, 180), Find({Layout::kColStrips, 100, 0}),
+                     "B");
+  g.AddOp(OpKind::kMatMul, {a, b}).value();
+  auto plan = Optimize(g, catalog_, model, solo);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  DenseMatrix ma = GaussianMatrix(250, 340, 505);
+  DenseMatrix mb = GaussianMatrix(340, 180, 506);
+  std::unordered_map<int, Relation> inputs;
+  inputs[a] = MakeRelation(ma, g.vertex(a).input_format, solo).value();
+  inputs[b] = MakeRelation(mb, g.vertex(b).input_format, solo).value();
+  PlanExecutor executor(catalog_, solo);
+  auto run = executor.Execute(g, plan.value().annotation, std::move(inputs));
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(AllClose(
+      MaterializeDense(run.value().sinks.begin()->second).value(),
+      Gemm(ma, mb), 1e-8, 1e-8));
+}
+
+TEST_F(EdgeCaseTest, DeepChainOptimizesLinearly) {
+  // A 30-op chain of unary maps: tree DP must stay fast and valid.
+  ComputeGraph g;
+  int v = g.AddInput(MatrixType(2000, 2000), Find({Layout::kTiles, 1000, 1000}),
+                     "X");
+  for (int i = 0; i < 30; ++i) {
+    OpKind op = (i % 3 == 0) ? OpKind::kRelu
+                : (i % 3 == 1) ? OpKind::kScalarMul
+                               : OpKind::kSigmoid;
+    v = g.AddOp(op, {v}, "", 0.5).value();
+  }
+  EXPECT_TRUE(g.IsTree());
+  auto plan = TreeDpOptimize(g, catalog_, model_, cluster_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_LT(plan.value().opt_seconds, 5.0);
+  EXPECT_TRUE(
+      ValidateAnnotation(g, plan.value().annotation, catalog_, cluster_).ok());
+}
+
+}  // namespace
+}  // namespace matopt

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "engine/operators.h"
+#include "la/kernels.h"
+#include "ml/generators.h"
+
+namespace matopt {
+namespace {
+
+FormatId Find(const Format& f) {
+  const auto& all = BuiltinFormats();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == f) return static_cast<FormatId>(i);
+  }
+  return kNoFormat;
+}
+
+/// Executes a unary implementation over a dense relation and returns the
+/// materialized result.
+DenseMatrix RunUnary(ImplKind kind, OpKind op, const DenseMatrix& input,
+                     const Format& fmt, double scalar = 0.0) {
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(4);
+  Relation rel = MakeRelation(input, Find(fmt), cluster).value();
+  std::vector<ArgInfo> args = {{rel.type, rel.format, 1.0}};
+  auto out_format = catalog.ImplOutputFormat(kind, args, cluster);
+  EXPECT_TRUE(out_format.has_value()) << ImplKindName(kind);
+  Vertex vertex;
+  vertex.op = op;
+  vertex.type = InferOutputType(op, {rel.type}).value();
+  vertex.scalar = scalar;
+  ExecStats stats;
+  auto out = ExecuteImpl(catalog, kind, *out_format, {&rel}, vertex, cluster,
+                         &stats);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_GT(stats.sim_seconds, 0.0);
+  return MaterializeDense(out.value()).value();
+}
+
+TEST(EngineOps, TransposeVariantsMatchReference) {
+  DenseMatrix m = GaussianMatrix(250, 170, 101);
+  DenseMatrix expected = Transpose(m);
+  EXPECT_TRUE(AllClose(RunUnary(ImplKind::kTransposeSingle, OpKind::kTranspose,
+                                m, {Layout::kSingleTuple, 0, 0}),
+                       expected));
+  EXPECT_TRUE(AllClose(RunUnary(ImplKind::kTransposeRowToCol,
+                                OpKind::kTranspose, m,
+                                {Layout::kRowStrips, 100, 0}),
+                       expected));
+  EXPECT_TRUE(AllClose(RunUnary(ImplKind::kTransposeColToRow,
+                                OpKind::kTranspose, m,
+                                {Layout::kColStrips, 100, 0}),
+                       expected));
+  EXPECT_TRUE(AllClose(RunUnary(ImplKind::kTransposeTiles, OpKind::kTranspose,
+                                m, {Layout::kTiles, 100, 100}),
+                       expected));
+}
+
+TEST(EngineOps, MapsMatchReference) {
+  DenseMatrix m = GaussianMatrix(230, 140, 102);
+  EXPECT_TRUE(AllClose(RunUnary(ImplKind::kReluMap, OpKind::kRelu, m,
+                                {Layout::kTiles, 100, 100}),
+                       Relu(m)));
+  EXPECT_TRUE(AllClose(RunUnary(ImplKind::kSigmoidMap, OpKind::kSigmoid, m,
+                                {Layout::kRowStrips, 100, 0}),
+                       Sigmoid(m)));
+  EXPECT_TRUE(AllClose(RunUnary(ImplKind::kExpMap, OpKind::kExp, m,
+                                {Layout::kColStrips, 100, 0}),
+                       Exp(m)));
+  EXPECT_TRUE(AllClose(RunUnary(ImplKind::kScalarMulMap, OpKind::kScalarMul,
+                                m, {Layout::kTiles, 100, 100}, -1.5),
+                       ScalarMul(m, -1.5)));
+}
+
+TEST(EngineOps, SoftmaxNeedsWholeRows) {
+  DenseMatrix m = GaussianMatrix(250, 60, 103);
+  EXPECT_TRUE(AllClose(RunUnary(ImplKind::kSoftmaxRowStrips, OpKind::kSoftmax,
+                                m, {Layout::kRowStrips, 100, 0}),
+                       Softmax(m)));
+  EXPECT_TRUE(AllClose(RunUnary(ImplKind::kSoftmaxSingle, OpKind::kSoftmax, m,
+                                {Layout::kSingleTuple, 0, 0}),
+                       Softmax(m)));
+}
+
+TEST(EngineOps, ReductionsMatchReference) {
+  DenseMatrix m = GaussianMatrix(250, 340, 104);
+  EXPECT_TRUE(AllClose(RunUnary(ImplKind::kRowSumRowStrips, OpKind::kRowSum,
+                                m, {Layout::kRowStrips, 100, 0}),
+                       RowSum(m)));
+  EXPECT_TRUE(AllClose(RunUnary(ImplKind::kRowSumTilesAgg, OpKind::kRowSum, m,
+                                {Layout::kTiles, 100, 100}),
+                       RowSum(m)));
+  EXPECT_TRUE(AllClose(RunUnary(ImplKind::kRowSumSingle, OpKind::kRowSum, m,
+                                {Layout::kSingleTuple, 0, 0}),
+                       RowSum(m)));
+  EXPECT_TRUE(AllClose(RunUnary(ImplKind::kColSumColStrips, OpKind::kColSum,
+                                m, {Layout::kColStrips, 100, 0}),
+                       ColSum(m)));
+  EXPECT_TRUE(AllClose(RunUnary(ImplKind::kColSumTilesAgg, OpKind::kColSum, m,
+                                {Layout::kTiles, 100, 100}),
+                       ColSum(m)));
+  EXPECT_TRUE(AllClose(RunUnary(ImplKind::kColSumSingle, OpKind::kColSum, m,
+                                {Layout::kSingleTuple, 0, 0}),
+                       ColSum(m)));
+}
+
+TEST(EngineOps, InverseVariantsMatchReference) {
+  DenseMatrix m = GaussianMatrix(180, 180, 105);
+  for (int64_t i = 0; i < 180; ++i) m(i, i) += 180.0;
+  DenseMatrix expected = Inverse(m).value();
+  EXPECT_TRUE(AllClose(RunUnary(ImplKind::kInverseSingleLu, OpKind::kInverse,
+                                m, {Layout::kSingleTuple, 0, 0}),
+                       expected, 1e-7, 1e-7));
+  EXPECT_TRUE(AllClose(RunUnary(ImplKind::kInverseGatherLu, OpKind::kInverse,
+                                m, {Layout::kTiles, 100, 100}),
+                       expected, 1e-7, 1e-7));
+}
+
+/// Zip implementations across every dense layout.
+class ZipLayoutTest : public ::testing::TestWithParam<Format> {};
+
+TEST_P(ZipLayoutTest, BinaryOpsMatchReference) {
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(4);
+  FormatId fmt = Find(GetParam());
+  ASSERT_NE(fmt, kNoFormat);
+  DenseMatrix a = GaussianMatrix(250, 170, 106);
+  DenseMatrix b = GaussianMatrix(250, 170, 107);
+  for (int64_t i = 0; i < b.size(); ++i) b.data()[i] += 3.0;  // avoid /0
+
+  struct Case {
+    ImplKind impl;
+    OpKind op;
+    DenseMatrix expected;
+  } cases[] = {
+      {ImplKind::kAddZip, OpKind::kAdd, Add(a, b)},
+      {ImplKind::kSubZip, OpKind::kSub, Sub(a, b)},
+      {ImplKind::kHadamardZip, OpKind::kHadamard, Hadamard(a, b)},
+      {ImplKind::kElemDivZip, OpKind::kElemDiv, ElemDiv(a, b)},
+      {ImplKind::kReluGradZip, OpKind::kReluGrad, ReluGrad(a, b)},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(ImplKindName(c.impl));
+    Relation ra = MakeRelation(a, fmt, cluster).value();
+    Relation rb = MakeRelation(b, fmt, cluster).value();
+    Vertex vertex;
+    vertex.op = c.op;
+    vertex.type = MatrixType(250, 170);
+    ExecStats stats;
+    auto out = ExecuteImpl(catalog, c.impl, fmt, {&ra, &rb}, vertex, cluster,
+                           &stats);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_TRUE(AllClose(MaterializeDense(out.value()).value(), c.expected));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDenseLayouts, ZipLayoutTest,
+    ::testing::Values(Format{Layout::kSingleTuple, 0, 0},
+                      Format{Layout::kRowStrips, 100, 0},
+                      Format{Layout::kColStrips, 100, 0},
+                      Format{Layout::kTiles, 100, 100}));
+
+TEST(EngineOps, SparseAddMatchesReference) {
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(4);
+  SparseMatrix a = RandomSparse(250, 170, 2.0, 108);
+  SparseMatrix b = RandomSparse(250, 170, 2.0, 109);
+  FormatId fmt = Find({Layout::kSpRowStripsCsr, 1000, 0});
+  Relation ra = MakeSparseRelation(a, fmt, cluster).value();
+  Relation rb = MakeSparseRelation(b, fmt, cluster).value();
+  Vertex vertex;
+  vertex.op = OpKind::kAdd;
+  vertex.type = MatrixType(250, 170);
+  vertex.sparsity = a.Sparsity() + b.Sparsity();
+  ExecStats stats;
+  auto out = ExecuteImpl(catalog, ImplKind::kAddSparseZip, fmt, {&ra, &rb},
+                         vertex, cluster, &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(AllClose(MaterializeDense(out.value()).value(),
+                       Add(a.ToDense(), b.ToDense())));
+}
+
+TEST(EngineOps, BroadcastRowAddAcrossLayouts) {
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(4);
+  DenseMatrix a = GaussianMatrix(250, 170, 110);
+  DenseMatrix vec = GaussianMatrix(1, 170, 111);
+  DenseMatrix expected = BroadcastRowAdd(a, vec);
+  for (Format fmt : {Format{Layout::kRowStrips, 100, 0},
+                     Format{Layout::kColStrips, 100, 0},
+                     Format{Layout::kTiles, 100, 100},
+                     Format{Layout::kSingleTuple, 0, 0}}) {
+    SCOPED_TRACE(fmt.ToString());
+    Relation ra = MakeRelation(a, Find(fmt), cluster).value();
+    Relation rv =
+        MakeRelation(vec, Find({Layout::kSingleTuple, 0, 0}), cluster).value();
+    Vertex vertex;
+    vertex.op = OpKind::kBroadcastRowAdd;
+    vertex.type = MatrixType(250, 170);
+    ExecStats stats;
+    auto out = ExecuteImpl(catalog, ImplKind::kBroadcastRowAddBcastVec,
+                           Find(fmt), {&ra, &rv}, vertex, cluster, &stats);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_TRUE(AllClose(MaterializeDense(out.value()).value(), expected));
+  }
+}
+
+/// Every transformation preserves the matrix contents exactly.
+class TransformDataTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransformDataTest, PreservesContents) {
+  TransformKind kind = static_cast<TransformKind>(GetParam());
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(4);
+  DenseMatrix dense = RandomSparse(250, 340, 4.0, 112).ToDense();
+
+  // Try a handful of source formats; apply wherever feasible.
+  int applied = 0;
+  for (FormatId src : AllFormatIds()) {
+    ArgInfo arg{MatrixType(250, 340), src, 0.02};
+    auto target = catalog.TransformOutputFormat(kind, arg, cluster);
+    if (!target.has_value()) continue;
+    Relation in =
+        BuiltinFormats()[src].sparse()
+            ? MakeSparseRelation(SparseMatrix::FromDense(dense), src, cluster)
+                  .value()
+            : MakeRelation(dense, src, cluster).value();
+    ExecStats stats;
+    auto out = ExecuteTransform(catalog, kind, in, cluster, &stats);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(out.value().format, *target);
+    EXPECT_TRUE(AllClose(MaterializeDense(out.value()).value(), dense))
+        << "source " << BuiltinFormats()[src].ToString();
+    ++applied;
+  }
+  EXPECT_GT(applied, 0) << "transformation " << TransformKindName(kind)
+                        << " was never applicable";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransforms, TransformDataTest,
+                         ::testing::Range(0, kNumTransforms));
+
+}  // namespace
+}  // namespace matopt

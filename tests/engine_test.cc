@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "engine/operators.h"
+#include "engine/relation.h"
+#include "la/kernels.h"
+#include "ml/generators.h"
+
+namespace matopt {
+namespace {
+
+FormatId Find(const Format& f) {
+  const auto& all = BuiltinFormats();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == f) return static_cast<FormatId>(i);
+  }
+  return kNoFormat;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+  ClusterConfig cluster_ = SimSqlProfile(4);
+};
+
+TEST_F(EngineTest, RelationRoundTripsEveryDenseFormat) {
+  DenseMatrix m = GaussianMatrix(250, 340, 21);
+  for (FormatId id : AllFormatIds()) {
+    if (BuiltinFormats()[id].sparse()) continue;
+    SCOPED_TRACE(BuiltinFormats()[id].ToString());
+    auto rel = MakeRelation(m, id, cluster_);
+    ASSERT_TRUE(rel.ok());
+    auto back = MaterializeDense(rel.value());
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(AllClose(back.value(), m));
+  }
+}
+
+TEST_F(EngineTest, RelationRoundTripsSparseFormats) {
+  SparseMatrix s = RandomSparse(250, 340, 3.0, 22);
+  for (FormatId id : AllFormatIds()) {
+    if (!BuiltinFormats()[id].sparse()) continue;
+    SCOPED_TRACE(BuiltinFormats()[id].ToString());
+    auto rel = MakeSparseRelation(s, id, cluster_);
+    ASSERT_TRUE(rel.ok());
+    auto back = MaterializeDense(rel.value());
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(AllClose(back.value(), s.ToDense()));
+  }
+}
+
+TEST_F(EngineTest, TupleCountsMatchFormatStats) {
+  DenseMatrix m = GaussianMatrix(250, 340, 23);
+  FormatId row100 = Find({Layout::kRowStrips, 100, 0});
+  auto rel = MakeRelation(m, row100, cluster_);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel.value().tuples.size(), 3u);  // 100+100+50 rows
+  FormatStats stats = ComputeFormatStats(MatrixType(250, 340),
+                                         BuiltinFormats()[row100], 1.0);
+  EXPECT_EQ(stats.num_tuples, 3);
+}
+
+TEST_F(EngineTest, DryRelationMirrorsDataRelationStructure) {
+  DenseMatrix m = GaussianMatrix(250, 340, 24);
+  FormatId tiles = Find({Layout::kTiles, 100, 100});
+  auto with_data = MakeRelation(m, tiles, cluster_);
+  ASSERT_TRUE(with_data.ok());
+  Relation dry = MakeDryRelation(MatrixType(250, 340), tiles, 1.0, cluster_);
+  ASSERT_EQ(dry.tuples.size(), with_data.value().tuples.size());
+  for (size_t i = 0; i < dry.tuples.size(); ++i) {
+    EXPECT_EQ(dry.tuples[i].r, with_data.value().tuples[i].r);
+    EXPECT_EQ(dry.tuples[i].c, with_data.value().tuples[i].c);
+    EXPECT_EQ(dry.tuples[i].rows, with_data.value().tuples[i].rows);
+    EXPECT_EQ(dry.tuples[i].cols, with_data.value().tuples[i].cols);
+    EXPECT_EQ(dry.tuples[i].worker, with_data.value().tuples[i].worker);
+  }
+}
+
+TEST_F(EngineTest, TransformExecutionPreservesData) {
+  DenseMatrix m = GaussianMatrix(250, 340, 25);
+  auto rel = MakeRelation(m, Find({Layout::kTiles, 100, 100}), cluster_);
+  ASSERT_TRUE(rel.ok());
+  ExecStats stats;
+  auto out = ExecuteTransform(catalog_, TransformKind::kToDense0, rel.value(),
+                              cluster_, &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(BuiltinFormats()[out.value().format].layout,
+            Layout::kSingleTuple);
+  auto back = MaterializeDense(out.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(AllClose(back.value(), m));
+  EXPECT_GT(stats.sim_seconds, 0.0);
+}
+
+TEST_F(EngineTest, DenseSparseTransformRoundTrip) {
+  DenseMatrix m = RandomSparse(250, 120, 2.0, 26).ToDense();
+  auto rel = MakeRelation(m, Find({Layout::kRowStrips, 100, 0}), cluster_);
+  ASSERT_TRUE(rel.ok());
+  ExecStats stats;
+  auto sparse = ExecuteTransform(catalog_, TransformKind::kDenseToSpRowStrips1000,
+                                 rel.value(), cluster_, &stats);
+  ASSERT_TRUE(sparse.ok()) << sparse.status().ToString();
+  EXPECT_TRUE(BuiltinFormats()[sparse.value().format].sparse());
+  auto dense = ExecuteTransform(catalog_, TransformKind::kSparseToDense,
+                                sparse.value(), cluster_, &stats);
+  ASSERT_TRUE(dense.ok()) << dense.status().ToString();
+  auto back = MaterializeDense(dense.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(AllClose(back.value(), m));
+}
+
+/// Parameterized check: every matmul implementation computes the same
+/// product as the local reference kernel.
+struct MmCase {
+  ImplKind impl;
+  Format fa, fb;
+  int64_t r, k, c;
+  bool sparse_lhs = false;
+};
+
+class MatMulImplTest : public ::testing::TestWithParam<MmCase> {};
+
+TEST_P(MatMulImplTest, MatchesReferenceGemm) {
+  const MmCase& tc = GetParam();
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(4);
+  // Generous caps so small-scale layouts are all valid.
+  cluster.broadcast_cap_bytes = 1e12;
+
+  DenseMatrix a_dense = GaussianMatrix(tc.r, tc.k, 31);
+  DenseMatrix b_dense = GaussianMatrix(tc.k, tc.c, 32);
+  SparseMatrix a_sparse = RandomSparse(tc.r, tc.k, 2.0, 33);
+
+  Relation a = tc.sparse_lhs
+                   ? MakeSparseRelation(a_sparse, catalog.FindFormat(tc.fa),
+                                        cluster)
+                         .value()
+                   : MakeRelation(a_dense, catalog.FindFormat(tc.fa), cluster)
+                         .value();
+  Relation b =
+      MakeRelation(b_dense, catalog.FindFormat(tc.fb), cluster).value();
+
+  std::vector<ArgInfo> args = {
+      {a.type, a.format, tc.sparse_lhs ? a_sparse.Sparsity() : 1.0},
+      {b.type, b.format, 1.0}};
+  auto out_format = catalog.ImplOutputFormat(tc.impl, args, cluster);
+  ASSERT_TRUE(out_format.has_value())
+      << ImplKindName(tc.impl) << " rejected the test formats";
+
+  Vertex vertex;
+  vertex.op = OpKind::kMatMul;
+  vertex.type = MatrixType(tc.r, tc.c);
+  ExecStats stats;
+  auto out = ExecuteImpl(catalog, tc.impl, *out_format, {&a, &b}, vertex,
+                         cluster, &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  auto result = MaterializeDense(out.value());
+  ASSERT_TRUE(result.ok());
+  DenseMatrix expected = tc.sparse_lhs ? SpMm(a_sparse, b_dense)
+                                       : Gemm(a_dense, b_dense);
+  EXPECT_TRUE(AllClose(result.value(), expected, 1e-9, 1e-9));
+  EXPECT_GT(stats.sim_seconds, 0.0);
+  EXPECT_GT(stats.flops, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMatMulImpls, MatMulImplTest,
+    ::testing::Values(
+        MmCase{ImplKind::kMmSingleSingle,
+               {Layout::kSingleTuple, 0, 0},
+               {Layout::kSingleTuple, 0, 0},
+               130, 270, 90},
+        MmCase{ImplKind::kMmRowStripsXBcastSingle,
+               {Layout::kRowStrips, 100, 0},
+               {Layout::kSingleTuple, 0, 0},
+               250, 270, 90},
+        MmCase{ImplKind::kMmBcastSingleXColStrips,
+               {Layout::kSingleTuple, 0, 0},
+               {Layout::kColStrips, 100, 0},
+               130, 270, 350},
+        MmCase{ImplKind::kMmCrossStrips,
+               {Layout::kRowStrips, 100, 0},
+               {Layout::kColStrips, 100, 0},
+               250, 270, 350},
+        MmCase{ImplKind::kMmTilesShuffle,
+               {Layout::kTiles, 100, 100},
+               {Layout::kTiles, 100, 100},
+               250, 270, 350},
+        MmCase{ImplKind::kMmBcastTilesXTiles,
+               {Layout::kTiles, 100, 100},
+               {Layout::kTiles, 100, 100},
+               250, 270, 350},
+        MmCase{ImplKind::kMmTilesXBcastTiles,
+               {Layout::kTiles, 100, 100},
+               {Layout::kTiles, 100, 100},
+               250, 270, 350},
+        MmCase{ImplKind::kMmColStripsXRowStripsOuterSum,
+               {Layout::kColStrips, 100, 0},
+               {Layout::kRowStrips, 100, 0},
+               130, 270, 90},
+        MmCase{ImplKind::kMmRowStripsXBcastColStrips,
+               {Layout::kRowStrips, 100, 0},
+               {Layout::kColStrips, 100, 0},
+               250, 270, 350},
+        MmCase{ImplKind::kMmSpRowStripsXBcastSingle,
+               {Layout::kSpRowStripsCsr, 1000, 0},
+               {Layout::kSingleTuple, 0, 0},
+               250, 270, 90, true},
+        MmCase{ImplKind::kMmSpRowStripsXTiles,
+               {Layout::kSpRowStripsCsr, 1000, 0},
+               {Layout::kTiles, 100, 100},
+               250, 270, 350, true},
+        MmCase{ImplKind::kMmSpSingleXSingle,
+               {Layout::kSpSingleCsr, 0, 0},
+               {Layout::kSingleTuple, 0, 0},
+               130, 270, 90, true},
+        MmCase{ImplKind::kMmSpSingleXColStrips,
+               {Layout::kSpSingleCsr, 0, 0},
+               {Layout::kColStrips, 100, 0},
+               130, 270, 350, true}));
+
+TEST_F(EngineTest, StageAccountantEnforcesMemoryBudget) {
+  ClusterConfig tiny = cluster_;
+  tiny.worker_mem_bytes = 1000.0;
+  ExecStats stats;
+  StageAccountant acct(tiny, &stats, "test");
+  acct.AddWorkerMem(0, 2000.0);
+  Status status = acct.Commit();
+  EXPECT_TRUE(status.IsOutOfMemory());
+}
+
+TEST_F(EngineTest, StageAccountantEnforcesSpillBudget) {
+  ClusterConfig tiny = cluster_;
+  tiny.worker_spill_bytes = 1000.0;
+  ExecStats stats;
+  StageAccountant acct(tiny, &stats, "test");
+  acct.AddWorkerSpill(1, 5000.0);
+  EXPECT_TRUE(acct.Commit().IsOutOfMemory());
+}
+
+TEST_F(EngineTest, SimulatedTimeScalesWithClusterSize) {
+  // The same shuffle matmul should be faster on more workers.
+  auto run = [&](int workers) {
+    ClusterConfig c = SimSqlProfile(workers);
+    DenseMatrix a_dense = GaussianMatrix(300, 300, 41);
+    Relation a =
+        MakeRelation(a_dense, Find({Layout::kTiles, 100, 100}), c).value();
+    std::vector<ArgInfo> args = {{a.type, a.format, 1.0},
+                                 {a.type, a.format, 1.0}};
+    Vertex vertex;
+    vertex.op = OpKind::kMatMul;
+    vertex.type = MatrixType(300, 300);
+    ExecStats stats;
+    auto out = ExecuteImpl(catalog_, ImplKind::kMmTilesShuffle,
+                           *catalog_.ImplOutputFormat(
+                               ImplKind::kMmTilesShuffle, args, c),
+                           {&a, &a}, vertex, c, &stats);
+    EXPECT_TRUE(out.ok());
+    return stats;
+  };
+  ExecStats five = run(5);
+  ExecStats twenty = run(20);
+  EXPECT_EQ(five.flops, twenty.flops);  // same work, different placement
+}
+
+}  // namespace
+}  // namespace matopt

@@ -1,0 +1,163 @@
+// Property sweeps over the format/feature layer: accounting invariants
+// that must hold for every (type, format) combination.
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/cost/cost_model.h"
+#include "core/opt/optimizer.h"
+#include "core/ops/catalog.h"
+
+namespace matopt {
+namespace {
+
+class FormatStatsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FormatStatsPropertyTest, AccountingInvariants) {
+  Rng rng(7000 + GetParam());
+  ClusterConfig cluster = SimSqlProfile(10);
+  for (int trial = 0; trial < 40; ++trial) {
+    MatrixType type(1 + rng.UniformInt(300000), 1 + rng.UniformInt(300000));
+    double sparsity = trial % 3 == 0 ? rng.Uniform() : 1.0;
+    for (FormatId id : AllFormatIds()) {
+      const Format& f = BuiltinFormats()[id];
+      FormatStats s = ComputeFormatStats(type, f, sparsity);
+      SCOPED_TRACE(type.ToString() + " as " + f.ToString());
+
+      // Tuples and bytes are positive and finite.
+      EXPECT_GE(s.num_tuples, 1);
+      EXPECT_GT(s.total_bytes, 0.0);
+      EXPECT_GT(s.max_tuple_bytes, 0.0);
+      EXPECT_TRUE(std::isfinite(s.total_bytes));
+
+      // No tuple exceeds the whole relation, and the tuples cover it:
+      // num_tuples * max_tuple >= total (ragged tails only shrink tuples).
+      EXPECT_LE(s.max_tuple_bytes, s.total_bytes + 1e-9);
+      // (+1 tolerates COO's truncation of fractional expected non-zeros.)
+      EXPECT_GE(static_cast<double>(s.num_tuples + 1) * s.max_tuple_bytes,
+                s.total_bytes * (1.0 - 1e-9));
+
+      // Dense layouts store exactly the dense bytes.
+      if (!f.sparse()) {
+        EXPECT_DOUBLE_EQ(s.total_bytes, type.DenseBytes());
+      } else {
+        // Sparse layouts never store more than ~3x the nnz payload
+        // (COO triples are 24B per non-zero).
+        double nnz_bytes =
+            8.0 * std::max(1.0, sparsity *
+                                    static_cast<double>(type.NumEntries()));
+        EXPECT_LE(s.total_bytes,
+                  3.0 * nnz_bytes + 8.0 * static_cast<double>(type.rows()));
+      }
+
+      // Applicability agrees with the max-tuple cap.
+      bool applicable = FormatApplicable(f, type,
+                                         cluster.single_tuple_cap_bytes,
+                                         sparsity);
+      EXPECT_EQ(applicable,
+                s.max_tuple_bytes <= cluster.single_tuple_cap_bytes);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormatStatsPropertyTest,
+                         ::testing::Range(0, 4));
+
+TEST(TransformFeatureProperties, AllFeasibleTransformsHaveSaneFeatures) {
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(10);
+  MatrixType shapes[] = {MatrixType(2500, 340), MatrixType(40000, 40000),
+                         MatrixType(1, 5000), MatrixType(100000, 100)};
+  int feasible = 0;
+  for (const MatrixType& type : shapes) {
+    for (FormatId from : AllFormatIds()) {
+      if (!FormatApplicable(BuiltinFormats()[from], type,
+                            cluster.single_tuple_cap_bytes, 0.01)) {
+        continue;
+      }
+      ArgInfo arg{type, from, 0.01};
+      for (TransformKind kind : Catalog::AllTransforms()) {
+        auto out = catalog.TransformOutputFormat(kind, arg, cluster);
+        if (!out.has_value()) continue;
+        ++feasible;
+        EXPECT_NE(*out, from) << "transformation must change the format";
+        OpFeatures f = catalog.TransformFeatures(kind, arg, cluster);
+        EXPECT_GT(f.tuples, 0.0);
+        EXPECT_GE(f.net_bytes, 0.0);
+        EXPECT_TRUE(std::isfinite(f.peak_worker_bytes));
+        bool to_single =
+            BuiltinFormats()[*out].layout == Layout::kSingleTuple ||
+            BuiltinFormats()[*out].layout == Layout::kSpSingleCsr;
+        EXPECT_DOUBLE_EQ(f.latency_ops, to_single ? 2.0 : 1.0);
+      }
+    }
+  }
+  EXPECT_GT(feasible, 100);
+}
+
+TEST(TransformCostProperties, CheapestTransformTableIsConsistent) {
+  // TransformTable must return, for every feasible (from, to) pair, the
+  // minimum over catalog transformations achieving it.
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(10);
+  CostModel model = CostModel::Analytic(cluster);
+  MatrixType type(8000, 12000);
+  TransformTable table(catalog, model, cluster, type, 1.0);
+  const int n = static_cast<int>(BuiltinFormats().size());
+  for (FormatId from = 0; from < n; ++from) {
+    for (FormatId to = 0; to < n; ++to) {
+      double best = std::numeric_limits<double>::infinity();
+      bool any = from == to;
+      if (from == to) best = 0.0;
+      ArgInfo arg{type, from, 1.0};
+      for (TransformKind kind : Catalog::AllTransforms()) {
+        auto out = catalog.TransformOutputFormat(kind, arg, cluster);
+        if (!out.has_value() || *out != to) continue;
+        any = true;
+        best = std::min(best,
+                        model.TransformCost(catalog, kind, arg, cluster));
+      }
+      const TransformChoice& choice = table.Get(from, to);
+      EXPECT_EQ(choice.feasible, any);
+      if (any) {
+        EXPECT_NEAR(choice.cost, best, 1e-12 + 1e-9 * best);
+      }
+    }
+  }
+}
+
+TEST(CostMonotonicity, BiggerMatricesNeverCostLess) {
+  // For every matmul implementation, doubling every dimension must not
+  // decrease the predicted cost.
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(10);
+  CostModel model = CostModel::Analytic(cluster);
+  int checked = 0;
+  for (ImplKind kind : catalog.ImplsFor(OpKind::kMatMul)) {
+    for (FormatId fa : AllFormatIds()) {
+      for (FormatId fb : AllFormatIds()) {
+        std::vector<ArgInfo> small = {{MatrixType(4000, 8000), fa, 0.01},
+                                      {MatrixType(8000, 2000), fb, 1.0}};
+        std::vector<ArgInfo> big = {{MatrixType(8000, 16000), fa, 0.01},
+                                    {MatrixType(16000, 4000), fb, 1.0}};
+        if (!catalog.ImplOutputFormat(kind, small, cluster).has_value() ||
+            !catalog.ImplOutputFormat(kind, big, cluster).has_value()) {
+          continue;
+        }
+        double cs = model.ImplCost(catalog, kind, small, cluster);
+        double cb = model.ImplCost(catalog, kind, big, cluster);
+        EXPECT_GE(cb, cs * (1.0 - 1e-9))
+            << ImplKindName(kind) << " " << BuiltinFormats()[fa].ToString()
+            << " x " << BuiltinFormats()[fb].ToString();
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 20);
+}
+
+}  // namespace
+}  // namespace matopt

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/format/format.h"
+#include "core/format/matrix_type.h"
+
+namespace matopt {
+namespace {
+
+TEST(MatrixType, BasicProperties) {
+  MatrixType m(100, 200);
+  EXPECT_EQ(m.dims(), 2);
+  EXPECT_EQ(m.rows(), 100);
+  EXPECT_EQ(m.cols(), 200);
+  EXPECT_EQ(m.NumEntries(), 20000);
+  EXPECT_DOUBLE_EQ(m.DenseBytes(), 160000.0);
+}
+
+TEST(MatrixType, SparseBytesCountsIndexOverhead) {
+  MatrixType m(1000, 1000);
+  // 1% density: 10,000 nnz at 16 bytes + 8 KB row pointers.
+  EXPECT_DOUBLE_EQ(m.SparseBytes(0.01), 16.0 * 10000 + 8.0 * 1000);
+}
+
+TEST(Format, CatalogHasExactly19Formats) {
+  EXPECT_EQ(BuiltinFormats().size(), 19u);
+}
+
+TEST(Format, Figure13SubsetsMatchThePaper) {
+  EXPECT_EQ(AllFormatIds().size(), 19u);               // "all formats"
+  EXPECT_EQ(SingleStripBlockFormatIds().size(), 16u);  // single/strip/block
+  EXPECT_EQ(SingleBlockFormatIds().size(), 10u);       // single/block
+}
+
+TEST(Format, SubsetContainment) {
+  auto blocks = SingleBlockFormatIds();
+  auto strips = SingleStripBlockFormatIds();
+  for (FormatId id : blocks) {
+    EXPECT_NE(std::find(strips.begin(), strips.end(), id), strips.end());
+  }
+  for (FormatId id : strips) {
+    EXPECT_FALSE(BuiltinFormats()[id].sparse());
+  }
+}
+
+TEST(Format, SparseDetection) {
+  int sparse_count = 0;
+  for (const Format& f : BuiltinFormats()) sparse_count += f.sparse();
+  EXPECT_EQ(sparse_count, 3);
+}
+
+TEST(Format, NumChunksCeilingDivision) {
+  EXPECT_EQ(NumChunks(1000, 100), 10);
+  EXPECT_EQ(NumChunks(1001, 100), 11);
+  EXPECT_EQ(NumChunks(99, 100), 1);
+  EXPECT_EQ(NumChunks(0, 100), 0);
+}
+
+TEST(Format, SingleTupleStats) {
+  MatrixType m(2000, 3000);
+  FormatStats s = ComputeFormatStats(m, {Layout::kSingleTuple, 0, 0}, 1.0);
+  EXPECT_EQ(s.num_tuples, 1);
+  EXPECT_DOUBLE_EQ(s.total_bytes, m.DenseBytes());
+  EXPECT_DOUBLE_EQ(s.max_tuple_bytes, m.DenseBytes());
+}
+
+TEST(Format, RowStripStatsWithRaggedTail) {
+  MatrixType m(2500, 100);
+  FormatStats s = ComputeFormatStats(m, {Layout::kRowStrips, 1000, 0}, 1.0);
+  EXPECT_EQ(s.num_tuples, 3);  // 1000 + 1000 + 500
+  EXPECT_DOUBLE_EQ(s.max_tuple_bytes, 8.0 * 1000 * 100);
+}
+
+TEST(Format, TileStats) {
+  MatrixType m(2500, 1500);
+  FormatStats s = ComputeFormatStats(m, {Layout::kTiles, 1000, 1000}, 1.0);
+  EXPECT_EQ(s.num_tuples, 3 * 2);
+}
+
+TEST(Format, CooCountsOneTuplePerNonZero) {
+  MatrixType m(1000, 1000);
+  FormatStats s = ComputeFormatStats(m, {Layout::kSpCoo, 0, 0}, 0.01);
+  EXPECT_EQ(s.num_tuples, 10000);
+  EXPECT_DOUBLE_EQ(s.total_bytes, 24.0 * 10000);
+}
+
+TEST(Format, ApplicabilityEnforcesSingleTupleCap) {
+  // The paper's example: a 40GB matrix cannot be stored as one tuple.
+  MatrixType huge(100000, 100000);  // 8e10 bytes
+  EXPECT_FALSE(
+      FormatApplicable({Layout::kSingleTuple, 0, 0}, huge, 2.0e10, 1.0));
+  EXPECT_TRUE(
+      FormatApplicable({Layout::kTiles, 1000, 1000}, huge, 2.0e10, 1.0));
+  // A sufficiently sparse matrix does fit as one (CSR) tuple.
+  EXPECT_TRUE(
+      FormatApplicable({Layout::kSpSingleCsr, 0, 0}, huge, 2.0e10, 1e-4));
+}
+
+TEST(Format, StripApplicabilityBoundsTupleSize) {
+  MatrixType wide(100000, 1000000);  // a 10000-row strip is 8e10 bytes
+  EXPECT_FALSE(
+      FormatApplicable({Layout::kRowStrips, 10000, 0}, wide, 2.0e10, 1.0));
+  EXPECT_TRUE(
+      FormatApplicable({Layout::kRowStrips, 100, 0}, wide, 2.0e10, 1.0));
+}
+
+TEST(Format, ToStringIsHumanReadable) {
+  EXPECT_EQ(Format({Layout::kSingleTuple, 0, 0}).ToString(), "single");
+  EXPECT_EQ(Format({Layout::kRowStrips, 100, 0}).ToString(),
+            "row-strips(100)");
+  EXPECT_EQ(Format({Layout::kTiles, 1000, 100}).ToString(),
+            "tiles(1000x100)");
+}
+
+}  // namespace
+}  // namespace matopt

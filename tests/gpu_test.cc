@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "core/cost/cost_model.h"
+#include "core/opt/optimizer.h"
+#include "engine/executor.h"
+#include "engine/operators.h"
+#include "la/kernels.h"
+#include "ml/generators.h"
+
+namespace matopt {
+namespace {
+
+FormatId Find(const Format& f) {
+  const auto& all = BuiltinFormats();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == f) return static_cast<FormatId>(i);
+  }
+  return kNoFormat;
+}
+
+ClusterConfig GpuCluster(int workers = 4) {
+  ClusterConfig c = SimSqlProfile(workers);
+  c.gpus_per_worker = 1;
+  return c;
+}
+
+TEST(Gpu, ImplsAreBottomWithoutAccelerators) {
+  Catalog catalog;
+  ClusterConfig cpu_only = SimSqlProfile(4);
+  FormatId single = Find({Layout::kSingleTuple, 0, 0});
+  std::vector<ArgInfo> args = {{MatrixType(2000, 2000), single, 1.0},
+                               {MatrixType(2000, 2000), single, 1.0}};
+  EXPECT_FALSE(catalog.ImplOutputFormat(ImplKind::kGpuMmSingleSingle, args,
+                                        cpu_only)
+                   .has_value());
+  EXPECT_TRUE(catalog.ImplOutputFormat(ImplKind::kGpuMmSingleSingle, args,
+                                       GpuCluster())
+                  .has_value());
+}
+
+TEST(Gpu, ImplsAreBottomWhenOperandsExceedGpuMemory) {
+  // The paper's Section 4.2 example: i.f returns ⊥ when there is not
+  // enough GPU RAM to perform the operation.
+  Catalog catalog;
+  ClusterConfig cluster = GpuCluster();
+  cluster.gpu_mem_bytes = 16.0e9;
+  FormatId single = Find({Layout::kSingleTuple, 0, 0});
+  // Two 20000x20000 operands plus the output: 3 x 3.2 GB fits 16 GB...
+  std::vector<ArgInfo> small = {{MatrixType(20000, 20000), single, 1.0},
+                                {MatrixType(20000, 20000), single, 1.0}};
+  EXPECT_TRUE(catalog.ImplOutputFormat(ImplKind::kGpuMmSingleSingle, small,
+                                       cluster)
+                  .has_value());
+  // ...but 40000x40000 operands (3 x 12.8 GB) do not.
+  std::vector<ArgInfo> big = {{MatrixType(40000, 40000), single, 1.0},
+                              {MatrixType(40000, 40000), single, 1.0}};
+  EXPECT_FALSE(catalog.ImplOutputFormat(ImplKind::kGpuMmSingleSingle, big,
+                                        cluster)
+                   .has_value());
+  // The CPU twin still works.
+  EXPECT_TRUE(catalog.ImplOutputFormat(ImplKind::kMmSingleSingle, big,
+                                       cluster)
+                  .has_value());
+}
+
+TEST(Gpu, CostModelRatesGpuArithmeticAtDeviceSpeed) {
+  Catalog catalog;
+  ClusterConfig cluster = GpuCluster(10);
+  CostModel model = CostModel::Analytic(cluster);
+  FormatId single = Find({Layout::kSingleTuple, 0, 0});
+  std::vector<ArgInfo> args = {{MatrixType(20000, 20000), single, 1.0},
+                               {MatrixType(20000, 20000), single, 1.0}};
+  double cpu = model.ImplCost(catalog, ImplKind::kMmSingleSingle, args,
+                              cluster);
+  double gpu = model.ImplCost(catalog, ImplKind::kGpuMmSingleSingle, args,
+                              cluster);
+  // 1.6e13 flops: 400 s on one CPU worker, ~3 s on its GPU + transfers.
+  EXPECT_LT(gpu, cpu / 10.0);
+}
+
+TEST(Gpu, OptimizerPicksGpuImplsWhenAvailable) {
+  Catalog catalog;
+  ClusterConfig cluster = GpuCluster(10);
+  CostModel model = CostModel::Analytic(cluster);
+  FormatId single = Find({Layout::kSingleTuple, 0, 0});
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(20000, 20000), single, "A");
+  int b = g.AddInput(MatrixType(20000, 20000), single, "B");
+  g.AddOp(OpKind::kMatMul, {a, b}).value();
+  auto plan = Optimize(g, catalog, model, cluster);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(ImplClassOf(plan.value().annotation.at(2).impl), ImplClass::kGpu);
+
+  // Without accelerators the same graph plans on CPU implementations.
+  ClusterConfig cpu_only = SimSqlProfile(10);
+  auto cpu_plan = Optimize(g, catalog, model, cpu_only);
+  ASSERT_TRUE(cpu_plan.ok());
+  EXPECT_NE(ImplClassOf(cpu_plan.value().annotation.at(2).impl),
+            ImplClass::kGpu);
+}
+
+TEST(Gpu, ExecutionMatchesCpuReference) {
+  Catalog catalog;
+  ClusterConfig cluster = GpuCluster();
+  cluster.broadcast_cap_bytes = 1e12;
+  DenseMatrix a = GaussianMatrix(230, 170, 401);
+  DenseMatrix b = GaussianMatrix(170, 140, 402);
+  DenseMatrix expected = Gemm(a, b);
+  struct Case {
+    ImplKind impl;
+    Format fa, fb;
+  } cases[] = {
+      {ImplKind::kGpuMmSingleSingle,
+       {Layout::kSingleTuple, 0, 0},
+       {Layout::kSingleTuple, 0, 0}},
+      {ImplKind::kGpuMmRowStripsXBcastSingle,
+       {Layout::kRowStrips, 100, 0},
+       {Layout::kSingleTuple, 0, 0}},
+      {ImplKind::kGpuMmBcastSingleXColStrips,
+       {Layout::kSingleTuple, 0, 0},
+       {Layout::kColStrips, 100, 0}},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(ImplKindName(c.impl));
+    Relation ra = MakeRelation(a, Find(c.fa), cluster).value();
+    Relation rb = MakeRelation(b, Find(c.fb), cluster).value();
+    std::vector<ArgInfo> args = {{ra.type, ra.format, 1.0},
+                                 {rb.type, rb.format, 1.0}};
+    auto out_format = catalog.ImplOutputFormat(c.impl, args, cluster);
+    ASSERT_TRUE(out_format.has_value());
+    Vertex vertex;
+    vertex.op = OpKind::kMatMul;
+    vertex.type = MatrixType(230, 140);
+    ExecStats stats;
+    auto out = ExecuteImpl(catalog, c.impl, *out_format, {&ra, &rb}, vertex,
+                           cluster, &stats);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_TRUE(AllClose(MaterializeDense(out.value()).value(), expected,
+                         1e-9, 1e-9));
+    EXPECT_GT(stats.sim_seconds, 0.0);
+  }
+}
+
+TEST(Gpu, GpuInverseMatchesReference) {
+  Catalog catalog;
+  ClusterConfig cluster = GpuCluster();
+  DenseMatrix a = GaussianMatrix(150, 150, 403);
+  for (int64_t i = 0; i < 150; ++i) a(i, i) += 150.0;
+  Relation ra =
+      MakeRelation(a, Find({Layout::kSingleTuple, 0, 0}), cluster).value();
+  std::vector<ArgInfo> args = {{ra.type, ra.format, 1.0}};
+  auto out_format =
+      catalog.ImplOutputFormat(ImplKind::kGpuInverseSingleLu, args, cluster);
+  ASSERT_TRUE(out_format.has_value());
+  Vertex vertex;
+  vertex.op = OpKind::kInverse;
+  vertex.type = MatrixType(150, 150);
+  ExecStats stats;
+  auto out = ExecuteImpl(catalog, ImplKind::kGpuInverseSingleLu, *out_format,
+                         {&ra}, vertex, cluster, &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(AllClose(MaterializeDense(out.value()).value(),
+                       Inverse(a).value(), 1e-7, 1e-7));
+}
+
+TEST(Gpu, DryRunTimeReflectsAcceleration) {
+  // The same single-tuple multiply is charged much less simulated time
+  // with a GPU than without (arithmetic dominated).
+  Catalog catalog;
+  FormatId single = Find({Layout::kSingleTuple, 0, 0});
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(20000, 20000), single, "A");
+  int b = g.AddInput(MatrixType(20000, 20000), single, "B");
+  g.AddOp(OpKind::kMatMul, {a, b}).value();
+
+  auto run = [&](const ClusterConfig& cluster) {
+    CostModel model = CostModel::Analytic(cluster);
+    auto plan = Optimize(g, catalog, model, cluster).value();
+    PlanExecutor executor(catalog, cluster);
+    return executor.DryRun(g, plan.annotation).value().stats.sim_seconds;
+  };
+  double with_gpu = run(GpuCluster(10));
+  double without = run(SimSqlProfile(10));
+  EXPECT_LT(with_gpu, without / 2.0);
+}
+
+}  // namespace
+}  // namespace matopt

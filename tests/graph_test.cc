@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "core/graph/graph.h"
+#include "ml/workloads.h"
+
+namespace matopt {
+namespace {
+
+FormatId Single() { return 0; }
+
+TEST(TypeInference, MatMul) {
+  auto t = InferOutputType(OpKind::kMatMul,
+                           {MatrixType(5, 10), MatrixType(10, 7)});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value(), MatrixType(5, 7));
+}
+
+TEST(TypeInference, MatMulRejectsMismatchedInner) {
+  EXPECT_FALSE(InferOutputType(OpKind::kMatMul,
+                               {MatrixType(5, 10), MatrixType(11, 7)})
+                   .ok());
+}
+
+TEST(TypeInference, ElementWiseRequiresSameShape) {
+  EXPECT_TRUE(
+      InferOutputType(OpKind::kAdd, {MatrixType(3, 4), MatrixType(3, 4)})
+          .ok());
+  EXPECT_FALSE(
+      InferOutputType(OpKind::kAdd, {MatrixType(3, 4), MatrixType(4, 3)})
+          .ok());
+}
+
+TEST(TypeInference, UnaryShapes) {
+  EXPECT_EQ(InferOutputType(OpKind::kTranspose, {MatrixType(3, 7)}).value(),
+            MatrixType(7, 3));
+  EXPECT_EQ(InferOutputType(OpKind::kRowSum, {MatrixType(3, 7)}).value(),
+            MatrixType(3, 1));
+  EXPECT_EQ(InferOutputType(OpKind::kColSum, {MatrixType(3, 7)}).value(),
+            MatrixType(1, 7));
+  EXPECT_EQ(InferOutputType(OpKind::kRelu, {MatrixType(3, 7)}).value(),
+            MatrixType(3, 7));
+}
+
+TEST(TypeInference, BroadcastRowAddChecksVectorShape) {
+  EXPECT_TRUE(InferOutputType(OpKind::kBroadcastRowAdd,
+                              {MatrixType(5, 7), MatrixType(1, 7)})
+                  .ok());
+  EXPECT_FALSE(InferOutputType(OpKind::kBroadcastRowAdd,
+                               {MatrixType(5, 7), MatrixType(1, 5)})
+                   .ok());
+}
+
+TEST(TypeInference, InverseRequiresSquare) {
+  EXPECT_TRUE(InferOutputType(OpKind::kInverse, {MatrixType(4, 4)}).ok());
+  EXPECT_FALSE(InferOutputType(OpKind::kInverse, {MatrixType(4, 5)}).ok());
+}
+
+TEST(TypeInference, ArityChecked) {
+  EXPECT_FALSE(InferOutputType(OpKind::kMatMul, {MatrixType(3, 3)}).ok());
+  EXPECT_FALSE(InferOutputType(OpKind::kRelu,
+                               {MatrixType(3, 3), MatrixType(3, 3)})
+                   .ok());
+}
+
+TEST(ComputeGraph, BuildsAndInfersTypes) {
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(4, 6), Single(), "A");
+  int b = g.AddInput(MatrixType(6, 5), Single(), "B");
+  auto ab = g.AddOp(OpKind::kMatMul, {a, b});
+  ASSERT_TRUE(ab.ok());
+  EXPECT_EQ(g.vertex(ab.value()).type, MatrixType(4, 5));
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.Sinks(), std::vector<int>{ab.value()});
+}
+
+TEST(ComputeGraph, RejectsBadOps) {
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(4, 6), Single(), "A");
+  EXPECT_FALSE(g.AddOp(OpKind::kMatMul, {a, a}).ok());  // 4x6 * 4x6
+  EXPECT_FALSE(g.AddOp(OpKind::kAdd, {a, 99}).ok());    // bad vertex id
+}
+
+TEST(ComputeGraph, TreeDetection) {
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(4, 4), Single(), "A");
+  int b = g.AddInput(MatrixType(4, 4), Single(), "B");
+  int ab = g.AddOp(OpKind::kMatMul, {a, b}).value();
+  EXPECT_TRUE(g.IsTree());
+  g.AddOp(OpKind::kAdd, {ab, ab}).value();  // ab now has two out-edges
+  EXPECT_FALSE(g.IsTree());
+}
+
+TEST(ComputeGraph, AncestorBitsets) {
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(4, 4), Single(), "A");
+  int b = g.AddInput(MatrixType(4, 4), Single(), "B");
+  int c = g.AddInput(MatrixType(4, 4), Single(), "C");
+  int ab = g.AddOp(OpKind::kMatMul, {a, b}).value();
+  int abc = g.AddOp(OpKind::kMatMul, {ab, c}).value();
+  auto anc = g.AncestorBitsets();
+  EXPECT_TRUE(BitsetsIntersect(anc[ab], anc[a]));
+  EXPECT_TRUE(BitsetsIntersect(anc[abc], anc[a]));
+  EXPECT_FALSE(BitsetsIntersect(anc[a], anc[b]));
+  EXPECT_TRUE(BitsetsIntersect(anc[abc], anc[c]));
+}
+
+TEST(ComputeGraph, ConsumersAndSparsityPropagation) {
+  ComputeGraph g;
+  int x = g.AddInput(MatrixType(100, 200), Single(), "X", 0.01);
+  int w = g.AddInput(MatrixType(200, 50), Single(), "W");
+  int m = g.AddOp(OpKind::kMatMul, {x, w}).value();
+  int r = g.AddOp(OpKind::kRelu, {m}).value();
+  auto consumers = g.BuildConsumers();
+  EXPECT_EQ(consumers[x], std::vector<int>{m});
+  EXPECT_EQ(consumers[m], std::vector<int>{r});
+  // Sparse-data x dense-model multiply yields a dense result (Section 7).
+  EXPECT_DOUBLE_EQ(g.vertex(m).sparsity, 1.0);
+}
+
+TEST(GraphBuilder, LatchesFirstError) {
+  GraphBuilder g;
+  int a = g.Input(MatrixType(4, 6), Single(), "A");
+  int bad = g.Op(OpKind::kMatMul, {a, a});
+  EXPECT_EQ(bad, -1);
+  g.Op(OpKind::kRelu, {a});  // ignored after the error
+  EXPECT_FALSE(g.Finish().ok());
+}
+
+TEST(Workloads, FullPassFfnnHas57Vertices) {
+  FfnnConfig cfg;
+  cfg.full_pass = true;
+  auto graph = BuildFfnnGraph(cfg);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  // The paper's Experiment 1 graph: "a very large compute graph, with 57
+  // vertices".
+  EXPECT_EQ(graph.value().num_vertices(), 57);
+  EXPECT_FALSE(graph.value().IsTree());
+}
+
+TEST(Workloads, ToW2FfnnBuilds) {
+  FfnnConfig cfg;
+  cfg.full_pass = false;
+  auto graph = BuildFfnnGraph(cfg);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph.value().num_vertices(), 26);
+}
+
+}  // namespace
+}  // namespace matopt

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include "baselines/all_tile_planner.h"
+#include "baselines/expert_planner.h"
+#include "core/opt/optimizer.h"
+#include "engine/executor.h"
+#include "la/kernels.h"
+#include "ml/generators.h"
+
+namespace matopt {
+namespace {
+
+FormatId Find(const Format& f) {
+  const auto& all = BuiltinFormats();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == f) return static_cast<FormatId>(i);
+  }
+  return kNoFormat;
+}
+
+/// End-to-end fixture: build a graph over small real matrices, optimize,
+/// execute the optimized plan on the engine, and compare the output with
+/// a single-node reference computation.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest() : cluster_(SimSqlProfile(4)) {
+    // Small-scale caps so every layout/impl is exercised at test size.
+    cluster_.broadcast_cap_bytes = 1e12;
+    model_ = CostModel::Analytic(cluster_);
+  }
+
+  /// Executes an annotated graph with the given dense inputs.
+  DenseMatrix Run(const ComputeGraph& graph, const Annotation& annotation,
+                  const std::unordered_map<int, DenseMatrix>& inputs) {
+    PlanExecutor executor(catalog_, cluster_);
+    std::unordered_map<int, Relation> relations;
+    for (const auto& [v, m] : inputs) {
+      FormatId fmt = graph.vertex(v).input_format;
+      if (BuiltinFormats()[fmt].sparse()) {
+        relations[v] =
+            MakeSparseRelation(SparseMatrix::FromDense(m), fmt, cluster_)
+                .value();
+      } else {
+        relations[v] = MakeRelation(m, fmt, cluster_).value();
+      }
+    }
+    auto result = executor.Execute(graph, annotation, std::move(relations));
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().sinks.size(), 1u);
+    auto out = MaterializeDense(result.value().sinks.begin()->second);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    last_stats_ = result.value().stats;
+    return out.value();
+  }
+
+  Catalog catalog_;
+  ClusterConfig cluster_;
+  CostModel model_;
+  ExecStats last_stats_;
+};
+
+TEST_F(IntegrationTest, OptimizedMatMulChainMatchesReference) {
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(230, 340), Find({Layout::kRowStrips, 100, 0}),
+                     "A");
+  int b = g.AddInput(MatrixType(340, 180), Find({Layout::kColStrips, 100, 0}),
+                     "B");
+  int c = g.AddInput(MatrixType(180, 270), Find({Layout::kTiles, 100, 100}),
+                     "C");
+  int ab = g.AddOp(OpKind::kMatMul, {a, b}).value();
+  g.AddOp(OpKind::kMatMul, {ab, c}).value();
+
+  auto plan = Optimize(g, catalog_, model_, cluster_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  DenseMatrix ma = GaussianMatrix(230, 340, 51);
+  DenseMatrix mb = GaussianMatrix(340, 180, 52);
+  DenseMatrix mc = GaussianMatrix(180, 270, 53);
+  DenseMatrix out =
+      Run(g, plan.value().annotation, {{a, ma}, {b, mb}, {c, mc}});
+  EXPECT_TRUE(AllClose(out, Gemm(Gemm(ma, mb), mc), 1e-8, 1e-8));
+}
+
+TEST_F(IntegrationTest, OptimizedDagWithSharingMatchesReference) {
+  // T = A x B reused twice: O = (T + (T .* C)) then relu and row-sum.
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(210, 130), Find({Layout::kRowStrips, 100, 0}),
+                     "A");
+  int b = g.AddInput(MatrixType(130, 170), Find({Layout::kColStrips, 100, 0}),
+                     "B");
+  int c = g.AddInput(MatrixType(210, 170), Find({Layout::kTiles, 100, 100}),
+                     "C");
+  int t = g.AddOp(OpKind::kMatMul, {a, b}).value();
+  int h = g.AddOp(OpKind::kHadamard, {t, c}).value();
+  int s = g.AddOp(OpKind::kAdd, {t, h}).value();
+  int r = g.AddOp(OpKind::kRelu, {s}).value();
+  g.AddOp(OpKind::kRowSum, {r}).value();
+
+  auto plan = Optimize(g, catalog_, model_, cluster_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  DenseMatrix ma = GaussianMatrix(210, 130, 54);
+  DenseMatrix mb = GaussianMatrix(130, 170, 55);
+  DenseMatrix mc = GaussianMatrix(210, 170, 56);
+  DenseMatrix out =
+      Run(g, plan.value().annotation, {{a, ma}, {b, mb}, {c, mc}});
+
+  DenseMatrix ref_t = Gemm(ma, mb);
+  DenseMatrix ref =
+      RowSum(Relu(Add(ref_t, Hadamard(ref_t, mc))));
+  EXPECT_TRUE(AllClose(out, ref, 1e-8, 1e-8));
+}
+
+TEST_F(IntegrationTest, SmallFfnnStepMatchesReference) {
+  // A miniature FFNN forward + backprop-to-W2 over real data.
+  const int64_t batch = 120, features = 250, hidden = 140, labels = 9;
+  ComputeGraph g;
+  int x = g.AddInput(MatrixType(batch, features),
+                     Find({Layout::kRowStrips, 100, 0}), "X");
+  int l = g.AddInput(MatrixType(batch, labels),
+                     Find({Layout::kRowStrips, 100, 0}), "L");
+  int w1 = g.AddInput(MatrixType(features, hidden),
+                      Find({Layout::kTiles, 100, 100}), "W1");
+  int w2 = g.AddInput(MatrixType(hidden, hidden),
+                      Find({Layout::kTiles, 100, 100}), "W2");
+  int w3 = g.AddInput(MatrixType(hidden, labels),
+                      Find({Layout::kSingleTuple, 0, 0}), "W3");
+  int b1 = g.AddInput(MatrixType(1, hidden), Find({Layout::kSingleTuple, 0, 0}),
+                      "b1");
+  int m1 = g.AddOp(OpKind::kMatMul, {x, w1}).value();
+  int z1 = g.AddOp(OpKind::kBroadcastRowAdd, {m1, b1}).value();
+  int a1 = g.AddOp(OpKind::kRelu, {z1}).value();
+  int m2 = g.AddOp(OpKind::kMatMul, {a1, w2}).value();
+  int a2 = g.AddOp(OpKind::kRelu, {m2}).value();
+  int m3 = g.AddOp(OpKind::kMatMul, {a2, w3}).value();
+  int y = g.AddOp(OpKind::kSoftmax, {m3}).value();
+  int d3 = g.AddOp(OpKind::kSub, {y, l}).value();
+  int tw3 = g.AddOp(OpKind::kTranspose, {w3}).value();
+  int p2 = g.AddOp(OpKind::kMatMul, {d3, tw3}).value();
+  int g2 = g.AddOp(OpKind::kReluGrad, {m2, p2}).value();
+  int ta1 = g.AddOp(OpKind::kTranspose, {a1}).value();
+  int gw2 = g.AddOp(OpKind::kMatMul, {ta1, g2}).value();
+  int uw2 = g.AddOp(OpKind::kScalarMul, {gw2}, "", 0.05).value();
+  g.AddOp(OpKind::kSub, {w2, uw2}).value();
+
+  auto plan = Optimize(g, catalog_, model_, cluster_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  DenseMatrix mx = GaussianMatrix(batch, features, 61);
+  DenseMatrix ml = OneHotLabels(batch, labels, 62);
+  DenseMatrix mw1 = GaussianMatrix(features, hidden, 63);
+  DenseMatrix mw2 = GaussianMatrix(hidden, hidden, 64);
+  DenseMatrix mw3 = GaussianMatrix(hidden, labels, 65);
+  DenseMatrix mb1 = GaussianMatrix(1, hidden, 66);
+  DenseMatrix out = Run(
+      g, plan.value().annotation,
+      {{x, mx}, {l, ml}, {w1, mw1}, {w2, mw2}, {w3, mw3}, {b1, mb1}});
+
+  // Single-node reference.
+  DenseMatrix rz1 = BroadcastRowAdd(Gemm(mx, mw1), mb1);
+  DenseMatrix ra1 = Relu(rz1);
+  DenseMatrix rm2 = Gemm(ra1, mw2);
+  DenseMatrix ra2 = Relu(rm2);
+  DenseMatrix ry = Softmax(Gemm(ra2, mw3));
+  DenseMatrix rd3 = Sub(ry, ml);
+  DenseMatrix rp2 = Gemm(rd3, Transpose(mw3));
+  DenseMatrix rg2 = ReluGrad(rm2, rp2);
+  DenseMatrix rgw2 = Gemm(Transpose(ra1), rg2);
+  DenseMatrix ref = Sub(mw2, ScalarMul(rgw2, 0.05));
+  EXPECT_TRUE(AllClose(out, ref, 1e-7, 1e-7));
+}
+
+TEST_F(IntegrationTest, SparseInputPipelineMatchesReference) {
+  ComputeGraph g;
+  int x = g.AddInput(MatrixType(220, 310),
+                     Find({Layout::kSpRowStripsCsr, 1000, 0}), "X", 0.01);
+  int w = g.AddInput(MatrixType(310, 90), Find({Layout::kSingleTuple, 0, 0}),
+                     "W");
+  int m = g.AddOp(OpKind::kMatMul, {x, w}).value();
+  g.AddOp(OpKind::kRelu, {m}).value();
+
+  auto plan = Optimize(g, catalog_, model_, cluster_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  SparseMatrix sx = RandomSparse(220, 310, 3.0, 71);
+  DenseMatrix mw = GaussianMatrix(310, 90, 72);
+  DenseMatrix out =
+      Run(g, plan.value().annotation, {{x, sx.ToDense()}, {w, mw}});
+  EXPECT_TRUE(AllClose(out, Relu(SpMm(sx, mw)), 1e-8, 1e-8));
+}
+
+TEST_F(IntegrationTest, BlockInverseExpressionMatchesDirectInverse) {
+  // 2x2 block inverse of a well-conditioned matrix, executed through the
+  // engine, equals the direct LU inverse of the assembled matrix.
+  const int64_t n = 120;
+  DenseMatrix whole = GaussianMatrix(2 * n, 2 * n, 73);
+  for (int64_t i = 0; i < 2 * n; ++i) whole(i, i) += 2.0 * n;
+
+  ComputeGraph g;
+  FormatId tiles = Find({Layout::kTiles, 100, 100});
+  int a = g.AddInput(MatrixType(n, n), tiles, "A");
+  int b = g.AddInput(MatrixType(n, n), tiles, "B");
+  int c = g.AddInput(MatrixType(n, n), tiles, "C");
+  int d = g.AddInput(MatrixType(n, n), tiles, "D");
+  int ia = g.AddOp(OpKind::kInverse, {a}).value();
+  int iab = g.AddOp(OpKind::kMatMul, {ia, b}).value();
+  int cia = g.AddOp(OpKind::kMatMul, {c, ia}).value();
+  int t1 = g.AddOp(OpKind::kMatMul, {c, iab}).value();
+  int s = g.AddOp(OpKind::kSub, {d, t1}).value();
+  int is = g.AddOp(OpKind::kInverse, {s}).value();
+  int b1 = g.AddOp(OpKind::kMatMul, {iab, is}).value();
+  int corr = g.AddOp(OpKind::kMatMul, {b1, cia}).value();
+  g.AddOp(OpKind::kAdd, {ia, corr}).value();  // Ābar block
+
+  auto plan = Optimize(g, catalog_, model_, cluster_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  DenseMatrix ma = whole.Block(0, 0, n, n);
+  DenseMatrix mb = whole.Block(0, n, n, n);
+  DenseMatrix mc = whole.Block(n, 0, n, n);
+  DenseMatrix md = whole.Block(n, n, n, n);
+  DenseMatrix abar =
+      Run(g, plan.value().annotation, {{a, ma}, {b, mb}, {c, mc}, {d, md}});
+
+  auto direct = Inverse(whole);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(
+      AllClose(abar, direct.value().Block(0, 0, n, n), 1e-6, 1e-6));
+}
+
+TEST_F(IntegrationTest, BaselinePlansExecuteToTheSameResult) {
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(230, 340), Find({Layout::kRowStrips, 100, 0}),
+                     "A");
+  int b = g.AddInput(MatrixType(340, 180), Find({Layout::kColStrips, 100, 0}),
+                     "B");
+  int c = g.AddInput(MatrixType(180, 270), Find({Layout::kTiles, 100, 100}),
+                     "C");
+  int ab = g.AddOp(OpKind::kMatMul, {a, b}).value();
+  g.AddOp(OpKind::kMatMul, {ab, c}).value();
+
+  DenseMatrix ma = GaussianMatrix(230, 340, 81);
+  DenseMatrix mb = GaussianMatrix(340, 180, 82);
+  DenseMatrix mc = GaussianMatrix(180, 270, 83);
+  DenseMatrix ref = Gemm(Gemm(ma, mb), mc);
+
+  for (const PlannerRules& rules : {ExpertRules(), AllTileRules(100)}) {
+    SCOPED_TRACE(rules.name);
+    auto annotation = PlanWithRules(g, catalog_, cluster_, rules);
+    ASSERT_TRUE(annotation.ok()) << annotation.status().ToString();
+    DenseMatrix out = Run(g, annotation.value(), {{a, ma}, {b, mb}, {c, mc}});
+    EXPECT_TRUE(AllClose(out, ref, 1e-8, 1e-8));
+  }
+}
+
+TEST_F(IntegrationTest, DryRunChargesTheSameSimulatedTimeAsRealExecution) {
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(230, 340), Find({Layout::kRowStrips, 100, 0}),
+                     "A");
+  int b = g.AddInput(MatrixType(340, 180), Find({Layout::kColStrips, 100, 0}),
+                     "B");
+  int ab = g.AddOp(OpKind::kMatMul, {a, b}).value();
+  g.AddOp(OpKind::kRelu, {ab}).value();
+
+  auto plan = Optimize(g, catalog_, model_, cluster_);
+  ASSERT_TRUE(plan.ok());
+
+  DenseMatrix ma = GaussianMatrix(230, 340, 91);
+  DenseMatrix mb = GaussianMatrix(340, 180, 92);
+  Run(g, plan.value().annotation, {{a, ma}, {b, mb}});
+  ExecStats with_data = last_stats_;
+
+  PlanExecutor executor(catalog_, cluster_);
+  auto dry = executor.DryRun(g, plan.value().annotation);
+  ASSERT_TRUE(dry.ok()) << dry.status().ToString();
+  // Dry-run accounting is byte-identical to real execution: this is what
+  // lets the paper-scale benchmarks run without materializing terabytes.
+  EXPECT_DOUBLE_EQ(dry.value().stats.sim_seconds, with_data.sim_seconds);
+  EXPECT_DOUBLE_EQ(dry.value().stats.flops, with_data.flops);
+  EXPECT_DOUBLE_EQ(dry.value().stats.net_bytes, with_data.net_bytes);
+  EXPECT_DOUBLE_EQ(dry.value().stats.tuples, with_data.tuples);
+}
+
+TEST_F(IntegrationTest, EngineReportsOutOfMemoryForOverTiledPlans) {
+  ClusterConfig tiny = cluster_;
+  tiny.worker_spill_bytes = 4096.0;  // absurdly small spill budget
+  ComputeGraph g;
+  FormatId tiles = Find({Layout::kTiles, 100, 100});
+  int a = g.AddInput(MatrixType(500, 500), tiles, "A");
+  int b = g.AddInput(MatrixType(500, 500), tiles, "B");
+  g.AddOp(OpKind::kMatMul, {a, b}).value();
+  auto annotation = PlanWithRules(g, catalog_, tiny, AllTileRules(100));
+  ASSERT_TRUE(annotation.ok());
+  PlanExecutor executor(catalog_, tiny);
+  auto result = executor.DryRun(g, annotation.value());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOutOfMemory());
+}
+
+}  // namespace
+}  // namespace matopt

@@ -1,0 +1,211 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "la/dense_matrix.h"
+#include "la/kernels.h"
+#include "la/sparse_matrix.h"
+#include "ml/generators.h"
+
+namespace matopt {
+namespace {
+
+TEST(DenseMatrix, BasicAccess) {
+  DenseMatrix m(2, 3);
+  m(0, 0) = 1.0;
+  m(1, 2) = 5.0;
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+TEST(DenseMatrix, BlockAndSetBlock) {
+  DenseMatrix m = GaussianMatrix(7, 9, 1);
+  DenseMatrix block = m.Block(2, 3, 4, 5);
+  EXPECT_EQ(block.rows(), 4);
+  EXPECT_EQ(block.cols(), 5);
+  EXPECT_DOUBLE_EQ(block(1, 2), m(3, 5));
+
+  DenseMatrix copy(7, 9);
+  for (int64_t r = 0; r < 7; r += 4) {
+    for (int64_t c = 0; c < 9; c += 5) {
+      copy.SetBlock(r, c, m.Block(r, c, 4, 5));
+    }
+  }
+  EXPECT_TRUE(AllClose(copy, m));
+}
+
+TEST(DenseMatrix, BlockClampsAtEdges) {
+  DenseMatrix m = GaussianMatrix(5, 5, 2);
+  DenseMatrix block = m.Block(3, 3, 4, 4);  // only 2x2 remain
+  EXPECT_EQ(block.rows(), 2);
+  EXPECT_EQ(block.cols(), 2);
+  EXPECT_DOUBLE_EQ(block(1, 1), m(4, 4));
+}
+
+TEST(Kernels, GemmMatchesManual) {
+  DenseMatrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  DenseMatrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  DenseMatrix c = Gemm(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Kernels, GemmAssociativityOnRandomInput) {
+  DenseMatrix a = GaussianMatrix(13, 7, 3);
+  DenseMatrix b = GaussianMatrix(7, 11, 4);
+  DenseMatrix c = GaussianMatrix(11, 5, 5);
+  EXPECT_TRUE(AllClose(Gemm(Gemm(a, b), c), Gemm(a, Gemm(b, c)), 1e-9, 1e-9));
+}
+
+TEST(Kernels, ElementWiseOps) {
+  DenseMatrix a(2, 2, {1, 2, 3, 4});
+  DenseMatrix b(2, 2, {5, 6, 7, 8});
+  EXPECT_DOUBLE_EQ(Add(a, b)(1, 1), 12.0);
+  EXPECT_DOUBLE_EQ(Sub(b, a)(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(Hadamard(a, b)(1, 0), 21.0);
+  EXPECT_DOUBLE_EQ(ElemDiv(b, a)(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(ScalarMul(a, 2.5)(1, 1), 10.0);
+}
+
+TEST(Kernels, TransposeRoundTrip) {
+  DenseMatrix a = GaussianMatrix(6, 9, 6);
+  EXPECT_TRUE(AllClose(Transpose(Transpose(a)), a));
+  EXPECT_DOUBLE_EQ(Transpose(a)(3, 2), a(2, 3));
+}
+
+TEST(Kernels, ReluAndGrad) {
+  DenseMatrix z(1, 4, {-1.0, 0.0, 2.0, -3.0});
+  DenseMatrix up(1, 4, {10.0, 10.0, 10.0, 10.0});
+  DenseMatrix r = Relu(z);
+  EXPECT_DOUBLE_EQ(r(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r(0, 2), 2.0);
+  DenseMatrix g = ReluGrad(z, up);
+  EXPECT_DOUBLE_EQ(g(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(g(0, 1), 0.0);  // relu'(0) = 0 by convention
+  EXPECT_DOUBLE_EQ(g(0, 2), 10.0);
+}
+
+TEST(Kernels, SoftmaxRowsSumToOne) {
+  DenseMatrix a = GaussianMatrix(5, 8, 7);
+  DenseMatrix s = Softmax(a);
+  for (int64_t r = 0; r < s.rows(); ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < s.cols(); ++c) {
+      EXPECT_GT(s(r, c), 0.0);
+      sum += s(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Kernels, SoftmaxIsShiftInvariant) {
+  DenseMatrix a = GaussianMatrix(3, 4, 8);
+  DenseMatrix shifted = a;
+  for (int64_t i = 0; i < shifted.size(); ++i) shifted.data()[i] += 100.0;
+  EXPECT_TRUE(AllClose(Softmax(a), Softmax(shifted), 1e-9, 1e-12));
+}
+
+TEST(Kernels, RowAndColSums) {
+  DenseMatrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  DenseMatrix rs = RowSum(a);
+  EXPECT_EQ(rs.rows(), 2);
+  EXPECT_EQ(rs.cols(), 1);
+  EXPECT_DOUBLE_EQ(rs(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(rs(1, 0), 15.0);
+  DenseMatrix cs = ColSum(a);
+  EXPECT_EQ(cs.rows(), 1);
+  EXPECT_DOUBLE_EQ(cs(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(cs(0, 2), 9.0);
+}
+
+TEST(Kernels, BroadcastRowAdd) {
+  DenseMatrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  DenseMatrix v(1, 3, {10, 20, 30});
+  DenseMatrix out = BroadcastRowAdd(a, v);
+  EXPECT_DOUBLE_EQ(out(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(out(1, 2), 36.0);
+}
+
+TEST(Kernels, InverseTimesOriginalIsIdentity) {
+  DenseMatrix a = GaussianMatrix(20, 20, 9);
+  for (int64_t i = 0; i < 20; ++i) a(i, i) += 20.0;  // well-conditioned
+  auto inv = Inverse(a);
+  ASSERT_TRUE(inv.ok()) << inv.status().ToString();
+  EXPECT_TRUE(AllClose(Gemm(a, inv.value()), Identity(20), 1e-8, 1e-8));
+  EXPECT_TRUE(AllClose(Gemm(inv.value(), a), Identity(20), 1e-8, 1e-8));
+}
+
+TEST(Kernels, InverseRejectsNonSquareAndSingular) {
+  EXPECT_FALSE(Inverse(DenseMatrix(2, 3)).ok());
+  DenseMatrix zeros(3, 3);
+  EXPECT_FALSE(Inverse(zeros).ok());
+}
+
+TEST(SparseMatrix, DenseRoundTrip) {
+  DenseMatrix d(3, 4);
+  d(0, 1) = 2.0;
+  d(2, 0) = -1.5;
+  d(2, 3) = 4.0;
+  SparseMatrix s = SparseMatrix::FromDense(d);
+  EXPECT_EQ(s.nnz(), 3);
+  EXPECT_TRUE(AllClose(s.ToDense(), d));
+  EXPECT_NEAR(s.Sparsity(), 3.0 / 12.0, 1e-12);
+}
+
+TEST(SparseMatrix, FromTriplesMergesDuplicates) {
+  SparseMatrix s = SparseMatrix::FromTriples(
+      2, 2, {{0, 1, 1.0}, {1, 0, 2.0}, {0, 1, 3.0}});
+  EXPECT_EQ(s.nnz(), 2);
+  EXPECT_DOUBLE_EQ(s.ToDense()(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(s.ToDense()(1, 0), 2.0);
+}
+
+TEST(SparseMatrix, SpMmMatchesDenseGemm) {
+  SparseMatrix a = RandomSparse(17, 23, 3.0, 11);
+  DenseMatrix b = GaussianMatrix(23, 9, 12);
+  EXPECT_TRUE(AllClose(SpMm(a, b), Gemm(a.ToDense(), b), 1e-9, 1e-9));
+}
+
+TEST(SparseMatrix, RowAndColSlices) {
+  SparseMatrix s = RandomSparse(20, 30, 2.5, 13);
+  DenseMatrix d = s.ToDense();
+  EXPECT_TRUE(AllClose(s.RowSlice(5, 7).ToDense(), d.Block(5, 0, 7, 30)));
+  EXPECT_TRUE(AllClose(s.ColSlice(10, 12).ToDense(), d.Block(0, 10, 20, 12)));
+  // Ragged tail slices clamp.
+  EXPECT_TRUE(AllClose(s.RowSlice(18, 10).ToDense(), d.Block(18, 0, 2, 30)));
+}
+
+TEST(SparseMatrix, SpAddMatchesDense) {
+  SparseMatrix a = RandomSparse(10, 10, 2.0, 14);
+  SparseMatrix b = RandomSparse(10, 10, 2.0, 15);
+  EXPECT_TRUE(
+      AllClose(SpAdd(a, b).ToDense(), Add(a.ToDense(), b.ToDense())));
+}
+
+TEST(SparseMatrix, ScaledScalesValues) {
+  SparseMatrix a = RandomSparse(6, 6, 1.5, 16);
+  EXPECT_TRUE(AllClose(a.Scaled(-2.0).ToDense(),
+                       ScalarMul(a.ToDense(), -2.0)));
+}
+
+TEST(Generators, SparsityMatchesRequest) {
+  SparseMatrix s = RandomSparse(1000, 500, 5.0, 17);
+  EXPECT_NEAR(static_cast<double>(s.nnz()) / 1000.0, 5.0, 0.5);
+}
+
+TEST(Generators, OneHotLabelsHaveOneHotRows) {
+  DenseMatrix l = OneHotLabels(50, 7, 18);
+  for (int64_t r = 0; r < 50; ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < 7; ++c) sum += l(r, c);
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace matopt

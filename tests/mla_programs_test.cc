@@ -1,0 +1,48 @@
+// The shipped example programs must parse, type-check, and optimize.
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/cost/cost_model.h"
+#include "core/opt/optimizer.h"
+#include "frontend/parser.h"
+
+namespace matopt {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << "missing " << path;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+class MlaProgramTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MlaProgramTest, ParsesAndOptimizes) {
+  std::string source = ReadFile(std::string(MATOPT_SOURCE_DIR) +
+                                "/examples/programs/" + GetParam());
+  auto program = ParseProgram(source);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_GT(program.value().graph.num_vertices(), 5);
+  EXPECT_FALSE(program.value().outputs.empty());
+
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(10);
+  CostModel model = CostModel::Analytic(cluster);
+  auto plan = Optimize(program.value().graph, catalog, model, cluster);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(ValidateAnnotation(program.value().graph,
+                                 plan.value().annotation, catalog, cluster)
+                  .ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, MlaProgramTest,
+                         ::testing::Values("ffnn_step.mla",
+                                           "sparse_logreg.mla"));
+
+}  // namespace
+}  // namespace matopt

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "core/cost/cost_model.h"
+#include "core/opt/annotation.h"
+#include "core/opt/optimizer.h"
+#include "ml/workloads.h"
+
+namespace matopt {
+namespace {
+
+FormatId Find(const Format& f) {
+  const auto& all = BuiltinFormats();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == f) return static_cast<FormatId>(i);
+  }
+  return kNoFormat;
+}
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+  ClusterConfig cluster_ = SimSqlProfile(10);
+  CostModel model_ = CostModel::Analytic(SimSqlProfile(10));
+};
+
+/// Small tree: (A x B) x C with modest sizes.
+ComputeGraph SmallTree() {
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(2000, 30000),
+                     Find({Layout::kRowStrips, 1000, 0}), "A");
+  int b = g.AddInput(MatrixType(30000, 2000),
+                     Find({Layout::kColStrips, 1000, 0}), "B");
+  int c = g.AddInput(MatrixType(2000, 40000),
+                     Find({Layout::kColStrips, 10000, 0}), "C");
+  int ab = g.AddOp(OpKind::kMatMul, {a, b}).value();
+  g.AddOp(OpKind::kMatMul, {ab, c}).value();
+  return g;
+}
+
+/// Small DAG with sharing: T = A x B; O = T + (T .* C).
+ComputeGraph SmallDag() {
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(3000, 3000), Find({Layout::kTiles, 1000, 1000}),
+                     "A");
+  int b = g.AddInput(MatrixType(3000, 3000), Find({Layout::kTiles, 1000, 1000}),
+                     "B");
+  int c = g.AddInput(MatrixType(3000, 3000),
+                     Find({Layout::kRowStrips, 1000, 0}), "C");
+  int t = g.AddOp(OpKind::kMatMul, {a, b}).value();
+  int h = g.AddOp(OpKind::kHadamard, {t, c}).value();
+  g.AddOp(OpKind::kAdd, {t, h}).value();
+  return g;
+}
+
+TEST_F(OptimizerTest, TreeDpProducesValidOptimalPlan) {
+  ComputeGraph g = SmallTree();
+  auto plan = TreeDpOptimize(g, catalog_, model_, cluster_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  Status valid =
+      ValidateAnnotation(g, plan.value().annotation, catalog_, cluster_);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  // The reported cost matches re-costing the annotation from scratch.
+  double recosted =
+      AnnotationCost(g, plan.value().annotation, catalog_, model_, cluster_);
+  EXPECT_NEAR(plan.value().cost, recosted, 1e-6 * recosted + 1e-9);
+}
+
+TEST_F(OptimizerTest, TreeDpMatchesBruteForceOptimum) {
+  ComputeGraph g = SmallTree();
+  auto dp = TreeDpOptimize(g, catalog_, model_, cluster_);
+  auto brute = BruteForceOptimize(g, catalog_, model_, cluster_);
+  ASSERT_TRUE(dp.ok()) << dp.status().ToString();
+  ASSERT_TRUE(brute.ok()) << brute.status().ToString();
+  EXPECT_NEAR(dp.value().cost, brute.value().cost,
+              1e-9 * brute.value().cost + 1e-9);
+}
+
+TEST_F(OptimizerTest, FrontierMatchesTreeDpOnTrees) {
+  ComputeGraph g = SmallTree();
+  auto dp = TreeDpOptimize(g, catalog_, model_, cluster_);
+  auto frontier = FrontierOptimize(g, catalog_, model_, cluster_);
+  ASSERT_TRUE(dp.ok());
+  ASSERT_TRUE(frontier.ok()) << frontier.status().ToString();
+  EXPECT_NEAR(dp.value().cost, frontier.value().cost,
+              1e-9 * dp.value().cost + 1e-9);
+  Status valid =
+      ValidateAnnotation(g, frontier.value().annotation, catalog_, cluster_);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+}
+
+TEST_F(OptimizerTest, FrontierMatchesBruteForceOnDags) {
+  ComputeGraph g = SmallDag();
+  auto frontier = FrontierOptimize(g, catalog_, model_, cluster_);
+  auto brute = BruteForceOptimize(g, catalog_, model_, cluster_);
+  ASSERT_TRUE(frontier.ok()) << frontier.status().ToString();
+  ASSERT_TRUE(brute.ok()) << brute.status().ToString();
+  EXPECT_NEAR(frontier.value().cost, brute.value().cost,
+              1e-9 * brute.value().cost + 1e-9);
+  Status valid =
+      ValidateAnnotation(g, frontier.value().annotation, catalog_, cluster_);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  double recosted = AnnotationCost(g, frontier.value().annotation, catalog_,
+                                   model_, cluster_);
+  EXPECT_NEAR(frontier.value().cost, recosted, 1e-6 * recosted + 1e-9);
+}
+
+TEST_F(OptimizerTest, TreeDpRejectsDags) {
+  ComputeGraph g = SmallDag();
+  EXPECT_FALSE(TreeDpOptimize(g, catalog_, model_, cluster_).ok());
+}
+
+TEST_F(OptimizerTest, FacadeDispatchesByShape) {
+  auto tree_plan = Optimize(SmallTree(), catalog_, model_, cluster_);
+  auto dag_plan = Optimize(SmallDag(), catalog_, model_, cluster_);
+  EXPECT_TRUE(tree_plan.ok());
+  EXPECT_TRUE(dag_plan.ok());
+}
+
+TEST_F(OptimizerTest, TimeoutIsReported) {
+  FfnnConfig cfg;
+  cfg.full_pass = true;
+  auto graph = BuildFfnnGraph(cfg);
+  ASSERT_TRUE(graph.ok());
+  OptimizerOptions options;
+  options.time_limit_sec = 0.0;
+  auto plan =
+      FrontierOptimize(graph.value(), catalog_, model_, cluster_, options);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_TRUE(plan.status().IsTimeout());
+}
+
+TEST_F(OptimizerTest, TransformTableIdentityAndCheapestChoice) {
+  TransformTable table(catalog_, model_, cluster_, MatrixType(5000, 5000),
+                       1.0);
+  FormatId t1k = Find({Layout::kTiles, 1000, 1000});
+  FormatId row1k = Find({Layout::kRowStrips, 1000, 0});
+  const TransformChoice& identity = table.Get(t1k, t1k);
+  EXPECT_TRUE(identity.feasible);
+  EXPECT_FALSE(identity.kind.has_value());
+  EXPECT_DOUBLE_EQ(identity.cost, 0.0);
+  const TransformChoice& rechunk = table.Get(t1k, row1k);
+  EXPECT_TRUE(rechunk.feasible);
+  EXPECT_GT(rechunk.cost, 0.0);
+}
+
+TEST_F(OptimizerTest, DisallowSparseKeepsPlansDense) {
+  ComputeGraph g;
+  int x = g.AddInput(MatrixType(10000, 50000),
+                     Find({Layout::kSpRowStripsCsr, 1000, 0}), "X", 1e-4);
+  int w = g.AddInput(MatrixType(50000, 2000), Find({Layout::kSingleTuple, 0, 0}),
+                     "W");
+  g.AddOp(OpKind::kMatMul, {x, w}).value();
+  // Sparse input formats are fixed; allow_sparse=false only disables
+  // *introducing* sparse intermediates, so this still plans fine.
+  OptimizerOptions options;
+  options.allow_sparse = false;
+  auto plan = Optimize(g, catalog_, model_, cluster_, options);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // No op vertex may *output* a sparse format under this option.
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (g.vertex(v).op == OpKind::kInput) continue;
+    EXPECT_FALSE(
+        BuiltinFormats()[plan.value().annotation.at(v).output_format]
+            .sparse());
+  }
+}
+
+TEST_F(OptimizerTest, RestrictedCatalogStillPlans) {
+  Catalog restricted(SingleBlockFormatIds());
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(3000, 3000), Find({Layout::kTiles, 1000, 1000}),
+                     "A");
+  int b = g.AddInput(MatrixType(3000, 3000), Find({Layout::kTiles, 1000, 1000}),
+                     "B");
+  g.AddOp(OpKind::kMatMul, {a, b}).value();
+  auto plan = Optimize(g, restricted, model_, cluster_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  for (const auto& va : plan.value().annotation.vertices) {
+    EXPECT_TRUE(restricted.FormatEnabled(va.output_format));
+  }
+}
+
+TEST_F(OptimizerTest, BruteForceTimesOutOnLargerGraphs) {
+  auto graph = BuildOptBenchGraph(OptBenchKind::kDag2, 2);
+  ASSERT_TRUE(graph.ok());
+  OptimizerOptions options;
+  options.time_limit_sec = 0.2;
+  auto plan = BruteForceOptimize(graph.value(), catalog_, model_, cluster_,
+                                 options);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_TRUE(plan.status().IsTimeout());
+}
+
+// Property sweep: for every optimizer-produced plan across several graph
+// shapes, the annotation validates and the costs agree.
+class PlanPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanPropertyTest, PlansValidateAndCostsAgree) {
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(10);
+  CostModel model = CostModel::Analytic(cluster);
+  Result<ComputeGraph> graph = Status::OK();
+  switch (GetParam()) {
+    case 0: graph = BuildMatMulChainGraph(ChainSizeSet(1)); break;
+    case 1: graph = BuildMatMulChainGraph(ChainSizeSet(2)); break;
+    case 2: graph = BuildMatMulChainGraph(ChainSizeSet(3)); break;
+    case 3: graph = BuildBlockInverseGraph(10000); break;
+    case 4: graph = BuildOptBenchGraph(OptBenchKind::kTree, 2); break;
+    case 5: graph = BuildOptBenchGraph(OptBenchKind::kDag1, 2); break;
+    case 6: graph = BuildOptBenchGraph(OptBenchKind::kDag2, 2); break;
+    case 7: {
+      FfnnConfig cfg;
+      cfg.hidden = 10000;
+      graph = BuildFfnnGraph(cfg);
+      break;
+    }
+    default: break;
+  }
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  auto plan = Optimize(graph.value(), catalog, model, cluster);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  Status valid =
+      ValidateAnnotation(graph.value(), plan.value().annotation, catalog,
+                         cluster);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  double recosted = AnnotationCost(graph.value(), plan.value().annotation,
+                                   catalog, model, cluster);
+  EXPECT_NEAR(plan.value().cost, recosted, 1e-6 * recosted + 1e-9);
+  EXPECT_GT(plan.value().cost, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, PlanPropertyTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace matopt

@@ -1,0 +1,172 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/cost/sparsity.h"
+#include "engine/reopt_executor.h"
+#include "la/kernels.h"
+#include "ml/generators.h"
+
+namespace matopt {
+namespace {
+
+FormatId Find(const Format& f) {
+  const auto& all = BuiltinFormats();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == f) return static_cast<FormatId>(i);
+  }
+  return kNoFormat;
+}
+
+TEST(SparsityEstimator, HadamardIsIntersection) {
+  EXPECT_DOUBLE_EQ(EstimateOpSparsity(OpKind::kHadamard, {0.1, 0.2},
+                                      {MatrixType(10, 10), MatrixType(10, 10)}),
+                   0.02);
+}
+
+TEST(SparsityEstimator, AddIsUnion) {
+  EXPECT_NEAR(EstimateOpSparsity(OpKind::kAdd, {0.1, 0.2},
+                                 {MatrixType(10, 10), MatrixType(10, 10)}),
+              1.0 - 0.9 * 0.8, 1e-12);
+}
+
+TEST(SparsityEstimator, MatMulDensifies) {
+  // 1e4-long inner dimension at 1% x 1% density: output nearly dense is
+  // wrong — expected 1 - (1 - 1e-4)^10000 ~ 63%.
+  double s = EstimateOpSparsity(
+      OpKind::kMatMul, {0.01, 0.01},
+      {MatrixType(100, 10000), MatrixType(10000, 100)});
+  EXPECT_NEAR(s, 1.0 - std::exp(10000 * std::log1p(-1e-4)), 1e-9);
+  EXPECT_GT(s, 0.6);
+  EXPECT_LT(s, 0.7);
+  // Dense x dense stays dense.
+  EXPECT_DOUBLE_EQ(
+      EstimateOpSparsity(OpKind::kMatMul, {1.0, 1.0},
+                         {MatrixType(10, 10), MatrixType(10, 10)}),
+      1.0);
+}
+
+TEST(SparsityEstimator, MapsAndReductions) {
+  std::vector<MatrixType> t = {MatrixType(100, 200)};
+  EXPECT_DOUBLE_EQ(EstimateOpSparsity(OpKind::kRelu, {0.4}, t), 0.2);
+  EXPECT_DOUBLE_EQ(EstimateOpSparsity(OpKind::kScalarMul, {0.4}, t), 0.4);
+  EXPECT_DOUBLE_EQ(EstimateOpSparsity(OpKind::kExp, {0.4}, t), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateOpSparsity(OpKind::kSigmoid, {0.4}, t), 1.0);
+  // Row sums over 200 columns at 1% density: mostly non-zero rows.
+  EXPECT_GT(EstimateOpSparsity(OpKind::kRowSum, {0.01}, t), 0.8);
+}
+
+TEST(SparsityEstimator, RelativeError) {
+  EXPECT_DOUBLE_EQ(SparsityRelativeError(0.1, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(SparsityRelativeError(0.1, 0.2), 2.0);
+  EXPECT_DOUBLE_EQ(SparsityRelativeError(0.2, 0.1), 2.0);
+  EXPECT_TRUE(std::isinf(SparsityRelativeError(0.0, 0.1)));
+  EXPECT_DOUBLE_EQ(SparsityRelativeError(0.0, 0.0), 1.0);
+}
+
+TEST(SparsityEstimator, PropagatesThroughGraphs) {
+  ComputeGraph g;
+  FormatId sp = Find({Layout::kSpRowStripsCsr, 1000, 0});
+  int a = g.AddInput(MatrixType(1000, 1000), sp, "A", 0.01);
+  int b = g.AddInput(MatrixType(1000, 1000), sp, "B", 0.02);
+  int h = g.AddOp(OpKind::kHadamard, {a, b}).value();
+  int s = g.AddOp(OpKind::kAdd, {h, b}).value();
+  PropagateSparsity(&g);
+  EXPECT_NEAR(g.vertex(h).sparsity, 0.0002, 1e-12);
+  EXPECT_NEAR(g.vertex(s).sparsity, 1.0 - (1.0 - 0.0002) * 0.98, 1e-12);
+
+  // Pinning an observed value overrides downstream estimates.
+  PropagateSparsity(&g, {{h, 0.5}});
+  EXPECT_DOUBLE_EQ(g.vertex(h).sparsity, 0.5);
+  EXPECT_NEAR(g.vertex(s).sparsity, 1.0 - 0.5 * 0.98, 1e-12);
+}
+
+class ReoptTest : public ::testing::Test {
+ protected:
+  ReoptTest() : cluster_(SimSqlProfile(4)) {
+    model_ = CostModel::Analytic(cluster_);
+  }
+  Catalog catalog_;
+  ClusterConfig cluster_;
+  CostModel model_;
+};
+
+TEST_F(ReoptTest, WellEstimatedChainDoesNotReoptimize) {
+  // Independent sparse matrices: the intersection estimate for the
+  // Hadamard product is accurate, so no re-optimization triggers.
+  ComputeGraph g;
+  FormatId sp = Find({Layout::kSpRowStripsCsr, 1000, 0});
+  SparseMatrix a = RandomSparse(400, 500, 25.0, 301);  // 5% density
+  SparseMatrix b = RandomSparse(400, 500, 25.0, 302);
+  int va = g.AddInput(MatrixType(400, 500), sp, "A", a.Sparsity());
+  int vb = g.AddInput(MatrixType(400, 500), sp, "B", b.Sparsity());
+  int h = g.AddOp(OpKind::kHadamard, {va, vb}).value();
+  g.AddOp(OpKind::kAdd, {h, vb}).value();
+
+  std::unordered_map<int, Relation> inputs;
+  inputs[va] = MakeSparseRelation(a, sp, cluster_).value();
+  inputs[vb] = MakeSparseRelation(b, sp, cluster_).value();
+  ReoptimizingExecutor executor(catalog_, model_, cluster_);
+  auto result = executor.Execute(g, std::move(inputs));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().reoptimizations, 0);
+  DenseMatrix out =
+      MaterializeDense(result.value().sinks.begin()->second).value();
+  EXPECT_TRUE(AllClose(out, Add(Hadamard(a.ToDense(), b.ToDense()),
+                                b.ToDense())));
+}
+
+TEST_F(ReoptTest, CorrelatedSupportsTriggerReoptimization) {
+  // B's support equals A's support, so the independent-intersection
+  // estimate (s^2) is off by ~1/s — far beyond the 1.2 threshold. The
+  // executor must detect this after the Hadamard and re-plan the rest.
+  ComputeGraph g;
+  FormatId sp = Find({Layout::kSpRowStripsCsr, 1000, 0});
+  SparseMatrix a = RandomSparse(400, 500, 25.0, 303);
+  SparseMatrix b = a.Scaled(2.0);  // identical support
+  int va = g.AddInput(MatrixType(400, 500), sp, "A", a.Sparsity());
+  int vb = g.AddInput(MatrixType(400, 500), sp, "B", b.Sparsity());
+  int h = g.AddOp(OpKind::kHadamard, {va, vb}).value();
+  int s = g.AddOp(OpKind::kAdd, {h, vb}).value();
+  g.AddOp(OpKind::kScalarMul, {s}, "", 3.0).value();
+
+  std::unordered_map<int, Relation> inputs;
+  inputs[va] = MakeSparseRelation(a, sp, cluster_).value();
+  inputs[vb] = MakeSparseRelation(b, sp, cluster_).value();
+  ReoptimizingExecutor executor(catalog_, model_, cluster_);
+  auto result = executor.Execute(g, std::move(inputs));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result.value().reoptimizations, 1);
+  DenseMatrix expected = ScalarMul(
+      Add(Hadamard(a.ToDense(), b.ToDense()), b.ToDense()), 3.0);
+  DenseMatrix out =
+      MaterializeDense(result.value().sinks.begin()->second).value();
+  EXPECT_TRUE(AllClose(out, expected, 1e-9, 1e-9));
+}
+
+TEST_F(ReoptTest, ThresholdControlsSensitivity) {
+  ComputeGraph g;
+  FormatId sp = Find({Layout::kSpRowStripsCsr, 1000, 0});
+  SparseMatrix a = RandomSparse(400, 500, 25.0, 304);
+  SparseMatrix b = a.Scaled(-1.0);
+  int va = g.AddInput(MatrixType(400, 500), sp, "A", a.Sparsity());
+  int vb = g.AddInput(MatrixType(400, 500), sp, "B", b.Sparsity());
+  int h = g.AddOp(OpKind::kHadamard, {va, vb}).value();
+  g.AddOp(OpKind::kAdd, {h, vb}).value();
+
+  auto run = [&](double threshold) {
+    std::unordered_map<int, Relation> inputs;
+    inputs[va] = MakeSparseRelation(a, sp, cluster_).value();
+    inputs[vb] = MakeSparseRelation(b, sp, cluster_).value();
+    ReoptimizingExecutor executor(catalog_, model_, cluster_);
+    ReoptOptions options;
+    options.reopt_threshold = threshold;
+    return executor.Execute(g, std::move(inputs), options).value();
+  };
+  EXPECT_GE(run(1.2).reoptimizations, 1);
+  // An effectively infinite threshold never re-plans.
+  EXPECT_EQ(run(1e18).reoptimizations, 0);
+}
+
+}  // namespace
+}  // namespace matopt

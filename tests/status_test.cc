@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace matopt {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = Status::OutOfMemory("worker 3 over budget");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsOutOfMemory());
+  EXPECT_FALSE(s.IsTimeout());
+  EXPECT_EQ(s.ToString(), "OutOfMemory: worker 3 over budget");
+}
+
+TEST(Status, PredicatesMatchCodes) {
+  EXPECT_TRUE(Status::Timeout("x").IsTimeout());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsTypeError());
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Status UseValue(int v, int* out) {
+  MATOPT_ASSIGN_OR_RETURN(*out, ParsePositive(v));
+  return Status::OK();
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  Result<int> good = ParsePositive(5);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 5);
+  EXPECT_TRUE(good.status().ok());
+
+  Result<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseValue(7, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(UseValue(-7, &out).ok());
+}
+
+TEST(Result, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(42);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(Units, FormatHms) {
+  EXPECT_EQ(FormatHms(0), "00:00");
+  EXPECT_EQ(FormatHms(59.6), "01:00");  // rounds
+  EXPECT_EQ(FormatHms(125), "02:05");
+  EXPECT_EQ(FormatHms(3600), "1:00:00");
+  EXPECT_EQ(FormatHms(6 * 3600 + 42 * 60 + 7), "6:42:07");
+  EXPECT_EQ(FormatHms(-1), "n/a");
+}
+
+TEST(Units, FormatMs) {
+  EXPECT_EQ(FormatMs(3), "0:03");
+  EXPECT_EQ(FormatMs(63), "1:03");
+  EXPECT_EQ(FormatMs(3721), "62:01");
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512.0 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KiB");
+  EXPECT_EQ(FormatBytes(3.5 * 1024 * 1024), "3.5 MiB");
+  EXPECT_EQ(FormatBytes(8.0e9), "7.5 GiB");
+}
+
+}  // namespace
+}  // namespace matopt

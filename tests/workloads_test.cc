@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "ml/workloads.h"
+
+namespace matopt {
+namespace {
+
+TEST(Workloads, ChainSizeSetsMatchFigure4) {
+  ChainSizes s1 = ChainSizeSet(1);
+  EXPECT_EQ(s1.dims[0], (std::pair<int64_t, int64_t>{10000, 30000}));
+  EXPECT_EQ(s1.dims[2], (std::pair<int64_t, int64_t>{50000, 1}));
+  ChainSizes s2 = ChainSizeSet(2);
+  EXPECT_EQ(s2.dims[1], (std::pair<int64_t, int64_t>{1, 100000}));
+  ChainSizes s3 = ChainSizeSet(3);
+  for (const auto& [r, c] : s3.dims) {
+    EXPECT_EQ(r, 50000);
+    EXPECT_EQ(c, 50000);
+  }
+}
+
+TEST(Workloads, ChainGraphsTypeCheckForAllSizeSets) {
+  for (int set : {1, 2, 3}) {
+    auto graph = BuildMatMulChainGraph(ChainSizeSet(set));
+    ASSERT_TRUE(graph.ok()) << "set " << set << ": "
+                            << graph.status().ToString();
+    // 6 inputs + 7 multiplies; T1 and T2 are shared, so not a tree.
+    EXPECT_EQ(graph.value().num_vertices(), 13);
+    EXPECT_FALSE(graph.value().IsTree());
+  }
+}
+
+TEST(Workloads, BlockInverseGraphShape) {
+  auto graph = BuildBlockInverseGraph(10000);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  // 4 inputs + 12 operations; iA, iS, iAB, CiA are reused.
+  EXPECT_EQ(graph.value().num_vertices(), 16);
+  EXPECT_FALSE(graph.value().IsTree());
+  EXPECT_EQ(graph.value().Sinks().size(), 3u);  // Ābar, B̄bar, C̄bar
+}
+
+TEST(Workloads, OptBenchGraphShapes) {
+  // Tree: every vertex has at most one consumer.
+  auto tree = BuildOptBenchGraph(OptBenchKind::kTree, 3);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree.value().IsTree());
+  // DAG1 and DAG2 are not trees (M = T1 x T2 feeds both O1 and O2).
+  auto dag1 = BuildOptBenchGraph(OptBenchKind::kDag1, 3);
+  ASSERT_TRUE(dag1.ok());
+  EXPECT_FALSE(dag1.value().IsTree());
+  auto dag2 = BuildOptBenchGraph(OptBenchKind::kDag2, 3);
+  ASSERT_TRUE(dag2.ok());
+  EXPECT_FALSE(dag2.value().IsTree());
+  // Per scale: 5 multiplies; scale n adds 5n op vertices.
+  int ops1 = 0, ops3 = 0;
+  auto count_ops = [](const ComputeGraph& g) {
+    int n = 0;
+    for (const Vertex& v : g.vertices()) n += (v.op != OpKind::kInput);
+    return n;
+  };
+  ops1 = count_ops(BuildOptBenchGraph(OptBenchKind::kDag2, 1).value());
+  ops3 = count_ops(dag2.value());
+  EXPECT_EQ(ops1, 5);
+  EXPECT_EQ(ops3, 15);
+}
+
+TEST(Workloads, MotivatingGraphMatchesSection2Shapes) {
+  auto graph = BuildMotivatingGraph();
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  const ComputeGraph& g = graph.value();
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.vertex(3).type, MatrixType(1000, 1000));      // matAB
+  EXPECT_EQ(g.vertex(4).type, MatrixType(1000, 1000000));  // matABC
+}
+
+TEST(Workloads, FfnnShapesTrackConfig) {
+  FfnnConfig cfg;
+  cfg.batch = 1000;
+  cfg.features = 597540;
+  cfg.hidden = 4000;
+  cfg.labels = 14588;
+  auto graph = BuildFfnnGraph(cfg);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  // Final vertex is the updated W2 (hidden x hidden).
+  const Vertex& last =
+      graph.value().vertex(graph.value().num_vertices() - 1);
+  EXPECT_EQ(last.type, MatrixType(4000, 4000));
+}
+
+}  // namespace
+}  // namespace matopt
