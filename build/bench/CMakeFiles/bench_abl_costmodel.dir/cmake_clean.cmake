@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_costmodel.dir/bench_abl_costmodel.cc.o"
+  "CMakeFiles/bench_abl_costmodel.dir/bench_abl_costmodel.cc.o.d"
+  "bench_abl_costmodel"
+  "bench_abl_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_ffnn_full.dir/bench_fig05_ffnn_full.cc.o"
+  "CMakeFiles/bench_fig05_ffnn_full.dir/bench_fig05_ffnn_full.cc.o.d"
+  "bench_fig05_ffnn_full"
+  "bench_fig05_ffnn_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_ffnn_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

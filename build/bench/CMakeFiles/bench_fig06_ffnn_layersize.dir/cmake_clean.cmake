@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_ffnn_layersize.dir/bench_fig06_ffnn_layersize.cc.o"
+  "CMakeFiles/bench_fig06_ffnn_layersize.dir/bench_fig06_ffnn_layersize.cc.o.d"
+  "bench_fig06_ffnn_layersize"
+  "bench_fig06_ffnn_layersize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_ffnn_layersize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_ffnn_workers.dir/bench_fig07_ffnn_workers.cc.o"
+  "CMakeFiles/bench_fig07_ffnn_workers.dir/bench_fig07_ffnn_workers.cc.o.d"
+  "bench_fig07_ffnn_workers"
+  "bench_fig07_ffnn_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_ffnn_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_experts.dir/bench_fig08_experts.cc.o"
+  "CMakeFiles/bench_fig08_experts.dir/bench_fig08_experts.cc.o.d"
+  "bench_fig08_experts"
+  "bench_fig08_experts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_experts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

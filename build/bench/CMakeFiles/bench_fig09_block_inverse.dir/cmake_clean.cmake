@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_block_inverse.dir/bench_fig09_block_inverse.cc.o"
+  "CMakeFiles/bench_fig09_block_inverse.dir/bench_fig09_block_inverse.cc.o.d"
+  "bench_fig09_block_inverse"
+  "bench_fig09_block_inverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_block_inverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_batch1k.dir/bench_fig11_batch1k.cc.o"
+  "CMakeFiles/bench_fig11_batch1k.dir/bench_fig11_batch1k.cc.o.d"
+  "bench_fig11_batch1k"
+  "bench_fig11_batch1k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_batch1k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig11_batch1k.
+# This may be replaced when dependencies are built.

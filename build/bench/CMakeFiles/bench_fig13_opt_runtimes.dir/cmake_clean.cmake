@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_opt_runtimes.dir/bench_fig13_opt_runtimes.cc.o"
+  "CMakeFiles/bench_fig13_opt_runtimes.dir/bench_fig13_opt_runtimes.cc.o.d"
+  "bench_fig13_opt_runtimes"
+  "bench_fig13_opt_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_opt_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

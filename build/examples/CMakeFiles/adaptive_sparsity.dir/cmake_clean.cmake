@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_sparsity.dir/adaptive_sparsity.cpp.o"
+  "CMakeFiles/adaptive_sparsity.dir/adaptive_sparsity.cpp.o.d"
+  "adaptive_sparsity"
+  "adaptive_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_inverse.dir/block_inverse.cpp.o"
+  "CMakeFiles/block_inverse.dir/block_inverse.cpp.o.d"
+  "block_inverse"
+  "block_inverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_inverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

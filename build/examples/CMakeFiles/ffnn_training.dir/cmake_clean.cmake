@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffnn_training.dir/ffnn_training.cpp.o"
+  "CMakeFiles/ffnn_training.dir/ffnn_training.cpp.o.d"
+  "ffnn_training"
+  "ffnn_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffnn_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/all_tile_planner.cc" "src/CMakeFiles/matopt.dir/baselines/all_tile_planner.cc.o" "gcc" "src/CMakeFiles/matopt.dir/baselines/all_tile_planner.cc.o.d"
+  "/root/repo/src/baselines/expert_planner.cc" "src/CMakeFiles/matopt.dir/baselines/expert_planner.cc.o" "gcc" "src/CMakeFiles/matopt.dir/baselines/expert_planner.cc.o.d"
+  "/root/repo/src/baselines/personas.cc" "src/CMakeFiles/matopt.dir/baselines/personas.cc.o" "gcc" "src/CMakeFiles/matopt.dir/baselines/personas.cc.o.d"
+  "/root/repo/src/baselines/pytorch_sim.cc" "src/CMakeFiles/matopt.dir/baselines/pytorch_sim.cc.o" "gcc" "src/CMakeFiles/matopt.dir/baselines/pytorch_sim.cc.o.d"
+  "/root/repo/src/baselines/systemds_sim.cc" "src/CMakeFiles/matopt.dir/baselines/systemds_sim.cc.o" "gcc" "src/CMakeFiles/matopt.dir/baselines/systemds_sim.cc.o.d"
+  "/root/repo/src/common/units.cc" "src/CMakeFiles/matopt.dir/common/units.cc.o" "gcc" "src/CMakeFiles/matopt.dir/common/units.cc.o.d"
+  "/root/repo/src/core/cost/calibration.cc" "src/CMakeFiles/matopt.dir/core/cost/calibration.cc.o" "gcc" "src/CMakeFiles/matopt.dir/core/cost/calibration.cc.o.d"
+  "/root/repo/src/core/cost/cost_model.cc" "src/CMakeFiles/matopt.dir/core/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/matopt.dir/core/cost/cost_model.cc.o.d"
+  "/root/repo/src/core/cost/sparsity.cc" "src/CMakeFiles/matopt.dir/core/cost/sparsity.cc.o" "gcc" "src/CMakeFiles/matopt.dir/core/cost/sparsity.cc.o.d"
+  "/root/repo/src/core/format/format.cc" "src/CMakeFiles/matopt.dir/core/format/format.cc.o" "gcc" "src/CMakeFiles/matopt.dir/core/format/format.cc.o.d"
+  "/root/repo/src/core/format/matrix_type.cc" "src/CMakeFiles/matopt.dir/core/format/matrix_type.cc.o" "gcc" "src/CMakeFiles/matopt.dir/core/format/matrix_type.cc.o.d"
+  "/root/repo/src/core/graph/graph.cc" "src/CMakeFiles/matopt.dir/core/graph/graph.cc.o" "gcc" "src/CMakeFiles/matopt.dir/core/graph/graph.cc.o.d"
+  "/root/repo/src/core/ops/catalog.cc" "src/CMakeFiles/matopt.dir/core/ops/catalog.cc.o" "gcc" "src/CMakeFiles/matopt.dir/core/ops/catalog.cc.o.d"
+  "/root/repo/src/core/ops/features.cc" "src/CMakeFiles/matopt.dir/core/ops/features.cc.o" "gcc" "src/CMakeFiles/matopt.dir/core/ops/features.cc.o.d"
+  "/root/repo/src/core/opt/annotation.cc" "src/CMakeFiles/matopt.dir/core/opt/annotation.cc.o" "gcc" "src/CMakeFiles/matopt.dir/core/opt/annotation.cc.o.d"
+  "/root/repo/src/core/opt/brute_force.cc" "src/CMakeFiles/matopt.dir/core/opt/brute_force.cc.o" "gcc" "src/CMakeFiles/matopt.dir/core/opt/brute_force.cc.o.d"
+  "/root/repo/src/core/opt/frontier.cc" "src/CMakeFiles/matopt.dir/core/opt/frontier.cc.o" "gcc" "src/CMakeFiles/matopt.dir/core/opt/frontier.cc.o.d"
+  "/root/repo/src/core/opt/optimizer.cc" "src/CMakeFiles/matopt.dir/core/opt/optimizer.cc.o" "gcc" "src/CMakeFiles/matopt.dir/core/opt/optimizer.cc.o.d"
+  "/root/repo/src/core/opt/tree_dp.cc" "src/CMakeFiles/matopt.dir/core/opt/tree_dp.cc.o" "gcc" "src/CMakeFiles/matopt.dir/core/opt/tree_dp.cc.o.d"
+  "/root/repo/src/engine/cluster.cc" "src/CMakeFiles/matopt.dir/engine/cluster.cc.o" "gcc" "src/CMakeFiles/matopt.dir/engine/cluster.cc.o.d"
+  "/root/repo/src/engine/exec_stats.cc" "src/CMakeFiles/matopt.dir/engine/exec_stats.cc.o" "gcc" "src/CMakeFiles/matopt.dir/engine/exec_stats.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/matopt.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/matopt.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/operators.cc" "src/CMakeFiles/matopt.dir/engine/operators.cc.o" "gcc" "src/CMakeFiles/matopt.dir/engine/operators.cc.o.d"
+  "/root/repo/src/engine/relation.cc" "src/CMakeFiles/matopt.dir/engine/relation.cc.o" "gcc" "src/CMakeFiles/matopt.dir/engine/relation.cc.o.d"
+  "/root/repo/src/engine/reopt_executor.cc" "src/CMakeFiles/matopt.dir/engine/reopt_executor.cc.o" "gcc" "src/CMakeFiles/matopt.dir/engine/reopt_executor.cc.o.d"
+  "/root/repo/src/frontend/parser.cc" "src/CMakeFiles/matopt.dir/frontend/parser.cc.o" "gcc" "src/CMakeFiles/matopt.dir/frontend/parser.cc.o.d"
+  "/root/repo/src/frontend/sql_gen.cc" "src/CMakeFiles/matopt.dir/frontend/sql_gen.cc.o" "gcc" "src/CMakeFiles/matopt.dir/frontend/sql_gen.cc.o.d"
+  "/root/repo/src/la/dense_matrix.cc" "src/CMakeFiles/matopt.dir/la/dense_matrix.cc.o" "gcc" "src/CMakeFiles/matopt.dir/la/dense_matrix.cc.o.d"
+  "/root/repo/src/la/kernels.cc" "src/CMakeFiles/matopt.dir/la/kernels.cc.o" "gcc" "src/CMakeFiles/matopt.dir/la/kernels.cc.o.d"
+  "/root/repo/src/la/sparse_matrix.cc" "src/CMakeFiles/matopt.dir/la/sparse_matrix.cc.o" "gcc" "src/CMakeFiles/matopt.dir/la/sparse_matrix.cc.o.d"
+  "/root/repo/src/ml/generators.cc" "src/CMakeFiles/matopt.dir/ml/generators.cc.o" "gcc" "src/CMakeFiles/matopt.dir/ml/generators.cc.o.d"
+  "/root/repo/src/ml/workloads.cc" "src/CMakeFiles/matopt.dir/ml/workloads.cc.o" "gcc" "src/CMakeFiles/matopt.dir/ml/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

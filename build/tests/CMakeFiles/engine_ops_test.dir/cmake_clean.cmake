@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_ops_test.dir/engine_ops_test.cc.o"
+  "CMakeFiles/engine_ops_test.dir/engine_ops_test.cc.o.d"
+  "engine_ops_test"
+  "engine_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

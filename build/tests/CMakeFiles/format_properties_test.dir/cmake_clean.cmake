@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_properties_test.dir/format_properties_test.cc.o"
+  "CMakeFiles/format_properties_test.dir/format_properties_test.cc.o.d"
+  "format_properties_test"
+  "format_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

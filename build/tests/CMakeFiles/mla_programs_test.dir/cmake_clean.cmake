@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mla_programs_test.dir/mla_programs_test.cc.o"
+  "CMakeFiles/mla_programs_test.dir/mla_programs_test.cc.o.d"
+  "mla_programs_test"
+  "mla_programs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mla_programs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
