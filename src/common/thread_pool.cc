@@ -1,0 +1,148 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace matopt {
+
+namespace {
+
+/// Set while a thread is executing chunks of some ParallelFor, so nested
+/// calls degrade to inline sequential execution instead of deadlocking on
+/// the pool's own workers.
+thread_local bool tls_in_parallel_region = false;
+
+std::mutex g_default_mu;
+std::unique_ptr<ThreadPool> g_default_pool;  // guarded by g_default_mu
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RunChunks(*job);
+  }
+}
+
+void ThreadPool::RunChunks(Job& job) {
+  bool saved = tls_in_parallel_region;
+  tls_in_parallel_region = true;
+  for (;;) {
+    int64_t c = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.num_chunks) break;
+    int64_t i0 = job.begin + c * job.grain;
+    int64_t i1 = std::min(job.end, i0 + job.grain);
+    try {
+      (*job.fn)(i0, i1);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.num_chunks) {
+      std::lock_guard<std::mutex> lock(job.mu);
+      job.done_cv.notify_all();
+    }
+  }
+  tls_in_parallel_region = saved;
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  if (grain <= 0) grain = 1;
+  int64_t num_chunks = (end - begin + grain - 1) / grain;
+
+  // Sequential pool, single chunk, or nested call: run inline through the
+  // identical chunk boundaries so results cannot depend on the path taken.
+  if (workers_.empty() || num_chunks == 1 || tls_in_parallel_region) {
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      int64_t i0 = begin + c * grain;
+      fn(i0, std::min(end, i0 + grain));
+    }
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->num_chunks = num_chunks;
+  job->fn = &fn;
+
+  int64_t helpers = std::min<int64_t>(static_cast<int64_t>(workers_.size()),
+                                      num_chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int64_t i = 0; i < helpers; ++i) queue_.push_back(job);
+  }
+  if (helpers == 1) {
+    work_cv_.notify_one();
+  } else {
+    work_cv_.notify_all();
+  }
+
+  RunChunks(*job);  // the caller participates
+  std::unique_lock<std::mutex> lock(job->mu);
+  job->done_cv.wait(lock, [&] {
+    return job->done_chunks.load(std::memory_order_acquire) ==
+           job->num_chunks;
+  });
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+ThreadPool& ThreadPool::Default() {
+  std::lock_guard<std::mutex> lock(g_default_mu);
+  if (!g_default_pool) {
+    g_default_pool = std::make_unique<ThreadPool>(DefaultThreads());
+  }
+  return *g_default_pool;
+}
+
+void ThreadPool::SetDefaultThreads(int num_threads) {
+  std::lock_guard<std::mutex> lock(g_default_mu);
+  g_default_pool = std::make_unique<ThreadPool>(
+      num_threads > 0 ? num_threads : DefaultThreads());
+}
+
+int ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("MATOPT_THREADS")) {
+    int n = std::atoi(env);
+    // Cap at a generous ceiling: an absurd value (say 1000000) would
+    // otherwise exhaust the process thread limit at pool construction.
+    if (n > 0) return std::min(n, 1024);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  ThreadPool::Default().ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace matopt

@@ -1,0 +1,95 @@
+#ifndef MATOPT_COMMON_THREAD_POOL_H_
+#define MATOPT_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace matopt {
+
+/// Reusable worker pool with a deterministic data-parallel primitive.
+///
+/// The determinism contract: `ParallelFor(begin, end, grain, fn)` splits
+/// [begin, end) into fixed chunks of `grain` iterations whose boundaries
+/// depend only on (begin, end, grain) — never on the pool size or on
+/// scheduling. Callers that keep per-chunk accumulators and merge them in
+/// chunk-index order therefore produce bit-identical results at every
+/// thread count, including the sequential pool (1 thread), which runs the
+/// very same chunked code inline.
+///
+/// Nested ParallelFor calls issued from inside a chunk run inline on the
+/// calling thread, so kernels that use the pool internally (e.g. Gemm)
+/// stay safe when invoked from an already-parallel region.
+class ThreadPool {
+ public:
+  /// `num_threads` counts the calling thread: a pool of size N spawns N-1
+  /// workers and the ParallelFor caller participates. Sizes < 1 clamp to 1
+  /// (fully sequential, no worker threads).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Applies fn(i0, i1) to every chunk [i0, i1) of [begin, end). `grain`
+  /// must be positive; chunk c covers [begin + c*grain,
+  /// min(begin + (c+1)*grain, end)). Blocks until every chunk finished.
+  /// Exceptions thrown by fn are rethrown on the calling thread (first
+  /// one wins; remaining chunks still run).
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  /// Process-wide default pool, created on first use with
+  /// DefaultThreads() threads. All library hot paths draw from it.
+  static ThreadPool& Default();
+
+  /// Replaces the default pool with one of `num_threads` threads
+  /// (`num_threads` <= 0 restores the DefaultThreads() sizing). Intended
+  /// for benchmarks and tests sweeping thread counts; must not race with
+  /// concurrent ParallelFor calls on the default pool.
+  static void SetDefaultThreads(int num_threads);
+
+  /// Pool size the default pool starts with: the MATOPT_THREADS
+  /// environment variable when set (1 forces fully deterministic
+  /// sequential execution), otherwise std::thread::hardware_concurrency().
+  static int DefaultThreads();
+
+ private:
+  struct Job {
+    int64_t begin = 0;
+    int64_t end = 0;
+    int64_t grain = 1;
+    int64_t num_chunks = 0;
+    const std::function<void(int64_t, int64_t)>* fn = nullptr;
+    std::atomic<int64_t> next_chunk{0};
+    std::atomic<int64_t> done_chunks{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::exception_ptr error;  // guarded by mu
+  };
+
+  void WorkerLoop();
+  static void RunChunks(Job& job);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  bool stopping_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::Default().ParallelFor.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace matopt
+
+#endif  // MATOPT_COMMON_THREAD_POOL_H_

@@ -1,8 +1,10 @@
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/opt/enumerate.h"
 #include "core/opt/optimizer.h"
 
@@ -12,20 +14,17 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Recursive exhaustive search state (Algorithm 2). Vertices are assigned
-/// in topological order, so when a vertex is considered the output formats
-/// of all of its arguments are already fixed and its cost can be
-/// accumulated immediately (the paper's incremental GetCost).
-struct BruteSearch {
-  BruteSearch(const ComputeGraph& graph, const Catalog& catalog,
-              const CostModel& model, const ClusterConfig& cluster,
-              const OptimizerOptions& options)
-      : graph(graph),
-        catalog(catalog),
-        model(model),
-        cluster(cluster),
-        options(options) {}
+/// One feasible (implementation, output format, edge transformations)
+/// choice for an op vertex, with its incremental cost.
+struct Choice {
+  ImplKind impl;
+  FormatId out;
+  double cost;
+  std::vector<EdgeAnnotation> edges;
+};
 
+/// State shared (read-only or atomically) by all search subtrees.
+struct SearchShared {
   const ComputeGraph& graph;
   const Catalog& catalog;
   const CostModel& model;
@@ -38,76 +37,101 @@ struct BruteSearch {
   // argument's matrix type.
   std::vector<std::vector<TransformTable>> transforms;
 
+  /// Cheapest complete plan seen by any subtree. Only strictly more
+  /// expensive partial assignments prune against it, so equal-cost plans
+  /// survive and the deterministic reduce can break ties by subtree index.
+  std::atomic<double> bound{kInf};
+  std::atomic<bool> timed_out{false};
+
+  void TightenBound(double cost) {
+    double cur = bound.load(std::memory_order_relaxed);
+    while (cost < cur && !bound.compare_exchange_weak(
+                             cur, cost, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// Feasible choices for op vertex `op_vertices[idx]` given the already
+/// fixed argument output formats in `current`, sorted cheapest-first so
+/// the cost-so-far bound prunes most of the exponential space early.
+std::vector<Choice> ChoicesFor(const SearchShared& sh, size_t idx,
+                               const Annotation& current, int64_t* states) {
+  const int v = sh.op_vertices[idx];
+  const Vertex& vx = sh.graph.vertex(v);
+  const size_t arity = vx.inputs.size();
+  const int num_formats = static_cast<int>(BuiltinFormats().size());
+
+  // Candidate post-transformation formats per argument, reachable from
+  // the argument's already-fixed output format.
+  std::vector<std::vector<FormatId>> pout_options(arity);
+  for (size_t j = 0; j < arity; ++j) {
+    FormatId pin = current.at(vx.inputs[j]).output_format;
+    for (FormatId pout = 0; pout < num_formats; ++pout) {
+      if (sh.transforms[idx][j].Get(pin, pout).feasible) {
+        pout_options[j].push_back(pout);
+      }
+    }
+  }
+
+  std::vector<Choice> choices;
+  ForEachImplChoice(
+      sh.graph, v, sh.catalog, sh.model, sh.cluster, sh.options, pout_options,
+      [&](ImplKind impl, const std::vector<FormatId>& pouts, FormatId out,
+          double impl_cost) {
+        ++*states;
+        Choice choice{impl, out, impl_cost, {}};
+        choice.edges.resize(arity);
+        for (size_t j = 0; j < arity; ++j) {
+          FormatId pin = current.at(vx.inputs[j]).output_format;
+          const TransformChoice& t = sh.transforms[idx][j].Get(pin, pouts[j]);
+          choice.cost += t.cost;
+          choice.edges[j] = EdgeAnnotation{pin, t.kind, pouts[j]};
+        }
+        choices.push_back(std::move(choice));
+      });
+  std::sort(choices.begin(), choices.end(),
+            [](const Choice& a, const Choice& b) { return a.cost < b.cost; });
+  return choices;
+}
+
+/// Recursive exhaustive search over one top-level subtree (Algorithm 2).
+/// Vertices are assigned in topological order, so when a vertex is
+/// considered the output formats of all of its arguments are already fixed
+/// and its cost accumulates immediately (the paper's incremental GetCost).
+struct SubtreeSearch {
+  SearchShared& sh;
   Annotation current;
   Annotation best;
   double best_cost = kInf;
   int64_t states = 0;
-  bool timed_out = false;
 
   void Recurse(size_t idx, double cost_so_far) {
-    if (timed_out) return;
+    if (sh.timed_out.load(std::memory_order_relaxed)) return;
     if ((states & 0x3ff) == 0 &&
-        watch.ElapsedSeconds() > options.time_limit_sec) {
-      timed_out = true;
+        sh.watch.ElapsedSeconds() > sh.options.time_limit_sec) {
+      sh.timed_out.store(true, std::memory_order_relaxed);
       return;
     }
+    // First-found-wins within the subtree (>=), strict pruning against
+    // the cross-subtree bound (>): the first minimum-cost plan in the
+    // subtree's deterministic exploration order is always reached.
     if (cost_so_far >= best_cost) return;
-    if (idx == op_vertices.size()) {
+    if (cost_so_far > sh.bound.load(std::memory_order_relaxed)) return;
+    if (idx == sh.op_vertices.size()) {
       best_cost = cost_so_far;
       best = current;
+      sh.TightenBound(cost_so_far);
       return;
     }
-    const int v = op_vertices[idx];
-    const Vertex& vx = graph.vertex(v);
-    const size_t arity = vx.inputs.size();
-
-    // Candidate post-transformation formats per argument, reachable from
-    // the argument's already-fixed output format.
-    const int num_formats = static_cast<int>(BuiltinFormats().size());
-    std::vector<std::vector<FormatId>> pout_options(arity);
-    for (size_t j = 0; j < arity; ++j) {
-      FormatId pin = current.at(vx.inputs[j]).output_format;
-      for (FormatId pout = 0; pout < num_formats; ++pout) {
-        if (transforms[idx][j].Get(pin, pout).feasible) {
-          pout_options[j].push_back(pout);
-        }
-      }
-    }
-
-    // Collect this vertex's feasible choices and try them cheapest-first:
-    // reaching a good complete plan early makes the cost-so-far bound
-    // prune most of the exponential space.
-    struct Choice {
-      ImplKind impl;
-      FormatId out;
-      double cost;
-      std::vector<EdgeAnnotation> edges;
-    };
-    std::vector<Choice> choices;
-    ForEachImplChoice(
-        graph, v, catalog, model, cluster, options, pout_options,
-        [&](ImplKind impl, const std::vector<FormatId>& pouts, FormatId out,
-            double impl_cost) {
-          ++states;
-          Choice choice{impl, out, impl_cost, {}};
-          choice.edges.resize(arity);
-          for (size_t j = 0; j < arity; ++j) {
-            FormatId pin = current.at(vx.inputs[j]).output_format;
-            const TransformChoice& t = transforms[idx][j].Get(pin, pouts[j]);
-            choice.cost += t.cost;
-            choice.edges[j] = EdgeAnnotation{pin, t.kind, pouts[j]};
-          }
-          choices.push_back(std::move(choice));
-        });
-    std::sort(choices.begin(), choices.end(),
-              [](const Choice& a, const Choice& b) { return a.cost < b.cost; });
+    std::vector<Choice> choices = ChoicesFor(sh, idx, current, &states);
+    const int v = sh.op_vertices[idx];
     for (const Choice& choice : choices) {
       VertexAnnotation& va = current.at(v);
       va.impl = choice.impl;
       va.output_format = choice.out;
       va.input_edges = choice.edges;
       Recurse(idx + 1, cost_so_far + choice.cost);
-      if (timed_out) return;
+      if (sh.timed_out.load(std::memory_order_relaxed)) return;
     }
   }
 };
@@ -119,15 +143,16 @@ Result<PlanResult> BruteForceOptimize(const ComputeGraph& graph,
                                       const CostModel& model,
                                       const ClusterConfig& cluster,
                                       const OptimizerOptions& options) {
-  BruteSearch search{graph, catalog, model, cluster, options};
-  search.current.vertices.resize(graph.num_vertices());
+  SearchShared sh{graph, catalog, model, cluster, options};
+  Annotation init;
+  init.vertices.resize(graph.num_vertices());
   for (int v = 0; v < graph.num_vertices(); ++v) {
     const Vertex& vx = graph.vertex(v);
     if (vx.op == OpKind::kInput) {
-      search.current.at(v).output_format = vx.input_format;
+      init.at(v).output_format = vx.input_format;
       continue;
     }
-    search.op_vertices.push_back(v);
+    sh.op_vertices.push_back(v);
     std::vector<TransformTable> arg_tables;
     for (int input : vx.inputs) {
       const Vertex& child = graph.vertex(input);
@@ -136,21 +161,67 @@ Result<PlanResult> BruteForceOptimize(const ComputeGraph& graph,
                               options.allow_sparse,
                               options.enforce_resource_limits);
     }
-    search.transforms.push_back(std::move(arg_tables));
+    sh.transforms.push_back(std::move(arg_tables));
   }
 
-  search.Recurse(0, 0.0);
-  if (search.timed_out) {
+  PlanResult result;
+  if (sh.op_vertices.empty()) {
+    result.annotation = std::move(init);
+    result.cost = 0.0;
+    result.opt_seconds = sh.watch.ElapsedSeconds();
+    return result;
+  }
+
+  // The outer format-assignment loop (the choices of the first op vertex)
+  // fans out across the pool; each subtree searches its remaining levels
+  // sequentially with a thread-local incumbent. The reduce below walks
+  // subtrees in sorted-choice order and replaces only on strictly lower
+  // cost, so the chosen plan is the one the sequential search would find
+  // first — identical at every thread count.
+  int64_t top_states = 0;
+  std::vector<Choice> top_choices = ChoicesFor(sh, 0, init, &top_states);
+  const int64_t num_top = static_cast<int64_t>(top_choices.size());
+  std::vector<double> sub_costs(num_top, kInf);
+  std::vector<Annotation> sub_bests(num_top);
+  std::vector<int64_t> sub_states(num_top, 0);
+  const int first_vertex = sh.op_vertices[0];
+
+  ThreadPool::Default().ParallelFor(0, num_top, 1, [&](int64_t i0,
+                                                       int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const Choice& choice = top_choices[i];
+      SubtreeSearch search{sh, init, {}, kInf, 0};
+      VertexAnnotation& va = search.current.at(first_vertex);
+      va.impl = choice.impl;
+      va.output_format = choice.out;
+      va.input_edges = choice.edges;
+      search.Recurse(1, choice.cost);
+      sub_costs[i] = search.best_cost;
+      sub_bests[i] = std::move(search.best);
+      sub_states[i] = search.states;
+    }
+  });
+
+  if (sh.timed_out.load()) {
     return Status::Timeout("brute-force search exceeded its time budget");
   }
-  if (std::isinf(search.best_cost)) {
+  double best_cost = kInf;
+  int64_t best_index = -1;
+  int64_t states = top_states;
+  for (int64_t i = 0; i < num_top; ++i) {
+    states += sub_states[i];
+    if (sub_costs[i] < best_cost) {
+      best_cost = sub_costs[i];
+      best_index = i;
+    }
+  }
+  if (std::isinf(best_cost)) {
     return Status::TypeError("no type-correct annotation exists");
   }
-  PlanResult result;
-  result.annotation = std::move(search.best);
-  result.cost = search.best_cost;
-  result.opt_seconds = search.watch.ElapsedSeconds();
-  result.states_explored = search.states;
+  result.annotation = std::move(sub_bests[best_index]);
+  result.cost = best_cost;
+  result.opt_seconds = sh.watch.ElapsedSeconds();
+  result.states_explored = states;
   return result;
 }
 

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -8,6 +9,7 @@
 #include <unordered_map>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/opt/enumerate.h"
 #include "core/opt/optimizer.h"
 
@@ -275,148 +277,258 @@ Result<PlanResult> FrontierOptimize(const ComputeGraph& graph,
     };
     int64_t pin_combos = 1;
     for (size_t j = 0; j < arity; ++j) pin_combos *= num_formats;
+    // Pre-warm the lazy transformation cache: the parallel loop below only
+    // reads it, so every table it touches must exist before the fan-out.
+    for (size_t j = 0; j < arity; ++j) transforms_for(vx.inputs[j]);
     std::vector<Delta> deltas(pin_combos * num_formats);
     {
-      std::vector<FormatId> pins(arity);
-      for (int64_t combo = 0; combo < pin_combos; ++combo) {
-        int64_t rem = combo;
-        bool pins_ok = true;
-        for (size_t j = 0; j < arity; ++j) {
-          pins[j] = static_cast<FormatId>(rem % num_formats);
-          rem /= num_formats;
-          if (!catalog.FormatEnabled(pins[j])) pins_ok = false;
-        }
-        if (!pins_ok) continue;
-        std::vector<std::vector<FormatId>> pout_options(arity);
-        for (size_t j = 0; j < arity; ++j) {
-          const TransformTable& tt = transforms_for(vx.inputs[j]);
-          for (FormatId pout = 0; pout < num_formats; ++pout) {
-            if (tt.Get(pins[j], pout).feasible) {
-              pout_options[j].push_back(pout);
+      // Each combo owns the disjoint slot range [combo * num_formats,
+      // (combo + 1) * num_formats), so chunks never write the same Delta.
+      std::atomic<int64_t> delta_states{0};
+      const int64_t dgrain = std::max<int64_t>(1, pin_combos / 64);
+      ParallelFor(0, pin_combos, dgrain, [&](int64_t c0, int64_t c1) {
+        std::vector<FormatId> pins(arity);
+        int64_t local_states = 0;
+        for (int64_t combo = c0; combo < c1; ++combo) {
+          int64_t rem = combo;
+          bool pins_ok = true;
+          for (size_t j = 0; j < arity; ++j) {
+            pins[j] = static_cast<FormatId>(rem % num_formats);
+            rem /= num_formats;
+            if (!catalog.FormatEnabled(pins[j])) pins_ok = false;
+          }
+          if (!pins_ok) continue;
+          std::vector<std::vector<FormatId>> pout_options(arity);
+          for (size_t j = 0; j < arity; ++j) {
+            const TransformTable& tt = transforms_for(vx.inputs[j]);
+            for (FormatId pout = 0; pout < num_formats; ++pout) {
+              if (tt.Get(pins[j], pout).feasible) {
+                pout_options[j].push_back(pout);
+              }
             }
           }
-        }
-        ForEachImplChoice(
-            graph, v, catalog, model, cluster, options, pout_options,
-            [&](ImplKind impl, const std::vector<FormatId>& pouts,
-                FormatId out, double impl_cost) {
-              ++states;
-              double cost = impl_cost;
-              for (size_t j = 0; j < arity; ++j) {
-                cost +=
-                    transforms_for(vx.inputs[j]).Get(pins[j], pouts[j]).cost;
-              }
-              Delta& d = deltas[combo * num_formats + out];
-              if (cost < d.cost) {
-                d.cost = cost;
-                d.impl = impl;
+          ForEachImplChoice(
+              graph, v, catalog, model, cluster, options, pout_options,
+              [&](ImplKind impl, const std::vector<FormatId>& pouts,
+                  FormatId out, double impl_cost) {
+                ++local_states;
+                double cost = impl_cost;
                 for (size_t j = 0; j < arity; ++j) {
-                  d.edges[j] = EdgeAnnotation{
-                      pins[j],
-                      transforms_for(vx.inputs[j]).Get(pins[j], pouts[j]).kind,
-                      pouts[j]};
+                  cost +=
+                      transforms_for(vx.inputs[j]).Get(pins[j], pouts[j]).cost;
                 }
-              }
-            });
-      }
+                Delta& d = deltas[combo * num_formats + out];
+                if (cost < d.cost) {
+                  d.cost = cost;
+                  d.impl = impl;
+                  for (size_t j = 0; j < arity; ++j) {
+                    d.edges[j] = EdgeAnnotation{
+                        pins[j],
+                        transforms_for(vx.inputs[j])
+                            .Get(pins[j], pouts[j])
+                            .kind,
+                        pouts[j]};
+                  }
+                }
+              });
+        }
+        delta_states.fetch_add(local_states, std::memory_order_relaxed);
+      });
+      states += delta_states.load();
     }
 
     // Cartesian product over the old classes' entries (Equation 2's joint
     // minimization); each combination only needs the per-(pins, ρ) deltas.
-    std::vector<const std::pair<const Key128, ClassEntry>*> picked(
-        old_ids.size());
-    bool timed_out = false;
-
-    auto process_combination = [&]() {
-      ++states;
-      double base = 0.0;
-      for (auto* p : picked) base += p->second.cost;
-
-      int64_t combo = 0;
-      for (size_t j = arity; j-- > 0;) {
-        FormatId pin = DecodeFormat(picked[arg_slots[j].old_pos]->first,
-                                    arg_slots[j].old_index);
-        combo = combo * num_formats + pin;
+    //
+    // The product is flattened to a single index so it fans out across the
+    // pool. Every produced entry carries a rank — its flat combination
+    // index times num_formats plus the output format — which is the
+    // sequential encounter order. Chunk-local tables keep the minimum
+    // (cost, rank) winner per key and the merge below uses the same rule,
+    // so the surviving entry per key is independent of how the work was
+    // chunked or interleaved. Rebuilding `next.entries` in ascending rank
+    // order then fixes the table's iteration order (which feeds the next
+    // expansion and the beam cap), making the whole DP bit-identical at
+    // every thread count.
+    std::vector<std::vector<const std::pair<const Key128, ClassEntry>*>>
+        entry_lists(old_ids.size());
+    for (size_t s = 0; s < old_ids.size(); ++s) {
+      entry_lists[s].reserve(tables[old_ids[s]].entries.size());
+      for (const auto& kv : tables[old_ids[s]].entries) {
+        entry_lists[s].push_back(&kv);
       }
+    }
+    int64_t total_combos = 1;
+    for (const auto& list : entry_lists) {
+      total_combos *= static_cast<int64_t>(list.size());
+    }
 
-      Key128 carried_key;
-      for (const Carry& c : carries) {
-        carried_key = EncodeFormat(
-            carried_key, c.new_index,
-            DecodeFormat(picked[c.old_pos]->first, c.old_index));
-      }
+    struct Ranked {
+      ClassEntry entry;
+      int64_t rank = 0;
+    };
+    using LocalMap = std::unordered_map<Key128, Ranked, Key128Hash>;
+    // Chunk count scales with the pool width (ranks make the outcome
+    // independent of chunking, so this does not affect determinism); a
+    // single-threaded pool gets one chunk and pays no merge.
+    const int pool_width = ThreadPool::Default().num_threads();
+    const int64_t target_chunks =
+        pool_width == 1 ? 1 : std::min<int64_t>(64, 4 * pool_width);
+    const int64_t cgrain = std::max<int64_t>(
+        1, (total_combos + target_chunks - 1) / target_chunks);
+    const int64_t num_chunks = (total_combos + cgrain - 1) / cgrain;
+    std::vector<LocalMap> chunk_maps(num_chunks);
+    std::vector<int64_t> chunk_states(num_chunks, 0);
+    std::atomic<bool> timed_out{false};
 
-      for (FormatId out = 0; out < num_formats; ++out) {
-        const Delta& d = deltas[combo * num_formats + out];
-        if (std::isinf(d.cost)) continue;
-        double cost = base + d.cost;
-        Key128 key = carried_key;
-        if (v_index >= 0) key = EncodeFormat(key, v_index, out);
-        auto [it, inserted] = next.entries.try_emplace(key);
-        if (inserted || cost < it->second.cost) {
-          ClassEntry& e = it->second;
-          e.cost = cost;
-          e.vertex = v;
-          e.impl = d.impl;
-          e.out_format = out;
-          e.arity = static_cast<uint8_t>(arity);
-          e.edges = d.edges;
-          e.num_preds = static_cast<uint8_t>(old_ids.size());
-          for (size_t s = 0; s < old_ids.size(); ++s) {
-            e.preds[s] = {old_ids[s], picked[s]->first};
+    ParallelFor(0, total_combos, cgrain, [&](int64_t c0, int64_t c1) {
+      const int64_t chunk = c0 / cgrain;
+      LocalMap& local = chunk_maps[chunk];
+      int64_t& local_states = chunk_states[chunk];
+      std::vector<const std::pair<const Key128, ClassEntry>*> picked(
+          old_ids.size());
+      for (int64_t flat = c0; flat < c1; ++flat) {
+        if (timed_out.load(std::memory_order_relaxed)) return;
+        if ((local_states & 0xfff) == 0 &&
+            watch.ElapsedSeconds() > options.time_limit_sec) {
+          timed_out.store(true, std::memory_order_relaxed);
+          return;
+        }
+        ++local_states;
+        // Decode the flat index with the last class fastest, mirroring the
+        // nested enumeration order the ranks are defined against.
+        int64_t rem = flat;
+        for (size_t s = old_ids.size(); s-- > 0;) {
+          const auto& list = entry_lists[s];
+          picked[s] = list[rem % static_cast<int64_t>(list.size())];
+          rem /= static_cast<int64_t>(list.size());
+        }
+        double base = 0.0;
+        for (auto* p : picked) base += p->second.cost;
+
+        int64_t combo = 0;
+        for (size_t j = arity; j-- > 0;) {
+          FormatId pin = DecodeFormat(picked[arg_slots[j].old_pos]->first,
+                                      arg_slots[j].old_index);
+          combo = combo * num_formats + pin;
+        }
+
+        Key128 carried_key;
+        for (const Carry& c : carries) {
+          carried_key = EncodeFormat(
+              carried_key, c.new_index,
+              DecodeFormat(picked[c.old_pos]->first, c.old_index));
+        }
+
+        for (FormatId out = 0; out < num_formats; ++out) {
+          const Delta& d = deltas[combo * num_formats + out];
+          if (std::isinf(d.cost)) continue;
+          double cost = base + d.cost;
+          int64_t rank = flat * num_formats + out;
+          Key128 key = carried_key;
+          if (v_index >= 0) key = EncodeFormat(key, v_index, out);
+          auto [it, inserted] = local.try_emplace(key);
+          Ranked& r = it->second;
+          if (inserted || cost < r.entry.cost ||
+              (cost == r.entry.cost && rank < r.rank)) {
+            r.rank = rank;
+            ClassEntry& e = r.entry;
+            e.cost = cost;
+            e.vertex = v;
+            e.impl = d.impl;
+            e.out_format = out;
+            e.arity = static_cast<uint8_t>(arity);
+            e.edges = d.edges;
+            e.num_preds = static_cast<uint8_t>(old_ids.size());
+            for (size_t s = 0; s < old_ids.size(); ++s) {
+              e.preds[s] = {old_ids[s], picked[s]->first};
+            }
           }
         }
       }
-    };
-
-    auto enumerate = [&](auto&& self, size_t pos) -> void {
-      if (timed_out) return;
-      if (pos == old_ids.size()) {
-        if ((states & 0xfff) == 0 &&
-            watch.ElapsedSeconds() > options.time_limit_sec) {
-          timed_out = true;
-          return;
-        }
-        process_combination();
-        return;
-      }
-      for (const auto& kv : tables[old_ids[pos]].entries) {
-        picked[pos] = &kv;
-        self(self, pos + 1);
-        if (timed_out) return;
-      }
-    };
-    enumerate(enumerate, 0);
-    if (timed_out) {
+    });
+    if (timed_out.load()) {
       return Status::Timeout("frontier DP exceeded its time budget");
+    }
+
+    // Merge the chunk tables (the min-(cost, rank) rule is associative and
+    // commutative, so merge order is irrelevant), then rebuild the class
+    // table in ascending rank order for a deterministic iteration order.
+    LocalMap merged;
+    if (num_chunks == 1) {
+      states += chunk_states[0];
+      merged = std::move(chunk_maps[0]);
+    } else {
+      for (int64_t chunk = 0; chunk < num_chunks; ++chunk) {
+        states += chunk_states[chunk];
+        for (auto& kv : chunk_maps[chunk]) {
+          auto [it, inserted] = merged.try_emplace(kv.first);
+          Ranked& r = it->second;
+          if (inserted || kv.second.entry.cost < r.entry.cost ||
+              (kv.second.entry.cost == r.entry.cost &&
+               kv.second.rank < r.rank)) {
+            r = std::move(kv.second);
+          }
+        }
+        chunk_maps[chunk].clear();
+      }
+    }
+    // Beam cap (Section 6.3's bounded-table assumption), applied before
+    // the rebuild so only surviving entries pay the sort and reinsertion.
+    // Ties at the cutoff cost keep the lowest ranks, so the kept set is
+    // deterministic too (exactly max_table_entries survive).
+    bool capped =
+        static_cast<int64_t>(merged.size()) > options.max_table_entries;
+    double cost_cutoff = kInf;
+    int64_t rank_cutoff = 0;
+    if (capped) {
+      beam_pruned = true;
+      std::vector<double> costs;
+      costs.reserve(merged.size());
+      for (const auto& kv : merged) costs.push_back(kv.second.entry.cost);
+      auto nth = costs.begin() + options.max_table_entries;
+      std::nth_element(costs.begin(), nth, costs.end());
+      cost_cutoff = *nth;
+      int64_t below = 0;
+      for (const auto& kv : merged) {
+        below += kv.second.entry.cost < cost_cutoff;
+      }
+      const int64_t slots = options.max_table_entries - below;
+      std::vector<int64_t> eq_ranks;
+      for (const auto& kv : merged) {
+        if (kv.second.entry.cost == cost_cutoff) {
+          eq_ranks.push_back(kv.second.rank);
+        }
+      }
+      if (slots < static_cast<int64_t>(eq_ranks.size())) {
+        std::nth_element(eq_ranks.begin(), eq_ranks.begin() + slots,
+                         eq_ranks.end());
+        rank_cutoff = eq_ranks[slots];
+      } else {
+        rank_cutoff = std::numeric_limits<int64_t>::max();
+      }
+    }
+
+    std::vector<std::pair<int64_t, const std::pair<const Key128, Ranked>*>>
+        winners;
+    winners.reserve(capped ? options.max_table_entries : merged.size());
+    for (const auto& kv : merged) {
+      const double c = kv.second.entry.cost;
+      if (capped &&
+          (c > cost_cutoff || (c == cost_cutoff &&
+                               kv.second.rank >= rank_cutoff))) {
+        continue;
+      }
+      winners.emplace_back(kv.second.rank, &kv);
+    }
+    std::sort(winners.begin(), winners.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [rank, kv] : winners) {
+      next.entries.emplace(kv->first, kv->second.entry);
     }
     if (next.entries.empty()) {
       return Status::TypeError("no type-correct annotation exists at vertex " +
                                std::to_string(v));
-    }
-
-    // Beam cap: keep only the cheapest assignments when the joint table
-    // outgrows the budget (Section 6.3's bounded-class-size assumption).
-    if (static_cast<int64_t>(next.entries.size()) >
-        options.max_table_entries) {
-      std::vector<double> costs;
-      costs.reserve(next.entries.size());
-      for (const auto& kv : next.entries) costs.push_back(kv.second.cost);
-      auto nth = costs.begin() + options.max_table_entries;
-      std::nth_element(costs.begin(), nth, costs.end());
-      double cutoff = *nth;
-      for (auto it = next.entries.begin(); it != next.entries.end();) {
-        it = it->second.cost > cutoff ? next.entries.erase(it)
-                                      : std::next(it);
-      }
-      for (auto it = next.entries.begin();
-           it != next.entries.end() &&
-           static_cast<int64_t>(next.entries.size()) >
-               options.max_table_entries;) {
-        it = it->second.cost == cutoff ? next.entries.erase(it)
-                                       : std::next(it);
-      }
-      beam_pruned = true;
     }
 
     if (std::getenv("MATOPT_FRONTIER_DEBUG") != nullptr) {

@@ -2,13 +2,32 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "engine/operators.h"
 #include "la/kernels.h"
 
 namespace matopt {
 
 namespace {
+
+// Payload computation is data-parallel across tuples: every task writes
+// one slot of an index-addressed vector and the results are installed in
+// the payload map sequentially afterwards, so the output is bit-identical
+// to a sequential run at any thread count. Stage *accounting* stays on
+// the coordinating thread (it is O(tuples) scalar work) which keeps
+// ExecStats totals exactly reproducible. Nested kernels (Gemm etc.) run
+// inline when invoked from a payload task.
+
+/// Runs fn(i) for i in [0, n) on the default pool, one tuple per grain
+/// unit (each tuple is already a large block of numeric work).
+template <typename Fn>
+void ParallelTuples(int64_t n, Fn&& fn) {
+  ParallelFor(0, n, 1, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) fn(i);
+  });
+}
 
 const Format& FormatOf(FormatId id) { return BuiltinFormats()[id]; }
 
@@ -156,9 +175,14 @@ Result<Relation> ExecMmStripsBcastSingle(const Ctx& ctx, const Relation& a,
 
   std::unordered_map<uint64_t, DenseMatrix> payloads;
   if (ctx.data) {
-    for (const EngineTuple& t : a.tuples) {
-      payloads.emplace(Key(t.r, 0), sparse_lhs ? SpMm(*t.sparse, *tb.dense)
-                                               : Gemm(*t.dense, *tb.dense));
+    std::vector<DenseMatrix> outs(a.tuples.size());
+    ParallelTuples(a.tuples.size(), [&](int64_t i) {
+      const EngineTuple& t = a.tuples[i];
+      outs[i] = sparse_lhs ? SpMm(*t.sparse, *tb.dense)
+                           : Gemm(*t.dense, *tb.dense);
+    });
+    for (size_t i = 0; i < a.tuples.size(); ++i) {
+      payloads.emplace(Key(a.tuples[i].r, 0), std::move(outs[i]));
     }
   }
   return FinishOutput(ctx, &payloads);
@@ -185,9 +209,14 @@ Result<Relation> ExecMmBcastSingleStrips(const Ctx& ctx, const Relation& a,
 
   std::unordered_map<uint64_t, DenseMatrix> payloads;
   if (ctx.data) {
-    for (const EngineTuple& t : b.tuples) {
-      payloads.emplace(Key(0, t.c), sparse_lhs ? SpMm(*ta.sparse, *t.dense)
-                                               : Gemm(*ta.dense, *t.dense));
+    std::vector<DenseMatrix> outs(b.tuples.size());
+    ParallelTuples(b.tuples.size(), [&](int64_t i) {
+      const EngineTuple& t = b.tuples[i];
+      outs[i] = sparse_lhs ? SpMm(*ta.sparse, *t.dense)
+                           : Gemm(*ta.dense, *t.dense);
+    });
+    for (size_t i = 0; i < b.tuples.size(); ++i) {
+      payloads.emplace(Key(0, b.tuples[i].c), std::move(outs[i]));
     }
   }
   return FinishOutput(ctx, &payloads);
@@ -198,7 +227,6 @@ Result<Relation> ExecMmCrossStrips(const Ctx& ctx, const Relation& a,
                                    const Relation& b) {
   bool bcast_a = a.TotalBytes() <= b.TotalBytes();
   const Relation& small = bcast_a ? a : b;
-  const Relation& big = bcast_a ? b : a;
   StageAccountant acct(ctx.cluster, ctx.stats, "mm:cross-strips");
   for (const EngineTuple& t : small.tuples) {
     acct.Broadcast(t.worker, t.Bytes(false));
@@ -226,10 +254,14 @@ Result<Relation> ExecMmCrossStrips(const Ctx& ctx, const Relation& a,
 
   std::unordered_map<uint64_t, DenseMatrix> payloads;
   if (ctx.data) {
-    for (const EngineTuple& ta : a.tuples) {
-      for (const EngineTuple& tb : b.tuples) {
-        payloads.emplace(Key(ta.r, tb.c), Gemm(*ta.dense, *tb.dense));
-      }
+    const int64_t nb = static_cast<int64_t>(b.tuples.size());
+    std::vector<DenseMatrix> outs(a.tuples.size() * b.tuples.size());
+    ParallelTuples(outs.size(), [&](int64_t i) {
+      outs[i] = Gemm(*a.tuples[i / nb].dense, *b.tuples[i % nb].dense);
+    });
+    for (size_t i = 0; i < outs.size(); ++i) {
+      payloads.emplace(Key(a.tuples[i / nb].r, b.tuples[i % nb].c),
+                       std::move(outs[i]));
     }
   }
   return FinishOutput(ctx, &payloads);
@@ -255,7 +287,6 @@ Result<Relation> ExecMmTiles(const Ctx& ctx, const Relation& a,
     for (const EngineTuple& t : b.tuples) AccountRepartition(join, t);
   } else {
     const Relation& small = bcast == 1 ? a : b;
-    const Relation& big = bcast == 1 ? b : a;
     for (const EngineTuple& t : small.tuples) {
       join.Broadcast(t.worker, t.Bytes(false));
     }
@@ -319,18 +350,27 @@ Result<Relation> ExecMmTiles(const Ctx& ctx, const Relation& a,
   if (ctx.data) {
     TupleMap ma = MapTuples(a);
     TupleMap mb = MapTuples(b);
+    // One task per output tile (i, j); the k accumulation inside a tile
+    // keeps its sequential order, so results match sequential runs bit
+    // for bit.
+    std::vector<DenseMatrix> outs(nr * nc);
+    ParallelTuples(nr * nc, [&](int64_t idx) {
+      const int64_t i = idx / nc;
+      const int64_t j = idx % nc;
+      DenseMatrix sum;
+      for (int64_t k = 0; k < nk; ++k) {
+        const EngineTuple* ta = ma.at(Key(i, k));
+        const EngineTuple* tb = mb.at(Key(k, j));
+        if (sum.size() == 0) {
+          sum = DenseMatrix(ta->rows, tb->cols);
+        }
+        GemmAccumulate(*ta->dense, *tb->dense, &sum);
+      }
+      outs[idx] = std::move(sum);
+    });
     for (int64_t i = 0; i < nr; ++i) {
       for (int64_t j = 0; j < nc; ++j) {
-        DenseMatrix sum;
-        for (int64_t k = 0; k < nk; ++k) {
-          const EngineTuple* ta = ma.at(Key(i, k));
-          const EngineTuple* tb = mb.at(Key(k, j));
-          if (sum.size() == 0) {
-            sum = DenseMatrix(ta->rows, tb->cols);
-          }
-          GemmAccumulate(*ta->dense, *tb->dense, &sum);
-        }
-        payloads.emplace(Key(i, j), std::move(sum));
+        payloads.emplace(Key(i, j), std::move(outs[i * nc + j]));
       }
     }
   }
@@ -403,12 +443,17 @@ Result<Relation> ExecMmStripsBcastColStrips(const Ctx& ctx, const Relation& a,
   std::unordered_map<uint64_t, DenseMatrix> payloads;
   if (ctx.data) {
     ChunkDims bd = ChunkDimsFor(b.type, FormatOf(b.format));
-    for (const EngineTuple& ta : a.tuples) {
+    std::vector<DenseMatrix> outs(a.tuples.size());
+    ParallelTuples(a.tuples.size(), [&](int64_t i) {
+      const EngineTuple& ta = a.tuples[i];
       DenseMatrix out_strip(ta.rows, b.type.cols());
       for (const EngineTuple& tb : b.tuples) {
         out_strip.SetBlock(0, tb.c * bd.cols, Gemm(*ta.dense, *tb.dense));
       }
-      payloads.emplace(Key(ta.r, 0), std::move(out_strip));
+      outs[i] = std::move(out_strip);
+    });
+    for (size_t i = 0; i < a.tuples.size(); ++i) {
+      payloads.emplace(Key(a.tuples[i].r, 0), std::move(outs[i]));
     }
   }
   return FinishOutput(ctx, &payloads);
@@ -456,7 +501,9 @@ Result<Relation> ExecMmSpStripsTiles(const Ctx& ctx, const Relation& a,
   std::unordered_map<uint64_t, DenseMatrix> payloads;
   if (ctx.data) {
     ChunkDims bd = ChunkDimsFor(b.type, FormatOf(b.format));
-    for (const EngineTuple& ta : a.tuples) {
+    std::vector<DenseMatrix> outs(a.tuples.size());
+    ParallelTuples(a.tuples.size(), [&](int64_t i) {
+      const EngineTuple& ta = a.tuples[i];
       DenseMatrix out_strip(ta.rows, b.type.cols());
       for (const EngineTuple& tb : b.tuples) {
         SparseMatrix slice = ta.sparse->ColSlice(tb.r * bd.rows, tb.rows);
@@ -465,7 +512,10 @@ Result<Relation> ExecMmSpStripsTiles(const Ctx& ctx, const Relation& a,
         SpMmAccumulate(slice, *tb.dense, &block);
         out_strip.SetBlock(0, tb.c * bd.cols, block);
       }
-      payloads.emplace(Key(ta.r, 0), std::move(out_strip));
+      outs[i] = std::move(out_strip);
+    });
+    for (size_t i = 0; i < a.tuples.size(); ++i) {
+      payloads.emplace(Key(a.tuples[i].r, 0), std::move(outs[i]));
     }
   }
   return FinishOutput(ctx, &payloads);
@@ -489,25 +539,36 @@ Result<Relation> ExecZip(const Ctx& ctx, ImplKind kind, const Relation& a,
 
   std::unordered_map<uint64_t, DenseMatrix> payloads;
   if (ctx.data) {
+    switch (kind) {
+      case ImplKind::kAddZip:
+      case ImplKind::kSubZip:
+      case ImplKind::kHadamardZip:
+      case ImplKind::kElemDivZip:
+      case ImplKind::kReluGradZip:
+        break;
+      default: return Status::Internal("not a zip implementation");
+    }
     TupleMap mb = MapTuples(b);
-    for (const EngineTuple& ta : a.tuples) {
+    std::vector<DenseMatrix> outs(a.tuples.size());
+    ParallelTuples(a.tuples.size(), [&](int64_t i) {
+      const EngineTuple& ta = a.tuples[i];
       const EngineTuple* tb = mb.at(Key(ta.r, ta.c));
-      DenseMatrix out;
       switch (kind) {
-        case ImplKind::kAddZip: out = Add(*ta.dense, *tb->dense); break;
-        case ImplKind::kSubZip: out = Sub(*ta.dense, *tb->dense); break;
+        case ImplKind::kAddZip: outs[i] = Add(*ta.dense, *tb->dense); break;
+        case ImplKind::kSubZip: outs[i] = Sub(*ta.dense, *tb->dense); break;
         case ImplKind::kHadamardZip:
-          out = Hadamard(*ta.dense, *tb->dense);
+          outs[i] = Hadamard(*ta.dense, *tb->dense);
           break;
         case ImplKind::kElemDivZip:
-          out = ElemDiv(*ta.dense, *tb->dense);
+          outs[i] = ElemDiv(*ta.dense, *tb->dense);
           break;
-        case ImplKind::kReluGradZip:
-          out = ReluGrad(*ta.dense, *tb->dense);
+        default:
+          outs[i] = ReluGrad(*ta.dense, *tb->dense);
           break;
-        default: return Status::Internal("not a zip implementation");
       }
-      payloads.emplace(Key(ta.r, ta.c), std::move(out));
+    });
+    for (size_t i = 0; i < a.tuples.size(); ++i) {
+      payloads.emplace(Key(a.tuples[i].r, a.tuples[i].c), std::move(outs[i]));
     }
   }
   return FinishOutput(ctx, &payloads);
@@ -528,9 +589,14 @@ Result<Relation> ExecSparseAdd(const Ctx& ctx, const Relation& a,
   std::unordered_map<uint64_t, SparseMatrix> payloads;
   if (ctx.data) {
     TupleMap mb = MapTuples(b);
-    for (const EngineTuple& ta : a.tuples) {
+    std::vector<SparseMatrix> outs(a.tuples.size());
+    ParallelTuples(a.tuples.size(), [&](int64_t i) {
+      const EngineTuple& ta = a.tuples[i];
       const EngineTuple* tb = mb.at(Key(ta.r, ta.c));
-      payloads.emplace(Key(ta.r, ta.c), SpAdd(*ta.sparse, *tb->sparse));
+      outs[i] = SpAdd(*ta.sparse, *tb->sparse);
+    });
+    for (size_t i = 0; i < a.tuples.size(); ++i) {
+      payloads.emplace(Key(a.tuples[i].r, a.tuples[i].c), std::move(outs[i]));
     }
   }
   return FinishSparseOutput(ctx, &payloads);
@@ -566,22 +632,31 @@ Result<Relation> ExecMap(const Ctx& ctx, ImplKind kind, const Relation& a) {
   }
   std::unordered_map<uint64_t, DenseMatrix> payloads;
   if (ctx.data) {
-    for (const EngineTuple& t : a.tuples) {
-      DenseMatrix out;
+    switch (kind) {
+      case ImplKind::kScalarMulMap:
+      case ImplKind::kReluMap:
+      case ImplKind::kSigmoidMap:
+      case ImplKind::kExpMap:
+      case ImplKind::kSoftmaxRowStrips:
+      case ImplKind::kSoftmaxSingle:
+        break;
+      default: return Status::Internal("not a map implementation");
+    }
+    std::vector<DenseMatrix> outs(a.tuples.size());
+    ParallelTuples(a.tuples.size(), [&](int64_t i) {
+      const EngineTuple& t = a.tuples[i];
       switch (kind) {
         case ImplKind::kScalarMulMap:
-          out = ScalarMul(*t.dense, ctx.vertex.scalar);
+          outs[i] = ScalarMul(*t.dense, ctx.vertex.scalar);
           break;
-        case ImplKind::kReluMap: out = Relu(*t.dense); break;
-        case ImplKind::kSigmoidMap: out = Sigmoid(*t.dense); break;
-        case ImplKind::kExpMap: out = Exp(*t.dense); break;
-        case ImplKind::kSoftmaxRowStrips:
-        case ImplKind::kSoftmaxSingle:
-          out = Softmax(*t.dense);
-          break;
-        default: return Status::Internal("not a map implementation");
+        case ImplKind::kReluMap: outs[i] = Relu(*t.dense); break;
+        case ImplKind::kSigmoidMap: outs[i] = Sigmoid(*t.dense); break;
+        case ImplKind::kExpMap: outs[i] = Exp(*t.dense); break;
+        default: outs[i] = Softmax(*t.dense); break;
       }
-      payloads.emplace(Key(t.r, t.c), std::move(out));
+    });
+    for (size_t i = 0; i < a.tuples.size(); ++i) {
+      payloads.emplace(Key(a.tuples[i].r, a.tuples[i].c), std::move(outs[i]));
     }
   }
   return FinishOutput(ctx, &payloads);
@@ -612,7 +687,12 @@ Result<Relation> ExecTranspose(const Ctx& ctx, ImplKind kind,
 
   std::unordered_map<uint64_t, DenseMatrix> payloads;
   if (ctx.data) {
-    for (const EngineTuple& t : a.tuples) {
+    std::vector<DenseMatrix> outs(a.tuples.size());
+    ParallelTuples(a.tuples.size(), [&](int64_t i) {
+      outs[i] = Transpose(*a.tuples[i].dense);
+    });
+    for (size_t i = 0; i < a.tuples.size(); ++i) {
+      const EngineTuple& t = a.tuples[i];
       int64_t out_r = t.c;
       int64_t out_c = t.r;
       if (kind == ImplKind::kTransposeRowToCol) {
@@ -625,7 +705,7 @@ Result<Relation> ExecTranspose(const Ctx& ctx, ImplKind kind,
         out_r = 0;
         out_c = 0;
       }
-      payloads.emplace(Key(out_r, out_c), Transpose(*t.dense));
+      payloads.emplace(Key(out_r, out_c), std::move(outs[i]));
     }
   }
   return FinishOutput(ctx, &payloads);
@@ -661,14 +741,20 @@ Result<Relation> ExecReduce(const Ctx& ctx, ImplKind kind, const Relation& a) {
 
   std::unordered_map<uint64_t, DenseMatrix> payloads;
   if (ctx.data) {
-    for (const EngineTuple& t : a.tuples) {
-      DenseMatrix part = row ? RowSum(*t.dense) : ColSum(*t.dense);
+    // Per-tuple partial sums in parallel; the cross-tuple aggregation
+    // merges them sequentially in tuple order (same order as before).
+    std::vector<DenseMatrix> parts(a.tuples.size());
+    ParallelTuples(a.tuples.size(), [&](int64_t i) {
+      parts[i] = row ? RowSum(*a.tuples[i].dense) : ColSum(*a.tuples[i].dense);
+    });
+    for (size_t i = 0; i < a.tuples.size(); ++i) {
+      const EngineTuple& t = a.tuples[i];
       uint64_t key = row ? Key(t.r, 0) : Key(0, t.c);
       auto it = payloads.find(key);
       if (it == payloads.end()) {
-        payloads.emplace(key, std::move(part));
+        payloads.emplace(key, std::move(parts[i]));
       } else {
-        it->second = Add(it->second, part);
+        it->second = Add(it->second, parts[i]);
       }
     }
   }
@@ -691,9 +777,14 @@ Result<Relation> ExecBroadcastRowAdd(const Ctx& ctx, const Relation& a,
   std::unordered_map<uint64_t, DenseMatrix> payloads;
   if (ctx.data) {
     ChunkDims ad = ChunkDimsFor(a.type, FormatOf(a.format));
-    for (const EngineTuple& t : a.tuples) {
+    std::vector<DenseMatrix> outs(a.tuples.size());
+    ParallelTuples(a.tuples.size(), [&](int64_t i) {
+      const EngineTuple& t = a.tuples[i];
       DenseMatrix slice = vec.dense->Block(0, t.c * ad.cols, 1, t.cols);
-      payloads.emplace(Key(t.r, t.c), BroadcastRowAdd(*t.dense, slice));
+      outs[i] = BroadcastRowAdd(*t.dense, slice);
+    });
+    for (size_t i = 0; i < a.tuples.size(); ++i) {
+      payloads.emplace(Key(a.tuples[i].r, a.tuples[i].c), std::move(outs[i]));
     }
   }
   return FinishOutput(ctx, &payloads);

@@ -3,44 +3,111 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace matopt {
 
 namespace {
 
+/// Work (flops or entries) below which a kernel stays on the calling
+/// thread; above it the default pool partitions the output. Partitioning
+/// is always by disjoint output rows/entries with a grain derived only
+/// from the problem shape, so results are bit-identical at every thread
+/// count.
+constexpr int64_t kParallelFlopThreshold = 1 << 18;
+constexpr int64_t kElemGrain = 1 << 15;
+
+/// Rows of B kept hot per pass of the blocked Gemm inner loops.
+constexpr int64_t kGemmKBlock = 256;
+
 template <typename F>
 DenseMatrix ZipWith(const DenseMatrix& a, const DenseMatrix& b, F f) {
   DenseMatrix out(a.rows(), a.cols());
-  for (int64_t i = 0; i < a.size(); ++i) {
-    out.data()[i] = f(a.data()[i], b.data()[i]);
-  }
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  ParallelFor(0, a.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) po[i] = f(pa[i], pb[i]);
+  });
   return out;
 }
 
 template <typename F>
 DenseMatrix MapWith(const DenseMatrix& a, F f) {
   DenseMatrix out(a.rows(), a.cols());
-  for (int64_t i = 0; i < a.size(); ++i) out.data()[i] = f(a.data()[i]);
+  const double* pa = a.data();
+  double* po = out.data();
+  ParallelFor(0, a.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) po[i] = f(pa[i]);
+  });
   return out;
+}
+
+/// C[r0:r1) += A[r0:r1) * B with the i-k-j loop order (unit-stride streams
+/// over B's rows), k-blocked so a kGemmKBlock-row panel of B is reused
+/// across the whole row range. Ascending k within ascending k-blocks keeps
+/// every c(i, j) accumulation in exactly the seed kernel's order.
+/// `skip_zeros` re-enables the zero-skip for mostly-zero left operands;
+/// the dense path stays branch-free so the j loop vectorizes.
+template <bool skip_zeros>
+void GemmAccumulateRows(const DenseMatrix& a, const DenseMatrix& b,
+                        DenseMatrix* c, int64_t r0, int64_t r1) {
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  for (int64_t kb = 0; kb < k; kb += kGemmKBlock) {
+    const int64_t ke = std::min(k, kb + kGemmKBlock);
+    for (int64_t i = r0; i < r1; ++i) {
+      double* c_row = c->row(i);
+      const double* a_row = a.row(i);
+      for (int64_t p = kb; p < ke; ++p) {
+        const double av = a_row[p];
+        if constexpr (skip_zeros) {
+          if (av == 0.0) continue;
+        }
+        const double* b_row = b.row(p);
+        for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+      }
+    }
+  }
 }
 
 }  // namespace
 
 void GemmAccumulate(const DenseMatrix& a, const DenseMatrix& b,
                     DenseMatrix* c) {
-  // i-k-j loop order: streams over B's rows with unit stride.
   const int64_t m = a.rows();
   const int64_t k = a.cols();
   const int64_t n = b.cols();
-  for (int64_t i = 0; i < m; ++i) {
-    double* c_row = c->row(i);
-    const double* a_row = a.row(i);
-    for (int64_t p = 0; p < k; ++p) {
-      double av = a_row[p];
-      if (av == 0.0) continue;
-      const double* b_row = b.row(p);
-      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
-    }
+  const double flops = 2.0 * static_cast<double>(m) * k * n;
+
+  // The zero-skip only pays when the lhs is mostly zeros (e.g. relu
+  // output fed through a dense layout); for dense inputs the branch-free
+  // inner loop vectorizes. The density scan is O(mk), negligible against
+  // the O(mkn) multiply.
+  bool skip_zeros = false;
+  if (m * k > 0) {
+    int64_t zeros = 0;
+    const double* pa = a.data();
+    for (int64_t i = 0; i < m * k; ++i) zeros += (pa[i] == 0.0);
+    skip_zeros = zeros * 8 > m * k * 7;  // > 87.5% zeros
   }
+
+  auto run_rows = [&](int64_t r0, int64_t r1) {
+    if (skip_zeros) {
+      GemmAccumulateRows<true>(a, b, c, r0, r1);
+    } else {
+      GemmAccumulateRows<false>(a, b, c, r0, r1);
+    }
+  };
+  if (flops < kParallelFlopThreshold) {
+    run_rows(0, m);
+    return;
+  }
+  // Grain: enough rows that one chunk carries ~kParallelFlopThreshold/4
+  // flops; depends only on the shapes, never on the pool size.
+  int64_t grain = std::max<int64_t>(
+      1, kParallelFlopThreshold / std::max<int64_t>(1, 8 * k * n));
+  ParallelFor(0, m, grain, run_rows);
 }
 
 DenseMatrix Gemm(const DenseMatrix& a, const DenseMatrix& b) {
@@ -70,9 +137,31 @@ DenseMatrix ScalarMul(const DenseMatrix& a, double s) {
 }
 
 DenseMatrix Transpose(const DenseMatrix& a) {
-  DenseMatrix out(a.cols(), a.rows());
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    for (int64_t c = 0; c < a.cols(); ++c) out(c, r) = a(r, c);
+  const int64_t m = a.rows();
+  const int64_t n = a.cols();
+  DenseMatrix out(n, m);
+  constexpr int64_t kTile = 64;
+  // Tiled copy: both the read and the write touch at most a kTile-wide
+  // stripe, keeping one side cache-resident. Parallel over row-tile bands.
+  auto do_rows = [&](int64_t rb0, int64_t rb1) {
+    for (int64_t rb = rb0; rb < rb1; rb += kTile) {
+      const int64_t re = std::min(rb1, rb + kTile);
+      for (int64_t cb = 0; cb < n; cb += kTile) {
+        const int64_t ce = std::min(n, cb + kTile);
+        for (int64_t r = rb; r < re; ++r) {
+          for (int64_t c = cb; c < ce; ++c) out(c, r) = a(r, c);
+        }
+      }
+    }
+  };
+  if (m * n < kParallelFlopThreshold) {
+    do_rows(0, m);
+  } else {
+    int64_t grain =
+        std::max<int64_t>(kTile, (kElemGrain / std::max<int64_t>(1, n) +
+                                  kTile - 1) /
+                                     kTile * kTile);
+    ParallelFor(0, m, grain, do_rows);
   }
   return out;
 }
@@ -88,17 +177,21 @@ DenseMatrix ReluGrad(const DenseMatrix& z, const DenseMatrix& upstream) {
 
 DenseMatrix Softmax(const DenseMatrix& a) {
   DenseMatrix out(a.rows(), a.cols());
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    const double* in = a.row(r);
-    double* o = out.row(r);
-    double mx = *std::max_element(in, in + a.cols());
-    double sum = 0.0;
-    for (int64_t c = 0; c < a.cols(); ++c) {
-      o[c] = std::exp(in[c] - mx);
-      sum += o[c];
+  const int64_t cols = a.cols();
+  int64_t grain = std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, cols));
+  ParallelFor(0, a.rows(), grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const double* in = a.row(r);
+      double* o = out.row(r);
+      double mx = *std::max_element(in, in + cols);
+      double sum = 0.0;
+      for (int64_t c = 0; c < cols; ++c) {
+        o[c] = std::exp(in[c] - mx);
+        sum += o[c];
+      }
+      for (int64_t c = 0; c < cols; ++c) o[c] /= sum;
     }
-    for (int64_t c = 0; c < a.cols(); ++c) o[c] /= sum;
-  }
+  });
   return out;
 }
 
@@ -112,27 +205,48 @@ DenseMatrix Exp(const DenseMatrix& a) {
 
 DenseMatrix RowSum(const DenseMatrix& a) {
   DenseMatrix out(a.rows(), 1);
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    double s = 0.0;
-    for (int64_t c = 0; c < a.cols(); ++c) s += a(r, c);
-    out(r, 0) = s;
-  }
+  const int64_t cols = a.cols();
+  int64_t grain = std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, cols));
+  ParallelFor(0, a.rows(), grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const double* in = a.row(r);
+      double s = 0.0;
+      for (int64_t c = 0; c < cols; ++c) s += in[c];
+      out(r, 0) = s;
+    }
+  });
   return out;
 }
 
 DenseMatrix ColSum(const DenseMatrix& a) {
   DenseMatrix out(1, a.cols());
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    for (int64_t c = 0; c < a.cols(); ++c) out(0, c) += a(r, c);
-  }
+  // Partitioned over disjoint column stripes; each column still
+  // accumulates its rows in ascending order, matching the sequential sum.
+  const int64_t rows = a.rows();
+  int64_t grain =
+      std::max<int64_t>(16, kElemGrain / std::max<int64_t>(1, rows));
+  ParallelFor(0, a.cols(), grain, [&](int64_t c0, int64_t c1) {
+    double* o = out.row(0);
+    for (int64_t r = 0; r < rows; ++r) {
+      const double* in = a.row(r);
+      for (int64_t c = c0; c < c1; ++c) o[c] += in[c];
+    }
+  });
   return out;
 }
 
 DenseMatrix BroadcastRowAdd(const DenseMatrix& a, const DenseMatrix& vec) {
   DenseMatrix out(a.rows(), a.cols());
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    for (int64_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c) + vec(0, c);
-  }
+  const int64_t cols = a.cols();
+  const double* v = vec.row(0);
+  int64_t grain = std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, cols));
+  ParallelFor(0, a.rows(), grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const double* in = a.row(r);
+      double* o = out.row(r);
+      for (int64_t c = 0; c < cols; ++c) o[c] = in[c] + v[c];
+    }
+  });
   return out;
 }
 
@@ -145,7 +259,9 @@ Result<DenseMatrix> Inverse(const DenseMatrix& a) {
   std::vector<int64_t> perm(n);
   for (int64_t i = 0; i < n; ++i) perm[i] = i;
 
-  // LU decomposition with partial pivoting, applied in place.
+  // LU decomposition with partial pivoting, applied in place. The rank-1
+  // update below the pivot touches disjoint rows, so it partitions over
+  // the pool without changing any per-row accumulation order.
   for (int64_t k = 0; k < n; ++k) {
     int64_t pivot = k;
     double best = std::abs(lu(k, k));
@@ -162,28 +278,44 @@ Result<DenseMatrix> Inverse(const DenseMatrix& a) {
       for (int64_t c = 0; c < n; ++c) std::swap(lu(k, c), lu(pivot, c));
       std::swap(perm[k], perm[pivot]);
     }
-    for (int64_t r = k + 1; r < n; ++r) {
-      lu(r, k) /= lu(k, k);
-      double f = lu(r, k);
-      if (f == 0.0) continue;
-      for (int64_t c = k + 1; c < n; ++c) lu(r, c) -= f * lu(k, c);
+    auto eliminate = [&](int64_t r0, int64_t r1) {
+      const double* pivot_row = lu.row(k);
+      for (int64_t r = r0; r < r1; ++r) {
+        double* row = lu.row(r);
+        row[k] /= pivot_row[k];
+        double f = row[k];
+        if (f == 0.0) continue;
+        for (int64_t c = k + 1; c < n; ++c) row[c] -= f * pivot_row[c];
+      }
+    };
+    const int64_t tail = n - k - 1;
+    if (tail * (tail + 1) < kParallelFlopThreshold) {
+      eliminate(k + 1, n);
+    } else {
+      int64_t grain = std::max<int64_t>(
+          8, kParallelFlopThreshold / (4 * std::max<int64_t>(1, tail)));
+      ParallelFor(k + 1, n, grain, eliminate);
     }
   }
 
-  // Solve LU x = P e_j for each unit vector.
+  // Solve LU x = P e_j for each unit vector; columns are independent.
   DenseMatrix out(n, n);
-  std::vector<double> y(n);
-  for (int64_t j = 0; j < n; ++j) {
-    for (int64_t i = 0; i < n; ++i) y[i] = (perm[i] == j) ? 1.0 : 0.0;
-    for (int64_t i = 0; i < n; ++i) {       // forward substitution (L)
-      for (int64_t c = 0; c < i; ++c) y[i] -= lu(i, c) * y[c];
+  int64_t grain = std::max<int64_t>(
+      1, kParallelFlopThreshold / std::max<int64_t>(1, 2 * n * n));
+  ParallelFor(0, n, grain, [&](int64_t j0, int64_t j1) {
+    std::vector<double> y(n);
+    for (int64_t j = j0; j < j1; ++j) {
+      for (int64_t i = 0; i < n; ++i) y[i] = (perm[i] == j) ? 1.0 : 0.0;
+      for (int64_t i = 0; i < n; ++i) {       // forward substitution (L)
+        for (int64_t c = 0; c < i; ++c) y[i] -= lu(i, c) * y[c];
+      }
+      for (int64_t i = n - 1; i >= 0; --i) {  // back substitution (U)
+        for (int64_t c = i + 1; c < n; ++c) y[i] -= lu(i, c) * y[c];
+        y[i] /= lu(i, i);
+      }
+      for (int64_t i = 0; i < n; ++i) out(i, j) = y[i];
     }
-    for (int64_t i = n - 1; i >= 0; --i) {  // back substitution (U)
-      for (int64_t c = i + 1; c < n; ++c) y[i] -= lu(i, c) * y[c];
-      y[i] /= lu(i, i);
-    }
-    for (int64_t i = 0; i < n; ++i) out(i, j) = y[i];
-  }
+  });
   return out;
 }
 

@@ -1,0 +1,397 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <unordered_set>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/opt/optimizer.h"
+#include "engine/executor.h"
+#include "la/kernels.h"
+#include "ml/generators.h"
+#include "ml/workloads.h"
+
+namespace matopt {
+namespace {
+
+/// Bit-level equality: the parallel paths promise the exact accumulation
+/// order of the sequential ones, so results must match to the last ulp.
+bool BitEq(const DenseMatrix& a, const DenseMatrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), sizeof(double) * a.size()) == 0;
+}
+
+/// Runs `fn` with the default pool resized to `threads`, then restores
+/// the environment-derived sizing.
+template <typename Fn>
+auto WithThreads(int threads, Fn&& fn) {
+  ThreadPool::SetDefaultThreads(threads);
+  auto result = fn();
+  ThreadPool::SetDefaultThreads(0);
+  return result;
+}
+
+DenseMatrix DiagDominant(int64_t n, uint64_t seed) {
+  DenseMatrix m = GaussianMatrix(n, n, seed);
+  for (int64_t i = 0; i < n; ++i) m(i, i) += 5.0 * static_cast<double>(n);
+  return m;
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, 7, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesIndependentOfThreadCount) {
+  auto chunks_at = [](int threads) {
+    ThreadPool pool(threads);
+    std::vector<std::pair<int64_t, int64_t>> chunks;
+    std::mutex mu;
+    pool.ParallelFor(3, 100, 13, [&](int64_t i0, int64_t i1) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(i0, i1);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  EXPECT_EQ(chunks_at(1), chunks_at(8));
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 8, 1, [&](int64_t, int64_t) {
+    pool.ParallelFor(0, 8, 1,
+                     [&](int64_t i0, int64_t i1) {
+                       total.fetch_add(static_cast<int>(i1 - i0));
+                     });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 100, 1,
+                                [&](int64_t i0, int64_t) {
+                                  if (i0 == 42) throw std::runtime_error("x");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ParallelKernelsTest, KernelsBitIdenticalAcrossThreadCounts) {
+  DenseMatrix a = GaussianMatrix(128, 96, 1);
+  DenseMatrix b = GaussianMatrix(96, 112, 2);
+  DenseMatrix c = GaussianMatrix(128, 112, 3);
+  DenseMatrix v = GaussianMatrix(1, 96, 4);
+  DenseMatrix sq = DiagDominant(150, 5);
+
+  auto run_all = [&] {
+    std::vector<DenseMatrix> outs;
+    outs.push_back(Gemm(a, b));
+    DenseMatrix acc = c;
+    GemmAccumulate(a, b, &acc);
+    outs.push_back(acc);
+    outs.push_back(Transpose(a));
+    outs.push_back(Add(a, a));
+    outs.push_back(Hadamard(a, a));
+    outs.push_back(Relu(a));
+    outs.push_back(Softmax(a));
+    outs.push_back(RowSum(a));
+    outs.push_back(ColSum(a));
+    outs.push_back(BroadcastRowAdd(a, v));
+    outs.push_back(Inverse(sq).value());
+    return outs;
+  };
+  auto seq = WithThreads(1, run_all);
+  auto par = WithThreads(8, run_all);
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_TRUE(BitEq(seq[i], par[i])) << "kernel output " << i;
+  }
+}
+
+TEST(ParallelKernelsTest, GemmAccumulateDenseMatchesNaiveReference) {
+  // Dense input containing exact zeros: the zero-skip shortcut must not
+  // fire on the dense path (it stays per-element identical to the naive
+  // ascending-k accumulation either way).
+  DenseMatrix a = GaussianMatrix(64, 48, 7);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); j += 2) a(i, j) = 0.0;
+  }
+  DenseMatrix b = GaussianMatrix(48, 56, 8);
+  DenseMatrix ref = GaussianMatrix(64, 56, 9);
+  DenseMatrix out = ref;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t k = 0; k < a.cols(); ++k) {
+      for (int64_t j = 0; j < b.cols(); ++j) {
+        ref(i, j) += a(i, k) * b(k, j);
+      }
+    }
+  }
+  GemmAccumulate(a, b, &out);
+  EXPECT_TRUE(BitEq(out, ref));
+
+  // Mostly-zero input takes the skip path; skipping a zero row adds
+  // nothing, so the result still matches the naive reference exactly.
+  DenseMatrix sparse_a(64, 48);
+  for (int64_t i = 0; i < 64; i += 16) sparse_a(i, 3) = 1.5;
+  DenseMatrix ref2 = GaussianMatrix(64, 56, 10);
+  DenseMatrix out2 = ref2;
+  for (int64_t i = 0; i < sparse_a.rows(); ++i) {
+    for (int64_t k = 0; k < sparse_a.cols(); ++k) {
+      if (sparse_a(i, k) == 0.0) continue;
+      for (int64_t j = 0; j < b.cols(); ++j) {
+        ref2(i, j) += sparse_a(i, k) * b(k, j);
+      }
+    }
+  }
+  GemmAccumulate(sparse_a, b, &out2);
+  EXPECT_TRUE(BitEq(out2, ref2));
+}
+
+/// End-to-end parity fixture: optimize once, then execute the same plan
+/// at 1 and at 8 threads and require bit-identical sinks and ExecStats.
+class ParallelExecTest : public ::testing::Test {
+ protected:
+  ParallelExecTest() : cluster_(SimSqlProfile(4)) {
+    cluster_.broadcast_cap_bytes = 1e12;
+    model_ = CostModel::Analytic(cluster_);
+  }
+
+  struct RunOutput {
+    std::vector<std::pair<int, DenseMatrix>> sinks;
+    ExecStats stats;
+  };
+
+  RunOutput Execute(const ComputeGraph& graph, const Annotation& annotation,
+                    const std::unordered_map<int, DenseMatrix>& inputs) {
+    PlanExecutor executor(catalog_, cluster_);
+    std::unordered_map<int, Relation> relations;
+    for (const auto& [v, m] : inputs) {
+      FormatId fmt = graph.vertex(v).input_format;
+      if (BuiltinFormats()[fmt].sparse()) {
+        relations[v] =
+            MakeSparseRelation(SparseMatrix::FromDense(m), fmt, cluster_)
+                .value();
+      } else {
+        relations[v] = MakeRelation(m, fmt, cluster_).value();
+      }
+    }
+    auto result = executor.Execute(graph, annotation, std::move(relations));
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    RunOutput out;
+    out.stats = result.value().stats;
+    for (const auto& [v, rel] : result.value().sinks) {
+      out.sinks.emplace_back(v, MaterializeDense(rel).value());
+    }
+    std::sort(out.sinks.begin(), out.sinks.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    return out;
+  }
+
+  /// Gaussian data for every input; square inputs become diagonally
+  /// dominant (safe for inverses) unless listed in `plain`.
+  std::unordered_map<int, DenseMatrix> MakeInputs(
+      const ComputeGraph& graph,
+      const std::unordered_set<std::string>& plain = {}) {
+    std::unordered_map<int, DenseMatrix> inputs;
+    for (int v = 0; v < graph.num_vertices(); ++v) {
+      const Vertex& vx = graph.vertex(v);
+      if (vx.op != OpKind::kInput) continue;
+      if (vx.type.rows() == vx.type.cols() && !plain.count(vx.name)) {
+        inputs.emplace(v, DiagDominant(vx.type.rows(), 100 + v));
+      } else {
+        inputs.emplace(
+            v, GaussianMatrix(vx.type.rows(), vx.type.cols(), 100 + v));
+      }
+    }
+    return inputs;
+  }
+
+  void ExpectParity(const ComputeGraph& graph,
+                    const std::unordered_map<int, DenseMatrix>& inputs) {
+    auto plan = Optimize(graph, catalog_, model_, cluster_);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    auto seq = WithThreads(
+        1, [&] { return Execute(graph, plan.value().annotation, inputs); });
+    auto par = WithThreads(
+        8, [&] { return Execute(graph, plan.value().annotation, inputs); });
+
+    ASSERT_EQ(seq.sinks.size(), par.sinks.size());
+    for (size_t i = 0; i < seq.sinks.size(); ++i) {
+      EXPECT_EQ(seq.sinks[i].first, par.sinks[i].first);
+      EXPECT_TRUE(BitEq(seq.sinks[i].second, par.sinks[i].second))
+          << "sink " << seq.sinks[i].first;
+    }
+    // ExecStats accounting runs on the coordinating thread in tuple order,
+    // so every total must be exactly equal, not merely close.
+    EXPECT_EQ(seq.stats.sim_seconds, par.stats.sim_seconds);
+    EXPECT_EQ(seq.stats.flops, par.stats.flops);
+    EXPECT_EQ(seq.stats.net_bytes, par.stats.net_bytes);
+    EXPECT_EQ(seq.stats.tuples, par.stats.tuples);
+    EXPECT_EQ(seq.stats.peak_worker_mem_bytes, par.stats.peak_worker_mem_bytes);
+    ASSERT_EQ(seq.stats.stages.size(), par.stats.stages.size());
+    for (size_t i = 0; i < seq.stats.stages.size(); ++i) {
+      EXPECT_EQ(seq.stats.stages[i].label, par.stats.stages[i].label);
+      EXPECT_EQ(seq.stats.stages[i].seconds, par.stats.stages[i].seconds);
+    }
+  }
+
+  Catalog catalog_;
+  ClusterConfig cluster_;
+  CostModel model_;
+};
+
+TEST_F(ParallelExecTest, FfnnExecutionBitIdentical) {
+  FfnnConfig cfg;
+  cfg.batch = 120;
+  cfg.features = 250;
+  cfg.hidden = 140;
+  cfg.labels = 9;
+  auto graph = BuildFfnnGraph(cfg);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  ExpectParity(graph.value(), MakeInputs(graph.value()));
+}
+
+TEST_F(ParallelExecTest, BlockInverseExecutionBitIdentical) {
+  auto graph = BuildBlockInverseGraph(130);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  // Dominant A and D keep A and the Schur complement D - C inv(A) B
+  // comfortably invertible; plain off-diagonal blocks avoid cancelling
+  // the Schur complement's diagonal.
+  ExpectParity(graph.value(), MakeInputs(graph.value(), {"B", "C"}));
+}
+
+TEST_F(ParallelExecTest, MatMulChainExecutionBitIdentical) {
+  FormatId strips = kNoFormat;
+  const auto& all = BuiltinFormats();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == Format{Layout::kRowStrips, 100, 0}) {
+      strips = static_cast<FormatId>(i);
+    }
+  }
+  ASSERT_NE(strips, kNoFormat);
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(230, 340), strips, "A");
+  int b = g.AddInput(MatrixType(340, 180), strips, "B");
+  int c = g.AddInput(MatrixType(180, 270), strips, "C");
+  int ab = g.AddOp(OpKind::kMatMul, {a, b}).value();
+  g.AddOp(OpKind::kMatMul, {ab, c}).value();
+  ExpectParity(g, MakeInputs(g));
+}
+
+/// Optimizer parity: the chosen plan (implementation, formats, edges),
+/// its cost, and the states-explored count must not depend on the pool.
+class ParallelOptTest : public ::testing::Test {
+ protected:
+  ParallelOptTest() : cluster_(SimSqlProfile(10)) {
+    model_ = CostModel::Analytic(cluster_);
+  }
+
+  /// `check_states` is off for brute force: the shared cost bound races
+  /// across subtrees, so the prune count (not the plan) may vary.
+  static void ExpectSamePlan(const PlanResult& x, const PlanResult& y,
+                             bool check_states = true) {
+    EXPECT_EQ(x.cost, y.cost);
+    EXPECT_EQ(x.beam_pruned, y.beam_pruned);
+    if (check_states) {
+      EXPECT_EQ(x.states_explored, y.states_explored);
+    }
+    ASSERT_EQ(x.annotation.vertices.size(), y.annotation.vertices.size());
+    for (size_t v = 0; v < x.annotation.vertices.size(); ++v) {
+      const VertexAnnotation& va = x.annotation.vertices[v];
+      const VertexAnnotation& vb = y.annotation.vertices[v];
+      EXPECT_EQ(va.impl, vb.impl) << "vertex " << v;
+      EXPECT_EQ(va.output_format, vb.output_format) << "vertex " << v;
+      ASSERT_EQ(va.input_edges.size(), vb.input_edges.size());
+      for (size_t e = 0; e < va.input_edges.size(); ++e) {
+        EXPECT_EQ(va.input_edges[e].pin, vb.input_edges[e].pin);
+        EXPECT_EQ(va.input_edges[e].transform, vb.input_edges[e].transform);
+        EXPECT_EQ(va.input_edges[e].pout, vb.input_edges[e].pout);
+      }
+    }
+  }
+
+  Catalog catalog_;
+  ClusterConfig cluster_;
+  CostModel model_;
+};
+
+TEST_F(ParallelOptTest, BruteForcePlanIdenticalAcrossThreadCounts) {
+  FormatId tiles = kNoFormat;
+  const auto& all = BuiltinFormats();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == Format{Layout::kTiles, 1000, 1000}) {
+      tiles = static_cast<FormatId>(i);
+    }
+  }
+  ASSERT_NE(tiles, kNoFormat);
+  // T = A x B; O = T + (T .* C) — small enough for exhaustive search.
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(3000, 3000), tiles, "A");
+  int b = g.AddInput(MatrixType(3000, 3000), tiles, "B");
+  int c = g.AddInput(MatrixType(3000, 3000), tiles, "C");
+  int t = g.AddOp(OpKind::kMatMul, {a, b}).value();
+  int h = g.AddOp(OpKind::kHadamard, {t, c}).value();
+  g.AddOp(OpKind::kAdd, {t, h}).value();
+
+  auto seq = WithThreads(
+      1, [&] { return BruteForceOptimize(g, catalog_, model_, cluster_); });
+  auto par = WithThreads(
+      8, [&] { return BruteForceOptimize(g, catalog_, model_, cluster_); });
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+  ExpectSamePlan(seq.value(), par.value(), /*check_states=*/false);
+}
+
+TEST_F(ParallelOptTest, MatMulChainPlanIdenticalAcrossThreadCounts) {
+  auto graph = BuildMatMulChainGraph(ChainSizeSet(1));
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  auto seq = WithThreads(
+      1, [&] { return Optimize(graph.value(), catalog_, model_, cluster_); });
+  auto par = WithThreads(
+      8, [&] { return Optimize(graph.value(), catalog_, model_, cluster_); });
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+  ExpectSamePlan(seq.value(), par.value());
+}
+
+TEST_F(ParallelOptTest, FrontierPlanIdenticalAcrossThreadCounts) {
+  FfnnConfig cfg;
+  auto graph = BuildFfnnGraph(cfg);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  OptimizerOptions options;
+  // Small beam so the test also covers the deterministic rank-based cap.
+  options.max_table_entries = 20000;
+  auto seq = WithThreads(1, [&] {
+    return FrontierOptimize(graph.value(), catalog_, model_, cluster_,
+                            options);
+  });
+  auto par = WithThreads(8, [&] {
+    return FrontierOptimize(graph.value(), catalog_, model_, cluster_,
+                            options);
+  });
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+  ExpectSamePlan(seq.value(), par.value());
+}
+
+TEST_F(ParallelOptTest, BlockInversePlanIdenticalAcrossThreadCounts) {
+  auto graph = BuildBlockInverseGraph(10000);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  auto seq = WithThreads(
+      1, [&] { return Optimize(graph.value(), catalog_, model_, cluster_); });
+  auto par = WithThreads(
+      8, [&] { return Optimize(graph.value(), catalog_, model_, cluster_); });
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+  ExpectSamePlan(seq.value(), par.value());
+}
+
+}  // namespace
+}  // namespace matopt
