@@ -15,7 +15,7 @@
 #include "core/cost/cost_model.h"
 #include "core/opt/optimizer.h"
 #include "engine/executor.h"
-#include "frontend/parser.h"
+#include "frontend/frontend_lint.h"
 #include "frontend/sql_gen.h"
 
 using namespace matopt;
@@ -50,16 +50,23 @@ int main(int argc, char** argv) {
   }
   int workers = argc > 2 ? std::atoi(argv[2]) : 10;
 
-  auto program = ParseProgram(source);
-  if (!program.ok()) {
-    std::fprintf(stderr, "parse error: %s\n",
-                 program.status().ToString().c_str());
-    return 1;
-  }
-
   Catalog catalog;
   ClusterConfig cluster = SimSqlProfile(workers);
   CostModel model = CostModel::Analytic(cluster);
+
+  // Parse + post-parse analysis pipeline: reject broken programs with
+  // structured diagnostics before any optimization work.
+  DiagnosticList diagnostics;
+  auto program = ParseProgramChecked(source, catalog, cluster, &diagnostics);
+  for (const Diagnostic& d : diagnostics.diagnostics()) {
+    std::fputs(RenderDiagnostic(d, argc > 1 ? argv[1] : "<demo>", source)
+                   .c_str(),
+               stderr);
+  }
+  if (!program.ok()) {
+    std::fprintf(stderr, "error: %s\n", program.status().ToString().c_str());
+    return 1;
+  }
   std::printf("=== logical compute graph (%d vertices) ===\n%s\n",
               program.value().graph.num_vertices(),
               program.value().graph.ToString().c_str());

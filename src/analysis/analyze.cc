@@ -1,0 +1,34 @@
+#include "analysis/analyze.h"
+
+namespace matopt {
+
+DiagnosticList AnalyzeGraph(const ComputeGraph& graph, const Catalog& catalog,
+                            const ClusterConfig& cluster,
+                            const AnalysisOptions& options) {
+  AnalysisContext ctx{graph, catalog, cluster, nullptr, nullptr, options};
+  return DefaultPipeline().Run(ctx);
+}
+
+DiagnosticList AnalyzePlan(const ComputeGraph& graph,
+                           const Annotation& annotation,
+                           const Catalog& catalog, const CostModel* model,
+                           const ClusterConfig& cluster,
+                           const AnalysisOptions& options,
+                           bool check_optimality) {
+  AnalysisContext ctx{graph, catalog, cluster, &annotation, model, options};
+  return DefaultPipeline(check_optimality).Run(ctx);
+}
+
+Status VerifySearchResult(const ComputeGraph& graph,
+                          const Annotation& annotation, const Catalog& catalog,
+                          const CostModel& model,
+                          const ClusterConfig& cluster) {
+  DiagnosticList diagnostics =
+      AnalyzePlan(graph, annotation, catalog, &model, cluster);
+  if (!diagnostics.HasErrors()) return Status::OK();
+  Status first = diagnostics.ToStatus();
+  return Status::Internal("optimizer produced an invalid plan: " +
+                          first.message());
+}
+
+}  // namespace matopt

@@ -1,0 +1,35 @@
+#ifndef MATOPT_ANALYSIS_ANALYZE_H_
+#define MATOPT_ANALYSIS_ANALYZE_H_
+
+#include "analysis/pass.h"
+
+namespace matopt {
+
+/// Runs the graph-only passes (structure, types, sparsity) over a compute
+/// graph — the post-parse lint entry point.
+DiagnosticList AnalyzeGraph(const ComputeGraph& graph, const Catalog& catalog,
+                            const ClusterConfig& cluster,
+                            const AnalysisOptions& options = {});
+
+/// Runs the full pipeline over an annotated plan. `model` may be null
+/// (cost-finiteness checks are then skipped). `check_optimality` appends
+/// the debug-mode brute-force cross-check.
+DiagnosticList AnalyzePlan(const ComputeGraph& graph,
+                           const Annotation& annotation,
+                           const Catalog& catalog, const CostModel* model,
+                           const ClusterConfig& cluster,
+                           const AnalysisOptions& options = {},
+                           bool check_optimality = false);
+
+/// Post-search safety net used by the three optimizers: runs the plan
+/// pipeline over a freshly found plan and folds error findings into a
+/// Status (OK when the plan is clean; warnings and notes never fail the
+/// search). Kept cheap: no optimality cross-check.
+Status VerifySearchResult(const ComputeGraph& graph,
+                          const Annotation& annotation, const Catalog& catalog,
+                          const CostModel& model,
+                          const ClusterConfig& cluster);
+
+}  // namespace matopt
+
+#endif  // MATOPT_ANALYSIS_ANALYZE_H_

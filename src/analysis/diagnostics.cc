@@ -1,0 +1,205 @@
+#include "analysis/diagnostics.h"
+
+#include <sstream>
+
+namespace matopt {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "unknown";
+}
+
+const char* RuleIdName(RuleId rule) {
+  switch (rule) {
+    case RuleId::kMO001_TypeMismatch: return "MO001";
+    case RuleId::kMO002_MalformedVertex: return "MO002";
+    case RuleId::kMO003_SourceFormat: return "MO003";
+    case RuleId::kMO010_EdgePinMismatch: return "MO010";
+    case RuleId::kMO011_NoTransform: return "MO011";
+    case RuleId::kMO012_IdentityMismatch: return "MO012";
+    case RuleId::kMO013_ImplRejectsInputs: return "MO013";
+    case RuleId::kMO014_OutputFormat: return "MO014";
+    case RuleId::kMO020_SparsityRange: return "MO020";
+    case RuleId::kMO021_DenseOpSparseOut: return "MO021";
+    case RuleId::kMO022_SparsityDrift: return "MO022";
+    case RuleId::kMO030_DeadVertex: return "MO030";
+    case RuleId::kMO031_UnusedInput: return "MO031";
+    case RuleId::kMO032_OrderViolation: return "MO032";
+    case RuleId::kMO040_AnnotationShape: return "MO040";
+    case RuleId::kMO041_WrongImpl: return "MO041";
+    case RuleId::kMO042_BadCost: return "MO042";
+    case RuleId::kMO050_NotOptimal: return "MO050";
+    case RuleId::kMO051_CheckSkipped: return "MO051";
+  }
+  return "MO???";
+}
+
+const char* RuleIdDescription(RuleId rule) {
+  switch (rule) {
+    case RuleId::kMO001_TypeMismatch:
+      return "re-inferred output type differs from the stored vertex type";
+    case RuleId::kMO002_MalformedVertex:
+      return "vertex arity or argument ids are structurally invalid";
+    case RuleId::kMO003_SourceFormat:
+      return "source vertex format is unknown or cannot store its type";
+    case RuleId::kMO010_EdgePinMismatch:
+      return "edge pin format differs from the producer's output format";
+    case RuleId::kMO011_NoTransform:
+      return "no registered transformation achieves the edge's pin -> pout";
+    case RuleId::kMO012_IdentityMismatch:
+      return "identity edge (no transform) with differing pin/pout formats";
+    case RuleId::kMO013_ImplRejectsInputs:
+      return "implementation cannot process its transformed input formats";
+    case RuleId::kMO014_OutputFormat:
+      return "annotated output format disagrees with the implementation's "
+             "type-spec function";
+    case RuleId::kMO020_SparsityRange:
+      return "sparsity estimate outside [0, 1]";
+    case RuleId::kMO021_DenseOpSparseOut:
+      return "densifying operation annotated with a sparse output format";
+    case RuleId::kMO022_SparsityDrift:
+      return "stored sparsity deviates from the propagation estimator";
+    case RuleId::kMO030_DeadVertex:
+      return "operation vertex is neither an output nor consumed";
+    case RuleId::kMO031_UnusedInput:
+      return "input matrix is never consumed by any computation";
+    case RuleId::kMO032_OrderViolation:
+      return "vertex references break the topological-order invariant";
+    case RuleId::kMO040_AnnotationShape:
+      return "annotation is missing vertices or has wrong edge arity";
+    case RuleId::kMO041_WrongImpl:
+      return "vertex implementation implements a different atomic "
+             "computation";
+    case RuleId::kMO042_BadCost:
+      return "cost model produced a NaN, infinite, or negative cost";
+    case RuleId::kMO050_NotOptimal:
+      return "DP plan cost differs from the brute-force optimum";
+    case RuleId::kMO051_CheckSkipped:
+      return "optimality cross-check skipped (graph too large or timeout)";
+  }
+  return "unknown rule";
+}
+
+std::vector<RuleId> AllRuleIds() {
+  return {
+      RuleId::kMO001_TypeMismatch,   RuleId::kMO002_MalformedVertex,
+      RuleId::kMO003_SourceFormat,   RuleId::kMO010_EdgePinMismatch,
+      RuleId::kMO011_NoTransform,    RuleId::kMO012_IdentityMismatch,
+      RuleId::kMO013_ImplRejectsInputs, RuleId::kMO014_OutputFormat,
+      RuleId::kMO020_SparsityRange,  RuleId::kMO021_DenseOpSparseOut,
+      RuleId::kMO022_SparsityDrift,  RuleId::kMO030_DeadVertex,
+      RuleId::kMO031_UnusedInput,    RuleId::kMO032_OrderViolation,
+      RuleId::kMO040_AnnotationShape, RuleId::kMO041_WrongImpl,
+      RuleId::kMO042_BadCost,        RuleId::kMO050_NotOptimal,
+      RuleId::kMO051_CheckSkipped,
+  };
+}
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream out;
+  out << SeverityName(severity) << "[" << RuleIdName(rule) << "]: " << message;
+  bool has_anchor = vertex >= 0 || line > 0;
+  if (has_anchor) {
+    out << " (";
+    if (vertex >= 0) {
+      out << "v" << vertex;
+      if (edge_arg >= 0) out << " arg" << edge_arg;
+      if (line > 0) out << ", ";
+    }
+    if (line > 0) out << "line " << line << ":" << column;
+    out << ")";
+  }
+  return out.str();
+}
+
+void DiagnosticList::Add(Severity severity, RuleId rule, std::string message,
+                         int vertex, int edge_arg) {
+  Diagnostic d;
+  d.severity = severity;
+  d.rule = rule;
+  d.message = std::move(message);
+  d.vertex = vertex;
+  d.edge_arg = edge_arg;
+  diagnostics_.push_back(std::move(d));
+}
+
+int DiagnosticList::CountSeverity(Severity severity) const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+int DiagnosticList::CountRule(RuleId rule) const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.rule == rule) ++n;
+  }
+  return n;
+}
+
+Status DiagnosticList::ToStatus() const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity != Severity::kError) continue;
+    return Status::TypeError(std::string(RuleIdName(d.rule)) + ": " +
+                             d.message);
+  }
+  return Status::OK();
+}
+
+std::string DiagnosticList::ToString() const {
+  std::ostringstream out;
+  for (const Diagnostic& d : diagnostics_) {
+    out << d.ToString() << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Extracts 1-based line `line` from `source` (without the newline).
+std::string SourceLine(const std::string& source, int line) {
+  size_t start = 0;
+  for (int i = 1; i < line; ++i) {
+    size_t next = source.find('\n', start);
+    if (next == std::string::npos) return "";
+    start = next + 1;
+  }
+  size_t end = source.find('\n', start);
+  return source.substr(start, end == std::string::npos ? std::string::npos
+                                                       : end - start);
+}
+
+}  // namespace
+
+std::string RenderDiagnostic(const Diagnostic& diagnostic,
+                             const std::string& file_name,
+                             const std::string& source) {
+  std::ostringstream out;
+  out << SeverityName(diagnostic.severity) << "[" << RuleIdName(diagnostic.rule)
+      << "]: " << diagnostic.message << "\n";
+  if (diagnostic.line <= 0) {
+    if (!file_name.empty()) out << "  --> " << file_name << "\n";
+    return out.str();
+  }
+  out << "  --> " << file_name << ":" << diagnostic.line << ":"
+      << diagnostic.column << "\n";
+  if (!source.empty()) {
+    std::string text = SourceLine(source, diagnostic.line);
+    std::string number = std::to_string(diagnostic.line);
+    std::string gutter(number.size(), ' ');
+    out << gutter << " |\n";
+    out << number << " | " << text << "\n";
+    out << gutter << " | ";
+    for (int i = 1; i < diagnostic.column; ++i) out << ' ';
+    out << "^\n";
+  }
+  return out.str();
+}
+
+}  // namespace matopt

@@ -1,0 +1,125 @@
+#ifndef MATOPT_ANALYSIS_DIAGNOSTICS_H_
+#define MATOPT_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace matopt {
+
+/// Severity of one analysis finding. Errors make a graph/plan unusable;
+/// warnings flag suspicious-but-executable constructs; notes carry
+/// advisory context (skipped passes, estimator deviations).
+enum class Severity {
+  kError = 0,
+  kWarning,
+  kNote,
+};
+
+const char* SeverityName(Severity severity);
+
+/// Stable rule identifiers for every diagnostic the analysis passes can
+/// emit. The numeric ranges group rules by pass:
+///   MO00x  type/shape re-inference        (TypeCheckPass)
+///   MO01x  layout & transform legality    (LayoutCompatPass)
+///   MO02x  sparsity sanity                (SparsityPass)
+///   MO03x  graph hygiene                  (GraphHygienePass)
+///   MO04x  annotation completeness & cost (CompletenessPass)
+///   MO05x  optimality cross-check         (OptimalityCheckPass)
+/// Identifiers are append-only: never renumber a shipped rule.
+enum class RuleId {
+  kMO001_TypeMismatch = 0,   // re-inferred type differs from Vertex::type
+  kMO002_MalformedVertex,    // arity / argument-id structure is broken
+  kMO003_SourceFormat,       // source format unknown or not applicable
+  kMO010_EdgePinMismatch,    // edge pin != producer's output format
+  kMO011_NoTransform,        // no registered transform achieves pin->pout
+  kMO012_IdentityMismatch,   // identity edge with differing formats
+  kMO013_ImplRejectsInputs,  // i.f(args) = ⊥ for the annotated impl
+  kMO014_OutputFormat,       // annotated output format disagrees with i.f
+  kMO020_SparsityRange,      // sparsity outside [0, 1]
+  kMO021_DenseOpSparseOut,   // densifying op annotated with a sparse format
+  kMO022_SparsityDrift,      // stored estimate far from the estimator
+  kMO030_DeadVertex,         // op vertex with no consumers, not an output
+  kMO031_UnusedInput,        // input matrix no computation consumes
+  kMO032_OrderViolation,     // topological order / cycle invariant broken
+  kMO040_AnnotationShape,    // annotation missing or wrong vertex count
+  kMO041_WrongImpl,          // impl absent or implements a different op
+  kMO042_BadCost,            // NaN / infinite / negative predicted cost
+  kMO050_NotOptimal,         // DP plan costs more than brute-force optimum
+  kMO051_CheckSkipped,       // cross-check skipped (size / timeout)
+};
+
+/// The stable "MOxxx" spelling of a rule id.
+const char* RuleIdName(RuleId rule);
+
+/// One-line human description of what a rule checks (the rule catalog of
+/// DESIGN.md §9; `matopt_lint --rules` prints this table).
+const char* RuleIdDescription(RuleId rule);
+
+/// One analysis finding, anchored to a vertex (and optionally one of its
+/// input edges) and — when the graph came from the .mla parser — to a
+/// source line/column.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  RuleId rule = RuleId::kMO001_TypeMismatch;
+  std::string message;
+  int vertex = -1;    // anchor vertex id, -1 = whole graph
+  int edge_arg = -1;  // argument index of the offending in-edge, -1 = none
+  int line = 0;       // 1-based .mla source position, 0 = unknown
+  int column = 0;
+
+  /// Compact single-line rendering: "error[MO001]: message (v3, line 7)".
+  std::string ToString() const;
+};
+
+/// Ordered collection of findings from one pipeline run.
+class DiagnosticList {
+ public:
+  void Add(Diagnostic diagnostic) {
+    diagnostics_.push_back(std::move(diagnostic));
+  }
+  void Add(Severity severity, RuleId rule, std::string message,
+           int vertex = -1, int edge_arg = -1);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  std::vector<Diagnostic>& mutable_diagnostics() { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+  size_t size() const { return diagnostics_.size(); }
+
+  bool HasErrors() const { return CountSeverity(Severity::kError) > 0; }
+  int CountSeverity(Severity severity) const;
+  int CountRule(RuleId rule) const;
+
+  /// First error, as a Status suitable for legacy call sites. OK when the
+  /// list holds no errors (warnings and notes do not fail a Status).
+  Status ToStatus() const;
+
+  /// All findings, one compact line each.
+  std::string ToString() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Renders one finding rustc-style against its source file:
+///
+///   error[MO011]: no registered transform from tiles(1000) to sp_csr
+///     --> examples/programs/ffnn_step.mla:13:6
+///      |
+///   13 | A1 = relu(X * W1 .+ b1);
+///      |      ^
+///
+/// `source` may be empty (no snippet is printed); positions of 0 keep the
+/// `-->` line (naming the file) but omit the line/column and snippet.
+std::string RenderDiagnostic(const Diagnostic& diagnostic,
+                             const std::string& file_name,
+                             const std::string& source);
+
+/// The full rule catalog, in id order (for `matopt_lint --rules` and the
+/// DESIGN.md table).
+std::vector<RuleId> AllRuleIds();
+
+}  // namespace matopt
+
+#endif  // MATOPT_ANALYSIS_DIAGNOSTICS_H_

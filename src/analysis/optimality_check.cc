@@ -1,0 +1,89 @@
+// Pass 6: the debug-mode optimality cross-check harness. For graphs small
+// enough to enumerate, re-runs the exhaustive search (Algorithm 2) and
+// compares its optimum against the cost of the plan under analysis. A
+// tree-DP (Algorithm 3) or frontier-DP (Algorithm 4) plan that costs more
+// than the brute-force optimum is a correctness bug in the DP — this pass
+// turns that invariant into a continuously checked contract.
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "analysis/pass.h"
+#include "core/opt/optimizer.h"
+
+namespace matopt {
+
+namespace {
+
+class OptimalityCheckPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "optimality-cross-check"; }
+  bool needs_annotation() const override { return true; }
+
+  void Run(const AnalysisContext& ctx, DiagnosticList* out) const override {
+    if (ctx.model == nullptr) {
+      out->Add(Severity::kNote, RuleId::kMO051_CheckSkipped,
+               "optimality cross-check skipped: no cost model in scope");
+      return;
+    }
+    int op_vertices = 0;
+    for (const Vertex& vx : ctx.graph.vertices()) {
+      if (vx.op != OpKind::kInput) ++op_vertices;
+    }
+    if (op_vertices > ctx.options.optimality_max_op_vertices) {
+      out->Add(Severity::kNote, RuleId::kMO051_CheckSkipped,
+               "optimality cross-check skipped: " +
+                   std::to_string(op_vertices) + " op vertices exceed the " +
+                   std::to_string(ctx.options.optimality_max_op_vertices) +
+                   "-vertex enumeration threshold");
+      return;
+    }
+
+    // The plan under analysis must have been produced under the default
+    // search options for the comparison to be apples-to-apples.
+    OptimizerOptions options;
+    options.time_limit_sec = ctx.options.optimality_time_limit_sec;
+    Result<PlanResult> brute = BruteForceOptimize(ctx.graph, ctx.catalog,
+                                                  *ctx.model, ctx.cluster,
+                                                  options);
+    if (!brute.ok()) {
+      if (brute.status().IsTimeout()) {
+        out->Add(Severity::kNote, RuleId::kMO051_CheckSkipped,
+                 "optimality cross-check skipped: exhaustive search exceeded "
+                 "its " +
+                     std::to_string(ctx.options.optimality_time_limit_sec) +
+                     "s budget");
+      } else {
+        out->Add(Severity::kError, RuleId::kMO050_NotOptimal,
+                 "exhaustive search failed on a graph that has a plan: " +
+                     brute.status().ToString());
+      }
+      return;
+    }
+
+    double plan_cost = AnnotationCost(ctx.graph, *ctx.annotation, ctx.catalog,
+                                      *ctx.model, ctx.cluster);
+    double optimum = brute.value().cost;
+    double tolerance =
+        ctx.options.optimality_rel_tolerance * std::max(optimum, 1.0);
+    if (std::fabs(plan_cost - optimum) > tolerance) {
+      std::ostringstream msg;
+      msg << "plan costs " << plan_cost << "s but the brute-force optimum is "
+          << optimum << "s ("
+          << (plan_cost > optimum ? "DP missed the optimum"
+                                  : "plan beats exhaustive search — cost "
+                                    "accounting is inconsistent")
+          << ")";
+      out->Add(Severity::kError, RuleId::kMO050_NotOptimal, msg.str());
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AnalysisPass> MakeOptimalityCheckPass() {
+  return std::make_unique<OptimalityCheckPass>();
+}
+
+}  // namespace matopt

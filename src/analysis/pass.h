@@ -1,0 +1,104 @@
+#ifndef MATOPT_ANALYSIS_PASS_H_
+#define MATOPT_ANALYSIS_PASS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "core/cost/cost_model.h"
+#include "core/graph/graph.h"
+#include "core/ops/catalog.h"
+#include "core/opt/annotation.h"
+#include "engine/cluster.h"
+
+namespace matopt {
+
+/// Tunables shared by the analysis passes.
+struct AnalysisOptions {
+  /// MO022: warn when stored-vs-estimated sparsity relative error exceeds
+  /// this factor (the Sommer-style max/min ratio; 1.0 = identical).
+  double sparsity_drift_ratio = 5.0;
+
+  /// MO050: run the brute-force optimality cross-check only when the graph
+  /// has at most this many op vertices (the search is exponential).
+  int optimality_max_op_vertices = 16;
+
+  /// MO050: wall-clock budget for the cross-check's brute-force re-search;
+  /// a timeout downgrades the check to an MO051 note.
+  double optimality_time_limit_sec = 30.0;
+
+  /// MO050: relative cost-difference tolerance between the checked plan
+  /// and the brute-force optimum.
+  double optimality_rel_tolerance = 1e-6;
+
+  /// Declared program outputs (vertex ids). When empty the graph's sinks
+  /// are assumed to be the outputs (so MO030 never fires).
+  std::vector<int> outputs;
+};
+
+/// Everything a pass may look at. `annotation` is null for graph-only
+/// analysis (post-parse lint); `model` is null when no cost model is in
+/// scope (the executor's pre-flight run) — cost rules are then skipped.
+struct AnalysisContext {
+  const ComputeGraph& graph;
+  const Catalog& catalog;
+  const ClusterConfig& cluster;
+  const Annotation* annotation = nullptr;
+  const CostModel* model = nullptr;
+  AnalysisOptions options;
+};
+
+/// One analysis pass: inspects the context, appends findings. Passes are
+/// stateless between runs and must not mutate the graph or plan.
+class AnalysisPass {
+ public:
+  virtual ~AnalysisPass() = default;
+
+  /// Stable pass name (DESIGN.md §9 pipeline table, `matopt_lint -v`).
+  virtual const char* name() const = 0;
+
+  /// True when the pass can only run with a plan (`ctx.annotation` set).
+  virtual bool needs_annotation() const { return false; }
+
+  virtual void Run(const AnalysisContext& ctx, DiagnosticList* out) const = 0;
+};
+
+/// An ordered pass pipeline. Passes requiring an annotation are skipped
+/// automatically when the context has none, so one pipeline serves both
+/// the post-parse and the pre-execution entry points.
+class AnalysisPipeline {
+ public:
+  void AddPass(std::unique_ptr<AnalysisPass> pass) {
+    passes_.push_back(std::move(pass));
+  }
+
+  const std::vector<std::unique_ptr<AnalysisPass>>& passes() const {
+    return passes_;
+  }
+
+  /// Runs every applicable pass in order and returns all findings.
+  DiagnosticList Run(const AnalysisContext& ctx) const;
+
+ private:
+  std::vector<std::unique_ptr<AnalysisPass>> passes_;
+};
+
+/// The default pipeline: the six shipped passes in dependency order
+/// (structure first, so later passes may assume a well-formed graph).
+/// `with_optimality_check` appends the debug-mode brute-force cross-check
+/// (expensive; off in production paths).
+AnalysisPipeline DefaultPipeline(bool with_optimality_check = false);
+
+// Factories for the individual passes (exposed for tests and custom
+// pipelines).
+std::unique_ptr<AnalysisPass> MakeGraphHygienePass();
+std::unique_ptr<AnalysisPass> MakeTypeCheckPass();
+std::unique_ptr<AnalysisPass> MakeSparsityPass();
+std::unique_ptr<AnalysisPass> MakeCompletenessPass();
+std::unique_ptr<AnalysisPass> MakeLayoutCompatPass();
+std::unique_ptr<AnalysisPass> MakeOptimalityCheckPass();
+
+}  // namespace matopt
+
+#endif  // MATOPT_ANALYSIS_PASS_H_

@@ -1,0 +1,468 @@
+#include <cmath>
+#include <sstream>
+
+#include "analysis/pass.h"
+#include "core/cost/sparsity.h"
+#include "core/format/format.h"
+
+namespace matopt {
+
+namespace {
+
+/// "'W2n' (v14)" when the vertex is named, "v14" otherwise — every
+/// diagnostic names the offending vertex so CLI output is actionable.
+std::string VertexLabel(const ComputeGraph& graph, int v) {
+  const Vertex& vx = graph.vertex(v);
+  if (vx.name.empty()) return "v" + std::to_string(v);
+  return "'" + vx.name + "' (v" + std::to_string(v) + ")";
+}
+
+std::string FormatName(FormatId id) {
+  const auto& formats = BuiltinFormats();
+  if (id < 0 || id >= static_cast<FormatId>(formats.size())) {
+    return "<invalid format " + std::to_string(id) + ">";
+  }
+  return formats[id].ToString();
+}
+
+/// True when the vertex's argument list is structurally sound (arity and
+/// id range/order). Later passes use this to skip vertices the hygiene
+/// pass has already reported.
+bool VertexStructureOk(const ComputeGraph& graph, int v) {
+  const Vertex& vx = graph.vertex(v);
+  if (vx.op == OpKind::kInput) return vx.inputs.empty();
+  if (static_cast<int>(vx.inputs.size()) != OpArity(vx.op)) return false;
+  for (int in : vx.inputs) {
+    if (in < 0 || in >= v) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4 (runs first): dead vertices, unused inputs, broken topology.
+// Structure errors from this pass gate the rest of the pipeline.
+
+class GraphHygienePass : public AnalysisPass {
+ public:
+  const char* name() const override { return "graph-hygiene"; }
+
+  void Run(const AnalysisContext& ctx, DiagnosticList* out) const override {
+    const ComputeGraph& graph = ctx.graph;
+    for (int v = 0; v < graph.num_vertices(); ++v) {
+      const Vertex& vx = graph.vertex(v);
+      if (vx.op == OpKind::kInput) {
+        if (!vx.inputs.empty()) {
+          out->Add(Severity::kError, RuleId::kMO002_MalformedVertex,
+                   "input vertex " + VertexLabel(graph, v) +
+                       " has argument edges",
+                   v);
+        }
+        continue;
+      }
+      if (static_cast<int>(vx.inputs.size()) != OpArity(vx.op)) {
+        out->Add(Severity::kError, RuleId::kMO002_MalformedVertex,
+                 std::string(OpKindName(vx.op)) + " vertex " +
+                     VertexLabel(graph, v) + " has " +
+                     std::to_string(vx.inputs.size()) + " arguments, expects " +
+                     std::to_string(OpArity(vx.op)),
+                 v);
+      }
+      for (size_t j = 0; j < vx.inputs.size(); ++j) {
+        int in = vx.inputs[j];
+        if (in < 0 || in >= graph.num_vertices()) {
+          out->Add(Severity::kError, RuleId::kMO032_OrderViolation,
+                   "vertex " + VertexLabel(graph, v) +
+                       " references nonexistent vertex v" + std::to_string(in),
+                   v, static_cast<int>(j));
+        } else if (in >= v) {
+          out->Add(Severity::kError, RuleId::kMO032_OrderViolation,
+                   "vertex " + VertexLabel(graph, v) + " references v" +
+                       std::to_string(in) +
+                       ": forward reference breaks the topological-order "
+                       "invariant (possible cycle)",
+                   v, static_cast<int>(j));
+        }
+      }
+    }
+
+    // Liveness: declared outputs (or, absent a declaration, the sinks)
+    // keep their ancestor cone alive.
+    std::vector<int> consumers(graph.num_vertices(), 0);
+    for (const Vertex& vx : graph.vertices()) {
+      for (int in : vx.inputs) {
+        if (in >= 0 && in < graph.num_vertices()) ++consumers[in];
+      }
+    }
+    std::vector<bool> is_output(graph.num_vertices(), false);
+    for (int v : ctx.options.outputs) {
+      if (v >= 0 && v < graph.num_vertices()) is_output[v] = true;
+    }
+    bool outputs_declared = !ctx.options.outputs.empty();
+    for (int v = 0; v < graph.num_vertices(); ++v) {
+      if (consumers[v] > 0 || is_output[v]) continue;
+      if (graph.vertex(v).op == OpKind::kInput) {
+        out->Add(Severity::kWarning, RuleId::kMO031_UnusedInput,
+                 "input matrix " + VertexLabel(graph, v) +
+                     " is never used by any computation",
+                 v);
+      } else if (outputs_declared) {
+        out->Add(Severity::kWarning, RuleId::kMO030_DeadVertex,
+                 "result of " + VertexLabel(graph, v) +
+                     " is neither consumed nor declared as an output",
+                 v);
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Pass 1: re-run the type-spec function over the whole graph and
+// cross-check it against the types stored at construction time.
+
+class TypeCheckPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "type-check"; }
+
+  void Run(const AnalysisContext& ctx, DiagnosticList* out) const override {
+    const ComputeGraph& graph = ctx.graph;
+    const auto& formats = BuiltinFormats();
+    for (int v = 0; v < graph.num_vertices(); ++v) {
+      const Vertex& vx = graph.vertex(v);
+      if (!VertexStructureOk(graph, v)) continue;  // reported by hygiene
+      if (vx.op == OpKind::kInput) {
+        if (vx.input_format < 0 ||
+            vx.input_format >= static_cast<FormatId>(formats.size())) {
+          out->Add(Severity::kError, RuleId::kMO003_SourceFormat,
+                   "input " + VertexLabel(graph, v) +
+                       " has no physical format assigned",
+                   v);
+        } else if (!FormatApplicable(formats[vx.input_format], vx.type,
+                                     ctx.cluster.single_tuple_cap_bytes,
+                                     vx.sparsity)) {
+          out->Add(Severity::kError, RuleId::kMO003_SourceFormat,
+                   "format " + FormatName(vx.input_format) +
+                       " cannot store input " + VertexLabel(graph, v) +
+                       " of type " + vx.type.ToString() +
+                       " on this cluster",
+                   v);
+        }
+        continue;
+      }
+      std::vector<MatrixType> in_types;
+      in_types.reserve(vx.inputs.size());
+      for (int in : vx.inputs) in_types.push_back(graph.vertex(in).type);
+      Result<MatrixType> inferred = InferOutputType(vx.op, in_types);
+      if (!inferred.ok()) {
+        out->Add(Severity::kError, RuleId::kMO001_TypeMismatch,
+                 "type-spec function rejects " + VertexLabel(graph, v) + ": " +
+                     inferred.status().message(),
+                 v);
+      } else if (inferred.value() != vx.type) {
+        out->Add(Severity::kError, RuleId::kMO001_TypeMismatch,
+                 "stored type of " + VertexLabel(graph, v) + " is " +
+                     vx.type.ToString() + " but re-inference yields " +
+                     inferred.value().ToString(),
+                 v);
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Pass 3: sparsity sanity. Range checks and estimator drift need no plan;
+// the dense-op/sparse-format warning inspects the annotation when present.
+
+class SparsityPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "sparsity-sanity"; }
+
+  void Run(const AnalysisContext& ctx, DiagnosticList* out) const override {
+    const ComputeGraph& graph = ctx.graph;
+    for (int v = 0; v < graph.num_vertices(); ++v) {
+      const Vertex& vx = graph.vertex(v);
+      if (!(vx.sparsity >= 0.0 && vx.sparsity <= 1.0)) {  // catches NaN too
+        out->Add(Severity::kError, RuleId::kMO020_SparsityRange,
+                 "sparsity estimate " + std::to_string(vx.sparsity) + " of " +
+                     VertexLabel(graph, v) + " is outside [0, 1]",
+                 v);
+        continue;
+      }
+      if (vx.op == OpKind::kInput || !VertexStructureOk(graph, v)) continue;
+
+      std::vector<double> in_sp;
+      std::vector<MatrixType> in_types;
+      for (int in : vx.inputs) {
+        in_sp.push_back(graph.vertex(in).sparsity);
+        in_types.push_back(graph.vertex(in).type);
+      }
+      double estimate = EstimateOpSparsity(vx.op, in_sp, in_types);
+      if (SparsityRelativeError(vx.sparsity, estimate) >
+          ctx.options.sparsity_drift_ratio) {
+        std::ostringstream msg;
+        msg << "stored sparsity " << vx.sparsity << " of "
+            << VertexLabel(graph, v) << " deviates from the propagation "
+            << "estimate " << estimate << " (op " << OpKindName(vx.op) << ")";
+        out->Add(Severity::kNote, RuleId::kMO022_SparsityDrift, msg.str(), v);
+      }
+    }
+
+    if (ctx.annotation == nullptr) return;
+    const Annotation& plan = *ctx.annotation;
+    if (static_cast<int>(plan.vertices.size()) != graph.num_vertices()) return;
+    const auto& formats = BuiltinFormats();
+    for (int v = 0; v < graph.num_vertices(); ++v) {
+      const Vertex& vx = graph.vertex(v);
+      if (vx.op != OpKind::kExp && vx.op != OpKind::kSigmoid &&
+          vx.op != OpKind::kSoftmax && vx.op != OpKind::kInverse) {
+        continue;
+      }
+      FormatId f = plan.at(v).output_format;
+      if (f >= 0 && f < static_cast<FormatId>(formats.size()) &&
+          formats[f].sparse()) {
+        out->Add(Severity::kWarning, RuleId::kMO021_DenseOpSparseOut,
+                 std::string(OpKindName(vx.op)) + " " + VertexLabel(graph, v) +
+                     " produces dense data but is annotated with sparse "
+                     "format " +
+                     FormatName(f),
+                 v);
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Pass 5: annotation completeness and cost finiteness.
+
+class CompletenessPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "plan-completeness"; }
+  bool needs_annotation() const override { return true; }
+
+  void Run(const AnalysisContext& ctx, DiagnosticList* out) const override {
+    const ComputeGraph& graph = ctx.graph;
+    const Annotation& plan = *ctx.annotation;
+    if (static_cast<int>(plan.vertices.size()) != graph.num_vertices()) {
+      out->Add(Severity::kError, RuleId::kMO040_AnnotationShape,
+               "annotation covers " + std::to_string(plan.vertices.size()) +
+                   " vertices but the graph has " +
+                   std::to_string(graph.num_vertices()));
+      return;
+    }
+    for (int v = 0; v < graph.num_vertices(); ++v) {
+      const Vertex& vx = graph.vertex(v);
+      if (vx.op == OpKind::kInput || !VertexStructureOk(graph, v)) continue;
+      const VertexAnnotation& va = plan.at(v);
+      if (va.input_edges.size() != vx.inputs.size()) {
+        out->Add(Severity::kError, RuleId::kMO040_AnnotationShape,
+                 "vertex " + VertexLabel(graph, v) + " has " +
+                     std::to_string(vx.inputs.size()) +
+                     " argument edges but the annotation lists " +
+                     std::to_string(va.input_edges.size()),
+                 v);
+        continue;
+      }
+      if (ImplOp(va.impl) != vx.op) {
+        out->Add(Severity::kError, RuleId::kMO041_WrongImpl,
+                 "vertex " + VertexLabel(graph, v) + " computes " +
+                     OpKindName(vx.op) + " but is annotated with " +
+                     ImplKindName(va.impl) + " (implements " +
+                     OpKindName(ImplOp(va.impl)) + ")",
+                 v);
+        continue;
+      }
+      if (ctx.model == nullptr) continue;
+      double cost = ctx.model->ImplCost(ctx.catalog, va.impl,
+                                        ArgsForVertex(graph, plan, v),
+                                        ctx.cluster);
+      CheckCost(graph, v, -1,
+                std::string("implementation ") + ImplKindName(va.impl), cost,
+                out);
+      for (size_t j = 0; j < vx.inputs.size(); ++j) {
+        const EdgeAnnotation& e = va.input_edges[j];
+        if (!e.transform.has_value()) continue;
+        const Vertex& child = graph.vertex(vx.inputs[j]);
+        double tcost = ctx.model->TransformCost(
+            ctx.catalog, *e.transform,
+            ArgInfo{child.type, e.pin, child.sparsity}, ctx.cluster);
+        CheckCost(graph, v, static_cast<int>(j),
+                  std::string("transformation ") +
+                      TransformKindName(*e.transform),
+                  tcost, out);
+      }
+    }
+  }
+
+ private:
+  static void CheckCost(const ComputeGraph& graph, int v, int edge_arg,
+                        const std::string& what, double cost,
+                        DiagnosticList* out) {
+    if (std::isfinite(cost) && cost >= 0.0) return;
+    std::ostringstream msg;
+    msg << "cost model yields " << cost << " for " << what << " at "
+        << VertexLabel(graph, v);
+    out->Add(Severity::kError, RuleId::kMO042_BadCost, msg.str(), v, edge_arg);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Pass 2: per-edge layout compatibility and transform legality.
+
+class LayoutCompatPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "layout-compat"; }
+  bool needs_annotation() const override { return true; }
+
+  void Run(const AnalysisContext& ctx, DiagnosticList* out) const override {
+    const ComputeGraph& graph = ctx.graph;
+    const Annotation& plan = *ctx.annotation;
+    if (static_cast<int>(plan.vertices.size()) != graph.num_vertices()) {
+      return;  // reported by plan-completeness
+    }
+    for (int v = 0; v < graph.num_vertices(); ++v) {
+      const Vertex& vx = graph.vertex(v);
+      if (!VertexStructureOk(graph, v)) continue;
+      const VertexAnnotation& va = plan.at(v);
+      if (vx.op == OpKind::kInput) {
+        if (va.output_format != vx.input_format) {
+          out->Add(Severity::kError, RuleId::kMO014_OutputFormat,
+                   "source " + VertexLabel(graph, v) + " is stored as " +
+                       FormatName(vx.input_format) +
+                       " but the plan annotates " +
+                       FormatName(va.output_format),
+                   v);
+        }
+        continue;
+      }
+      if (va.input_edges.size() != vx.inputs.size() ||
+          ImplOp(va.impl) != vx.op) {
+        continue;  // reported by plan-completeness
+      }
+      bool edges_ok = true;
+      for (size_t j = 0; j < vx.inputs.size(); ++j) {
+        const EdgeAnnotation& e = va.input_edges[j];
+        const Vertex& child = graph.vertex(vx.inputs[j]);
+        const VertexAnnotation& ca = plan.at(vx.inputs[j]);
+        if (e.pin != ca.output_format) {
+          out->Add(Severity::kError, RuleId::kMO010_EdgePinMismatch,
+                   "edge " + VertexLabel(graph, vx.inputs[j]) + " -> " +
+                       VertexLabel(graph, v) + " reads format " +
+                       FormatName(e.pin) + " but the producer emits " +
+                       FormatName(ca.output_format),
+                   v, static_cast<int>(j));
+          edges_ok = false;
+          continue;
+        }
+        if (e.transform.has_value()) {
+          ArgInfo in{child.type, e.pin, child.sparsity};
+          auto produced =
+              ctx.catalog.TransformOutputFormat(*e.transform, in, ctx.cluster);
+          if (!produced.has_value()) {
+            out->Add(Severity::kError, RuleId::kMO011_NoTransform,
+                     "transformation " +
+                         std::string(TransformKindName(*e.transform)) +
+                         " cannot apply to " + FormatName(e.pin) +
+                         " on edge " + VertexLabel(graph, vx.inputs[j]) +
+                         " -> " + VertexLabel(graph, v),
+                     v, static_cast<int>(j));
+            edges_ok = false;
+          } else if (*produced != e.pout) {
+            out->Add(Severity::kError, RuleId::kMO011_NoTransform,
+                     "transformation " +
+                         std::string(TransformKindName(*e.transform)) +
+                         " turns " + FormatName(e.pin) + " into " +
+                         FormatName(*produced) + ", not the annotated " +
+                         FormatName(e.pout) + ", on edge " +
+                         VertexLabel(graph, vx.inputs[j]) + " -> " +
+                         VertexLabel(graph, v),
+                     v, static_cast<int>(j));
+            edges_ok = false;
+          }
+        } else if (e.pin != e.pout) {
+          out->Add(Severity::kError, RuleId::kMO012_IdentityMismatch,
+                   "edge " + VertexLabel(graph, vx.inputs[j]) + " -> " +
+                       VertexLabel(graph, v) + " has no transformation but "
+                       "changes format " +
+                       FormatName(e.pin) + " -> " + FormatName(e.pout),
+                   v, static_cast<int>(j));
+          edges_ok = false;
+        }
+      }
+      if (!edges_ok) continue;
+      auto produced = ctx.catalog.ImplOutputFormat(
+          va.impl, ArgsForVertex(graph, plan, v), ctx.cluster);
+      if (!produced.has_value()) {
+        std::ostringstream msg;
+        msg << ImplKindName(va.impl) << " at " << VertexLabel(graph, v)
+            << " cannot process its input formats (⊥):";
+        for (size_t j = 0; j < vx.inputs.size(); ++j) {
+          msg << " arg" << j << "=" << FormatName(va.input_edges[j].pout);
+        }
+        out->Add(Severity::kError, RuleId::kMO013_ImplRejectsInputs, msg.str(),
+                 v);
+      } else if (*produced != va.output_format) {
+        out->Add(Severity::kError, RuleId::kMO014_OutputFormat,
+                 "vertex " + VertexLabel(graph, v) + " annotates output " +
+                     FormatName(va.output_format) + " but " +
+                     ImplKindName(va.impl) + " produces " +
+                     FormatName(*produced),
+                 v);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AnalysisPass> MakeGraphHygienePass() {
+  return std::make_unique<GraphHygienePass>();
+}
+std::unique_ptr<AnalysisPass> MakeTypeCheckPass() {
+  return std::make_unique<TypeCheckPass>();
+}
+std::unique_ptr<AnalysisPass> MakeSparsityPass() {
+  return std::make_unique<SparsityPass>();
+}
+std::unique_ptr<AnalysisPass> MakeCompletenessPass() {
+  return std::make_unique<CompletenessPass>();
+}
+std::unique_ptr<AnalysisPass> MakeLayoutCompatPass() {
+  return std::make_unique<LayoutCompatPass>();
+}
+
+DiagnosticList AnalysisPipeline::Run(const AnalysisContext& ctx) const {
+  DiagnosticList out;
+  for (const auto& pass : passes_) {
+    if (pass->needs_annotation() && ctx.annotation == nullptr) continue;
+    pass->Run(ctx, &out);
+    // Structural breakage invalidates what later passes assume; stop the
+    // pipeline rather than cascade spurious findings.
+    if (out.CountRule(RuleId::kMO002_MalformedVertex) > 0 ||
+        out.CountRule(RuleId::kMO032_OrderViolation) > 0 ||
+        out.CountRule(RuleId::kMO040_AnnotationShape) > 0) {
+      break;
+    }
+  }
+  // Anchor findings to .mla source positions when the parser recorded
+  // them on the vertices.
+  for (Diagnostic& d : out.mutable_diagnostics()) {
+    if (d.vertex < 0 || d.vertex >= ctx.graph.num_vertices()) continue;
+    if (d.line > 0) continue;
+    const Vertex& vx = ctx.graph.vertex(d.vertex);
+    d.line = vx.src_line;
+    d.column = vx.src_column;
+  }
+  return out;
+}
+
+AnalysisPipeline DefaultPipeline(bool with_optimality_check) {
+  AnalysisPipeline pipeline;
+  pipeline.AddPass(MakeGraphHygienePass());
+  pipeline.AddPass(MakeTypeCheckPass());
+  pipeline.AddPass(MakeSparsityPass());
+  pipeline.AddPass(MakeCompletenessPass());
+  pipeline.AddPass(MakeLayoutCompatPass());
+  if (with_optimality_check) pipeline.AddPass(MakeOptimalityCheckPass());
+  return pipeline;
+}
+
+}  // namespace matopt

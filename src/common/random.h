@@ -18,8 +18,10 @@ class Rng {
   /// Uniform double in [0, 1).
   double Uniform() { return uniform_(gen_); }
 
-  /// Uniform integer in [0, n).
+  /// Uniform integer in [0, n). n < 1 yields 0 (a distribution over
+  /// [0, n-1] with n < 1 would be undefined behavior).
   int64_t UniformInt(int64_t n) {
+    if (n <= 1) return 0;
     return std::uniform_int_distribution<int64_t>(0, n - 1)(gen_);
   }
 

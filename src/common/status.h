@@ -20,7 +20,9 @@ enum class StatusCode {
 };
 
 /// A success-or-error outcome. Cheap to copy on the success path.
-class Status {
+/// [[nodiscard]]: silently dropping a Status hides failures — callers must
+/// check, propagate, or explicitly ignore with a cast to void.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -80,7 +82,7 @@ class Status {
 /// Either a value of type T or an error Status. `value()` must only be
 /// called when `ok()` is true.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : repr_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : repr_(std::move(status)) {}  // NOLINT

@@ -75,9 +75,9 @@ Result<MatrixType> InferOutputType(OpKind op,
     case OpKind::kReluGrad:
       return same_shape();
     case OpKind::kScalarMul:
-    case OpKind::kTranspose:
-      if (op == OpKind::kTranspose) return MatrixType(in[0].cols(), in[0].rows());
       return in[0];
+    case OpKind::kTranspose:
+      return MatrixType(in[0].cols(), in[0].rows());
     case OpKind::kRelu:
     case OpKind::kSoftmax:
     case OpKind::kSigmoid:
@@ -205,7 +205,11 @@ std::string ComputeGraph::ToString() const {
       for (int in : v.inputs) out << " v" << in;
     }
     if (v.op == OpKind::kInput) {
-      out << " format=" << BuiltinFormats()[v.input_format].ToString();
+      const auto& formats = BuiltinFormats();
+      bool known = v.input_format >= 0 &&
+                   v.input_format < static_cast<FormatId>(formats.size());
+      out << " format="
+          << (known ? formats[v.input_format].ToString() : "<none>");
     }
     out << "\n";
   }

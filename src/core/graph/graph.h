@@ -58,6 +58,10 @@ struct Vertex {
   double sparsity = 1.0;              // estimated non-zero fraction
   double scalar = 0.0;                // attribute for kScalarMul
   std::string name;
+  /// 1-based .mla source position when the vertex came from the parser
+  /// (0 = built programmatically). Analysis diagnostics anchor here.
+  int src_line = 0;
+  int src_column = 0;
 };
 
 /// A compute graph (Section 4.1): a DAG whose sources are input matrices

@@ -18,62 +18,98 @@ std::vector<ArgInfo> ArgsForVertex(const ComputeGraph& graph,
   return args;
 }
 
+namespace {
+
+/// "'W2n' (v14)" for named vertices, "v14" otherwise: validation errors
+/// must be actionable from CLI output, where raw vertex ids mean little.
+std::string VertexLabel(const ComputeGraph& graph, int v) {
+  const Vertex& vx = graph.vertex(v);
+  if (vx.name.empty()) return "v" + std::to_string(v);
+  return "'" + vx.name + "' (v" + std::to_string(v) + ")";
+}
+
+std::string FormatLabel(FormatId id) {
+  const auto& formats = BuiltinFormats();
+  if (id < 0 || id >= static_cast<FormatId>(formats.size())) {
+    return "<invalid format " + std::to_string(id) + ">";
+  }
+  return formats[id].ToString();
+}
+
+}  // namespace
+
 Status ValidateAnnotation(const ComputeGraph& graph,
                           const Annotation& annotation, const Catalog& catalog,
                           const ClusterConfig& cluster) {
   if (static_cast<int>(annotation.vertices.size()) != graph.num_vertices()) {
-    return Status::InvalidArgument("annotation size mismatch");
+    return Status::InvalidArgument(
+        "annotation covers " + std::to_string(annotation.vertices.size()) +
+        " vertices but the graph has " + std::to_string(graph.num_vertices()));
   }
   for (int v = 0; v < graph.num_vertices(); ++v) {
     const Vertex& vx = graph.vertex(v);
     const VertexAnnotation& va = annotation.at(v);
     if (vx.op == OpKind::kInput) {
       if (va.output_format != vx.input_format) {
-        return Status::TypeError("source vertex format altered: v" +
-                                 std::to_string(v));
+        return Status::TypeError(
+            "source " + VertexLabel(graph, v) + " is stored as " +
+            FormatLabel(vx.input_format) + " but the plan annotates " +
+            FormatLabel(va.output_format));
       }
       continue;
     }
     if (ImplOp(va.impl) != vx.op) {
-      return Status::TypeError(
-          std::string("v") + std::to_string(v) + ": implementation " +
-          ImplKindName(va.impl) + " does not implement " + OpKindName(vx.op));
+      return Status::TypeError(VertexLabel(graph, v) + ": implementation " +
+                               ImplKindName(va.impl) +
+                               " does not implement " + OpKindName(vx.op));
     }
     if (va.input_edges.size() != vx.inputs.size()) {
-      return Status::InvalidArgument("edge annotation arity mismatch at v" +
-                                     std::to_string(v));
+      return Status::InvalidArgument(
+          VertexLabel(graph, v) + " has " + std::to_string(vx.inputs.size()) +
+          " argument edges but the annotation lists " +
+          std::to_string(va.input_edges.size()));
     }
     for (size_t j = 0; j < vx.inputs.size(); ++j) {
       const EdgeAnnotation& e = va.input_edges[j];
       const Vertex& child = graph.vertex(vx.inputs[j]);
       const VertexAnnotation& ca = annotation.at(vx.inputs[j]);
       if (e.pin != ca.output_format) {
-        return Status::TypeError("edge pin does not match producer format at v" +
-                                 std::to_string(v));
+        return Status::TypeError(
+            "edge " + VertexLabel(graph, vx.inputs[j]) + " -> " +
+            VertexLabel(graph, v) + " reads format " + FormatLabel(e.pin) +
+            " but the producer emits " + FormatLabel(ca.output_format));
       }
       if (e.transform.has_value()) {
         ArgInfo in{child.type, e.pin, child.sparsity};
         auto out = catalog.TransformOutputFormat(*e.transform, in, cluster);
         if (!out.has_value() || *out != e.pout) {
-          return Status::TypeError("infeasible transformation on edge into v" +
-                                   std::to_string(v));
+          return Status::TypeError(
+              std::string("transformation ") + TransformKindName(*e.transform) +
+              " cannot turn " + FormatLabel(e.pin) + " into " +
+              FormatLabel(e.pout) + " on edge " +
+              VertexLabel(graph, vx.inputs[j]) + " -> " +
+              VertexLabel(graph, v));
         }
       } else if (e.pin != e.pout) {
         return Status::TypeError(
-            "identity edge with differing formats into v" + std::to_string(v));
+            "edge " + VertexLabel(graph, vx.inputs[j]) + " -> " +
+            VertexLabel(graph, v) + " has no transformation but changes "
+            "format " + FormatLabel(e.pin) + " -> " + FormatLabel(e.pout));
       }
     }
     auto out = catalog.ImplOutputFormat(va.impl,
                                         ArgsForVertex(graph, annotation, v),
                                         cluster);
     if (!out.has_value()) {
-      return Status::TypeError(std::string("v") + std::to_string(v) + " (" +
+      return Status::TypeError(VertexLabel(graph, v) + " (" +
                                ImplKindName(va.impl) +
                                ") cannot process its input formats (⊥)");
     }
     if (*out != va.output_format) {
-      return Status::TypeError("annotated output format disagrees with i.f at v" +
-                               std::to_string(v));
+      return Status::TypeError(
+          VertexLabel(graph, v) + " annotates output " +
+          FormatLabel(va.output_format) + " but " + ImplKindName(va.impl) +
+          " produces " + FormatLabel(*out));
     }
   }
   return Status::OK();

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "analysis/analyze.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/opt/enumerate.h"
@@ -143,7 +144,7 @@ Result<PlanResult> BruteForceOptimize(const ComputeGraph& graph,
                                       const CostModel& model,
                                       const ClusterConfig& cluster,
                                       const OptimizerOptions& options) {
-  SearchShared sh{graph, catalog, model, cluster, options};
+  SearchShared sh{graph, catalog, model, cluster, options, {}, {}, {}};
   Annotation init;
   init.vertices.resize(graph.num_vertices());
   for (int v = 0; v < graph.num_vertices(); ++v) {
@@ -222,6 +223,8 @@ Result<PlanResult> BruteForceOptimize(const ComputeGraph& graph,
   result.cost = best_cost;
   result.opt_seconds = sh.watch.ElapsedSeconds();
   result.states_explored = states;
+  MATOPT_RETURN_IF_ERROR(
+      VerifySearchResult(graph, result.annotation, catalog, model, cluster));
   return result;
 }
 

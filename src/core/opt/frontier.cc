@@ -8,6 +8,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "analysis/analyze.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/opt/enumerate.h"
@@ -590,6 +591,8 @@ Result<PlanResult> FrontierOptimize(const ComputeGraph& graph,
   result.opt_seconds = watch.ElapsedSeconds();
   result.states_explored = states;
   result.beam_pruned = beam_pruned;
+  MATOPT_RETURN_IF_ERROR(
+      VerifySearchResult(graph, result.annotation, catalog, model, cluster));
   return result;
 }
 

@@ -1,6 +1,7 @@
 #include <cmath>
 #include <limits>
 
+#include "analysis/analyze.h"
 #include "common/stopwatch.h"
 #include "core/opt/enumerate.h"
 #include "core/opt/optimizer.h"
@@ -142,6 +143,8 @@ Result<PlanResult> TreeDpOptimize(const ComputeGraph& graph,
   result.cost = total;
   result.opt_seconds = watch.ElapsedSeconds();
   result.states_explored = states;
+  MATOPT_RETURN_IF_ERROR(
+      VerifySearchResult(graph, result.annotation, catalog, model, cluster));
   return result;
 }
 

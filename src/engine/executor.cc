@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/analyze.h"
 #include "common/thread_pool.h"
 #include "engine/operators.h"
 #include "la/kernels.h"
@@ -906,8 +907,19 @@ Result<Relation> ExecuteImpl(const Catalog& catalog, ImplKind kind,
 Result<ExecResult> PlanExecutor::Execute(
     const ComputeGraph& graph, const Annotation& annotation,
     std::unordered_map<int, Relation> inputs) const {
-  MATOPT_RETURN_IF_ERROR(
-      ValidateAnnotation(graph, annotation, catalog_, cluster_));
+  // Pre-flight: the full plan-analysis pipeline replaces the old bare
+  // ValidateAnnotation call. Every error finding aborts execution with a
+  // rule-tagged message; warnings and notes are tolerated here (callers
+  // wanting them run AnalyzePlan themselves).
+  {
+    DiagnosticList diagnostics =
+        AnalyzePlan(graph, annotation, catalog_, /*model=*/nullptr, cluster_);
+    if (diagnostics.HasErrors()) {
+      Status first = diagnostics.ToStatus();
+      return Status(first.code(),
+                    "plan rejected before execution: " + first.message());
+    }
+  }
   ExecResult result;
   std::unordered_map<int, Relation> live;
 

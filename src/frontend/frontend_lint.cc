@@ -1,0 +1,21 @@
+#include "frontend/frontend_lint.h"
+
+namespace matopt {
+
+Result<ParsedProgram> ParseProgramChecked(const std::string& source,
+                                          const Catalog& catalog,
+                                          const ClusterConfig& cluster,
+                                          DiagnosticList* diagnostics,
+                                          const AnalysisOptions& options) {
+  MATOPT_ASSIGN_OR_RETURN(ParsedProgram program, ParseProgram(source));
+  AnalysisOptions with_outputs = options;
+  with_outputs.outputs = program.outputs;
+  DiagnosticList found =
+      AnalyzeGraph(program.graph, catalog, cluster, with_outputs);
+  Status status = found.ToStatus();
+  if (diagnostics != nullptr) *diagnostics = std::move(found);
+  MATOPT_RETURN_IF_ERROR(status);
+  return program;
+}
+
+}  // namespace matopt

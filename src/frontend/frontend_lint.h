@@ -1,0 +1,26 @@
+#ifndef MATOPT_FRONTEND_FRONTEND_LINT_H_
+#define MATOPT_FRONTEND_FRONTEND_LINT_H_
+
+#include <string>
+
+#include "analysis/analyze.h"
+#include "frontend/parser.h"
+
+namespace matopt {
+
+/// Parses a .mla program and immediately runs the graph analysis pipeline
+/// over the result — the "after parsing" wiring of the analysis subsystem.
+/// Parse errors come back as a Status (with line/column in the message);
+/// analysis findings land in `diagnostics` (anchored to source positions),
+/// and any error-severity finding also fails the returned Result.
+///
+/// `diagnostics` may be null when the caller only wants pass/fail.
+Result<ParsedProgram> ParseProgramChecked(const std::string& source,
+                                          const Catalog& catalog,
+                                          const ClusterConfig& cluster,
+                                          DiagnosticList* diagnostics = nullptr,
+                                          const AnalysisOptions& options = {});
+
+}  // namespace matopt
+
+#endif  // MATOPT_FRONTEND_FRONTEND_LINT_H_

@@ -175,6 +175,7 @@ class Parser {
   // ------------------------------------------------------------ statements
   Status ParseInput() {
     ++pos_;  // "input"
+    Token name_token = Here();
     MATOPT_ASSIGN_OR_RETURN(std::string name, ExpectIdent("matrix name"));
     MATOPT_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "["));
     MATOPT_ASSIGN_OR_RETURN(double rows, ExpectNumber("row count"));
@@ -211,8 +212,10 @@ class Parser {
     if (program_.names.count(name) > 0) {
       return Err("'" + name + "' is already defined");
     }
-    program_.names[name] =
-        program_.graph.AddInput(type, id, name, sparsity);
+    int vertex = program_.graph.AddInput(type, id, name, sparsity);
+    program_.graph.vertex(vertex).src_line = name_token.line;
+    program_.graph.vertex(vertex).src_column = name_token.column;
+    program_.names[name] = vertex;
     return Status::OK();
   }
 
@@ -255,9 +258,10 @@ class Parser {
       OpKind op = At(TokenKind::kPlus) ? OpKind::kAdd
                   : At(TokenKind::kMinus) ? OpKind::kSub
                                           : OpKind::kBroadcastRowAdd;
+      Token op_token = Here();
       ++pos_;
       MATOPT_ASSIGN_OR_RETURN(int rhs, ParseMul());
-      MATOPT_ASSIGN_OR_RETURN(lhs, AddOp(op, {lhs, rhs}));
+      MATOPT_ASSIGN_OR_RETURN(lhs, AddOp(op, {lhs, rhs}, op_token));
     }
     return lhs;
   }
@@ -269,26 +273,29 @@ class Parser {
       OpKind op = At(TokenKind::kStar) ? OpKind::kMatMul
                   : At(TokenKind::kDotStar) ? OpKind::kHadamard
                                             : OpKind::kElemDiv;
+      Token op_token = Here();
       ++pos_;
       MATOPT_ASSIGN_OR_RETURN(int rhs, ParseUnary());
-      MATOPT_ASSIGN_OR_RETURN(lhs, AddOp(op, {lhs, rhs}));
+      MATOPT_ASSIGN_OR_RETURN(lhs, AddOp(op, {lhs, rhs}, op_token));
     }
     return lhs;
   }
 
   Result<int> ParseUnary() {
     if (At(TokenKind::kMinus)) {
+      Token op_token = Here();
       ++pos_;
       MATOPT_ASSIGN_OR_RETURN(int value, ParseUnary());
-      return AddOp(OpKind::kScalarMul, {value}, -1.0);
+      return AddOp(OpKind::kScalarMul, {value}, op_token, -1.0);
     }
     if (At(TokenKind::kNumber)) {
       // literal * expr  =>  scalar multiply
+      Token op_token = Here();
       double scalar = tokens_[pos_].number;
       ++pos_;
       MATOPT_RETURN_IF_ERROR(Expect(TokenKind::kStar, "* after a literal"));
       MATOPT_ASSIGN_OR_RETURN(int value, ParseUnary());
-      return AddOp(OpKind::kScalarMul, {value}, scalar);
+      return AddOp(OpKind::kScalarMul, {value}, op_token, scalar);
     }
     return ParsePostfix();
   }
@@ -296,8 +303,10 @@ class Parser {
   Result<int> ParsePostfix() {
     MATOPT_ASSIGN_OR_RETURN(int value, ParsePrimary());
     while (At(TokenKind::kQuote)) {
+      Token op_token = Here();
       ++pos_;
-      MATOPT_ASSIGN_OR_RETURN(value, AddOp(OpKind::kTranspose, {value}));
+      MATOPT_ASSIGN_OR_RETURN(value,
+                              AddOp(OpKind::kTranspose, {value}, op_token));
     }
     return value;
   }
@@ -309,6 +318,7 @@ class Parser {
       MATOPT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
       return value;
     }
+    Token name_token = Here();
     MATOPT_ASSIGN_OR_RETURN(std::string name, ExpectIdent("expression"));
     // Function call?
     if (At(TokenKind::kLParen)) {
@@ -332,7 +342,7 @@ class Parser {
         }
       }
       MATOPT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
-      return ApplyFunction(name, args, literals);
+      return ApplyFunction(name, name_token, args, literals);
     }
     auto it = program_.names.find(name);
     if (it == program_.names.end()) {
@@ -341,7 +351,7 @@ class Parser {
     return it->second;
   }
 
-  Result<int> ApplyFunction(const std::string& name,
+  Result<int> ApplyFunction(const std::string& name, const Token& where,
                             const std::vector<int>& args,
                             const std::vector<double>& literals) {
     struct Unary {
@@ -359,30 +369,36 @@ class Parser {
         if (args.size() != 1 || !literals.empty()) {
           return Err(name + "() takes exactly one matrix argument");
         }
-        return AddOp(u.op, args);
+        return AddOp(u.op, args, where);
       }
     }
     if (name == "relu_grad") {
       if (args.size() != 2 || !literals.empty()) {
         return Err("relu_grad() takes (pre_activation, upstream)");
       }
-      return AddOp(OpKind::kReluGrad, args);
+      return AddOp(OpKind::kReluGrad, args, where);
     }
     if (name == "scale") {
       if (args.size() != 1 || literals.size() != 1) {
         return Err("scale() takes (matrix, literal)");
       }
-      return AddOp(OpKind::kScalarMul, args, literals[0]);
+      return AddOp(OpKind::kScalarMul, args, where, literals[0]);
     }
     return Err("unknown function '" + name + "'");
   }
 
-  Result<int> AddOp(OpKind op, std::vector<int> args, double scalar = 0.0) {
+  Result<int> AddOp(OpKind op, std::vector<int> args, const Token& where,
+                    double scalar = 0.0) {
     Result<int> v = program_.graph.AddOp(op, std::move(args), "", scalar);
     if (!v.ok()) {
-      return Status::InvalidArgument(v.status().message() + " (near line " +
-                                     std::to_string(Here().line) + ")");
+      return Status::InvalidArgument(v.status().message() + " at line " +
+                                     std::to_string(where.line) +
+                                     ", column " +
+                                     std::to_string(where.column));
     }
+    Vertex& vx = program_.graph.vertex(v.value());
+    vx.src_line = where.line;
+    vx.src_column = where.column;
     return v;
   }
 

@@ -1,0 +1,699 @@
+// Tests for the plan-analysis subsystem (DESIGN.md §9): the diagnostic
+// catalog, one positive and one negative case per rule, the pipeline's
+// structural gating and source anchoring, the parser error paths, the
+// ValidateAnnotation failure branches, the executor pre-flight, and the
+// debug-mode DP-vs-brute-force optimality cross-check on the paper's
+// matmul-chain, block-inverse, and FFNN workloads.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <string>
+
+#include "analysis/analyze.h"
+#include "core/cost/cost_model.h"
+#include "core/opt/annotation.h"
+#include "core/opt/optimizer.h"
+#include "engine/executor.h"
+#include "frontend/frontend_lint.h"
+#include "ml/workloads.h"
+
+namespace matopt {
+namespace {
+
+FormatId Find(const Format& f) {
+  const auto& all = BuiltinFormats();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == f) return static_cast<FormatId>(i);
+  }
+  return kNoFormat;
+}
+
+FormatId RowStrips1000() { return Find({Layout::kRowStrips, 1000, 0}); }
+FormatId ColStrips1000() { return Find({Layout::kColStrips, 1000, 0}); }
+FormatId Tiles1000() { return Find({Layout::kTiles, 1000, 1000}); }
+FormatId Single() { return Find({Layout::kSingleTuple, 0, 0}); }
+FormatId SparseCsr() { return Find({Layout::kSpSingleCsr, 0, 0}); }
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+  ClusterConfig cluster_ = SimSqlProfile(10);
+  CostModel model_ = CostModel::Analytic(SimSqlProfile(10));
+
+  /// A X B, then sigmoid — 2 op vertices, 1 output.
+  struct Small {
+    ComputeGraph graph;
+    int a, b, mm, sg;
+  };
+  Small SmallGraph() {
+    Small s;
+    s.a = s.graph.AddInput(MatrixType(2000, 3000), RowStrips1000(), "A");
+    s.b = s.graph.AddInput(MatrixType(3000, 2000), ColStrips1000(), "B");
+    s.mm = s.graph.AddOp(OpKind::kMatMul, {s.a, s.b}, "AB").value();
+    s.sg = s.graph.AddOp(OpKind::kSigmoid, {s.mm}, "S").value();
+    return s;
+  }
+
+  PlanResult PlanFor(const ComputeGraph& g) {
+    auto plan = Optimize(g, catalog_, model_, cluster_);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.value();
+  }
+
+  AnalysisOptions OutputsOf(std::initializer_list<int> outputs) {
+    AnalysisOptions options;
+    options.outputs = outputs;
+    return options;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Diagnostic primitives.
+
+TEST_F(AnalysisTest, RuleCatalogIsCompleteAndStable) {
+  std::vector<RuleId> rules = AllRuleIds();
+  EXPECT_EQ(rules.size(), 19u);
+  std::set<std::string> names;
+  for (RuleId rule : rules) {
+    std::string name = RuleIdName(rule);
+    EXPECT_EQ(name.substr(0, 2), "MO") << name;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate rule id " << name;
+    EXPECT_FALSE(std::string(RuleIdDescription(rule)).empty()) << name;
+  }
+  // Shipped spellings are append-only contracts; pin a few.
+  EXPECT_STREQ(RuleIdName(RuleId::kMO001_TypeMismatch), "MO001");
+  EXPECT_STREQ(RuleIdName(RuleId::kMO032_OrderViolation), "MO032");
+  EXPECT_STREQ(RuleIdName(RuleId::kMO050_NotOptimal), "MO050");
+}
+
+TEST_F(AnalysisTest, RenderDiagnosticShowsSnippetAndCaret) {
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.rule = RuleId::kMO001_TypeMismatch;
+  d.message = "types disagree";
+  d.line = 2;
+  d.column = 5;
+  std::string source = "input A[10, 10];\nX = A * A;\n";
+  std::string rendered = RenderDiagnostic(d, "prog.mla", source);
+  EXPECT_NE(rendered.find("error[MO001]: types disagree"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("prog.mla:2:5"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("X = A * A;"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("^"), std::string::npos) << rendered;
+}
+
+TEST_F(AnalysisTest, RenderDiagnosticWithoutPositionOmitsSnippet) {
+  Diagnostic d;
+  d.severity = Severity::kWarning;
+  d.rule = RuleId::kMO030_DeadVertex;
+  d.message = "dead";
+  std::string rendered = RenderDiagnostic(d, "prog.mla", "X = 1;\n");
+  EXPECT_NE(rendered.find("warning[MO030]: dead"), std::string::npos);
+  // No position: the file is still named, but no line/column or snippet.
+  EXPECT_NE(rendered.find("--> prog.mla\n"), std::string::npos) << rendered;
+  EXPECT_EQ(rendered.find("prog.mla:"), std::string::npos) << rendered;
+  EXPECT_EQ(rendered.find("X = 1;"), std::string::npos) << rendered;
+}
+
+TEST_F(AnalysisTest, ToStatusFailsOnlyOnErrors) {
+  DiagnosticList list;
+  EXPECT_TRUE(list.ToStatus().ok());
+  list.Add(Severity::kWarning, RuleId::kMO031_UnusedInput, "unused");
+  list.Add(Severity::kNote, RuleId::kMO022_SparsityDrift, "drift");
+  EXPECT_TRUE(list.ToStatus().ok());
+  EXPECT_FALSE(list.HasErrors());
+  list.Add(Severity::kError, RuleId::kMO010_EdgePinMismatch, "pins");
+  EXPECT_TRUE(list.HasErrors());
+  Status status = list.ToStatus();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("MO010"), std::string::npos);
+  EXPECT_NE(status.message().find("pins"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Graph-only rules: negative (clean) case first, then one positive case
+// per rule.
+
+TEST_F(AnalysisTest, CleanGraphProducesNoFindings) {
+  Small s = SmallGraph();
+  DiagnosticList list =
+      AnalyzeGraph(s.graph, catalog_, cluster_, OutputsOf({s.sg}));
+  EXPECT_TRUE(list.empty()) << list.ToString();
+}
+
+TEST_F(AnalysisTest, MO001FiresOnCorruptedStoredType) {
+  Small s = SmallGraph();
+  s.graph.vertex(s.mm).type = MatrixType(7, 7);
+  DiagnosticList list = AnalyzeGraph(s.graph, catalog_, cluster_);
+  EXPECT_GE(list.CountRule(RuleId::kMO001_TypeMismatch), 1) << list.ToString();
+  EXPECT_TRUE(list.HasErrors());
+}
+
+TEST_F(AnalysisTest, MO001FiresWhenTypeSpecRejects) {
+  // Shrinking A's type makes the matmul inner dimensions disagree, so the
+  // re-run of the type-spec function returns the paper's ⊥.
+  Small s = SmallGraph();
+  s.graph.vertex(s.a).type = MatrixType(2000, 5);
+  DiagnosticList list = AnalyzeGraph(s.graph, catalog_, cluster_);
+  EXPECT_GE(list.CountRule(RuleId::kMO001_TypeMismatch), 1) << list.ToString();
+}
+
+TEST_F(AnalysisTest, MO002FiresOnWrongArityAndGatesPipeline) {
+  Small s = SmallGraph();
+  s.graph.vertex(s.sg).inputs.push_back(s.a);  // sigmoid now binary
+  s.graph.vertex(s.mm).type = MatrixType(9, 9);  // would be MO001
+  DiagnosticList list = AnalyzeGraph(s.graph, catalog_, cluster_);
+  EXPECT_GE(list.CountRule(RuleId::kMO002_MalformedVertex), 1)
+      << list.ToString();
+  // Structural errors stop the pipeline: the type pass never ran.
+  EXPECT_EQ(list.CountRule(RuleId::kMO001_TypeMismatch), 0) << list.ToString();
+}
+
+TEST_F(AnalysisTest, MO003FiresOnMissingSourceFormat) {
+  Small s = SmallGraph();
+  s.graph.vertex(s.a).input_format = kNoFormat;
+  DiagnosticList list = AnalyzeGraph(s.graph, catalog_, cluster_);
+  EXPECT_GE(list.CountRule(RuleId::kMO003_SourceFormat), 1) << list.ToString();
+}
+
+TEST_F(AnalysisTest, MO020FiresOnOutOfRangeAndNanSparsity) {
+  Small s = SmallGraph();
+  s.graph.vertex(s.a).sparsity = 1.5;
+  s.graph.vertex(s.b).sparsity = std::numeric_limits<double>::quiet_NaN();
+  DiagnosticList list = AnalyzeGraph(s.graph, catalog_, cluster_);
+  EXPECT_EQ(list.CountRule(RuleId::kMO020_SparsityRange), 2)
+      << list.ToString();
+}
+
+TEST_F(AnalysisTest, MO022NotesSparsityDriftWithoutFailing) {
+  Small s = SmallGraph();
+  s.graph.vertex(s.mm).sparsity = 1e-6;  // estimator propagates ~1.0
+  DiagnosticList list = AnalyzeGraph(s.graph, catalog_, cluster_);
+  EXPECT_GE(list.CountRule(RuleId::kMO022_SparsityDrift), 1)
+      << list.ToString();
+  EXPECT_FALSE(list.HasErrors()) << list.ToString();
+}
+
+TEST_F(AnalysisTest, MO030And031FlagDeadVertexAndUnusedInput) {
+  Small s = SmallGraph();
+  int unused =
+      s.graph.AddInput(MatrixType(100, 100), Single(), "Unused");
+  int dead = s.graph.AddOp(OpKind::kTranspose, {s.a}, "Dead").value();
+  DiagnosticList list =
+      AnalyzeGraph(s.graph, catalog_, cluster_, OutputsOf({s.sg}));
+  EXPECT_EQ(list.CountRule(RuleId::kMO031_UnusedInput), 1) << list.ToString();
+  EXPECT_EQ(list.CountRule(RuleId::kMO030_DeadVertex), 1) << list.ToString();
+  EXPECT_FALSE(list.HasErrors());
+  // The findings anchor to the offending vertices.
+  for (const Diagnostic& d : list.diagnostics()) {
+    if (d.rule == RuleId::kMO031_UnusedInput) {
+      EXPECT_EQ(d.vertex, unused);
+    }
+    if (d.rule == RuleId::kMO030_DeadVertex) {
+      EXPECT_EQ(d.vertex, dead);
+    }
+  }
+}
+
+TEST_F(AnalysisTest, MO030NeedsDeclaredOutputs) {
+  // Without a declared output list every sink is presumed an output.
+  Small s = SmallGraph();
+  s.graph.AddOp(OpKind::kTranspose, {s.a}, "Sink2").value();
+  DiagnosticList list = AnalyzeGraph(s.graph, catalog_, cluster_);
+  EXPECT_EQ(list.CountRule(RuleId::kMO030_DeadVertex), 0) << list.ToString();
+}
+
+TEST_F(AnalysisTest, MO032FiresOnSelfAndOutOfRangeReferences) {
+  Small s = SmallGraph();
+  s.graph.vertex(s.mm).inputs[0] = s.mm;  // self-loop
+  s.graph.vertex(s.sg).inputs[0] = 99;    // nonexistent
+  DiagnosticList list = AnalyzeGraph(s.graph, catalog_, cluster_);
+  EXPECT_EQ(list.CountRule(RuleId::kMO032_OrderViolation), 2)
+      << list.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Plan rules, via corruptions of an optimizer-produced plan.
+
+TEST_F(AnalysisTest, CleanPlanProducesNoFindings) {
+  Small s = SmallGraph();
+  PlanResult plan = PlanFor(s.graph);
+  DiagnosticList list =
+      AnalyzePlan(s.graph, plan.annotation, catalog_, &model_, cluster_,
+                  OutputsOf({s.sg}));
+  EXPECT_TRUE(list.empty()) << list.ToString();
+}
+
+TEST_F(AnalysisTest, MO040FiresOnWrongAnnotationShapeAndGates) {
+  Small s = SmallGraph();
+  PlanResult plan = PlanFor(s.graph);
+  Annotation bad = plan.annotation;
+  bad.vertices.pop_back();
+  DiagnosticList list =
+      AnalyzePlan(s.graph, bad, catalog_, &model_, cluster_);
+  EXPECT_EQ(list.CountRule(RuleId::kMO040_AnnotationShape), 1)
+      << list.ToString();
+  // The shape error gates the per-edge passes: nothing else cascades.
+  EXPECT_EQ(list.CountSeverity(Severity::kError), 1) << list.ToString();
+}
+
+TEST_F(AnalysisTest, MO041FiresOnImplForDifferentOp) {
+  Small s = SmallGraph();
+  PlanResult plan = PlanFor(s.graph);
+  Annotation bad = plan.annotation;
+  bad.at(s.mm).impl = ImplKind::kReluMap;  // matmul vertex, relu impl
+  DiagnosticList list =
+      AnalyzePlan(s.graph, bad, catalog_, &model_, cluster_);
+  EXPECT_GE(list.CountRule(RuleId::kMO041_WrongImpl), 1) << list.ToString();
+}
+
+TEST_F(AnalysisTest, MO010FiresOnEdgePinMismatch) {
+  Small s = SmallGraph();
+  PlanResult plan = PlanFor(s.graph);
+  Annotation bad = plan.annotation;
+  EdgeAnnotation& edge = bad.at(s.sg).input_edges[0];
+  edge.pin = edge.pin == Tiles1000() ? RowStrips1000() : Tiles1000();
+  DiagnosticList list =
+      AnalyzePlan(s.graph, bad, catalog_, &model_, cluster_);
+  EXPECT_GE(list.CountRule(RuleId::kMO010_EdgePinMismatch), 1)
+      << list.ToString();
+}
+
+TEST_F(AnalysisTest, MO011FiresOnIllegalTransform) {
+  Small s = SmallGraph();
+  PlanResult plan = PlanFor(s.graph);
+  Annotation bad = plan.annotation;
+  // Claim the edge runs a chunking into 10K x 10K tiles: on a 2000 x 2000
+  // argument the transform either cannot apply or produces a format other
+  // than the annotated pout.
+  EdgeAnnotation& edge = bad.at(s.sg).input_edges[0];
+  edge.transform = TransformKind::kToDense9;
+  DiagnosticList list =
+      AnalyzePlan(s.graph, bad, catalog_, &model_, cluster_);
+  EXPECT_GE(list.CountRule(RuleId::kMO011_NoTransform), 1) << list.ToString();
+}
+
+TEST_F(AnalysisTest, MO012FiresOnIdentityEdgeChangingFormat) {
+  Small s = SmallGraph();
+  PlanResult plan = PlanFor(s.graph);
+  Annotation bad = plan.annotation;
+  EdgeAnnotation& edge = bad.at(s.sg).input_edges[0];
+  edge.transform.reset();
+  edge.pout = edge.pin == Tiles1000() ? RowStrips1000() : Tiles1000();
+  DiagnosticList list =
+      AnalyzePlan(s.graph, bad, catalog_, &model_, cluster_);
+  EXPECT_GE(list.CountRule(RuleId::kMO012_IdentityMismatch), 1)
+      << list.ToString();
+}
+
+TEST_F(AnalysisTest, MO013FiresWhenImplRejectsItsInputs) {
+  // Hand-built plan: a transpose implemented by the row-strips kernel fed
+  // a single-tuple argument — i.f(args) is the paper's ⊥.
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(100, 100), Single(), "A");
+  int t = g.AddOp(OpKind::kTranspose, {a}, "T").value();
+  Annotation plan;
+  plan.vertices.resize(2);
+  plan.at(a).output_format = Single();
+  plan.at(t).impl = ImplKind::kTransposeRowToCol;
+  plan.at(t).output_format = ColStrips1000();
+  plan.at(t).input_edges = {{Single(), std::nullopt, Single()}};
+  DiagnosticList list = AnalyzePlan(g, plan, catalog_, nullptr, cluster_);
+  EXPECT_GE(list.CountRule(RuleId::kMO013_ImplRejectsInputs), 1)
+      << list.ToString();
+}
+
+TEST_F(AnalysisTest, MO014FiresOnOutputFormatDisagreement) {
+  // kTransposeSingle produces a single tuple, not tiles.
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(100, 100), Single(), "A");
+  int t = g.AddOp(OpKind::kTranspose, {a}, "T").value();
+  Annotation plan;
+  plan.vertices.resize(2);
+  plan.at(a).output_format = Single();
+  plan.at(t).impl = ImplKind::kTransposeSingle;
+  plan.at(t).output_format = Tiles1000();
+  plan.at(t).input_edges = {{Single(), std::nullopt, Single()}};
+  DiagnosticList list = AnalyzePlan(g, plan, catalog_, nullptr, cluster_);
+  EXPECT_GE(list.CountRule(RuleId::kMO014_OutputFormat), 1)
+      << list.ToString();
+}
+
+TEST_F(AnalysisTest, MO014FiresOnAlteredSourceFormat) {
+  Small s = SmallGraph();
+  PlanResult plan = PlanFor(s.graph);
+  Annotation bad = plan.annotation;
+  bad.at(s.a).output_format = Tiles1000();  // stored as row strips
+  DiagnosticList list =
+      AnalyzePlan(s.graph, bad, catalog_, &model_, cluster_);
+  EXPECT_GE(list.CountRule(RuleId::kMO014_OutputFormat), 1)
+      << list.ToString();
+}
+
+TEST_F(AnalysisTest, MO021WarnsOnDensifyingOpWithSparseOutput) {
+  Small s = SmallGraph();
+  PlanResult plan = PlanFor(s.graph);
+  Annotation bad = plan.annotation;
+  bad.at(s.sg).output_format = SparseCsr();  // sigmoid output is dense
+  DiagnosticList list =
+      AnalyzePlan(s.graph, bad, catalog_, &model_, cluster_);
+  EXPECT_GE(list.CountRule(RuleId::kMO021_DenseOpSparseOut), 1)
+      << list.ToString();
+}
+
+TEST_F(AnalysisTest, MO042FiresWhenCostModelYieldsNonFinite) {
+  Small s = SmallGraph();
+  PlanResult plan = PlanFor(s.graph);
+  CostModel broken = CostModel::Analytic(cluster_);
+  CostModel::Weights nan_weights;
+  nan_weights.fill(std::numeric_limits<double>::quiet_NaN());
+  for (int klass = 0; klass < kNumImplClasses; ++klass) {
+    broken.SetWeights(static_cast<ImplClass>(klass), nan_weights);
+  }
+  DiagnosticList list =
+      AnalyzePlan(s.graph, plan.annotation, catalog_, &broken, cluster_);
+  EXPECT_GE(list.CountRule(RuleId::kMO042_BadCost), 1) << list.ToString();
+}
+
+TEST_F(AnalysisTest, NullCostModelSkipsCostRules) {
+  Small s = SmallGraph();
+  PlanResult plan = PlanFor(s.graph);
+  DiagnosticList list =
+      AnalyzePlan(s.graph, plan.annotation, catalog_, nullptr, cluster_,
+                  OutputsOf({s.sg}));
+  EXPECT_TRUE(list.empty()) << list.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Optimality cross-check (MO050 / MO051).
+
+TEST_F(AnalysisTest, MO051NotesWhenGraphExceedsEnumerationThreshold) {
+  Small s = SmallGraph();
+  PlanResult plan = PlanFor(s.graph);
+  AnalysisOptions options = OutputsOf({s.sg});
+  options.optimality_max_op_vertices = 0;
+  DiagnosticList list =
+      AnalyzePlan(s.graph, plan.annotation, catalog_, &model_, cluster_,
+                  options, /*check_optimality=*/true);
+  EXPECT_EQ(list.CountRule(RuleId::kMO051_CheckSkipped), 1)
+      << list.ToString();
+  EXPECT_EQ(list.CountRule(RuleId::kMO050_NotOptimal), 0) << list.ToString();
+  EXPECT_FALSE(list.HasErrors());
+}
+
+TEST_F(AnalysisTest, MO051NotesWhenNoCostModelInScope) {
+  Small s = SmallGraph();
+  PlanResult plan = PlanFor(s.graph);
+  DiagnosticList list =
+      AnalyzePlan(s.graph, plan.annotation, catalog_, nullptr, cluster_,
+                  OutputsOf({s.sg}), /*check_optimality=*/true);
+  EXPECT_EQ(list.CountRule(RuleId::kMO051_CheckSkipped), 1)
+      << list.ToString();
+}
+
+TEST_F(AnalysisTest, MO050FiresOnValidButSuboptimalPlan) {
+  // Optimize under a single-tuple-only catalog: the plan is valid under
+  // the full catalog too, but on 20K-square matmul the local GEMM is far
+  // from the distributed optimum the cross-check enumerates.
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(20000, 20000), Single(), "A");
+  int b = g.AddInput(MatrixType(20000, 20000), Single(), "B");
+  g.AddOp(OpKind::kMatMul, {a, b}, "AB").value();
+  Catalog local_only(std::vector<FormatId>{Single()});
+  auto plan = Optimize(g, local_only, model_, cluster_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  DiagnosticList list =
+      AnalyzePlan(g, plan.value().annotation, catalog_, &model_, cluster_,
+                  {}, /*check_optimality=*/true);
+  EXPECT_EQ(list.CountRule(RuleId::kMO050_NotOptimal), 1) << list.ToString();
+  EXPECT_EQ(list.CountRule(RuleId::kMO051_CheckSkipped), 0)
+      << list.ToString();
+}
+
+/// The acceptance harness: optimize each paper workload with the DP that
+/// applies (tree DP for trees, frontier DP for DAGs), then cross-check the
+/// plan cost against Algorithm 2's exhaustive optimum. A restricted format
+/// catalog keeps the enumeration tractable while still giving the DPs a
+/// real search space.
+class CrossCheckTest : public ::testing::Test {
+ protected:
+  Catalog catalog_{std::vector<FormatId>{Single(), RowStrips1000(),
+                                         ColStrips1000(), Tiles1000()}};
+  ClusterConfig cluster_ = SimSqlProfile(10);
+  CostModel model_ = CostModel::Analytic(SimSqlProfile(10));
+
+  void ExpectPlanOptimal(const ComputeGraph& graph, int max_op_vertices) {
+    auto plan = Optimize(graph, catalog_, model_, cluster_);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    AnalysisOptions options;
+    options.optimality_max_op_vertices = max_op_vertices;
+    options.optimality_time_limit_sec = 300.0;
+    DiagnosticList list =
+        AnalyzePlan(graph, plan.value().annotation, catalog_, &model_,
+                    cluster_, options, /*check_optimality=*/true);
+    EXPECT_FALSE(list.HasErrors()) << list.ToString();
+    EXPECT_EQ(list.CountRule(RuleId::kMO050_NotOptimal), 0)
+        << list.ToString();
+    // The check must actually have run, not been skipped.
+    EXPECT_EQ(list.CountRule(RuleId::kMO051_CheckSkipped), 0)
+        << list.ToString();
+  }
+};
+
+TEST_F(CrossCheckTest, MatMulChainPlanMatchesBruteForce) {
+  auto graph = BuildMatMulChainGraph(ChainSizeSet(1), Single());
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  ExpectPlanOptimal(graph.value(), 16);
+}
+
+TEST_F(CrossCheckTest, BlockInversePlanMatchesBruteForce) {
+  auto graph = BuildBlockInverseGraph(4000, Single());
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  ExpectPlanOptimal(graph.value(), 16);
+}
+
+TEST_F(CrossCheckTest, FfnnPlanMatchesBruteForce) {
+  FfnnConfig cfg;
+  cfg.batch = 2000;
+  cfg.features = 1000;
+  cfg.hidden = 1000;
+  cfg.labels = 17;
+  cfg.x_format = Single();
+  cfg.label_format = Single();
+  cfg.w_format = Single();
+  auto graph = BuildFfnnGraph(cfg);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  ExpectPlanOptimal(graph.value(), 24);
+}
+
+// ---------------------------------------------------------------------------
+// Frontend wiring: parser error positions and post-parse lint anchoring.
+
+TEST_F(AnalysisTest, ParserTypeErrorCarriesOperatorPosition) {
+  auto program = ParseProgram(
+      "input A[10, 20];\n"
+      "input B[30, 40];\n"
+      "O = A * B;\n");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("line 3"), std::string::npos)
+      << program.status().ToString();
+  EXPECT_NE(program.status().message().find("column"), std::string::npos)
+      << program.status().ToString();
+}
+
+TEST_F(AnalysisTest, ParserFunctionErrorPointsAtCall) {
+  auto program = ParseProgram(
+      "input A[10, 20];\n"
+      "input B[10, 20];\n"
+      "O = relu_grad(A);\n");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("line 3"), std::string::npos)
+      << program.status().ToString();
+}
+
+TEST_F(AnalysisTest, ParsedVerticesCarrySourcePositions) {
+  auto program = ParseProgram(
+      "input A[2000, 2000] format = tiles(1000);\n"
+      "O = relu(A);\n"
+      "output O;\n");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const ComputeGraph& g = program.value().graph;
+  ASSERT_EQ(g.num_vertices(), 2);
+  EXPECT_EQ(g.vertex(0).src_line, 1);
+  EXPECT_EQ(g.vertex(1).src_line, 2);
+  EXPECT_GT(g.vertex(1).src_column, 0);
+}
+
+TEST_F(AnalysisTest, PostParseLintAnchorsFindingsToDeclarations) {
+  Catalog catalog;
+  DiagnosticList diagnostics;
+  auto program = ParseProgramChecked(
+      "input A[2000, 2000] format = tiles(1000);\n"
+      "input Unused[100, 100];\n"
+      "O = relu(A);\n"
+      "output O;\n",
+      catalog, cluster_, &diagnostics);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(diagnostics.CountRule(RuleId::kMO031_UnusedInput), 1)
+      << diagnostics.ToString();
+  const Diagnostic& d = diagnostics.diagnostics().front();
+  EXPECT_EQ(d.line, 2);  // the `input Unused` declaration
+  EXPECT_GT(d.column, 0);
+}
+
+TEST_F(AnalysisTest, CheckedParseOfCleanProgramHasNoFindings) {
+  Catalog catalog;
+  DiagnosticList diagnostics;
+  auto program = ParseProgramChecked(
+      "input X[10000, 2000] format = row_strips(1000);\n"
+      "input W[2000, 100];\n"
+      "P = sigmoid(X * W);\n"
+      "output P;\n",
+      catalog, cluster_, &diagnostics);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_TRUE(diagnostics.empty()) << diagnostics.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// ValidateAnnotation failure branches: messages name the vertices and both
+// formats involved.
+
+TEST_F(AnalysisTest, ValidateAnnotationReportsShapeMismatch) {
+  Small s = SmallGraph();
+  PlanResult plan = PlanFor(s.graph);
+  Annotation bad = plan.annotation;
+  bad.vertices.pop_back();
+  Status status = ValidateAnnotation(s.graph, bad, catalog_, cluster_);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("annotation covers"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(AnalysisTest, ValidateAnnotationReportsWrongImplByName) {
+  Small s = SmallGraph();
+  PlanResult plan = PlanFor(s.graph);
+  Annotation bad = plan.annotation;
+  bad.at(s.mm).impl = ImplKind::kReluMap;
+  Status status = ValidateAnnotation(s.graph, bad, catalog_, cluster_);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("'AB'"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("does not implement"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(AnalysisTest, ValidateAnnotationReportsPinMismatchWithBothFormats) {
+  Small s = SmallGraph();
+  PlanResult plan = PlanFor(s.graph);
+  Annotation bad = plan.annotation;
+  FormatId produced = bad.at(s.mm).output_format;
+  FormatId wrong = produced == Tiles1000() ? RowStrips1000() : Tiles1000();
+  bad.at(s.sg).input_edges[0].pin = wrong;
+  Status status = ValidateAnnotation(s.graph, bad, catalog_, cluster_);
+  ASSERT_FALSE(status.ok());
+  const std::string& m = status.message();
+  EXPECT_NE(m.find("'AB'"), std::string::npos) << m;
+  EXPECT_NE(m.find("'S'"), std::string::npos) << m;
+  // Both the claimed and the actual format appear in the message.
+  EXPECT_NE(m.find(BuiltinFormats()[wrong].ToString()), std::string::npos)
+      << m;
+  EXPECT_NE(m.find(BuiltinFormats()[produced].ToString()),
+            std::string::npos)
+      << m;
+}
+
+TEST_F(AnalysisTest, ValidateAnnotationReportsIdentityFormatChange) {
+  Small s = SmallGraph();
+  PlanResult plan = PlanFor(s.graph);
+  Annotation bad = plan.annotation;
+  EdgeAnnotation& edge = bad.at(s.sg).input_edges[0];
+  edge.transform.reset();
+  edge.pout = edge.pin == Tiles1000() ? RowStrips1000() : Tiles1000();
+  Status status = ValidateAnnotation(s.graph, bad, catalog_, cluster_);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("has no transformation but changes"),
+            std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(AnalysisTest, ValidateAnnotationReportsAlteredSourceFormat) {
+  Small s = SmallGraph();
+  PlanResult plan = PlanFor(s.graph);
+  Annotation bad = plan.annotation;
+  bad.at(s.a).output_format = Tiles1000();
+  Status status = ValidateAnnotation(s.graph, bad, catalog_, cluster_);
+  ASSERT_FALSE(status.ok());
+  const std::string& m = status.message();
+  EXPECT_NE(m.find("'A'"), std::string::npos) << m;
+  EXPECT_NE(m.find("is stored as"), std::string::npos) << m;
+}
+
+// ---------------------------------------------------------------------------
+// Execution wiring: the executor pre-flight rejects corrupt plans with a
+// rule-tagged message instead of executing them.
+
+TEST_F(AnalysisTest, ExecutorPreflightRejectsCorruptPlan) {
+  Small s = SmallGraph();
+  PlanResult plan = PlanFor(s.graph);
+  Annotation bad = plan.annotation;
+  bad.at(s.mm).impl = ImplKind::kReluMap;
+  PlanExecutor executor(catalog_, cluster_);
+  auto run = executor.DryRun(s.graph, bad);
+  ASSERT_FALSE(run.ok());
+  EXPECT_NE(run.status().message().find("plan rejected before execution"),
+            std::string::npos)
+      << run.status().ToString();
+  EXPECT_NE(run.status().message().find("MO041"), std::string::npos)
+      << run.status().ToString();
+}
+
+TEST_F(AnalysisTest, ExecutorAcceptsCleanPlan) {
+  Small s = SmallGraph();
+  PlanResult plan = PlanFor(s.graph);
+  PlanExecutor executor(catalog_, cluster_);
+  auto run = executor.DryRun(s.graph, plan.annotation);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline mechanics.
+
+TEST_F(AnalysisTest, DefaultPipelineHasDocumentedPassOrder) {
+  AnalysisPipeline pipeline = DefaultPipeline();
+  ASSERT_EQ(pipeline.passes().size(), 5u);
+  EXPECT_STREQ(pipeline.passes()[0]->name(), "graph-hygiene");
+  AnalysisPipeline debug = DefaultPipeline(/*with_optimality_check=*/true);
+  ASSERT_EQ(debug.passes().size(), 6u);
+  EXPECT_STREQ(debug.passes().back()->name(), "optimality-cross-check");
+}
+
+TEST_F(AnalysisTest, AnnotationPassesSkipWithoutAnnotation) {
+  // AnalyzeGraph runs the full pipeline with no annotation: the plan
+  // passes must skip rather than crash or report MO040.
+  Small s = SmallGraph();
+  DiagnosticList list =
+      AnalyzeGraph(s.graph, catalog_, cluster_, OutputsOf({s.sg}));
+  EXPECT_EQ(list.CountRule(RuleId::kMO040_AnnotationShape), 0);
+}
+
+TEST_F(AnalysisTest, VerifySearchResultFoldsErrorsIntoStatus) {
+  Small s = SmallGraph();
+  PlanResult plan = PlanFor(s.graph);
+  EXPECT_TRUE(VerifySearchResult(s.graph, plan.annotation, catalog_, model_,
+                                 cluster_)
+                  .ok());
+  Annotation bad = plan.annotation;
+  bad.at(s.mm).impl = ImplKind::kReluMap;
+  Status status =
+      VerifySearchResult(s.graph, bad, catalog_, model_, cluster_);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("optimizer produced an invalid plan"),
+            std::string::npos)
+      << status.ToString();
+}
+
+}  // namespace
+}  // namespace matopt

@@ -1,0 +1,176 @@
+// matopt_lint: static analysis for .mla matrix programs.
+//
+// Lints each program with the multi-pass analysis pipeline (DESIGN.md §9):
+// parses, runs the graph passes, then optimizes and runs the plan passes
+// over the resulting physical plan, printing rustc-style diagnostics.
+// Exit code: 0 when every file is clean (warnings allowed unless
+// --werror), 1 when any file has errors, 2 on usage/IO problems.
+//
+// Usage: matopt_lint [options] program.mla...
+//   --workers N          cluster size for format feasibility (default 10)
+//   --no-plan            lint the logical graph only; skip the optimizer
+//   --check-optimality   debug harness: cross-check the DP plan against
+//                        brute force on small graphs (rule MO050)
+//   --werror             treat warnings as errors
+//   --rules              print the rule catalog and exit
+//   -q                   only print findings, no per-file status lines
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.h"
+#include "core/cost/cost_model.h"
+#include "core/opt/optimizer.h"
+#include "frontend/frontend_lint.h"
+
+using namespace matopt;
+
+namespace {
+
+struct LintConfig {
+  int workers = 10;
+  bool plan = true;
+  bool check_optimality = false;
+  bool werror = false;
+  bool quiet = false;
+};
+
+void PrintRules() {
+  std::printf("%-7s %s\n", "rule", "description");
+  for (RuleId rule : AllRuleIds()) {
+    std::printf("%-7s %s\n", RuleIdName(rule), RuleIdDescription(rule));
+  }
+}
+
+/// Extracts "at line L, column C" positions from parser Status messages so
+/// parse errors render with the same source snippet as pass findings.
+bool ParsePosition(const std::string& message, int* line, int* column) {
+  size_t at = message.rfind(" at line ");
+  if (at == std::string::npos) return false;
+  int l = 0, c = 0;
+  if (std::sscanf(message.c_str() + at, " at line %d, column %d", &l, &c) !=
+      2) {
+    return false;
+  }
+  *line = l;
+  *column = c;
+  return true;
+}
+
+/// Lints one file. Returns the number of error-severity findings.
+int LintFile(const std::string& path, const LintConfig& config) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  std::string source = buffer.str();
+
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(config.workers);
+
+  AnalysisOptions options;
+  DiagnosticList diagnostics;
+  Result<ParsedProgram> program =
+      ParseProgramChecked(source, catalog, cluster, &diagnostics, options);
+  if (!program.ok() && diagnostics.empty()) {
+    // Pure parse error: render it like a diagnostic, anchored when the
+    // parser reported a position.
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.rule = RuleId::kMO002_MalformedVertex;
+    const std::string& message = program.status().message();
+    if (ParsePosition(message, &d.line, &d.column)) {
+      d.message =
+          "parse error: " + message.substr(0, message.rfind(" at line "));
+    } else {
+      d.message = "parse error: " + message;
+    }
+    std::fputs(RenderDiagnostic(d, path, source).c_str(), stdout);
+    return 1;
+  }
+
+  if (program.ok() && config.plan) {
+    CostModel model = CostModel::Analytic(cluster);
+    options.outputs = program.value().outputs;
+    Result<PlanResult> plan = Optimize(program.value().graph, catalog, model,
+                                       cluster);
+    if (!plan.ok()) {
+      Diagnostic d;
+      d.severity = Severity::kError;
+      d.rule = RuleId::kMO013_ImplRejectsInputs;
+      d.message = "no executable physical plan: " + plan.status().ToString();
+      diagnostics.Add(std::move(d));
+    } else {
+      // The full pipeline re-runs the graph passes, so its findings are a
+      // superset of the post-parse ones: replace, don't append.
+      diagnostics = AnalyzePlan(program.value().graph,
+                                plan.value().annotation, catalog, &model,
+                                cluster, options, config.check_optimality);
+    }
+  }
+
+  int errors = 0;
+  for (const Diagnostic& d : diagnostics.diagnostics()) {
+    bool counts = d.severity == Severity::kError ||
+                  (config.werror && d.severity == Severity::kWarning);
+    errors += counts ? 1 : 0;
+    std::fputs(RenderDiagnostic(d, path, source).c_str(), stdout);
+  }
+  if (!config.quiet) {
+    std::printf("%s: %s (%d error%s, %d warning%s, %d note%s)\n", path.c_str(),
+                errors > 0 ? "FAIL" : "ok", errors, errors == 1 ? "" : "s",
+                diagnostics.CountSeverity(Severity::kWarning),
+                diagnostics.CountSeverity(Severity::kWarning) == 1 ? "" : "s",
+                diagnostics.CountSeverity(Severity::kNote),
+                diagnostics.CountSeverity(Severity::kNote) == 1 ? "" : "s");
+  }
+  return errors;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LintConfig config;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--workers") == 0 && i + 1 < argc) {
+      config.workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--no-plan") == 0) {
+      config.plan = false;
+    } else if (std::strcmp(arg, "--check-optimality") == 0) {
+      config.check_optimality = true;
+    } else if (std::strcmp(arg, "--werror") == 0) {
+      config.werror = true;
+    } else if (std::strcmp(arg, "--rules") == 0) {
+      PrintRules();
+      return 0;
+    } else if (std::strcmp(arg, "-q") == 0) {
+      config.quiet = true;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg);
+      return 2;
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: matopt_lint [--workers N] [--no-plan] "
+                 "[--check-optimality] [--werror] [--rules] [-q] "
+                 "program.mla...\n");
+    return 2;
+  }
+  int total_errors = 0;
+  for (const std::string& path : files) {
+    total_errors += LintFile(path, config);
+  }
+  return total_errors > 0 ? 1 : 0;
+}
