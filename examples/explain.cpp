@@ -85,8 +85,10 @@ int main(int argc, char** argv) {
   PlanExecutor executor(catalog, cluster);
   auto run = executor.DryRun(program.value().graph, plan.value().annotation);
   if (run.ok()) {
-    std::printf("=== simulated execution ===\n%s\n\n",
+    std::printf("=== simulated execution ===\n%s\n",
                 run.value().stats.ToString().c_str());
+    std::printf("memory: %s\n\n",
+                run.value().stats.memory.ToString().c_str());
   } else {
     std::printf("=== simulated execution failed: %s ===\n\n",
                 run.status().ToString().c_str());

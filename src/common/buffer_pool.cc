@@ -1,0 +1,204 @@
+#include "common/buffer_pool.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+namespace matopt {
+namespace {
+
+// Buffers smaller than this are cheaper to malloc than to manage.
+constexpr int64_t kMinPoolElems = 1024;
+// Size classes cover [2^0, 2^kNumClasses) element counts.
+constexpr int kNumClasses = 40;
+// Per-thread fast-path list length per class. Kept short: the executor's
+// recycling is mostly cross-thread (the coordinating thread frees dead
+// relations whose buffers the pool workers re-acquire for the next
+// stage's outputs), so most capacity lives in the shared store.
+constexpr int kMaxLocalPerClass = 4;
+// Shared store capacity per class; overflow releases are simply freed.
+constexpr int kMaxGlobalPerClass = 256;
+
+int FloorLog2(uint64_t v) {
+  int r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+// Class of a request of n elements: smallest class whose buffers are
+// guaranteed to have capacity >= n.
+int RequestClass(int64_t n) {
+  if (n <= 1) return 0;
+  int c = FloorLog2(static_cast<uint64_t>(n - 1)) + 1;  // ceil(log2(n))
+  return c < kNumClasses ? c : kNumClasses - 1;
+}
+
+// Class a buffer of the given capacity is filed under: largest class whose
+// requests it can always serve.
+int BufferClass(int64_t capacity) {
+  int c = FloorLog2(static_cast<uint64_t>(capacity));  // floor(log2)
+  return c < kNumClasses ? c : kNumClasses - 1;
+}
+
+// Capacity pool misses allocate for a request of n elements: rounded up to
+// the class boundary so the buffer files back into the class it was
+// requested from (otherwise a release/re-acquire of the same n could only
+// ever hit for power-of-two sizes).
+int64_t ClassCapacity(int64_t n, int cls) {
+  if (cls >= kNumClasses - 1) return n;  // clamped top class
+  const int64_t boundary = static_cast<int64_t>(1) << cls;
+  return n > boundary ? n : boundary;
+}
+
+template <typename T>
+struct FreeLists {
+  std::vector<std::vector<T>> classes[kNumClasses];
+};
+
+template <typename T>
+FreeLists<T>& LocalCache() {
+  thread_local FreeLists<T> cache;
+  return cache;
+}
+
+template <typename T>
+struct SharedStore {
+  std::mutex mu;
+  FreeLists<T> lists;
+};
+
+template <typename T>
+SharedStore<T>& GlobalStore() {
+  static SharedStore<T> store;
+  return store;
+}
+
+bool ReadEnabledEnv() {
+  const char* env = std::getenv("MATOPT_POOL");
+  return env == nullptr || env[0] != '0';
+}
+
+}  // namespace
+
+BufferPool& BufferPool::Default() {
+  static BufferPool pool;
+  return pool;
+}
+
+bool BufferPool::Enabled() {
+  static const bool enabled = ReadEnabledEnv();
+  return enabled;
+}
+
+void BufferPool::ClearThreadCache() {
+  for (auto& list : LocalCache<double>().classes) list.clear();
+  for (auto& list : LocalCache<int64_t>().classes) list.clear();
+}
+
+template <typename T>
+std::vector<T> BufferPool::Acquire(int64_t n, bool zeroed) {
+  if (Enabled() && n >= kMinPoolElems) {
+    const int cls = RequestClass(n);
+    auto& local = LocalCache<T>().classes[cls];
+    std::vector<T> buf;
+    bool found = false;
+    if (!local.empty()) {
+      buf = std::move(local.back());
+      local.pop_back();
+      found = true;
+    } else {
+      SharedStore<T>& store = GlobalStore<T>();
+      std::lock_guard<std::mutex> lock(store.mu);
+      auto& shared = store.lists.classes[cls];
+      if (!shared.empty()) {
+        buf = std::move(shared.back());
+        shared.pop_back();
+        found = true;
+      }
+    }
+    if (found) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      bytes_recycled_.fetch_add(n * static_cast<int64_t>(sizeof(T)),
+                                std::memory_order_relaxed);
+      if (zeroed) {
+        buf.assign(static_cast<size_t>(n), T{});
+      } else {
+        buf.clear();
+      }
+      return buf;
+    }
+    // Miss: allocate at the class boundary so this storage is eligible
+    // for same-class requests once released.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<T> fresh;
+    fresh.reserve(static_cast<size_t>(ClassCapacity(n, cls)));
+    if (zeroed) fresh.assign(static_cast<size_t>(n), T{});
+    return fresh;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (zeroed) return std::vector<T>(static_cast<size_t>(n), T{});
+  std::vector<T> buf;
+  buf.reserve(static_cast<size_t>(n));
+  return buf;
+}
+
+template <typename T>
+void BufferPool::ReleaseImpl(std::vector<T>&& buf) {
+  releases_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t cap = static_cast<int64_t>(buf.capacity());
+  if (!Enabled() || cap < kMinPoolElems) return;  // drop: freed here
+  const int cls = BufferClass(cap);
+  auto& local = LocalCache<T>().classes[cls];
+  if (static_cast<int>(local.size()) < kMaxLocalPerClass) {
+    local.push_back(std::move(buf));
+    return;
+  }
+  SharedStore<T>& store = GlobalStore<T>();
+  std::lock_guard<std::mutex> lock(store.mu);
+  auto& shared = store.lists.classes[cls];
+  if (static_cast<int>(shared.size()) < kMaxGlobalPerClass) {
+    shared.push_back(std::move(buf));
+  }
+}
+
+std::vector<double> BufferPool::AcquireZeroed(int64_t n) {
+  return Acquire<double>(n, /*zeroed=*/true);
+}
+
+std::vector<double> BufferPool::AcquireEmpty(int64_t min_capacity) {
+  return Acquire<double>(min_capacity, /*zeroed=*/false);
+}
+
+std::vector<int64_t> BufferPool::AcquireIndexZeroed(int64_t n) {
+  return Acquire<int64_t>(n, /*zeroed=*/true);
+}
+
+std::vector<int64_t> BufferPool::AcquireIndexEmpty(int64_t min_capacity) {
+  return Acquire<int64_t>(min_capacity, /*zeroed=*/false);
+}
+
+void BufferPool::Release(std::vector<double>&& buf) {
+  ReleaseImpl(std::move(buf));
+}
+
+void BufferPool::Release(std::vector<int64_t>&& buf) {
+  ReleaseImpl(std::move(buf));
+}
+
+BufferPool::Stats BufferPool::snapshot() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.releases = releases_.load(std::memory_order_relaxed);
+  s.bytes_recycled = bytes_recycled_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BufferPool::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  releases_.store(0, std::memory_order_relaxed);
+  bytes_recycled_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace matopt

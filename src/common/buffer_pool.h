@@ -1,0 +1,81 @@
+#ifndef MATOPT_COMMON_BUFFER_POOL_H_
+#define MATOPT_COMMON_BUFFER_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace matopt {
+
+/// Size-class recycling pool for the numeric storage behind DenseMatrix
+/// (std::vector<double>) and the CSR arrays behind SparseMatrix
+/// (std::vector<int64_t>).
+///
+/// Two-level cache keyed by power-of-two size class: a per-thread free
+/// list serves same-thread churn (e.g. a worker's per-tile slice buffers)
+/// without locking, backed by a mutex-protected shared store so the
+/// executor's steady state works across threads — the coordinating thread
+/// frees dead relations and pool workers re-acquire that storage for the
+/// next stage's outputs. Operations are per-buffer (one per tuple or
+/// kernel), so the shared-store lock is far off any inner loop.
+///
+/// Determinism: recycling changes only *where* memory lives. AcquireZeroed
+/// hands back an exactly-sized, zero-filled buffer (same observable state
+/// as a fresh std::vector<double>(n, 0.0)), and AcquireEmpty hands back an
+/// empty buffer with reserved capacity, so callers are bit-identical with
+/// and without the pool. The hit/miss counters, by contrast, depend on
+/// which pool thread ran which chunk and are observability only.
+class BufferPool {
+ public:
+  /// Monotonic counters over the whole process (all threads).
+  struct Stats {
+    int64_t hits = 0;            // acquires served from a free list
+    int64_t misses = 0;          // acquires that fell through to malloc
+    int64_t releases = 0;        // buffers returned (cached or dropped)
+    int64_t bytes_recycled = 0;  // bytes of requests served from cache
+  };
+
+  /// Process-wide pool instance.
+  static BufferPool& Default();
+
+  /// False when the MATOPT_POOL environment variable is set to 0: every
+  /// acquire allocates fresh and every release frees (for A/B runs).
+  static bool Enabled();
+
+  /// Drops every buffer cached by the calling thread (tests; bounding
+  /// memory between benchmark configurations).
+  static void ClearThreadCache();
+
+  /// Zero-filled buffer of exactly n elements (capacity may exceed n).
+  std::vector<double> AcquireZeroed(int64_t n);
+  /// Empty buffer with capacity >= min_capacity, for push_back fills.
+  std::vector<double> AcquireEmpty(int64_t min_capacity);
+  std::vector<int64_t> AcquireIndexZeroed(int64_t n);
+  std::vector<int64_t> AcquireIndexEmpty(int64_t min_capacity);
+
+  /// Returns a buffer's storage to the pool (thread-local list first,
+  /// shared store on overflow). Buffers below the pooling threshold, or
+  /// past both caps, are simply freed.
+  void Release(std::vector<double>&& buf);
+  void Release(std::vector<int64_t>&& buf);
+
+  Stats snapshot() const;
+  void ResetStats();
+
+ private:
+  BufferPool() = default;
+
+  template <typename T>
+  std::vector<T> Acquire(int64_t n, bool zeroed);
+  template <typename T>
+  void ReleaseImpl(std::vector<T>&& buf);
+
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> releases_{0};
+  std::atomic<int64_t> bytes_recycled_{0};
+};
+
+}  // namespace matopt
+
+#endif  // MATOPT_COMMON_BUFFER_POOL_H_

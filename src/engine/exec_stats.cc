@@ -7,6 +7,17 @@
 
 namespace matopt {
 
+std::string MemoryStats::ToString() const {
+  std::ostringstream out;
+  out << "copied " << FormatBytes(bytes_copied) << ", moved "
+      << FormatBytes(bytes_moved) << ", allocs avoided " << allocs_avoided
+      << ", in-place " << inplace_kernels << ", fused " << fused_kernels
+      << ", pool hit rate " << static_cast<int>(pool_hit_rate() * 100.0 + 0.5)
+      << "% (" << FormatBytes(static_cast<double>(pool_bytes_recycled))
+      << " recycled)";
+  return out.str();
+}
+
 std::string ExecStats::ToString() const {
   std::ostringstream out;
   out << "sim time " << FormatHms(sim_seconds) << ", flops " << flops

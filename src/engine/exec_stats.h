@@ -9,6 +9,39 @@
 
 namespace matopt {
 
+/// Host-side allocation/copy behaviour of one execution. These measure
+/// the *local* memory traffic of the executor process (not the simulated
+/// cluster): payload bytes written through copy paths vs. transferred by
+/// reuse, allocations avoided, and BufferPool activity.
+///
+/// `bytes_copied`/`bytes_moved` and the kernel counters are tallied at
+/// sequential points on the coordinating thread, so they are exactly
+/// reproducible at any thread count; the pool_* fields come from the
+/// process-wide pool counters and depend on scheduling (observability
+/// only). In dry-run mode the deterministic fields are a projection of
+/// what a data-mode run would do (refcount-1 reuse assumed to succeed),
+/// so EXPLAIN can report them at paper scale.
+struct MemoryStats {
+  double bytes_copied = 0.0;   // payload bytes written via copy paths
+  double bytes_moved = 0.0;    // payload bytes reused in place / shared
+  int64_t allocs_avoided = 0;  // temporaries never materialized
+  int64_t inplace_kernels = 0;  // kernel calls writing into an operand
+  int64_t fused_kernels = 0;    // fused BiasRelu / ReluGradHadamard calls
+  int64_t moved_payloads = 0;   // tuple payloads transferred, not copied
+  int64_t pool_hits = 0;
+  int64_t pool_misses = 0;
+  int64_t pool_bytes_recycled = 0;
+
+  double pool_hit_rate() const {
+    int64_t total = pool_hits + pool_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(pool_hits) /
+                            static_cast<double>(total);
+  }
+
+  std::string ToString() const;
+};
+
 /// Aggregated outcome of executing one annotated plan on the simulated
 /// cluster. `sim_seconds` is the simulated wall-clock time under the
 /// machine model; the remaining fields are raw resource totals.
@@ -19,6 +52,7 @@ struct ExecStats {
   double tuples = 0.0;
   double peak_worker_mem_bytes = 0.0;
   double peak_worker_spill_bytes = 0.0;
+  MemoryStats memory;
 
   struct StageRecord {
     std::string label;

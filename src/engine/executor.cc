@@ -1,10 +1,15 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "analysis/analyze.h"
+#include "common/buffer_pool.h"
 #include "common/thread_pool.h"
 #include "engine/operators.h"
 #include "la/kernels.h"
@@ -53,9 +58,70 @@ struct Ctx {
   FormatId out_format;
   bool data;        // inputs carry real payloads
   bool gpu = false;  // offload arithmetic to the worker's accelerator
+  ExecOptions opts;
 
   int workers() const { return cluster.num_workers; }
+  MemoryStats* mem() const { return &stats->memory; }
 };
+
+double TupleBytes(const EngineTuple& t) {
+  return 8.0 * static_cast<double>(t.rows) * static_cast<double>(t.cols);
+}
+
+/// Whether arg tuple i's dense payload may be reused as this vertex's
+/// output buffer. Decided on the coordinating thread: the plan proved the
+/// producer dead after this edge (`owned`), and in data mode the relation
+/// holds the only reference (payloads shared via a passthrough earlier in
+/// the plan are left alone). Dry-run mode counts the plan-level decision
+/// as a projection so EXPLAIN reports reuse at paper scale.
+bool StealDecision(const Ctx& ctx, const ExecInput& arg, size_t i) {
+  if (!ctx.opts.zero_copy || arg.owned == nullptr) return false;
+  if (!ctx.data) return true;
+  const auto& payload = arg.owned->tuples[i].dense;
+  return payload != nullptr && payload.use_count() == 1;
+}
+
+/// Mutable handle on a stolen payload. Safe because every payload is
+/// created via make_shared<DenseMatrix> (the object itself is not const)
+/// and the refcount-1 check ran on the coordinating thread before any
+/// parallel work.
+std::shared_ptr<DenseMatrix> StealPayload(const ExecInput& arg, size_t i) {
+  return std::const_pointer_cast<DenseMatrix>(arg.owned->tuples[i].dense);
+}
+
+/// Tallies one output tuple produced by an element-wise stage: reused in
+/// place (moved) or freshly materialized (copied). Called sequentially.
+void CountElemOutput(const Ctx& ctx, const EngineTuple& t, bool in_place) {
+  if (in_place) {
+    ctx.mem()->bytes_moved += TupleBytes(t);
+    ++ctx.mem()->inplace_kernels;
+    ++ctx.mem()->allocs_avoided;
+  } else {
+    ctx.mem()->bytes_copied += TupleBytes(t);
+  }
+}
+
+/// Output relation for a vertex whose compute was fused into its
+/// producer: the skeleton is built normally (same placement/accounting)
+/// and payloads are shared from `src` — a pointer transfer per tuple, no
+/// copy.
+Relation FinishPassthrough(const Ctx& ctx, const Relation& src) {
+  double out_sparsity =
+      FormatOf(ctx.out_format).sparse() ? ctx.vertex.sparsity : 1.0;
+  Relation out = MakeDryRelation(ctx.vertex.type, ctx.out_format, out_sparsity,
+                                 ctx.cluster);
+  TupleMap m;
+  if (ctx.data) {
+    out.has_data = true;
+    m = MapTuples(src);
+  }
+  for (EngineTuple& t : out.tuples) {
+    ctx.mem()->bytes_moved += TupleBytes(t);
+    ++ctx.mem()->moved_payloads;
+    if (ctx.data) t.dense = m.at(Key(t.r, t.c))->dense;
+  }
+  return out;
+}
 
 /// Charges arithmetic either to the CPU or, for GPU implementations, to
 /// the device (plus the host<->device staging transfer).
@@ -363,7 +429,7 @@ Result<Relation> ExecMmTiles(const Ctx& ctx, const Relation& a,
         const EngineTuple* ta = ma.at(Key(i, k));
         const EngineTuple* tb = mb.at(Key(k, j));
         if (sum.size() == 0) {
-          sum = DenseMatrix(ta->rows, tb->cols);
+          sum = DenseMatrix::Pooled(ta->rows, tb->cols);
         }
         GemmAccumulate(*ta->dense, *tb->dense, &sum);
       }
@@ -413,7 +479,7 @@ Result<Relation> ExecMmOuterSum(const Ctx& ctx, const Relation& a,
   std::unordered_map<uint64_t, DenseMatrix> payloads;
   if (ctx.data) {
     TupleMap mb = MapTuples(b);
-    DenseMatrix sum(a.type.rows(), b.type.cols());
+    DenseMatrix sum = DenseMatrix::Pooled(a.type.rows(), b.type.cols());
     for (const EngineTuple& ta : a.tuples) {
       const EngineTuple* tb = mb.at(Key(ta.c, 0));
       GemmAccumulate(*ta.dense, *tb->dense, &sum);
@@ -441,17 +507,43 @@ Result<Relation> ExecMmStripsBcastColStrips(const Ctx& ctx, const Relation& a,
                  static_cast<double>(b.tuples.size()) * ctx.workers());
   MATOPT_RETURN_IF_ERROR(acct.Commit());
 
+  // Zero-copy: each (strip, block) product accumulates directly into a
+  // view of the output strip; the copy path materializes each block and
+  // SetBlock-copies it in. Tallied sequentially (dry-run and data alike).
+  const bool zc = ctx.opts.zero_copy;
+  for (const EngineTuple& ta : a.tuples) {
+    for (const EngineTuple& tb : b.tuples) {
+      double block_bytes = 8.0 * static_cast<double>(ta.rows) * tb.cols;
+      if (zc) {
+        ctx.mem()->bytes_moved += block_bytes;
+        ++ctx.mem()->allocs_avoided;
+      } else {
+        ctx.mem()->bytes_copied += block_bytes;
+      }
+    }
+  }
+
   std::unordered_map<uint64_t, DenseMatrix> payloads;
   if (ctx.data) {
     ChunkDims bd = ChunkDimsFor(b.type, FormatOf(b.format));
     std::vector<DenseMatrix> outs(a.tuples.size());
     ParallelTuples(a.tuples.size(), [&](int64_t i) {
       const EngineTuple& ta = a.tuples[i];
-      DenseMatrix out_strip(ta.rows, b.type.cols());
-      for (const EngineTuple& tb : b.tuples) {
-        out_strip.SetBlock(0, tb.c * bd.cols, Gemm(*ta.dense, *tb.dense));
+      if (zc) {
+        DenseMatrix out_strip = DenseMatrix::Pooled(ta.rows, b.type.cols());
+        for (const EngineTuple& tb : b.tuples) {
+          GemmAccumulate(*ta.dense, *tb.dense,
+                         out_strip.MutableBlock(0, tb.c * bd.cols, ta.rows,
+                                                tb.cols));
+        }
+        outs[i] = std::move(out_strip);
+      } else {
+        DenseMatrix out_strip(ta.rows, b.type.cols());
+        for (const EngineTuple& tb : b.tuples) {
+          out_strip.SetBlock(0, tb.c * bd.cols, Gemm(*ta.dense, *tb.dense));
+        }
+        outs[i] = std::move(out_strip);
       }
-      outs[i] = std::move(out_strip);
     });
     for (size_t i = 0; i < a.tuples.size(); ++i) {
       payloads.emplace(Key(a.tuples[i].r, 0), std::move(outs[i]));
@@ -499,21 +591,50 @@ Result<Relation> ExecMmSpStripsTiles(const Ctx& ctx, const Relation& a,
   agg.AddTuples(static_cast<double>(a.tuples.size()));
   MATOPT_RETURN_IF_ERROR(agg.Commit());
 
+  // Zero-copy: accumulate each sparse-slice product straight into a view
+  // of the output strip (the copy path extracts the block, accumulates,
+  // and SetBlock-copies it back: two block copies per pair). Tallied
+  // sequentially (dry-run and data alike).
+  const bool zc = ctx.opts.zero_copy;
+  for (const EngineTuple& ta : a.tuples) {
+    for (const EngineTuple& tb : b.tuples) {
+      double block_bytes = 8.0 * static_cast<double>(ta.rows) * tb.cols;
+      if (zc) {
+        ctx.mem()->bytes_moved += 2.0 * block_bytes;
+        ++ctx.mem()->allocs_avoided;
+      } else {
+        ctx.mem()->bytes_copied += 2.0 * block_bytes;
+      }
+    }
+  }
+
   std::unordered_map<uint64_t, DenseMatrix> payloads;
   if (ctx.data) {
     ChunkDims bd = ChunkDimsFor(b.type, FormatOf(b.format));
     std::vector<DenseMatrix> outs(a.tuples.size());
     ParallelTuples(a.tuples.size(), [&](int64_t i) {
       const EngineTuple& ta = a.tuples[i];
-      DenseMatrix out_strip(ta.rows, b.type.cols());
-      for (const EngineTuple& tb : b.tuples) {
-        SparseMatrix slice = ta.sparse->ColSlice(tb.r * bd.rows, tb.rows);
-        DenseMatrix block = out_strip.Block(0, tb.c * bd.cols, ta.rows,
-                                            tb.cols);
-        SpMmAccumulate(slice, *tb.dense, &block);
-        out_strip.SetBlock(0, tb.c * bd.cols, block);
+      if (zc) {
+        DenseMatrix out_strip = DenseMatrix::Pooled(ta.rows, b.type.cols());
+        for (const EngineTuple& tb : b.tuples) {
+          SparseMatrix slice = ta.sparse->ColSlice(tb.r * bd.rows, tb.rows);
+          SpMmAccumulate(slice, *tb.dense,
+                         out_strip.MutableBlock(0, tb.c * bd.cols, ta.rows,
+                                                tb.cols));
+          slice.Recycle();
+        }
+        outs[i] = std::move(out_strip);
+      } else {
+        DenseMatrix out_strip(ta.rows, b.type.cols());
+        for (const EngineTuple& tb : b.tuples) {
+          SparseMatrix slice = ta.sparse->ColSlice(tb.r * bd.rows, tb.rows);
+          DenseMatrix block = out_strip.Block(0, tb.c * bd.cols, ta.rows,
+                                              tb.cols);
+          SpMmAccumulate(slice, *tb.dense, &block);
+          out_strip.SetBlock(0, tb.c * bd.cols, block);
+        }
+        outs[i] = std::move(out_strip);
       }
-      outs[i] = std::move(out_strip);
     });
     for (size_t i = 0; i < a.tuples.size(); ++i) {
       payloads.emplace(Key(a.tuples[i].r, 0), std::move(outs[i]));
@@ -525,8 +646,10 @@ Result<Relation> ExecMmSpStripsTiles(const Ctx& ctx, const Relation& a,
 // ---------------------------------------------------------------------
 // Element-wise, map, reduction, and inverse implementations.
 
-Result<Relation> ExecZip(const Ctx& ctx, ImplKind kind, const Relation& a,
-                         const Relation& b) {
+Result<Relation> ExecZip(const Ctx& ctx, ImplKind kind, const ExecInput& a_in,
+                         const ExecInput& b_in) {
+  const Relation& a = *a_in.rel;
+  const Relation& b = *b_in.rel;
   StageAccountant acct(ctx.cluster, ctx.stats, "zip");
   for (const EngineTuple& t : a.tuples) {
     double entries = static_cast<double>(t.rows) * t.cols;
@@ -538,38 +661,77 @@ Result<Relation> ExecZip(const Ctx& ctx, ImplKind kind, const Relation& a,
   acct.AddTuples(3.0 * a.tuples.size());
   MATOPT_RETURN_IF_ERROR(acct.Commit());
 
+  switch (kind) {
+    case ImplKind::kAddZip:
+    case ImplKind::kSubZip:
+    case ImplKind::kHadamardZip:
+    case ImplKind::kElemDivZip:
+    case ImplKind::kReluGradZip:
+      break;
+    default: return Status::Internal("not a zip implementation");
+  }
+
+  // This vertex's compute was fused into its producer: accounting above
+  // stays, payloads transfer through.
+  if (ctx.opts.passthrough_arg >= 0) {
+    return FinishPassthrough(ctx, ctx.opts.passthrough_arg == 0 ? a : b);
+  }
+
+  const bool fuse_rg = ctx.opts.fuse == ExecOptions::Fuse::kReluGradHadamard;
+  const size_t n = a.tuples.size();
+
+  // Steal/reuse decisions on the coordinating thread, before any parallel
+  // work (both for thread safety and so the tallies are deterministic).
+  std::vector<std::shared_ptr<DenseMatrix>> stolen(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool in_place = StealDecision(ctx, a_in, i);
+    if (in_place && ctx.data) stolen[i] = StealPayload(a_in, i);
+    CountElemOutput(ctx, a.tuples[i], in_place);
+    if (fuse_rg) ++ctx.mem()->fused_kernels;
+  }
+
   std::unordered_map<uint64_t, DenseMatrix> payloads;
   if (ctx.data) {
-    switch (kind) {
-      case ImplKind::kAddZip:
-      case ImplKind::kSubZip:
-      case ImplKind::kHadamardZip:
-      case ImplKind::kElemDivZip:
-      case ImplKind::kReluGradZip:
-        break;
-      default: return Status::Internal("not a zip implementation");
-    }
     TupleMap mb = MapTuples(b);
-    std::vector<DenseMatrix> outs(a.tuples.size());
-    ParallelTuples(a.tuples.size(), [&](int64_t i) {
+    TupleMap mo;
+    if (fuse_rg) mo = MapTuples(*ctx.opts.fuse_other);
+    const bool other_lhs = ctx.opts.fuse_other_is_lhs;
+    std::vector<DenseMatrix> outs(n);
+    ParallelTuples(n, [&](int64_t i) {
       const EngineTuple& ta = a.tuples[i];
-      const EngineTuple* tb = mb.at(Key(ta.r, ta.c));
+      const DenseMatrix& da = *ta.dense;
+      const DenseMatrix& db = *mb.at(Key(ta.r, ta.c))->dense;
+      DenseMatrix* dst = stolen[i] ? stolen[i].get() : nullptr;
+      if (fuse_rg) {
+        const DenseMatrix& dother = *mo.at(Key(ta.r, ta.c))->dense;
+        if (dst != nullptr) {
+          ReluGradHadamardInto(da, db, dother, other_lhs, dst);
+        } else {
+          outs[i] = ReluGradHadamard(da, db, dother, other_lhs);
+        }
+        return;
+      }
       switch (kind) {
-        case ImplKind::kAddZip: outs[i] = Add(*ta.dense, *tb->dense); break;
-        case ImplKind::kSubZip: outs[i] = Sub(*ta.dense, *tb->dense); break;
+        case ImplKind::kAddZip:
+          dst ? AddInto(da, db, dst) : void(outs[i] = Add(da, db));
+          break;
+        case ImplKind::kSubZip:
+          dst ? SubInto(da, db, dst) : void(outs[i] = Sub(da, db));
+          break;
         case ImplKind::kHadamardZip:
-          outs[i] = Hadamard(*ta.dense, *tb->dense);
+          dst ? HadamardInto(da, db, dst) : void(outs[i] = Hadamard(da, db));
           break;
         case ImplKind::kElemDivZip:
-          outs[i] = ElemDiv(*ta.dense, *tb->dense);
+          dst ? ElemDivInto(da, db, dst) : void(outs[i] = ElemDiv(da, db));
           break;
         default:
-          outs[i] = ReluGrad(*ta.dense, *tb->dense);
+          dst ? ReluGradInto(da, db, dst) : void(outs[i] = ReluGrad(da, db));
           break;
       }
     });
-    for (size_t i = 0; i < a.tuples.size(); ++i) {
-      payloads.emplace(Key(a.tuples[i].r, a.tuples[i].c), std::move(outs[i]));
+    for (size_t i = 0; i < n; ++i) {
+      DenseMatrix& out = stolen[i] ? *stolen[i] : outs[i];
+      payloads.emplace(Key(a.tuples[i].r, a.tuples[i].c), std::move(out));
     }
   }
   return FinishOutput(ctx, &payloads);
@@ -603,7 +765,8 @@ Result<Relation> ExecSparseAdd(const Ctx& ctx, const Relation& a,
   return FinishSparseOutput(ctx, &payloads);
 }
 
-Result<Relation> ExecMap(const Ctx& ctx, ImplKind kind, const Relation& a) {
+Result<Relation> ExecMap(const Ctx& ctx, ImplKind kind, const ExecInput& a_in) {
+  const Relation& a = *a_in.rel;
   bool sparse = FormatOf(a.format).sparse();
   StageAccountant acct(ctx.cluster, ctx.stats, "map");
   for (const EngineTuple& t : a.tuples) {
@@ -631,33 +794,58 @@ Result<Relation> ExecMap(const Ctx& ctx, ImplKind kind, const Relation& a) {
     }
     return FinishSparseOutput(ctx, &payloads);
   }
+  switch (kind) {
+    case ImplKind::kScalarMulMap:
+    case ImplKind::kReluMap:
+    case ImplKind::kSigmoidMap:
+    case ImplKind::kExpMap:
+    case ImplKind::kSoftmaxRowStrips:
+    case ImplKind::kSoftmaxSingle:
+      break;
+    default: return Status::Internal("not a map implementation");
+  }
+
+  // This vertex's compute was fused into its producer (e.g. Relu after
+  // BroadcastRowAdd -> BiasRelu): accounting above stays, payloads
+  // transfer through.
+  if (ctx.opts.passthrough_arg >= 0) return FinishPassthrough(ctx, a);
+
+  const size_t n = a.tuples.size();
+  std::vector<std::shared_ptr<DenseMatrix>> stolen(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool in_place = StealDecision(ctx, a_in, i);
+    if (in_place && ctx.data) stolen[i] = StealPayload(a_in, i);
+    CountElemOutput(ctx, a.tuples[i], in_place);
+  }
+
   std::unordered_map<uint64_t, DenseMatrix> payloads;
   if (ctx.data) {
-    switch (kind) {
-      case ImplKind::kScalarMulMap:
-      case ImplKind::kReluMap:
-      case ImplKind::kSigmoidMap:
-      case ImplKind::kExpMap:
-      case ImplKind::kSoftmaxRowStrips:
-      case ImplKind::kSoftmaxSingle:
-        break;
-      default: return Status::Internal("not a map implementation");
-    }
-    std::vector<DenseMatrix> outs(a.tuples.size());
-    ParallelTuples(a.tuples.size(), [&](int64_t i) {
-      const EngineTuple& t = a.tuples[i];
+    const double s = ctx.vertex.scalar;
+    std::vector<DenseMatrix> outs(n);
+    ParallelTuples(n, [&](int64_t i) {
+      const DenseMatrix& da = *a.tuples[i].dense;
+      DenseMatrix* dst = stolen[i] ? stolen[i].get() : nullptr;
       switch (kind) {
         case ImplKind::kScalarMulMap:
-          outs[i] = ScalarMul(*t.dense, ctx.vertex.scalar);
+          dst ? ScalarMulInto(da, s, dst) : void(outs[i] = ScalarMul(da, s));
           break;
-        case ImplKind::kReluMap: outs[i] = Relu(*t.dense); break;
-        case ImplKind::kSigmoidMap: outs[i] = Sigmoid(*t.dense); break;
-        case ImplKind::kExpMap: outs[i] = Exp(*t.dense); break;
-        default: outs[i] = Softmax(*t.dense); break;
+        case ImplKind::kReluMap:
+          dst ? ReluInto(da, dst) : void(outs[i] = Relu(da));
+          break;
+        case ImplKind::kSigmoidMap:
+          dst ? SigmoidInto(da, dst) : void(outs[i] = Sigmoid(da));
+          break;
+        case ImplKind::kExpMap:
+          dst ? ExpInto(da, dst) : void(outs[i] = Exp(da));
+          break;
+        default:
+          dst ? SoftmaxInto(da, dst) : void(outs[i] = Softmax(da));
+          break;
       }
     });
-    for (size_t i = 0; i < a.tuples.size(); ++i) {
-      payloads.emplace(Key(a.tuples[i].r, a.tuples[i].c), std::move(outs[i]));
+    for (size_t i = 0; i < n; ++i) {
+      DenseMatrix& out = stolen[i] ? *stolen[i] : outs[i];
+      payloads.emplace(Key(a.tuples[i].r, a.tuples[i].c), std::move(out));
     }
   }
   return FinishOutput(ctx, &payloads);
@@ -740,6 +928,26 @@ Result<Relation> ExecReduce(const Ctx& ctx, ImplKind kind, const Relation& a) {
     MATOPT_RETURN_IF_ERROR(agg_acct.Commit());
   }
 
+  // Merge accounting is derived from the key collisions alone, so it is
+  // identical in dry-run and data mode: each repeated group key costs one
+  // partial-vector merge (in place when zero-copy, a fresh sum otherwise).
+  const bool zc = ctx.opts.zero_copy;
+  {
+    std::unordered_set<uint64_t> seen;
+    for (const EngineTuple& t : a.tuples) {
+      uint64_t key = row ? Key(t.r, 0) : Key(0, t.c);
+      if (!seen.insert(key).second) {
+        if (zc) {
+          ctx.mem()->bytes_moved += out_tuple_bytes;
+          ++ctx.mem()->inplace_kernels;
+          ++ctx.mem()->allocs_avoided;
+        } else {
+          ctx.mem()->bytes_copied += out_tuple_bytes;
+        }
+      }
+    }
+  }
+
   std::unordered_map<uint64_t, DenseMatrix> payloads;
   if (ctx.data) {
     // Per-tuple partial sums in parallel; the cross-tuple aggregation
@@ -754,6 +962,9 @@ Result<Relation> ExecReduce(const Ctx& ctx, ImplKind kind, const Relation& a) {
       auto it = payloads.find(key);
       if (it == payloads.end()) {
         payloads.emplace(key, std::move(parts[i]));
+      } else if (zc) {
+        AddInto(it->second, parts[i], &it->second);
+        parts[i].Recycle();
       } else {
         it->second = Add(it->second, parts[i]);
       }
@@ -762,8 +973,10 @@ Result<Relation> ExecReduce(const Ctx& ctx, ImplKind kind, const Relation& a) {
   return FinishOutput(ctx, &payloads);
 }
 
-Result<Relation> ExecBroadcastRowAdd(const Ctx& ctx, const Relation& a,
-                                     const Relation& b) {
+Result<Relation> ExecBroadcastRowAdd(const Ctx& ctx, const ExecInput& a_in,
+                                     const ExecInput& b_in) {
+  const Relation& a = *a_in.rel;
+  const Relation& b = *b_in.rel;
   const EngineTuple& vec = b.tuples[0];
   StageAccountant acct(ctx.cluster, ctx.stats, "broadcast_row_add");
   acct.Broadcast(vec.worker, vec.Bytes(false));
@@ -775,17 +988,35 @@ Result<Relation> ExecBroadcastRowAdd(const Ctx& ctx, const Relation& a,
   acct.AddTuples(2.0 * a.tuples.size() + ctx.workers());
   MATOPT_RETURN_IF_ERROR(acct.Commit());
 
+  const bool fuse_relu = ctx.opts.fuse == ExecOptions::Fuse::kBiasRelu;
+  const size_t n = a.tuples.size();
+  std::vector<std::shared_ptr<DenseMatrix>> stolen(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool in_place = StealDecision(ctx, a_in, i);
+    if (in_place && ctx.data) stolen[i] = StealPayload(a_in, i);
+    CountElemOutput(ctx, a.tuples[i], in_place);
+    if (fuse_relu) ++ctx.mem()->fused_kernels;
+  }
+
   std::unordered_map<uint64_t, DenseMatrix> payloads;
   if (ctx.data) {
     ChunkDims ad = ChunkDimsFor(a.type, FormatOf(a.format));
-    std::vector<DenseMatrix> outs(a.tuples.size());
-    ParallelTuples(a.tuples.size(), [&](int64_t i) {
+    std::vector<DenseMatrix> outs(n);
+    ParallelTuples(n, [&](int64_t i) {
       const EngineTuple& t = a.tuples[i];
       DenseMatrix slice = vec.dense->Block(0, t.c * ad.cols, 1, t.cols);
-      outs[i] = BroadcastRowAdd(*t.dense, slice);
+      DenseMatrix* dst = stolen[i] ? stolen[i].get() : nullptr;
+      if (fuse_relu) {
+        dst ? BiasReluInto(*t.dense, slice, dst)
+            : void(outs[i] = BiasRelu(*t.dense, slice));
+      } else {
+        dst ? BroadcastRowAddInto(*t.dense, slice, dst)
+            : void(outs[i] = BroadcastRowAdd(*t.dense, slice));
+      }
     });
-    for (size_t i = 0; i < a.tuples.size(); ++i) {
-      payloads.emplace(Key(a.tuples[i].r, a.tuples[i].c), std::move(outs[i]));
+    for (size_t i = 0; i < n; ++i) {
+      DenseMatrix& out = stolen[i] ? *stolen[i] : outs[i];
+      payloads.emplace(Key(a.tuples[i].r, a.tuples[i].c), std::move(out));
     }
   }
   return FinishOutput(ctx, &payloads);
@@ -825,83 +1056,130 @@ Result<Relation> ExecuteImpl(const Catalog& catalog, ImplKind kind,
                              const std::vector<const Relation*>& args,
                              const Vertex& vertex,
                              const ClusterConfig& cluster, ExecStats* stats) {
+  std::vector<ExecInput> inputs(args.size());
+  for (size_t i = 0; i < args.size(); ++i) inputs[i].rel = args[i];
+  return ExecuteImpl(catalog, kind, out_format, inputs, vertex, cluster,
+                     stats, ExecOptions{});
+}
+
+Result<Relation> ExecuteImpl(const Catalog& catalog, ImplKind kind,
+                             FormatId out_format,
+                             const std::vector<ExecInput>& args,
+                             const Vertex& vertex,
+                             const ClusterConfig& cluster, ExecStats* stats,
+                             const ExecOptions& options) {
   (void)catalog;
   bool data = true;
-  for (const Relation* r : args) data = data && r->has_data;
+  for (const ExecInput& in : args) data = data && in.rel->has_data;
   Ctx ctx{cluster, stats, vertex, out_format, data};
+  ctx.opts = options;
   switch (kind) {
     case ImplKind::kGpuMmSingleSingle:
       ctx.gpu = true;
-      return ExecMmLocalSingle(ctx, *args[0], *args[1], false);
+      return ExecMmLocalSingle(ctx, *args[0].rel, *args[1].rel, false);
     case ImplKind::kGpuMmRowStripsXBcastSingle:
       ctx.gpu = true;
-      return ExecMmStripsBcastSingle(ctx, *args[0], *args[1], false);
+      return ExecMmStripsBcastSingle(ctx, *args[0].rel, *args[1].rel, false);
     case ImplKind::kGpuMmBcastSingleXColStrips:
       ctx.gpu = true;
-      return ExecMmBcastSingleStrips(ctx, *args[0], *args[1], false);
+      return ExecMmBcastSingleStrips(ctx, *args[0].rel, *args[1].rel, false);
     case ImplKind::kGpuInverseSingleLu:
       ctx.gpu = true;
-      return ExecInverse(ctx, ImplKind::kInverseSingleLu, *args[0]);
+      return ExecInverse(ctx, ImplKind::kInverseSingleLu, *args[0].rel);
     case ImplKind::kMmSingleSingle:
-      return ExecMmLocalSingle(ctx, *args[0], *args[1], false);
+      return ExecMmLocalSingle(ctx, *args[0].rel, *args[1].rel, false);
     case ImplKind::kMmSpSingleXSingle:
-      return ExecMmLocalSingle(ctx, *args[0], *args[1], true);
+      return ExecMmLocalSingle(ctx, *args[0].rel, *args[1].rel, true);
     case ImplKind::kMmRowStripsXBcastSingle:
-      return ExecMmStripsBcastSingle(ctx, *args[0], *args[1], false);
+      return ExecMmStripsBcastSingle(ctx, *args[0].rel, *args[1].rel, false);
     case ImplKind::kMmSpRowStripsXBcastSingle:
-      return ExecMmStripsBcastSingle(ctx, *args[0], *args[1], true);
+      return ExecMmStripsBcastSingle(ctx, *args[0].rel, *args[1].rel, true);
     case ImplKind::kMmBcastSingleXColStrips:
-      return ExecMmBcastSingleStrips(ctx, *args[0], *args[1], false);
+      return ExecMmBcastSingleStrips(ctx, *args[0].rel, *args[1].rel, false);
     case ImplKind::kMmSpSingleXColStrips:
-      return ExecMmBcastSingleStrips(ctx, *args[0], *args[1], true);
+      return ExecMmBcastSingleStrips(ctx, *args[0].rel, *args[1].rel, true);
     case ImplKind::kMmCrossStrips:
-      return ExecMmCrossStrips(ctx, *args[0], *args[1]);
+      return ExecMmCrossStrips(ctx, *args[0].rel, *args[1].rel);
     case ImplKind::kMmTilesShuffle:
-      return ExecMmTiles(ctx, *args[0], *args[1], 0);
+      return ExecMmTiles(ctx, *args[0].rel, *args[1].rel, 0);
     case ImplKind::kMmBcastTilesXTiles:
-      return ExecMmTiles(ctx, *args[0], *args[1], 1);
+      return ExecMmTiles(ctx, *args[0].rel, *args[1].rel, 1);
     case ImplKind::kMmTilesXBcastTiles:
-      return ExecMmTiles(ctx, *args[0], *args[1], 2);
+      return ExecMmTiles(ctx, *args[0].rel, *args[1].rel, 2);
     case ImplKind::kMmColStripsXRowStripsOuterSum:
-      return ExecMmOuterSum(ctx, *args[0], *args[1]);
+      return ExecMmOuterSum(ctx, *args[0].rel, *args[1].rel);
     case ImplKind::kMmRowStripsXBcastColStrips:
-      return ExecMmStripsBcastColStrips(ctx, *args[0], *args[1]);
+      return ExecMmStripsBcastColStrips(ctx, *args[0].rel, *args[1].rel);
     case ImplKind::kMmSpRowStripsXTiles:
-      return ExecMmSpStripsTiles(ctx, *args[0], *args[1]);
+      return ExecMmSpStripsTiles(ctx, *args[0].rel, *args[1].rel);
     case ImplKind::kAddZip:
     case ImplKind::kSubZip:
     case ImplKind::kHadamardZip:
     case ImplKind::kElemDivZip:
     case ImplKind::kReluGradZip:
-      return ExecZip(ctx, kind, *args[0], *args[1]);
+      return ExecZip(ctx, kind, args[0], args[1]);
     case ImplKind::kAddSparseZip:
-      return ExecSparseAdd(ctx, *args[0], *args[1]);
+      return ExecSparseAdd(ctx, *args[0].rel, *args[1].rel);
     case ImplKind::kScalarMulMap:
     case ImplKind::kReluMap:
     case ImplKind::kSigmoidMap:
     case ImplKind::kExpMap:
     case ImplKind::kSoftmaxRowStrips:
     case ImplKind::kSoftmaxSingle:
-      return ExecMap(ctx, kind, *args[0]);
+      return ExecMap(ctx, kind, args[0]);
     case ImplKind::kTransposeSingle:
     case ImplKind::kTransposeRowToCol:
     case ImplKind::kTransposeColToRow:
     case ImplKind::kTransposeTiles:
-      return ExecTranspose(ctx, kind, *args[0]);
+      return ExecTranspose(ctx, kind, *args[0].rel);
     case ImplKind::kRowSumRowStrips:
     case ImplKind::kRowSumTilesAgg:
     case ImplKind::kRowSumSingle:
     case ImplKind::kColSumColStrips:
     case ImplKind::kColSumTilesAgg:
     case ImplKind::kColSumSingle:
-      return ExecReduce(ctx, kind, *args[0]);
+      return ExecReduce(ctx, kind, *args[0].rel);
     case ImplKind::kBroadcastRowAddBcastVec:
-      return ExecBroadcastRowAdd(ctx, *args[0], *args[1]);
+      return ExecBroadcastRowAdd(ctx, args[0], args[1]);
     case ImplKind::kInverseSingleLu:
     case ImplKind::kInverseGatherLu:
-      return ExecInverse(ctx, kind, *args[0]);
+      return ExecInverse(ctx, kind, *args[0].rel);
   }
   return Status::Internal("unknown implementation kind");
+}
+
+namespace {
+
+/// Returns a dead relation's payload buffers to the pool. Only buffers the
+/// relation exclusively owns are recycled; anything still shared (a
+/// passthrough output, a caller-held input, a stolen-and-emptied payload's
+/// sibling) is left to its other owners.
+void RecycleRelation(Relation* rel) {
+  for (EngineTuple& t : rel->tuples) {
+    if (t.dense != nullptr && t.dense.use_count() == 1) {
+      std::const_pointer_cast<DenseMatrix>(t.dense)->Recycle();
+    }
+    t.dense.reset();
+    if (t.sparse != nullptr && t.sparse.use_count() == 1) {
+      std::const_pointer_cast<SparseMatrix>(t.sparse)->Recycle();
+    }
+    t.sparse.reset();
+  }
+}
+
+/// An epilogue fusion found by the planning pre-pass: the producer vertex
+/// computes the fused kernel and its sole consumer becomes a passthrough.
+struct FusedInfo {
+  ExecOptions::Fuse fuse = ExecOptions::Fuse::kNone;
+  int other = -1;            // Hadamard's second operand vertex
+  bool other_is_lhs = false;
+};
+
+}  // namespace
+
+bool PlanExecutor::DefaultZeroCopy() {
+  const char* env = std::getenv("MATOPT_ZERO_COPY");
+  return !(env != nullptr && env[0] == '0' && env[1] == '\0');
 }
 
 Result<ExecResult> PlanExecutor::Execute(
@@ -922,6 +1200,59 @@ Result<ExecResult> PlanExecutor::Execute(
   }
   ExecResult result;
   std::unordered_map<int, Relation> live;
+  const BufferPool::Stats pool_before = BufferPool::Default().snapshot();
+
+  // Number of not-yet-executed consumer edges per vertex (used both to
+  // free relations and to prove producers dead for payload stealing), and
+  // the single consumer when there is exactly one such edge.
+  std::vector<int> remaining(graph.num_vertices(), 0);
+  std::vector<int> sole_consumer(graph.num_vertices(), -1);
+  for (int w = 0; w < graph.num_vertices(); ++w) {
+    for (int in : graph.vertex(w).inputs) {
+      ++remaining[in];
+      sole_consumer[in] = w;
+    }
+  }
+
+  // Epilogue-fusion planning (zero-copy only): a producer whose sole
+  // consumer is a compatible element-wise epilogue computes the fused
+  // kernel; the consumer becomes a passthrough that charges its normal
+  // accounting but transfers payload pointers. Decisions depend only on
+  // the graph and annotation, so dry-run and data mode agree.
+  std::unordered_map<int, FusedInfo> fused_at;  // producer v -> fusion
+  std::unordered_map<int, int> passthrough;     // consumer w -> arg index
+  if (zero_copy_) {
+    for (int v = 0; v < graph.num_vertices(); ++v) {
+      if (graph.vertex(v).op == OpKind::kInput || remaining[v] != 1) continue;
+      if (passthrough.count(v) != 0) continue;  // already fused upstream
+      const int w = sole_consumer[v];
+      const VertexAnnotation& va = annotation.at(v);
+      const VertexAnnotation& wa = annotation.at(w);
+      if (va.output_format != wa.output_format) continue;
+      bool w_clean = true;
+      for (const EdgeAnnotation& e : wa.input_edges) {
+        w_clean = w_clean && !e.transform.has_value();
+      }
+      if (!w_clean || passthrough.count(w) != 0) continue;
+      if (va.impl == ImplKind::kBroadcastRowAddBcastVec &&
+          wa.impl == ImplKind::kReluMap) {
+        fused_at[v] = FusedInfo{ExecOptions::Fuse::kBiasRelu, -1, false};
+        passthrough[w] = 0;
+      } else if (va.impl == ImplKind::kReluGradZip &&
+                 wa.impl == ImplKind::kHadamardZip) {
+        const Vertex& wx = graph.vertex(w);
+        const int pos = wx.inputs[0] == v ? 0 : 1;
+        const int other = wx.inputs[pos == 0 ? 1 : 0];
+        // The other operand must already be live when v runs (it stays
+        // live until w consumes it) and be tuple-aligned with v's output.
+        if (other == v || other >= v) continue;
+        if (annotation.at(other).output_format != va.output_format) continue;
+        fused_at[v] =
+            FusedInfo{ExecOptions::Fuse::kReluGradHadamard, other, pos == 1};
+        passthrough[w] = pos;
+      }
+    }
+  }
 
   // Materialized (on-disk) bytes of live relations per worker. Relations
   // persist until their last consumer runs; exceeding the per-worker disk
@@ -947,12 +1278,6 @@ Result<ExecResult> PlanExecutor::Execute(
     return Status::OK();
   };
 
-  // Number of not-yet-executed consumers per vertex, to free relations.
-  std::vector<int> remaining(graph.num_vertices(), 0);
-  for (const Vertex& v : graph.vertices()) {
-    for (int in : v.inputs) ++remaining[in];
-  }
-
   for (int v = 0; v < graph.num_vertices(); ++v) {
     const Vertex& vx = graph.vertex(v);
     const VertexAnnotation& va = annotation.at(v);
@@ -971,26 +1296,47 @@ Result<ExecResult> PlanExecutor::Execute(
       continue;
     }
 
-    // Apply per-edge transformations, then the implementation.
+    // Apply per-edge transformations, then the implementation. An
+    // argument is handed over as owned when the plan proves its producer
+    // dead after this edge: transformed copies always (they die right
+    // after the vertex), live relations when this is their last pending
+    // consumer edge.
     std::vector<Relation> transformed(vx.inputs.size());
-    std::vector<const Relation*> arg_ptrs(vx.inputs.size());
+    std::vector<ExecInput> arg_inputs(vx.inputs.size());
     for (size_t j = 0; j < vx.inputs.size(); ++j) {
-      const Relation& src = live.at(vx.inputs[j]);
+      Relation& src = live.at(vx.inputs[j]);
       const EdgeAnnotation& e = va.input_edges[j];
       if (e.transform.has_value()) {
         MATOPT_ASSIGN_OR_RETURN(
             transformed[j], ExecuteTransform(catalog_, *e.transform, src,
                                              cluster_, &result.stats));
         track(transformed[j], +1.0);
-        arg_ptrs[j] = &transformed[j];
+        arg_inputs[j].rel = &transformed[j];
+        if (zero_copy_) arg_inputs[j].owned = &transformed[j];
       } else {
-        arg_ptrs[j] = &src;
+        arg_inputs[j].rel = &src;
+        if (zero_copy_ && remaining[vx.inputs[j]] == 1) {
+          arg_inputs[j].owned = &src;
+        }
       }
+    }
+    ExecOptions opts;
+    opts.zero_copy = zero_copy_;
+    if (auto fit = fused_at.find(v); fit != fused_at.end()) {
+      opts.fuse = fit->second.fuse;
+      if (fit->second.other >= 0) {
+        opts.fuse_other = &live.at(fit->second.other);
+        opts.fuse_other_is_lhs = fit->second.other_is_lhs;
+      }
+    }
+    if (auto pit = passthrough.find(v); pit != passthrough.end()) {
+      opts.passthrough_arg = pit->second;
     }
     MATOPT_RETURN_IF_ERROR(check_disk());
     MATOPT_ASSIGN_OR_RETURN(
-        Relation out, ExecuteImpl(catalog_, va.impl, va.output_format,
-                                  arg_ptrs, vx, cluster_, &result.stats));
+        Relation out,
+        ExecuteImpl(catalog_, va.impl, va.output_format, arg_inputs, vx,
+                    cluster_, &result.stats, opts));
     track(out, +1.0);
     MATOPT_RETURN_IF_ERROR(check_disk());
     live[v] = std::move(out);
@@ -998,11 +1344,13 @@ Result<ExecResult> PlanExecutor::Execute(
     for (size_t j = 0; j < vx.inputs.size(); ++j) {
       if (va.input_edges[j].transform.has_value()) {
         track(transformed[j], -1.0);  // transformed copies die immediately
+        if (zero_copy_) RecycleRelation(&transformed[j]);
       }
     }
     for (int in : vx.inputs) {
       if (--remaining[in] == 0) {
         track(live.at(in), -1.0);
+        if (zero_copy_) RecycleRelation(&live.at(in));
         live.erase(in);
       }
     }
@@ -1011,6 +1359,15 @@ Result<ExecResult> PlanExecutor::Execute(
   for (int sink : graph.Sinks()) {
     result.sinks.emplace(sink, std::move(live.at(sink)));
   }
+
+  // Pool counters are process-global and scheduling-dependent (worker
+  // threads share the store), so they are observability only — the
+  // deterministic memory fields above never depend on them.
+  const BufferPool::Stats pool_after = BufferPool::Default().snapshot();
+  result.stats.memory.pool_hits = pool_after.hits - pool_before.hits;
+  result.stats.memory.pool_misses = pool_after.misses - pool_before.misses;
+  result.stats.memory.pool_bytes_recycled =
+      pool_after.bytes_recycled - pool_before.bytes_recycled;
   return result;
 }
 

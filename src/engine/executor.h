@@ -42,9 +42,21 @@ class PlanExecutor {
   Result<ExecResult> DryRun(const ComputeGraph& graph,
                             const Annotation& annotation) const;
 
+  /// Toggles the zero-copy memory layer (payload stealing, in-place and
+  /// fused kernels, view accumulation). Defaults to on unless the
+  /// MATOPT_ZERO_COPY environment variable is set to 0. Results are
+  /// bit-identical either way; only local memory traffic changes.
+  void set_zero_copy(bool enabled) { zero_copy_ = enabled; }
+  bool zero_copy() const { return zero_copy_; }
+
+  /// Process default for new executors (MATOPT_ZERO_COPY env, on unless
+  /// set to 0).
+  static bool DefaultZeroCopy();
+
  private:
   const Catalog& catalog_;
   const ClusterConfig& cluster_;
+  bool zero_copy_ = DefaultZeroCopy();
 };
 
 }  // namespace matopt

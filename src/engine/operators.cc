@@ -38,6 +38,10 @@ Result<Relation> ExecuteTransform(const Catalog& catalog, TransformKind kind,
   StageAccountant acct(cluster, stats,
                        std::string("transform:") + TransformKindName(kind));
   std::vector<double> in_bytes = input.WorkerBytes(cluster.num_workers);
+  // A transformation re-materializes the relation: the source is read out
+  // and the target chunking written fresh. Charged identically in dry-run
+  // and data mode (shape-derived).
+  stats->memory.bytes_copied += dst_stats.total_bytes;
   for (int w = 0; w < cluster.num_workers; ++w) {
     acct.AddNet(w, in_bytes[w]);
     acct.PeakWorkerMem(w, src_stats.max_tuple_bytes +

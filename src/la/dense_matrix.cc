@@ -2,8 +2,33 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "common/buffer_pool.h"
 
 namespace matopt {
+
+DenseMatrix DenseMatrix::Pooled(int64_t rows, int64_t cols) {
+  return DenseMatrix(rows, cols,
+                     BufferPool::Default().AcquireZeroed(rows * cols));
+}
+
+void DenseMatrix::Recycle() {
+  BufferPool::Default().Release(std::move(data_));
+  data_.clear();
+  rows_ = 0;
+  cols_ = 0;
+}
+
+DenseBlockView DenseMatrix::MutableBlock(int64_t r0, int64_t c0, int64_t nr,
+                                         int64_t nc) {
+  DenseBlockView view;
+  view.data = data_.data() + r0 * cols_ + c0;
+  view.rows = std::min(nr, rows_ - r0);
+  view.cols = std::min(nc, cols_ - c0);
+  view.stride = cols_;
+  return view;
+}
 
 DenseMatrix DenseMatrix::Block(int64_t r0, int64_t c0, int64_t nr,
                                int64_t nc) const {

@@ -8,6 +8,19 @@
 
 namespace matopt {
 
+/// Mutable view of a rectangular block inside a row-major buffer. Kernels
+/// accumulate through this to write directly into a strip owned by the
+/// caller, instead of materializing a Block() copy and SetBlock()-ing it
+/// back. `stride` is the row pitch of the underlying buffer.
+struct DenseBlockView {
+  double* data = nullptr;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t stride = 0;
+
+  double* row(int64_t r) const { return data + r * stride; }
+};
+
 /// Row-major dense matrix of doubles. This is the local computational
 /// kernel type: distributed layouts (strips, tiles, single tuple) store one
 /// DenseMatrix per tuple.
@@ -18,6 +31,15 @@ class DenseMatrix {
       : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
   DenseMatrix(int64_t rows, int64_t cols, std::vector<double> data)
       : rows_(rows), cols_(cols), data_(std::move(data)) {}
+
+  /// Zero-filled matrix whose storage comes from the process BufferPool
+  /// when a recycled buffer of the right size class is available.
+  /// Observable state is identical to DenseMatrix(rows, cols).
+  static DenseMatrix Pooled(int64_t rows, int64_t cols);
+
+  /// Returns this matrix's storage to the BufferPool and leaves the matrix
+  /// empty (0 x 0). Call only on matrices about to be destroyed.
+  void Recycle();
 
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
@@ -40,6 +62,10 @@ class DenseMatrix {
 
   /// Writes `block` into this matrix at offset (r0, c0).
   void SetBlock(int64_t r0, int64_t c0, const DenseMatrix& block);
+
+  /// Mutable view of the block [r0, r0+nr) x [c0, c0+nc), clamped at the
+  /// edges like Block(). The view aliases this matrix's storage.
+  DenseBlockView MutableBlock(int64_t r0, int64_t c0, int64_t nr, int64_t nc);
 
   /// Fraction of entries that are non-zero.
   double Sparsity() const;

@@ -20,26 +20,44 @@ constexpr int64_t kElemGrain = 1 << 15;
 /// Rows of B kept hot per pass of the blocked Gemm inner loops.
 constexpr int64_t kGemmKBlock = 256;
 
+/// Grain for partitioning `rows` row-units of `cols` elements each, so one
+/// chunk carries ~kElemGrain entries. Depends only on the shape.
+int64_t RowGrain(int64_t rows, int64_t cols) {
+  (void)rows;
+  return std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, cols));
+}
+
 template <typename F>
-DenseMatrix ZipWith(const DenseMatrix& a, const DenseMatrix& b, F f) {
-  DenseMatrix out(a.rows(), a.cols());
+void ZipWithInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out,
+                 F f) {
   const double* pa = a.data();
   const double* pb = b.data();
-  double* po = out.data();
+  double* po = out->data();
   ParallelFor(0, a.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) po[i] = f(pa[i], pb[i]);
   });
+}
+
+template <typename F>
+DenseMatrix ZipWith(const DenseMatrix& a, const DenseMatrix& b, F f) {
+  DenseMatrix out = DenseMatrix::Pooled(a.rows(), a.cols());
+  ZipWithInto(a, b, &out, f);
   return out;
 }
 
 template <typename F>
-DenseMatrix MapWith(const DenseMatrix& a, F f) {
-  DenseMatrix out(a.rows(), a.cols());
+void MapWithInto(const DenseMatrix& a, DenseMatrix* out, F f) {
   const double* pa = a.data();
-  double* po = out.data();
+  double* po = out->data();
   ParallelFor(0, a.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) po[i] = f(pa[i]);
   });
+}
+
+template <typename F>
+DenseMatrix MapWith(const DenseMatrix& a, F f) {
+  DenseMatrix out = DenseMatrix::Pooled(a.rows(), a.cols());
+  MapWithInto(a, &out, f);
   return out;
 }
 
@@ -49,9 +67,9 @@ DenseMatrix MapWith(const DenseMatrix& a, F f) {
 /// every c(i, j) accumulation in exactly the seed kernel's order.
 /// `skip_zeros` re-enables the zero-skip for mostly-zero left operands;
 /// the dense path stays branch-free so the j loop vectorizes.
-template <bool skip_zeros>
-void GemmAccumulateRows(const DenseMatrix& a, const DenseMatrix& b,
-                        DenseMatrix* c, int64_t r0, int64_t r1) {
+template <bool skip_zeros, typename Out>
+void GemmAccumulateRows(const DenseMatrix& a, const DenseMatrix& b, Out* c,
+                        int64_t r0, int64_t r1) {
   const int64_t k = a.cols();
   const int64_t n = b.cols();
   for (int64_t kb = 0; kb < k; kb += kGemmKBlock) {
@@ -71,10 +89,8 @@ void GemmAccumulateRows(const DenseMatrix& a, const DenseMatrix& b,
   }
 }
 
-}  // namespace
-
-void GemmAccumulate(const DenseMatrix& a, const DenseMatrix& b,
-                    DenseMatrix* c) {
+template <typename Out>
+void GemmAccumulateImpl(const DenseMatrix& a, const DenseMatrix& b, Out* c) {
   const int64_t m = a.rows();
   const int64_t k = a.cols();
   const int64_t n = b.cols();
@@ -82,14 +98,18 @@ void GemmAccumulate(const DenseMatrix& a, const DenseMatrix& b,
 
   // The zero-skip only pays when the lhs is mostly zeros (e.g. relu
   // output fed through a dense layout); for dense inputs the branch-free
-  // inner loop vectorizes. The density scan is O(mk), negligible against
-  // the O(mkn) multiply.
+  // inner loop vectorizes. Sample at most 4096 strided entries: small
+  // repeated GEMMs stop paying a full O(mk) pass, and either branch
+  // produces bit-identical results so a flipped decision is harmless.
   bool skip_zeros = false;
-  if (m * k > 0) {
+  const int64_t total = m * k;
+  if (total > 0) {
+    const int64_t samples = std::min<int64_t>(total, 4096);
+    const int64_t stride = total / samples;
     int64_t zeros = 0;
     const double* pa = a.data();
-    for (int64_t i = 0; i < m * k; ++i) zeros += (pa[i] == 0.0);
-    skip_zeros = zeros * 8 > m * k * 7;  // > 87.5% zeros
+    for (int64_t s = 0; s < samples; ++s) zeros += (pa[s * stride] == 0.0);
+    skip_zeros = zeros * 8 > samples * 7;  // > 87.5% zeros
   }
 
   auto run_rows = [&](int64_t r0, int64_t r1) {
@@ -110,36 +130,102 @@ void GemmAccumulate(const DenseMatrix& a, const DenseMatrix& b,
   ParallelFor(0, m, grain, run_rows);
 }
 
+}  // namespace
+
+void GemmAccumulate(const DenseMatrix& a, const DenseMatrix& b,
+                    DenseMatrix* c) {
+  GemmAccumulateImpl(a, b, c);
+}
+
+void GemmAccumulate(const DenseMatrix& a, const DenseMatrix& b,
+                    DenseBlockView c) {
+  GemmAccumulateImpl(a, b, &c);
+}
+
 DenseMatrix Gemm(const DenseMatrix& a, const DenseMatrix& b) {
-  DenseMatrix out(a.rows(), b.cols());
+  DenseMatrix out = DenseMatrix::Pooled(a.rows(), b.cols());
   GemmAccumulate(a, b, &out);
   return out;
 }
 
+namespace {
+
+constexpr auto kAddOp = [](double x, double y) { return x + y; };
+constexpr auto kSubOp = [](double x, double y) { return x - y; };
+constexpr auto kMulOp = [](double x, double y) { return x * y; };
+constexpr auto kDivOp = [](double x, double y) { return x / y; };
+constexpr auto kReluGradOp = [](double up, double zz) {
+  return zz > 0.0 ? up : 0.0;
+};
+constexpr auto kReluOp = [](double x) { return x > 0.0 ? x : 0.0; };
+constexpr auto kSigmoidOp = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
+constexpr auto kExpOp = [](double x) { return std::exp(x); };
+
+}  // namespace
+
 DenseMatrix Add(const DenseMatrix& a, const DenseMatrix& b) {
-  return ZipWith(a, b, [](double x, double y) { return x + y; });
+  return ZipWith(a, b, kAddOp);
 }
 
 DenseMatrix Sub(const DenseMatrix& a, const DenseMatrix& b) {
-  return ZipWith(a, b, [](double x, double y) { return x - y; });
+  return ZipWith(a, b, kSubOp);
 }
 
 DenseMatrix Hadamard(const DenseMatrix& a, const DenseMatrix& b) {
-  return ZipWith(a, b, [](double x, double y) { return x * y; });
+  return ZipWith(a, b, kMulOp);
 }
 
 DenseMatrix ElemDiv(const DenseMatrix& a, const DenseMatrix& b) {
-  return ZipWith(a, b, [](double x, double y) { return x / y; });
+  return ZipWith(a, b, kDivOp);
 }
 
 DenseMatrix ScalarMul(const DenseMatrix& a, double s) {
   return MapWith(a, [s](double x) { return s * x; });
 }
 
+void AddInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out) {
+  ZipWithInto(a, b, out, kAddOp);
+}
+
+void SubInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out) {
+  ZipWithInto(a, b, out, kSubOp);
+}
+
+void HadamardInto(const DenseMatrix& a, const DenseMatrix& b,
+                  DenseMatrix* out) {
+  ZipWithInto(a, b, out, kMulOp);
+}
+
+void ElemDivInto(const DenseMatrix& a, const DenseMatrix& b,
+                 DenseMatrix* out) {
+  ZipWithInto(a, b, out, kDivOp);
+}
+
+void ReluGradInto(const DenseMatrix& z, const DenseMatrix& upstream,
+                  DenseMatrix* out) {
+  ZipWithInto(upstream, z, out, kReluGradOp);
+}
+
+void ScalarMulInto(const DenseMatrix& a, double s, DenseMatrix* out) {
+  MapWithInto(a, out, [s](double x) { return s * x; });
+}
+
+void ReluInto(const DenseMatrix& a, DenseMatrix* out) {
+  MapWithInto(a, out, kReluOp);
+}
+
+void SigmoidInto(const DenseMatrix& a, DenseMatrix* out) {
+  MapWithInto(a, out, kSigmoidOp);
+}
+
+void ExpInto(const DenseMatrix& a, DenseMatrix* out) {
+  MapWithInto(a, out, kExpOp);
+}
+
 DenseMatrix Transpose(const DenseMatrix& a) {
   const int64_t m = a.rows();
   const int64_t n = a.cols();
-  DenseMatrix out(n, m);
+  DenseMatrix out = DenseMatrix::Pooled(n, m);
   constexpr int64_t kTile = 64;
   // Tiled copy: both the read and the write touch at most a kTile-wide
   // stripe, keeping one side cache-resident. Parallel over row-tile bands.
@@ -166,23 +252,19 @@ DenseMatrix Transpose(const DenseMatrix& a) {
   return out;
 }
 
-DenseMatrix Relu(const DenseMatrix& a) {
-  return MapWith(a, [](double x) { return x > 0.0 ? x : 0.0; });
-}
+DenseMatrix Relu(const DenseMatrix& a) { return MapWith(a, kReluOp); }
 
 DenseMatrix ReluGrad(const DenseMatrix& z, const DenseMatrix& upstream) {
-  return ZipWith(upstream, z,
-                 [](double up, double zz) { return zz > 0.0 ? up : 0.0; });
+  return ZipWith(upstream, z, kReluGradOp);
 }
 
-DenseMatrix Softmax(const DenseMatrix& a) {
-  DenseMatrix out(a.rows(), a.cols());
+void SoftmaxInto(const DenseMatrix& a, DenseMatrix* out) {
   const int64_t cols = a.cols();
-  int64_t grain = std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, cols));
-  ParallelFor(0, a.rows(), grain, [&](int64_t r0, int64_t r1) {
+  ParallelFor(0, a.rows(), RowGrain(a.rows(), cols),
+              [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       const double* in = a.row(r);
-      double* o = out.row(r);
+      double* o = out->row(r);
       double mx = *std::max_element(in, in + cols);
       double sum = 0.0;
       for (int64_t c = 0; c < cols; ++c) {
@@ -192,22 +274,23 @@ DenseMatrix Softmax(const DenseMatrix& a) {
       for (int64_t c = 0; c < cols; ++c) o[c] /= sum;
     }
   });
+}
+
+DenseMatrix Softmax(const DenseMatrix& a) {
+  DenseMatrix out = DenseMatrix::Pooled(a.rows(), a.cols());
+  SoftmaxInto(a, &out);
   return out;
 }
 
-DenseMatrix Sigmoid(const DenseMatrix& a) {
-  return MapWith(a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
-}
+DenseMatrix Sigmoid(const DenseMatrix& a) { return MapWith(a, kSigmoidOp); }
 
-DenseMatrix Exp(const DenseMatrix& a) {
-  return MapWith(a, [](double x) { return std::exp(x); });
-}
+DenseMatrix Exp(const DenseMatrix& a) { return MapWith(a, kExpOp); }
 
 DenseMatrix RowSum(const DenseMatrix& a) {
-  DenseMatrix out(a.rows(), 1);
+  DenseMatrix out = DenseMatrix::Pooled(a.rows(), 1);
   const int64_t cols = a.cols();
-  int64_t grain = std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, cols));
-  ParallelFor(0, a.rows(), grain, [&](int64_t r0, int64_t r1) {
+  ParallelFor(0, a.rows(), RowGrain(a.rows(), cols),
+              [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       const double* in = a.row(r);
       double s = 0.0;
@@ -219,12 +302,11 @@ DenseMatrix RowSum(const DenseMatrix& a) {
 }
 
 DenseMatrix ColSum(const DenseMatrix& a) {
-  DenseMatrix out(1, a.cols());
+  DenseMatrix out = DenseMatrix::Pooled(1, a.cols());
   // Partitioned over disjoint column stripes; each column still
   // accumulates its rows in ascending order, matching the sequential sum.
   const int64_t rows = a.rows();
-  int64_t grain =
-      std::max<int64_t>(16, kElemGrain / std::max<int64_t>(1, rows));
+  int64_t grain = std::max<int64_t>(16, RowGrain(a.cols(), rows));
   ParallelFor(0, a.cols(), grain, [&](int64_t c0, int64_t c1) {
     double* o = out.row(0);
     for (int64_t r = 0; r < rows; ++r) {
@@ -235,18 +317,79 @@ DenseMatrix ColSum(const DenseMatrix& a) {
   return out;
 }
 
-DenseMatrix BroadcastRowAdd(const DenseMatrix& a, const DenseMatrix& vec) {
-  DenseMatrix out(a.rows(), a.cols());
+void BroadcastRowAddInto(const DenseMatrix& a, const DenseMatrix& vec,
+                         DenseMatrix* out) {
   const int64_t cols = a.cols();
   const double* v = vec.row(0);
-  int64_t grain = std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, cols));
-  ParallelFor(0, a.rows(), grain, [&](int64_t r0, int64_t r1) {
+  ParallelFor(0, a.rows(), RowGrain(a.rows(), cols),
+              [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       const double* in = a.row(r);
-      double* o = out.row(r);
+      double* o = out->row(r);
       for (int64_t c = 0; c < cols; ++c) o[c] = in[c] + v[c];
     }
   });
+}
+
+DenseMatrix BroadcastRowAdd(const DenseMatrix& a, const DenseMatrix& vec) {
+  DenseMatrix out = DenseMatrix::Pooled(a.rows(), a.cols());
+  BroadcastRowAddInto(a, vec, &out);
+  return out;
+}
+
+void BiasReluInto(const DenseMatrix& a, const DenseMatrix& vec,
+                  DenseMatrix* out) {
+  const int64_t cols = a.cols();
+  const double* v = vec.row(0);
+  ParallelFor(0, a.rows(), RowGrain(a.rows(), cols),
+              [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const double* in = a.row(r);
+      double* o = out->row(r);
+      for (int64_t c = 0; c < cols; ++c) {
+        const double s = in[c] + v[c];
+        o[c] = s > 0.0 ? s : 0.0;
+      }
+    }
+  });
+}
+
+DenseMatrix BiasRelu(const DenseMatrix& a, const DenseMatrix& vec) {
+  DenseMatrix out = DenseMatrix::Pooled(a.rows(), a.cols());
+  BiasReluInto(a, vec, &out);
+  return out;
+}
+
+void ReluGradHadamardInto(const DenseMatrix& z, const DenseMatrix& upstream,
+                          const DenseMatrix& other, bool other_is_lhs,
+                          DenseMatrix* out) {
+  const double* pz = z.data();
+  const double* pu = upstream.data();
+  const double* po = other.data();
+  double* pr = out->data();
+  // t is materialized before the multiply so signed zeros and NaNs
+  // propagate exactly as in the unfused Hadamard(ReluGrad(...), other).
+  if (other_is_lhs) {
+    ParallelFor(0, z.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        const double t = pz[i] > 0.0 ? pu[i] : 0.0;
+        pr[i] = po[i] * t;
+      }
+    });
+  } else {
+    ParallelFor(0, z.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        const double t = pz[i] > 0.0 ? pu[i] : 0.0;
+        pr[i] = t * po[i];
+      }
+    });
+  }
+}
+
+DenseMatrix ReluGradHadamard(const DenseMatrix& z, const DenseMatrix& upstream,
+                             const DenseMatrix& other, bool other_is_lhs) {
+  DenseMatrix out = DenseMatrix::Pooled(z.rows(), z.cols());
+  ReluGradHadamardInto(z, upstream, other, other_is_lhs, &out);
   return out;
 }
 
@@ -299,7 +442,7 @@ Result<DenseMatrix> Inverse(const DenseMatrix& a) {
   }
 
   // Solve LU x = P e_j for each unit vector; columns are independent.
-  DenseMatrix out(n, n);
+  DenseMatrix out = DenseMatrix::Pooled(n, n);
   int64_t grain = std::max<int64_t>(
       1, kParallelFlopThreshold / std::max<int64_t>(1, 2 * n * n));
   ParallelFor(0, n, grain, [&](int64_t j0, int64_t j1) {

@@ -18,6 +18,12 @@ DenseMatrix Gemm(const DenseMatrix& a, const DenseMatrix& b);
 void GemmAccumulate(const DenseMatrix& a, const DenseMatrix& b,
                     DenseMatrix* c);
 
+/// C_view += A * B, accumulating straight into a block view of the
+/// caller's buffer (e.g. an output strip). Same loop order — and therefore
+/// bit-identical results — as the DenseMatrix* overload.
+void GemmAccumulate(const DenseMatrix& a, const DenseMatrix& b,
+                    DenseBlockView c);
+
 DenseMatrix Add(const DenseMatrix& a, const DenseMatrix& b);
 DenseMatrix Sub(const DenseMatrix& a, const DenseMatrix& b);
 DenseMatrix Hadamard(const DenseMatrix& a, const DenseMatrix& b);
@@ -29,6 +35,44 @@ DenseMatrix Relu(const DenseMatrix& a);
 /// Derivative of relu evaluated at pre-activation `z`, multiplied
 /// element-wise into `upstream`: out = upstream .* (z > 0).
 DenseMatrix ReluGrad(const DenseMatrix& z, const DenseMatrix& upstream);
+
+/// In-place element-wise variants. `out` must already have the result
+/// shape and may alias either input; every element is overwritten with
+/// exactly the value the out-of-place kernel would produce. The executor
+/// uses these to reuse a dying operand's buffer instead of allocating.
+void AddInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out);
+void SubInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out);
+void HadamardInto(const DenseMatrix& a, const DenseMatrix& b,
+                  DenseMatrix* out);
+void ElemDivInto(const DenseMatrix& a, const DenseMatrix& b,
+                 DenseMatrix* out);
+void ReluGradInto(const DenseMatrix& z, const DenseMatrix& upstream,
+                  DenseMatrix* out);
+void ScalarMulInto(const DenseMatrix& a, double s, DenseMatrix* out);
+void ReluInto(const DenseMatrix& a, DenseMatrix* out);
+void SigmoidInto(const DenseMatrix& a, DenseMatrix* out);
+void ExpInto(const DenseMatrix& a, DenseMatrix* out);
+void SoftmaxInto(const DenseMatrix& a, DenseMatrix* out);
+void BroadcastRowAddInto(const DenseMatrix& a, const DenseMatrix& vec,
+                         DenseMatrix* out);
+
+/// Fused bias-add + relu: out = max(a + vec_broadcast, 0). Bit-identical
+/// to Relu(BroadcastRowAdd(a, vec)).
+DenseMatrix BiasRelu(const DenseMatrix& a, const DenseMatrix& vec);
+void BiasReluInto(const DenseMatrix& a, const DenseMatrix& vec,
+                  DenseMatrix* out);
+
+/// Fused relu-grad + Hadamard for the backprop hot path. With
+/// t = (z > 0 ? upstream : 0), returns other .* t when `other_is_lhs`
+/// and t .* other otherwise — bit-identical to
+/// Hadamard(other, ReluGrad(z, upstream)) resp. Hadamard(ReluGrad(...),
+/// other), including signed-zero propagation (t is computed first, then
+/// multiplied, never short-circuited).
+DenseMatrix ReluGradHadamard(const DenseMatrix& z, const DenseMatrix& upstream,
+                             const DenseMatrix& other, bool other_is_lhs);
+void ReluGradHadamardInto(const DenseMatrix& z, const DenseMatrix& upstream,
+                          const DenseMatrix& other, bool other_is_lhs,
+                          DenseMatrix* out);
 
 /// Row-wise softmax with the usual max-subtraction for stability.
 DenseMatrix Softmax(const DenseMatrix& a);

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <tuple>
+#include <utility>
+
+#include "common/buffer_pool.h"
 
 namespace matopt {
 
@@ -66,13 +69,20 @@ DenseMatrix SparseMatrix::ToDense() const {
 
 SparseMatrix SparseMatrix::RowSlice(int64_t r0, int64_t nr) const {
   nr = std::min(nr, rows_ - r0);
-  SparseMatrix out(nr, cols_);
+  SparseMatrix out;
+  out.rows_ = nr;
+  out.cols_ = cols_;
+  BufferPool& pool = BufferPool::Default();
   int64_t base = row_ptr_[r0];
+  const int64_t count = row_ptr_[r0 + nr] - base;
+  out.row_ptr_ = pool.AcquireIndexZeroed(nr + 1);
   for (int64_t r = 0; r < nr; ++r) {
     out.row_ptr_[r + 1] = row_ptr_[r0 + r + 1] - base;
   }
+  out.col_idx_ = pool.AcquireIndexEmpty(count);
   out.col_idx_.assign(col_idx_.begin() + base,
                       col_idx_.begin() + row_ptr_[r0 + nr]);
+  out.values_ = pool.AcquireEmpty(count);
   out.values_.assign(values_.begin() + base,
                      values_.begin() + row_ptr_[r0 + nr]);
   return out;
@@ -80,7 +90,15 @@ SparseMatrix SparseMatrix::RowSlice(int64_t r0, int64_t nr) const {
 
 SparseMatrix SparseMatrix::ColSlice(int64_t c0, int64_t nc) const {
   nc = std::min(nc, cols_ - c0);
-  SparseMatrix out(rows_, nc);
+  SparseMatrix out;
+  out.rows_ = rows_;
+  out.cols_ = nc;
+  BufferPool& pool = BufferPool::Default();
+  out.row_ptr_ = pool.AcquireIndexZeroed(rows_ + 1);
+  // nnz() is an upper bound on the slice's entry count; reserving it lets
+  // a recycled buffer absorb the push_back fill without reallocating.
+  out.col_idx_ = pool.AcquireIndexEmpty(nnz());
+  out.values_ = pool.AcquireEmpty(nnz());
   for (int64_t r = 0; r < rows_; ++r) {
     for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
       int64_t c = col_idx_[i];
@@ -94,8 +112,22 @@ SparseMatrix SparseMatrix::ColSlice(int64_t c0, int64_t nc) const {
   return out;
 }
 
-void SpMmAccumulate(const SparseMatrix& a, const DenseMatrix& b,
-                    DenseMatrix* c) {
+void SparseMatrix::Recycle() {
+  BufferPool& pool = BufferPool::Default();
+  pool.Release(std::move(row_ptr_));
+  pool.Release(std::move(col_idx_));
+  pool.Release(std::move(values_));
+  row_ptr_.assign(1, 0);
+  col_idx_.clear();
+  values_.clear();
+  rows_ = 0;
+  cols_ = 0;
+}
+
+namespace {
+
+template <typename Out>
+void SpMmAccumulateImpl(const SparseMatrix& a, const DenseMatrix& b, Out* c) {
   for (int64_t r = 0; r < a.rows(); ++r) {
     double* out_row = c->row(r);
     for (int64_t i = a.row_ptr()[r]; i < a.row_ptr()[r + 1]; ++i) {
@@ -104,6 +136,18 @@ void SpMmAccumulate(const SparseMatrix& a, const DenseMatrix& b,
       for (int64_t j = 0; j < b.cols(); ++j) out_row[j] += v * b_row[j];
     }
   }
+}
+
+}  // namespace
+
+void SpMmAccumulate(const SparseMatrix& a, const DenseMatrix& b,
+                    DenseMatrix* c) {
+  SpMmAccumulateImpl(a, b, c);
+}
+
+void SpMmAccumulate(const SparseMatrix& a, const DenseMatrix& b,
+                    DenseBlockView c) {
+  SpMmAccumulateImpl(a, b, &c);
 }
 
 DenseMatrix SpMm(const SparseMatrix& a, const DenseMatrix& b) {

@@ -55,6 +55,10 @@ class SparseMatrix {
   /// CSC-flavored slice but stored as CSR of the slice).
   SparseMatrix ColSlice(int64_t c0, int64_t nc) const;
 
+  /// Returns the CSR arrays to the BufferPool and leaves the matrix empty.
+  /// Call only on matrices about to be destroyed (e.g. per-tile slices).
+  void Recycle();
+
  private:
   int64_t rows_;
   int64_t cols_;
@@ -66,6 +70,11 @@ class SparseMatrix {
 /// C += A_sparse * B_dense. B must have A.cols() rows.
 void SpMmAccumulate(const SparseMatrix& a, const DenseMatrix& b,
                     DenseMatrix* c);
+
+/// C_view += A_sparse * B_dense, accumulating straight into a block view
+/// of the caller's buffer. Same loop order as the DenseMatrix* overload.
+void SpMmAccumulate(const SparseMatrix& a, const DenseMatrix& b,
+                    DenseBlockView c);
 
 /// Returns A_sparse * B_dense.
 DenseMatrix SpMm(const SparseMatrix& a, const DenseMatrix& b);
