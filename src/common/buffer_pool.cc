@@ -78,6 +78,9 @@ bool ReadEnabledEnv() {
   return env == nullptr || env[0] != '0';
 }
 
+// -1 = no override (environment decides), 0 = forced off, 1 = forced on.
+std::atomic<int> g_enabled_override{-1};
+
 }  // namespace
 
 BufferPool& BufferPool::Default() {
@@ -86,8 +89,18 @@ BufferPool& BufferPool::Default() {
 }
 
 bool BufferPool::Enabled() {
+  const int forced = g_enabled_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
   static const bool enabled = ReadEnabledEnv();
   return enabled;
+}
+
+void BufferPool::OverrideEnabled(bool enabled) {
+  g_enabled_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void BufferPool::ClearEnabledOverride() {
+  g_enabled_override.store(-1, std::memory_order_relaxed);
 }
 
 void BufferPool::ClearThreadCache() {

@@ -42,6 +42,13 @@ class BufferPool {
   /// acquire allocates fresh and every release frees (for A/B runs).
   static bool Enabled();
 
+  /// Runtime override of Enabled(), taking precedence over the
+  /// environment. Used by the fuzz oracles and tests to A/B the pool
+  /// within one process; results must be bit-identical either way.
+  static void OverrideEnabled(bool enabled);
+  /// Restores environment-driven behaviour after OverrideEnabled.
+  static void ClearEnabledOverride();
+
   /// Drops every buffer cached by the calling thread (tests; bounding
   /// memory between benchmark configurations).
   static void ClearThreadCache();

@@ -6,6 +6,24 @@
 
 namespace matopt {
 
+/// SplitMix64 mixing step (Steele et al.). Used to derive statistically
+/// independent child seeds from one master seed: unlike ad-hoc arithmetic
+/// such as `seed * 31 + i`, nearby (seed, stream) pairs never yield
+/// correlated or colliding generator states.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Child seed for stream `stream` of master seed `seed`. Every random
+/// choice in the fuzzing subsystem flows from one printed uint64 through
+/// this function, so any iteration is replayable from that seed alone.
+inline uint64_t DeriveSeed(uint64_t seed, uint64_t stream) {
+  return SplitMix64(seed ^ SplitMix64(stream));
+}
+
 /// Deterministic random source for data generators and tests. All
 /// experiment data in this repository is reproducible from a seed.
 class Rng {

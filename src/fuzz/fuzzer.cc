@@ -1,0 +1,181 @@
+#include "fuzz/fuzzer.h"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/random.h"
+#include "core/cost/cost_model.h"
+#include "core/ops/catalog.h"
+#include "engine/cluster.h"
+
+namespace matopt::fuzz {
+
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string WriteRepro(const FuzzConfig& config, const FuzzFailure& failure,
+                       std::string* error) {
+  std::ostringstream name;
+  name << config.repro_dir << "/matopt_fuzz_repro_"
+       << FuzzShapeName(failure.shape) << "_" << failure.seed << ".txt";
+
+  std::vector<std::string> header;
+  {
+    std::ostringstream h;
+    h << "shape=" << FuzzShapeName(failure.shape) << " seed=" << failure.seed
+      << " iteration=" << failure.iteration << " base_seed="
+      << config.base_seed;
+    header.push_back(h.str());
+  }
+  {
+    std::ostringstream h;
+    h << "limits: min_dim=" << config.limits.min_dim
+      << " max_dim=" << config.limits.max_dim
+      << " max_ops=" << config.limits.max_ops
+      << " workers=" << config.workers;
+    header.push_back(h.str());
+  }
+  {
+    std::ostringstream h;
+    h << "shrink: rounds=" << failure.shrink_stats.rounds
+      << " attempts=" << failure.shrink_stats.attempts
+      << " accepted=" << failure.shrink_stats.accepted << " vertices="
+      << failure.shrunk.graph.num_vertices();
+    header.push_back(h.str());
+  }
+  for (const std::string& line : SplitLines(failure.shrunk_report.ToString())) {
+    header.push_back("oracle: " + line);
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(config.repro_dir, ec);
+  std::ofstream out(name.str());
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + name.str();
+    return "";
+  }
+  out << SerializeRepro(failure.shrunk, header);
+  if (!out) {
+    if (error != nullptr) *error = "write failed for " + name.str();
+    return "";
+  }
+  return name.str();
+}
+
+}  // namespace
+
+FuzzSummary RunFuzz(const FuzzConfig& config) {
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(config.workers);
+  CostModel model = CostModel::Analytic(cluster);
+
+  const std::vector<FuzzShape>& shapes =
+      config.shapes.empty() ? AllFuzzShapes() : config.shapes;
+
+  FuzzSummary summary;
+  for (int i = 0; i < config.iters; ++i) {
+    const FuzzShape shape = shapes[i % shapes.size()];
+    const uint64_t seed = config.derive_seeds
+                              ? DeriveSeed(config.base_seed, i)
+                              : config.base_seed + static_cast<uint64_t>(i);
+    FuzzProgram program = GenerateProgram(shape, seed, config.limits);
+    OracleReport report =
+        RunOracles(program, catalog, model, cluster, config.oracle);
+    ++summary.iterations;
+
+    if (config.log != nullptr && config.log_every > 0 &&
+        (i + 1) % config.log_every == 0) {
+      *config.log << "[matopt_fuzz] " << (i + 1) << "/" << config.iters
+                  << " iterations, " << summary.failures.size()
+                  << " failure(s)\n";
+    }
+    if (report.ok()) continue;
+
+    FuzzFailure failure;
+    failure.shape = shape;
+    failure.seed = seed;
+    failure.iteration = i;
+    failure.report = report;
+    failure.shrunk = program;
+    failure.shrunk_report = report;
+    if (config.shrink) {
+      auto still_fails = [&](const FuzzProgram& candidate) {
+        return !RunOracles(candidate, catalog, model, cluster, config.oracle)
+                    .ok();
+      };
+      failure.shrunk =
+          ShrinkProgram(program, still_fails, &failure.shrink_stats);
+      failure.shrunk_report =
+          RunOracles(failure.shrunk, catalog, model, cluster, config.oracle);
+    }
+    if (!config.repro_dir.empty()) {
+      std::string error;
+      failure.repro_path = WriteRepro(config, failure, &error);
+      if (failure.repro_path.empty() && config.log != nullptr) {
+        *config.log << "[matopt_fuzz] repro not written: " << error << "\n";
+      }
+    }
+    if (config.log != nullptr) {
+      *config.log << "[matopt_fuzz] FAILURE at iteration " << i << ": shape "
+                  << FuzzShapeName(shape) << ", seed " << seed << "\n"
+                  << "  original (" << program.graph.num_vertices()
+                  << " vertices):\n";
+      for (const std::string& line : SplitLines(report.ToString())) {
+        *config.log << "    " << line << "\n";
+      }
+      *config.log << "  shrunk to " << failure.shrunk.graph.num_vertices()
+                  << " vertices (" << failure.shrink_stats.attempts
+                  << " attempts):\n";
+      for (const std::string& line :
+           SplitLines(failure.shrunk_report.ToString())) {
+        *config.log << "    " << line << "\n";
+      }
+      if (!failure.repro_path.empty()) {
+        *config.log << "  repro: " << failure.repro_path << "\n";
+      }
+      const FuzzLimits quick = FuzzLimits::Quick();
+      const bool is_quick = config.limits.min_dim == quick.min_dim &&
+                            config.limits.max_dim == quick.max_dim &&
+                            config.limits.max_ops == quick.max_ops;
+      *config.log << "  replay: matopt_fuzz --shape " << FuzzShapeName(shape)
+                  << " --seed " << seed << " --iters 1 --raw-seed"
+                  << (is_quick ? " --quick" : "") << "\n";
+    }
+    summary.failures.push_back(std::move(failure));
+    if (static_cast<int>(summary.failures.size()) >= config.max_failures) {
+      if (config.log != nullptr) {
+        *config.log << "[matopt_fuzz] stopping after "
+                    << summary.failures.size() << " failure(s)\n";
+      }
+      break;
+    }
+  }
+  return summary;
+}
+
+Result<OracleReport> RunReproFile(const std::string& path,
+                                  const FuzzConfig& config) {
+  std::ifstream in(path);
+  if (!in) return Status::InvalidArgument("cannot open repro file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  MATOPT_ASSIGN_OR_RETURN(FuzzProgram program, ParseRepro(text.str()));
+
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(config.workers);
+  CostModel model = CostModel::Analytic(cluster);
+  return RunOracles(program, catalog, model, cluster, config.oracle);
+}
+
+}  // namespace matopt::fuzz

@@ -1,0 +1,83 @@
+#ifndef MATOPT_FUZZ_FUZZER_H_
+#define MATOPT_FUZZ_FUZZER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.h"
+#include "fuzz/oracles.h"
+#include "fuzz/program.h"
+#include "fuzz/shrink.h"
+
+namespace matopt::fuzz {
+
+/// Configuration of one fuzzing campaign.
+struct FuzzConfig {
+  /// Campaign seed. Iteration i fuzzes shape shapes[i % shapes.size()]
+  /// with program seed DeriveSeed(base_seed, i); a failure report prints
+  /// that derived seed, which replays the program exactly (given the same
+  /// shape and limits).
+  uint64_t base_seed = 1;
+  int iters = 100;
+
+  /// When false, iteration i uses program seed base_seed + i instead of
+  /// DeriveSeed(base_seed, i) — the replay mode behind `--raw-seed`, so a
+  /// printed program seed can be re-fuzzed directly.
+  bool derive_seeds = true;
+  std::vector<FuzzShape> shapes;  // empty = all shapes
+  FuzzLimits limits;
+  OracleOptions oracle;
+
+  /// Simulated cluster size for the oracle stack.
+  int workers = 4;
+
+  /// Stop the campaign after this many distinct failures.
+  int max_failures = 3;
+
+  /// Minimize failing programs before reporting.
+  bool shrink = true;
+
+  /// Directory to write standalone repro files into ("" = don't write).
+  std::string repro_dir;
+
+  /// Progress / failure stream (nullptr = silent). `log_every` prints a
+  /// heartbeat line every N iterations (0 = no heartbeat).
+  std::ostream* log = nullptr;
+  int log_every = 0;
+};
+
+/// One oracle disagreement found by a campaign, with its minimized form.
+struct FuzzFailure {
+  FuzzShape shape = FuzzShape::kRandom;
+  uint64_t seed = 0;           // derived per-iteration program seed
+  int iteration = 0;
+  OracleReport report;         // failures of the original program
+  FuzzProgram shrunk;          // minimized program (== original if !shrink)
+  OracleReport shrunk_report;  // failures of the minimized program
+  ShrinkStats shrink_stats;
+  std::string repro_path;      // "" when no repro file was written
+};
+
+/// Outcome of one campaign.
+struct FuzzSummary {
+  int iterations = 0;
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Runs a fuzzing campaign: generate program -> run oracle stack -> on
+/// disagreement, shrink and serialize a repro. Builds its own catalog,
+/// analytic cost model, and SimSQL-profile cluster (config.workers).
+FuzzSummary RunFuzz(const FuzzConfig& config);
+
+/// Replays one serialized repro file through the oracle stack and returns
+/// its report (ok() = the repro no longer fails).
+Result<OracleReport> RunReproFile(const std::string& path,
+                                  const FuzzConfig& config);
+
+}  // namespace matopt::fuzz
+
+#endif  // MATOPT_FUZZ_FUZZER_H_

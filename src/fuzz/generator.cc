@@ -1,0 +1,314 @@
+#include "fuzz/generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "core/format/format.h"
+
+namespace matopt::fuzz {
+
+namespace {
+
+/// Per-program construction state: one Rng for structure plus derived
+/// per-input data seeds, so data and structure never share a stream.
+struct Builder {
+  Builder(FuzzShape shape, uint64_t seed, const FuzzLimits& limits)
+      : limits(limits), rng(DeriveSeed(seed, 1)) {
+    program.shape = shape;
+    program.seed = seed;
+  }
+
+  int64_t RandDim() {
+    return limits.min_dim + rng.UniformInt(limits.max_dim - limits.min_dim + 1);
+  }
+
+  FormatId RandDenseFormat() {
+    if (dense_formats.empty()) {
+      for (FormatId id : AllFormatIds()) {
+        if (!BuiltinFormats()[id].sparse()) dense_formats.push_back(id);
+      }
+    }
+    return dense_formats[rng.UniformInt(dense_formats.size())];
+  }
+
+  FormatId RandSparseFormat() {
+    if (sparse_formats.empty()) {
+      for (FormatId id : AllFormatIds()) {
+        if (BuiltinFormats()[id].sparse()) sparse_formats.push_back(id);
+      }
+    }
+    return sparse_formats[rng.UniformInt(sparse_formats.size())];
+  }
+
+  int AddDense(int64_t rows, int64_t cols,
+               FuzzInputSpec::Kind kind = FuzzInputSpec::Kind::kGaussian) {
+    int v = program.graph.AddInput(MatrixType(rows, cols), RandDenseFormat(),
+                                   "in" + std::to_string(next_input++));
+    FuzzInputSpec spec;
+    spec.kind = kind;
+    spec.data_seed = DeriveSeed(program.seed, 100 + v);
+    program.inputs.emplace(v, spec);
+    return v;
+  }
+
+  int AddSparse(int64_t rows, int64_t cols, double nnz_per_row,
+                FormatId format) {
+    double sparsity =
+        std::min(1.0, nnz_per_row / static_cast<double>(cols));
+    int v = program.graph.AddInput(MatrixType(rows, cols), format,
+                                   "in" + std::to_string(next_input++),
+                                   sparsity);
+    FuzzInputSpec spec;
+    spec.kind = FuzzInputSpec::Kind::kSparse;
+    spec.nnz_per_row = nnz_per_row;
+    spec.data_seed = DeriveSeed(program.seed, 100 + v);
+    program.inputs.emplace(v, spec);
+    return v;
+  }
+
+  /// AddOp that must succeed by construction (shapes are compatible).
+  int Op(OpKind op, std::vector<int> args, double scalar = 0.0) {
+    return program.graph.AddOp(op, std::move(args), "", scalar).value();
+  }
+
+  FuzzLimits limits;
+  Rng rng;
+  FuzzProgram program;
+  int next_input = 0;
+  std::vector<FormatId> dense_formats;
+  std::vector<FormatId> sparse_formats;
+};
+
+/// Matmul chain with random per-link transposes and an optional trailing
+/// map/reduction — tree-shaped, so the tree DP participates in the
+/// optimizer-agreement oracle.
+FuzzProgram GenChain(uint64_t seed, const FuzzLimits& limits) {
+  Builder b(FuzzShape::kChain, seed, limits);
+  const int links = 2 + static_cast<int>(b.rng.UniformInt(4));
+  std::vector<int64_t> dims(links + 1);
+  for (int64_t& d : dims) d = b.RandDim();
+
+  auto link_input = [&](int i) {
+    // Half the links arrive transposed so transpose implementations and
+    // transforms are exercised inside an otherwise pure chain.
+    if (b.rng.Uniform() < 0.5) {
+      int raw = b.AddDense(dims[i + 1], dims[i]);
+      return b.Op(OpKind::kTranspose, {raw});
+    }
+    return b.AddDense(dims[i], dims[i + 1]);
+  };
+
+  int acc = link_input(0);
+  for (int i = 1; i < links; ++i) {
+    acc = b.Op(OpKind::kMatMul, {acc, link_input(i)});
+  }
+  switch (b.rng.UniformInt(4)) {
+    case 0: acc = b.Op(OpKind::kRelu, {acc}); break;
+    case 1: acc = b.Op(OpKind::kSigmoid, {acc}); break;
+    case 2: acc = b.Op(OpKind::kRowSum, {acc}); break;
+    default: break;
+  }
+  return std::move(b.program);
+}
+
+/// One FFNN training step at fuzz scale: forward pass, softmax output,
+/// backprop through both layers, weight updates. Activations and deltas
+/// feed multiple consumers — the DAG sharing of Figure 5.
+FuzzProgram GenFfnn(uint64_t seed, const FuzzLimits& limits) {
+  Builder b(FuzzShape::kFfnn, seed, limits);
+  const int64_t batch = b.RandDim();
+  const int64_t features = b.RandDim();
+  const int64_t hidden = b.RandDim();
+  const int64_t labels = 2 + b.rng.UniformInt(8);
+  const double lr = 0.01 + 0.2 * b.rng.Uniform();
+
+  int x = b.AddDense(batch, features);
+  int w1 = b.AddDense(features, hidden);
+  int b1 = b.AddDense(1, hidden);
+  int w2 = b.AddDense(hidden, labels);
+  int b2 = b.AddDense(1, labels);
+  int l = b.AddDense(batch, labels);
+
+  int z1 = b.Op(OpKind::kMatMul, {x, w1});
+  int z1b = b.Op(OpKind::kBroadcastRowAdd, {z1, b1});
+  int h = b.Op(OpKind::kRelu, {z1b});
+  int z2 = b.Op(OpKind::kMatMul, {h, w2});
+  int z2b = b.Op(OpKind::kBroadcastRowAdd, {z2, b2});
+  int o = b.Op(OpKind::kSoftmax, {z2b});
+  int d = b.Op(OpKind::kSub, {o, l});
+  int ht = b.Op(OpKind::kTranspose, {h});
+  int gw2 = b.Op(OpKind::kMatMul, {ht, d});
+  int w2t = b.Op(OpKind::kTranspose, {w2});
+  int up = b.Op(OpKind::kMatMul, {d, w2t});
+  int dh = b.Op(OpKind::kReluGrad, {z1b, up});
+  int xt = b.Op(OpKind::kTranspose, {x});
+  int gw1 = b.Op(OpKind::kMatMul, {xt, dh});
+  b.Op(OpKind::kSub, {w1, b.Op(OpKind::kScalarMul, {gw1}, lr)});
+  b.Op(OpKind::kSub, {w2, b.Op(OpKind::kScalarMul, {gw2}, lr)});
+  return std::move(b.program);
+}
+
+/// Graybill two-level block inverse: two distributed inversions plus the
+/// Schur-complement assembly, with Ai / Si / CAi each feeding several
+/// consumers.
+FuzzProgram GenBlockInverse(uint64_t seed, const FuzzLimits& limits) {
+  Builder b(FuzzShape::kBlockInverse, seed, limits);
+  const int64_t n = b.RandDim();
+  int a = b.AddDense(n, n, FuzzInputSpec::Kind::kGaussianDiag);
+  int bb = b.AddDense(n, n);
+  int c = b.AddDense(n, n);
+  int d = b.AddDense(n, n, FuzzInputSpec::Kind::kGaussianDiag);
+
+  int ai = b.Op(OpKind::kInverse, {a});
+  int cai = b.Op(OpKind::kMatMul, {c, ai});
+  int aib = b.Op(OpKind::kMatMul, {ai, bb});
+  int caib = b.Op(OpKind::kMatMul, {cai, bb});
+  int s = b.Op(OpKind::kSub, {d, caib});
+  int si = b.Op(OpKind::kInverse, {s});
+  int aib_si = b.Op(OpKind::kMatMul, {aib, si});
+  int corr = b.Op(OpKind::kMatMul, {aib_si, cai});
+  b.Op(OpKind::kAdd, {ai, corr});                     // upper-left
+  b.Op(OpKind::kScalarMul, {aib_si}, -1.0);           // upper-right
+  int si_cai = b.Op(OpKind::kMatMul, {si, cai});
+  b.Op(OpKind::kScalarMul, {si_cai}, -1.0);           // lower-left; Si = LR
+  return std::move(b.program);
+}
+
+/// Sparse-heavy program: sparse inputs in sparse physical formats pushed
+/// through SpMM, sparse-sparse addition, and densifying element-wise tails.
+FuzzProgram GenSparse(uint64_t seed, const FuzzLimits& limits) {
+  Builder b(FuzzShape::kSparse, seed, limits);
+  const int64_t rows = b.RandDim();
+  const int64_t inner = b.RandDim();
+  const int64_t cols = b.RandDim();
+  const double nnz1 = 1.0 + 3.0 * b.rng.Uniform();
+  const double nnz2 = 1.0 + 3.0 * b.rng.Uniform();
+
+  // Both sparse inputs share one sparse format: fixed inputs in *different*
+  // sparse formats feeding one binary op admit no plan at all (an edge
+  // carries a single transformation, there are no sparse->sparse
+  // transforms, and each sparse layout densifies to a different dense
+  // format), so mixing them would only fuzz the optimizer's error path.
+  const FormatId sparse_format = b.RandSparseFormat();
+  int s1 = b.AddSparse(rows, inner, nnz1, sparse_format);
+  int s2 = b.AddSparse(rows, inner, nnz2, sparse_format);
+  int w = b.AddDense(inner, cols);
+
+  int y1 = b.Op(OpKind::kMatMul, {s1, w});
+  int both = b.Op(OpKind::kAdd, {s1, s2});
+  int y2 = b.Op(OpKind::kMatMul, {both, w});
+  int tail = b.Op(OpKind::kSub, {y1, y2});
+  switch (b.rng.UniformInt(3)) {
+    case 0: tail = b.Op(OpKind::kRelu, {tail}); break;
+    case 1: tail = b.Op(OpKind::kHadamard, {tail, y1}); break;
+    default: break;
+  }
+  if (b.rng.Uniform() < 0.5) {
+    int st = b.Op(OpKind::kTranspose, {s1});
+    int yt = b.Op(OpKind::kMatMul, {st, tail});
+    b.Op(OpKind::kColSum, {yt});
+  } else {
+    b.Op(OpKind::kRowSum, {tail});
+  }
+  return std::move(b.program);
+}
+
+/// Same-dimension square vertices with arguments drawn uniformly from the
+/// whole live graph: maximal shape-compatible reuse, which drives the
+/// frontier DP's equivalence classes (many vertices sharing ancestors stay
+/// live at once).
+FuzzProgram GenShared(uint64_t seed, const FuzzLimits& limits) {
+  Builder b(FuzzShape::kShared, seed, limits);
+  const int64_t n = b.RandDim();
+  const int num_inputs = 2 + static_cast<int>(b.rng.UniformInt(3));
+  for (int i = 0; i < num_inputs; ++i) b.AddDense(n, n);
+
+  const OpKind pool[] = {OpKind::kMatMul,   OpKind::kMatMul,
+                         OpKind::kAdd,      OpKind::kSub,
+                         OpKind::kHadamard, OpKind::kRelu,
+                         OpKind::kSigmoid,  OpKind::kScalarMul,
+                         OpKind::kTranspose};
+  const int target_ops = 4 + static_cast<int>(b.rng.UniformInt(
+                                 std::max(1, b.limits.max_ops - 4)));
+  for (int i = 0; i < target_ops; ++i) {
+    OpKind op = pool[b.rng.UniformInt(std::size(pool))];
+    std::vector<int> args;
+    for (int j = 0; j < OpArity(op); ++j) {
+      args.push_back(
+          static_cast<int>(b.rng.UniformInt(b.program.graph.num_vertices())));
+    }
+    b.Op(op, std::move(args), 0.25 + b.rng.Uniform());
+  }
+  // Join the dangling sinks so the program has one output (all n x n).
+  std::vector<int> sinks = b.program.graph.Sinks();
+  int acc = sinks[0];
+  for (size_t i = 1; i < sinks.size(); ++i) {
+    acc = b.Op(OpKind::kAdd, {acc, sinks[i]});
+  }
+  return std::move(b.program);
+}
+
+/// The unconstrained generator ported from tests/random_graph_test.cc:
+/// random-shaped inputs, ops drawn from a pool with retry-on-type-error,
+/// then a row/col-sum reduction joining every sink.
+FuzzProgram GenRandom(uint64_t seed, const FuzzLimits& limits) {
+  Builder b(FuzzShape::kRandom, seed, limits);
+  const int num_inputs = 3 + static_cast<int>(b.rng.UniformInt(3));
+  for (int i = 0; i < num_inputs; ++i) {
+    b.AddDense(b.RandDim(), b.RandDim());
+  }
+
+  const OpKind pool[] = {OpKind::kMatMul,   OpKind::kAdd,
+                         OpKind::kSub,      OpKind::kHadamard,
+                         OpKind::kScalarMul, OpKind::kTranspose,
+                         OpKind::kRelu,     OpKind::kSigmoid,
+                         OpKind::kExp,      OpKind::kRowSum,
+                         OpKind::kColSum,   OpKind::kMatMul,
+                         OpKind::kMatMul};
+  int ops_added = 0;
+  int attempts = 0;
+  const int target_ops = 4 + static_cast<int>(b.rng.UniformInt(
+                                 std::max(1, b.limits.max_ops - 4)));
+  while (ops_added < target_ops && attempts < 400) {
+    ++attempts;
+    OpKind op = pool[b.rng.UniformInt(std::size(pool))];
+    std::vector<int> args;
+    for (int j = 0; j < OpArity(op); ++j) {
+      args.push_back(
+          static_cast<int>(b.rng.UniformInt(b.program.graph.num_vertices())));
+    }
+    auto added = b.program.graph.AddOp(op, std::move(args), "",
+                                       0.25 + b.rng.Uniform());
+    if (added.ok()) ++ops_added;
+  }
+
+  // Reduce every sink to a 1 x 1 and sum them into a single output.
+  std::vector<int> scalars;
+  for (int sink : b.program.graph.Sinks()) {
+    int rs = b.Op(OpKind::kRowSum, {sink});
+    scalars.push_back(b.Op(OpKind::kColSum, {rs}));
+  }
+  int acc = scalars[0];
+  for (size_t i = 1; i < scalars.size(); ++i) {
+    acc = b.Op(OpKind::kAdd, {acc, scalars[i]});
+  }
+  return std::move(b.program);
+}
+
+}  // namespace
+
+FuzzProgram GenerateProgram(FuzzShape shape, uint64_t seed,
+                            const FuzzLimits& limits) {
+  switch (shape) {
+    case FuzzShape::kChain: return GenChain(seed, limits);
+    case FuzzShape::kFfnn: return GenFfnn(seed, limits);
+    case FuzzShape::kBlockInverse: return GenBlockInverse(seed, limits);
+    case FuzzShape::kSparse: return GenSparse(seed, limits);
+    case FuzzShape::kShared: return GenShared(seed, limits);
+    case FuzzShape::kRandom: return GenRandom(seed, limits);
+  }
+  return GenRandom(seed, limits);
+}
+
+}  // namespace matopt::fuzz

@@ -1,0 +1,30 @@
+#ifndef MATOPT_FUZZ_GENERATOR_H_
+#define MATOPT_FUZZ_GENERATOR_H_
+
+#include <cstdint>
+
+#include "fuzz/program.h"
+
+namespace matopt::fuzz {
+
+/// Size knobs for generated programs. Quick mode keeps matrices small
+/// enough that a full oracle stack (several optimizations plus five
+/// executions) stays in the low milliseconds, so a CI smoke run can push
+/// hundreds of iterations per shape.
+struct FuzzLimits {
+  int64_t min_dim = 24;
+  int64_t max_dim = 120;
+  int max_ops = 12;  // soft cap on op vertices for the random shapes
+
+  static FuzzLimits Quick() { return {8, 48, 8}; }
+};
+
+/// Generates one program of the given shape. Every random choice —
+/// structure, dimensions, formats, input data — derives from `seed` alone
+/// (via DeriveSeed), so a printed seed replays the exact program.
+FuzzProgram GenerateProgram(FuzzShape shape, uint64_t seed,
+                            const FuzzLimits& limits = {});
+
+}  // namespace matopt::fuzz
+
+#endif  // MATOPT_FUZZ_GENERATOR_H_

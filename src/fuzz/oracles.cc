@@ -1,0 +1,341 @@
+#include "fuzz/oracles.h"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "analysis/analyze.h"
+#include "common/buffer_pool.h"
+#include "common/thread_pool.h"
+#include "core/format/format.h"
+#include "core/opt/annotation.h"
+#include "engine/executor.h"
+#include "engine/relation.h"
+#include "fuzz/reference.h"
+
+namespace matopt::fuzz {
+
+namespace {
+
+/// Restores process-wide execution knobs no matter how the oracle stack
+/// exits. Every mutation of the default thread count or the pool override
+/// happens inside one of these scopes.
+class GlobalStateGuard {
+ public:
+  GlobalStateGuard() : saved_threads_(ThreadPool::DefaultThreads()) {}
+  ~GlobalStateGuard() {
+    ThreadPool::SetDefaultThreads(saved_threads_);
+    BufferPool::ClearEnabledOverride();
+  }
+  GlobalStateGuard(const GlobalStateGuard&) = delete;
+  GlobalStateGuard& operator=(const GlobalStateGuard&) = delete;
+
+ private:
+  int saved_threads_;
+};
+
+bool NearRel(double a, double b, double rtol) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= rtol * scale + 1e-12;
+}
+
+std::string FmtG(double v) {
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+/// True when nothing in the program or plan involves sparse data or sparse
+/// formats, so dry-run relations carry exactly the metadata data-mode
+/// relations would (measured sparsity only diverges from the estimate on
+/// sparse payloads).
+bool AllDense(const FuzzProgram& program, const Annotation& annotation) {
+  const auto& formats = BuiltinFormats();
+  auto dense = [&](FormatId f) {
+    return f == kNoFormat || !formats[f].sparse();
+  };
+  for (const auto& [v, spec] : program.inputs) {
+    (void)v;
+    if (spec.kind == FuzzInputSpec::Kind::kSparse) return false;
+  }
+  for (const VertexAnnotation& va : annotation.vertices) {
+    if (!dense(va.output_format)) return false;
+    for (const EdgeAnnotation& ea : va.input_edges) {
+      if (!dense(ea.pin) || !dense(ea.pout)) return false;
+    }
+  }
+  return true;
+}
+
+int NumOpVertices(const ComputeGraph& graph) {
+  int ops = 0;
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.vertex(v).op != OpKind::kInput) ++ops;
+  }
+  return ops;
+}
+
+struct RunConfig {
+  const char* label;
+  int threads;
+  bool zero_copy;
+  bool pool;
+};
+
+struct RunOutput {
+  ExecStats stats;
+  std::map<int, DenseMatrix> sinks;
+};
+
+Result<RunOutput> RunPlan(const FuzzProgram& program,
+                          const Annotation& annotation, const Catalog& catalog,
+                          const ClusterConfig& cluster,
+                          const std::unordered_map<int, Relation>& inputs,
+                          const RunConfig& config) {
+  ThreadPool::SetDefaultThreads(config.threads);
+  BufferPool::OverrideEnabled(config.pool);
+  PlanExecutor executor(catalog, cluster);
+  executor.set_zero_copy(config.zero_copy);
+  // Relations share immutable payloads, so this copy is metadata-only.
+  MATOPT_ASSIGN_OR_RETURN(
+      ExecResult result, executor.Execute(program.graph, annotation, inputs));
+  RunOutput out;
+  out.stats = std::move(result.stats);
+  for (auto& [v, rel] : result.sinks) {
+    MATOPT_ASSIGN_OR_RETURN(DenseMatrix m, MaterializeDense(rel));
+    out.sinks.emplace(v, std::move(m));
+  }
+  return out;
+}
+
+/// Compares the simulated-cluster accounting of two runs. These totals are
+/// tallied from relation metadata on the coordinating thread and must be
+/// exactly reproducible across thread counts and memory-layer settings.
+std::string DiffSimStats(const ExecStats& a, const ExecStats& b) {
+  std::ostringstream out;
+  auto check = [&](const char* name, double x, double y) {
+    if (x != y) {
+      out << name << " " << FmtG(x) << " vs " << FmtG(y) << "; ";
+    }
+  };
+  check("sim_seconds", a.sim_seconds, b.sim_seconds);
+  check("flops", a.flops, b.flops);
+  check("net_bytes", a.net_bytes, b.net_bytes);
+  check("tuples", a.tuples, b.tuples);
+  check("peak_worker_mem_bytes", a.peak_worker_mem_bytes,
+        b.peak_worker_mem_bytes);
+  check("peak_worker_spill_bytes", a.peak_worker_spill_bytes,
+        b.peak_worker_spill_bytes);
+  return out.str();
+}
+
+std::string DiffSinks(const std::map<int, DenseMatrix>& a,
+                      const std::map<int, DenseMatrix>& b) {
+  if (a.size() != b.size()) return "sink sets differ";
+  std::ostringstream out;
+  for (const auto& [v, ma] : a) {
+    auto it = b.find(v);
+    if (it == b.end()) {
+      out << "sink v" << v << " missing; ";
+      continue;
+    }
+    if (!(ma == it->second)) out << "sink v" << v << " differs bitwise; ";
+  }
+  return out.str();
+}
+
+double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
+  double mx = 0.0;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      mx = std::max(mx, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return mx;
+}
+
+}  // namespace
+
+std::string OracleReport::ToString() const {
+  std::ostringstream out;
+  for (const OracleFailure& f : failures) {
+    out << f.oracle << ": " << f.detail << "\n";
+  }
+  return out.str();
+}
+
+OracleReport RunOracles(const FuzzProgram& program, const Catalog& catalog,
+                        const CostModel& model, const ClusterConfig& cluster,
+                        const OracleOptions& options) {
+  GlobalStateGuard guard;
+  OracleReport report;
+  auto fail = [&](const std::string& oracle, const std::string& detail) {
+    report.failures.push_back({oracle, detail});
+  };
+
+  const ComputeGraph& graph = program.graph;
+
+  // --- 1. Plan search + validity invariants -------------------------------
+  auto frontier =
+      FrontierOptimize(graph, catalog, model, cluster, options.optimizer);
+  if (!frontier.ok()) {
+    fail("frontier_optimize", frontier.status().ToString());
+    return report;
+  }
+  const Annotation& annotation = frontier.value().annotation;
+
+  Status valid = ValidateAnnotation(graph, annotation, catalog, cluster);
+  if (!valid.ok()) fail("validate_annotation", valid.ToString());
+
+  DiagnosticList diags =
+      AnalyzePlan(graph, annotation, catalog, &model, cluster);
+  if (diags.HasErrors()) fail("analysis", diags.ToString());
+
+  const double recosted =
+      AnnotationCost(graph, annotation, catalog, model, cluster);
+  if (!NearRel(recosted, frontier.value().cost, options.cost_rtol)) {
+    fail("cost_reconstruction",
+         "AnnotationCost " + FmtG(recosted) + " vs optimizer cost " +
+             FmtG(frontier.value().cost));
+  }
+
+  // --- 2. Optimizer cross-agreement ---------------------------------------
+  // Tree DP and brute force are exact; the frontier DP is exact unless it
+  // hit its beam cap, in which case it may only be costlier.
+  auto cross_check = [&](const char* name, const Result<PlanResult>& other) {
+    if (!other.ok()) {
+      fail(name, other.status().ToString());
+      return;
+    }
+    Status other_valid =
+        ValidateAnnotation(graph, other.value().annotation, catalog, cluster);
+    if (!other_valid.ok()) {
+      fail(name, "invalid annotation: " + other_valid.ToString());
+    }
+    const double fc = frontier.value().cost;
+    const double oc = other.value().cost;
+    const bool agree = frontier.value().beam_pruned
+                           ? oc <= fc * (1.0 + options.cost_rtol) + 1e-12
+                           : NearRel(fc, oc, options.cost_rtol);
+    if (!agree) {
+      fail(name, std::string("cost ") + FmtG(oc) + " vs frontier " + FmtG(fc) +
+                     (frontier.value().beam_pruned ? " (beam pruned)" : ""));
+    }
+  };
+  if (options.check_tree_dp && graph.IsTree()) {
+    cross_check("tree_dp_agreement",
+                TreeDpOptimize(graph, catalog, model, cluster,
+                               options.optimizer));
+  }
+  if (options.check_brute_force &&
+      NumOpVertices(graph) <= options.brute_force_max_ops) {
+    cross_check("brute_force_agreement",
+                BruteForceOptimize(graph, catalog, model, cluster,
+                                   options.optimizer));
+  }
+
+  // --- 3. Execution vs the naive reference --------------------------------
+  auto relations = MaterializeRelations(program, cluster);
+  if (!relations.ok()) {
+    fail("materialize", relations.status().ToString());
+    return report;
+  }
+
+  const RunConfig baseline_config = {"baseline", options.threads, true, true};
+  auto baseline =
+      RunPlan(program, annotation, catalog, cluster, relations.value(),
+              baseline_config);
+  if (!baseline.ok()) {
+    fail("execute", baseline.status().ToString());
+    return report;
+  }
+
+  if (options.check_reference) {
+    auto reference = EvaluateReference(graph, MaterializeDenseInputs(program));
+    if (!reference.ok()) {
+      fail("reference", reference.status().ToString());
+    } else {
+      for (const auto& [v, expected] : reference.value()) {
+        auto it = baseline.value().sinks.find(v);
+        if (it == baseline.value().sinks.end()) {
+          fail("reference", "sink v" + std::to_string(v) +
+                                " missing from execution result");
+          continue;
+        }
+        if (!AllClose(it->second, expected, options.exec_rtol,
+                      options.exec_atol)) {
+          fail("reference",
+               "sink v" + std::to_string(v) + " diverges, max abs diff " +
+                   FmtG(MaxAbsDiff(it->second, expected)));
+        }
+      }
+    }
+  }
+
+  // --- 4. Determinism contracts -------------------------------------------
+  if (options.check_determinism) {
+    const RunConfig variants[] = {
+        {"one_thread", 1, true, true},
+        {"zero_copy_off", options.threads, false, true},
+        {"pool_off", options.threads, true, false},
+    };
+    for (const RunConfig& config : variants) {
+      auto variant = RunPlan(program, annotation, catalog, cluster,
+                             relations.value(), config);
+      if (!variant.ok()) {
+        fail(config.label, variant.status().ToString());
+        continue;
+      }
+      std::string sink_diff =
+          DiffSinks(baseline.value().sinks, variant.value().sinks);
+      if (!sink_diff.empty()) fail(config.label, sink_diff);
+      std::string stat_diff =
+          DiffSimStats(baseline.value().stats, variant.value().stats);
+      if (!stat_diff.empty()) fail(config.label, stat_diff);
+    }
+  }
+
+  // --- 5. Dry-run projection ----------------------------------------------
+  if (options.check_dry_run) {
+    ThreadPool::SetDefaultThreads(options.threads);
+    BufferPool::OverrideEnabled(true);
+    PlanExecutor executor(catalog, cluster);
+    auto dry = executor.DryRun(graph, annotation);
+    if (!dry.ok()) {
+      fail("dry_run", dry.status().ToString());
+    } else {
+      // All-dense plans must project exactly: every estimate the dry run
+      // uses (shapes, dense layouts) is exact. Once sparse data or formats
+      // are involved, data mode measures actual sparsity while the dry run
+      // keeps the propagated estimate, and the two can diverge by orders
+      // of magnitude on degenerate data (sub(x, x) is exactly zero) — the
+      // very gap the re-optimizing executor exists to close — so sparse
+      // plans only get a projection-sanity check.
+      const bool strict = AllDense(program, annotation);
+      const ExecStats& d = dry.value().stats;
+      const ExecStats& e = baseline.value().stats;
+      std::ostringstream diff;
+      auto check = [&](const char* name, double projected, double actual) {
+        if (!(std::isfinite(projected) && projected >= 0.0)) {
+          diff << name << " projection " << FmtG(projected)
+               << " not finite/non-negative; ";
+        } else if (strict && !NearRel(projected, actual, options.dry_run_rtol)) {
+          diff << name << " projected " << FmtG(projected) << " vs actual "
+               << FmtG(actual) << "; ";
+        }
+      };
+      check("sim_seconds", d.sim_seconds, e.sim_seconds);
+      check("flops", d.flops, e.flops);
+      check("net_bytes", d.net_bytes, e.net_bytes);
+      check("tuples", d.tuples, e.tuples);
+      if (!diff.str().empty()) {
+        fail("dry_run", (strict ? "strict: " : "loose: ") + diff.str());
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace matopt::fuzz

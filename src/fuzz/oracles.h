@@ -1,0 +1,87 @@
+#ifndef MATOPT_FUZZ_ORACLES_H_
+#define MATOPT_FUZZ_ORACLES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cost/cost_model.h"
+#include "core/opt/optimizer.h"
+#include "core/ops/catalog.h"
+#include "engine/cluster.h"
+#include "fuzz/program.h"
+
+namespace matopt::fuzz {
+
+/// Knobs for one oracle-stack run. The defaults are what `matopt_fuzz`
+/// uses; tests tighten or disable individual oracles.
+struct OracleOptions {
+  OptimizerOptions optimizer;
+
+  /// Brute force (Algorithm 2) is exponential; only cross-check plans for
+  /// graphs with at most this many op vertices.
+  int brute_force_max_ops = 5;
+
+  /// Tolerances for optimized execution vs the naive reference. The
+  /// reference accumulates in the same ascending-index order as the local
+  /// kernels, but distributed plans split sums across chunks, so rounding
+  /// differs by a few ulps per accumulation step.
+  double exec_rtol = 1e-6;
+  double exec_atol = 1e-6;
+
+  /// Relative tolerance for cost reconstruction (AnnotationCost vs the
+  /// optimizer's reported cost) and optimizer cross-agreement.
+  double cost_rtol = 1e-6;
+
+  /// Dry-run stat projections are compared exactly (up to this relative
+  /// tolerance) when the plan touches no sparse data or formats. Sparse
+  /// relations record *measured* sparsity in data mode while dry relations
+  /// carry the estimate — they can diverge without bound on degenerate
+  /// data — so sparse plans only get a projection-sanity check (finite,
+  /// non-negative).
+  double dry_run_rtol = 1e-9;
+
+  /// Baseline thread count; the determinism oracle re-runs with 1 thread.
+  int threads = 4;
+
+  bool check_tree_dp = true;
+  bool check_brute_force = true;
+  bool check_reference = true;
+  bool check_determinism = true;  // 1 thread / zero-copy off / pool off
+  bool check_dry_run = true;
+};
+
+/// One oracle disagreement: which oracle tripped and a human-readable
+/// account of the mismatch (seeds, vertex ids, deltas).
+struct OracleFailure {
+  std::string oracle;
+  std::string detail;
+};
+
+/// Outcome of running the full oracle stack over one program.
+struct OracleReport {
+  std::vector<OracleFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  /// One "oracle: detail" line per failure.
+  std::string ToString() const;
+};
+
+/// Runs the full oracle stack over one fuzzed program:
+///   1. Frontier DP produces a plan; ValidateAnnotation and the analysis
+///      pipeline must find no errors; AnnotationCost must reconstruct the
+///      optimizer's reported cost.
+///   2. Tree DP (when the graph is a tree) and brute force (when small)
+///      must agree with the frontier cost.
+///   3. The executed plan must match the naive reference interpreter.
+///   4. Execution must be bit-identical and charge identical simulated
+///      stats across 1 vs N threads, zero-copy on/off, and pool on/off.
+///   5. Dry-run stat projections must match data-mode accounting.
+/// Global state (default thread count, pool override) is restored before
+/// returning, even on failure.
+OracleReport RunOracles(const FuzzProgram& program, const Catalog& catalog,
+                        const CostModel& model, const ClusterConfig& cluster,
+                        const OracleOptions& options = {});
+
+}  // namespace matopt::fuzz
+
+#endif  // MATOPT_FUZZ_ORACLES_H_

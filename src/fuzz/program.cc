@@ -1,0 +1,247 @@
+#include "fuzz/program.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/format/format.h"
+#include "la/sparse_matrix.h"
+#include "ml/generators.h"
+
+namespace matopt::fuzz {
+
+namespace {
+
+const char* InputKindName(FuzzInputSpec::Kind kind) {
+  switch (kind) {
+    case FuzzInputSpec::Kind::kGaussian: return "gauss";
+    case FuzzInputSpec::Kind::kGaussianDiag: return "gaussdiag";
+    case FuzzInputSpec::Kind::kSparse: return "sparse";
+  }
+  return "unknown";
+}
+
+std::optional<FuzzInputSpec::Kind> ParseInputKind(const std::string& name) {
+  if (name == "gauss") return FuzzInputSpec::Kind::kGaussian;
+  if (name == "gaussdiag") return FuzzInputSpec::Kind::kGaussianDiag;
+  if (name == "sparse") return FuzzInputSpec::Kind::kSparse;
+  return std::nullopt;
+}
+
+std::optional<OpKind> ParseOpKind(const std::string& name) {
+  static const OpKind kOps[] = {
+      OpKind::kMatMul,   OpKind::kAdd,       OpKind::kSub,
+      OpKind::kHadamard, OpKind::kElemDiv,   OpKind::kScalarMul,
+      OpKind::kTranspose, OpKind::kRelu,     OpKind::kReluGrad,
+      OpKind::kSoftmax,  OpKind::kSigmoid,   OpKind::kExp,
+      OpKind::kRowSum,   OpKind::kColSum,    OpKind::kBroadcastRowAdd,
+      OpKind::kInverse};
+  for (OpKind op : kOps) {
+    if (name == OpKindName(op)) return op;
+  }
+  return std::nullopt;
+}
+
+/// Full-precision double rendering so a repro round-trips bit-exactly.
+std::string FmtDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+SparseMatrix MaterializeSparseValue(const MatrixType& type,
+                                    const FuzzInputSpec& spec) {
+  if (spec.kind == FuzzInputSpec::Kind::kSparse) {
+    return RandomSparse(type.rows(), type.cols(), spec.nnz_per_row,
+                        spec.data_seed);
+  }
+  return SparseMatrix::FromDense(MaterializeDenseValue(type, spec));
+}
+
+}  // namespace
+
+const char* FuzzShapeName(FuzzShape shape) {
+  switch (shape) {
+    case FuzzShape::kChain: return "chain";
+    case FuzzShape::kFfnn: return "ffnn";
+    case FuzzShape::kBlockInverse: return "block_inverse";
+    case FuzzShape::kSparse: return "sparse";
+    case FuzzShape::kShared: return "shared";
+    case FuzzShape::kRandom: return "random";
+  }
+  return "unknown";
+}
+
+std::optional<FuzzShape> ParseFuzzShape(const std::string& name) {
+  for (FuzzShape shape : AllFuzzShapes()) {
+    if (name == FuzzShapeName(shape)) return shape;
+  }
+  return std::nullopt;
+}
+
+const std::vector<FuzzShape>& AllFuzzShapes() {
+  static const std::vector<FuzzShape> shapes = {
+      FuzzShape::kChain,  FuzzShape::kFfnn,   FuzzShape::kBlockInverse,
+      FuzzShape::kSparse, FuzzShape::kShared, FuzzShape::kRandom};
+  return shapes;
+}
+
+DenseMatrix MaterializeDenseValue(const MatrixType& type,
+                                  const FuzzInputSpec& spec) {
+  switch (spec.kind) {
+    case FuzzInputSpec::Kind::kGaussian:
+      return GaussianMatrix(type.rows(), type.cols(), spec.data_seed);
+    case FuzzInputSpec::Kind::kGaussianDiag: {
+      DenseMatrix m = GaussianMatrix(type.rows(), type.cols(), spec.data_seed);
+      const int64_t n = std::min(type.rows(), type.cols());
+      for (int64_t i = 0; i < n; ++i) {
+        m(i, i) += static_cast<double>(type.rows());
+      }
+      return m;
+    }
+    case FuzzInputSpec::Kind::kSparse:
+      return RandomSparse(type.rows(), type.cols(), spec.nnz_per_row,
+                          spec.data_seed)
+          .ToDense();
+  }
+  return DenseMatrix();
+}
+
+std::map<int, DenseMatrix> MaterializeDenseInputs(const FuzzProgram& program) {
+  std::map<int, DenseMatrix> values;
+  for (const auto& [v, spec] : program.inputs) {
+    values.emplace(v,
+                   MaterializeDenseValue(program.graph.vertex(v).type, spec));
+  }
+  return values;
+}
+
+Result<std::unordered_map<int, Relation>> MaterializeRelations(
+    const FuzzProgram& program, const ClusterConfig& cluster) {
+  std::unordered_map<int, Relation> relations;
+  for (const auto& [v, spec] : program.inputs) {
+    const Vertex& vx = program.graph.vertex(v);
+    const Format& format = BuiltinFormats()[vx.input_format];
+    if (format.sparse()) {
+      MATOPT_ASSIGN_OR_RETURN(
+          Relation rel,
+          MakeSparseRelation(MaterializeSparseValue(vx.type, spec),
+                             vx.input_format, cluster));
+      relations.emplace(v, std::move(rel));
+    } else {
+      MATOPT_ASSIGN_OR_RETURN(
+          Relation rel, MakeRelation(MaterializeDenseValue(vx.type, spec),
+                                     vx.input_format, cluster));
+      relations.emplace(v, std::move(rel));
+    }
+  }
+  return relations;
+}
+
+std::string SerializeRepro(const FuzzProgram& program,
+                           const std::vector<std::string>& header_lines) {
+  std::ostringstream out;
+  out << "matopt-fuzz-repro v1\n";
+  for (const std::string& line : header_lines) out << "# " << line << "\n";
+  out << "seed " << program.seed << "\n";
+  out << "shape " << FuzzShapeName(program.shape) << "\n";
+  for (int v = 0; v < program.graph.num_vertices(); ++v) {
+    const Vertex& vx = program.graph.vertex(v);
+    if (vx.op == OpKind::kInput) {
+      auto it = program.inputs.find(v);
+      const FuzzInputSpec spec =
+          it == program.inputs.end() ? FuzzInputSpec{} : it->second;
+      out << "input " << v << " " << vx.type.rows() << " " << vx.type.cols()
+          << " " << vx.input_format << " " << FmtDouble(vx.sparsity) << " "
+          << InputKindName(spec.kind) << " " << spec.data_seed << " "
+          << FmtDouble(spec.nnz_per_row) << "\n";
+    } else {
+      out << "op " << v << " " << OpKindName(vx.op) << " "
+          << FmtDouble(vx.scalar) << " " << FmtDouble(vx.sparsity);
+      for (int in : vx.inputs) out << " " << in;
+      out << "\n";
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Result<FuzzProgram> ParseRepro(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "matopt-fuzz-repro v1") {
+    return Status::InvalidArgument("repro: missing 'matopt-fuzz-repro v1' header");
+  }
+  FuzzProgram program;
+  bool saw_end = false;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    auto bad = [&](const std::string& why) {
+      return Status::InvalidArgument("repro line " + std::to_string(line_no) +
+                                     ": " + why);
+    };
+    if (tag == "seed") {
+      if (!(fields >> program.seed)) return bad("unreadable seed");
+    } else if (tag == "shape") {
+      std::string name;
+      fields >> name;
+      auto shape = ParseFuzzShape(name);
+      if (!shape.has_value()) return bad("unknown shape '" + name + "'");
+      program.shape = *shape;
+    } else if (tag == "input") {
+      int id = 0;
+      int64_t rows = 0, cols = 0;
+      FormatId format = kNoFormat;
+      double sparsity = 1.0;
+      std::string kind_name;
+      FuzzInputSpec spec;
+      if (!(fields >> id >> rows >> cols >> format >> sparsity >> kind_name >>
+            spec.data_seed >> spec.nnz_per_row)) {
+        return bad("malformed input line");
+      }
+      auto kind = ParseInputKind(kind_name);
+      if (!kind.has_value()) return bad("unknown data kind '" + kind_name + "'");
+      spec.kind = *kind;
+      if (id != program.graph.num_vertices()) return bad("vertex id out of order");
+      if (format < 0 ||
+          format >= static_cast<FormatId>(BuiltinFormats().size())) {
+        return bad("format id out of range");
+      }
+      program.graph.AddInput(MatrixType(rows, cols), format,
+                             "in" + std::to_string(id), sparsity);
+      program.inputs.emplace(id, spec);
+    } else if (tag == "op") {
+      int id = 0;
+      std::string op_name;
+      double scalar = 0.0, sparsity = 1.0;
+      if (!(fields >> id >> op_name >> scalar >> sparsity)) {
+        return bad("malformed op line");
+      }
+      auto op = ParseOpKind(op_name);
+      if (!op.has_value()) return bad("unknown op '" + op_name + "'");
+      if (id != program.graph.num_vertices()) return bad("vertex id out of order");
+      std::vector<int> args;
+      int arg = 0;
+      while (fields >> arg) args.push_back(arg);
+      MATOPT_ASSIGN_OR_RETURN(
+          int added, program.graph.AddOp(*op, std::move(args), "", scalar));
+      program.graph.vertex(added).sparsity = sparsity;
+    } else if (tag == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return bad("unknown tag '" + tag + "'");
+    }
+  }
+  if (!saw_end) return Status::InvalidArgument("repro: missing 'end' line");
+  if (program.graph.num_vertices() == 0) {
+    return Status::InvalidArgument("repro: empty program");
+  }
+  return program;
+}
+
+}  // namespace matopt::fuzz

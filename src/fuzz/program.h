@@ -1,0 +1,87 @@
+#ifndef MATOPT_FUZZ_PROGRAM_H_
+#define MATOPT_FUZZ_PROGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/graph/graph.h"
+#include "engine/cluster.h"
+#include "engine/relation.h"
+#include "la/dense_matrix.h"
+
+namespace matopt::fuzz {
+
+/// DAG families the generators can produce. Each targets a distinct region
+/// of the plan space: trees (tree-DP coverage), shared-subexpression DAGs
+/// (frontier equivalence classes), sparse-heavy programs (sparse formats
+/// and density gates), and the paper's FFNN / block-inverse workload
+/// shapes, plus the fully random generator of tests/random_graph_test.cc.
+enum class FuzzShape {
+  kChain = 0,     // matmul chain with transposes: tree-shaped
+  kFfnn,          // forward + backprop step, shared activations
+  kBlockInverse,  // Graybill block inverse: inverse + heavy sharing
+  kSparse,        // sparse inputs in sparse formats, SpMM-heavy
+  kShared,        // same-dim square ops, high reuse: frontier-class-heavy
+  kRandom,        // unconstrained random DAG over random shapes
+};
+
+inline constexpr int kNumFuzzShapes = 6;
+
+const char* FuzzShapeName(FuzzShape shape);
+std::optional<FuzzShape> ParseFuzzShape(const std::string& name);
+const std::vector<FuzzShape>& AllFuzzShapes();
+
+/// How one input matrix's data is (re)generated. Everything is derived
+/// from `data_seed`, so a serialized program is standalone: no data files,
+/// just seeds.
+struct FuzzInputSpec {
+  enum class Kind {
+    kGaussian = 0,   // dense N(0, 1) entries
+    kGaussianDiag,   // N(0, 1) plus n on the diagonal (safe to invert)
+    kSparse,         // ~nnz_per_row N(0, 1) entries per row
+  };
+  Kind kind = Kind::kGaussian;
+  uint64_t data_seed = 0;
+  double nnz_per_row = 0.0;  // kSparse only
+};
+
+/// One fuzzed program: a compute graph plus regenerable input data. The
+/// (shape, seed) pair identifies how it was generated; after shrinking the
+/// graph no longer matches what the generator would produce, but every
+/// input remains reproducible from its spec.
+struct FuzzProgram {
+  ComputeGraph graph;
+  FuzzShape shape = FuzzShape::kRandom;
+  uint64_t seed = 0;
+  std::map<int, FuzzInputSpec> inputs;  // keyed by input vertex id
+};
+
+/// Dense value of one input vertex (sparse specs are densified).
+DenseMatrix MaterializeDenseValue(const MatrixType& type,
+                                  const FuzzInputSpec& spec);
+
+/// Dense values of every input vertex, for the reference interpreter.
+std::map<int, DenseMatrix> MaterializeDenseInputs(const FuzzProgram& program);
+
+/// Engine relations for every input vertex, chunked per the graph's input
+/// formats (sparse formats get sparse relations).
+Result<std::unordered_map<int, Relation>> MaterializeRelations(
+    const FuzzProgram& program, const ClusterConfig& cluster);
+
+/// Serializes a program as a standalone repro file. `header_lines` are
+/// emitted as leading `#` comments (failure context: oracle name, original
+/// seed, shrink trail).
+std::string SerializeRepro(const FuzzProgram& program,
+                           const std::vector<std::string>& header_lines = {});
+
+/// Parses a repro file produced by SerializeRepro.
+Result<FuzzProgram> ParseRepro(const std::string& text);
+
+}  // namespace matopt::fuzz
+
+#endif  // MATOPT_FUZZ_PROGRAM_H_

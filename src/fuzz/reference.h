@@ -1,0 +1,30 @@
+#ifndef MATOPT_FUZZ_REFERENCE_H_
+#define MATOPT_FUZZ_REFERENCE_H_
+
+#include <map>
+
+#include "common/status.h"
+#include "core/graph/graph.h"
+#include "la/dense_matrix.h"
+
+namespace matopt::fuzz {
+
+/// Single-node reference interpreter used as the execution oracle's ground
+/// truth. Deliberately independent of the production kernels: every op is
+/// a direct textbook loop (no blocking, no zero-skip gate, no threading,
+/// no buffer reuse), so a fault anywhere in the optimized stack — kernels,
+/// operators, executor, memory layer — shows up as a numerical mismatch.
+/// The one exception is kInverse, which delegates to the library's LU
+/// kernel: a second pivoting implementation would differ by more than the
+/// comparison tolerance on ill-conditioned inputs, and the distributed
+/// assembly around the inverse is what the oracle is after.
+///
+/// Evaluates every vertex up to `target` (the whole graph when target is
+/// -1) and returns the values of the graph's sink vertices.
+Result<std::map<int, DenseMatrix>> EvaluateReference(
+    const ComputeGraph& graph, const std::map<int, DenseMatrix>& inputs,
+    int target = -1);
+
+}  // namespace matopt::fuzz
+
+#endif  // MATOPT_FUZZ_REFERENCE_H_

@@ -1,0 +1,141 @@
+#include "fuzz/shrink.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/format/format.h"
+
+namespace matopt::fuzz {
+
+namespace {
+
+FormatId FirstDenseFormat() {
+  const auto& formats = BuiltinFormats();
+  for (FormatId f = 0; f < static_cast<FormatId>(formats.size()); ++f) {
+    if (!formats[f].sparse()) return f;
+  }
+  return 0;
+}
+
+/// Builds the sub-program whose sinks are `targets`: keeps the ancestor
+/// closure of the targets, stopping at vertices in `promote`, which become
+/// fresh dense Gaussian inputs of the same type.
+FuzzProgram BuildCandidate(const FuzzProgram& orig,
+                           const std::vector<int>& targets,
+                           const std::set<int>& promote) {
+  const ComputeGraph& g = orig.graph;
+  std::vector<char> keep(g.num_vertices(), 0);
+  std::vector<int> stack = targets;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    if (keep[v]) continue;
+    keep[v] = 1;
+    const Vertex& vx = g.vertex(v);
+    if (vx.op == OpKind::kInput || promote.count(v) > 0) continue;
+    for (int a : vx.inputs) stack.push_back(a);
+  }
+
+  FuzzProgram out;
+  out.seed = orig.seed;
+  out.shape = orig.shape;
+  std::vector<int> remap(g.num_vertices(), -1);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (!keep[v]) continue;
+    const Vertex& vx = g.vertex(v);
+    if (vx.op == OpKind::kInput) {
+      remap[v] =
+          out.graph.AddInput(vx.type, vx.input_format, vx.name, vx.sparsity);
+      auto it = orig.inputs.find(v);
+      out.inputs.emplace(remap[v], it == orig.inputs.end() ? FuzzInputSpec{}
+                                                           : it->second);
+    } else if (promote.count(v) > 0) {
+      // Gaussian data is (almost surely) fully dense, so sparsity 1.0 keeps
+      // the estimate consistent with what MakeRelation will measure.
+      remap[v] = out.graph.AddInput(vx.type, FirstDenseFormat(),
+                                    "p" + std::to_string(v), 1.0);
+      FuzzInputSpec spec;
+      spec.kind = FuzzInputSpec::Kind::kGaussian;
+      spec.data_seed = DeriveSeed(orig.seed, 0x5000 + static_cast<uint64_t>(v));
+      out.inputs.emplace(remap[v], spec);
+    } else {
+      std::vector<int> args;
+      args.reserve(vx.inputs.size());
+      for (int a : vx.inputs) args.push_back(remap[a]);
+      // Argument types are unchanged, so inference cannot newly fail.
+      remap[v] =
+          out.graph.AddOp(vx.op, std::move(args), vx.name, vx.scalar).value();
+      out.graph.vertex(remap[v]).sparsity = vx.sparsity;
+    }
+  }
+  return out;
+}
+
+std::vector<int> OpVertices(const ComputeGraph& graph) {
+  std::vector<int> ops;
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.vertex(v).op != OpKind::kInput) ops.push_back(v);
+  }
+  return ops;
+}
+
+}  // namespace
+
+FuzzProgram ShrinkProgram(
+    const FuzzProgram& failing,
+    const std::function<bool(const FuzzProgram&)>& still_fails,
+    ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& s = stats != nullptr ? *stats : local;
+  FuzzProgram current = failing;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++s.rounds;
+
+    // Truncation: make one op vertex the only sink. Ascending ids first —
+    // in topological order earlier vertices have smaller ancestor
+    // closures, so the first accepted candidate tends to be the smallest.
+    for (int t : OpVertices(current.graph)) {
+      FuzzProgram candidate = BuildCandidate(current, {t}, {});
+      if (candidate.graph.num_vertices() >= current.graph.num_vertices()) {
+        continue;
+      }
+      ++s.attempts;
+      if (still_fails(candidate)) {
+        current = std::move(candidate);
+        ++s.accepted;
+        changed = true;
+        break;
+      }
+    }
+    if (changed) continue;
+
+    // Promotion: cut one interior op vertex's ancestry by replacing it
+    // with a fresh input. Only useful (and only accepted) when dropping
+    // the dead ancestors strictly shrinks the program.
+    const std::vector<int> sinks = current.graph.Sinks();
+    for (int p : OpVertices(current.graph)) {
+      bool is_sink = false;
+      for (int sk : sinks) is_sink = is_sink || sk == p;
+      if (is_sink) continue;
+      FuzzProgram candidate = BuildCandidate(current, sinks, {p});
+      if (candidate.graph.num_vertices() >= current.graph.num_vertices()) {
+        continue;
+      }
+      ++s.attempts;
+      if (still_fails(candidate)) {
+        current = std::move(candidate);
+        ++s.accepted;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace matopt::fuzz

@@ -1,0 +1,39 @@
+#ifndef MATOPT_FUZZ_SHRINK_H_
+#define MATOPT_FUZZ_SHRINK_H_
+
+#include <functional>
+
+#include "fuzz/program.h"
+
+namespace matopt::fuzz {
+
+/// Counters from one shrink run, for logging and the meta-test.
+struct ShrinkStats {
+  int rounds = 0;    // greedy passes over the program
+  int attempts = 0;  // candidate programs tried
+  int accepted = 0;  // candidates that kept failing and were adopted
+};
+
+/// Delta-debugs a failing program down to a (locally) minimal one.
+///
+/// `still_fails` re-runs whatever check originally failed; it must return
+/// true when the candidate still exhibits the failure. Each greedy round
+/// tries, for every op vertex v:
+///   - truncation: make v the only sink and drop everything outside its
+///     ancestor closure;
+///   - promotion: replace v by a fresh dense Gaussian input of the same
+///     type (data seed derived from the program seed and v), dropping the
+///     ancestors that become dead.
+/// Only candidates that still fail AND are strictly smaller are adopted,
+/// so the loop terminates; the result preserves the original seed and
+/// shape for provenance. `failing` itself is assumed to fail — the caller
+/// has already observed that — and is returned unchanged when no smaller
+/// failing candidate exists.
+FuzzProgram ShrinkProgram(
+    const FuzzProgram& failing,
+    const std::function<bool(const FuzzProgram&)>& still_fails,
+    ShrinkStats* stats = nullptr);
+
+}  // namespace matopt::fuzz
+
+#endif  // MATOPT_FUZZ_SHRINK_H_

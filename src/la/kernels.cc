@@ -1,11 +1,27 @@
 #include "la/kernels.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/thread_pool.h"
 
 namespace matopt {
+
+namespace {
+
+/// See SetKernelFaultDelta: non-zero only inside the fuzz meta-test.
+std::atomic<double> g_kernel_fault_delta{0.0};
+
+}  // namespace
+
+void SetKernelFaultDelta(double delta) {
+  g_kernel_fault_delta.store(delta, std::memory_order_relaxed);
+}
+
+double KernelFaultDelta() {
+  return g_kernel_fault_delta.load(std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -135,11 +151,15 @@ void GemmAccumulateImpl(const DenseMatrix& a, const DenseMatrix& b, Out* c) {
 void GemmAccumulate(const DenseMatrix& a, const DenseMatrix& b,
                     DenseMatrix* c) {
   GemmAccumulateImpl(a, b, c);
+  const double fault = KernelFaultDelta();
+  if (fault != 0.0 && a.rows() > 0 && b.cols() > 0) c->row(0)[0] += fault;
 }
 
 void GemmAccumulate(const DenseMatrix& a, const DenseMatrix& b,
                     DenseBlockView c) {
   GemmAccumulateImpl(a, b, &c);
+  const double fault = KernelFaultDelta();
+  if (fault != 0.0 && a.rows() > 0 && b.cols() > 0) c.row(0)[0] += fault;
 }
 
 DenseMatrix Gemm(const DenseMatrix& a, const DenseMatrix& b) {

@@ -96,6 +96,16 @@ Result<DenseMatrix> Inverse(const DenseMatrix& a);
 /// Identity matrix of order n.
 DenseMatrix Identity(int64_t n);
 
+/// Fault injection for the differential-fuzzing meta-test: when `delta` is
+/// non-zero, every GemmAccumulate (and therefore Gemm) perturbs element
+/// (0, 0) of its output by `delta` after the correct accumulation. The
+/// fuzz reference interpreter evaluates with its own independent kernels,
+/// so an injected fault surfaces as an execution-vs-reference mismatch
+/// that the harness must detect and shrink. Always 0.0 in production; the
+/// hot-path cost is one relaxed atomic load per GemmAccumulate call.
+void SetKernelFaultDelta(double delta);
+double KernelFaultDelta();
+
 }  // namespace matopt
 
 #endif  // MATOPT_LA_KERNELS_H_

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -69,6 +71,120 @@ TEST(BufferPoolTest, TinyBuffersBypassThePool) {
   pool.Release(std::move(tiny));
   BufferPool::Stats after = pool.snapshot();
   EXPECT_EQ(after.hits - before.hits, 0);
+}
+
+TEST(BufferPoolTest, RuntimeOverrideTakesPrecedenceOverEnvironment) {
+  BufferPool& pool = BufferPool::Default();
+  BufferPool::ClearThreadCache();
+
+  BufferPool::OverrideEnabled(false);
+  EXPECT_FALSE(BufferPool::Enabled());
+  std::vector<double> buf = pool.AcquireZeroed(5000);
+  const BufferPool::Stats before = pool.snapshot();
+  pool.Release(std::move(buf));  // dropped, not cached
+  std::vector<double> again = pool.AcquireZeroed(5000);
+  const BufferPool::Stats after = pool.snapshot();
+  EXPECT_EQ(after.hits - before.hits, 0);
+  pool.Release(std::move(again));
+
+  BufferPool::OverrideEnabled(true);
+  EXPECT_TRUE(BufferPool::Enabled());
+  BufferPool::ClearEnabledOverride();
+  BufferPool::ClearThreadCache();
+}
+
+/// Acquires from one size class until the shared store misses, so the
+/// following assertions start from a known-empty pool state. The drained
+/// buffers are dropped (freed), not re-released.
+void DrainPoolClass(int64_t n) {
+  BufferPool& pool = BufferPool::Default();
+  BufferPool::ClearThreadCache();
+  for (int i = 0; i < 1000; ++i) {
+    const BufferPool::Stats before = pool.snapshot();
+    std::vector<double> buf = pool.AcquireZeroed(n);
+    if (pool.snapshot().misses != before.misses) return;
+  }
+  FAIL() << "pool class for n=" << n << " did not drain";
+}
+
+TEST(BufferPoolTest, CrossThreadReleaseIsServedThroughTheSharedStore) {
+  // The executor's steady state: one thread frees dead relations, other
+  // threads re-acquire that storage. The per-thread free list holds 4
+  // buffers per class, so releasing 6 on a worker thread pushes 2 into
+  // the mutex-guarded shared store; the worker's thread-local cache dies
+  // with the thread, and the main thread must then hit the shared pair.
+  BufferPool::OverrideEnabled(true);
+  BufferPool& pool = BufferPool::Default();
+  DrainPoolClass(5000);
+
+  std::vector<const double*> released;
+  std::thread worker([&] {
+    std::vector<std::vector<double>> bufs;
+    for (int i = 0; i < 6; ++i) bufs.push_back(pool.AcquireZeroed(5000));
+    for (auto& b : bufs) {
+      b[3] = 7.0;  // dirty: a recycled acquire must still see zeros
+      released.push_back(b.data());
+      pool.Release(std::move(b));
+    }
+  });
+  worker.join();
+
+  const BufferPool::Stats before = pool.snapshot();
+  std::vector<std::vector<double>> got;
+  got.push_back(pool.AcquireZeroed(5000));
+  got.push_back(pool.AcquireZeroed(5000));
+  const BufferPool::Stats after = pool.snapshot();
+  EXPECT_EQ(after.hits - before.hits, 2);
+  for (const auto& buf : got) {
+    ASSERT_EQ(buf.size(), 5000u);
+    for (double v : buf) ASSERT_EQ(v, 0.0);
+    bool from_worker = false;
+    for (const double* p : released) from_worker = from_worker || p == buf.data();
+    EXPECT_TRUE(from_worker) << "buffer not recycled from the worker thread";
+  }
+  // The worker's 4 thread-local buffers died with its cache: next acquire
+  // falls through to malloc.
+  const BufferPool::Stats before_miss = pool.snapshot();
+  std::vector<double> fresh = pool.AcquireZeroed(5000);
+  EXPECT_EQ(pool.snapshot().misses - before_miss.misses, 1);
+  pool.Release(std::move(fresh));
+  for (auto& buf : got) pool.Release(std::move(buf));
+  BufferPool::ClearThreadCache();
+  BufferPool::ClearEnabledOverride();
+}
+
+TEST(BufferPoolTest, ConcurrentChurnKeepsBuffersZeroedAndCountsSane) {
+  // Four threads hammer one size class through the shared store; under
+  // -DMATOPT_TSAN this exercises the lock paths for data races. Every
+  // acquire must observe a fully zeroed buffer no matter which thread
+  // dirtied and released it.
+  BufferPool::OverrideEnabled(true);
+  BufferPool& pool = BufferPool::Default();
+  const BufferPool::Stats before = pool.snapshot();
+  std::vector<std::thread> threads;
+  std::atomic<int> nonzero_seen{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&pool, &nonzero_seen, t] {
+      for (int i = 0; i < 200; ++i) {
+        std::vector<double> a = pool.AcquireZeroed(3000);
+        std::vector<double> b = pool.AcquireZeroed(3000);
+        for (double v : a) nonzero_seen += v != 0.0;
+        for (double v : b) nonzero_seen += v != 0.0;
+        a[i % a.size()] = static_cast<double>(t + 1);
+        b[i % b.size()] = static_cast<double>(t + 1);
+        pool.Release(std::move(a));
+        pool.Release(std::move(b));
+      }
+      BufferPool::ClearThreadCache();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(nonzero_seen.load(), 0);
+  const BufferPool::Stats after = pool.snapshot();
+  EXPECT_EQ(after.hits + after.misses - before.hits - before.misses,
+            4 * 200 * 2);
+  EXPECT_EQ(after.releases - before.releases, 4 * 200 * 2);
+  BufferPool::ClearEnabledOverride();
 }
 
 // ---------------------------------------------------------------------

@@ -193,6 +193,89 @@ TEST(SparseMatrix, ScaledScalesValues) {
                        ScalarMul(a.ToDense(), -2.0)));
 }
 
+/// Plain ikj triple loop: ascending-k accumulation per output entry, the
+/// same mathematical order as the blocked production kernel, so the two
+/// must agree bit-for-bit — on either side of the zero-skip gate.
+DenseMatrix NaiveGemm(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix c(a.rows(), b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t k = 0; k < a.cols(); ++k) {
+      const double av = a(i, k);
+      for (int64_t j = 0; j < b.cols(); ++j) c(i, j) += av * b(k, j);
+    }
+  }
+  return c;
+}
+
+/// Gaussian lhs with exactly `zeros` entries zeroed (deterministically
+/// scattered), for pinning the sampled zero-density gate.
+DenseMatrix LhsWithZeros(int64_t rows, int64_t cols, int64_t zeros,
+                         uint64_t seed) {
+  DenseMatrix a = GaussianMatrix(rows, cols, seed);
+  const int64_t total = rows * cols;
+  // Spread the zeros evenly so every sampling stride sees a proportional
+  // share of them.
+  for (int64_t z = 0; z < zeros; ++z) {
+    const int64_t idx = z * total / zeros;
+    a.data()[idx] = 0.0;
+  }
+  return a;
+}
+
+TEST(GemmDensityGate, BitIdenticalAcrossTheSkipThreshold) {
+  // 64 x 64 lhs: 4096 entries, so the gate samples exhaustively and the
+  // skip branch flips exactly at zeros * 8 > 4096 * 7, i.e. at 3585.
+  const int64_t kTotal = 64 * 64;
+  const int64_t kBoundary = kTotal * 7 / 8;  // 3584: largest no-skip count
+  DenseMatrix b = GaussianMatrix(64, 48, 2);
+  for (int64_t zeros :
+       {int64_t{0}, kBoundary - 1, kBoundary, kBoundary + 1, kTotal}) {
+    DenseMatrix a = LhsWithZeros(64, 64, zeros, 3);
+    EXPECT_EQ(Gemm(a, b), NaiveGemm(a, b)) << "zeros=" << zeros;
+  }
+}
+
+TEST(GemmDensityGate, StridedSamplingMisjudgmentIsHarmless) {
+  // 128 x 128 lhs: 16384 entries, sampled at stride 4. Zero exactly the
+  // sampled positions: the gate sees 100% zeros and enables the skip on a
+  // matrix that is in fact 75% dense. The decision is performance-only, so
+  // the result must still be bit-identical to the naive loop.
+  DenseMatrix a = GaussianMatrix(128, 128, 4);
+  const int64_t total = a.size();
+  for (int64_t idx = 0; idx < total; idx += 4) a.data()[idx] = 0.0;
+  DenseMatrix b = GaussianMatrix(128, 32, 5);
+  EXPECT_EQ(Gemm(a, b), NaiveGemm(a, b));
+}
+
+TEST(GemmDensityGate, KBlockingKeepsAscendingAccumulationOrder) {
+  // k = 300 spans two k-blocks (kGemmKBlock = 256); ascending k within
+  // ascending blocks must still accumulate each c(i, j) in plain ascending
+  // k order.
+  DenseMatrix a = GaussianMatrix(17, 300, 6);
+  DenseMatrix b = GaussianMatrix(300, 23, 7);
+  EXPECT_EQ(Gemm(a, b), NaiveGemm(a, b));
+
+  // Same with a mostly-zero lhs so the skip branch crosses blocks too.
+  DenseMatrix z = LhsWithZeros(17, 300, 17 * 300 * 15 / 16, 8);
+  EXPECT_EQ(Gemm(z, b), NaiveGemm(z, b));
+}
+
+TEST(KernelFaultInjection, PerturbsExactlyOneEntryWhileSet) {
+  DenseMatrix a = GaussianMatrix(9, 11, 20);
+  DenseMatrix b = GaussianMatrix(11, 5, 21);
+  DenseMatrix clean = Gemm(a, b);
+  ASSERT_EQ(KernelFaultDelta(), 0.0);
+
+  SetKernelFaultDelta(0.25);
+  DenseMatrix faulty = Gemm(a, b);
+  SetKernelFaultDelta(0.0);
+
+  EXPECT_DOUBLE_EQ(faulty(0, 0), clean(0, 0) + 0.25);
+  faulty(0, 0) = clean(0, 0);
+  EXPECT_EQ(faulty, clean);  // every other entry untouched
+  EXPECT_EQ(Gemm(a, b), clean);  // cleared fault restores the kernel
+}
+
 TEST(Generators, SparsityMatchesRequest) {
   SparseMatrix s = RandomSparse(1000, 500, 5.0, 17);
   EXPECT_NEAR(static_cast<double>(s.nnz()) / 1000.0, 5.0, 0.5);

@@ -1,160 +1,43 @@
-// Randomized end-to-end property test: generate random compute DAGs over
-// small matrices, optimize them, execute the optimized plan on the engine,
-// and compare against a straightforward local interpreter. This exercises
-// arbitrary interactions of formats, implementations, and transformations
-// that the hand-written tests cannot enumerate.
-
-#include <map>
-#include <vector>
+// Randomized end-to-end property test at mid-size dimensions: generate
+// random compute DAGs, optimize them, and run the full differential oracle
+// stack from src/fuzz (reference interpreter, optimizer agreement,
+// determinism contracts, dry-run projections). The generator and the
+// reference interpreter live in src/fuzz and are shared with matopt_fuzz;
+// this test pins them at larger matrices than the CLI's --quick mode so
+// multi-chunk layouts and distributed accumulation orders are covered.
 
 #include <gtest/gtest.h>
 
 #include "common/random.h"
-#include "core/cost/cost_model.h"
-#include "core/opt/optimizer.h"
-#include "engine/executor.h"
-#include "la/kernels.h"
-#include "ml/generators.h"
+#include "fuzz/fuzzer.h"
 
 namespace matopt {
 namespace {
 
-/// Local single-node interpreter used as ground truth.
-DenseMatrix EvaluateReference(const ComputeGraph& graph,
-                              const std::map<int, DenseMatrix>& inputs,
-                              int target) {
-  std::vector<DenseMatrix> values(graph.num_vertices());
-  for (int v = 0; v <= target; ++v) {
-    const Vertex& vx = graph.vertex(v);
-    if (vx.op == OpKind::kInput) {
-      values[v] = inputs.at(v);
-      continue;
-    }
-    auto arg = [&](int j) -> const DenseMatrix& {
-      return values[vx.inputs[j]];
-    };
-    switch (vx.op) {
-      case OpKind::kMatMul: values[v] = Gemm(arg(0), arg(1)); break;
-      case OpKind::kAdd: values[v] = Add(arg(0), arg(1)); break;
-      case OpKind::kSub: values[v] = Sub(arg(0), arg(1)); break;
-      case OpKind::kHadamard: values[v] = Hadamard(arg(0), arg(1)); break;
-      case OpKind::kElemDiv: values[v] = ElemDiv(arg(0), arg(1)); break;
-      case OpKind::kScalarMul: values[v] = ScalarMul(arg(0), vx.scalar); break;
-      case OpKind::kTranspose: values[v] = Transpose(arg(0)); break;
-      case OpKind::kRelu: values[v] = Relu(arg(0)); break;
-      case OpKind::kReluGrad: values[v] = ReluGrad(arg(0), arg(1)); break;
-      case OpKind::kSoftmax: values[v] = Softmax(arg(0)); break;
-      case OpKind::kSigmoid: values[v] = Sigmoid(arg(0)); break;
-      case OpKind::kExp: values[v] = Exp(arg(0)); break;
-      case OpKind::kRowSum: values[v] = RowSum(arg(0)); break;
-      case OpKind::kColSum: values[v] = ColSum(arg(0)); break;
-      case OpKind::kBroadcastRowAdd:
-        values[v] = BroadcastRowAdd(arg(0), arg(1));
-        break;
-      case OpKind::kInverse: values[v] = Inverse(arg(0)).value(); break;
-      default: ADD_FAILURE() << "unhandled op"; break;
-    }
-  }
-  return values[target];
-}
-
-/// Builds a random DAG: a few random-shaped inputs, then ops drawn from a
-/// pool, each consuming random existing vertices with compatible shapes.
-/// Reduces everything to one sink via row/col sums and adds so the graph
-/// is connected.
-ComputeGraph RandomGraph(uint64_t seed, std::map<int, DenseMatrix>* inputs) {
-  Rng rng(seed);
-  ComputeGraph g;
-  std::vector<FormatId> dense_formats;
-  for (FormatId id : AllFormatIds()) {
-    if (!BuiltinFormats()[id].sparse()) dense_formats.push_back(id);
-  }
-  auto rand_dim = [&]() { return 60 + rng.UniformInt(200); };
-
-  int num_inputs = 3 + static_cast<int>(rng.UniformInt(3));
-  for (int i = 0; i < num_inputs; ++i) {
-    MatrixType type(rand_dim(), rand_dim());
-    FormatId fmt = dense_formats[rng.UniformInt(dense_formats.size())];
-    int v = g.AddInput(type, fmt, "in" + std::to_string(i));
-    (*inputs)[v] = GaussianMatrix(type.rows(), type.cols(), seed * 31 + i);
-  }
-
-  int ops_added = 0;
-  int attempts = 0;
-  const int target_ops = 6 + static_cast<int>(rng.UniformInt(6));
-  while (ops_added < target_ops && attempts < 400) {
-    ++attempts;
-    OpKind pool[] = {OpKind::kMatMul,   OpKind::kAdd,       OpKind::kSub,
-                     OpKind::kHadamard, OpKind::kScalarMul, OpKind::kTranspose,
-                     OpKind::kRelu,     OpKind::kSigmoid,   OpKind::kExp,
-                     OpKind::kRowSum,   OpKind::kColSum,    OpKind::kMatMul,
-                     OpKind::kMatMul};
-    OpKind op = pool[rng.UniformInt(std::size(pool))];
-    int arity = OpArity(op);
-    std::vector<int> args;
-    for (int j = 0; j < arity; ++j) {
-      args.push_back(static_cast<int>(rng.UniformInt(g.num_vertices())));
-    }
-    auto added = g.AddOp(op, args, "", 0.25 + rng.Uniform());
-    if (added.ok()) ++ops_added;
-  }
-
-  // Reduce all sinks into a single output via row-sums and matmuls of the
-  // resulting column vectors' outer shapes (v1_rowsum' x v2_rowsum is
-  // 1x1-ish); simpler: sum-of-entries per sink, then add them up.
-  std::vector<int> scalars;
-  for (int sink : g.Sinks()) {
-    int rs = g.AddOp(OpKind::kRowSum, {sink}).value();
-    int cs = g.AddOp(OpKind::kColSum, {rs}).value();  // 1 x 1
-    scalars.push_back(cs);
-  }
-  int acc = scalars[0];
-  for (size_t i = 1; i < scalars.size(); ++i) {
-    acc = g.AddOp(OpKind::kAdd, {acc, scalars[i]}).value();
-  }
-  return g;
-}
-
 class RandomGraphTest : public ::testing::TestWithParam<int> {};
 
-TEST_P(RandomGraphTest, OptimizedPlanMatchesReferenceInterpreter) {
-  uint64_t seed = 1000 + GetParam();
-  std::map<int, DenseMatrix> inputs;
-  ComputeGraph graph = RandomGraph(seed, &inputs);
+TEST_P(RandomGraphTest, FuzzedProgramPassesOracleStack) {
+  fuzz::FuzzConfig config;
+  config.base_seed = 1000 + GetParam();
+  config.iters = 1;
+  config.derive_seeds = false;  // program seed == base_seed, easy to replay
+  config.shapes = {fuzz::FuzzShape::kRandom};
+  config.limits = {60, 260, 12};
+  config.shrink = false;  // keep the failure large: the seed is the repro
+  // Brute force is exponential and these graphs carry ~10 op vertices;
+  // the optimizer-agreement oracle still cross-checks the tree DP.
+  config.oracle.check_brute_force = false;
 
-  Catalog catalog;
-  ClusterConfig cluster = SimSqlProfile(4);
-  cluster.broadcast_cap_bytes = 1e12;
-  CostModel model = CostModel::Analytic(cluster);
-
-  auto plan = Optimize(graph, catalog, model, cluster);
-  ASSERT_TRUE(plan.ok()) << plan.status().ToString()
-                         << "\n" << graph.ToString();
-  ASSERT_TRUE(ValidateAnnotation(graph, plan.value().annotation, catalog,
-                                 cluster)
-                  .ok());
-
-  std::unordered_map<int, Relation> relations;
-  for (const auto& [v, m] : inputs) {
-    relations[v] =
-        MakeRelation(m, graph.vertex(v).input_format, cluster).value();
+  fuzz::FuzzSummary summary = fuzz::RunFuzz(config);
+  ASSERT_EQ(summary.iterations, 1);
+  for (const fuzz::FuzzFailure& failure : summary.failures) {
+    ADD_FAILURE() << "seed " << failure.seed << " ("
+                  << fuzz::FuzzShapeName(failure.shape)
+                  << "):\n" << failure.report.ToString();
   }
-  PlanExecutor executor(catalog, cluster);
-  auto result =
-      executor.Execute(graph, plan.value().annotation, std::move(relations));
-  ASSERT_TRUE(result.ok()) << result.status().ToString()
-                           << "\n" << plan.value().annotation.ToString(graph);
-  ASSERT_EQ(result.value().sinks.size(), 1u);
-
-  int sink = result.value().sinks.begin()->first;
-  DenseMatrix out =
-      MaterializeDense(result.value().sinks.begin()->second).value();
-  DenseMatrix expected = EvaluateReference(graph, inputs, sink);
-  EXPECT_TRUE(AllClose(out, expected, 1e-6, 1e-6))
-      << "seed " << seed << "\n" << plan.value().annotation.ToString(graph);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphTest, ::testing::Range(0, 24));
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphTest, ::testing::Range(0, 12));
 
 }  // namespace
 }  // namespace matopt

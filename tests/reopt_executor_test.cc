@@ -1,0 +1,130 @@
+// Coverage for the adaptive (re-optimizing) executor: correctness against
+// the reference interpreter, agreement with the one-shot executor when the
+// sparsity estimates hold, and mid-execution re-optimization when they are
+// badly wrong.
+
+#include <map>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "core/cost/cost_model.h"
+#include "engine/executor.h"
+#include "engine/reopt_executor.h"
+#include "fuzz/generator.h"
+#include "fuzz/reference.h"
+#include "ml/generators.h"
+
+namespace matopt {
+namespace {
+
+class ReoptExecutorTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+  ClusterConfig cluster_ = SimSqlProfile(4);
+  CostModel model_ = CostModel::Analytic(cluster_);
+
+  ReoptResult MustExecute(const fuzz::FuzzProgram& program) {
+    auto inputs = fuzz::MaterializeRelations(program, cluster_);
+    EXPECT_TRUE(inputs.ok()) << inputs.status().ToString();
+    ReoptimizingExecutor executor(catalog_, model_, cluster_);
+    auto result =
+        executor.Execute(program.graph, std::move(inputs.value()));
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result.value());
+  }
+
+  void ExpectSinksMatchReference(const fuzz::FuzzProgram& program,
+                                 const ReoptResult& result) {
+    auto expected = fuzz::EvaluateReference(
+        program.graph, fuzz::MaterializeDenseInputs(program));
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    ASSERT_EQ(result.sinks.size(), expected.value().size());
+    for (const auto& [v, matrix] : expected.value()) {
+      auto it = result.sinks.find(v);
+      ASSERT_NE(it, result.sinks.end()) << "missing sink v" << v;
+      auto out = MaterializeDense(it->second);
+      ASSERT_TRUE(out.ok()) << out.status().ToString();
+      EXPECT_TRUE(AllClose(out.value(), matrix, 1e-6, 1e-6))
+          << "sink v" << v << " diverges";
+    }
+  }
+};
+
+TEST_F(ReoptExecutorTest, DenseProgramMatchesReference) {
+  fuzz::FuzzProgram program = fuzz::GenerateProgram(
+      fuzz::FuzzShape::kFfnn, /*seed=*/7, fuzz::FuzzLimits::Quick());
+  ReoptResult result = MustExecute(program);
+  ExpectSinksMatchReference(program, result);
+  EXPECT_GT(result.stats.sim_seconds, 0.0);
+}
+
+TEST_F(ReoptExecutorTest, SparseProgramMatchesReference) {
+  fuzz::FuzzProgram program = fuzz::GenerateProgram(
+      fuzz::FuzzShape::kSparse, /*seed=*/11, fuzz::FuzzLimits::Quick());
+  ReoptResult result = MustExecute(program);
+  ExpectSinksMatchReference(program, result);
+}
+
+TEST_F(ReoptExecutorTest, AgreesWithOneShotExecutorWhenEstimatesHold) {
+  // Gaussian data is fully dense, so every estimate is exact and the
+  // adaptive executor must follow the very plan the one-shot executor
+  // runs — bit-identical sinks, zero re-optimizations.
+  fuzz::FuzzProgram program = fuzz::GenerateProgram(
+      fuzz::FuzzShape::kChain, /*seed=*/3, fuzz::FuzzLimits::Quick());
+  ReoptResult adaptive = MustExecute(program);
+  EXPECT_EQ(adaptive.reoptimizations, 0);
+
+  auto plan = Optimize(program.graph, catalog_, model_, cluster_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  PlanExecutor one_shot(catalog_, cluster_);
+  auto inputs = fuzz::MaterializeRelations(program, cluster_);
+  ASSERT_TRUE(inputs.ok());
+  auto result = one_shot.Execute(program.graph, plan.value().annotation,
+                                 std::move(inputs.value()));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  ASSERT_EQ(adaptive.sinks.size(), result.value().sinks.size());
+  for (const auto& [v, rel] : result.value().sinks) {
+    auto it = adaptive.sinks.find(v);
+    ASSERT_NE(it, adaptive.sinks.end());
+    EXPECT_EQ(MaterializeDense(it->second).value(),
+              MaterializeDense(rel).value())
+        << "sink v" << v << " not bit-identical";
+  }
+}
+
+TEST_F(ReoptExecutorTest, MisestimatedIntermediateTriggersReoptimization) {
+  // sub(x, x) is exactly zero while its sparsity estimate is ~1, an
+  // infinite Sommer relative error: the executor must halt, pin the
+  // observation, and re-plan the remaining matmul — and still be right.
+  fuzz::FuzzProgram program;
+  program.seed = 42;
+  ComputeGraph& g = program.graph;
+  int x = g.AddInput(MatrixType(40, 40), /*format=*/0, "x");
+  int w = g.AddInput(MatrixType(40, 24), /*format=*/0, "w");
+  int z = g.AddOp(OpKind::kSub, {x, x}).value();
+  g.AddOp(OpKind::kMatMul, {z, w}).value();
+  for (int v : {x, w}) {
+    fuzz::FuzzInputSpec spec;
+    spec.data_seed = 1000 + v;
+    program.inputs.emplace(v, spec);
+  }
+  ASSERT_GT(g.vertex(z).sparsity, 0.5);  // the estimate really is wrong
+
+  ReoptResult result = MustExecute(program);
+  EXPECT_GE(result.reoptimizations, 1);
+  EXPECT_GT(result.opt_seconds, 0.0);
+  ExpectSinksMatchReference(program, result);
+}
+
+TEST_F(ReoptExecutorTest, MissingInputRelationIsAnError) {
+  fuzz::FuzzProgram program = fuzz::GenerateProgram(
+      fuzz::FuzzShape::kChain, /*seed=*/5, fuzz::FuzzLimits::Quick());
+  ReoptimizingExecutor executor(catalog_, model_, cluster_);
+  auto result = executor.Execute(program.graph, {});
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace matopt

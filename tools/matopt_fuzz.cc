@@ -1,0 +1,126 @@
+// Differential fuzzer for the matopt stack. Generates random programs,
+// optimizes and executes them, and cross-checks every result against the
+// oracle stack (naive reference interpreter, optimizer agreement,
+// determinism contracts, dry-run projections). Failures are delta-debugged
+// to a minimal program and written as standalone repro files.
+//
+// Usage:
+//   matopt_fuzz [--iters N] [--seed S] [--shape NAME] [--quick]
+//               [--repro FILE] [--repro-dir DIR] [--raw-seed]
+//               [--workers N] [--max-failures N] [--log-every N]
+//
+// Exit codes: 0 = all iterations clean, 1 = oracle failure(s), 2 = usage.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+
+namespace {
+
+int Usage(const std::string& error) {
+  if (!error.empty()) std::cerr << "matopt_fuzz: " << error << "\n";
+  std::cerr
+      << "usage: matopt_fuzz [options]\n"
+         "  --iters N         iterations to run (default 100; 600 with "
+         "--quick)\n"
+         "  --seed S          campaign seed (default 1)\n"
+         "  --raw-seed        iteration i uses program seed S+i (replay "
+         "mode)\n"
+         "  --shape NAME      fuzz only this shape; repeatable "
+         "(chain|ffnn|block_inverse|sparse|shared|random)\n"
+         "  --quick           small matrices / few ops: the CI smoke "
+         "configuration\n"
+         "  --repro FILE      replay one repro file and exit\n"
+         "  --repro-dir DIR   write shrunken repro files here (default .)\n"
+         "  --workers N       simulated cluster size (default 4)\n"
+         "  --max-failures N  stop after N failures (default 3)\n"
+         "  --log-every N     heartbeat every N iterations (default "
+         "iters/10)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using matopt::fuzz::FuzzConfig;
+  using matopt::fuzz::FuzzLimits;
+
+  FuzzConfig config;
+  config.repro_dir = ".";
+  config.log = &std::cout;
+
+  bool quick = false;
+  int iters = -1;
+  int log_every = -1;
+  std::string repro_file;
+
+  auto next_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "matopt_fuzz: " << flag << " needs a value\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--iters") {
+      iters = std::atoi(next_value(i, "--iters"));
+    } else if (arg == "--seed") {
+      config.base_seed = std::strtoull(next_value(i, "--seed"), nullptr, 10);
+    } else if (arg == "--raw-seed") {
+      config.derive_seeds = false;
+    } else if (arg == "--shape") {
+      const std::string name = next_value(i, "--shape");
+      auto shape = matopt::fuzz::ParseFuzzShape(name);
+      if (!shape.has_value()) return Usage("unknown shape '" + name + "'");
+      config.shapes.push_back(*shape);
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--repro") {
+      repro_file = next_value(i, "--repro");
+    } else if (arg == "--repro-dir") {
+      config.repro_dir = next_value(i, "--repro-dir");
+    } else if (arg == "--workers") {
+      config.workers = std::atoi(next_value(i, "--workers"));
+    } else if (arg == "--max-failures") {
+      config.max_failures = std::atoi(next_value(i, "--max-failures"));
+    } else if (arg == "--log-every") {
+      log_every = std::atoi(next_value(i, "--log-every"));
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage("");
+    } else {
+      return Usage("unknown argument '" + arg + "'");
+    }
+  }
+
+  if (quick) config.limits = FuzzLimits::Quick();
+  config.iters = iters > 0 ? iters : (quick ? 600 : 100);
+  config.log_every =
+      log_every >= 0 ? log_every : std::max(1, config.iters / 10);
+
+  if (!repro_file.empty()) {
+    auto report = matopt::fuzz::RunReproFile(repro_file, config);
+    if (!report.ok()) {
+      std::cerr << "matopt_fuzz: " << report.status().ToString() << "\n";
+      return 2;
+    }
+    if (report.value().ok()) {
+      std::cout << "repro " << repro_file << ": all oracles pass\n";
+      return 0;
+    }
+    std::cout << "repro " << repro_file << " still fails:\n"
+              << report.value().ToString();
+    return 1;
+  }
+
+  auto summary = matopt::fuzz::RunFuzz(config);
+  std::cout << "[matopt_fuzz] " << summary.iterations << " iterations, "
+            << summary.failures.size() << " failure(s)\n";
+  return summary.ok() ? 0 : 1;
+}
