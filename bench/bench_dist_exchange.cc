@@ -1,0 +1,254 @@
+// Distributed-runtime exchange benchmark: shuffle vs broadcast A/B over
+// the in-memory transport at 1-16 workers, plus per-stage predicted vs
+// measured exchange traffic for an optimized FFNN step executed on the
+// sharded runtime (DESIGN.md §12). Emits BENCH_dist.json. `--quick` runs
+// reduced sizes for CI smoke.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/opt/optimizer.h"
+#include "dist/exchange.h"
+#include "dist/partition.h"
+#include "dist/transport.h"
+#include "engine/executor.h"
+#include "ml/generators.h"
+#include "ml/workloads.h"
+
+namespace matopt {
+namespace {
+
+struct ExchangeRow {
+  int workers = 0;
+  std::string kind;
+  double predicted_bytes = 0.0;
+  double measured_bytes = 0.0;
+  long long tuples = 0;
+  double seconds = 0.0;
+};
+
+struct StageRow {
+  int workers = 0;
+  DistExchangeRecord record;
+};
+
+/// Transpose-style repartition destination: where the (c, r) chunk would
+/// live. Tuples whose transposed placement folds onto their own shard stay
+/// local; the rest cross the wire.
+int ShuffleDest(const EngineTuple& t, const ClusterConfig& cluster,
+                int workers) {
+  return WorkerFor(t.c, t.r, cluster.num_workers) % workers;
+}
+
+std::vector<ExchangeRow> RunExchangeAb(const Relation& rel,
+                                       const ClusterConfig& cluster,
+                                       int max_workers) {
+  std::vector<ExchangeRow> rows;
+  for (int workers = 1; workers <= max_workers; ++workers) {
+    // Shuffle: each tuple to its transposed-key owner.
+    {
+      ExchangeRow row;
+      row.workers = workers;
+      row.kind = "shuffle";
+      for (const EngineTuple& t : rel.tuples) {
+        if (ShuffleDest(t, cluster, workers) !=
+            dist::DistWorkerOf(t, workers)) {
+          row.predicted_bytes += t.Bytes(false);
+        }
+      }
+      dist::InMemoryTransport transport;
+      Stopwatch sw;
+      dist::ShuffleExchange shuffle(transport, "ab:shuffle", workers, false);
+      for (const EngineTuple& t : rel.tuples) {
+        Status s = shuffle.Route(dist::DistWorkerOf(t, workers),
+                                 ShuffleDest(t, cluster, workers), t);
+        if (!s.ok()) {
+          std::fprintf(stderr, "shuffle route: %s\n", s.ToString().c_str());
+          std::exit(1);
+        }
+      }
+      long long gathered = 0;
+      for (int to = 0; to < workers; ++to) {
+        auto got = shuffle.Gather(to);
+        if (!got.ok()) {
+          std::fprintf(stderr, "shuffle gather: %s\n",
+                       got.status().ToString().c_str());
+          std::exit(1);
+        }
+        gathered += static_cast<long long>(got.value().size());
+      }
+      row.seconds = sw.ElapsedSeconds();
+      row.measured_bytes = shuffle.remote_totals().bytes;
+      row.tuples = gathered;
+      rows.push_back(row);
+    }
+    // Broadcast: every tuple replicated to every worker.
+    {
+      ExchangeRow row;
+      row.workers = workers;
+      row.kind = "broadcast";
+      row.predicted_bytes = rel.TotalBytes() * (workers - 1);
+      dist::InMemoryTransport transport;
+      Stopwatch sw;
+      dist::BroadcastExchange bcast(transport, "ab:broadcast", workers,
+                                    false);
+      for (const EngineTuple& t : rel.tuples) {
+        Status s = bcast.Broadcast(dist::DistWorkerOf(t, workers), t);
+        if (!s.ok()) {
+          std::fprintf(stderr, "broadcast: %s\n", s.ToString().c_str());
+          std::exit(1);
+        }
+      }
+      long long gathered = 0;
+      for (int to = 0; to < workers; ++to) {
+        auto got = bcast.Gather(to);
+        if (!got.ok()) {
+          std::fprintf(stderr, "broadcast gather: %s\n",
+                       got.status().ToString().c_str());
+          std::exit(1);
+        }
+        gathered += static_cast<long long>(got.value().size());
+      }
+      row.seconds = sw.ElapsedSeconds();
+      row.measured_bytes = bcast.remote_totals().bytes;
+      row.tuples = gathered;
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(10);
+  cluster.broadcast_cap_bytes = 1e12;
+  CostModel model = CostModel::Analytic(cluster);
+  const int max_workers = 16;
+
+  // --- A. Raw exchange A/B: shuffle vs broadcast, 1..16 workers ----------
+  FormatId tiles = catalog.FindFormat({Layout::kTiles, 100, 100});
+  const int64_t n = quick ? 400 : 1600;
+  Relation rel =
+      MakeRelation(GaussianMatrix(n, n, 3), tiles, cluster).value();
+  std::printf("exchange A/B: %lld x %lld dense, tiles(100), %zu tuples, "
+              "%.1f MB\n\n",
+              static_cast<long long>(n), static_cast<long long>(n),
+              rel.tuples.size(), rel.TotalBytes() / 1e6);
+  std::vector<ExchangeRow> exchange_rows =
+      RunExchangeAb(rel, cluster, max_workers);
+
+  std::printf("%8s  %-10s %16s %16s %8s %10s\n", "workers", "kind",
+              "predicted MB", "measured MB", "tuples", "wall ms");
+  bool exchange_match = true;
+  for (const ExchangeRow& r : exchange_rows) {
+    exchange_match = exchange_match && r.predicted_bytes == r.measured_bytes;
+    std::printf("%8d  %-10s %16.2f %16.2f %8lld %10.2f\n", r.workers,
+                r.kind.c_str(), r.predicted_bytes / 1e6,
+                r.measured_bytes / 1e6, r.tuples, r.seconds * 1e3);
+  }
+  std::printf("predicted == measured on every row: %s\n\n",
+              exchange_match ? "yes" : "NO");
+
+  // --- B. Per-stage predicted vs measured on an optimized plan -----------
+  FfnnConfig cfg;
+  cfg.batch = quick ? 128 : 512;
+  cfg.features = quick ? 128 : 512;
+  cfg.hidden = quick ? 128 : 512;
+  cfg.labels = 10;
+  ComputeGraph graph = BuildFfnnGraph(cfg).value();
+  Annotation annotation =
+      Optimize(graph, catalog, model, cluster).value().annotation;
+  std::unordered_map<int, Relation> inputs;
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    const Vertex& vx = graph.vertex(v);
+    if (vx.op != OpKind::kInput) continue;
+    inputs.emplace(
+        v, MakeRelation(GaussianMatrix(vx.type.rows(), vx.type.cols(),
+                                       100 + v),
+                        vx.input_format, cluster)
+               .value());
+  }
+
+  std::vector<StageRow> stage_rows;
+  bool plan_match = true;
+  const std::vector<int> plan_workers =
+      quick ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 16};
+  for (int workers : plan_workers) {
+    PlanExecutor executor(catalog, cluster);
+    executor.set_dist_workers(workers);
+    auto result = executor.Execute(graph, annotation, inputs);
+    if (!result.ok()) {
+      std::fprintf(stderr, "plan @%d workers: %s\n", workers,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const DistStats& dist = result.value().stats.dist;
+    for (const DistExchangeRecord& s : dist.stages) {
+      plan_match = plan_match &&
+                   s.measured_shuffle_bytes == s.predicted_shuffle_bytes &&
+                   s.measured_broadcast_bytes == s.predicted_broadcast_bytes &&
+                   s.measured_tuples == s.predicted_tuples;
+      stage_rows.push_back({workers, s});
+    }
+    if (workers == 4) std::printf("%s\n", dist.ComparisonTable().c_str());
+  }
+  std::printf("per-stage predicted == measured at every worker count: %s\n",
+              plan_match ? "yes" : "NO");
+
+  // --- JSON ---------------------------------------------------------------
+  FILE* out = std::fopen("BENCH_dist.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_dist.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"exchange_predicted_matches_measured\": %s,\n"
+               "  \"plan_predicted_matches_measured\": %s,\n"
+               "  \"exchange\": [\n",
+               exchange_match ? "true" : "false",
+               plan_match ? "true" : "false");
+  for (size_t i = 0; i < exchange_rows.size(); ++i) {
+    const ExchangeRow& r = exchange_rows[i];
+    std::fprintf(out,
+                 "    {\"workers\": %d, \"kind\": \"%s\", "
+                 "\"predicted_bytes\": %.0f, \"measured_bytes\": %.0f, "
+                 "\"tuples\": %lld, \"seconds\": %.6f}%s\n",
+                 r.workers, r.kind.c_str(), r.predicted_bytes,
+                 r.measured_bytes, r.tuples, r.seconds,
+                 i + 1 == exchange_rows.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ],\n  \"plan_stages\": [\n");
+  for (size_t i = 0; i < stage_rows.size(); ++i) {
+    const StageRow& r = stage_rows[i];
+    std::fprintf(
+        out,
+        "    {\"workers\": %d, \"stage\": \"%s\", "
+        "\"predicted_shuffle_bytes\": %.0f, \"measured_shuffle_bytes\": "
+        "%.0f, \"predicted_broadcast_bytes\": %.0f, "
+        "\"measured_broadcast_bytes\": %.0f, \"predicted_tuples\": %.0f, "
+        "\"measured_tuples\": %.0f, \"shard_skew\": %.4f}%s\n",
+        r.workers, r.record.label.c_str(), r.record.predicted_shuffle_bytes,
+        r.record.measured_shuffle_bytes, r.record.predicted_broadcast_bytes,
+        r.record.measured_broadcast_bytes, r.record.predicted_tuples,
+        r.record.measured_tuples, r.record.shard_skew,
+        i + 1 == stage_rows.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_dist.json\n");
+  return exchange_match && plan_match ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace matopt
+
+int main(int argc, char** argv) { return matopt::Main(argc, argv); }

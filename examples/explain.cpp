@@ -5,11 +5,16 @@
 // would hand to the relational engine (Section 2's views).
 //
 // Usage: explain [program.mla] [workers]
+//
+// With MATOPT_WORKERS=N set, small programs are additionally executed on
+// the sharded multi-worker runtime and the plan's predicted exchange
+// traffic is printed next to the transport's measurements.
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/units.h"
 #include "core/cost/cost_model.h"
@@ -17,6 +22,7 @@
 #include "engine/executor.h"
 #include "frontend/frontend_lint.h"
 #include "frontend/sql_gen.h"
+#include "ml/generators.h"
 
 using namespace matopt;
 
@@ -92,6 +98,55 @@ int main(int argc, char** argv) {
   } else {
     std::printf("=== simulated execution failed: %s ===\n\n",
                 run.status().ToString().c_str());
+  }
+
+  // With MATOPT_WORKERS set, also run the plan for real on the sharded
+  // multi-worker runtime (DESIGN.md §12) and print each stage's predicted
+  // exchange traffic next to what the transport measured. Gated on input
+  // size: paper-scale programs are for dry-run EXPLAIN only.
+  int dist_workers = PlanExecutor::DefaultDistWorkers();
+  if (dist_workers > 0 && run.ok()) {
+    const ComputeGraph& graph = program.value().graph;
+    double input_entries = 0.0;
+    for (int v = 0; v < graph.num_vertices(); ++v) {
+      if (graph.vertex(v).op != OpKind::kInput) continue;
+      input_entries += static_cast<double>(graph.vertex(v).type.NumEntries());
+    }
+    if (input_entries > 4e6) {
+      std::printf("=== distributed run skipped: %.0f input entries exceed "
+                  "the %d-worker demo cap (4e6) ===\n\n",
+                  input_entries, dist_workers);
+    } else {
+      std::unordered_map<int, Relation> inputs;
+      for (int v = 0; v < graph.num_vertices(); ++v) {
+        const Vertex& vx = graph.vertex(v);
+        if (vx.op != OpKind::kInput) continue;
+        if (BuiltinFormats()[vx.input_format].sparse()) {
+          inputs[v] = MakeSparseRelation(
+                          RandomSparse(vx.type.rows(), vx.type.cols(),
+                                       vx.sparsity * vx.type.cols(), 100 + v),
+                          vx.input_format, cluster)
+                          .value();
+        } else {
+          inputs[v] = MakeRelation(GaussianMatrix(vx.type.rows(),
+                                                  vx.type.cols(), 100 + v),
+                                   vx.input_format, cluster)
+                          .value();
+        }
+      }
+      PlanExecutor dist_executor(catalog, cluster);
+      dist_executor.set_dist_workers(dist_workers);
+      auto dist_run =
+          dist_executor.Execute(graph, plan.value().annotation,
+                                std::move(inputs));
+      if (dist_run.ok()) {
+        std::printf("=== distributed execution (measured) ===\n%s\n",
+                    dist_run.value().stats.dist.ComparisonTable().c_str());
+      } else {
+        std::printf("=== distributed execution failed: %s ===\n\n",
+                    dist_run.status().ToString().c_str());
+      }
+    }
   }
 
   std::printf("=== generated SQL ===\n%s",

@@ -1,0 +1,65 @@
+#include "dist/exchange.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace matopt::dist {
+
+ShuffleExchange::ShuffleExchange(Transport& transport, std::string label,
+                                 int num_workers, bool sparse_layout)
+    : exchange_(transport.OpenExchange(std::move(label), num_workers)),
+      num_workers_(num_workers),
+      sparse_layout_(sparse_layout),
+      local_(num_workers),
+      local_stats_(num_workers) {}
+
+Status ShuffleExchange::Route(int from, int to, const EngineTuple& tuple) {
+  double bytes = tuple.Bytes(sparse_layout_);
+  if (from == to) {
+    ChannelStats& ch = local_stats_[from];
+    ++ch.messages;
+    ++ch.tuples;
+    ch.bytes += bytes;
+    local_[from].push_back(tuple);
+    return Status::OK();
+  }
+  return exchange_->Send(from, to, TupleMessage{tuple, bytes});
+}
+
+Result<std::vector<EngineTuple>> ShuffleExchange::Gather(int to) {
+  MATOPT_ASSIGN_OR_RETURN(std::vector<TupleMessage> drained,
+                          exchange_->Drain(to));
+  std::vector<EngineTuple> out = std::move(local_[to]);
+  local_[to].clear();
+  out.reserve(out.size() + drained.size());
+  for (TupleMessage& m : drained) out.push_back(std::move(m.tuple));
+  std::sort(out.begin(), out.end(),
+            [](const EngineTuple& a, const EngineTuple& b) {
+              if (a.r != b.r) return a.r < b.r;
+              return a.c < b.c;
+            });
+  return out;
+}
+
+ChannelStats ShuffleExchange::local_totals() const {
+  ChannelStats total;
+  for (const ChannelStats& ch : local_stats_) total.Add(ch);
+  return total;
+}
+
+BroadcastExchange::BroadcastExchange(Transport& transport, std::string label,
+                                     int num_workers, bool sparse_layout)
+    : shuffle_(transport, std::move(label), num_workers, sparse_layout) {}
+
+Status BroadcastExchange::Broadcast(int from, const EngineTuple& tuple) {
+  for (int to = 0; to < shuffle_.num_workers(); ++to) {
+    MATOPT_RETURN_IF_ERROR(shuffle_.Route(from, to, tuple));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<EngineTuple>> BroadcastExchange::Gather(int to) {
+  return shuffle_.Gather(to);
+}
+
+}  // namespace matopt::dist

@@ -1,0 +1,74 @@
+#ifndef MATOPT_DIST_EXCHANGE_H_
+#define MATOPT_DIST_EXCHANGE_H_
+
+#include <string>
+#include <vector>
+
+#include "dist/transport.h"
+
+namespace matopt::dist {
+
+/// Repartitioning exchange: each source tuple travels, unchanged, to the
+/// destination workers the move plan computed from its chunk key.
+/// Self-deliveries stay in a worker-local list and off the wire (they are
+/// counted separately); remote deliveries go through the transport under
+/// the owning relation's layout. Follows the transport's phased threading
+/// contract: Route from the sender's thread, barrier, Gather from the
+/// receiver's thread.
+class ShuffleExchange {
+ public:
+  ShuffleExchange(Transport& transport, std::string label, int num_workers,
+                  bool sparse_layout);
+
+  /// Delivers `tuple`, owned by worker `from`, to worker `to`.
+  Status Route(int from, int to, const EngineTuple& tuple);
+
+  /// Collects everything delivered to worker `to` — local list plus the
+  /// rank-ordered transport drain — sorted into canonical (row, col) key
+  /// order. Chunk keys are unique within a relation, so the gathered
+  /// sequence is fully deterministic.
+  Result<std::vector<EngineTuple>> Gather(int to);
+
+  /// Cross-worker traffic so far (what a wire would carry).
+  ChannelStats remote_totals() const { return exchange_->Totals(); }
+
+  /// Same-worker deliveries (bytes never serialized).
+  ChannelStats local_totals() const;
+
+  int num_workers() const { return num_workers_; }
+
+ private:
+  std::unique_ptr<Exchange> exchange_;
+  int num_workers_;
+  bool sparse_layout_;
+  // Indexed by worker rank; each slot touched only by that worker's
+  // thread during the send phase, read after the barrier.
+  std::vector<std::vector<EngineTuple>> local_;
+  std::vector<ChannelStats> local_stats_;
+};
+
+/// Replicating exchange: every broadcast tuple reaches all workers. The
+/// planner enforces broadcast_cap_bytes before opening one of these; the
+/// exchange just replicates (one local delivery plus num_workers - 1
+/// remote sends per tuple).
+class BroadcastExchange {
+ public:
+  BroadcastExchange(Transport& transport, std::string label, int num_workers,
+                    bool sparse_layout);
+
+  /// Replicates `tuple`, owned by worker `from`, to every worker.
+  Status Broadcast(int from, const EngineTuple& tuple);
+
+  /// Worker `to`'s replica set, in canonical key order.
+  Result<std::vector<EngineTuple>> Gather(int to);
+
+  ChannelStats remote_totals() const { return shuffle_.remote_totals(); }
+  ChannelStats local_totals() const { return shuffle_.local_totals(); }
+
+ private:
+  ShuffleExchange shuffle_;
+};
+
+}  // namespace matopt::dist
+
+#endif  // MATOPT_DIST_EXCHANGE_H_

@@ -1,0 +1,47 @@
+#include "dist/partition.h"
+
+#include <algorithm>
+
+#include "core/format/format.h"
+
+namespace matopt::dist {
+
+int DistWorkerOf(const EngineTuple& tuple, int num_workers) {
+  return tuple.worker % num_workers;
+}
+
+std::vector<std::vector<int>> ShardIndices(const Relation& relation,
+                                           int num_workers) {
+  std::vector<std::vector<int>> shards(num_workers);
+  for (size_t i = 0; i < relation.tuples.size(); ++i) {
+    shards[DistWorkerOf(relation.tuples[i], num_workers)].push_back(
+        static_cast<int>(i));
+  }
+  return shards;
+}
+
+std::vector<double> ShardBytes(const Relation& relation, int num_workers) {
+  std::vector<double> bytes(num_workers, 0.0);
+  bool sp = BuiltinFormats()[relation.format].sparse();
+  for (const EngineTuple& t : relation.tuples) {
+    bytes[DistWorkerOf(t, num_workers)] += t.Bytes(sp);
+  }
+  return bytes;
+}
+
+double ShardSkew(const Relation& relation, int num_workers) {
+  std::vector<double> bytes = ShardBytes(relation, num_workers);
+  double total = 0.0;
+  double max_bytes = 0.0;
+  for (double b : bytes) {
+    total += b;
+    max_bytes = std::max(max_bytes, b);
+  }
+  if (total <= 0.0) return 1.0;
+  // One shard holding everything reports exactly num_workers; the general
+  // multiply-before-divide form avoids the rounding of total / n.
+  if (max_bytes == total) return static_cast<double>(num_workers);
+  return max_bytes * static_cast<double>(num_workers) / total;
+}
+
+}  // namespace matopt::dist

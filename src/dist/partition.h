@@ -1,0 +1,34 @@
+#ifndef MATOPT_DIST_PARTITION_H_
+#define MATOPT_DIST_PARTITION_H_
+
+#include <vector>
+
+#include "engine/relation.h"
+
+namespace matopt::dist {
+
+/// Runtime worker that owns a tuple when executing with `num_workers`
+/// in-process workers. Every tuple already carries its simulated-cluster
+/// placement (EngineTuple::worker, from the WorkerFor hash); folding that
+/// placement modulo the runtime worker count keeps shard ownership a pure
+/// function of the chunk key, so every pass — planning, sending,
+/// computing — agrees on it at any worker count.
+int DistWorkerOf(const EngineTuple& tuple, int num_workers);
+
+/// Tuple indices of each worker's shard, in relation (row-major key)
+/// order. Shards may be empty when there are more workers than tuples.
+std::vector<std::vector<int>> ShardIndices(const Relation& relation,
+                                           int num_workers);
+
+/// Payload bytes resident on each worker's shard, under the relation's
+/// layout.
+std::vector<double> ShardBytes(const Relation& relation, int num_workers);
+
+/// Shard imbalance: max shard bytes / mean shard bytes. 1.0 is perfectly
+/// balanced; `num_workers` means one worker holds everything. Empty
+/// relations report 1.0 (nothing to balance).
+double ShardSkew(const Relation& relation, int num_workers);
+
+}  // namespace matopt::dist
+
+#endif  // MATOPT_DIST_PARTITION_H_

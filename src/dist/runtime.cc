@@ -1,0 +1,1036 @@
+#include "dist/runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/format/format.h"
+#include "dist/exchange.h"
+#include "dist/partition.h"
+#include "engine/relation.h"
+#include "la/kernels.h"
+#include "la/shard_kernels.h"
+#include "la/sparse_matrix.h"
+
+namespace matopt::dist {
+
+namespace {
+
+const Format& FormatOf(FormatId id) { return BuiltinFormats()[id]; }
+
+uint64_t Key(int64_t r, int64_t c) {
+  return (static_cast<uint64_t>(r) << 32) | static_cast<uint64_t>(c);
+}
+
+using TupleMap = std::unordered_map<uint64_t, const EngineTuple*>;
+
+TupleMap MapTuples(const std::vector<EngineTuple>& tuples) {
+  TupleMap map;
+  map.reserve(tuples.size());
+  for (const EngineTuple& t : tuples) map[Key(t.r, t.c)] = &t;
+  return map;
+}
+
+// ---------------------------------------------------------------------
+// Routing: which output chunk keys need each argument tuple. The owner of
+// an output key comes from the output skeleton, so the projection pass and
+// the data pass derive identical destinations from metadata alone.
+
+enum class Route {
+  kIdentity,       // arg key == out key (co-partitioned, never moves)
+  kBroadcast,      // replicate to every worker
+  kRowsToAllCols,  // (r, *) -> every out key in row r
+  kColsToAllRows,  // (*, c) -> every out key in column c
+  kAllToRoot,      // everything to the owner of out key (0, 0)
+  kTransSwap,      // (r, c) -> out key (c, r)
+  kTransRowToCol,  // (r, 0) -> out key (0, r)
+  kTransColToRow,  // (0, c) -> out key (c, 0)
+  kRowGroup,       // (r, *) -> out key (r, 0)
+  kColGroup,       // (*, c) -> out key (0, c)
+};
+
+std::vector<Route> RoutesFor(ImplKind kind) {
+  switch (kind) {
+    case ImplKind::kMmSingleSingle:
+    case ImplKind::kMmSpSingleXSingle:
+    case ImplKind::kGpuMmSingleSingle:
+    case ImplKind::kAddZip:
+    case ImplKind::kSubZip:
+    case ImplKind::kHadamardZip:
+    case ImplKind::kElemDivZip:
+    case ImplKind::kReluGradZip:
+    case ImplKind::kAddSparseZip:
+      return {Route::kIdentity, Route::kIdentity};
+    case ImplKind::kMmRowStripsXBcastSingle:
+    case ImplKind::kMmSpRowStripsXBcastSingle:
+    case ImplKind::kGpuMmRowStripsXBcastSingle:
+    case ImplKind::kMmRowStripsXBcastColStrips:
+    case ImplKind::kMmSpRowStripsXTiles:
+    case ImplKind::kBroadcastRowAddBcastVec:
+      return {Route::kIdentity, Route::kBroadcast};
+    case ImplKind::kMmBcastSingleXColStrips:
+    case ImplKind::kMmSpSingleXColStrips:
+    case ImplKind::kGpuMmBcastSingleXColStrips:
+      return {Route::kBroadcast, Route::kIdentity};
+    case ImplKind::kMmCrossStrips:
+    case ImplKind::kMmTilesShuffle:
+      return {Route::kRowsToAllCols, Route::kColsToAllRows};
+    case ImplKind::kMmBcastTilesXTiles:
+      return {Route::kBroadcast, Route::kColsToAllRows};
+    case ImplKind::kMmTilesXBcastTiles:
+      return {Route::kRowsToAllCols, Route::kBroadcast};
+    case ImplKind::kMmColStripsXRowStripsOuterSum:
+      return {Route::kAllToRoot, Route::kAllToRoot};
+    case ImplKind::kScalarMulMap:
+    case ImplKind::kReluMap:
+    case ImplKind::kSigmoidMap:
+    case ImplKind::kExpMap:
+    case ImplKind::kSoftmaxRowStrips:
+    case ImplKind::kSoftmaxSingle:
+      return {Route::kIdentity};
+    case ImplKind::kTransposeSingle:
+    case ImplKind::kTransposeTiles:
+      return {Route::kTransSwap};
+    case ImplKind::kTransposeRowToCol:
+      return {Route::kTransRowToCol};
+    case ImplKind::kTransposeColToRow:
+      return {Route::kTransColToRow};
+    case ImplKind::kRowSumRowStrips:
+    case ImplKind::kRowSumTilesAgg:
+      return {Route::kRowGroup};
+    case ImplKind::kColSumColStrips:
+    case ImplKind::kColSumTilesAgg:
+      return {Route::kColGroup};
+    case ImplKind::kRowSumSingle:
+    case ImplKind::kColSumSingle:
+    case ImplKind::kInverseSingleLu:
+    case ImplKind::kInverseGatherLu:
+    case ImplKind::kGpuInverseSingleLu:
+      return {Route::kAllToRoot};
+  }
+  return {};
+}
+
+/// Produces the out keys an arg tuple is needed at. kBroadcast never
+/// consults the key fn: its destinations are every worker.
+using KeyFn = std::function<void(const EngineTuple&,
+                                 std::vector<std::pair<int64_t, int64_t>>*)>;
+
+KeyFn KeyFnFor(Route route, int64_t nr_out, int64_t nc_out) {
+  switch (route) {
+    case Route::kIdentity:
+      return [](const EngineTuple& t, auto* keys) {
+        keys->emplace_back(t.r, t.c);
+      };
+    case Route::kRowsToAllCols:
+      return [nc_out](const EngineTuple& t, auto* keys) {
+        for (int64_t j = 0; j < nc_out; ++j) keys->emplace_back(t.r, j);
+      };
+    case Route::kColsToAllRows:
+      return [nr_out](const EngineTuple& t, auto* keys) {
+        for (int64_t i = 0; i < nr_out; ++i) keys->emplace_back(i, t.c);
+      };
+    case Route::kAllToRoot:
+      return [](const EngineTuple&, auto* keys) { keys->emplace_back(0, 0); };
+    case Route::kTransSwap:
+      return [](const EngineTuple& t, auto* keys) {
+        keys->emplace_back(t.c, t.r);
+      };
+    case Route::kTransRowToCol:
+      return [](const EngineTuple& t, auto* keys) {
+        keys->emplace_back(0, t.r);
+      };
+    case Route::kTransColToRow:
+      return [](const EngineTuple& t, auto* keys) {
+        keys->emplace_back(t.c, 0);
+      };
+    case Route::kRowGroup:
+      return [](const EngineTuple& t, auto* keys) {
+        keys->emplace_back(t.r, 0);
+      };
+    case Route::kColGroup:
+      return [](const EngineTuple& t, auto* keys) {
+        keys->emplace_back(0, t.c);
+      };
+    case Route::kBroadcast:
+      return [](const EngineTuple&, auto*) {};
+  }
+  return [](const EngineTuple&, auto*) {};
+}
+
+/// Out-key -> owning runtime worker, from the output skeleton.
+struct OwnerMap {
+  std::unordered_map<uint64_t, int> owner;
+  int64_t nr = 0;
+  int64_t nc = 0;
+};
+
+OwnerMap MapOwners(const Relation& skeleton, int num_workers) {
+  OwnerMap m;
+  m.owner.reserve(skeleton.tuples.size());
+  for (const EngineTuple& t : skeleton.tuples) {
+    m.owner[Key(t.r, t.c)] = DistWorkerOf(t, num_workers);
+    m.nr = std::max(m.nr, t.r + 1);
+    m.nc = std::max(m.nc, t.c + 1);
+  }
+  return m;
+}
+
+/// Move plan of one stage: per argument, the destination workers of every
+/// tuple plus the traffic this routing implies. Built the same way by the
+/// projection pass (estimated sparsity) and the data pass (measured
+/// sparsity); budget enforcement happens here, on the coordinator, before
+/// anything is sent — so violations are deterministic typed errors, never
+/// a worker-dependent race.
+struct StagePlan {
+  struct Arg {
+    bool broadcast = false;
+    bool sparse_layout = false;
+    std::vector<std::vector<int>> dests;  // per tuple, sorted ranks
+  };
+  std::vector<Arg> args;
+  double shuffle_bytes = 0.0;    // remote, non-broadcast args
+  double broadcast_bytes = 0.0;  // remote, broadcast args
+  double tuples = 0.0;           // all deliveries incl. local
+};
+
+Result<StagePlan> PlanStage(const std::string& label,
+                            const std::vector<const Relation*>& args,
+                            const std::vector<Route>& routes,
+                            const std::vector<KeyFn>& keyfns,
+                            const OwnerMap& owners,
+                            const ClusterConfig& cluster, int num_workers) {
+  StagePlan plan;
+  plan.args.resize(args.size());
+  // Remote shuffle bytes buffered by each receiving worker this stage.
+  std::vector<double> inbound(num_workers, 0.0);
+  std::vector<std::pair<int64_t, int64_t>> keys;
+  for (size_t j = 0; j < args.size(); ++j) {
+    StagePlan::Arg& ap = plan.args[j];
+    ap.broadcast = routes[j] == Route::kBroadcast;
+    ap.sparse_layout = FormatOf(args[j]->format).sparse();
+    if (ap.broadcast && args[j]->TotalBytes() > cluster.broadcast_cap_bytes) {
+      return Status::OutOfMemory(
+          label + ": arg " + std::to_string(j) + " holds " +
+          std::to_string(args[j]->TotalBytes()) +
+          " bytes, too large to replicate (broadcast_cap_bytes)");
+    }
+    ap.dests.resize(args[j]->tuples.size());
+    for (size_t i = 0; i < args[j]->tuples.size(); ++i) {
+      const EngineTuple& t = args[j]->tuples[i];
+      double bytes = t.Bytes(ap.sparse_layout);
+      if (bytes > cluster.single_tuple_cap_bytes) {
+        return Status::OutOfMemory(
+            label + ": tuple (" + std::to_string(t.r) + "," +
+            std::to_string(t.c) + ") of " + std::to_string(bytes) +
+            " bytes exceeds single_tuple_cap_bytes");
+      }
+      int from = DistWorkerOf(t, num_workers);
+      std::vector<int>& dests = ap.dests[i];
+      if (ap.broadcast) {
+        dests.resize(num_workers);
+        for (int w = 0; w < num_workers; ++w) dests[w] = w;
+      } else {
+        keys.clear();
+        keyfns[j](t, &keys);
+        for (const auto& [r, c] : keys) {
+          auto it = owners.owner.find(Key(r, c));
+          if (it == owners.owner.end()) continue;  // key outside the grid
+          dests.push_back(it->second);
+        }
+        std::sort(dests.begin(), dests.end());
+        dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+      }
+      for (int to : dests) {
+        plan.tuples += 1.0;
+        if (to == from) continue;
+        if (ap.broadcast) {
+          plan.broadcast_bytes += bytes;
+        } else {
+          plan.shuffle_bytes += bytes;
+          inbound[to] += bytes;
+        }
+      }
+    }
+  }
+  for (int w = 0; w < num_workers; ++w) {
+    if (inbound[w] > cluster.worker_spill_bytes) {
+      return Status::OutOfMemory(
+          label + ": worker " + std::to_string(w) + " would buffer " +
+          std::to_string(inbound[w]) +
+          " bytes of shuffle input, over worker_spill_bytes");
+    }
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------
+// Shard-local compute. Each case mirrors the exact kernel sequence of the
+// single-node data path (executor.cc) — same kernels, same accumulation
+// order — which is what keeps distributed sinks bit-identical to
+// single-node execution at any worker count.
+
+Result<const EngineTuple*> Find(const TupleMap& m, int64_t r, int64_t c) {
+  auto it = m.find(Key(r, c));
+  if (it == m.end()) {
+    return Status::Internal("distributed gather is missing tuple (" +
+                            std::to_string(r) + "," + std::to_string(c) + ")");
+  }
+  return it->second;
+}
+
+struct ShardOutputs {
+  // Indexed like the output skeleton's tuple vector; a worker writes only
+  // the slots of the out tuples it owns.
+  std::vector<std::shared_ptr<const DenseMatrix>>* dense;
+  std::vector<std::shared_ptr<const SparseMatrix>>* sparse;
+};
+
+Status ComputeImplShard(ImplKind kind, const Vertex& vertex,
+                        const std::vector<const Relation*>& args,
+                        const std::vector<std::vector<EngineTuple>>& gathered,
+                        const Relation& skeleton,
+                        const std::vector<int>& out_indices,
+                        ShardOutputs out) {
+  TupleMap ma = MapTuples(gathered[0]);
+  TupleMap mb = gathered.size() > 1 ? MapTuples(gathered[1]) : TupleMap{};
+  auto emit = [&out](int idx, DenseMatrix m) {
+    (*out.dense)[idx] = std::make_shared<DenseMatrix>(std::move(m));
+  };
+  auto emit_sparse = [&out](int idx, SparseMatrix m) {
+    (*out.sparse)[idx] = std::make_shared<SparseMatrix>(std::move(m));
+  };
+
+  switch (kind) {
+    case ImplKind::kMmSingleSingle:
+    case ImplKind::kMmSpSingleXSingle:
+    case ImplKind::kGpuMmSingleSingle:
+    case ImplKind::kMmRowStripsXBcastSingle:
+    case ImplKind::kMmSpRowStripsXBcastSingle:
+    case ImplKind::kGpuMmRowStripsXBcastSingle: {
+      bool sp = kind == ImplKind::kMmSpSingleXSingle ||
+                kind == ImplKind::kMmSpRowStripsXBcastSingle;
+      for (int idx : out_indices) {
+        const EngineTuple& t = skeleton.tuples[idx];
+        MATOPT_ASSIGN_OR_RETURN(const EngineTuple* ta, Find(ma, t.r, 0));
+        MATOPT_ASSIGN_OR_RETURN(const EngineTuple* tb, Find(mb, 0, 0));
+        emit(idx, sp ? SpMm(*ta->sparse, *tb->dense)
+                     : Gemm(*ta->dense, *tb->dense));
+      }
+      return Status::OK();
+    }
+    case ImplKind::kMmBcastSingleXColStrips:
+    case ImplKind::kMmSpSingleXColStrips:
+    case ImplKind::kGpuMmBcastSingleXColStrips: {
+      bool sp = kind == ImplKind::kMmSpSingleXColStrips;
+      for (int idx : out_indices) {
+        const EngineTuple& t = skeleton.tuples[idx];
+        MATOPT_ASSIGN_OR_RETURN(const EngineTuple* ta, Find(ma, 0, 0));
+        MATOPT_ASSIGN_OR_RETURN(const EngineTuple* tb, Find(mb, 0, t.c));
+        emit(idx, sp ? SpMm(*ta->sparse, *tb->dense)
+                     : Gemm(*ta->dense, *tb->dense));
+      }
+      return Status::OK();
+    }
+    case ImplKind::kMmCrossStrips: {
+      for (int idx : out_indices) {
+        const EngineTuple& t = skeleton.tuples[idx];
+        MATOPT_ASSIGN_OR_RETURN(const EngineTuple* ta, Find(ma, t.r, 0));
+        MATOPT_ASSIGN_OR_RETURN(const EngineTuple* tb, Find(mb, 0, t.c));
+        emit(idx, Gemm(*ta->dense, *tb->dense));
+      }
+      return Status::OK();
+    }
+    case ImplKind::kMmTilesShuffle:
+    case ImplKind::kMmBcastTilesXTiles:
+    case ImplKind::kMmTilesXBcastTiles: {
+      int64_t nk =
+          NumChunks(args[0]->type.cols(), FormatOf(args[0]->format).p2);
+      for (int idx : out_indices) {
+        const EngineTuple& t = skeleton.tuples[idx];
+        std::vector<std::pair<const DenseMatrix*, const DenseMatrix*>> prods;
+        prods.reserve(nk);
+        for (int64_t k = 0; k < nk; ++k) {
+          MATOPT_ASSIGN_OR_RETURN(const EngineTuple* ta, Find(ma, t.r, k));
+          MATOPT_ASSIGN_OR_RETURN(const EngineTuple* tb, Find(mb, k, t.c));
+          prods.emplace_back(ta->dense.get(), tb->dense.get());
+        }
+        emit(idx, ShardGemmSum(prods));
+      }
+      return Status::OK();
+    }
+    case ImplKind::kMmColStripsXRowStripsOuterSum: {
+      for (int idx : out_indices) {
+        // gathered[0] arrives sorted by (r, c): (0,0), (0,1), ... — the
+        // source relation's iteration order.
+        std::vector<std::pair<const DenseMatrix*, const DenseMatrix*>> prods;
+        prods.reserve(gathered[0].size());
+        for (const EngineTuple& ta : gathered[0]) {
+          MATOPT_ASSIGN_OR_RETURN(const EngineTuple* tb, Find(mb, ta.c, 0));
+          prods.emplace_back(ta.dense.get(), tb->dense.get());
+        }
+        emit(idx, ShardGemmSum(prods));
+      }
+      return Status::OK();
+    }
+    case ImplKind::kMmRowStripsXBcastColStrips: {
+      ChunkDims bd = ChunkDimsFor(args[1]->type, FormatOf(args[1]->format));
+      std::vector<const DenseMatrix*> blocks;
+      std::vector<int64_t> offsets;
+      for (const EngineTuple& tb : gathered[1]) {
+        blocks.push_back(tb.dense.get());
+        offsets.push_back(tb.c * bd.cols);
+      }
+      for (int idx : out_indices) {
+        const EngineTuple& t = skeleton.tuples[idx];
+        MATOPT_ASSIGN_OR_RETURN(const EngineTuple* ta, Find(ma, t.r, 0));
+        emit(idx, ShardConcatGemm(*ta->dense, blocks, offsets,
+                                  args[1]->type.cols()));
+      }
+      return Status::OK();
+    }
+    case ImplKind::kMmSpRowStripsXTiles: {
+      ChunkDims bd = ChunkDimsFor(args[1]->type, FormatOf(args[1]->format));
+      std::vector<const DenseMatrix*> tiles;
+      std::vector<int64_t> row_offsets;
+      std::vector<int64_t> col_offsets;
+      for (const EngineTuple& tb : gathered[1]) {
+        tiles.push_back(tb.dense.get());
+        row_offsets.push_back(tb.r * bd.rows);
+        col_offsets.push_back(tb.c * bd.cols);
+      }
+      for (int idx : out_indices) {
+        const EngineTuple& t = skeleton.tuples[idx];
+        MATOPT_ASSIGN_OR_RETURN(const EngineTuple* ta, Find(ma, t.r, 0));
+        emit(idx, ShardSpStripTilesGemm(*ta->sparse, tiles, row_offsets,
+                                        col_offsets, args[1]->type.cols()));
+      }
+      return Status::OK();
+    }
+    case ImplKind::kAddZip:
+    case ImplKind::kSubZip:
+    case ImplKind::kHadamardZip:
+    case ImplKind::kElemDivZip:
+    case ImplKind::kReluGradZip: {
+      for (int idx : out_indices) {
+        const EngineTuple& t = skeleton.tuples[idx];
+        MATOPT_ASSIGN_OR_RETURN(const EngineTuple* ta, Find(ma, t.r, t.c));
+        MATOPT_ASSIGN_OR_RETURN(const EngineTuple* tb, Find(mb, t.r, t.c));
+        const DenseMatrix& da = *ta->dense;
+        const DenseMatrix& db = *tb->dense;
+        switch (kind) {
+          case ImplKind::kAddZip:
+            emit(idx, Add(da, db));
+            break;
+          case ImplKind::kSubZip:
+            emit(idx, Sub(da, db));
+            break;
+          case ImplKind::kHadamardZip:
+            emit(idx, Hadamard(da, db));
+            break;
+          case ImplKind::kElemDivZip:
+            emit(idx, ElemDiv(da, db));
+            break;
+          default:
+            emit(idx, ReluGrad(da, db));
+            break;
+        }
+      }
+      return Status::OK();
+    }
+    case ImplKind::kAddSparseZip: {
+      for (int idx : out_indices) {
+        const EngineTuple& t = skeleton.tuples[idx];
+        MATOPT_ASSIGN_OR_RETURN(const EngineTuple* ta, Find(ma, t.r, t.c));
+        MATOPT_ASSIGN_OR_RETURN(const EngineTuple* tb, Find(mb, t.r, t.c));
+        emit_sparse(idx, SpAdd(*ta->sparse, *tb->sparse));
+      }
+      return Status::OK();
+    }
+    case ImplKind::kScalarMulMap:
+    case ImplKind::kReluMap:
+    case ImplKind::kSigmoidMap:
+    case ImplKind::kExpMap:
+    case ImplKind::kSoftmaxRowStrips:
+    case ImplKind::kSoftmaxSingle: {
+      bool sp = FormatOf(args[0]->format).sparse();
+      for (int idx : out_indices) {
+        const EngineTuple& t = skeleton.tuples[idx];
+        MATOPT_ASSIGN_OR_RETURN(const EngineTuple* ta, Find(ma, t.r, t.c));
+        if (sp) {
+          emit_sparse(idx, ta->sparse->Scaled(vertex.scalar));
+          continue;
+        }
+        const DenseMatrix& da = *ta->dense;
+        switch (kind) {
+          case ImplKind::kScalarMulMap:
+            emit(idx, ScalarMul(da, vertex.scalar));
+            break;
+          case ImplKind::kReluMap:
+            emit(idx, Relu(da));
+            break;
+          case ImplKind::kSigmoidMap:
+            emit(idx, Sigmoid(da));
+            break;
+          case ImplKind::kExpMap:
+            emit(idx, Exp(da));
+            break;
+          default:
+            emit(idx, Softmax(da));
+            break;
+        }
+      }
+      return Status::OK();
+    }
+    case ImplKind::kTransposeSingle:
+    case ImplKind::kTransposeRowToCol:
+    case ImplKind::kTransposeColToRow:
+    case ImplKind::kTransposeTiles: {
+      TupleMap by_out_key;
+      for (const EngineTuple& t : gathered[0]) {
+        int64_t out_r = t.c;
+        int64_t out_c = t.r;
+        if (kind == ImplKind::kTransposeRowToCol) {
+          out_r = 0;
+          out_c = t.r;
+        } else if (kind == ImplKind::kTransposeColToRow) {
+          out_r = t.c;
+          out_c = 0;
+        } else if (kind == ImplKind::kTransposeSingle) {
+          out_r = 0;
+          out_c = 0;
+        }
+        by_out_key[Key(out_r, out_c)] = &t;
+      }
+      for (int idx : out_indices) {
+        const EngineTuple& t = skeleton.tuples[idx];
+        MATOPT_ASSIGN_OR_RETURN(const EngineTuple* src,
+                                Find(by_out_key, t.r, t.c));
+        emit(idx, Transpose(*src->dense));
+      }
+      return Status::OK();
+    }
+    case ImplKind::kRowSumRowStrips:
+    case ImplKind::kRowSumTilesAgg:
+    case ImplKind::kRowSumSingle:
+    case ImplKind::kColSumColStrips:
+    case ImplKind::kColSumTilesAgg:
+    case ImplKind::kColSumSingle: {
+      bool row = kind == ImplKind::kRowSumRowStrips ||
+                 kind == ImplKind::kRowSumTilesAgg ||
+                 kind == ImplKind::kRowSumSingle;
+      bool to_root = kind == ImplKind::kRowSumSingle ||
+                     kind == ImplKind::kColSumSingle;
+      for (int idx : out_indices) {
+        const EngineTuple& t = skeleton.tuples[idx];
+        // Group members arrive sorted by (r, c) — exactly the source
+        // relation's iteration order within each group, so the merge adds
+        // partials in the single-node order.
+        std::vector<DenseMatrix> parts;
+        for (const EngineTuple& src : gathered[0]) {
+          if (!to_root && (row ? src.r != t.r : src.c != t.c)) continue;
+          parts.push_back(row ? RowSum(*src.dense) : ColSum(*src.dense));
+        }
+        if (parts.empty()) {
+          return Status::Internal("distributed reduce found no group input");
+        }
+        std::vector<const DenseMatrix*> ptrs;
+        ptrs.reserve(parts.size());
+        for (const DenseMatrix& p : parts) ptrs.push_back(&p);
+        emit(idx, ShardOrderedSum(ptrs));
+      }
+      return Status::OK();
+    }
+    case ImplKind::kBroadcastRowAddBcastVec: {
+      ChunkDims ad = ChunkDimsFor(args[0]->type, FormatOf(args[0]->format));
+      for (int idx : out_indices) {
+        const EngineTuple& t = skeleton.tuples[idx];
+        MATOPT_ASSIGN_OR_RETURN(const EngineTuple* ta, Find(ma, t.r, t.c));
+        MATOPT_ASSIGN_OR_RETURN(const EngineTuple* vec, Find(mb, 0, 0));
+        DenseMatrix slice = vec->dense->Block(0, t.c * ad.cols, 1, t.cols);
+        emit(idx, BroadcastRowAdd(*ta->dense, slice));
+      }
+      return Status::OK();
+    }
+    case ImplKind::kInverseSingleLu:
+    case ImplKind::kInverseGatherLu:
+    case ImplKind::kGpuInverseSingleLu: {
+      ChunkDims gd = ChunkDimsFor(args[0]->type, FormatOf(args[0]->format));
+      for (int idx : out_indices) {
+        DenseMatrix whole(args[0]->type.rows(), args[0]->type.cols());
+        for (const EngineTuple& src : gathered[0]) {
+          DenseMatrix block = src.dense ? *src.dense : src.sparse->ToDense();
+          whole.SetBlock(src.r * gd.rows, src.c * gd.cols, block);
+        }
+        MATOPT_ASSIGN_OR_RETURN(DenseMatrix inv, Inverse(whole));
+        emit(idx, std::move(inv));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown implementation kind");
+}
+
+/// Per-shard transformation: assemble each owned target chunk from the
+/// overlapping source chunks routed to this worker. Copies the same
+/// doubles the single-node materialize-and-rechunk path copies, keeping
+/// payloads bit-identical.
+Status ComputeTransformShard(const MatrixType& type, const Format& src_fmt,
+                             const Format& dst_fmt,
+                             const std::vector<EngineTuple>& gathered,
+                             const Relation& skeleton,
+                             const std::vector<int>& out_indices,
+                             ShardOutputs out) {
+  ChunkDims sd = ChunkDimsFor(type, src_fmt);
+  ChunkDims dd = ChunkDimsFor(type, dst_fmt);
+  for (int idx : out_indices) {
+    const EngineTuple& t = skeleton.tuples[idx];
+    int64_t dr0 = t.r * dd.rows;
+    int64_t dc0 = t.c * dd.cols;
+    DenseMatrix block(t.rows, t.cols);
+    for (const EngineTuple& s : gathered) {
+      int64_t sr0 = s.r * sd.rows;
+      int64_t sc0 = s.c * sd.cols;
+      int64_t r_lo = std::max(sr0, dr0);
+      int64_t r_hi = std::min(sr0 + s.rows, dr0 + t.rows);
+      int64_t c_lo = std::max(sc0, dc0);
+      int64_t c_hi = std::min(sc0 + s.cols, dc0 + t.cols);
+      if (r_lo >= r_hi || c_lo >= c_hi) continue;
+      DenseMatrix src_dense = s.dense ? *s.dense : s.sparse->ToDense();
+      for (int64_t r = r_lo; r < r_hi; ++r) {
+        for (int64_t c = c_lo; c < c_hi; ++c) {
+          block(r - dr0, c - dc0) = src_dense(r - sr0, c - sc0);
+        }
+      }
+    }
+    if (dst_fmt.sparse()) {
+      (*out.sparse)[idx] =
+          std::make_shared<SparseMatrix>(SparseMatrix::FromDense(block));
+    } else {
+      (*out.dense)[idx] = std::make_shared<DenseMatrix>(std::move(block));
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Pass driver.
+
+/// One exchange (shuffle or broadcast) per stage argument.
+struct ArgExchange {
+  std::unique_ptr<ShuffleExchange> shuffle;
+  std::unique_ptr<BroadcastExchange> bcast;
+
+  Status Deliver(int from, const EngineTuple& t,
+                 const std::vector<int>& dests) {
+    if (bcast != nullptr) return bcast->Broadcast(from, t);
+    for (int to : dests) {
+      MATOPT_RETURN_IF_ERROR(shuffle->Route(from, to, t));
+    }
+    return Status::OK();
+  }
+  Result<std::vector<EngineTuple>> Gather(int to) {
+    return bcast != nullptr ? bcast->Gather(to) : shuffle->Gather(to);
+  }
+  ChannelStats Remote() const {
+    return bcast != nullptr ? bcast->remote_totals()
+                            : shuffle->remote_totals();
+  }
+  ChannelStats Local() const {
+    return bcast != nullptr ? bcast->local_totals()
+                            : shuffle->local_totals();
+  }
+};
+
+/// Fills the owned out slots from the gathered argument tuples.
+using ComputeFn = std::function<Status(
+    const std::vector<std::vector<EngineTuple>>& gathered,
+    const Relation& skeleton, const std::vector<int>& out_indices,
+    ShardOutputs out)>;
+
+struct PassEnv {
+  const Catalog& catalog;
+  const ClusterConfig& cluster;
+  const ComputeGraph& graph;
+  const Annotation& annotation;
+  int num_workers;
+  bool data;             // data pass (exchanges + kernels) vs projection
+  Transport* transport;  // data pass only
+  std::vector<DistExchangeRecord>* records;
+  size_t record_idx = 0;  // data pass: next record to fill
+  DistStats* dist = nullptr;
+  std::vector<double>* busy = nullptr;  // data pass only
+};
+
+/// Runs one exchange stage: plan the moves and enforce budgets, account
+/// them into the stage's DistExchangeRecord, and — on the data pass —
+/// execute the phased send / gather / compute protocol and install the
+/// computed payloads into `skeleton`.
+Result<Relation> RunExchangeStage(PassEnv& env, const std::string& label,
+                                  const std::vector<const Relation*>& args,
+                                  const std::vector<Route>& routes,
+                                  std::vector<KeyFn> keyfns,
+                                  Relation skeleton,
+                                  bool recompute_rel_sparsity,
+                                  const ComputeFn& compute) {
+  const int W = env.num_workers;
+  OwnerMap owners = MapOwners(skeleton, W);
+  if (keyfns.empty()) {
+    for (Route r : routes) {
+      keyfns.push_back(KeyFnFor(r, owners.nr, owners.nc));
+    }
+  }
+  MATOPT_ASSIGN_OR_RETURN(
+      StagePlan plan,
+      PlanStage(label, args, routes, keyfns, owners, env.cluster, W));
+
+  if (!env.data) {
+    DistExchangeRecord rec;
+    rec.label = label;
+    rec.predicted_shuffle_bytes = plan.shuffle_bytes;
+    rec.predicted_broadcast_bytes = plan.broadcast_bytes;
+    rec.predicted_tuples = plan.tuples;
+    rec.shard_skew = ShardSkew(skeleton, W);
+    env.records->push_back(std::move(rec));
+    return skeleton;
+  }
+
+  if (env.record_idx >= env.records->size() ||
+      (*env.records)[env.record_idx].label != label) {
+    return Status::Internal("projection/data stage sequences diverged at " +
+                            label);
+  }
+  DistExchangeRecord& rec = (*env.records)[env.record_idx++];
+
+  std::vector<ArgExchange> exchanges(args.size());
+  for (size_t j = 0; j < args.size(); ++j) {
+    std::string ex_label = label + ":arg" + std::to_string(j);
+    if (plan.args[j].broadcast) {
+      exchanges[j].bcast = std::make_unique<BroadcastExchange>(
+          *env.transport, ex_label, W, plan.args[j].sparse_layout);
+    } else {
+      exchanges[j].shuffle = std::make_unique<ShuffleExchange>(
+          *env.transport, ex_label, W, plan.args[j].sparse_layout);
+    }
+  }
+
+  // Owned tuple indices per (worker, arg), and each worker's out slots.
+  std::vector<std::vector<std::vector<int>>> owned(W);
+  for (int w = 0; w < W; ++w) owned[w].resize(args.size());
+  for (size_t j = 0; j < args.size(); ++j) {
+    for (size_t i = 0; i < args[j]->tuples.size(); ++i) {
+      owned[DistWorkerOf(args[j]->tuples[i], W)][j].push_back(
+          static_cast<int>(i));
+    }
+  }
+  std::vector<std::vector<int>> out_indices(W);
+  for (size_t i = 0; i < skeleton.tuples.size(); ++i) {
+    out_indices[DistWorkerOf(skeleton.tuples[i], W)].push_back(
+        static_cast<int>(i));
+  }
+
+  using Clock = std::chrono::steady_clock;
+  auto charge_busy = [&env](int w, Clock::time_point start) {
+    (*env.busy)[w] +=
+        std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  // Send phase: each worker routes the tuples it owns. Sends never block;
+  // the ParallelFor join is the barrier separating sends from drains.
+  std::vector<Status> worker_status(W);
+  ParallelFor(0, W, 1, [&](int64_t w0, int64_t w1) {
+    for (int64_t w = w0; w < w1; ++w) {
+      auto start = Clock::now();
+      for (size_t j = 0; j < args.size() && worker_status[w].ok(); ++j) {
+        for (int i : owned[w][j]) {
+          Status s =
+              exchanges[j].Deliver(static_cast<int>(w), args[j]->tuples[i],
+                                   plan.args[j].dests[i]);
+          if (!s.ok()) {
+            worker_status[w] = std::move(s);
+            break;
+          }
+        }
+      }
+      charge_busy(static_cast<int>(w), start);
+    }
+  });
+  for (const Status& s : worker_status) {
+    MATOPT_RETURN_IF_ERROR(s);
+  }
+
+  // Drain + compute phase: each worker gathers its inbound tuples in rank
+  // order and computes the out tuples it owns into index-addressed slots.
+  std::vector<std::shared_ptr<const DenseMatrix>> dense_out(
+      skeleton.tuples.size());
+  std::vector<std::shared_ptr<const SparseMatrix>> sparse_out(
+      skeleton.tuples.size());
+  ParallelFor(0, W, 1, [&](int64_t w0, int64_t w1) {
+    for (int64_t w = w0; w < w1; ++w) {
+      auto start = Clock::now();
+      std::vector<std::vector<EngineTuple>> gathered(args.size());
+      for (size_t j = 0; j < args.size() && worker_status[w].ok(); ++j) {
+        auto g = exchanges[j].Gather(static_cast<int>(w));
+        if (!g.ok()) {
+          worker_status[w] = g.status();
+          break;
+        }
+        gathered[j] = std::move(g).value();
+      }
+      if (worker_status[w].ok()) {
+        worker_status[w] = compute(gathered, skeleton, out_indices[w],
+                                   ShardOutputs{&dense_out, &sparse_out});
+      }
+      charge_busy(static_cast<int>(w), start);
+    }
+  });
+  for (const Status& s : worker_status) {
+    MATOPT_RETURN_IF_ERROR(s);
+  }
+
+  // Install payloads, mirroring FinishOutput / FinishSparseOutput.
+  bool sparse_fmt = FormatOf(skeleton.format).sparse();
+  skeleton.has_data = true;
+  int64_t total_nnz = 0;
+  for (size_t i = 0; i < skeleton.tuples.size(); ++i) {
+    EngineTuple& t = skeleton.tuples[i];
+    if (sparse_fmt) {
+      t.sparse = sparse_out[i] != nullptr
+                     ? sparse_out[i]
+                     : std::make_shared<SparseMatrix>(t.rows, t.cols);
+      t.sparsity = sparse_out[i] != nullptr ? t.sparse->Sparsity() : 0.0;
+      total_nnz += t.sparse->nnz();
+    } else {
+      t.dense = dense_out[i] != nullptr
+                    ? dense_out[i]
+                    : std::make_shared<DenseMatrix>(t.rows, t.cols);
+    }
+  }
+  if (sparse_fmt && recompute_rel_sparsity) {
+    // Matches MakeSparseRelation: the relation's sparsity is the measured
+    // non-zero fraction of the whole matrix.
+    int64_t total = skeleton.type.rows() * skeleton.type.cols();
+    skeleton.sparsity =
+        total == 0 ? 0.0 : static_cast<double>(total_nnz) / total;
+  }
+
+  // Measured side of the record, from the transport/exchange counters.
+  rec.measured_shuffle_bytes = 0.0;
+  rec.measured_broadcast_bytes = 0.0;
+  rec.measured_tuples = 0.0;
+  for (size_t j = 0; j < args.size(); ++j) {
+    ChannelStats remote = exchanges[j].Remote();
+    ChannelStats local = exchanges[j].Local();
+    if (plan.args[j].broadcast) {
+      rec.measured_broadcast_bytes += remote.bytes;
+    } else {
+      rec.measured_shuffle_bytes += remote.bytes;
+    }
+    rec.measured_tuples += static_cast<double>(remote.tuples + local.tuples);
+    env.dist->messages += remote.messages;
+  }
+  rec.shard_skew = ShardSkew(skeleton, W);
+  env.dist->bytes_shuffled += rec.measured_shuffle_bytes;
+  env.dist->bytes_broadcast += rec.measured_broadcast_bytes;
+  env.dist->tuples_routed += rec.measured_tuples;
+  env.dist->max_shard_skew = std::max(env.dist->max_shard_skew, rec.shard_skew);
+  return skeleton;
+}
+
+Result<Relation> RunTransformStage(PassEnv& env, const std::string& label,
+                                   TransformKind kind, const Relation& input) {
+  ArgInfo arg{input.type, input.format, input.sparsity};
+  auto target = env.catalog.TransformOutputFormat(kind, arg, env.cluster);
+  if (!target.has_value()) {
+    return Status::TypeError(std::string("transformation ") +
+                             TransformKindName(kind) +
+                             " is infeasible for this relation");
+  }
+  const Format src_fmt = FormatOf(input.format);
+  const Format dst_fmt = FormatOf(*target);
+  double out_sparsity = dst_fmt.sparse() ? input.sparsity : 1.0;
+  Relation skeleton =
+      MakeDryRelation(input.type, *target, out_sparsity, env.cluster);
+
+  // Grid-overlap routing: a source chunk is needed by every target chunk
+  // whose region it intersects.
+  ChunkDims sd = ChunkDimsFor(input.type, src_fmt);
+  ChunkDims dd = ChunkDimsFor(input.type, dst_fmt);
+  KeyFn overlap = [sd, dd](const EngineTuple& t, auto* keys) {
+    int64_t r0 = (t.r * sd.rows) / dd.rows;
+    int64_t r1 = (t.r * sd.rows + t.rows - 1) / dd.rows;
+    int64_t c0 = (t.c * sd.cols) / dd.cols;
+    int64_t c1 = (t.c * sd.cols + t.cols - 1) / dd.cols;
+    for (int64_t i = r0; i <= r1; ++i) {
+      for (int64_t j = c0; j <= c1; ++j) keys->emplace_back(i, j);
+    }
+  };
+  const MatrixType type = input.type;
+  ComputeFn compute = [type, src_fmt, dst_fmt](
+                          const std::vector<std::vector<EngineTuple>>& g,
+                          const Relation& skel,
+                          const std::vector<int>& out_idx, ShardOutputs out) {
+    return ComputeTransformShard(type, src_fmt, dst_fmt, g[0], skel, out_idx,
+                                 out);
+  };
+  std::vector<KeyFn> keyfns;
+  keyfns.push_back(std::move(overlap));
+  return RunExchangeStage(env, label, {&input}, {Route::kIdentity},
+                          std::move(keyfns), std::move(skeleton),
+                          /*recompute_rel_sparsity=*/true, compute);
+}
+
+/// Runs every annotated atomic computation of the plan as per-shard local
+/// kernels plus exchanges, in vertex order. The projection and data passes
+/// share this loop so their stage sequences match record for record.
+Status RunPass(PassEnv& env, std::unordered_map<int, Relation> relations,
+               std::unordered_map<int, Relation>* sinks) {
+  const ComputeGraph& graph = env.graph;
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    const Vertex& vx = graph.vertex(v);
+    if (vx.op == OpKind::kInput) {
+      if (relations.find(v) == relations.end()) {
+        return Status::InvalidArgument("missing input relation for vertex " +
+                                       std::to_string(v));
+      }
+      continue;
+    }
+    const VertexAnnotation& va = env.annotation.at(v);
+
+    // Per-edge transformations, each its own exchange stage.
+    std::vector<Relation> transformed;
+    transformed.reserve(vx.inputs.size());
+    std::vector<const Relation*> args;
+    for (size_t j = 0; j < vx.inputs.size(); ++j) {
+      const Relation& in = relations.at(vx.inputs[j]);
+      if (va.input_edges[j].transform.has_value()) {
+        std::string label = "v" + std::to_string(v) + ".arg" +
+                            std::to_string(j) + ":transform:" +
+                            TransformKindName(*va.input_edges[j].transform);
+        MATOPT_ASSIGN_OR_RETURN(
+            Relation tr,
+            RunTransformStage(env, label, *va.input_edges[j].transform, in));
+        transformed.push_back(std::move(tr));
+        args.push_back(&transformed.back());
+      } else {
+        args.push_back(&in);
+      }
+    }
+
+    // The implementation stage. The output skeleton follows the annotated
+    // output format; the estimated sparsity stays on the relation (like
+    // the single-node path) while tuples get measured payload sparsities.
+    std::string label = "v" + std::to_string(v) + ":" + ImplKindName(va.impl);
+    FormatId out_format = va.output_format;
+    double out_sparsity = FormatOf(out_format).sparse() ? vx.sparsity : 1.0;
+    Relation skeleton =
+        MakeDryRelation(vx.type, out_format, out_sparsity, env.cluster);
+    ImplKind impl = va.impl;
+    ComputeFn compute = [impl, &vx, &args](
+                            const std::vector<std::vector<EngineTuple>>& g,
+                            const Relation& skel,
+                            const std::vector<int>& out_idx,
+                            ShardOutputs out) {
+      return ComputeImplShard(impl, vx, args, g, skel, out_idx, out);
+    };
+    MATOPT_ASSIGN_OR_RETURN(
+        Relation out_rel,
+        RunExchangeStage(env, label, args, RoutesFor(impl), {},
+                         std::move(skeleton),
+                         /*recompute_rel_sparsity=*/false, compute));
+    relations[v] = std::move(out_rel);
+  }
+
+  for (int sink : graph.Sinks()) {
+    auto it = relations.find(sink);
+    if (it == relations.end()) {
+      return Status::Internal("sink vertex " + std::to_string(sink) +
+                              " produced no relation");
+    }
+    sinks->emplace(sink, std::move(it->second));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ExecResult> ExecuteDistributedPlan(
+    const Catalog& catalog, const ClusterConfig& cluster,
+    const ComputeGraph& graph, const Annotation& annotation,
+    std::unordered_map<int, Relation> inputs, int num_workers,
+    Transport* transport, bool zero_copy) {
+  if (num_workers < 1) {
+    return Status::InvalidArgument("distributed execution needs >= 1 worker");
+  }
+  auto make_dry_inputs = [&] {
+    std::unordered_map<int, Relation> dry;
+    for (const auto& [v, rel] : inputs) {
+      dry.emplace(v,
+                  MakeDryRelation(rel.type, rel.format, rel.sparsity, cluster));
+    }
+    return dry;
+  };
+
+  // Pass 1 — simulation: the unchanged single-node dry pass supplies the
+  // full simulated ExecStats, runs the pre-flight plan analysis, and
+  // reproduces the sim-side budget failures.
+  PlanExecutor sim(catalog, cluster);
+  sim.set_zero_copy(zero_copy);
+  sim.set_dist_workers(0);
+  MATOPT_ASSIGN_OR_RETURN(ExecResult result,
+                          sim.Execute(graph, annotation, make_dry_inputs()));
+  result.stats.dist.num_workers = num_workers;
+
+  // Pass 2 — projection: walk the same stage sequence over dry relations
+  // and predict each exchange's traffic from relation metadata.
+  PassEnv proj{catalog,
+               cluster,
+               graph,
+               annotation,
+               num_workers,
+               /*data=*/false,
+               /*transport=*/nullptr,
+               &result.stats.dist.stages};
+  proj.dist = &result.stats.dist;
+  std::unordered_map<int, Relation> dry_sinks;
+  MATOPT_RETURN_IF_ERROR(RunPass(proj, make_dry_inputs(), &dry_sinks));
+
+  // Pass 3 — data: real exchanges over the transport, per-shard kernels,
+  // measured counters filled into the records the projection pass wrote.
+  // Budget enforcement lives in PlanStage, so the fallback transport is
+  // deliberately unbounded: violations surface as the coordinator's typed
+  // errors, never as a mid-flight channel failure.
+  std::unique_ptr<InMemoryTransport> fallback;
+  if (transport == nullptr) {
+    fallback = std::make_unique<InMemoryTransport>(TransportLimits{});
+    transport = fallback.get();
+  }
+  std::vector<double> busy(num_workers, 0.0);
+  PassEnv data{catalog,
+               cluster,
+               graph,
+               annotation,
+               num_workers,
+               /*data=*/true,
+               transport,
+               &result.stats.dist.stages};
+  data.dist = &result.stats.dist;
+  data.busy = &busy;
+  std::unordered_map<int, Relation> sinks;
+  MATOPT_RETURN_IF_ERROR(RunPass(data, std::move(inputs), &sinks));
+  if (data.record_idx != result.stats.dist.stages.size()) {
+    return Status::Internal("data pass executed fewer stages than projected");
+  }
+
+  result.stats.dist.worker_busy_seconds = std::move(busy);
+  result.sinks = std::move(sinks);
+  return result;
+}
+
+}  // namespace matopt::dist

@@ -1,0 +1,40 @@
+#ifndef MATOPT_DIST_RUNTIME_H_
+#define MATOPT_DIST_RUNTIME_H_
+
+#include <unordered_map>
+
+#include "core/graph/graph.h"
+#include "core/opt/annotation.h"
+#include "core/ops/catalog.h"
+#include "dist/transport.h"
+#include "engine/executor.h"
+
+namespace matopt::dist {
+
+/// Executes an annotated plan on the sharded multi-worker runtime
+/// (DESIGN.md §12): `num_workers` in-process workers each own a hash
+/// partition of every relation, operators run per shard, and data moves
+/// only through shuffle/broadcast exchanges over `transport` (a bounded
+/// in-memory transport scoped to this call when null).
+///
+/// Runs three passes: a single-node dry pass for the full simulated
+/// ExecStats (including the sim-side budget failures), a projection pass
+/// that predicts each stage's exchange traffic from relation metadata, and
+/// the data pass that routes real payloads and fills in the measured side
+/// of each DistExchangeRecord. Sink relations are bit-identical to a
+/// single-node execution at any worker count; stats.dist reports predicted
+/// vs measured traffic per stage.
+///
+/// Budgets are enforced deterministically on the coordinator before any
+/// send: single_tuple_cap_bytes per routed tuple, broadcast_cap_bytes per
+/// replicated relation, worker_spill_bytes on a worker's per-stage remote
+/// shuffle inbound. Violations return typed kOutOfMemory errors.
+Result<ExecResult> ExecuteDistributedPlan(
+    const Catalog& catalog, const ClusterConfig& cluster,
+    const ComputeGraph& graph, const Annotation& annotation,
+    std::unordered_map<int, Relation> inputs, int num_workers,
+    Transport* transport, bool zero_copy);
+
+}  // namespace matopt::dist
+
+#endif  // MATOPT_DIST_RUNTIME_H_

@@ -1,0 +1,121 @@
+#include "dist/transport.h"
+
+#include <utility>
+
+namespace matopt::dist {
+
+// Named (not anonymous-namespace) so InMemoryTransport's friend
+// declaration reaches it.
+class InMemoryExchange final : public Exchange {
+ public:
+  InMemoryExchange(InMemoryTransport* owner, TransportLimits limits,
+                   std::string label, int num_workers)
+      : owner_(owner),
+        limits_(limits),
+        label_(std::move(label)),
+        num_workers_(num_workers),
+        mailboxes_(static_cast<size_t>(num_workers) * num_workers),
+        stats_(static_cast<size_t>(num_workers) * num_workers) {}
+
+  ~InMemoryExchange() override { owner_->Retire(Totals()); }
+
+  Status Send(int from, int to, TupleMessage message) override {
+    if (from < 0 || from >= num_workers_ || to < 0 || to >= num_workers_) {
+      return Status::InvalidArgument("exchange " + label_ +
+                                     ": worker rank out of range");
+    }
+    if (message.bytes > limits_.single_tuple_cap_bytes) {
+      return Status::OutOfMemory(
+          "exchange " + label_ + ": tuple of " +
+          std::to_string(message.bytes) +
+          " bytes exceeds the single-tuple cap (single_tuple_cap_bytes)");
+    }
+    ChannelStats& ch = stats_[Index(from, to)];
+    ++ch.messages;
+    ++ch.tuples;
+    ch.bytes += message.bytes;
+    mailboxes_[Index(from, to)].push_back(std::move(message));
+    return Status::OK();
+  }
+
+  Result<std::vector<TupleMessage>> Drain(int to) override {
+    if (to < 0 || to >= num_workers_) {
+      return Status::InvalidArgument("exchange " + label_ +
+                                     ": worker rank out of range");
+    }
+    double inbound = 0.0;
+    size_t count = 0;
+    for (int from = 0; from < num_workers_; ++from) {
+      for (const TupleMessage& m : mailboxes_[Index(from, to)]) {
+        inbound += m.bytes;
+        ++count;
+      }
+    }
+    if (inbound > limits_.channel_capacity_bytes) {
+      return Status::OutOfMemory(
+          "exchange " + label_ + ": worker " + std::to_string(to) +
+          " buffers " + std::to_string(inbound) +
+          " inbound bytes, over the channel capacity");
+    }
+    std::vector<TupleMessage> out;
+    out.reserve(count);
+    // Rank-ordered drain: sender 0 first, each sender's messages in send
+    // order. Combined with the canonical key sort downstream this makes
+    // the gathered sequence independent of scheduling.
+    for (int from = 0; from < num_workers_; ++from) {
+      auto& box = mailboxes_[Index(from, to)];
+      for (TupleMessage& m : box) out.push_back(std::move(m));
+      box.clear();
+    }
+    return out;
+  }
+
+  ChannelStats Channel(int from, int to) const override {
+    if (from < 0 || from >= num_workers_ || to < 0 || to >= num_workers_) {
+      return {};
+    }
+    return stats_[Index(from, to)];
+  }
+
+  ChannelStats Totals() const override {
+    ChannelStats total;
+    for (const ChannelStats& ch : stats_) total.Add(ch);
+    return total;
+  }
+
+  int num_workers() const override { return num_workers_; }
+  const std::string& label() const override { return label_; }
+
+ private:
+  size_t Index(int from, int to) const {
+    return static_cast<size_t>(from) * num_workers_ + to;
+  }
+
+  InMemoryTransport* owner_;
+  TransportLimits limits_;
+  std::string label_;
+  int num_workers_;
+  // Channel (from, to) is written only by `from`'s thread during the send
+  // phase and read only by `to`'s thread after the phase barrier, so the
+  // mailboxes need no locks.
+  std::vector<std::vector<TupleMessage>> mailboxes_;
+  std::vector<ChannelStats> stats_;
+};
+
+std::unique_ptr<Exchange> InMemoryTransport::OpenExchange(std::string label,
+                                                          int num_workers) {
+  return std::make_unique<InMemoryExchange>(this, limits_, std::move(label),
+                                            num_workers);
+}
+
+ChannelStats InMemoryTransport::lifetime_totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lifetime_;
+}
+
+void InMemoryTransport::Retire(const ChannelStats& totals) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lifetime_.Add(totals);
+}
+
+}  // namespace matopt::dist

@@ -1,0 +1,119 @@
+#ifndef MATOPT_DIST_TRANSPORT_H_
+#define MATOPT_DIST_TRANSPORT_H_
+
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/relation.h"
+
+namespace matopt::dist {
+
+/// Cumulative traffic counters of one channel (or one whole exchange /
+/// transport): messages delivered, tuples carried, and payload bytes as
+/// they would appear on a real wire under the owning relation's layout.
+struct ChannelStats {
+  int64_t messages = 0;
+  int64_t tuples = 0;
+  double bytes = 0.0;
+
+  void Add(const ChannelStats& other) {
+    messages += other.messages;
+    tuples += other.tuples;
+    bytes += other.bytes;
+  }
+};
+
+/// One routed tuple. The in-memory transport hands the payload over by
+/// shared pointer; `bytes` is what a socket transport would serialize
+/// (the tuple's Bytes() under the sending relation's layout).
+struct TupleMessage {
+  EngineTuple tuple;
+  double bytes = 0.0;
+};
+
+/// One all-to-all data movement between the runtime workers. The engine
+/// opens a fresh exchange per (stage, argument); senders and receivers
+/// are runtime worker ranks in [0, num_workers).
+///
+/// Threading contract (phased): during the send phase `Send(from, ...)`
+/// is called only by the thread driving worker `from`; a barrier
+/// (ParallelFor join) separates sends from drains; during the drain phase
+/// `Drain(to)` is called only by the thread driving worker `to`. Counter
+/// reads (`Totals`, `Channel`) happen after the drain barrier.
+class Exchange {
+ public:
+  virtual ~Exchange() = default;
+
+  /// Enqueues one message from worker `from` to worker `to`. Never blocks;
+  /// a bounded transport reports budget violations as typed errors
+  /// (kOutOfMemory) instead of back-pressure, matching the simulated
+  /// engine's fail-fast spill semantics.
+  virtual Status Send(int from, int to, TupleMessage message) = 0;
+
+  /// Drains every message addressed to worker `to` in rank order: all of
+  /// sender 0's messages in send order, then sender 1's, and so on. The
+  /// deterministic drain order is part of the runtime's bit-identical
+  /// execution argument (DESIGN.md §12).
+  virtual Result<std::vector<TupleMessage>> Drain(int to) = 0;
+
+  /// Traffic of the (from -> to) channel so far.
+  virtual ChannelStats Channel(int from, int to) const = 0;
+
+  /// Traffic summed over all channels.
+  virtual ChannelStats Totals() const = 0;
+
+  virtual int num_workers() const = 0;
+  virtual const std::string& label() const = 0;
+};
+
+/// Budgets an in-memory transport enforces. Defaults are unbounded; the
+/// engine wires these from ClusterConfig (worker_spill_bytes bounds a
+/// receiver's buffered inbound bytes, single_tuple_cap_bytes each
+/// message).
+struct TransportLimits {
+  double channel_capacity_bytes = std::numeric_limits<double>::infinity();
+  double single_tuple_cap_bytes = std::numeric_limits<double>::infinity();
+};
+
+/// Factory for exchanges. The first implementation is in-memory; the
+/// interface is what a socket transport would implement instead (same
+/// phased Send/Drain protocol, serialized payloads).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual std::unique_ptr<Exchange> OpenExchange(std::string label,
+                                                 int num_workers) = 0;
+};
+
+/// Bounded in-memory channels: one mailbox per (sender, receiver) pair
+/// with per-channel byte/tuple/message counters. Payloads are shared, not
+/// copied; `bytes` still accounts the serialized size so measurements
+/// match what a wire transport would report.
+class InMemoryTransport final : public Transport {
+ public:
+  InMemoryTransport() = default;
+  explicit InMemoryTransport(TransportLimits limits) : limits_(limits) {}
+
+  std::unique_ptr<Exchange> OpenExchange(std::string label,
+                                         int num_workers) override;
+
+  /// Traffic accumulated across all exchanges this transport has opened
+  /// (updated when an exchange is destroyed).
+  ChannelStats lifetime_totals() const;
+
+ private:
+  friend class InMemoryExchange;
+  void Retire(const ChannelStats& totals);
+
+  TransportLimits limits_;
+  mutable std::mutex mu_;
+  ChannelStats lifetime_;
+};
+
+}  // namespace matopt::dist
+
+#endif  // MATOPT_DIST_TRANSPORT_H_

@@ -23,6 +23,35 @@ std::string ExecStats::ToString() const {
   out << "sim time " << FormatHms(sim_seconds) << ", flops " << flops
       << ", net " << FormatBytes(net_bytes) << ", tuples " << tuples
       << ", peak mem/worker " << FormatBytes(peak_worker_mem_bytes);
+  if (dist.num_workers > 0) out << "; " << dist.ToString();
+  return out.str();
+}
+
+std::string DistStats::ToString() const {
+  std::ostringstream out;
+  out << "dist " << num_workers << " workers: shuffled "
+      << FormatBytes(bytes_shuffled) << ", broadcast "
+      << FormatBytes(bytes_broadcast) << ", routed " << tuples_routed
+      << " tuples (" << messages << " messages), max skew " << max_shard_skew;
+  return out.str();
+}
+
+std::string DistStats::ComparisonTable() const {
+  std::ostringstream out;
+  out << "distributed exchanges (" << num_workers
+      << " workers, predicted | measured):\n";
+  for (const DistExchangeRecord& s : stages) {
+    out << "  " << s.label << ": shuffle "
+        << FormatBytes(s.predicted_shuffle_bytes) << " | "
+        << FormatBytes(s.measured_shuffle_bytes) << ", broadcast "
+        << FormatBytes(s.predicted_broadcast_bytes) << " | "
+        << FormatBytes(s.measured_broadcast_bytes) << ", tuples "
+        << s.predicted_tuples << " | " << s.measured_tuples << ", skew "
+        << s.shard_skew << "\n";
+  }
+  out << "  total: shuffled " << FormatBytes(bytes_shuffled)
+      << ", broadcast " << FormatBytes(bytes_broadcast) << ", routed "
+      << tuples_routed << " tuples, max skew " << max_shard_skew;
   return out.str();
 }
 

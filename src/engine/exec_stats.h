@@ -42,6 +42,42 @@ struct MemoryStats {
   std::string ToString() const;
 };
 
+/// One exchange stage of a distributed execution: the simulated
+/// projection (what the dry pass predicted the exchanges would carry) side
+/// by side with what the transport actually measured. For all-dense plans
+/// the two agree exactly — tuple counts always, bytes because both sides
+/// charge 8 bytes per entry; sparse stages diverge where the estimated
+/// sparsity missed the measured one.
+struct DistExchangeRecord {
+  std::string label;                      // "v3:MmTilesShuffle", ...
+  double predicted_shuffle_bytes = 0.0;   // repartition traffic on the wire
+  double measured_shuffle_bytes = 0.0;
+  double predicted_broadcast_bytes = 0.0;  // replication traffic on the wire
+  double measured_broadcast_bytes = 0.0;
+  double predicted_tuples = 0.0;  // deliveries incl. worker-local ones
+  double measured_tuples = 0.0;
+  double shard_skew = 1.0;  // max/mean shard bytes of the stage output
+};
+
+/// Measured outcome of the sharded multi-worker runtime (DESIGN.md §12).
+/// Empty (num_workers == 0) when the plan ran single-node. All fields
+/// except `worker_busy_seconds` are deterministic at any worker count;
+/// busy times depend on scheduling (observability only).
+struct DistStats {
+  int num_workers = 0;
+  double bytes_shuffled = 0.0;    // remote repartition bytes, all stages
+  double bytes_broadcast = 0.0;   // remote replication bytes, all stages
+  double tuples_routed = 0.0;     // deliveries incl. worker-local ones
+  int64_t messages = 0;           // transport messages (remote only)
+  double max_shard_skew = 1.0;
+  std::vector<double> worker_busy_seconds;
+  std::vector<DistExchangeRecord> stages;
+
+  /// Per-stage "predicted vs measured" table for EXPLAIN output.
+  std::string ComparisonTable() const;
+  std::string ToString() const;
+};
+
 /// Aggregated outcome of executing one annotated plan on the simulated
 /// cluster. `sim_seconds` is the simulated wall-clock time under the
 /// machine model; the remaining fields are raw resource totals.
@@ -59,6 +95,9 @@ struct ExecStats {
     double seconds = 0.0;
   };
   std::vector<StageRecord> stages;
+
+  /// Distributed-runtime measurements; default-empty for single-node runs.
+  DistStats dist;
 
   std::string ToString() const;
 };

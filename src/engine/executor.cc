@@ -11,6 +11,7 @@
 #include "analysis/analyze.h"
 #include "common/buffer_pool.h"
 #include "common/thread_pool.h"
+#include "dist/runtime.h"
 #include "engine/operators.h"
 #include "la/kernels.h"
 
@@ -1182,9 +1183,30 @@ bool PlanExecutor::DefaultZeroCopy() {
   return !(env != nullptr && env[0] == '0' && env[1] == '\0');
 }
 
+int PlanExecutor::DefaultDistWorkers() {
+  const char* env = std::getenv("MATOPT_WORKERS");
+  if (env == nullptr) return 0;
+  int workers = std::atoi(env);
+  return workers > 0 ? workers : 0;
+}
+
 Result<ExecResult> PlanExecutor::Execute(
     const ComputeGraph& graph, const Annotation& annotation,
     std::unordered_map<int, Relation> inputs) const {
+  // Data-mode executions lower onto the sharded multi-worker runtime when
+  // one is configured (DESIGN.md §12); its sim pass re-enters this
+  // function with dist_workers off. Dry inputs stay on the single-node
+  // path: there are no payloads to move.
+  if (dist_workers_ > 0 && !inputs.empty()) {
+    bool all_data = true;
+    for (const auto& [v, rel] : inputs) all_data = all_data && rel.has_data;
+    if (all_data) {
+      return dist::ExecuteDistributedPlan(catalog_, cluster_, graph,
+                                          annotation, std::move(inputs),
+                                          dist_workers_, transport_,
+                                          zero_copy_);
+    }
+  }
   // Pre-flight: the full plan-analysis pipeline replaces the old bare
   // ValidateAnnotation call. Every error finding aborts execution with a
   // rule-tagged message; warnings and notes are tolerated here (callers

@@ -12,6 +12,10 @@
 
 namespace matopt {
 
+namespace dist {
+class Transport;
+}  // namespace dist
+
 /// Result of executing an annotated compute graph.
 struct ExecResult {
   ExecStats stats;
@@ -53,10 +57,32 @@ class PlanExecutor {
   /// set to 0).
   static bool DefaultZeroCopy();
 
+  /// Number of sharded runtime workers (DESIGN.md §12). When > 0, data-mode
+  /// executions run on the multi-worker runtime: relations are
+  /// hash-partitioned across workers, operators run per shard, and data
+  /// moves through shuffle/broadcast exchanges. 0 (the default unless
+  /// MATOPT_WORKERS is set) keeps the single-node path. Sinks are
+  /// bit-identical at any worker count.
+  void set_dist_workers(int num_workers) {
+    dist_workers_ = num_workers < 0 ? 0 : num_workers;
+  }
+  int dist_workers() const { return dist_workers_; }
+
+  /// Process default for new executors (MATOPT_WORKERS env; unset or
+  /// invalid means 0 = single-node).
+  static int DefaultDistWorkers();
+
+  /// Overrides the transport distributed executions move data through.
+  /// Null (the default) scopes a fresh in-memory transport to each
+  /// execution. The pointer is borrowed, not owned.
+  void set_transport(dist::Transport* transport) { transport_ = transport; }
+
  private:
   const Catalog& catalog_;
   const ClusterConfig& cluster_;
   bool zero_copy_ = DefaultZeroCopy();
+  int dist_workers_ = DefaultDistWorkers();
+  dist::Transport* transport_ = nullptr;
 };
 
 }  // namespace matopt

@@ -77,10 +77,11 @@ int NumOpVertices(const ComputeGraph& graph) {
 }
 
 struct RunConfig {
-  const char* label;
-  int threads;
-  bool zero_copy;
-  bool pool;
+  std::string label;
+  int threads = 1;
+  bool zero_copy = true;
+  bool pool = true;
+  int dist_workers = 0;  // 0 = single-node path
 };
 
 struct RunOutput {
@@ -97,6 +98,9 @@ Result<RunOutput> RunPlan(const FuzzProgram& program,
   BufferPool::OverrideEnabled(config.pool);
   PlanExecutor executor(catalog, cluster);
   executor.set_zero_copy(config.zero_copy);
+  // Always pin the worker count so a MATOPT_WORKERS environment override
+  // cannot silently turn the baseline runs distributed.
+  executor.set_dist_workers(config.dist_workers);
   // Relations share immutable payloads, so this copy is metadata-only.
   MATOPT_ASSIGN_OR_RETURN(
       ExecResult result, executor.Execute(program.graph, annotation, inputs));
@@ -331,6 +335,75 @@ OracleReport RunOracles(const FuzzProgram& program, const Catalog& catalog,
       check("tuples", d.tuples, e.tuples);
       if (!diff.str().empty()) {
         fail("dry_run", (strict ? "strict: " : "loose: ") + diff.str());
+      }
+    }
+  }
+
+  // --- 6. Distributed runtime vs single-node ------------------------------
+  // The sharded multi-worker runtime promises bit-identical sinks at any
+  // worker count; its simulated projection is a single-node dry pass, so
+  // on all-dense plans it must match the data run within the dry-run
+  // tolerance and every stage's predicted traffic must equal the measured.
+  if (options.check_distributed) {
+    const bool strict = AllDense(program, annotation);
+    for (int workers : options.dist_worker_counts) {
+      if (workers < 1) continue;
+      RunConfig config;
+      config.label = "dist_w" + std::to_string(workers);
+      config.threads = options.threads;
+      config.dist_workers = workers;
+      auto variant = RunPlan(program, annotation, catalog, cluster,
+                             relations.value(), config);
+      if (!variant.ok()) {
+        fail(config.label, variant.status().ToString());
+        continue;
+      }
+      std::string sink_diff =
+          DiffSinks(baseline.value().sinks, variant.value().sinks);
+      if (!sink_diff.empty()) fail(config.label, sink_diff);
+
+      const DistStats& dist = variant.value().stats.dist;
+      if (dist.num_workers != workers) {
+        fail(config.label, "dist stats report " +
+                               std::to_string(dist.num_workers) +
+                               " workers, expected " +
+                               std::to_string(workers));
+      }
+      std::ostringstream diff;
+      auto check_sim = [&](const char* name, double dist_side,
+                           double local_side) {
+        if (!(std::isfinite(dist_side) && dist_side >= 0.0)) {
+          diff << name << " " << FmtG(dist_side)
+               << " not finite/non-negative; ";
+        } else if (strict &&
+                   !NearRel(dist_side, local_side, options.dry_run_rtol)) {
+          diff << name << " " << FmtG(dist_side) << " vs single-node "
+               << FmtG(local_side) << "; ";
+        }
+      };
+      const ExecStats& e = baseline.value().stats;
+      const ExecStats& v = variant.value().stats;
+      check_sim("sim_seconds", v.sim_seconds, e.sim_seconds);
+      check_sim("flops", v.flops, e.flops);
+      check_sim("net_bytes", v.net_bytes, e.net_bytes);
+      check_sim("tuples", v.tuples, e.tuples);
+      if (strict) {
+        for (const auto& s : dist.stages) {
+          if (s.measured_tuples != s.predicted_tuples ||
+              s.measured_shuffle_bytes != s.predicted_shuffle_bytes ||
+              s.measured_broadcast_bytes != s.predicted_broadcast_bytes) {
+            diff << "stage " << s.label << " predicted ("
+                 << FmtG(s.predicted_shuffle_bytes) << ", "
+                 << FmtG(s.predicted_broadcast_bytes) << ", "
+                 << FmtG(s.predicted_tuples) << ") vs measured ("
+                 << FmtG(s.measured_shuffle_bytes) << ", "
+                 << FmtG(s.measured_broadcast_bytes) << ", "
+                 << FmtG(s.measured_tuples) << "); ";
+          }
+        }
+      }
+      if (!diff.str().empty()) {
+        fail(config.label, (strict ? "strict: " : "loose: ") + diff.str());
       }
     }
   }

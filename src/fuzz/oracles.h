@@ -48,6 +48,14 @@ struct OracleOptions {
   bool check_reference = true;
   bool check_determinism = true;  // 1 thread / zero-copy off / pool off
   bool check_dry_run = true;
+
+  /// Distributed-vs-local oracle: re-run the plan on the sharded
+  /// multi-worker runtime (DESIGN.md §12) at each worker count and require
+  /// bit-identical sinks. All-dense plans additionally require the
+  /// per-stage predicted exchange traffic to equal the measured traffic
+  /// exactly.
+  bool check_distributed = true;
+  std::vector<int> dist_worker_counts = {1, 2, 4, 7};
 };
 
 /// One oracle disagreement: which oracle tripped and a human-readable
@@ -76,6 +84,8 @@ struct OracleReport {
 ///   4. Execution must be bit-identical and charge identical simulated
 ///      stats across 1 vs N threads, zero-copy on/off, and pool on/off.
 ///   5. Dry-run stat projections must match data-mode accounting.
+///   6. The sharded multi-worker runtime must produce bit-identical sinks
+///      at every configured worker count.
 /// Global state (default thread count, pool override) is restored before
 /// returning, even on failure.
 OracleReport RunOracles(const FuzzProgram& program, const Catalog& catalog,

@@ -1,0 +1,55 @@
+#include "la/shard_kernels.h"
+
+#include "la/kernels.h"
+
+namespace matopt {
+
+DenseMatrix ShardGemmSum(
+    const std::vector<std::pair<const DenseMatrix*, const DenseMatrix*>>&
+        products) {
+  DenseMatrix sum;
+  for (const auto& [a, b] : products) {
+    if (sum.size() == 0) sum = DenseMatrix::Pooled(a->rows(), b->cols());
+    GemmAccumulate(*a, *b, &sum);
+  }
+  return sum;
+}
+
+DenseMatrix ShardConcatGemm(const DenseMatrix& a,
+                            const std::vector<const DenseMatrix*>& blocks,
+                            const std::vector<int64_t>& col_offsets,
+                            int64_t out_cols) {
+  DenseMatrix out = DenseMatrix::Pooled(a.rows(), out_cols);
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    GemmAccumulate(a, *blocks[i],
+                   out.MutableBlock(0, col_offsets[i], a.rows(),
+                                    blocks[i]->cols()));
+  }
+  return out;
+}
+
+DenseMatrix ShardSpStripTilesGemm(const SparseMatrix& a,
+                                  const std::vector<const DenseMatrix*>& tiles,
+                                  const std::vector<int64_t>& row_offsets,
+                                  const std::vector<int64_t>& col_offsets,
+                                  int64_t out_cols) {
+  DenseMatrix out = DenseMatrix::Pooled(a.rows(), out_cols);
+  for (size_t i = 0; i < tiles.size(); ++i) {
+    SparseMatrix slice = a.ColSlice(row_offsets[i], tiles[i]->rows());
+    SpMmAccumulate(slice, *tiles[i],
+                   out.MutableBlock(0, col_offsets[i], a.rows(),
+                                    tiles[i]->cols()));
+    slice.Recycle();
+  }
+  return out;
+}
+
+DenseMatrix ShardOrderedSum(const std::vector<const DenseMatrix*>& parts) {
+  DenseMatrix sum = *parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) {
+    AddInto(sum, *parts[i], &sum);
+  }
+  return sum;
+}
+
+}  // namespace matopt

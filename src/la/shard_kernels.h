@@ -1,0 +1,55 @@
+#ifndef MATOPT_LA_SHARD_KERNELS_H_
+#define MATOPT_LA_SHARD_KERNELS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "la/dense_matrix.h"
+#include "la/sparse_matrix.h"
+
+namespace matopt {
+
+/// Shard-local kernel entry points for the distributed runtime
+/// (DESIGN.md §12). Each one computes one output tuple from the operand
+/// tuples a worker gathered through the exchanges, using exactly the
+/// kernel sequences and accumulation orders of the single-node executor's
+/// data paths — that ordered reuse is what makes distributed sinks
+/// bit-identical to single-node execution at any worker count. The inputs
+/// are plain matrices (this layer knows nothing about relations or
+/// placement); callers pass operands in canonical chunk-key order.
+
+/// Ordered GEMM sum over aligned (lhs, rhs) pairs: the tile shuffle
+/// join's per-output-tile accumulation, sum_k a_k * b_k with k ascending.
+/// The pair list must be non-empty.
+DenseMatrix ShardGemmSum(
+    const std::vector<std::pair<const DenseMatrix*, const DenseMatrix*>>&
+        products);
+
+/// Row strip times a column-partitioned right-hand side: each block's
+/// product accumulates into the matching column window of the output
+/// strip (a.rows x out_cols). `col_offsets[i]` is block i's first output
+/// column.
+DenseMatrix ShardConcatGemm(const DenseMatrix& a,
+                            const std::vector<const DenseMatrix*>& blocks,
+                            const std::vector<int64_t>& col_offsets,
+                            int64_t out_cols);
+
+/// Sparse CSR row strip times a tiled dense rhs: for each tile, the
+/// matching column slice of `a` multiplies the tile into the output
+/// strip's column window. `row_offsets[i]` is tile i's first row of the
+/// rhs (selecting a's columns), `col_offsets[i]` its first output column.
+DenseMatrix ShardSpStripTilesGemm(const SparseMatrix& a,
+                                  const std::vector<const DenseMatrix*>& tiles,
+                                  const std::vector<int64_t>& row_offsets,
+                                  const std::vector<int64_t>& col_offsets,
+                                  int64_t out_cols);
+
+/// Ordered element-wise sum of partial results (the reduction merge):
+/// parts[0] + parts[1] + ... accumulated left to right. The list must be
+/// non-empty; all parts share one shape.
+DenseMatrix ShardOrderedSum(const std::vector<const DenseMatrix*>& parts);
+
+}  // namespace matopt
+
+#endif  // MATOPT_LA_SHARD_KERNELS_H_

@@ -1,0 +1,626 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/opt/optimizer.h"
+#include "dist/exchange.h"
+#include "dist/partition.h"
+#include "dist/transport.h"
+#include "engine/executor.h"
+#include "la/kernels.h"
+#include "ml/generators.h"
+#include "ml/workloads.h"
+
+namespace matopt {
+namespace {
+
+/// Bit-level equality: the distributed runtime promises the exact
+/// accumulation order of the single-node path, so sinks must match to
+/// the last ulp at any worker count.
+bool BitEq(const DenseMatrix& a, const DenseMatrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), sizeof(double) * a.size()) == 0;
+}
+
+DenseMatrix DiagDominant(int64_t n, uint64_t seed) {
+  DenseMatrix m = GaussianMatrix(n, n, seed);
+  for (int64_t i = 0; i < n; ++i) m(i, i) += 5.0 * static_cast<double>(n);
+  return m;
+}
+
+EngineTuple MakeScalarTuple(int64_t r, double value, int worker) {
+  EngineTuple t;
+  t.r = r;
+  t.c = 0;
+  t.rows = 1;
+  t.cols = 1;
+  t.worker = worker;
+  DenseMatrix m(1, 1);
+  m(0, 0) = value;
+  t.dense = std::make_shared<DenseMatrix>(std::move(m));
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+TEST(TransportTest, DrainsInRankOrderWithPerChannelCounters) {
+  dist::InMemoryTransport transport;
+  auto ex = transport.OpenExchange("t", 3);
+  // Send to rank 1 from ranks 2, 0, 1 (in that wall-clock order); the
+  // drain must come back rank-ordered regardless.
+  ASSERT_TRUE(ex->Send(2, 1, {MakeScalarTuple(5, 1.0, 0), 8.0}).ok());
+  ASSERT_TRUE(ex->Send(0, 1, {MakeScalarTuple(1, 2.0, 0), 8.0}).ok());
+  ASSERT_TRUE(ex->Send(1, 1, {MakeScalarTuple(3, 3.0, 0), 8.0}).ok());
+  auto drained = ex->Drain(1);
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+  ASSERT_EQ(drained.value().size(), 3u);
+  EXPECT_EQ(drained.value()[0].tuple.r, 1);  // rank 0's message first
+  EXPECT_EQ(drained.value()[1].tuple.r, 3);
+  EXPECT_EQ(drained.value()[2].tuple.r, 5);
+
+  dist::ChannelStats totals = ex->Totals();
+  EXPECT_EQ(totals.messages, 3);
+  EXPECT_EQ(totals.tuples, 3);
+  EXPECT_EQ(totals.bytes, 24.0);
+  dist::ChannelStats ch = ex->Channel(2, 1);
+  EXPECT_EQ(ch.messages, 1);
+  EXPECT_EQ(ch.bytes, 8.0);
+  EXPECT_EQ(ex->Channel(1, 0).messages, 0);
+}
+
+TEST(TransportTest, SingleTupleCapViolationIsTypedNotAssert) {
+  dist::TransportLimits limits;
+  limits.single_tuple_cap_bytes = 4.0;
+  dist::InMemoryTransport transport(limits);
+  auto ex = transport.OpenExchange("cap", 2);
+  Status s = ex->Send(0, 1, {MakeScalarTuple(0, 1.0, 0), 8.0});
+  EXPECT_TRUE(s.IsOutOfMemory()) << s.ToString();
+  EXPECT_NE(s.message().find("single-tuple cap"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(TransportTest, ChannelCapacityViolationIsTypedNotAssert) {
+  dist::TransportLimits limits;
+  limits.channel_capacity_bytes = 10.0;
+  dist::InMemoryTransport transport(limits);
+  auto ex = transport.OpenExchange("cap", 2);
+  ASSERT_TRUE(ex->Send(0, 1, {MakeScalarTuple(0, 1.0, 0), 8.0}).ok());
+  ASSERT_TRUE(ex->Send(0, 1, {MakeScalarTuple(1, 2.0, 0), 8.0}).ok());
+  auto drained = ex->Drain(1);
+  ASSERT_FALSE(drained.ok());
+  EXPECT_TRUE(drained.status().IsOutOfMemory())
+      << drained.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Partitioning edge cases
+// ---------------------------------------------------------------------------
+
+TEST(PartitionTest, MoreWorkersThanTuplesLeavesEmptyShards) {
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(4);
+  FormatId single = catalog.FindFormat({Layout::kSingleTuple, 0, 0});
+  Relation rel =
+      MakeRelation(GaussianMatrix(100, 100, 1), single, cluster).value();
+  ASSERT_EQ(rel.tuples.size(), 1u);
+
+  auto shards = dist::ShardIndices(rel, 7);
+  ASSERT_EQ(shards.size(), 7u);
+  int nonempty = 0;
+  size_t placed = 0;
+  for (const auto& shard : shards) {
+    if (!shard.empty()) ++nonempty;
+    placed += shard.size();
+  }
+  EXPECT_EQ(nonempty, 1);
+  EXPECT_EQ(placed, rel.tuples.size());
+  // One worker holds everything: skew == num_workers.
+  EXPECT_EQ(dist::ShardSkew(rel, 7), 7.0);
+}
+
+TEST(PartitionTest, AllTuplesForcedOntoOneWorkerReportsMaxSkew) {
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(4);
+  FormatId strips = catalog.FindFormat({Layout::kRowStrips, 100, 0});
+  Relation rel =
+      MakeRelation(GaussianMatrix(400, 50, 3), strips, cluster).value();
+  ASSERT_EQ(rel.tuples.size(), 4u);
+  for (auto& t : rel.tuples) t.worker = 5;
+
+  const int kWorkers = 3;
+  auto shards = dist::ShardIndices(rel, kWorkers);
+  EXPECT_EQ(shards[5 % kWorkers].size(), rel.tuples.size());
+  EXPECT_EQ(dist::ShardSkew(rel, kWorkers), 3.0);
+
+  auto bytes = dist::ShardBytes(rel, kWorkers);
+  double total = 0.0;
+  for (double b : bytes) total += b;
+  EXPECT_DOUBLE_EQ(total, rel.TotalBytes());
+}
+
+TEST(PartitionTest, SkewMatchesShardBytesOnBalancedRelation) {
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(4);
+  FormatId tiles = catalog.FindFormat({Layout::kTiles, 100, 100});
+  Relation rel =
+      MakeRelation(GaussianMatrix(400, 400, 5), tiles, cluster).value();
+  ASSERT_EQ(rel.tuples.size(), 16u);
+
+  const int kWorkers = 4;
+  auto bytes = dist::ShardBytes(rel, kWorkers);
+  double total = 0.0;
+  double max_bytes = 0.0;
+  for (double b : bytes) {
+    total += b;
+    max_bytes = std::max(max_bytes, b);
+  }
+  ASSERT_GT(total, 0.0);
+  EXPECT_DOUBLE_EQ(dist::ShardSkew(rel, kWorkers),
+                   max_bytes * kWorkers / total);
+  EXPECT_GE(dist::ShardSkew(rel, kWorkers), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// 1x1 matrix through both exchange kinds
+// ---------------------------------------------------------------------------
+
+TEST(ExchangeTest, OneByOneMatrixThroughShuffleAndBroadcast) {
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(4);
+  FormatId single = catalog.FindFormat({Layout::kSingleTuple, 0, 0});
+  DenseMatrix m(1, 1);
+  m(0, 0) = 42.5;
+  Relation rel = MakeRelation(m, single, cluster).value();
+  ASSERT_EQ(rel.tuples.size(), 1u);
+  const EngineTuple& t = rel.tuples[0];
+  const int kWorkers = 7;
+  const int owner = dist::DistWorkerOf(t, kWorkers);
+
+  dist::InMemoryTransport transport;
+  {
+    dist::ShuffleExchange shuffle(transport, "s", kWorkers, false);
+    for (int to = 0; to < kWorkers; ++to) {
+      ASSERT_TRUE(shuffle.Route(owner, to, t).ok());
+    }
+    for (int to = 0; to < kWorkers; ++to) {
+      auto got = shuffle.Gather(to);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_EQ(got.value().size(), 1u);
+      EXPECT_EQ((*got.value()[0].dense)(0, 0), 42.5);
+    }
+    EXPECT_EQ(shuffle.remote_totals().tuples, kWorkers - 1);
+    EXPECT_EQ(shuffle.remote_totals().bytes, 8.0 * (kWorkers - 1));
+    EXPECT_EQ(shuffle.local_totals().tuples, 1);
+  }
+  {
+    dist::BroadcastExchange bcast(transport, "b", kWorkers, false);
+    ASSERT_TRUE(bcast.Broadcast(owner, t).ok());
+    for (int to = 0; to < kWorkers; ++to) {
+      auto got = bcast.Gather(to);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_EQ(got.value().size(), 1u);
+      EXPECT_EQ((*got.value()[0].dense)(0, 0), 42.5);
+    }
+    EXPECT_EQ(bcast.remote_totals().tuples, kWorkers - 1);
+    EXPECT_EQ(bcast.local_totals().tuples, 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: bit-identical sinks at any worker count
+// ---------------------------------------------------------------------------
+
+/// Distributed-parity fixture: optimize once, then run the same plan
+/// single-node and at several worker counts; sinks must be bit-identical
+/// and the per-stage predicted traffic must equal the measured traffic
+/// exactly on all-dense plans.
+class DistExecTest : public ::testing::Test {
+ protected:
+  DistExecTest() : cluster_(SimSqlProfile(4)) {
+    cluster_.broadcast_cap_bytes = 1e12;
+    model_ = CostModel::Analytic(cluster_);
+  }
+
+  struct RunOutput {
+    std::vector<std::pair<int, DenseMatrix>> sinks;
+    ExecStats stats;
+  };
+
+  Result<ExecResult> RunRaw(const ComputeGraph& graph,
+                            const Annotation& annotation,
+                            const std::unordered_map<int, DenseMatrix>& inputs,
+                            int workers, const ClusterConfig& cluster) {
+    PlanExecutor executor(catalog_, cluster);
+    executor.set_dist_workers(workers);
+    std::unordered_map<int, Relation> relations;
+    for (const auto& [v, m] : inputs) {
+      FormatId fmt = graph.vertex(v).input_format;
+      if (BuiltinFormats()[fmt].sparse()) {
+        relations[v] =
+            MakeSparseRelation(SparseMatrix::FromDense(m), fmt, cluster)
+                .value();
+      } else {
+        relations[v] = MakeRelation(m, fmt, cluster).value();
+      }
+    }
+    return executor.Execute(graph, annotation, std::move(relations));
+  }
+
+  RunOutput RunOk(const ComputeGraph& graph, const Annotation& annotation,
+                  const std::unordered_map<int, DenseMatrix>& inputs,
+                  int workers) {
+    auto result = RunRaw(graph, annotation, inputs, workers, cluster_);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    RunOutput out;
+    out.stats = result.value().stats;
+    for (const auto& [v, rel] : result.value().sinks) {
+      out.sinks.emplace_back(v, MaterializeDense(rel).value());
+    }
+    std::sort(out.sinks.begin(), out.sinks.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    return out;
+  }
+
+  std::unordered_map<int, DenseMatrix> MakeInputs(
+      const ComputeGraph& graph,
+      const std::unordered_set<std::string>& plain = {}) {
+    std::unordered_map<int, DenseMatrix> inputs;
+    for (int v = 0; v < graph.num_vertices(); ++v) {
+      const Vertex& vx = graph.vertex(v);
+      if (vx.op != OpKind::kInput) continue;
+      if (vx.type.rows() == vx.type.cols() && !plain.count(vx.name)) {
+        inputs.emplace(v, DiagDominant(vx.type.rows(), 100 + v));
+      } else {
+        inputs.emplace(
+            v, GaussianMatrix(vx.type.rows(), vx.type.cols(), 100 + v));
+      }
+    }
+    return inputs;
+  }
+
+  /// Minimal valid annotation skeleton: inputs keep their declared
+  /// formats; op vertices are filled in by the caller.
+  static Annotation IdentityAnnotation(const ComputeGraph& graph) {
+    Annotation ann;
+    ann.vertices.resize(graph.num_vertices());
+    for (int v = 0; v < graph.num_vertices(); ++v) {
+      const Vertex& vx = graph.vertex(v);
+      if (vx.op == OpKind::kInput) ann.at(v).output_format = vx.input_format;
+    }
+    return ann;
+  }
+
+  /// On all-dense plans both sides of every stage record charge
+  /// 8 bytes/entry over identical routing, so predicted must equal
+  /// measured exactly — bytes and tuple counts.
+  static void ExpectPredictedEqualsMeasured(const DistStats& dist) {
+    EXPECT_FALSE(dist.stages.empty());
+    double shuffle = 0.0;
+    double bcast = 0.0;
+    for (const auto& s : dist.stages) {
+      EXPECT_EQ(s.measured_tuples, s.predicted_tuples) << s.label;
+      EXPECT_EQ(s.measured_shuffle_bytes, s.predicted_shuffle_bytes)
+          << s.label;
+      EXPECT_EQ(s.measured_broadcast_bytes, s.predicted_broadcast_bytes)
+          << s.label;
+      EXPECT_GE(s.shard_skew, 1.0) << s.label;
+      shuffle += s.measured_shuffle_bytes;
+      bcast += s.measured_broadcast_bytes;
+    }
+    EXPECT_EQ(dist.bytes_shuffled, shuffle);
+    EXPECT_EQ(dist.bytes_broadcast, bcast);
+  }
+
+  void ExpectDistParity(const ComputeGraph& graph,
+                        const std::unordered_map<int, DenseMatrix>& inputs) {
+    auto plan = Optimize(graph, catalog_, model_, cluster_);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    const Annotation& annotation = plan.value().annotation;
+
+    RunOutput base = RunOk(graph, annotation, inputs, 0);
+    EXPECT_EQ(base.stats.dist.num_workers, 0);
+
+    for (int workers : {1, 2, 4, 7}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers));
+      RunOutput run = RunOk(graph, annotation, inputs, workers);
+      ASSERT_EQ(run.sinks.size(), base.sinks.size());
+      for (size_t i = 0; i < base.sinks.size(); ++i) {
+        EXPECT_EQ(run.sinks[i].first, base.sinks[i].first);
+        EXPECT_TRUE(BitEq(run.sinks[i].second, base.sinks[i].second))
+            << "sink " << base.sinks[i].first;
+      }
+      // The simulated projection is the single-node dry pass, so it must
+      // match the single-node data run exactly at every worker count.
+      EXPECT_EQ(run.stats.sim_seconds, base.stats.sim_seconds);
+      EXPECT_EQ(run.stats.flops, base.stats.flops);
+      EXPECT_EQ(run.stats.net_bytes, base.stats.net_bytes);
+      EXPECT_EQ(run.stats.tuples, base.stats.tuples);
+
+      EXPECT_EQ(run.stats.dist.num_workers, workers);
+      EXPECT_EQ(run.stats.dist.worker_busy_seconds.size(),
+                static_cast<size_t>(workers));
+      ExpectPredictedEqualsMeasured(run.stats.dist);
+    }
+  }
+
+  Catalog catalog_;
+  ClusterConfig cluster_;
+  CostModel model_;
+};
+
+TEST_F(DistExecTest, FfnnBitIdenticalAtAnyWorkerCount) {
+  FfnnConfig cfg;
+  cfg.batch = 120;
+  cfg.features = 250;
+  cfg.hidden = 140;
+  cfg.labels = 9;
+  auto graph = BuildFfnnGraph(cfg);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  ExpectDistParity(graph.value(), MakeInputs(graph.value()));
+}
+
+TEST_F(DistExecTest, BlockInverseBitIdenticalAtAnyWorkerCount) {
+  auto graph = BuildBlockInverseGraph(130);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  ExpectDistParity(graph.value(), MakeInputs(graph.value(), {"B", "C"}));
+}
+
+TEST_F(DistExecTest, MatMulChainBitIdenticalAtAnyWorkerCount) {
+  FormatId strips = catalog_.FindFormat({Layout::kRowStrips, 100, 0});
+  ASSERT_NE(strips, kNoFormat);
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(230, 340), strips, "A");
+  int b = g.AddInput(MatrixType(340, 180), strips, "B");
+  int c = g.AddInput(MatrixType(180, 270), strips, "C");
+  int ab = g.AddOp(OpKind::kMatMul, {a, b}).value();
+  g.AddOp(OpKind::kMatMul, {ab, c}).value();
+  ExpectDistParity(g, MakeInputs(g));
+}
+
+TEST_F(DistExecTest, OneByOneMatMulRunsAtSevenWorkers) {
+  FormatId single = catalog_.FindFormat({Layout::kSingleTuple, 0, 0});
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(1, 1), single, "A");
+  int b = g.AddInput(MatrixType(1, 1), single, "B");
+  int o = g.AddOp(OpKind::kMatMul, {a, b}).value();
+
+  Annotation ann = IdentityAnnotation(g);
+  ann.at(o).impl = ImplKind::kMmSingleSingle;
+  ann.at(o).output_format = single;
+  ann.at(o).input_edges = {{single, std::nullopt, single},
+                           {single, std::nullopt, single}};
+  ASSERT_TRUE(ValidateAnnotation(g, ann, catalog_, cluster_).ok());
+
+  DenseMatrix ma(1, 1), mb(1, 1);
+  ma(0, 0) = 3.25;
+  mb(0, 0) = -2.0;
+  std::unordered_map<int, DenseMatrix> inputs;
+  inputs.emplace(a, ma);
+  inputs.emplace(b, mb);
+
+  RunOutput out = RunOk(g, ann, inputs, 7);
+  ASSERT_EQ(out.sinks.size(), 1u);
+  EXPECT_EQ(out.sinks[0].second(0, 0), 3.25 * -2.0);
+  EXPECT_EQ(out.stats.dist.num_workers, 7);
+  // A one-tuple relation lands on a single worker: skew == num_workers.
+  EXPECT_EQ(out.stats.dist.max_shard_skew, 7.0);
+}
+
+TEST_F(DistExecTest, SingleTupleRelationReportsSkewEqualToWorkerCount) {
+  FormatId single = catalog_.FindFormat({Layout::kSingleTuple, 0, 0});
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(50, 50), single, "A");
+  int b = g.AddInput(MatrixType(50, 50), single, "B");
+  int o = g.AddOp(OpKind::kMatMul, {a, b}).value();
+
+  Annotation ann = IdentityAnnotation(g);
+  ann.at(o).impl = ImplKind::kMmSingleSingle;
+  ann.at(o).output_format = single;
+  ann.at(o).input_edges = {{single, std::nullopt, single},
+                           {single, std::nullopt, single}};
+  ASSERT_TRUE(ValidateAnnotation(g, ann, catalog_, cluster_).ok());
+
+  auto inputs = MakeInputs(g, {"A", "B"});
+  RunOutput base = RunOk(g, ann, inputs, 0);
+  RunOutput run = RunOk(g, ann, inputs, 7);
+  ASSERT_EQ(run.sinks.size(), 1u);
+  EXPECT_TRUE(BitEq(run.sinks[0].second, base.sinks[0].second));
+  for (const auto& s : run.stats.dist.stages) {
+    EXPECT_EQ(s.shard_skew, 7.0) << s.label;
+  }
+  EXPECT_EQ(run.stats.dist.max_shard_skew, 7.0);
+}
+
+TEST_F(DistExecTest, DryRunIgnoresWorkerSetting) {
+  FfnnConfig cfg;
+  cfg.batch = 120;
+  cfg.features = 250;
+  cfg.hidden = 140;
+  cfg.labels = 9;
+  auto graph = BuildFfnnGraph(cfg);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  auto plan = Optimize(graph.value(), catalog_, model_, cluster_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  PlanExecutor executor(catalog_, cluster_);
+  executor.set_dist_workers(4);
+  auto result = executor.DryRun(graph.value(), plan.value().annotation);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Dry runs have no data to shard; they stay on the single-node path.
+  EXPECT_EQ(result.value().stats.dist.num_workers, 0);
+}
+
+TEST_F(DistExecTest, ExplainComparisonTableShowsPredictedVsMeasured) {
+  FfnnConfig cfg;
+  cfg.batch = 120;
+  cfg.features = 250;
+  cfg.hidden = 140;
+  cfg.labels = 9;
+  auto graph = BuildFfnnGraph(cfg);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  auto plan = Optimize(graph.value(), catalog_, model_, cluster_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  RunOutput run =
+      RunOk(graph.value(), plan.value().annotation, MakeInputs(graph.value()),
+            4);
+  std::string table = run.stats.dist.ComparisonTable();
+  EXPECT_NE(table.find("predicted | measured"), std::string::npos) << table;
+  EXPECT_NE(table.find("4 workers"), std::string::npos) << table;
+  ASSERT_FALSE(run.stats.dist.stages.empty());
+  EXPECT_NE(table.find(run.stats.dist.stages.front().label),
+            std::string::npos)
+      << table;
+}
+
+// ---------------------------------------------------------------------------
+// Budget enforcement (the paper's "Fail" entries, distributed path)
+// ---------------------------------------------------------------------------
+
+TEST_F(DistExecTest, SingleTupleCapEnforcedOnMeasuredTuples) {
+  FormatId sp = catalog_.FindFormat({Layout::kSpSingleCsr, 0, 0});
+  FormatId single = catalog_.FindFormat({Layout::kSingleTuple, 0, 0});
+  ComputeGraph g;
+  // Declared 1% sparsity keeps the estimated tuple ~2.4 KB, well under
+  // the cap; the actual data is fully dense (~160 KB measured).
+  int a = g.AddInput(MatrixType(100, 100), sp, "A", 0.01);
+  int b = g.AddInput(MatrixType(100, 20), single, "B");
+  int o = g.AddOp(OpKind::kMatMul, {a, b}).value();
+
+  Annotation ann = IdentityAnnotation(g);
+  ann.at(o).impl = ImplKind::kMmSpSingleXSingle;
+  ann.at(o).output_format = single;
+  ann.at(o).input_edges = {{sp, std::nullopt, sp},
+                           {single, std::nullopt, single}};
+
+  ClusterConfig cluster = cluster_;
+  cluster.single_tuple_cap_bytes = 50000.0;
+  ASSERT_TRUE(ValidateAnnotation(g, ann, catalog_, cluster).ok());
+
+  std::unordered_map<int, DenseMatrix> inputs;
+  inputs.emplace(a, GaussianMatrix(100, 100, 11));
+  inputs.emplace(b, GaussianMatrix(100, 20, 12));
+
+  // The single-node path plans on the estimate and runs fine...
+  auto local = RunRaw(g, ann, inputs, 0, cluster);
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+
+  // ...the distributed path routes the measured tuple and must fail with
+  // a typed error naming the violated budget.
+  for (int workers : {1, 4}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    auto result = RunRaw(g, ann, inputs, workers, cluster);
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsOutOfMemory()) << result.status().ToString();
+    EXPECT_NE(result.status().message().find("single_tuple_cap_bytes"),
+              std::string::npos)
+        << result.status().ToString();
+  }
+}
+
+TEST_F(DistExecTest, BroadcastCapEnforcedOnMeasuredRelation) {
+  FormatId sp = catalog_.FindFormat({Layout::kSpSingleCsr, 0, 0});
+  FormatId colstrips = catalog_.FindFormat({Layout::kColStrips, 100, 0});
+  ComputeGraph g;
+  // Estimated broadcast ~8 KB (1% declared sparsity); measured ~640 KB.
+  int a = g.AddInput(MatrixType(200, 200), sp, "A", 0.01);
+  int b = g.AddInput(MatrixType(200, 240), colstrips, "B");
+  int o = g.AddOp(OpKind::kMatMul, {a, b}).value();
+
+  Annotation ann = IdentityAnnotation(g);
+  ann.at(o).impl = ImplKind::kMmSpSingleXColStrips;
+  ann.at(o).output_format = colstrips;
+  ann.at(o).input_edges = {{sp, std::nullopt, sp},
+                           {colstrips, std::nullopt, colstrips}};
+
+  ClusterConfig cluster = cluster_;
+  cluster.broadcast_cap_bytes = 100000.0;
+  ASSERT_TRUE(ValidateAnnotation(g, ann, catalog_, cluster).ok());
+
+  std::unordered_map<int, DenseMatrix> inputs;
+  inputs.emplace(a, GaussianMatrix(200, 200, 13));
+  inputs.emplace(b, GaussianMatrix(200, 240, 14));
+
+  auto local = RunRaw(g, ann, inputs, 0, cluster);
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+
+  for (int workers : {2, 7}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    auto result = RunRaw(g, ann, inputs, workers, cluster);
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsOutOfMemory()) << result.status().ToString();
+    EXPECT_NE(result.status().message().find("broadcast_cap_bytes"),
+              std::string::npos)
+        << result.status().ToString();
+  }
+}
+
+TEST_F(DistExecTest, WorkerSpillBudgetEnforcedOnShuffleInbound) {
+  FormatId tiles = catalog_.FindFormat({Layout::kTiles, 100, 100});
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(400, 400), tiles, "A");
+  int b = g.AddInput(MatrixType(400, 400), tiles, "B");
+  int o = g.AddOp(OpKind::kMatMul, {a, b}).value();
+
+  Annotation ann = IdentityAnnotation(g);
+  ann.at(o).impl = ImplKind::kMmTilesShuffle;
+  ann.at(o).output_format = tiles;
+  ann.at(o).input_edges = {{tiles, std::nullopt, tiles},
+                           {tiles, std::nullopt, tiles}};
+
+  // A wide simulated cluster spreads the simulated shuffle thin while two
+  // runtime workers concentrate it; a budget between the two fails only
+  // the distributed path.
+  ClusterConfig cluster = SimSqlProfile(10);
+  ASSERT_TRUE(ValidateAnnotation(g, ann, catalog_, cluster).ok());
+
+  std::unordered_map<int, DenseMatrix> inputs;
+  inputs.emplace(a, GaussianMatrix(400, 400, 21));
+  inputs.emplace(b, GaussianMatrix(400, 400, 22));
+
+  auto probe = RunRaw(g, ann, inputs, 2, cluster);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  const double total_remote = probe.value().stats.dist.bytes_shuffled;
+  const double sim_spill = probe.value().stats.peak_worker_spill_bytes;
+  ASSERT_GT(total_remote, 0.0);
+  // Pigeonhole: one of the two workers receives >= half the remote bytes.
+  ASSERT_LT(sim_spill, total_remote / 2.0);
+
+  ClusterConfig tight = cluster;
+  tight.worker_spill_bytes = (sim_spill + total_remote / 2.0) / 2.0;
+  auto result = RunRaw(g, ann, inputs, 2, tight);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOutOfMemory()) << result.status().ToString();
+  EXPECT_NE(result.status().message().find("worker_spill_bytes"),
+            std::string::npos)
+      << result.status().ToString();
+
+  // The same tight budget is fine single-node (the sim spill is smaller).
+  auto local = RunRaw(g, ann, inputs, 0, tight);
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// MATOPT_WORKERS environment default
+// ---------------------------------------------------------------------------
+
+TEST(DistWorkersEnvTest, ParsesMatoptWorkers) {
+  setenv("MATOPT_WORKERS", "5", 1);
+  EXPECT_EQ(PlanExecutor::DefaultDistWorkers(), 5);
+  setenv("MATOPT_WORKERS", "-3", 1);
+  EXPECT_EQ(PlanExecutor::DefaultDistWorkers(), 0);
+  setenv("MATOPT_WORKERS", "garbage", 1);
+  EXPECT_EQ(PlanExecutor::DefaultDistWorkers(), 0);
+  unsetenv("MATOPT_WORKERS");
+  EXPECT_EQ(PlanExecutor::DefaultDistWorkers(), 0);
+}
+
+}  // namespace
+}  // namespace matopt
