@@ -10,10 +10,12 @@
 // the sharded multi-worker runtime and the plan's predicted exchange
 // traffic is printed next to the transport's measurements.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string>
 #include <unordered_map>
 
 #include "common/units.h"
@@ -142,6 +144,37 @@ int main(int argc, char** argv) {
       if (dist_run.ok()) {
         std::printf("=== distributed execution (measured) ===\n%s\n",
                     dist_run.value().stats.dist.ComparisonTable().c_str());
+        // Roofline view of the measured run: what the local kernels
+        // actually streamed and sustained, next to the simulated costs.
+        std::string roofline = dist_run.value().stats.RooflineString();
+        if (!roofline.empty()) {
+          std::printf("=== measured kernel roofline ===\n%s", roofline.c_str());
+          // Per-stage attribution exists for single-node data runs; the
+          // sharded runtime reports the rollup only (workers overlap, so
+          // per-stage deltas would be misattributed).
+          const ExecStats& st = dist_run.value().stats;
+          bool any_stage_kernels = false;
+          for (const ExecStats::StageRecord& s : st.stages) {
+            any_stage_kernels = any_stage_kernels || s.kernel_flops > 0.0;
+          }
+          if (any_stage_kernels)
+            std::printf("  per stage (stages with kernel work):\n");
+          for (const ExecStats::StageRecord& s : st.stages) {
+            if (s.kernel_flops <= 0.0) continue;
+            std::printf("    %-28s %12s", s.label.c_str(),
+                        FormatFlops(s.kernel_flops).c_str());
+            std::printf("  %s", FormatIntensity(s.kernel_flops /
+                                                std::max(1.0, s.kernel_bytes))
+                                    .c_str());
+            if (s.kernel_seconds > 0.0) {
+              std::printf("  %s", FormatFlopRate(s.kernel_flops /
+                                                 s.kernel_seconds)
+                                      .c_str());
+            }
+            std::printf("\n");
+          }
+          std::printf("\n");
+        }
       } else {
         std::printf("=== distributed execution failed: %s ===\n\n",
                     dist_run.status().ToString().c_str());

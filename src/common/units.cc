@@ -51,4 +51,35 @@ std::string FormatBytes(double bytes) {
   return buf;
 }
 
+namespace {
+
+/// Scales `v` by decimal (SI) magnitudes and renders "<value> <prefix><unit>"
+/// with ~3 significant digits, in the style of roofline tooling.
+std::string FormatSi(double v, const char* unit) {
+  static const char* kPrefixes[] = {"", "K", "M", "G", "T", "P"};
+  int mag = 0;
+  while (v >= 1000.0 && mag < 5) {
+    v /= 1000.0;
+    ++mag;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), v >= 100.0 ? "%.0f %s%s" : "%.2f %s%s", v,
+                kPrefixes[mag], unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatFlops(double flops) { return FormatSi(flops, "flop"); }
+
+std::string FormatFlopRate(double flops_per_sec) {
+  return FormatSi(flops_per_sec, "FLOPS");
+}
+
+std::string FormatIntensity(double flops_per_byte) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f flop/B", flops_per_byte);
+  return buf;
+}
+
 }  // namespace matopt

@@ -23,6 +23,15 @@ std::string FormatMs(double seconds);
 /// Formats a byte count with a binary-unit suffix, e.g. "1.5 GiB".
 std::string FormatBytes(double bytes);
 
+/// Formats a flop count with a decimal suffix, e.g. "2.15 Gflop".
+std::string FormatFlops(double flops);
+
+/// Formats a flop rate with a decimal suffix, e.g. "23.9 GFLOPS".
+std::string FormatFlopRate(double flops_per_sec);
+
+/// Formats an arithmetic intensity, e.g. "42.7 flop/B".
+std::string FormatIntensity(double flops_per_byte);
+
 }  // namespace matopt
 
 #endif  // MATOPT_COMMON_UNITS_H_

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "common/stopwatch.h"
 #include "engine/exec_stats.h"
 #include "engine/operators.h"
 #include "engine/relation.h"
@@ -204,6 +206,36 @@ CostModel FitCostModel(const std::vector<CalibrationSample>& samples,
 CostModel CalibrateCostModel(const Catalog& catalog,
                              const ClusterConfig& cluster) {
   return FitCostModel(CollectCalibrationSamples(catalog, cluster), cluster);
+}
+
+double MeasureLocalGemmFlopRate(int64_t n, int reps) {
+  // Dense, fully non-zero operands so the zero-skip heuristic cannot
+  // route the timing to the sparse-ish scalar path.
+  DenseMatrix a(n, n), b(n, n);
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return 0.25 + static_cast<double>(state >> 40) * 1e-8;
+  };
+  for (int64_t i = 0; i < a.size(); ++i) a.data()[i] = next();
+  for (int64_t i = 0; i < b.size(); ++i) b.data()[i] = next();
+  DenseMatrix c(n, n);
+  GemmAccumulate(a, b, &c);  // warm-up: page in, size the pool
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < std::max(1, reps); ++r) {
+    Stopwatch watch;
+    GemmAccumulate(a, b, &c);
+    best = std::min(best, watch.ElapsedSeconds());
+  }
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+  return best > 0.0 ? flops / best : 0.0;
+}
+
+ClusterConfig CalibrateMachineRate(const ClusterConfig& cluster) {
+  ClusterConfig calibrated = cluster;
+  double rate = MeasureLocalGemmFlopRate();
+  if (rate > 0.0) calibrated.flops_per_sec = rate;
+  return calibrated;
 }
 
 }  // namespace matopt

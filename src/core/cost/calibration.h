@@ -35,6 +35,23 @@ CostModel FitCostModel(const std::vector<CalibrationSample>& samples,
 CostModel CalibrateCostModel(const Catalog& catalog,
                              const ClusterConfig& cluster);
 
+/// Measures the achieved dense-GEMM FLOP rate of the *local* kernels by
+/// timing GemmAccumulate on an n x n x n problem (best of `reps` timed
+/// runs after one warm-up). Honors the active kernel dispatch: on an AVX2
+/// build this times the blocked SIMD path; under MATOPT_SIMD=0 (or
+/// OverrideSimdEnabled(false)) it times the scalar path. Uses the default
+/// thread pool, so the result is the whole-machine rate at the current
+/// thread count.
+double MeasureLocalGemmFlopRate(int64_t n = 256, int reps = 3);
+
+/// Re-anchors the machine model's kernel constant against the measured
+/// local kernels: returns `cluster` with `flops_per_sec` replaced by
+/// MeasureLocalGemmFlopRate(). The stock profiles keep the paper's
+/// cluster figures for reproducing its experiments; use this when costing
+/// plans for the machine the kernels actually run on (DESIGN.md §13
+/// documents the procedure).
+ClusterConfig CalibrateMachineRate(const ClusterConfig& cluster);
+
 }  // namespace matopt
 
 #endif  // MATOPT_CORE_COST_CALIBRATION_H_

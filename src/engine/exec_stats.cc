@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/units.h"
+#include "la/simd.h"
 
 namespace matopt {
 
@@ -24,6 +25,35 @@ std::string ExecStats::ToString() const {
       << ", net " << FormatBytes(net_bytes) << ", tuples " << tuples
       << ", peak mem/worker " << FormatBytes(peak_worker_mem_bytes);
   if (dist.num_workers > 0) out << "; " << dist.ToString();
+  return out.str();
+}
+
+std::string ExecStats::RooflineString() const {
+  if (kernels.gemm_calls == 0 && kernels.elem_calls == 0) return "";
+  std::ostringstream out;
+  out << "local kernel roofline (" << SimdIsaName() << " path on "
+      << kernels.gemm_simd_calls + kernels.elem_simd_calls << "/"
+      << kernels.gemm_calls + kernels.elem_calls << " calls):\n";
+  if (kernels.gemm_calls > 0) {
+    out << "  gemm: " << FormatFlops(kernels.gemm_flops) << " over "
+        << FormatBytes(kernels.gemm_bytes) << " ("
+        << FormatIntensity(kernels.gemm_flops /
+                           std::max(1.0, kernels.gemm_bytes))
+        << ")";
+    if (kernels.gemm_seconds > 0.0) {
+      out << ", achieved "
+          << FormatFlopRate(kernels.gemm_flops / kernels.gemm_seconds)
+          << " in " << kernels.gemm_calls << " calls";
+    }
+    out << "\n";
+  }
+  if (kernels.elem_calls > 0) {
+    out << "  elementwise: " << FormatFlops(kernels.elem_flops) << " over "
+        << FormatBytes(kernels.elem_bytes) << " ("
+        << FormatIntensity(kernels.elem_flops /
+                           std::max(1.0, kernels.elem_bytes))
+        << "), " << kernels.elem_calls << " calls\n";
+  }
   return out.str();
 }
 
@@ -129,7 +159,10 @@ Status StageAccountant::Commit() {
   stats_->flops += total_flops;
   stats_->net_bytes += total_net;
   stats_->tuples += tuples_;
-  stats_->stages.push_back({label_, seconds});
+  ExecStats::StageRecord record;
+  record.label = label_;
+  record.seconds = seconds;
+  stats_->stages.push_back(std::move(record));
 
   for (int w = 0; w < cluster_.num_workers; ++w) {
     double ram = mem_[w] + work_mem_[w];

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "engine/cluster.h"
+#include "la/kernel_stats.h"
 
 namespace matopt {
 
@@ -93,13 +94,29 @@ struct ExecStats {
   struct StageRecord {
     std::string label;
     double seconds = 0.0;
+    /// Measured local-kernel activity while this stage executed (data
+    /// mode only; all-zero in dry runs). Flop/byte tallies are
+    /// shape-derived and deterministic; kernel_seconds is wall-clock
+    /// (observability only, like the pool counters).
+    double kernel_flops = 0.0;
+    double kernel_bytes = 0.0;
+    double kernel_seconds = 0.0;
   };
   std::vector<StageRecord> stages;
+
+  /// Measured local-kernel totals over the whole execution (roofline
+  /// accounting, DESIGN.md §13). All-zero for dry runs.
+  KernelCounters kernels;
 
   /// Distributed-runtime measurements; default-empty for single-node runs.
   DistStats dist;
 
   std::string ToString() const;
+
+  /// Human-readable roofline view of `kernels`: arithmetic intensity and
+  /// achieved FLOPS of the GEMM and element-wise paths. Empty when no
+  /// kernel activity was recorded (e.g. dry runs).
+  std::string RooflineString() const;
 };
 
 /// Accounts one relational operator stage: per-worker compute, network,

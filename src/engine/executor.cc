@@ -1197,14 +1197,22 @@ Result<ExecResult> PlanExecutor::Execute(
   // one is configured (DESIGN.md §12); its sim pass re-enters this
   // function with dist_workers off. Dry inputs stay on the single-node
   // path: there are no payloads to move.
+  // Kernel counters are process-global, like the pool counters: the
+  // whole-run delta is the roofline rollup (flop/byte tallies are
+  // deterministic, seconds are observability only).
+  const KernelCounters kernels_run_before = KernelCountersSnapshot();
   if (dist_workers_ > 0 && !inputs.empty()) {
     bool all_data = true;
     for (const auto& [v, rel] : inputs) all_data = all_data && rel.has_data;
     if (all_data) {
-      return dist::ExecuteDistributedPlan(catalog_, cluster_, graph,
-                                          annotation, std::move(inputs),
-                                          dist_workers_, transport_,
-                                          zero_copy_);
+      Result<ExecResult> dist_result = dist::ExecuteDistributedPlan(
+          catalog_, cluster_, graph, annotation, std::move(inputs),
+          dist_workers_, transport_, zero_copy_);
+      if (dist_result.ok()) {
+        dist_result.value().stats.kernels =
+            KernelCountersDelta(kernels_run_before, KernelCountersSnapshot());
+      }
+      return dist_result;
     }
   }
   // Pre-flight: the full plan-analysis pipeline replaces the old bare
@@ -1318,6 +1326,18 @@ Result<ExecResult> PlanExecutor::Execute(
       continue;
     }
 
+    // Attributes the local-kernel activity since `before` to the most
+    // recently appended stage record (the call that just committed it).
+    auto attach_kernels = [&result](const KernelCounters& before) {
+      const KernelCounters delta =
+          KernelCountersDelta(before, KernelCountersSnapshot());
+      if (result.stats.stages.empty()) return;
+      ExecStats::StageRecord& rec = result.stats.stages.back();
+      rec.kernel_flops += delta.gemm_flops + delta.elem_flops;
+      rec.kernel_bytes += delta.gemm_bytes + delta.elem_bytes;
+      rec.kernel_seconds += delta.gemm_seconds;
+    };
+
     // Apply per-edge transformations, then the implementation. An
     // argument is handed over as owned when the plan proves its producer
     // dead after this edge: transformed copies always (they die right
@@ -1329,9 +1349,11 @@ Result<ExecResult> PlanExecutor::Execute(
       Relation& src = live.at(vx.inputs[j]);
       const EdgeAnnotation& e = va.input_edges[j];
       if (e.transform.has_value()) {
+        const KernelCounters kernels_before = KernelCountersSnapshot();
         MATOPT_ASSIGN_OR_RETURN(
             transformed[j], ExecuteTransform(catalog_, *e.transform, src,
                                              cluster_, &result.stats));
+        attach_kernels(kernels_before);
         track(transformed[j], +1.0);
         arg_inputs[j].rel = &transformed[j];
         if (zero_copy_) arg_inputs[j].owned = &transformed[j];
@@ -1355,10 +1377,12 @@ Result<ExecResult> PlanExecutor::Execute(
       opts.passthrough_arg = pit->second;
     }
     MATOPT_RETURN_IF_ERROR(check_disk());
+    const KernelCounters kernels_before = KernelCountersSnapshot();
     MATOPT_ASSIGN_OR_RETURN(
         Relation out,
         ExecuteImpl(catalog_, va.impl, va.output_format, arg_inputs, vx,
                     cluster_, &result.stats, opts));
+    attach_kernels(kernels_before);
     track(out, +1.0);
     MATOPT_RETURN_IF_ERROR(check_disk());
     live[v] = std::move(out);
@@ -1390,6 +1414,8 @@ Result<ExecResult> PlanExecutor::Execute(
   result.stats.memory.pool_misses = pool_after.misses - pool_before.misses;
   result.stats.memory.pool_bytes_recycled =
       pool_after.bytes_recycled - pool_before.bytes_recycled;
+  result.stats.kernels =
+      KernelCountersDelta(kernels_run_before, KernelCountersSnapshot());
   return result;
 }
 

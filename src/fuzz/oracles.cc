@@ -12,6 +12,7 @@
 #include "engine/executor.h"
 #include "engine/relation.h"
 #include "fuzz/reference.h"
+#include "la/simd.h"
 
 namespace matopt::fuzz {
 
@@ -26,6 +27,7 @@ class GlobalStateGuard {
   ~GlobalStateGuard() {
     ThreadPool::SetDefaultThreads(saved_threads_);
     BufferPool::ClearEnabledOverride();
+    ClearSimdOverride();
   }
   GlobalStateGuard(const GlobalStateGuard&) = delete;
   GlobalStateGuard& operator=(const GlobalStateGuard&) = delete;
@@ -82,6 +84,7 @@ struct RunConfig {
   bool zero_copy = true;
   bool pool = true;
   int dist_workers = 0;  // 0 = single-node path
+  bool simd = true;      // false forces the scalar kernel path
 };
 
 struct RunOutput {
@@ -96,6 +99,11 @@ Result<RunOutput> RunPlan(const FuzzProgram& program,
                           const RunConfig& config) {
   ThreadPool::SetDefaultThreads(config.threads);
   BufferPool::OverrideEnabled(config.pool);
+  if (config.simd) {
+    ClearSimdOverride();  // environment/default-driven, like the baseline
+  } else {
+    OverrideSimdEnabled(false);
+  }
   PlanExecutor executor(catalog, cluster);
   executor.set_zero_copy(config.zero_copy);
   // Always pin the worker count so a MATOPT_WORKERS environment override
@@ -279,11 +287,19 @@ OracleReport RunOracles(const FuzzProgram& program, const Catalog& catalog,
 
   // --- 4. Determinism contracts -------------------------------------------
   if (options.check_determinism) {
-    const RunConfig variants[] = {
+    std::vector<RunConfig> variants = {
         {"one_thread", 1, true, true},
         {"zero_copy_off", options.threads, false, true},
         {"pool_off", options.threads, true, false},
     };
+    // Kernel-dispatch boundary: forcing the scalar kernels must reproduce
+    // the (default, possibly vectorized) baseline bit-for-bit. Skipped
+    // when no SIMD path exists — the A/B would compare scalar to scalar.
+    if (SimdCompiled() && SimdSupportedByCpu()) {
+      variants.push_back(
+          {"simd_off", options.threads, true, true, /*dist_workers=*/0,
+           /*simd=*/false});
+    }
     for (const RunConfig& config : variants) {
       auto variant = RunPlan(program, annotation, catalog, cluster,
                              relations.value(), config);

@@ -46,7 +46,8 @@ struct OracleOptions {
   bool check_tree_dp = true;
   bool check_brute_force = true;
   bool check_reference = true;
-  bool check_determinism = true;  // 1 thread / zero-copy off / pool off
+  // 1 thread / zero-copy off / pool off / simd off (scalar kernels)
+  bool check_determinism = true;
   bool check_dry_run = true;
 
   /// Distributed-vs-local oracle: re-run the plan on the sharded

@@ -1,0 +1,57 @@
+#ifndef MATOPT_LA_KERNEL_GRAIN_H_
+#define MATOPT_LA_KERNEL_GRAIN_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace matopt {
+
+/// ParallelFor grain policy for the LA kernels. Every grain depends only
+/// on the problem shape — never on the pool size — so chunk boundaries,
+/// and therefore per-chunk accumulation, are identical at every thread
+/// count (the determinism contract of common/thread_pool.h).
+
+/// Work (flops or entries) below which a kernel stays on the calling
+/// thread; above it the default pool partitions the output.
+inline constexpr int64_t kParallelFlopThreshold = 1 << 18;
+inline constexpr int64_t kElemGrain = 1 << 15;
+
+/// Upper bound on the number of row chunks one kernel fans out. Each
+/// chunk costs a pool dispatch (atomic claim + closure call); past a few
+/// hundred chunks more parallelism is noise and the dispatch overhead is
+/// measurable on wide matrices whose per-row grain collapses to 1.
+inline constexpr int64_t kMaxRowChunks = 256;
+
+/// Row block height of the cache-blocked GEMM: chunks are aligned to it
+/// so no thread's range splits a packed A block.
+inline constexpr int64_t kGemmRowBlock = 96;
+
+/// Grain for partitioning `rows` row-units of `cols` elements each, so one
+/// chunk carries ~kElemGrain entries but no more than kMaxRowChunks chunks
+/// are created. Depends only on the shape.
+inline int64_t RowGrain(int64_t rows, int64_t cols) {
+  int64_t grain = std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, cols));
+  // Wide matrices (cols >= kElemGrain) used to degenerate to one chunk
+  // per row; cap the fan-out so tall inputs don't pay rows/1 dispatches.
+  int64_t min_grain = (rows + kMaxRowChunks - 1) / kMaxRowChunks;
+  return std::max(grain, min_grain);
+}
+
+/// Grain for partitioning the m output rows of an m x k * k x n GEMM.
+/// One chunk carries at least ~kParallelFlopThreshold/4 flops — and at
+/// least a whole kGemmRowBlock, since the blocked kernel packs and
+/// processes A in kGemmRowBlock-row blocks and a finer grain would make
+/// every chunk re-pack a partial block. The seed policy derived the grain
+/// from flops alone, which over-partitioned small-N tall matmuls (m huge,
+/// n small => tiny per-row flops => grain of a few rows => tens of
+/// thousands of dispatches).
+inline int64_t GemmRowGrain(int64_t m, int64_t k, int64_t n) {
+  int64_t flop_grain = std::max<int64_t>(
+      1, kParallelFlopThreshold / std::max<int64_t>(1, 8 * k * n));
+  int64_t min_grain = (m + kMaxRowChunks - 1) / kMaxRowChunks;
+  return std::max({flop_grain, min_grain, kGemmRowBlock});
+}
+
+}  // namespace matopt
+
+#endif  // MATOPT_LA_KERNEL_GRAIN_H_

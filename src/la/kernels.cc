@@ -4,7 +4,12 @@
 #include <atomic>
 #include <cmath>
 
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "la/kernel_grain.h"
+#include "la/kernel_stats.h"
+#include "la/kernels_simd.h"
+#include "la/simd.h"
 
 namespace matopt {
 
@@ -25,41 +30,17 @@ double KernelFaultDelta() {
 
 namespace {
 
-/// Work (flops or entries) below which a kernel stays on the calling
-/// thread; above it the default pool partitions the output. Partitioning
-/// is always by disjoint output rows/entries with a grain derived only
-/// from the problem shape, so results are bit-identical at every thread
-/// count.
-constexpr int64_t kParallelFlopThreshold = 1 << 18;
-constexpr int64_t kElemGrain = 1 << 15;
+// Grain policy (kParallelFlopThreshold, kElemGrain, RowGrain, GemmRowGrain)
+// lives in la/kernel_grain.h; every grain depends only on the shape, so
+// partitioning is bit-identical at every thread count.
 
-/// Rows of B kept hot per pass of the blocked Gemm inner loops.
+/// Rows of B kept hot per pass of the scalar blocked Gemm inner loops.
 constexpr int64_t kGemmKBlock = 256;
 
-/// Grain for partitioning `rows` row-units of `cols` elements each, so one
-/// chunk carries ~kElemGrain entries. Depends only on the shape.
-int64_t RowGrain(int64_t rows, int64_t cols) {
-  (void)rows;
-  return std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, cols));
-}
-
-template <typename F>
-void ZipWithInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out,
-                 F f) {
-  const double* pa = a.data();
-  const double* pb = b.data();
-  double* po = out->data();
-  ParallelFor(0, a.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) po[i] = f(pa[i], pb[i]);
-  });
-}
-
-template <typename F>
-DenseMatrix ZipWith(const DenseMatrix& a, const DenseMatrix& b, F f) {
-  DenseMatrix out = DenseMatrix::Pooled(a.rows(), a.cols());
-  ZipWithInto(a, b, &out, f);
-  return out;
-}
+/// Below this flop count the blocked SIMD GEMM's packing overhead is not
+/// worth it and the scalar kernel runs; both paths are bit-identical, so
+/// the threshold is a pure performance knob.
+constexpr int64_t kSimdGemmMinFlops = 1 << 14;
 
 template <typename F>
 void MapWithInto(const DenseMatrix& a, DenseMatrix* out, F f) {
@@ -105,8 +86,15 @@ void GemmAccumulateRows(const DenseMatrix& a, const DenseMatrix& b, Out* c,
   }
 }
 
+inline double* OutData(DenseMatrix* c) { return c->data(); }
+inline int64_t OutStride(const DenseMatrix* c) { return c->cols(); }
+inline double* OutData(DenseBlockView* c) { return c->data; }
+inline int64_t OutStride(const DenseBlockView* c) { return c->stride; }
+
+/// Returns true when the vectorized blocked path ran (for the roofline
+/// counters); either path writes bit-identical output.
 template <typename Out>
-void GemmAccumulateImpl(const DenseMatrix& a, const DenseMatrix& b, Out* c) {
+bool GemmAccumulateImpl(const DenseMatrix& a, const DenseMatrix& b, Out* c) {
   const int64_t m = a.rows();
   const int64_t k = a.cols();
   const int64_t n = b.cols();
@@ -128,6 +116,15 @@ void GemmAccumulateImpl(const DenseMatrix& a, const DenseMatrix& b, Out* c) {
     skip_zeros = zeros * 8 > samples * 7;  // > 87.5% zeros
   }
 
+  // Mostly-dense, wide-enough problems go to the cache-blocked AVX2
+  // microkernels; the zero-skip path keeps its scalar branchy loop (the
+  // skip destroys the dense column streams the microkernel relies on).
+  if (!skip_zeros && m > 0 && n >= 8 && flops >= kSimdGemmMinFlops &&
+      SimdEnabled()) {
+    simdk::GemmAccumulateBlocked(a, b, OutData(c), OutStride(c));
+    return true;
+  }
+
   auto run_rows = [&](int64_t r0, int64_t r1) {
     if (skip_zeros) {
       GemmAccumulateRows<true>(a, b, c, r0, r1);
@@ -137,27 +134,41 @@ void GemmAccumulateImpl(const DenseMatrix& a, const DenseMatrix& b, Out* c) {
   };
   if (flops < kParallelFlopThreshold) {
     run_rows(0, m);
-    return;
+    return false;
   }
-  // Grain: enough rows that one chunk carries ~kParallelFlopThreshold/4
-  // flops; depends only on the shapes, never on the pool size.
-  int64_t grain = std::max<int64_t>(
-      1, kParallelFlopThreshold / std::max<int64_t>(1, 8 * k * n));
-  ParallelFor(0, m, grain, run_rows);
+  ParallelFor(0, m, GemmRowGrain(m, k, n), run_rows);
+  return false;
+}
+
+/// Shape-derived roofline tally shared by the GemmAccumulate overloads:
+/// 2mkn useful flops, cold-operand traffic of A + B reads and a C
+/// read+write (the accumulate), and the wall-clock the call took.
+void CountGemm(const DenseMatrix& a, const DenseMatrix& b, double seconds,
+               bool simd) {
+  const double m = static_cast<double>(a.rows());
+  const double k = static_cast<double>(a.cols());
+  const double n = static_cast<double>(b.cols());
+  kernel_stats_internal::AddGemm(2.0 * m * k * n,
+                                 8.0 * (m * k + k * n + 2.0 * m * n), seconds,
+                                 simd);
 }
 
 }  // namespace
 
 void GemmAccumulate(const DenseMatrix& a, const DenseMatrix& b,
                     DenseMatrix* c) {
-  GemmAccumulateImpl(a, b, c);
+  Stopwatch sw;
+  const bool simd = GemmAccumulateImpl(a, b, c);
+  CountGemm(a, b, sw.ElapsedSeconds(), simd);
   const double fault = KernelFaultDelta();
   if (fault != 0.0 && a.rows() > 0 && b.cols() > 0) c->row(0)[0] += fault;
 }
 
 void GemmAccumulate(const DenseMatrix& a, const DenseMatrix& b,
                     DenseBlockView c) {
-  GemmAccumulateImpl(a, b, &c);
+  Stopwatch sw;
+  const bool simd = GemmAccumulateImpl(a, b, &c);
+  CountGemm(a, b, sw.ElapsedSeconds(), simd);
   const double fault = KernelFaultDelta();
   if (fault != 0.0 && a.rows() > 0 && b.cols() > 0) c.row(0)[0] += fault;
 }
@@ -181,65 +192,127 @@ constexpr auto kReluOp = [](double x) { return x > 0.0 ? x : 0.0; };
 constexpr auto kSigmoidOp = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
 constexpr auto kExpOp = [](double x) { return std::exp(x); };
 
+/// Element-wise zip with SIMD dispatch: identical ParallelFor chunking on
+/// both paths, and every vector op is IEEE-exact per element, so the two
+/// paths are bit-identical. Tallies one flop and three streamed doubles
+/// per element for the roofline counters.
+template <typename F>
+void ZipDispatch(simdk::ZipKind kind, const DenseMatrix& a,
+                 const DenseMatrix& b, DenseMatrix* out, F f) {
+  const bool simd = SimdEnabled();
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out->data();
+  ParallelFor(0, a.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    if (simd) {
+      simdk::ZipRange(kind, pa + i0, pb + i0, po + i0, i1 - i0);
+    } else {
+      for (int64_t i = i0; i < i1; ++i) po[i] = f(pa[i], pb[i]);
+    }
+  });
+  kernel_stats_internal::AddElem(static_cast<double>(a.size()),
+                                 24.0 * static_cast<double>(a.size()), simd);
+}
+
+/// Element-wise map with SIMD dispatch; `s` is the kScalarMul scalar
+/// (ignored by kRelu).
+template <typename F>
+void MapDispatch(simdk::MapKind kind, const DenseMatrix& a, double s,
+                 DenseMatrix* out, F f) {
+  const bool simd = SimdEnabled();
+  const double* pa = a.data();
+  double* po = out->data();
+  ParallelFor(0, a.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    if (simd) {
+      simdk::MapRange(kind, pa + i0, s, po + i0, i1 - i0);
+    } else {
+      for (int64_t i = i0; i < i1; ++i) po[i] = f(pa[i]);
+    }
+  });
+  kernel_stats_internal::AddElem(static_cast<double>(a.size()),
+                                 16.0 * static_cast<double>(a.size()), simd);
+}
+
+/// Roofline tally for the kernels that stay scalar (transcendental maps,
+/// reductions): flops are approximate "one per element per op" counts.
+void CountScalarElem(double flops, double bytes) {
+  kernel_stats_internal::AddElem(flops, bytes, /*simd=*/false);
+}
+
 }  // namespace
 
 DenseMatrix Add(const DenseMatrix& a, const DenseMatrix& b) {
-  return ZipWith(a, b, kAddOp);
+  DenseMatrix out = DenseMatrix::Pooled(a.rows(), a.cols());
+  AddInto(a, b, &out);
+  return out;
 }
 
 DenseMatrix Sub(const DenseMatrix& a, const DenseMatrix& b) {
-  return ZipWith(a, b, kSubOp);
+  DenseMatrix out = DenseMatrix::Pooled(a.rows(), a.cols());
+  SubInto(a, b, &out);
+  return out;
 }
 
 DenseMatrix Hadamard(const DenseMatrix& a, const DenseMatrix& b) {
-  return ZipWith(a, b, kMulOp);
+  DenseMatrix out = DenseMatrix::Pooled(a.rows(), a.cols());
+  HadamardInto(a, b, &out);
+  return out;
 }
 
 DenseMatrix ElemDiv(const DenseMatrix& a, const DenseMatrix& b) {
-  return ZipWith(a, b, kDivOp);
+  DenseMatrix out = DenseMatrix::Pooled(a.rows(), a.cols());
+  ElemDivInto(a, b, &out);
+  return out;
 }
 
 DenseMatrix ScalarMul(const DenseMatrix& a, double s) {
-  return MapWith(a, [s](double x) { return s * x; });
+  DenseMatrix out = DenseMatrix::Pooled(a.rows(), a.cols());
+  ScalarMulInto(a, s, &out);
+  return out;
 }
 
 void AddInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out) {
-  ZipWithInto(a, b, out, kAddOp);
+  ZipDispatch(simdk::ZipKind::kAdd, a, b, out, kAddOp);
 }
 
 void SubInto(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* out) {
-  ZipWithInto(a, b, out, kSubOp);
+  ZipDispatch(simdk::ZipKind::kSub, a, b, out, kSubOp);
 }
 
 void HadamardInto(const DenseMatrix& a, const DenseMatrix& b,
                   DenseMatrix* out) {
-  ZipWithInto(a, b, out, kMulOp);
+  ZipDispatch(simdk::ZipKind::kMul, a, b, out, kMulOp);
 }
 
 void ElemDivInto(const DenseMatrix& a, const DenseMatrix& b,
                  DenseMatrix* out) {
-  ZipWithInto(a, b, out, kDivOp);
+  ZipDispatch(simdk::ZipKind::kDiv, a, b, out, kDivOp);
 }
 
 void ReluGradInto(const DenseMatrix& z, const DenseMatrix& upstream,
                   DenseMatrix* out) {
-  ZipWithInto(upstream, z, out, kReluGradOp);
+  ZipDispatch(simdk::ZipKind::kReluGrad, upstream, z, out, kReluGradOp);
 }
 
 void ScalarMulInto(const DenseMatrix& a, double s, DenseMatrix* out) {
-  MapWithInto(a, out, [s](double x) { return s * x; });
+  MapDispatch(simdk::MapKind::kScalarMul, a, s, out,
+              [s](double x) { return x * s; });
 }
 
 void ReluInto(const DenseMatrix& a, DenseMatrix* out) {
-  MapWithInto(a, out, kReluOp);
+  MapDispatch(simdk::MapKind::kRelu, a, 0.0, out, kReluOp);
 }
 
 void SigmoidInto(const DenseMatrix& a, DenseMatrix* out) {
   MapWithInto(a, out, kSigmoidOp);
+  CountScalarElem(static_cast<double>(a.size()),
+                  16.0 * static_cast<double>(a.size()));
 }
 
 void ExpInto(const DenseMatrix& a, DenseMatrix* out) {
   MapWithInto(a, out, kExpOp);
+  CountScalarElem(static_cast<double>(a.size()),
+                  16.0 * static_cast<double>(a.size()));
 }
 
 DenseMatrix Transpose(const DenseMatrix& a) {
@@ -272,10 +345,16 @@ DenseMatrix Transpose(const DenseMatrix& a) {
   return out;
 }
 
-DenseMatrix Relu(const DenseMatrix& a) { return MapWith(a, kReluOp); }
+DenseMatrix Relu(const DenseMatrix& a) {
+  DenseMatrix out = DenseMatrix::Pooled(a.rows(), a.cols());
+  ReluInto(a, &out);
+  return out;
+}
 
 DenseMatrix ReluGrad(const DenseMatrix& z, const DenseMatrix& upstream) {
-  return ZipWith(upstream, z, kReluGradOp);
+  DenseMatrix out = DenseMatrix::Pooled(z.rows(), z.cols());
+  ReluGradInto(z, upstream, &out);
+  return out;
 }
 
 void SoftmaxInto(const DenseMatrix& a, DenseMatrix* out) {
@@ -294,6 +373,8 @@ void SoftmaxInto(const DenseMatrix& a, DenseMatrix* out) {
       for (int64_t c = 0; c < cols; ++c) o[c] /= sum;
     }
   });
+  CountScalarElem(4.0 * static_cast<double>(a.size()),
+                  16.0 * static_cast<double>(a.size()));
 }
 
 DenseMatrix Softmax(const DenseMatrix& a) {
@@ -318,6 +399,8 @@ DenseMatrix RowSum(const DenseMatrix& a) {
       out(r, 0) = s;
     }
   });
+  CountScalarElem(static_cast<double>(a.size()),
+                  8.0 * static_cast<double>(a.size()));
   return out;
 }
 
@@ -334,6 +417,8 @@ DenseMatrix ColSum(const DenseMatrix& a) {
       for (int64_t c = c0; c < c1; ++c) o[c] += in[c];
     }
   });
+  CountScalarElem(static_cast<double>(a.size()),
+                  8.0 * static_cast<double>(a.size()));
   return out;
 }
 
@@ -341,14 +426,21 @@ void BroadcastRowAddInto(const DenseMatrix& a, const DenseMatrix& vec,
                          DenseMatrix* out) {
   const int64_t cols = a.cols();
   const double* v = vec.row(0);
+  const bool simd = SimdEnabled();
   ParallelFor(0, a.rows(), RowGrain(a.rows(), cols),
               [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       const double* in = a.row(r);
       double* o = out->row(r);
-      for (int64_t c = 0; c < cols; ++c) o[c] = in[c] + v[c];
+      if (simd) {
+        simdk::BiasRowRange(in, v, o, cols, /*relu=*/false);
+      } else {
+        for (int64_t c = 0; c < cols; ++c) o[c] = in[c] + v[c];
+      }
     }
   });
+  kernel_stats_internal::AddElem(static_cast<double>(a.size()),
+                                 16.0 * static_cast<double>(a.size()), simd);
 }
 
 DenseMatrix BroadcastRowAdd(const DenseMatrix& a, const DenseMatrix& vec) {
@@ -361,17 +453,24 @@ void BiasReluInto(const DenseMatrix& a, const DenseMatrix& vec,
                   DenseMatrix* out) {
   const int64_t cols = a.cols();
   const double* v = vec.row(0);
+  const bool simd = SimdEnabled();
   ParallelFor(0, a.rows(), RowGrain(a.rows(), cols),
               [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       const double* in = a.row(r);
       double* o = out->row(r);
-      for (int64_t c = 0; c < cols; ++c) {
-        const double s = in[c] + v[c];
-        o[c] = s > 0.0 ? s : 0.0;
+      if (simd) {
+        simdk::BiasRowRange(in, v, o, cols, /*relu=*/true);
+      } else {
+        for (int64_t c = 0; c < cols; ++c) {
+          const double s = in[c] + v[c];
+          o[c] = s > 0.0 ? s : 0.0;
+        }
       }
     }
   });
+  kernel_stats_internal::AddElem(2.0 * static_cast<double>(a.size()),
+                                 16.0 * static_cast<double>(a.size()), simd);
 }
 
 DenseMatrix BiasRelu(const DenseMatrix& a, const DenseMatrix& vec) {
@@ -389,7 +488,13 @@ void ReluGradHadamardInto(const DenseMatrix& z, const DenseMatrix& upstream,
   double* pr = out->data();
   // t is materialized before the multiply so signed zeros and NaNs
   // propagate exactly as in the unfused Hadamard(ReluGrad(...), other).
-  if (other_is_lhs) {
+  const bool simd = SimdEnabled();
+  if (simd) {
+    ParallelFor(0, z.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
+      simdk::ReluGradHadamardRange(pz + i0, pu + i0, po + i0, pr + i0,
+                                   i1 - i0, other_is_lhs);
+    });
+  } else if (other_is_lhs) {
     ParallelFor(0, z.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
       for (int64_t i = i0; i < i1; ++i) {
         const double t = pz[i] > 0.0 ? pu[i] : 0.0;
@@ -404,6 +509,8 @@ void ReluGradHadamardInto(const DenseMatrix& z, const DenseMatrix& upstream,
       }
     });
   }
+  kernel_stats_internal::AddElem(2.0 * static_cast<double>(z.size()),
+                                 32.0 * static_cast<double>(z.size()), simd);
 }
 
 DenseMatrix ReluGradHadamard(const DenseMatrix& z, const DenseMatrix& upstream,

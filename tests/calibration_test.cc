@@ -1,6 +1,9 @@
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "core/cost/calibration.h"
+#include "la/simd.h"
 
 namespace matopt {
 namespace {
@@ -61,6 +64,34 @@ TEST_F(CalibrationTest, FallsBackToAnalyticWeightsWithFewSamples) {
     EXPECT_EQ(fitted.weights(static_cast<ImplClass>(c)),
               analytic.weights(static_cast<ImplClass>(c)));
   }
+}
+
+TEST_F(CalibrationTest, MeasuredGemmRateAnchorsMachineModel) {
+  const double rate = MeasureLocalGemmFlopRate(/*n=*/160, /*reps=*/2);
+  EXPECT_TRUE(std::isfinite(rate));
+  EXPECT_GT(rate, 0.0);
+  ClusterConfig calibrated = CalibrateMachineRate(cluster_);
+  EXPECT_GT(calibrated.flops_per_sec, 0.0);
+  // Only the kernel constant is re-anchored; the cluster shape and the
+  // relational-engine constants stay the paper's figures.
+  EXPECT_EQ(calibrated.num_workers, cluster_.num_workers);
+  EXPECT_DOUBLE_EQ(calibrated.net_bytes_per_sec, cluster_.net_bytes_per_sec);
+  EXPECT_DOUBLE_EQ(calibrated.per_op_latency_sec, cluster_.per_op_latency_sec);
+}
+
+TEST_F(CalibrationTest, SimdKernelRateAtLeastScalar) {
+  if (!SimdCompiled() || !SimdSupportedByCpu()) {
+    GTEST_SKIP() << "no SIMD path in this build/CPU";
+  }
+  OverrideSimdEnabled(false);
+  const double scalar = MeasureLocalGemmFlopRate(/*n=*/192, /*reps=*/3);
+  OverrideSimdEnabled(true);
+  const double simd = MeasureLocalGemmFlopRate(/*n=*/192, /*reps=*/3);
+  ClearSimdOverride();
+  // The blocked kernel measures ~4x scalar on AVX2; >= leaves plenty of
+  // headroom against timer noise while still catching a path that
+  // silently regressed below the scalar fallback.
+  EXPECT_GE(simd, scalar);
 }
 
 }  // namespace
