@@ -1,0 +1,311 @@
+#include "analysis/dataflow.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "dist/partition.h"
+#include "dist/routing.h"
+#include "engine/relation.h"
+
+namespace matopt {
+
+DataflowResult RunSparsityDataflow(
+    const ComputeGraph& graph, const std::unordered_map<int, double>* seeds) {
+  DataflowResult result;
+  result.vertex_sparsity.resize(graph.num_vertices());
+  auto clamp01 = [](double s) { return std::max(0.0, std::min(1.0, s)); };
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    const Vertex& vx = graph.vertex(v);
+    if (seeds != nullptr) {
+      auto it = seeds->find(v);
+      if (it != seeds->end()) {
+        result.vertex_sparsity[v] = SparsityInterval::Point(clamp01(it->second));
+        continue;
+      }
+    }
+    if (vx.op == OpKind::kInput) {
+      result.vertex_sparsity[v] = SparsityInterval::Point(clamp01(vx.sparsity));
+      continue;
+    }
+    std::vector<SparsityInterval> in;
+    std::vector<MatrixType> in_types;
+    in.reserve(vx.inputs.size());
+    in_types.reserve(vx.inputs.size());
+    for (int u : vx.inputs) {
+      in.push_back(result.vertex_sparsity[u]);
+      in_types.push_back(graph.vertex(u).type);
+    }
+    result.vertex_sparsity[v] =
+        TransferSparsity(vx.op, vx.scalar, in, in_types, vx.type);
+  }
+  return result;
+}
+
+namespace {
+
+/// A dry relation (metadata grid) paired with the sound density interval
+/// of the matrix it holds.
+struct BoundRel {
+  Relation rel;
+  SparsityInterval density;
+};
+
+/// max over {0 <= nnz_i <= cap_i, sum nnz_i = total} of sum w_i * nnz_i:
+/// fill the heaviest-weighted tuples first (adversarial skew).
+double MaxWeightedNnz(std::vector<std::pair<double, double>> items,
+                      double total) {
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  double acc = 0.0;
+  for (const auto& [w, cap] : items) {
+    if (total <= 0.0) break;
+    double take = std::min(cap, total);
+    acc += w * take;
+    total -= take;
+  }
+  return acc;
+}
+
+/// min of the same objective: park as many non-zeros as possible in the
+/// lightest-weighted tuples.
+double MinWeightedNnz(std::vector<std::pair<double, double>> items,
+                      double total) {
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  double acc = 0.0;
+  for (const auto& [w, cap] : items) {
+    if (total <= 0.0) break;
+    double take = std::min(cap, total);
+    acc += w * take;
+    total -= take;
+  }
+  return acc;
+}
+
+/// Derives the byte bounds of one routed stage. Dense tuples serialize at
+/// exactly 8 bytes/entry; sparse tuples at 16 bytes/non-zero plus an
+/// 8*rows index. Only the total non-zero count of each argument matrix is
+/// bounded (by its density interval), so every aggregate maximizes /
+/// minimizes over adversarial placements of those non-zeros across chunks.
+StageBounds BoundStage(std::string label, int vertex, int edge_arg,
+                       const std::vector<const BoundRel*>& args,
+                       const dist::StagePlan& plan, int num_workers) {
+  StageBounds b;
+  b.label = std::move(label);
+  b.vertex = vertex;
+  b.edge_arg = edge_arg;
+  b.tuples = plan.tuples;
+  b.args.resize(args.size());
+  // Per-worker remote shuffle inbound accumulators.
+  std::vector<ByteInterval> inbound(num_workers);
+
+  for (size_t j = 0; j < args.size(); ++j) {
+    const Relation& rel = args[j]->rel;
+    const SparsityInterval density = args[j]->density;
+    const dist::StagePlan::Arg& ap = plan.args[j];
+    const bool sparse = ap.sparse_layout;
+    StageBounds::ArgBound& ab = b.args[j];
+    ab.broadcast = ap.broadcast;
+
+    const double e_total =
+        static_cast<double>(rel.type.rows()) * static_cast<double>(rel.type.cols());
+    const double n_lo = density.lo * e_total;
+    const double n_hi = density.hi * e_total;
+
+    double fixed_total = 0.0;     // 8*rows summed over all tuples
+    double dense_total = 0.0;     // 8*entries summed over all tuples
+    double remote_fixed = 0.0;    // 8*rows weighted by remote fanout
+    double remote_dense = 0.0;    // 8*entries weighted by remote fanout
+    std::vector<std::pair<double, double>> remote_items;  // (fanout, entries)
+    remote_items.reserve(rel.tuples.size());
+    std::vector<std::vector<std::pair<double, double>>> worker_items;
+    std::vector<double> worker_fixed(num_workers, 0.0);
+    std::vector<double> worker_dense(num_workers, 0.0);
+    if (!ap.broadcast) worker_items.resize(num_workers);
+
+    for (size_t i = 0; i < rel.tuples.size(); ++i) {
+      const EngineTuple& t = rel.tuples[i];
+      const double entries =
+          static_cast<double>(t.rows) * static_cast<double>(t.cols);
+      const double rows = static_cast<double>(t.rows);
+      const int from = dist::DistWorkerOf(t, num_workers);
+      double fanout = 0.0;
+      for (int to : ap.dests[i]) {
+        if (to == from) continue;
+        fanout += 1.0;
+        if (!ap.broadcast) {
+          worker_fixed[to] += 8.0 * rows;
+          worker_dense[to] += 8.0 * entries;
+          worker_items[to].emplace_back(1.0, entries);
+        }
+      }
+      fixed_total += 8.0 * rows;
+      dense_total += 8.0 * entries;
+      remote_fixed += fanout * 8.0 * rows;
+      remote_dense += fanout * 8.0 * entries;
+      remote_items.emplace_back(fanout, entries);
+
+      // Largest / smallest this tuple can get vs single_tuple_cap_bytes: a
+      // tuple must hold at least the non-zeros that do not fit elsewhere.
+      double t_hi = sparse ? 16.0 * std::min(entries, n_hi) + 8.0 * rows
+                           : 8.0 * entries;
+      double t_lo =
+          sparse ? 16.0 * std::max(0.0, n_lo - (e_total - entries)) + 8.0 * rows
+                 : 8.0 * entries;
+      ab.max_tuple_bytes.hi = std::max(ab.max_tuple_bytes.hi, t_hi);
+      ab.max_tuple_bytes.lo = std::max(ab.max_tuple_bytes.lo, t_lo);
+    }
+
+    ab.total_bytes = sparse
+                         ? ByteInterval{16.0 * n_lo + fixed_total,
+                                        16.0 * n_hi + fixed_total}
+                         : ByteInterval{dense_total, dense_total};
+
+    ByteInterval moved =
+        sparse ? ByteInterval{16.0 * MinWeightedNnz(remote_items, n_lo) +
+                                  remote_fixed,
+                              16.0 * MaxWeightedNnz(remote_items, n_hi) +
+                                  remote_fixed}
+               : ByteInterval{remote_dense, remote_dense};
+    if (ap.broadcast) {
+      b.broadcast_bytes.lo += moved.lo;
+      b.broadcast_bytes.hi += moved.hi;
+    } else {
+      b.shuffle_bytes.lo += moved.lo;
+      b.shuffle_bytes.hi += moved.hi;
+      for (int w = 0; w < num_workers; ++w) {
+        if (sparse) {
+          inbound[w].lo += 16.0 * MinWeightedNnz(worker_items[w], n_lo) +
+                           worker_fixed[w];
+          inbound[w].hi += 16.0 * MaxWeightedNnz(worker_items[w], n_hi) +
+                           worker_fixed[w];
+        } else {
+          inbound[w].lo += worker_dense[w];
+          inbound[w].hi += worker_dense[w];
+        }
+      }
+    }
+  }
+
+  for (const ByteInterval& w : inbound) {
+    b.max_worker_inbound.lo = std::max(b.max_worker_inbound.lo, w.lo);
+    b.max_worker_inbound.hi = std::max(b.max_worker_inbound.hi, w.hi);
+  }
+  return b;
+}
+
+const Format& FormatOf(FormatId id) { return BuiltinFormats()[id]; }
+
+}  // namespace
+
+Result<std::vector<StageBounds>> ComputeDistStageBounds(
+    const Catalog& catalog, const ClusterConfig& cluster,
+    const ComputeGraph& graph, const Annotation& annotation,
+    const DataflowResult& flow, int num_workers,
+    const std::unordered_map<int, double>* input_sparsity) {
+  if (num_workers < 1) {
+    return Status::InvalidArgument("stage bounds need >= 1 worker");
+  }
+  if (static_cast<int>(annotation.vertices.size()) != graph.num_vertices()) {
+    return Status::InvalidArgument(
+        "annotation shape does not match the graph");
+  }
+  std::vector<StageBounds> out;
+  std::unordered_map<int, BoundRel> rels;
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    const Vertex& vx = graph.vertex(v);
+    if (vx.op == OpKind::kInput) {
+      double s = vx.sparsity;
+      if (input_sparsity != nullptr) {
+        auto it = input_sparsity->find(v);
+        if (it != input_sparsity->end()) s = it->second;
+      }
+      rels.emplace(v, BoundRel{MakeDryRelation(vx.type, vx.input_format, s,
+                                               cluster),
+                               flow.at(v)});
+      continue;
+    }
+    const VertexAnnotation& va = annotation.at(v);
+    if (va.input_edges.size() != vx.inputs.size()) {
+      return Status::InvalidArgument("annotation lists wrong edge count at v" +
+                                     std::to_string(v));
+    }
+    for (int u : vx.inputs) {
+      if (u < 0 || u >= v) {
+        return Status::InvalidArgument("graph is not in topological order");
+      }
+    }
+
+    // Per-edge transformations, each its own exchange stage — mirrors
+    // RunTransformStage: same label, same target format, same grid.
+    std::vector<BoundRel> transformed;
+    transformed.reserve(vx.inputs.size());
+    std::vector<const BoundRel*> args;
+    for (size_t j = 0; j < vx.inputs.size(); ++j) {
+      const BoundRel& in = rels.at(vx.inputs[j]);
+      if (!va.input_edges[j].transform.has_value()) {
+        args.push_back(&in);
+        continue;
+      }
+      TransformKind kind = *va.input_edges[j].transform;
+      std::string label = "v" + std::to_string(v) + ".arg" + std::to_string(j) +
+                          ":transform:" + TransformKindName(kind);
+      ArgInfo arg{in.rel.type, in.rel.format, in.rel.sparsity};
+      auto target = catalog.TransformOutputFormat(kind, arg, cluster);
+      if (!target.has_value()) {
+        return Status::TypeError(std::string("transformation ") +
+                                 TransformKindName(kind) +
+                                 " is infeasible for this relation");
+      }
+      const Format& src_fmt = FormatOf(in.rel.format);
+      const Format& dst_fmt = FormatOf(*target);
+      double out_sparsity = dst_fmt.sparse() ? in.rel.sparsity : 1.0;
+      Relation skeleton =
+          MakeDryRelation(in.rel.type, *target, out_sparsity, cluster);
+      dist::OwnerMap owners = dist::MapOwners(skeleton, num_workers);
+      std::vector<dist::KeyFn> keyfns;
+      keyfns.push_back(dist::GridOverlapKeyFn(in.rel.type, src_fmt, dst_fmt));
+      dist::StagePlan plan =
+          dist::RouteStage({&in.rel}, {dist::Route::kIdentity}, keyfns, owners,
+                           num_workers);
+      out.push_back(BoundStage(std::move(label), v, static_cast<int>(j), {&in},
+                               plan, num_workers));
+      // A transformation re-chunks the same matrix values, so the density
+      // interval passes through unchanged.
+      transformed.push_back(BoundRel{std::move(skeleton), in.density});
+      args.push_back(&transformed.back());
+    }
+
+    // The implementation stage, mirroring RunPass's impl skeleton.
+    std::string label =
+        "v" + std::to_string(v) + ":" + ImplKindName(va.impl);
+    double out_sparsity =
+        FormatOf(va.output_format).sparse() ? vx.sparsity : 1.0;
+    Relation skeleton =
+        MakeDryRelation(vx.type, va.output_format, out_sparsity, cluster);
+    dist::OwnerMap owners = dist::MapOwners(skeleton, num_workers);
+    std::vector<dist::Route> routes = dist::RoutesFor(va.impl);
+    if (routes.size() != args.size()) {
+      return Status::InvalidArgument(
+          std::string(ImplKindName(va.impl)) +
+          " has the wrong arity for the op at v" + std::to_string(v));
+    }
+    std::vector<dist::KeyFn> keyfns;
+    keyfns.reserve(routes.size());
+    for (dist::Route r : routes) {
+      keyfns.push_back(dist::KeyFnFor(r, owners.nr, owners.nc));
+    }
+    std::vector<const Relation*> arg_rels;
+    arg_rels.reserve(args.size());
+    for (const BoundRel* a : args) arg_rels.push_back(&a->rel);
+    dist::StagePlan plan =
+        dist::RouteStage(arg_rels, routes, keyfns, owners, num_workers);
+    out.push_back(
+        BoundStage(std::move(label), v, -1, args, plan, num_workers));
+    rels.emplace(v, BoundRel{std::move(skeleton), flow.at(v)});
+  }
+  return out;
+}
+
+}  // namespace matopt

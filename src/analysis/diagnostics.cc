@@ -1,6 +1,9 @@
 #include "analysis/diagnostics.h"
 
+#include <set>
 #include <sstream>
+#include <tuple>
+#include <utility>
 
 namespace matopt {
 
@@ -34,6 +37,9 @@ const char* RuleIdName(RuleId rule) {
     case RuleId::kMO042_BadCost: return "MO042";
     case RuleId::kMO050_NotOptimal: return "MO050";
     case RuleId::kMO051_CheckSkipped: return "MO051";
+    case RuleId::kMO060_DistBudgetExceeded: return "MO060";
+    case RuleId::kMO061_DistBudgetRisk: return "MO061";
+    case RuleId::kMO062_CostEnvelope: return "MO062";
   }
   return "MO???";
 }
@@ -62,7 +68,7 @@ const char* RuleIdDescription(RuleId rule) {
     case RuleId::kMO021_DenseOpSparseOut:
       return "densifying operation annotated with a sparse output format";
     case RuleId::kMO022_SparsityDrift:
-      return "stored sparsity deviates from the propagation estimator";
+      return "stored sparsity lies outside the sound dataflow interval";
     case RuleId::kMO030_DeadVertex:
       return "operation vertex is neither an output nor consumed";
     case RuleId::kMO031_UnusedInput:
@@ -80,6 +86,14 @@ const char* RuleIdDescription(RuleId rule) {
       return "DP plan cost differs from the brute-force optimum";
     case RuleId::kMO051_CheckSkipped:
       return "optimality cross-check skipped (graph too large or timeout)";
+    case RuleId::kMO060_DistBudgetExceeded:
+      return "a dist exchange stage exceeds a cluster budget for every "
+             "data consistent with the sound bounds";
+    case RuleId::kMO061_DistBudgetRisk:
+      return "a dist exchange stage can exceed a cluster budget within the "
+             "sound bounds";
+    case RuleId::kMO062_CostEnvelope:
+      return "planner cost lies outside the bounds-derived cost envelope";
   }
   return "unknown rule";
 }
@@ -95,7 +109,8 @@ std::vector<RuleId> AllRuleIds() {
       RuleId::kMO031_UnusedInput,    RuleId::kMO032_OrderViolation,
       RuleId::kMO040_AnnotationShape, RuleId::kMO041_WrongImpl,
       RuleId::kMO042_BadCost,        RuleId::kMO050_NotOptimal,
-      RuleId::kMO051_CheckSkipped,
+      RuleId::kMO051_CheckSkipped,   RuleId::kMO060_DistBudgetExceeded,
+      RuleId::kMO061_DistBudgetRisk, RuleId::kMO062_CostEnvelope,
   };
 }
 
@@ -141,6 +156,19 @@ int DiagnosticList::CountRule(RuleId rule) const {
     if (d.rule == rule) ++n;
   }
   return n;
+}
+
+void DiagnosticList::Deduplicate() {
+  std::set<std::tuple<int, int, int, std::string>> seen;
+  std::vector<Diagnostic> unique;
+  unique.reserve(diagnostics_.size());
+  for (Diagnostic& d : diagnostics_) {
+    auto key = std::make_tuple(static_cast<int>(d.rule), d.vertex, d.edge_arg,
+                               d.message);
+    if (!seen.insert(std::move(key)).second) continue;
+    unique.push_back(std::move(d));
+  }
+  diagnostics_ = std::move(unique);
 }
 
 Status DiagnosticList::ToStatus() const {

@@ -27,6 +27,7 @@ const char* SeverityName(Severity severity);
 ///   MO03x  graph hygiene                  (GraphHygienePass)
 ///   MO04x  annotation completeness & cost (CompletenessPass)
 ///   MO05x  optimality cross-check         (OptimalityCheckPass)
+///   MO06x  dataflow bounds & pre-flight   (DataflowPass)
 /// Identifiers are append-only: never renumber a shipped rule.
 enum class RuleId {
   kMO001_TypeMismatch = 0,   // re-inferred type differs from Vertex::type
@@ -48,6 +49,9 @@ enum class RuleId {
   kMO042_BadCost,            // NaN / infinite / negative predicted cost
   kMO050_NotOptimal,         // DP plan costs more than brute-force optimum
   kMO051_CheckSkipped,       // cross-check skipped (size / timeout)
+  kMO060_DistBudgetExceeded, // a dist stage definitely breaks a budget
+  kMO061_DistBudgetRisk,     // a dist stage may break a budget (upper bound)
+  kMO062_CostEnvelope,       // planner cost outside the bounds-derived envelope
 };
 
 /// The stable "MOxxx" spelling of a rule id.
@@ -90,6 +94,12 @@ class DiagnosticList {
   bool HasErrors() const { return CountSeverity(Severity::kError) > 0; }
   int CountSeverity(Severity severity) const;
   int CountRule(RuleId rule) const;
+
+  /// Removes later duplicates of the same (rule, vertex, edge_arg, message)
+  /// key, keeping first occurrences in order. Pipelines that run both
+  /// post-parse and post-search would otherwise double-report graph-level
+  /// findings; golden tests rely on the deduplicated counts being stable.
+  void Deduplicate();
 
   /// First error, as a Status suitable for legacy call sites. OK when the
   /// list holds no errors (warnings and notes do not fail a Status).

@@ -1,0 +1,147 @@
+#include "analysis/domains.h"
+
+#include <algorithm>
+
+namespace matopt {
+
+namespace {
+
+double Entries(const MatrixType& t) {
+  return static_cast<double>(t.rows()) * static_cast<double>(t.cols());
+}
+
+/// Converts a non-zero-count interval back to a density interval over a
+/// matrix with `entries` positions, clamping into the representable range.
+SparsityInterval FromNnz(double lo, double hi, double entries) {
+  if (entries <= 0.0) return SparsityInterval::Point(0.0);
+  lo = std::max(0.0, std::min(lo, entries));
+  hi = std::max(0.0, std::min(hi, entries));
+  if (lo > hi) lo = hi;
+  return {lo / entries, hi / entries};
+}
+
+}  // namespace
+
+SparsityInterval TransferSparsity(OpKind op, double scalar,
+                                  const std::vector<SparsityInterval>& in,
+                                  const std::vector<MatrixType>& in_types,
+                                  const MatrixType& out_type) {
+  if (in.size() != in_types.size() ||
+      static_cast<int>(in.size()) != OpArity(op)) {
+    return SparsityInterval::Top();
+  }
+  const double e_out = Entries(out_type);
+  if (e_out <= 0.0) return SparsityInterval::Point(0.0);
+  // Non-zero-count endpoints of each argument.
+  auto nnz_lo = [&](size_t i) { return in[i].lo * Entries(in_types[i]); };
+  auto nnz_hi = [&](size_t i) { return in[i].hi * Entries(in_types[i]); };
+
+  switch (op) {
+    case OpKind::kInput:
+      return SparsityInterval::Top();
+    case OpKind::kMatMul: {
+      // out[i,j] != 0 needs a non-empty row i of A and column j of B, so
+      // the support fits in (non-empty A rows) x (non-empty B cols). Sums
+      // of products may cancel (or every product may vanish), so lo = 0.
+      const double m = static_cast<double>(out_type.rows());
+      const double n = static_cast<double>(out_type.cols());
+      const double hi =
+          std::min(m, nnz_hi(0)) * std::min(n, nnz_hi(1));
+      return FromNnz(0.0, hi, e_out);
+    }
+    case OpKind::kAdd:
+    case OpKind::kSub: {
+      // Positions where exactly one operand is non-zero are non-zero (x+0
+      // = x under IEEE); overlapping positions may cancel.
+      const double lo =
+          std::max({0.0, nnz_lo(0) - nnz_hi(1), nnz_lo(1) - nnz_hi(0)});
+      return FromNnz(lo, nnz_hi(0) + nnz_hi(1), e_out);
+    }
+    case OpKind::kHadamard: {
+      // support(A .* B) is contained in support(A) ∩ support(B); products
+      // of two non-zeros are non-zero up to gradual underflow.
+      const double lo = std::max(0.0, nnz_lo(0) + nnz_lo(1) - e_out);
+      return FromNnz(lo, std::min(nnz_hi(0), nnz_hi(1)), e_out);
+    }
+    case OpKind::kElemDiv: {
+      // A/B is zero exactly when A = 0 and B != 0 (0/0 = NaN and x/0 =
+      // ±inf both count as stored non-zeros).
+      const double e_a = Entries(in_types[0]);
+      const double zeros_hi = std::min(e_a - nnz_lo(0), nnz_hi(1));
+      const double zeros_lo = std::max(0.0, nnz_lo(1) - nnz_hi(0));
+      return FromNnz(e_out - zeros_hi, e_out - zeros_lo, e_out);
+    }
+    case OpKind::kScalarMul:
+      // c * 0 = 0 always; c * x for non-zero x can underflow to 0 (and
+      // with c = 0, c * ±inf is NaN), so only the zeros are guaranteed.
+      if (scalar == 0.0) return FromNnz(0.0, nnz_hi(0), e_out);
+      return FromNnz(nnz_lo(0), nnz_hi(0), e_out);
+    case OpKind::kTranspose:
+      return FromNnz(nnz_lo(0), nnz_hi(0), e_out);
+    case OpKind::kRelu:
+      // relu(0) = 0, so zeros survive; positives may all be clipped.
+      return FromNnz(0.0, nnz_hi(0), e_out);
+    case OpKind::kReluGrad:
+      // g masked by z > 0: zero wherever z = 0 or g = 0.
+      return FromNnz(0.0, std::min(nnz_hi(0), nnz_hi(1)), e_out);
+    case OpKind::kSoftmax:
+    case OpKind::kSigmoid:
+    case OpKind::kExp:
+    case OpKind::kInverse:
+      // Densifying in real arithmetic, but IEEE underflow can still emit
+      // exact zeros (exp(-746) == 0, sigmoid(-800) == 0), so lo stays 0.
+      return SparsityInterval::Top();
+    case OpKind::kRowSum: {
+      // A row sum is non-zero only if the row is non-empty; non-empty
+      // rows may still cancel to zero.
+      const double m = static_cast<double>(out_type.rows());
+      return FromNnz(0.0, std::min(m, nnz_hi(0)), e_out);
+    }
+    case OpKind::kColSum: {
+      const double n = static_cast<double>(out_type.cols());
+      return FromNnz(0.0, std::min(n, nnz_hi(0)), e_out);
+    }
+    case OpKind::kBroadcastRowAdd: {
+      // A[i,j] + b[j]: exactly-one-non-zero positions survive; positions
+      // where both are non-zero may cancel. b[j] != 0 touches a whole
+      // column (rows many positions).
+      const double m = static_cast<double>(out_type.rows());
+      const double b_lo = m * nnz_lo(1);
+      const double b_hi = m * nnz_hi(1);
+      const double lo = std::max({0.0, nnz_lo(0) - b_hi, b_lo - nnz_hi(0)});
+      return FromNnz(lo, nnz_hi(0) + b_hi, e_out);
+    }
+  }
+  return SparsityInterval::Top();
+}
+
+ByteInterval RelationByteBounds(const MatrixType& type, const Format& format,
+                                SparsityInterval sparsity) {
+  const double entries = Entries(type);
+  if (!format.sparse()) {
+    // Dense layouts serialize every entry: 8 bytes each, independent of
+    // density — the bound is exact.
+    return {8.0 * entries, 8.0 * entries};
+  }
+  // Sparse layouts: 16 bytes per stored non-zero plus an 8-bytes-per-row
+  // index per chunk. The chunk grid is metadata (GridFor ignores density),
+  // so the fixed index part sums to 8 * rows * (#column chunks).
+  int64_t col_chunks = 1;
+  switch (format.layout) {
+    case Layout::kSpColStripsCsc:
+      col_chunks = NumChunks(type.cols(), format.p1);
+      break;
+    case Layout::kSpTilesCsr:
+      col_chunks = NumChunks(type.cols(), format.p1);
+      break;
+    default:
+      break;  // single-chunk and row-strip sparse layouts: one column chunk
+  }
+  const double fixed =
+      8.0 * static_cast<double>(type.rows()) * static_cast<double>(col_chunks);
+  const double lo = std::max(0.0, std::min(1.0, sparsity.lo)) * entries;
+  const double hi = std::max(0.0, std::min(1.0, sparsity.hi)) * entries;
+  return {16.0 * lo + fixed, 16.0 * hi + fixed};
+}
+
+}  // namespace matopt

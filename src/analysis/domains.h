@@ -1,0 +1,81 @@
+#ifndef MATOPT_ANALYSIS_DOMAINS_H_
+#define MATOPT_ANALYSIS_DOMAINS_H_
+
+#include <vector>
+
+#include "core/format/format.h"
+#include "core/format/matrix_type.h"
+#include "core/graph/graph.h"
+
+namespace matopt {
+
+/// Abstract domains of the dataflow analyzer (DESIGN.md §14). Three
+/// composable layers:
+///   shape     — exact (MatrixType, re-derived by the type-spec function)
+///   sparsity  — an interval [lo, hi] of the non-zero fraction, closed
+///               under per-op transfer functions that are *sound*: for any
+///               concrete input data whose densities lie in the input
+///               intervals, the measured output density lies in the output
+///               interval
+///   bytes     — derived intervals of serialized relation/tuple volume
+///               under a concrete physical layout
+/// Soundness is with respect to IEEE arithmetic as executed by the
+/// kernels: densifying maps (exp, sigmoid, softmax, inverse) keep a lower
+/// bound of 0 because gradual underflow can produce exact zeros (e.g.
+/// exp(-746) == 0.0), and additive ops keep 0 because of cancellation.
+
+/// Interval of a matrix's non-zero fraction. The lattice is intervals of
+/// [0, 1] ordered by inclusion; Top() is the whole range.
+struct SparsityInterval {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  static SparsityInterval Point(double s) { return {s, s}; }
+  static SparsityInterval Top() { return {0.0, 1.0}; }
+
+  /// True when `s` lies inside the interval, widened by an absolute slack
+  /// (floating-point headroom for chains of transfer evaluations).
+  bool Contains(double s, double slack = 1e-9) const {
+    return s >= lo - slack && s <= hi + slack;
+  }
+  bool IsPoint(double slack = 1e-12) const { return hi - lo <= slack; }
+
+  /// Clamps a scalar estimate into the interval (used to keep heuristic
+  /// sparsity annotations sound by construction).
+  double Clamp(double s) const {
+    if (s < lo) return lo;
+    if (s > hi) return hi;
+    return s;
+  }
+};
+
+/// Sound per-op transfer function over non-zero-count reasoning. `in` and
+/// `in_types` describe the argument vertices (in argument order),
+/// `out_type` the result shape, `scalar` the kScalarMul attribute.
+/// Unknown arities fall back to Top().
+SparsityInterval TransferSparsity(OpKind op, double scalar,
+                                  const std::vector<SparsityInterval>& in,
+                                  const std::vector<MatrixType>& in_types,
+                                  const MatrixType& out_type);
+
+/// Interval of byte volume.
+struct ByteInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool Contains(double b, double rel_slack = 1e-9) const {
+    double pad = rel_slack * (1.0 + hi);
+    return b >= lo - pad && b <= hi + pad;
+  }
+};
+
+/// Serialized size of a whole relation holding `type` in `format` when the
+/// matrix density lies in `sparsity`: exact (lo == hi) for dense layouts
+/// (8 bytes per entry regardless of density), an interval for sparse
+/// layouts (16 bytes per stored non-zero plus an 8-bytes-per-row index).
+ByteInterval RelationByteBounds(const MatrixType& type, const Format& format,
+                                SparsityInterval sparsity);
+
+}  // namespace matopt
+
+#endif  // MATOPT_ANALYSIS_DOMAINS_H_

@@ -16,9 +16,22 @@ namespace matopt {
 
 /// Tunables shared by the analysis passes.
 struct AnalysisOptions {
-  /// MO022: warn when stored-vs-estimated sparsity relative error exceeds
-  /// this factor (the Sommer-style max/min ratio; 1.0 = identical).
-  double sparsity_drift_ratio = 5.0;
+  /// MO022: absolute slack added to the sound sparsity interval before the
+  /// membership check (floating-point headroom for deep transfer chains).
+  double sparsity_interval_slack = 1e-9;
+
+  /// MO060/MO061: statically pre-flight every dist exchange stage of the
+  /// plan against the cluster budgets. Off by default: the executor's
+  /// pre-flight and the dist runtime already enforce budgets on the
+  /// estimated/measured data, and several tests exercise exactly those
+  /// typed runtime failures — lint and the fuzz oracle opt in.
+  bool dist_preflight = false;
+
+  /// Worker count the dist pre-flight plans for; 0 = cluster.num_workers.
+  int dist_preflight_workers = 0;
+
+  /// MO062: relative slack of the bounds-derived cost envelope.
+  double cost_envelope_rel_tolerance = 1e-3;
 
   /// MO050: run the brute-force optimality cross-check only when the graph
   /// has at most this many op vertices (the search is exponential).
@@ -98,6 +111,7 @@ std::unique_ptr<AnalysisPass> MakeSparsityPass();
 std::unique_ptr<AnalysisPass> MakeCompletenessPass();
 std::unique_ptr<AnalysisPass> MakeLayoutCompatPass();
 std::unique_ptr<AnalysisPass> MakeOptimalityCheckPass();
+std::unique_ptr<AnalysisPass> MakeDataflowPass();
 
 }  // namespace matopt
 

@@ -1,6 +1,8 @@
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
+#include "analysis/dataflow.h"
 #include "analysis/pass.h"
 #include "core/cost/sparsity.h"
 #include "core/format/format.h"
@@ -178,31 +180,40 @@ class SparsityPass : public AnalysisPass {
 
   void Run(const AnalysisContext& ctx, DiagnosticList* out) const override {
     const ComputeGraph& graph = ctx.graph;
+    bool flow_applicable = true;
     for (int v = 0; v < graph.num_vertices(); ++v) {
       const Vertex& vx = graph.vertex(v);
+      if (!VertexStructureOk(graph, v)) flow_applicable = false;
       if (!(vx.sparsity >= 0.0 && vx.sparsity <= 1.0)) {  // catches NaN too
         out->Add(Severity::kError, RuleId::kMO020_SparsityRange,
                  "sparsity estimate " + std::to_string(vx.sparsity) + " of " +
                      VertexLabel(graph, v) + " is outside [0, 1]",
                  v);
-        continue;
+        flow_applicable = false;
       }
-      if (vx.op == OpKind::kInput || !VertexStructureOk(graph, v)) continue;
+    }
 
-      std::vector<double> in_sp;
-      std::vector<MatrixType> in_types;
-      for (int in : vx.inputs) {
-        in_sp.push_back(graph.vertex(in).sparsity);
-        in_types.push_back(graph.vertex(in).type);
-      }
-      double estimate = EstimateOpSparsity(vx.op, in_sp, in_types);
-      if (SparsityRelativeError(vx.sparsity, estimate) >
-          ctx.options.sparsity_drift_ratio) {
-        std::ostringstream msg;
-        msg << "stored sparsity " << vx.sparsity << " of "
-            << VertexLabel(graph, v) << " deviates from the propagation "
-            << "estimate " << estimate << " (op " << OpKindName(vx.op) << ")";
-        out->Add(Severity::kNote, RuleId::kMO022_SparsityDrift, msg.str(), v);
+    // MO022: every stored op-vertex estimate must lie inside the sound
+    // forward interval seeded from the input annotations (IEEE-safe
+    // transfer functions, src/analysis/domains.cc). A violation is
+    // inconsistent with the program's own inputs — not merely far from a
+    // heuristic — hence an error, not a note.
+    if (flow_applicable) {
+      DataflowResult flow = RunSparsityDataflow(graph);
+      for (int v = 0; v < graph.num_vertices(); ++v) {
+        const Vertex& vx = graph.vertex(v);
+        if (vx.op == OpKind::kInput) continue;
+        const SparsityInterval& iv = flow.at(v);
+        if (!iv.Contains(vx.sparsity, ctx.options.sparsity_interval_slack)) {
+          std::ostringstream msg;
+          msg << "stored sparsity " << vx.sparsity << " of "
+              << VertexLabel(graph, v)
+              << " lies outside the sound interval [" << iv.lo << ", "
+              << iv.hi << "] derived from the input annotations (op "
+              << OpKindName(vx.op) << ")";
+          out->Add(Severity::kError, RuleId::kMO022_SparsityDrift, msg.str(),
+                   v);
+        }
       }
     }
 
@@ -411,6 +422,119 @@ class LayoutCompatPass : public AnalysisPass {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Pass 6: abstract-interpretation bounds (DESIGN.md §14). Statically
+// pre-flights every dist exchange stage of the plan against the cluster
+// budgets (MO060 definite / MO061 possible violation) and cross-checks the
+// planner cost against the bounds-derived cost envelope (MO062).
+
+class DataflowPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "dataflow-bounds"; }
+  bool needs_annotation() const override { return true; }
+
+  void Run(const AnalysisContext& ctx, DiagnosticList* out) const override {
+    if (!ctx.options.dist_preflight) return;
+    const ComputeGraph& graph = ctx.graph;
+    const Annotation& plan = *ctx.annotation;
+    if (static_cast<int>(plan.vertices.size()) != graph.num_vertices()) return;
+    for (int v = 0; v < graph.num_vertices(); ++v) {
+      const Vertex& vx = graph.vertex(v);
+      // Earlier passes report these; the bounds need a well-formed plan.
+      if (!VertexStructureOk(graph, v)) return;
+      if (!(vx.sparsity >= 0.0 && vx.sparsity <= 1.0)) return;
+      if (vx.op == OpKind::kInput) continue;
+      const VertexAnnotation& va = plan.at(v);
+      if (va.input_edges.size() != vx.inputs.size() ||
+          ImplOp(va.impl) != vx.op) {
+        return;
+      }
+    }
+    DataflowResult flow = RunSparsityDataflow(graph);
+    PreflightDistBudgets(ctx, flow, out);
+    if (ctx.model != nullptr) CheckCostEnvelope(ctx, flow, out);
+  }
+
+ private:
+  static void PreflightDistBudgets(const AnalysisContext& ctx,
+                                   const DataflowResult& flow,
+                                   DiagnosticList* out) {
+    int workers = ctx.options.dist_preflight_workers > 0
+                      ? ctx.options.dist_preflight_workers
+                      : ctx.cluster.num_workers;
+    Result<std::vector<StageBounds>> bounds = ComputeDistStageBounds(
+        ctx.catalog, ctx.cluster, ctx.graph, *ctx.annotation, flow, workers);
+    if (!bounds.ok()) return;  // infeasible transform: layout-compat reports
+    for (const StageBounds& sb : bounds.value()) {
+      auto check = [&](const ByteInterval& b, double budget,
+                       const std::string& what, const char* budget_name) {
+        if (!(budget > 0.0)) return;
+        std::ostringstream msg;
+        if (b.lo > budget) {
+          msg << "dist stage " << sb.label << ": " << what << " needs at "
+              << "least " << b.lo << " bytes, over " << budget_name << " "
+              << budget << " for every data consistent with the sound bounds";
+          out->Add(Severity::kError, RuleId::kMO060_DistBudgetExceeded,
+                   msg.str(), sb.vertex, sb.edge_arg);
+        } else if (b.hi > budget) {
+          msg << "dist stage " << sb.label << ": " << what << " can reach "
+              << b.hi << " bytes, over " << budget_name << " " << budget
+              << " within the sound bounds";
+          out->Add(Severity::kWarning, RuleId::kMO061_DistBudgetRisk,
+                   msg.str(), sb.vertex, sb.edge_arg);
+        }
+      };
+      for (size_t j = 0; j < sb.args.size(); ++j) {
+        const StageBounds::ArgBound& ab = sb.args[j];
+        std::string arg = "arg" + std::to_string(j);
+        if (ab.broadcast) {
+          check(ab.total_bytes, ctx.cluster.broadcast_cap_bytes,
+                "broadcasting " + arg + "'s relation", "broadcast cap");
+        }
+        check(ab.max_tuple_bytes, ctx.cluster.single_tuple_cap_bytes,
+              "the largest tuple of " + arg, "single-tuple cap");
+      }
+      check(sb.max_worker_inbound, ctx.cluster.worker_spill_bytes,
+            "a worker's inbound shuffle volume", "worker spill budget");
+    }
+  }
+
+  /// MO062: the planner's cost for the annotated plan must lie inside the
+  /// envelope spanned by re-costing the graph at the interval endpoints.
+  /// Cost models are monotone in sparsity, so the all-lo/all-hi graphs
+  /// bracket every sparsity assignment consistent with the bounds.
+  static void CheckCostEnvelope(const AnalysisContext& ctx,
+                                const DataflowResult& flow,
+                                DiagnosticList* out) {
+    const ComputeGraph& graph = ctx.graph;
+    double actual = AnnotationCost(graph, *ctx.annotation, ctx.catalog,
+                                   *ctx.model, ctx.cluster);
+    ComputeGraph lo_graph = graph;
+    ComputeGraph hi_graph = graph;
+    for (int v = 0; v < graph.num_vertices(); ++v) {
+      lo_graph.vertex(v).sparsity = flow.at(v).lo;
+      hi_graph.vertex(v).sparsity = flow.at(v).hi;
+    }
+    double c_lo = AnnotationCost(lo_graph, *ctx.annotation, ctx.catalog,
+                                 *ctx.model, ctx.cluster);
+    double c_hi = AnnotationCost(hi_graph, *ctx.annotation, ctx.catalog,
+                                 *ctx.model, ctx.cluster);
+    if (!std::isfinite(actual) || !std::isfinite(c_lo) ||
+        !std::isfinite(c_hi)) {
+      return;  // MO042 covers non-finite costs
+    }
+    double env_lo = std::min(c_lo, c_hi);
+    double env_hi = std::max(c_lo, c_hi);
+    double pad = ctx.options.cost_envelope_rel_tolerance * (1.0 + env_hi);
+    if (actual < env_lo - pad || actual > env_hi + pad) {
+      std::ostringstream msg;
+      msg << "planner cost " << actual << " lies outside the bounds-derived "
+          << "cost envelope [" << env_lo << ", " << env_hi << "]";
+      out->Add(Severity::kWarning, RuleId::kMO062_CostEnvelope, msg.str());
+    }
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<AnalysisPass> MakeGraphHygienePass() {
@@ -427,6 +551,9 @@ std::unique_ptr<AnalysisPass> MakeCompletenessPass() {
 }
 std::unique_ptr<AnalysisPass> MakeLayoutCompatPass() {
   return std::make_unique<LayoutCompatPass>();
+}
+std::unique_ptr<AnalysisPass> MakeDataflowPass() {
+  return std::make_unique<DataflowPass>();
 }
 
 DiagnosticList AnalysisPipeline::Run(const AnalysisContext& ctx) const {
@@ -461,6 +588,7 @@ AnalysisPipeline DefaultPipeline(bool with_optimality_check) {
   pipeline.AddPass(MakeSparsityPass());
   pipeline.AddPass(MakeCompletenessPass());
   pipeline.AddPass(MakeLayoutCompatPass());
+  pipeline.AddPass(MakeDataflowPass());
   if (with_optimality_check) pipeline.AddPass(MakeOptimalityCheckPass());
   return pipeline;
 }

@@ -1,0 +1,119 @@
+#include "analysis/sarif.h"
+
+#include <sstream>
+
+namespace matopt {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::ostringstream out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  return out.str();
+}
+
+const char* SarifLevel(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "none";
+}
+
+}  // namespace
+
+std::string RenderDiagnosticsJson(const std::vector<FileDiagnostics>& files) {
+  std::ostringstream out;
+  out << "{\n  \"version\": 1,\n  \"files\": [";
+  for (size_t f = 0; f < files.size(); ++f) {
+    out << (f == 0 ? "\n" : ",\n");
+    out << "    {\n      \"path\": \"" << JsonEscape(files[f].path)
+        << "\",\n      \"diagnostics\": [";
+    const auto& diags = files[f].diagnostics.diagnostics();
+    for (size_t i = 0; i < diags.size(); ++i) {
+      const Diagnostic& d = diags[i];
+      out << (i == 0 ? "\n" : ",\n");
+      out << "        { \"rule\": \"" << RuleIdName(d.rule)
+          << "\", \"severity\": \"" << SeverityName(d.severity)
+          << "\", \"message\": \"" << JsonEscape(d.message)
+          << "\", \"vertex\": " << d.vertex
+          << ", \"edge_arg\": " << d.edge_arg << ", \"line\": " << d.line
+          << ", \"column\": " << d.column << " }";
+    }
+    out << (diags.empty() ? "]" : "\n      ]") << "\n    }";
+  }
+  out << (files.empty() ? "]" : "\n  ]") << "\n}\n";
+  return out.str();
+}
+
+std::string RenderDiagnosticsSarif(const std::vector<FileDiagnostics>& files) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"matopt_lint\",\n"
+      << "          \"rules\": [";
+  std::vector<RuleId> rules = AllRuleIds();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    out << "            { \"id\": \"" << RuleIdName(rules[i])
+        << "\", \"shortDescription\": { \"text\": \""
+        << JsonEscape(RuleIdDescription(rules[i])) << "\" } }";
+  }
+  out << "\n          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [";
+  bool first = true;
+  for (const FileDiagnostics& file : files) {
+    for (const Diagnostic& d : file.diagnostics.diagnostics()) {
+      out << (first ? "\n" : ",\n");
+      first = false;
+      out << "        {\n"
+          << "          \"ruleId\": \"" << RuleIdName(d.rule) << "\",\n"
+          << "          \"level\": \"" << SarifLevel(d.severity) << "\",\n"
+          << "          \"message\": { \"text\": \"" << JsonEscape(d.message)
+          << "\" },\n"
+          << "          \"locations\": [\n"
+          << "            {\n"
+          << "              \"physicalLocation\": {\n"
+          << "                \"artifactLocation\": { \"uri\": \""
+          << JsonEscape(file.path) << "\" }";
+      if (d.line > 0) {
+        out << ",\n                \"region\": { \"startLine\": " << d.line;
+        if (d.column > 0) out << ", \"startColumn\": " << d.column;
+        out << " }";
+      }
+      out << "\n              }\n"
+          << "            }\n"
+          << "          ]\n"
+          << "        }";
+    }
+  }
+  out << (first ? "]" : "\n      ]") << "\n    }\n  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace matopt

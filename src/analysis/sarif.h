@@ -1,0 +1,35 @@
+#ifndef MATOPT_ANALYSIS_SARIF_H_
+#define MATOPT_ANALYSIS_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+
+namespace matopt {
+
+/// Findings of one linted file, for machine-readable rendering.
+struct FileDiagnostics {
+  std::string path;
+  DiagnosticList diagnostics;
+};
+
+/// Stable JSON rendering of lint results (matopt_lint --format=json):
+///
+///   { "version": 1,
+///     "files": [ { "path": "...", "diagnostics": [
+///         { "rule": "MO060", "severity": "error", "message": "...",
+///           "vertex": 3, "edge_arg": -1, "line": 7, "column": 5 } ] } ] }
+///
+/// The schema is append-only: fields are never renamed or removed.
+std::string RenderDiagnosticsJson(const std::vector<FileDiagnostics>& files);
+
+/// SARIF 2.1.0 rendering (matopt_lint --format=sarif) suitable for GitHub
+/// code-scanning upload: one run, the full MO rule catalog in the driver,
+/// one result per diagnostic with its physical location when the source
+/// position is known.
+std::string RenderDiagnosticsSarif(const std::vector<FileDiagnostics>& files);
+
+}  // namespace matopt
+
+#endif  // MATOPT_ANALYSIS_SARIF_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "analysis/domains.h"
+
 namespace matopt {
 
 namespace {
@@ -77,11 +79,20 @@ void PropagateSparsity(ComputeGraph* graph,
     if (vx.op == OpKind::kInput) continue;  // data-derived, keep
     std::vector<double> in_sparsities;
     std::vector<MatrixType> in_types;
+    std::vector<SparsityInterval> in_iv;
     for (int input : vx.inputs) {
-      in_sparsities.push_back(graph->vertex(input).sparsity);
+      double s = graph->vertex(input).sparsity;
+      in_sparsities.push_back(s);
       in_types.push_back(graph->vertex(input).type);
+      in_iv.push_back(SparsityInterval::Point(Clamp01(s)));
     }
-    vx.sparsity = EstimateOpSparsity(vx.op, in_sparsities, in_types);
+    // The independent-position estimate, clamped into the sound transfer
+    // interval seeded with the (possibly measured) argument densities —
+    // re-propagated graphs stay consistent with the MO022 interval check.
+    double estimate = EstimateOpSparsity(vx.op, in_sparsities, in_types);
+    vx.sparsity =
+        TransferSparsity(vx.op, vx.scalar, in_iv, in_types, vx.type)
+            .Clamp(estimate);
   }
 }
 

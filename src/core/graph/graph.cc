@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "analysis/domains.h"
+
 namespace matopt {
 
 const char* OpKindName(OpKind op) {
@@ -137,15 +139,24 @@ Result<int> ComputeGraph::AddOp(OpKind op, std::vector<int> inputs,
   // produces a dense output; fully sparse chains keep the max sparsity.
   double sp = 0.0;
   for (int id : v.inputs) sp = std::max(sp, vertices_[id].sparsity);
-  v.sparsity = (op == OpKind::kMatMul) ? 1.0 : sp;
   if (op == OpKind::kMatMul) {
     // Multiplying a sparse data matrix against a dense model matrix
     // typically yields a dense result (Section 7); approximate the output
     // density as min(1, nnz growth) of the denser input.
     double s0 = vertices_[v.inputs[0]].sparsity;
     double s1 = vertices_[v.inputs[1]].sparsity;
-    v.sparsity = std::min(1.0, std::max(s0, s1));
+    sp = std::min(1.0, std::max(s0, s1));
   }
+  // Clamp the heuristic into the sound transfer interval seeded with the
+  // argument estimates, so constructed graphs satisfy the MO022 interval
+  // membership check by construction.
+  std::vector<SparsityInterval> in_iv;
+  in_iv.reserve(v.inputs.size());
+  for (int id : v.inputs) {
+    double s = std::min(1.0, std::max(0.0, vertices_[id].sparsity));
+    in_iv.push_back(SparsityInterval::Point(s));
+  }
+  v.sparsity = TransferSparsity(op, scalar, in_iv, in_types, out_type).Clamp(sp);
   vertices_.push_back(std::move(v));
   return num_vertices() - 1;
 }

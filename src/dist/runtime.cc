@@ -13,6 +13,7 @@
 #include "core/format/format.h"
 #include "dist/exchange.h"
 #include "dist/partition.h"
+#include "dist/routing.h"
 #include "engine/relation.h"
 #include "la/kernels.h"
 #include "la/shard_kernels.h"
@@ -24,250 +25,13 @@ namespace {
 
 const Format& FormatOf(FormatId id) { return BuiltinFormats()[id]; }
 
-uint64_t Key(int64_t r, int64_t c) {
-  return (static_cast<uint64_t>(r) << 32) | static_cast<uint64_t>(c);
-}
-
 using TupleMap = std::unordered_map<uint64_t, const EngineTuple*>;
 
 TupleMap MapTuples(const std::vector<EngineTuple>& tuples) {
   TupleMap map;
   map.reserve(tuples.size());
-  for (const EngineTuple& t : tuples) map[Key(t.r, t.c)] = &t;
+  for (const EngineTuple& t : tuples) map[TupleKey(t.r, t.c)] = &t;
   return map;
-}
-
-// ---------------------------------------------------------------------
-// Routing: which output chunk keys need each argument tuple. The owner of
-// an output key comes from the output skeleton, so the projection pass and
-// the data pass derive identical destinations from metadata alone.
-
-enum class Route {
-  kIdentity,       // arg key == out key (co-partitioned, never moves)
-  kBroadcast,      // replicate to every worker
-  kRowsToAllCols,  // (r, *) -> every out key in row r
-  kColsToAllRows,  // (*, c) -> every out key in column c
-  kAllToRoot,      // everything to the owner of out key (0, 0)
-  kTransSwap,      // (r, c) -> out key (c, r)
-  kTransRowToCol,  // (r, 0) -> out key (0, r)
-  kTransColToRow,  // (0, c) -> out key (c, 0)
-  kRowGroup,       // (r, *) -> out key (r, 0)
-  kColGroup,       // (*, c) -> out key (0, c)
-};
-
-std::vector<Route> RoutesFor(ImplKind kind) {
-  switch (kind) {
-    case ImplKind::kMmSingleSingle:
-    case ImplKind::kMmSpSingleXSingle:
-    case ImplKind::kGpuMmSingleSingle:
-    case ImplKind::kAddZip:
-    case ImplKind::kSubZip:
-    case ImplKind::kHadamardZip:
-    case ImplKind::kElemDivZip:
-    case ImplKind::kReluGradZip:
-    case ImplKind::kAddSparseZip:
-      return {Route::kIdentity, Route::kIdentity};
-    case ImplKind::kMmRowStripsXBcastSingle:
-    case ImplKind::kMmSpRowStripsXBcastSingle:
-    case ImplKind::kGpuMmRowStripsXBcastSingle:
-    case ImplKind::kMmRowStripsXBcastColStrips:
-    case ImplKind::kMmSpRowStripsXTiles:
-    case ImplKind::kBroadcastRowAddBcastVec:
-      return {Route::kIdentity, Route::kBroadcast};
-    case ImplKind::kMmBcastSingleXColStrips:
-    case ImplKind::kMmSpSingleXColStrips:
-    case ImplKind::kGpuMmBcastSingleXColStrips:
-      return {Route::kBroadcast, Route::kIdentity};
-    case ImplKind::kMmCrossStrips:
-    case ImplKind::kMmTilesShuffle:
-      return {Route::kRowsToAllCols, Route::kColsToAllRows};
-    case ImplKind::kMmBcastTilesXTiles:
-      return {Route::kBroadcast, Route::kColsToAllRows};
-    case ImplKind::kMmTilesXBcastTiles:
-      return {Route::kRowsToAllCols, Route::kBroadcast};
-    case ImplKind::kMmColStripsXRowStripsOuterSum:
-      return {Route::kAllToRoot, Route::kAllToRoot};
-    case ImplKind::kScalarMulMap:
-    case ImplKind::kReluMap:
-    case ImplKind::kSigmoidMap:
-    case ImplKind::kExpMap:
-    case ImplKind::kSoftmaxRowStrips:
-    case ImplKind::kSoftmaxSingle:
-      return {Route::kIdentity};
-    case ImplKind::kTransposeSingle:
-    case ImplKind::kTransposeTiles:
-      return {Route::kTransSwap};
-    case ImplKind::kTransposeRowToCol:
-      return {Route::kTransRowToCol};
-    case ImplKind::kTransposeColToRow:
-      return {Route::kTransColToRow};
-    case ImplKind::kRowSumRowStrips:
-    case ImplKind::kRowSumTilesAgg:
-      return {Route::kRowGroup};
-    case ImplKind::kColSumColStrips:
-    case ImplKind::kColSumTilesAgg:
-      return {Route::kColGroup};
-    case ImplKind::kRowSumSingle:
-    case ImplKind::kColSumSingle:
-    case ImplKind::kInverseSingleLu:
-    case ImplKind::kInverseGatherLu:
-    case ImplKind::kGpuInverseSingleLu:
-      return {Route::kAllToRoot};
-  }
-  return {};
-}
-
-/// Produces the out keys an arg tuple is needed at. kBroadcast never
-/// consults the key fn: its destinations are every worker.
-using KeyFn = std::function<void(const EngineTuple&,
-                                 std::vector<std::pair<int64_t, int64_t>>*)>;
-
-KeyFn KeyFnFor(Route route, int64_t nr_out, int64_t nc_out) {
-  switch (route) {
-    case Route::kIdentity:
-      return [](const EngineTuple& t, auto* keys) {
-        keys->emplace_back(t.r, t.c);
-      };
-    case Route::kRowsToAllCols:
-      return [nc_out](const EngineTuple& t, auto* keys) {
-        for (int64_t j = 0; j < nc_out; ++j) keys->emplace_back(t.r, j);
-      };
-    case Route::kColsToAllRows:
-      return [nr_out](const EngineTuple& t, auto* keys) {
-        for (int64_t i = 0; i < nr_out; ++i) keys->emplace_back(i, t.c);
-      };
-    case Route::kAllToRoot:
-      return [](const EngineTuple&, auto* keys) { keys->emplace_back(0, 0); };
-    case Route::kTransSwap:
-      return [](const EngineTuple& t, auto* keys) {
-        keys->emplace_back(t.c, t.r);
-      };
-    case Route::kTransRowToCol:
-      return [](const EngineTuple& t, auto* keys) {
-        keys->emplace_back(0, t.r);
-      };
-    case Route::kTransColToRow:
-      return [](const EngineTuple& t, auto* keys) {
-        keys->emplace_back(t.c, 0);
-      };
-    case Route::kRowGroup:
-      return [](const EngineTuple& t, auto* keys) {
-        keys->emplace_back(t.r, 0);
-      };
-    case Route::kColGroup:
-      return [](const EngineTuple& t, auto* keys) {
-        keys->emplace_back(0, t.c);
-      };
-    case Route::kBroadcast:
-      return [](const EngineTuple&, auto*) {};
-  }
-  return [](const EngineTuple&, auto*) {};
-}
-
-/// Out-key -> owning runtime worker, from the output skeleton.
-struct OwnerMap {
-  std::unordered_map<uint64_t, int> owner;
-  int64_t nr = 0;
-  int64_t nc = 0;
-};
-
-OwnerMap MapOwners(const Relation& skeleton, int num_workers) {
-  OwnerMap m;
-  m.owner.reserve(skeleton.tuples.size());
-  for (const EngineTuple& t : skeleton.tuples) {
-    m.owner[Key(t.r, t.c)] = DistWorkerOf(t, num_workers);
-    m.nr = std::max(m.nr, t.r + 1);
-    m.nc = std::max(m.nc, t.c + 1);
-  }
-  return m;
-}
-
-/// Move plan of one stage: per argument, the destination workers of every
-/// tuple plus the traffic this routing implies. Built the same way by the
-/// projection pass (estimated sparsity) and the data pass (measured
-/// sparsity); budget enforcement happens here, on the coordinator, before
-/// anything is sent — so violations are deterministic typed errors, never
-/// a worker-dependent race.
-struct StagePlan {
-  struct Arg {
-    bool broadcast = false;
-    bool sparse_layout = false;
-    std::vector<std::vector<int>> dests;  // per tuple, sorted ranks
-  };
-  std::vector<Arg> args;
-  double shuffle_bytes = 0.0;    // remote, non-broadcast args
-  double broadcast_bytes = 0.0;  // remote, broadcast args
-  double tuples = 0.0;           // all deliveries incl. local
-};
-
-Result<StagePlan> PlanStage(const std::string& label,
-                            const std::vector<const Relation*>& args,
-                            const std::vector<Route>& routes,
-                            const std::vector<KeyFn>& keyfns,
-                            const OwnerMap& owners,
-                            const ClusterConfig& cluster, int num_workers) {
-  StagePlan plan;
-  plan.args.resize(args.size());
-  // Remote shuffle bytes buffered by each receiving worker this stage.
-  std::vector<double> inbound(num_workers, 0.0);
-  std::vector<std::pair<int64_t, int64_t>> keys;
-  for (size_t j = 0; j < args.size(); ++j) {
-    StagePlan::Arg& ap = plan.args[j];
-    ap.broadcast = routes[j] == Route::kBroadcast;
-    ap.sparse_layout = FormatOf(args[j]->format).sparse();
-    if (ap.broadcast && args[j]->TotalBytes() > cluster.broadcast_cap_bytes) {
-      return Status::OutOfMemory(
-          label + ": arg " + std::to_string(j) + " holds " +
-          std::to_string(args[j]->TotalBytes()) +
-          " bytes, too large to replicate (broadcast_cap_bytes)");
-    }
-    ap.dests.resize(args[j]->tuples.size());
-    for (size_t i = 0; i < args[j]->tuples.size(); ++i) {
-      const EngineTuple& t = args[j]->tuples[i];
-      double bytes = t.Bytes(ap.sparse_layout);
-      if (bytes > cluster.single_tuple_cap_bytes) {
-        return Status::OutOfMemory(
-            label + ": tuple (" + std::to_string(t.r) + "," +
-            std::to_string(t.c) + ") of " + std::to_string(bytes) +
-            " bytes exceeds single_tuple_cap_bytes");
-      }
-      int from = DistWorkerOf(t, num_workers);
-      std::vector<int>& dests = ap.dests[i];
-      if (ap.broadcast) {
-        dests.resize(num_workers);
-        for (int w = 0; w < num_workers; ++w) dests[w] = w;
-      } else {
-        keys.clear();
-        keyfns[j](t, &keys);
-        for (const auto& [r, c] : keys) {
-          auto it = owners.owner.find(Key(r, c));
-          if (it == owners.owner.end()) continue;  // key outside the grid
-          dests.push_back(it->second);
-        }
-        std::sort(dests.begin(), dests.end());
-        dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
-      }
-      for (int to : dests) {
-        plan.tuples += 1.0;
-        if (to == from) continue;
-        if (ap.broadcast) {
-          plan.broadcast_bytes += bytes;
-        } else {
-          plan.shuffle_bytes += bytes;
-          inbound[to] += bytes;
-        }
-      }
-    }
-  }
-  for (int w = 0; w < num_workers; ++w) {
-    if (inbound[w] > cluster.worker_spill_bytes) {
-      return Status::OutOfMemory(
-          label + ": worker " + std::to_string(w) + " would buffer " +
-          std::to_string(inbound[w]) +
-          " bytes of shuffle input, over worker_spill_bytes");
-    }
-  }
-  return plan;
 }
 
 // ---------------------------------------------------------------------
@@ -277,7 +41,7 @@ Result<StagePlan> PlanStage(const std::string& label,
 // single-node execution at any worker count.
 
 Result<const EngineTuple*> Find(const TupleMap& m, int64_t r, int64_t c) {
-  auto it = m.find(Key(r, c));
+  auto it = m.find(TupleKey(r, c));
   if (it == m.end()) {
     return Status::Internal("distributed gather is missing tuple (" +
                             std::to_string(r) + "," + std::to_string(c) + ")");
@@ -506,7 +270,7 @@ Status ComputeImplShard(ImplKind kind, const Vertex& vertex,
           out_r = 0;
           out_c = 0;
         }
-        by_out_key[Key(out_r, out_c)] = &t;
+        by_out_key[TupleKey(out_r, out_c)] = &t;
       }
       for (int idx : out_indices) {
         const EngineTuple& t = skeleton.tuples[idx];
@@ -858,19 +622,7 @@ Result<Relation> RunTransformStage(PassEnv& env, const std::string& label,
   Relation skeleton =
       MakeDryRelation(input.type, *target, out_sparsity, env.cluster);
 
-  // Grid-overlap routing: a source chunk is needed by every target chunk
-  // whose region it intersects.
-  ChunkDims sd = ChunkDimsFor(input.type, src_fmt);
-  ChunkDims dd = ChunkDimsFor(input.type, dst_fmt);
-  KeyFn overlap = [sd, dd](const EngineTuple& t, auto* keys) {
-    int64_t r0 = (t.r * sd.rows) / dd.rows;
-    int64_t r1 = (t.r * sd.rows + t.rows - 1) / dd.rows;
-    int64_t c0 = (t.c * sd.cols) / dd.cols;
-    int64_t c1 = (t.c * sd.cols + t.cols - 1) / dd.cols;
-    for (int64_t i = r0; i <= r1; ++i) {
-      for (int64_t j = c0; j <= c1; ++j) keys->emplace_back(i, j);
-    }
-  };
+  KeyFn overlap = GridOverlapKeyFn(input.type, src_fmt, dst_fmt);
   const MatrixType type = input.type;
   ComputeFn compute = [type, src_fmt, dst_fmt](
                           const std::vector<std::vector<EngineTuple>>& g,

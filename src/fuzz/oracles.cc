@@ -1,10 +1,12 @@
 #include "fuzz/oracles.h"
 
 #include <cmath>
+#include <optional>
 #include <sstream>
 #include <utility>
 
 #include "analysis/analyze.h"
+#include "analysis/dataflow.h"
 #include "common/buffer_pool.h"
 #include "common/thread_pool.h"
 #include "core/format/format.h"
@@ -155,6 +157,20 @@ std::string DiffSinks(const std::map<int, DenseMatrix>& a,
     if (!(ma == it->second)) out << "sink v" << v << " differs bitwise; ";
   }
   return out.str();
+}
+
+/// Exact-zero fraction complement: the measured non-zero density of a
+/// reference value (what the sparsity intervals bound).
+double MeasuredDensity(const DenseMatrix& m) {
+  const int64_t total = m.rows() * m.cols();
+  if (total == 0) return 0.0;
+  int64_t nnz = 0;
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    for (int64_t j = 0; j < m.cols(); ++j) {
+      if (m(i, j) != 0.0) ++nnz;
+    }
+  }
+  return static_cast<double>(nnz) / static_cast<double>(total);
 }
 
 double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
@@ -355,13 +371,53 @@ OracleReport RunOracles(const FuzzProgram& program, const Catalog& catalog,
     }
   }
 
-  // --- 6. Distributed runtime vs single-node ------------------------------
+  // --- 6. Static bounds soundness (density half) --------------------------
+  // The forward dataflow seeded with the *measured* input densities must
+  // contain every measured vertex density: this mechanically enforces the
+  // transfer functions' soundness contract (DESIGN.md §14) on real data.
+  std::optional<DataflowResult> bounds_flow;
+  if (options.check_bounds) {
+    auto values =
+        EvaluateReferenceAllVertices(graph, MaterializeDenseInputs(program));
+    if (!values.ok()) {
+      fail("bounds_density", values.status().ToString());
+    } else {
+      std::unordered_map<int, double> seeds;
+      for (int v = 0; v < graph.num_vertices(); ++v) {
+        if (graph.vertex(v).op == OpKind::kInput) {
+          seeds.emplace(v, MeasuredDensity(values.value()[v]));
+        }
+      }
+      DataflowResult flow = RunSparsityDataflow(graph, &seeds);
+      for (int v = 0; v < graph.num_vertices(); ++v) {
+        const double measured = MeasuredDensity(values.value()[v]);
+        const SparsityInterval& iv = flow.at(v);
+        if (!iv.Contains(measured, options.bounds_slack)) {
+          fail("bounds_density",
+               "v" + std::to_string(v) + " (" +
+                   OpKindName(graph.vertex(v).op) + ") measured density " +
+                   FmtG(measured) + " outside sound interval [" +
+                   FmtG(iv.lo) + ", " + FmtG(iv.hi) + "]");
+        }
+      }
+      bounds_flow = std::move(flow);
+    }
+  }
+
+  // --- 7. Distributed runtime vs single-node + bounds (byte half) ---------
   // The sharded multi-worker runtime promises bit-identical sinks at any
   // worker count; its simulated projection is a single-node dry pass, so
   // on all-dense plans it must match the data run within the dry-run
   // tolerance and every stage's predicted traffic must equal the measured.
   if (options.check_distributed) {
     const bool strict = AllDense(program, annotation);
+    // Analyzer metadata must mirror the runtime's: the planning-side
+    // relation sparsity of each input is whatever the materialized
+    // relation carries (measured for sparse formats).
+    std::unordered_map<int, double> rel_density;
+    for (const auto& [v, rel] : relations.value()) {
+      rel_density.emplace(v, rel.sparsity);
+    }
     for (int workers : options.dist_worker_counts) {
       if (workers < 1) continue;
       RunConfig config;
@@ -420,6 +476,57 @@ OracleReport RunOracles(const FuzzProgram& program, const Catalog& catalog,
       }
       if (!diff.str().empty()) {
         fail(config.label, (strict ? "strict: " : "loose: ") + diff.str());
+      }
+
+      // Bounds oracle, byte half: every measured per-stage exchange byte
+      // count must lie inside the statically derived interval; delivery
+      // counts (pure metadata) must match exactly.
+      if (options.check_bounds && bounds_flow.has_value()) {
+        auto bounds =
+            ComputeDistStageBounds(catalog, cluster, graph, annotation,
+                                   *bounds_flow, workers, &rel_density);
+        if (!bounds.ok()) {
+          fail("bounds_bytes", config.label + ": " +
+                                   bounds.status().ToString());
+          continue;
+        }
+        const auto& stages = dist.stages;
+        if (stages.size() != bounds.value().size()) {
+          fail("bounds_bytes",
+               config.label + ": analyzer derived " +
+                   std::to_string(bounds.value().size()) +
+                   " stages but the runtime recorded " +
+                   std::to_string(stages.size()));
+          continue;
+        }
+        for (size_t i = 0; i < stages.size(); ++i) {
+          const auto& s = stages[i];
+          const StageBounds& sb = bounds.value()[i];
+          if (s.label != sb.label) {
+            fail("bounds_bytes", config.label + ": stage " +
+                                     std::to_string(i) + " label " + s.label +
+                                     " vs analyzer " + sb.label);
+            continue;
+          }
+          auto member = [&](const char* what, double measured,
+                            const ByteInterval& iv) {
+            if (!iv.Contains(measured, options.bounds_slack)) {
+              fail("bounds_bytes",
+                   config.label + ": stage " + s.label + " measured " + what +
+                       " " + FmtG(measured) + " outside [" + FmtG(iv.lo) +
+                       ", " + FmtG(iv.hi) + "]");
+            }
+          };
+          member("shuffle bytes", s.measured_shuffle_bytes, sb.shuffle_bytes);
+          member("broadcast bytes", s.measured_broadcast_bytes,
+                 sb.broadcast_bytes);
+          if (s.measured_tuples != sb.tuples) {
+            fail("bounds_bytes",
+                 config.label + ": stage " + s.label + " delivered " +
+                     FmtG(s.measured_tuples) + " tuples, analyzer expects " +
+                     FmtG(sb.tuples));
+          }
+        }
       }
     }
   }

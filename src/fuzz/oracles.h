@@ -57,6 +57,17 @@ struct OracleOptions {
   /// exactly.
   bool check_distributed = true;
   std::vector<int> dist_worker_counts = {1, 2, 4, 7};
+
+  /// Bounds-soundness oracle (DESIGN.md §14): every measured per-vertex
+  /// density must lie inside the dataflow interval seeded with the
+  /// measured input densities, and — at each distributed worker count —
+  /// every measured per-stage shuffle/broadcast byte count must lie inside
+  /// the statically derived byte interval, with delivery counts exact.
+  bool check_bounds = true;
+
+  /// Absolute slack on density membership; relative slack on byte
+  /// membership (floating-point headroom for chains of transfers).
+  double bounds_slack = 1e-9;
 };
 
 /// One oracle disagreement: which oracle tripped and a human-readable
@@ -85,8 +96,12 @@ struct OracleReport {
 ///   4. Execution must be bit-identical and charge identical simulated
 ///      stats across 1 vs N threads, zero-copy on/off, and pool on/off.
 ///   5. Dry-run stat projections must match data-mode accounting.
-///   6. The sharded multi-worker runtime must produce bit-identical sinks
-///      at every configured worker count.
+///   6. Every measured per-vertex density must lie inside the sound
+///      dataflow interval seeded with the measured input densities.
+///   7. The sharded multi-worker runtime must produce bit-identical sinks
+///      at every configured worker count; measured per-stage exchange
+///      bytes must lie inside the statically derived byte intervals and
+///      delivery counts must match exactly.
 /// Global state (default thread count, pool override) is restored before
 /// returning, even on failure.
 OracleReport RunOracles(const FuzzProgram& program, const Catalog& catalog,

@@ -92,10 +92,11 @@ DenseMatrix NaiveBroadcastRowAdd(const DenseMatrix& a, const DenseMatrix& v) {
 
 }  // namespace
 
-Result<std::map<int, DenseMatrix>> EvaluateReference(
+namespace {
+
+Result<std::vector<DenseMatrix>> EvaluateVertices(
     const ComputeGraph& graph, const std::map<int, DenseMatrix>& inputs,
-    int target) {
-  const int last = target < 0 ? graph.num_vertices() - 1 : target;
+    int last) {
   std::vector<DenseMatrix> values(graph.num_vertices());
   for (int v = 0; v <= last; ++v) {
     const Vertex& vx = graph.vertex(v);
@@ -179,12 +180,28 @@ Result<std::map<int, DenseMatrix>> EvaluateReference(
         break;
     }
   }
+  return values;
+}
+
+}  // namespace
+
+Result<std::map<int, DenseMatrix>> EvaluateReference(
+    const ComputeGraph& graph, const std::map<int, DenseMatrix>& inputs,
+    int target) {
+  const int last = target < 0 ? graph.num_vertices() - 1 : target;
+  MATOPT_ASSIGN_OR_RETURN(std::vector<DenseMatrix> values,
+                          EvaluateVertices(graph, inputs, last));
   std::map<int, DenseMatrix> sinks;
   for (int sink : graph.Sinks()) {
     if (sink <= last) sinks.emplace(sink, std::move(values[sink]));
   }
   if (target >= 0) sinks.emplace(target, std::move(values[target]));
   return sinks;
+}
+
+Result<std::vector<DenseMatrix>> EvaluateReferenceAllVertices(
+    const ComputeGraph& graph, const std::map<int, DenseMatrix>& inputs) {
+  return EvaluateVertices(graph, inputs, graph.num_vertices() - 1);
 }
 
 }  // namespace matopt::fuzz

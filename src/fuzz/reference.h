@@ -25,6 +25,12 @@ Result<std::map<int, DenseMatrix>> EvaluateReference(
     const ComputeGraph& graph, const std::map<int, DenseMatrix>& inputs,
     int target = -1);
 
+/// Evaluates the whole graph and returns every vertex's value (indexed by
+/// vertex id). The bounds-soundness oracle measures per-vertex densities
+/// against the statically derived sparsity intervals with this.
+Result<std::vector<DenseMatrix>> EvaluateReferenceAllVertices(
+    const ComputeGraph& graph, const std::map<int, DenseMatrix>& inputs);
+
 }  // namespace matopt::fuzz
 
 #endif  // MATOPT_FUZZ_REFERENCE_H_

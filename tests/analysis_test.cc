@@ -75,7 +75,7 @@ class AnalysisTest : public ::testing::Test {
 
 TEST_F(AnalysisTest, RuleCatalogIsCompleteAndStable) {
   std::vector<RuleId> rules = AllRuleIds();
-  EXPECT_EQ(rules.size(), 19u);
+  EXPECT_EQ(rules.size(), 22u);
   std::set<std::string> names;
   for (RuleId rule : rules) {
     std::string name = RuleIdName(rule);
@@ -87,6 +87,8 @@ TEST_F(AnalysisTest, RuleCatalogIsCompleteAndStable) {
   EXPECT_STREQ(RuleIdName(RuleId::kMO001_TypeMismatch), "MO001");
   EXPECT_STREQ(RuleIdName(RuleId::kMO032_OrderViolation), "MO032");
   EXPECT_STREQ(RuleIdName(RuleId::kMO050_NotOptimal), "MO050");
+  EXPECT_STREQ(RuleIdName(RuleId::kMO060_DistBudgetExceeded), "MO060");
+  EXPECT_STREQ(RuleIdName(RuleId::kMO062_CostEnvelope), "MO062");
 }
 
 TEST_F(AnalysisTest, RenderDiagnosticShowsSnippetAndCaret) {
@@ -188,13 +190,27 @@ TEST_F(AnalysisTest, MO020FiresOnOutOfRangeAndNanSparsity) {
       << list.ToString();
 }
 
-TEST_F(AnalysisTest, MO022NotesSparsityDriftWithoutFailing) {
+TEST_F(AnalysisTest, MO022ErrorsOnSparsityOutsideSoundInterval) {
   Small s = SmallGraph();
-  s.graph.vertex(s.mm).sparsity = 1e-6;  // estimator propagates ~1.0
+  // Zeroing A's density after construction collapses AB's sound interval
+  // to the point [0, 0]: the stored dense estimate is now refuted, not
+  // merely drifting from a heuristic.
+  s.graph.vertex(s.a).sparsity = 0.0;
   DiagnosticList list = AnalyzeGraph(s.graph, catalog_, cluster_);
   EXPECT_GE(list.CountRule(RuleId::kMO022_SparsityDrift), 1)
       << list.ToString();
-  EXPECT_FALSE(list.HasErrors()) << list.ToString();
+  EXPECT_TRUE(list.HasErrors()) << list.ToString();
+}
+
+TEST_F(AnalysisTest, MO022AcceptsEstimatesInsideSoundInterval) {
+  // AddOp clamps its heuristic into the transfer interval, so constructed
+  // graphs are in-interval by construction. A hand-written mid-interval
+  // value must also pass: AB over dense inputs admits the whole [0, 1].
+  Small s = SmallGraph();
+  s.graph.vertex(s.mm).sparsity = 0.37;
+  DiagnosticList list = AnalyzeGraph(s.graph, catalog_, cluster_);
+  EXPECT_EQ(list.CountRule(RuleId::kMO022_SparsityDrift), 0)
+      << list.ToString();
 }
 
 TEST_F(AnalysisTest, MO030And031FlagDeadVertexAndUnusedInput) {
@@ -663,10 +679,11 @@ TEST_F(AnalysisTest, ExecutorAcceptsCleanPlan) {
 
 TEST_F(AnalysisTest, DefaultPipelineHasDocumentedPassOrder) {
   AnalysisPipeline pipeline = DefaultPipeline();
-  ASSERT_EQ(pipeline.passes().size(), 5u);
+  ASSERT_EQ(pipeline.passes().size(), 6u);
   EXPECT_STREQ(pipeline.passes()[0]->name(), "graph-hygiene");
+  EXPECT_STREQ(pipeline.passes()[5]->name(), "dataflow-bounds");
   AnalysisPipeline debug = DefaultPipeline(/*with_optimality_check=*/true);
-  ASSERT_EQ(debug.passes().size(), 6u);
+  ASSERT_EQ(debug.passes().size(), 7u);
   EXPECT_STREQ(debug.passes().back()->name(), "optimality-cross-check");
 }
 

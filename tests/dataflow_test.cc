@@ -1,0 +1,525 @@
+// Tests for the abstract-interpretation dataflow analyzer (DESIGN.md §14):
+// transfer-function edge cases, the relation byte bounds, stage bounds
+// checked against a measured distributed run, the MO060/MO061 dist budget
+// pre-flight (including the lint-catches-what-only-execution-caught-before
+// parity case), diagnostic deduplication, and golden machine-readable
+// rendering.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/analyze.h"
+#include "analysis/dataflow.h"
+#include "analysis/domains.h"
+#include "analysis/sarif.h"
+#include "core/opt/optimizer.h"
+#include "engine/executor.h"
+#include "ml/generators.h"
+
+namespace matopt {
+namespace {
+
+FormatId Find(const Format& f) {
+  const auto& all = BuiltinFormats();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == f) return static_cast<FormatId>(i);
+  }
+  return kNoFormat;
+}
+
+FormatId RowStrips100() { return Find({Layout::kRowStrips, 100, 0}); }
+FormatId SparseCsr() { return Find({Layout::kSpSingleCsr, 0, 0}); }
+
+SparsityInterval Transfer(OpKind op, std::vector<double> in_lo_hi_pairs,
+                          std::vector<MatrixType> in_types,
+                          MatrixType out_type, double scalar = 0.0) {
+  std::vector<SparsityInterval> in;
+  for (size_t i = 0; i + 1 < in_lo_hi_pairs.size(); i += 2) {
+    in.push_back({in_lo_hi_pairs[i], in_lo_hi_pairs[i + 1]});
+  }
+  return TransferSparsity(op, scalar, in, in_types, out_type);
+}
+
+// ---------------------------------------------------------------------------
+// Transfer-function edge cases.
+
+TEST(TransferTest, EmptyOutputCollapsesToPointZero) {
+  SparsityInterval iv = Transfer(OpKind::kTranspose, {0.0, 1.0},
+                                 {MatrixType(0, 5)}, MatrixType(5, 0));
+  EXPECT_EQ(iv.lo, 0.0);
+  EXPECT_EQ(iv.hi, 0.0);
+  EXPECT_TRUE(iv.IsPoint());
+}
+
+TEST(TransferTest, FullySparseEndpointsStayZero) {
+  MatrixType sq(10, 10);
+  for (OpKind op : {OpKind::kMatMul, OpKind::kAdd, OpKind::kHadamard}) {
+    SparsityInterval iv = Transfer(op, {0.0, 0.0, 0.0, 0.0}, {sq, sq}, sq);
+    EXPECT_EQ(iv.lo, 0.0) << OpKindName(op);
+    EXPECT_EQ(iv.hi, 0.0) << OpKindName(op);
+  }
+}
+
+TEST(TransferTest, FullyDenseEndpoints) {
+  MatrixType sq(10, 10);
+  // Dense + dense may cancel anywhere, so only the upper endpoint pins.
+  SparsityInterval add = Transfer(OpKind::kAdd, {1, 1, 1, 1}, {sq, sq}, sq);
+  EXPECT_EQ(add.lo, 0.0);
+  EXPECT_EQ(add.hi, 1.0);
+  // Dense .* dense keeps full support (products of non-zeros are non-zero
+  // up to gradual underflow — the documented caveat of DESIGN.md §14).
+  SparsityInterval had =
+      Transfer(OpKind::kHadamard, {1, 1, 1, 1}, {sq, sq}, sq);
+  EXPECT_EQ(had.lo, 1.0);
+  EXPECT_EQ(had.hi, 1.0);
+  // Dense x dense matmul can cancel to anything.
+  SparsityInterval mm = Transfer(OpKind::kMatMul, {1, 1, 1, 1}, {sq, sq}, sq);
+  EXPECT_EQ(mm.lo, 0.0);
+  EXPECT_EQ(mm.hi, 1.0);
+}
+
+TEST(TransferTest, MatMulSupportBoundBitesOnSparseArgs) {
+  // A 100x100 with <= 3 non-zeros, B 100x100 with <= 2: the product's
+  // support fits in (3 non-empty rows) x (2 non-empty cols) = 6 of 1e4.
+  MatrixType sq(100, 100);
+  SparsityInterval iv =
+      Transfer(OpKind::kMatMul, {0.0, 3e-4, 0.0, 2e-4}, {sq, sq}, sq);
+  EXPECT_EQ(iv.lo, 0.0);
+  EXPECT_NEAR(iv.hi, 6e-4, 1e-15);
+}
+
+TEST(TransferTest, OneByOneShapes) {
+  MatrixType one(1, 1);
+  SparsityInterval mm =
+      Transfer(OpKind::kMatMul, {1, 1, 1, 1}, {one, one}, one);
+  EXPECT_EQ(mm.lo, 0.0);  // 1x1 product can underflow/cancel? No sum, but
+  EXPECT_EQ(mm.hi, 1.0);  // a*b can underflow to zero: lo stays 0.
+  SparsityInterval add =
+      Transfer(OpKind::kAdd, {1, 1, 0, 0}, {one, one}, one);
+  // Exactly one non-zero operand: x + 0 = x is exact under IEEE.
+  EXPECT_EQ(add.lo, 1.0);
+  EXPECT_EQ(add.hi, 1.0);
+}
+
+TEST(TransferTest, ChainsCollapseIntervalsToAPoint) {
+  // transpose and scalar_mul (non-zero scalar) both preserve the non-zero
+  // count exactly, so a chain over a point input stays a point.
+  MatrixType t(20, 30), tt(30, 20);
+  SparsityInterval a = SparsityInterval::Point(0.25);
+  SparsityInterval b =
+      TransferSparsity(OpKind::kTranspose, 0.0, {a}, {t}, tt);
+  EXPECT_TRUE(b.IsPoint());
+  EXPECT_DOUBLE_EQ(b.lo, 0.25);
+  SparsityInterval c = TransferSparsity(OpKind::kScalarMul, 2.0, {b}, {tt}, tt);
+  EXPECT_TRUE(c.IsPoint());
+  EXPECT_DOUBLE_EQ(c.hi, 0.25);
+}
+
+TEST(TransferTest, ScalarMulByZeroOnlyGuaranteesTheZeros) {
+  // 0 * x is 0 for finite x but 0 * inf = NaN (elemdiv upstream can
+  // produce infinities), so the result is NOT the all-zero matrix.
+  MatrixType t(10, 10);
+  SparsityInterval iv = TransferSparsity(
+      OpKind::kScalarMul, 0.0, {SparsityInterval::Point(0.5)}, {t}, t);
+  EXPECT_EQ(iv.lo, 0.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 0.5);
+}
+
+TEST(TransferTest, DensifyingMapsKeepZeroLowerBound) {
+  // exp(-746) == 0.0 under IEEE gradual underflow: a "densifying" map can
+  // still emit exact zeros, so [1, 1] would be unsound.
+  MatrixType t(10, 10);
+  for (OpKind op : {OpKind::kExp, OpKind::kSigmoid, OpKind::kSoftmax}) {
+    SparsityInterval iv =
+        TransferSparsity(op, 0.0, {SparsityInterval::Point(1.0)}, {t}, t);
+    EXPECT_EQ(iv.lo, 0.0) << OpKindName(op);
+    EXPECT_EQ(iv.hi, 1.0) << OpKindName(op);
+  }
+}
+
+TEST(TransferTest, WrongArityFallsBackToTop) {
+  MatrixType t(4, 4);
+  SparsityInterval iv = TransferSparsity(OpKind::kAdd, 0.0,
+                                         {SparsityInterval::Point(0.0)}, {t},
+                                         t);
+  EXPECT_EQ(iv.lo, 0.0);
+  EXPECT_EQ(iv.hi, 1.0);
+}
+
+TEST(DataflowTest, SeedsOverrideAndPropagateForward) {
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(50, 50), RowStrips100(), "A", 1.0);
+  int b = g.AddInput(MatrixType(50, 50), RowStrips100(), "B", 1.0);
+  Result<int> h = g.AddOp(OpKind::kHadamard, {a, b}, "H");
+  ASSERT_TRUE(h.ok());
+  // Unseeded: both inputs dense, hadamard support is the intersection.
+  DataflowResult flow = RunSparsityDataflow(g);
+  EXPECT_EQ(flow.at(h.value()).lo, 1.0);
+  // Seeded: pinning B to measured 0.1 caps the intersection.
+  std::unordered_map<int, double> seeds = {{b, 0.1}};
+  DataflowResult seeded = RunSparsityDataflow(g, &seeds);
+  EXPECT_DOUBLE_EQ(seeded.at(b).hi, 0.1);
+  EXPECT_DOUBLE_EQ(seeded.at(h.value()).hi, 0.1);
+  // A mid-graph pin (reopt measurement) overrides the transfer result.
+  std::unordered_map<int, double> pin = {{h.value(), 0.33}};
+  DataflowResult pinned = RunSparsityDataflow(g, &pin);
+  EXPECT_TRUE(pinned.at(h.value()).IsPoint());
+  EXPECT_DOUBLE_EQ(pinned.at(h.value()).lo, 0.33);
+}
+
+// ---------------------------------------------------------------------------
+// Byte bounds.
+
+TEST(ByteBoundsTest, DenseRelationIsExact) {
+  const auto& formats = BuiltinFormats();
+  ByteInterval b = RelationByteBounds(MatrixType(100, 200),
+                                      formats[RowStrips100()],
+                                      SparsityInterval{0.1, 0.9});
+  EXPECT_EQ(b.lo, 8.0 * 100 * 200);
+  EXPECT_EQ(b.hi, 8.0 * 100 * 200);
+}
+
+TEST(ByteBoundsTest, SparseRelationScalesWithDensityInterval) {
+  const auto& formats = BuiltinFormats();
+  MatrixType t(100, 200);
+  ByteInterval b = RelationByteBounds(t, formats[SparseCsr()],
+                                      SparsityInterval{0.1, 0.5});
+  const double fixed = 8.0 * 100;  // one column chunk of row indexes
+  EXPECT_DOUBLE_EQ(b.lo, 16.0 * 0.1 * 100 * 200 + fixed);
+  EXPECT_DOUBLE_EQ(b.hi, 16.0 * 0.5 * 100 * 200 + fixed);
+  EXPECT_TRUE(b.Contains(16.0 * 0.3 * 100 * 200 + fixed));
+  EXPECT_FALSE(b.Contains(16.0 * 0.6 * 100 * 200 + fixed));
+}
+
+// ---------------------------------------------------------------------------
+// Stage bounds vs a measured distributed run.
+
+class StageBoundsTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+  ClusterConfig cluster_ = SimSqlProfile(4);
+  CostModel model_ = CostModel::Analytic(SimSqlProfile(4));
+
+  /// Sparse data matrix (every 10th entry) times a dense model matrix —
+  /// the paper's SpMM shape.
+  struct Built {
+    ComputeGraph graph;
+    int x, w, y;
+    DenseMatrix xd{1, 1}, wd{1, 1};
+  };
+  Built BuildSpmm() {
+    Built b;
+    b.x = b.graph.AddInput(MatrixType(500, 400), SparseCsr(), "X", 0.1);
+    b.w = b.graph.AddInput(MatrixType(400, 300), RowStrips100(), "W", 1.0);
+    b.y = b.graph.AddOp(OpKind::kMatMul, {b.x, b.w}, "Y").value();
+    b.xd = GaussianMatrix(500, 400, 7);
+    for (int64_t i = 0; i < b.xd.rows(); ++i) {
+      for (int64_t j = 0; j < b.xd.cols(); ++j) {
+        if ((i * b.xd.cols() + j) % 10 != 0) b.xd(i, j) = 0.0;
+      }
+    }
+    b.wd = GaussianMatrix(400, 300, 8);
+    return b;
+  }
+
+  static double Density(const DenseMatrix& m) {
+    int64_t nnz = 0;
+    for (int64_t i = 0; i < m.rows(); ++i) {
+      for (int64_t j = 0; j < m.cols(); ++j) {
+        if (m(i, j) != 0.0) ++nnz;
+      }
+    }
+    return static_cast<double>(nnz) /
+           static_cast<double>(m.rows() * m.cols());
+  }
+};
+
+TEST_F(StageBoundsTest, MeasuredExchangeTrafficLiesInsideDerivedBounds) {
+  Built b = BuildSpmm();
+  auto plan = Optimize(b.graph, catalog_, model_, cluster_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  std::unordered_map<int, Relation> relations;
+  relations[b.x] =
+      MakeSparseRelation(SparseMatrix::FromDense(b.xd), SparseCsr(), cluster_)
+          .value();
+  relations[b.w] = MakeRelation(b.wd, RowStrips100(), cluster_).value();
+
+  // Seed the flow with the measured input densities; seed the analyzer's
+  // planning metadata with the materialized relation sparsities (exactly
+  // what the runtime plans with).
+  std::unordered_map<int, double> seeds = {{b.x, Density(b.xd)},
+                                           {b.w, Density(b.wd)}};
+  DataflowResult flow = RunSparsityDataflow(b.graph, &seeds);
+  std::unordered_map<int, double> rel_density = {
+      {b.x, relations.at(b.x).sparsity}, {b.w, relations.at(b.w).sparsity}};
+
+  for (int workers : {1, 3, 4}) {
+    auto bounds =
+        ComputeDistStageBounds(catalog_, cluster_, b.graph,
+                               plan.value().annotation, flow, workers,
+                               &rel_density);
+    ASSERT_TRUE(bounds.ok()) << bounds.status().ToString();
+
+    PlanExecutor executor(catalog_, cluster_);
+    executor.set_dist_workers(workers);
+    auto run = executor.Execute(b.graph, plan.value().annotation, relations);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    const auto& stages = run.value().stats.dist.stages;
+    ASSERT_EQ(stages.size(), bounds.value().size()) << "workers=" << workers;
+    for (size_t i = 0; i < stages.size(); ++i) {
+      const StageBounds& sb = bounds.value()[i];
+      EXPECT_EQ(stages[i].label, sb.label);
+      EXPECT_TRUE(sb.shuffle_bytes.Contains(stages[i].measured_shuffle_bytes))
+          << sb.label << " shuffle " << stages[i].measured_shuffle_bytes
+          << " not in [" << sb.shuffle_bytes.lo << ", " << sb.shuffle_bytes.hi
+          << "]";
+      EXPECT_TRUE(
+          sb.broadcast_bytes.Contains(stages[i].measured_broadcast_bytes))
+          << sb.label << " broadcast " << stages[i].measured_broadcast_bytes
+          << " not in [" << sb.broadcast_bytes.lo << ", "
+          << sb.broadcast_bytes.hi << "]";
+      EXPECT_EQ(stages[i].measured_tuples, sb.tuples) << sb.label;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dist budget pre-flight (MO060/MO061).
+
+TEST_F(StageBoundsTest, BudgetViolationCaughtAtLintTimeNotJustAtRuntime) {
+  // Mirror of the dist runtime's worker-spill repro: a tiles x tiles
+  // shuffle matmul concentrates remote bytes on 2 runtime workers.
+  // Historically a too-tight worker spill budget only surfaced as a typed
+  // kOutOfMemory *during the measured data pass*; the dataflow pre-flight
+  // must now refute the plan statically, naming the stage.
+  FormatId tiles = Find({Layout::kTiles, 100, 100});
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(400, 400), tiles, "A", 1.0);
+  int b = g.AddInput(MatrixType(400, 400), tiles, "B", 1.0);
+  int o = g.AddOp(OpKind::kMatMul, {a, b}, "C").value();
+
+  Annotation ann;
+  ann.vertices.resize(g.num_vertices());
+  ann.at(a).output_format = tiles;
+  ann.at(b).output_format = tiles;
+  ann.at(o).impl = ImplKind::kMmTilesShuffle;
+  ann.at(o).output_format = tiles;
+  ann.at(o).input_edges = {{tiles, std::nullopt, tiles},
+                           {tiles, std::nullopt, tiles}};
+  ClusterConfig cluster = SimSqlProfile(10);
+  ASSERT_TRUE(ValidateAnnotation(g, ann, catalog_, cluster).ok());
+
+  std::unordered_map<int, Relation> relations;
+  relations[a] =
+      MakeRelation(GaussianMatrix(400, 400, 21), tiles, cluster).value();
+  relations[b] =
+      MakeRelation(GaussianMatrix(400, 400, 22), tiles, cluster).value();
+
+  PlanExecutor probe_exec(catalog_, cluster);
+  probe_exec.set_dist_workers(2);
+  auto probe = probe_exec.Execute(g, ann, relations);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  const double total_remote = probe.value().stats.dist.bytes_shuffled;
+  const double sim_spill = probe.value().stats.peak_worker_spill_bytes;
+  ASSERT_GT(total_remote, 0.0);
+  // Pigeonhole: one of the two workers receives >= half the remote bytes.
+  ASSERT_LT(sim_spill, total_remote / 2.0);
+
+  ClusterConfig tight = cluster;
+  tight.worker_spill_bytes = (sim_spill + total_remote / 2.0) / 2.0;
+
+  // Execution: fails only once the dist runtime routes the real data.
+  PlanExecutor tight_exec(catalog_, tight);
+  tight_exec.set_dist_workers(2);
+  auto run = tight_exec.Execute(g, ann, relations);
+  ASSERT_FALSE(run.ok());
+  EXPECT_TRUE(run.status().IsOutOfMemory()) << run.status().ToString();
+  EXPECT_NE(run.status().message().find("worker_spill_bytes"),
+            std::string::npos)
+      << run.status().ToString();
+
+  // Lint: the same violation is now a static MO060 error — the plan is
+  // over budget for *every* data consistent with the bounds (dense bytes
+  // are exact), and the finding names the offending stage.
+  AnalysisOptions options;
+  options.dist_preflight = true;
+  options.dist_preflight_workers = 2;
+  CostModel model = CostModel::Analytic(cluster);
+  DiagnosticList diags = AnalyzePlan(g, ann, catalog_, &model, tight, options);
+  EXPECT_GE(diags.CountRule(RuleId::kMO060_DistBudgetExceeded), 1)
+      << diags.ToString();
+  bool names_stage = false;
+  for (const Diagnostic& d : diags.diagnostics()) {
+    if (d.rule == RuleId::kMO060_DistBudgetExceeded &&
+        d.message.find("dist stage v") != std::string::npos) {
+      names_stage = true;
+    }
+  }
+  EXPECT_TRUE(names_stage) << diags.ToString();
+
+  // With the real budget the pre-flight is clean.
+  DiagnosticList clean =
+      AnalyzePlan(g, ann, catalog_, &model, cluster, options);
+  EXPECT_EQ(clean.CountRule(RuleId::kMO060_DistBudgetExceeded), 0)
+      << clean.ToString();
+}
+
+TEST_F(StageBoundsTest, SparsePlanOverBudgetOnlyInTheWorstCaseWarnsMO061) {
+  // A hadamard output's density is a genuine interval ([0, min(sa, sb)]),
+  // so broadcasting it in a sparse format has uncertain bytes. A broadcast
+  // cap between the stored-estimate bytes and the interval's upper end is
+  // feasible for the planner yet a *possible* violation — MO061, not MO060.
+  FormatId single = Find({Layout::kSingleTuple, 0, 0});
+  FormatId sp_single = SparseCsr();
+  FormatId col100 = Find({Layout::kColStrips, 100, 0});
+  ComputeGraph g;
+  int a = g.AddInput(MatrixType(400, 300), single, "A", 0.3);
+  int b = g.AddInput(MatrixType(400, 300), single, "B", 0.6);
+  int z = g.AddOp(OpKind::kHadamard, {a, b}, "Z").value();
+  // Measured-style estimate strictly inside the sound interval [0, 0.3].
+  g.vertex(z).sparsity = 0.18;
+  int c = g.AddInput(MatrixType(300, 200), col100, "C", 1.0);
+  int y = g.AddOp(OpKind::kMatMul, {z, c}, "Y").value();
+  (void)y;
+
+  Annotation ann;
+  ann.vertices.resize(g.num_vertices());
+  ann.at(a).output_format = single;
+  ann.at(b).output_format = single;
+  ann.at(c).output_format = col100;
+  ann.at(z).impl = ImplKind::kHadamardZip;
+  ann.at(z).output_format = single;
+  ann.at(z).input_edges = {{single, std::nullopt, single},
+                           {single, std::nullopt, single}};
+  ann.at(y).impl = ImplKind::kMmSpSingleXColStrips;
+  ann.at(y).output_format = col100;
+  ann.at(y).input_edges = {
+      {single, TransformKind::kDenseToSpSingleCsr, sp_single},
+      {col100, std::nullopt, col100}};
+  ASSERT_TRUE(ValidateAnnotation(g, ann, catalog_, cluster_).ok());
+
+  DataflowResult flow = RunSparsityDataflow(g);
+  auto bounds = ComputeDistStageBounds(catalog_, cluster_, g, ann, flow, 3);
+  ASSERT_TRUE(bounds.ok()) << bounds.status().ToString();
+  double lo = -1.0, hi = -1.0;
+  for (const StageBounds& sb : bounds.value()) {
+    for (const StageBounds::ArgBound& arg : sb.args) {
+      if (arg.broadcast && arg.total_bytes.hi - arg.total_bytes.lo > hi - lo) {
+        lo = arg.total_bytes.lo;
+        hi = arg.total_bytes.hi;
+      }
+    }
+  }
+  ASSERT_GT(hi, lo);
+  const double est_bytes =
+      ComputeFormatStats(g.vertex(z).type, BuiltinFormats()[sp_single],
+                         g.vertex(z).sparsity)
+          .total_bytes;
+  ASSERT_LT(lo, est_bytes);
+  ASSERT_LT(est_bytes, hi);
+
+  ClusterConfig maybe = cluster_;
+  maybe.broadcast_cap_bytes = (est_bytes + hi) / 2.0;
+  AnalysisOptions options;
+  options.dist_preflight = true;
+  options.dist_preflight_workers = 3;
+  DiagnosticList diags =
+      AnalyzePlan(g, ann, catalog_, &model_, maybe, options);
+  EXPECT_EQ(diags.CountRule(RuleId::kMO060_DistBudgetExceeded), 0)
+      << diags.ToString();
+  EXPECT_GE(diags.CountRule(RuleId::kMO061_DistBudgetRisk), 1)
+      << diags.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Deduplication and machine-readable rendering.
+
+TEST(DiagnosticsTest, DeduplicateKeepsFirstOfEachRepeat) {
+  DiagnosticList list;
+  list.Add(Severity::kWarning, RuleId::kMO030_DeadVertex, "dead", 3);
+  list.Add(Severity::kError, RuleId::kMO001_TypeMismatch, "types", 1);
+  list.Add(Severity::kWarning, RuleId::kMO030_DeadVertex, "dead", 3);
+  list.Add(Severity::kWarning, RuleId::kMO030_DeadVertex, "other msg", 3);
+  list.Deduplicate();
+  ASSERT_EQ(list.diagnostics().size(), 3u);
+  EXPECT_EQ(list.diagnostics()[0].message, "dead");
+  EXPECT_EQ(list.diagnostics()[1].message, "types");
+  EXPECT_EQ(list.diagnostics()[2].message, "other msg");
+}
+
+TEST(RenderTest, JsonGolden) {
+  DiagnosticList list;
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.rule = RuleId::kMO060_DistBudgetExceeded;
+  d.message = "stage \"v2\"\nover budget";
+  d.vertex = 2;
+  d.edge_arg = 1;
+  d.line = 7;
+  d.column = 3;
+  list.Add(std::move(d));
+  std::string json = RenderDiagnosticsJson({{"prog.mla", std::move(list)}});
+  EXPECT_EQ(json,
+            "{\n"
+            "  \"version\": 1,\n"
+            "  \"files\": [\n"
+            "    {\n"
+            "      \"path\": \"prog.mla\",\n"
+            "      \"diagnostics\": [\n"
+            "        { \"rule\": \"MO060\", \"severity\": \"error\", "
+            "\"message\": \"stage \\\"v2\\\"\\nover budget\", \"vertex\": 2, "
+            "\"edge_arg\": 1, \"line\": 7, \"column\": 3 }\n"
+            "      ]\n"
+            "    }\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(RenderTest, SarifStructureAndResultGolden) {
+  DiagnosticList list;
+  Diagnostic d;
+  d.severity = Severity::kWarning;
+  d.rule = RuleId::kMO061_DistBudgetRisk;
+  d.message = "can exceed budget";
+  d.vertex = 4;
+  d.line = 12;
+  d.column = 5;
+  list.Add(std::move(d));
+  std::string sarif = RenderDiagnosticsSarif({{"p.mla", std::move(list)}});
+  EXPECT_NE(
+      sarif.find("\"$schema\": \"https://json.schemastore.org/sarif-2.1.0"),
+      std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"matopt_lint\""), std::string::npos);
+  // Every shipped rule appears in the driver's catalog.
+  for (RuleId rule : AllRuleIds()) {
+    EXPECT_NE(sarif.find("{ \"id\": \"" + std::string(RuleIdName(rule))),
+              std::string::npos)
+        << RuleIdName(rule);
+  }
+  EXPECT_NE(sarif.find("        {\n"
+                       "          \"ruleId\": \"MO061\",\n"
+                       "          \"level\": \"warning\",\n"
+                       "          \"message\": { \"text\": \"can exceed "
+                       "budget\" },\n"),
+            std::string::npos)
+      << sarif;
+  EXPECT_NE(sarif.find("\"region\": { \"startLine\": 12, \"startColumn\": 5 }"),
+            std::string::npos)
+      << sarif;
+}
+
+TEST(RenderTest, EmptyInputsRenderValidDocuments) {
+  EXPECT_EQ(RenderDiagnosticsJson({}),
+            "{\n  \"version\": 1,\n  \"files\": []\n}\n");
+  std::string sarif = RenderDiagnosticsSarif({});
+  EXPECT_NE(sarif.find("\"results\": []"), std::string::npos) << sarif;
+}
+
+}  // namespace
+}  // namespace matopt

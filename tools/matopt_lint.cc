@@ -2,16 +2,22 @@
 //
 // Lints each program with the multi-pass analysis pipeline (DESIGN.md §9):
 // parses, runs the graph passes, then optimizes and runs the plan passes
-// over the resulting physical plan, printing rustc-style diagnostics.
-// Exit code: 0 when every file is clean (warnings allowed unless
-// --werror), 1 when any file has errors, 2 on usage/IO problems.
+// over the resulting physical plan — including the abstract-interpretation
+// dist budget pre-flight (DESIGN.md §14) — printing rustc-style
+// diagnostics or machine-readable reports.
+// Exit code: 0 when every file is clean of findings at or above the
+// --fail-on threshold, 1 otherwise, 2 on usage problems.
 //
 // Usage: matopt_lint [options] program.mla...
 //   --workers N          cluster size for format feasibility (default 10)
 //   --no-plan            lint the logical graph only; skip the optimizer
 //   --check-optimality   debug harness: cross-check the DP plan against
 //                        brute force on small graphs (rule MO050)
-//   --werror             treat warnings as errors
+//   --format=FMT         text (default), json, or sarif (SARIF 2.1.0 for
+//                        code-scanning upload)
+//   --fail-on=SEV        exit non-zero on findings at or above SEV:
+//                        error (default) or warning
+//   --werror             alias for --fail-on=warning
 //   --rules              print the rule catalog and exit
 //   -q                   only print findings, no per-file status lines
 
@@ -23,6 +29,7 @@
 #include <vector>
 
 #include "analysis/analyze.h"
+#include "analysis/sarif.h"
 #include "core/cost/cost_model.h"
 #include "core/opt/optimizer.h"
 #include "frontend/frontend_lint.h"
@@ -31,12 +38,15 @@ using namespace matopt;
 
 namespace {
 
+enum class OutputFormat { kText, kJson, kSarif };
+
 struct LintConfig {
   int workers = 10;
   bool plan = true;
   bool check_optimality = false;
-  bool werror = false;
+  bool fail_on_warning = false;
   bool quiet = false;
+  OutputFormat format = OutputFormat::kText;
 };
 
 void PrintRules() {
@@ -61,8 +71,11 @@ bool ParsePosition(const std::string& message, int* line, int* column) {
   return true;
 }
 
-/// Lints one file. Returns the number of error-severity findings.
-int LintFile(const std::string& path, const LintConfig& config) {
+/// Lints one file. Returns the number of findings at or above the fail-on
+/// threshold; machine formats stash the deduplicated list for the final
+/// report instead of printing.
+int LintFile(const std::string& path, const LintConfig& config,
+             std::vector<FileDiagnostics>* machine_out) {
   std::ifstream file(path);
   if (!file) {
     std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
@@ -76,6 +89,9 @@ int LintFile(const std::string& path, const LintConfig& config) {
   ClusterConfig cluster = SimSqlProfile(config.workers);
 
   AnalysisOptions options;
+  // Lint is the static entry point: pre-flight every dist exchange stage
+  // against the cluster budgets (MO060/MO061) before anything executes.
+  options.dist_preflight = true;
   DiagnosticList diagnostics;
   Result<ParsedProgram> program =
       ParseProgramChecked(source, catalog, cluster, &diagnostics, options);
@@ -92,8 +108,7 @@ int LintFile(const std::string& path, const LintConfig& config) {
     } else {
       d.message = "parse error: " + message;
     }
-    std::fputs(RenderDiagnostic(d, path, source).c_str(), stdout);
-    return 1;
+    diagnostics.Add(std::move(d));
   }
 
   if (program.ok() && config.plan) {
@@ -115,23 +130,34 @@ int LintFile(const std::string& path, const LintConfig& config) {
                                 cluster, options, config.check_optimality);
     }
   }
+  // Post-parse and post-search entry points can double-report the same
+  // finding; machine-readable counts must be stable.
+  diagnostics.Deduplicate();
 
-  int errors = 0;
+  int fails = 0;
   for (const Diagnostic& d : diagnostics.diagnostics()) {
     bool counts = d.severity == Severity::kError ||
-                  (config.werror && d.severity == Severity::kWarning);
-    errors += counts ? 1 : 0;
-    std::fputs(RenderDiagnostic(d, path, source).c_str(), stdout);
+                  (config.fail_on_warning && d.severity == Severity::kWarning);
+    fails += counts ? 1 : 0;
   }
-  if (!config.quiet) {
-    std::printf("%s: %s (%d error%s, %d warning%s, %d note%s)\n", path.c_str(),
-                errors > 0 ? "FAIL" : "ok", errors, errors == 1 ? "" : "s",
-                diagnostics.CountSeverity(Severity::kWarning),
-                diagnostics.CountSeverity(Severity::kWarning) == 1 ? "" : "s",
-                diagnostics.CountSeverity(Severity::kNote),
-                diagnostics.CountSeverity(Severity::kNote) == 1 ? "" : "s");
+  if (config.format == OutputFormat::kText) {
+    for (const Diagnostic& d : diagnostics.diagnostics()) {
+      std::fputs(RenderDiagnostic(d, path, source).c_str(), stdout);
+    }
+    if (!config.quiet) {
+      std::printf("%s: %s (%d error%s, %d warning%s, %d note%s)\n",
+                  path.c_str(), fails > 0 ? "FAIL" : "ok",
+                  diagnostics.CountSeverity(Severity::kError),
+                  diagnostics.CountSeverity(Severity::kError) == 1 ? "" : "s",
+                  diagnostics.CountSeverity(Severity::kWarning),
+                  diagnostics.CountSeverity(Severity::kWarning) == 1 ? "" : "s",
+                  diagnostics.CountSeverity(Severity::kNote),
+                  diagnostics.CountSeverity(Severity::kNote) == 1 ? "" : "s");
+    }
+  } else {
+    machine_out->push_back(FileDiagnostics{path, std::move(diagnostics)});
   }
-  return errors;
+  return fails;
 }
 
 }  // namespace
@@ -148,7 +174,29 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--check-optimality") == 0) {
       config.check_optimality = true;
     } else if (std::strcmp(arg, "--werror") == 0) {
-      config.werror = true;
+      config.fail_on_warning = true;
+    } else if (std::strncmp(arg, "--fail-on=", 10) == 0) {
+      const char* sev = arg + 10;
+      if (std::strcmp(sev, "warning") == 0) {
+        config.fail_on_warning = true;
+      } else if (std::strcmp(sev, "error") == 0) {
+        config.fail_on_warning = false;
+      } else {
+        std::fprintf(stderr, "unknown --fail-on severity '%s'\n", sev);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--format=", 9) == 0) {
+      const char* fmt = arg + 9;
+      if (std::strcmp(fmt, "text") == 0) {
+        config.format = OutputFormat::kText;
+      } else if (std::strcmp(fmt, "json") == 0) {
+        config.format = OutputFormat::kJson;
+      } else if (std::strcmp(fmt, "sarif") == 0) {
+        config.format = OutputFormat::kSarif;
+      } else {
+        std::fprintf(stderr, "unknown --format '%s'\n", fmt);
+        return 2;
+      }
     } else if (std::strcmp(arg, "--rules") == 0) {
       PrintRules();
       return 0;
@@ -164,13 +212,20 @@ int main(int argc, char** argv) {
   if (files.empty()) {
     std::fprintf(stderr,
                  "usage: matopt_lint [--workers N] [--no-plan] "
-                 "[--check-optimality] [--werror] [--rules] [-q] "
+                 "[--check-optimality] [--format=text|json|sarif] "
+                 "[--fail-on=error|warning] [--werror] [--rules] [-q] "
                  "program.mla...\n");
     return 2;
   }
-  int total_errors = 0;
+  std::vector<FileDiagnostics> machine_out;
+  int total_fails = 0;
   for (const std::string& path : files) {
-    total_errors += LintFile(path, config);
+    total_fails += LintFile(path, config, &machine_out);
   }
-  return total_errors > 0 ? 1 : 0;
+  if (config.format == OutputFormat::kJson) {
+    std::fputs(RenderDiagnosticsJson(machine_out).c_str(), stdout);
+  } else if (config.format == OutputFormat::kSarif) {
+    std::fputs(RenderDiagnosticsSarif(machine_out).c_str(), stdout);
+  }
+  return total_fails > 0 ? 1 : 0;
 }
