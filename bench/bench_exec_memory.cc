@@ -70,6 +70,7 @@ Workload MakeChain(const Catalog& catalog, const CostModel& model,
 struct RunResult {
   double seconds = 0.0;
   MemoryStats memory;
+  std::vector<ExecStats::StageRecord> stages;
   std::unordered_map<int, DenseMatrix> sinks;
 };
 
@@ -96,6 +97,7 @@ RunResult RunOnce(const Workload& w, const Catalog& catalog,
     if (rep == 0 || secs < best.seconds) best.seconds = secs;
     if (rep == 0) {
       best.memory = result.value().stats.memory;
+      best.stages = result.value().stats.stages;
       for (const auto& [sink, rel] : result.value().sinks) {
         best.sinks.emplace(sink, MaterializeDense(rel).value());
       }
@@ -139,6 +141,7 @@ int main(int argc, char** argv) {
     bool zero_copy;
     double seconds;
     MemoryStats memory;
+    std::vector<ExecStats::StageRecord> stages;
   };
   std::vector<Row> rows;
   bool all_identical = true;
@@ -162,7 +165,8 @@ int main(int argc, char** argv) {
                        "reference\n",
                        w.name.c_str(), threads, zero_copy);
         }
-        rows.push_back({w.name, threads, zero_copy, r.seconds, r.memory});
+        rows.push_back(
+            {w.name, threads, zero_copy, r.seconds, r.memory, r.stages});
         std::printf("%-14s %7d %9s %9.3f %12.1f %12.1f %7lld %7.0f%%\n",
                     w.name.c_str(), threads, zero_copy ? "on" : "off",
                     r.seconds, r.memory.bytes_copied / 1e6,
@@ -189,6 +193,27 @@ int main(int argc, char** argv) {
                 off > 0.0 ? 100.0 * (1.0 - on / off) : 0.0, t_off, t_on,
                 t_on > 0.0 ? t_off / t_on : 0.0);
   }
+  // Per-stage memory-traffic breakdown (zero-copy on, 8 threads) so
+  // fused and unfused stages are separately attributable: a fused stage
+  // shows bytes avoided instead of copied/moved output payloads.
+  for (const Row& r : rows) {
+    if (r.threads != 8 || !r.zero_copy) continue;
+    std::printf("\n%s per-stage memory traffic (zero-copy on, 8 threads)\n",
+                r.workload.c_str());
+    std::printf("  %-26s %9s %11s %11s %11s %6s\n", "stage", "seconds",
+                "copiedMB", "movedMB", "avoidedMB", "fusedk");
+    for (const auto& s : r.stages) {
+      if (s.mem_bytes_copied == 0.0 && s.mem_bytes_moved == 0.0 &&
+          s.mem_fused_bytes_avoided == 0.0 && s.mem_fused_kernels == 0) {
+        continue;
+      }
+      std::printf("  %-26s %9.4f %11.2f %11.2f %11.2f %6lld\n",
+                  s.label.c_str(), s.seconds, s.mem_bytes_copied / 1e6,
+                  s.mem_bytes_moved / 1e6, s.mem_fused_bytes_avoided / 1e6,
+                  static_cast<long long>(s.mem_fused_kernels));
+    }
+  }
+
   std::printf("outputs bit-identical across all configurations: %s\n",
               all_identical ? "yes" : "NO");
 

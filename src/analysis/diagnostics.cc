@@ -40,6 +40,8 @@ const char* RuleIdName(RuleId rule) {
     case RuleId::kMO060_DistBudgetExceeded: return "MO060";
     case RuleId::kMO061_DistBudgetRisk: return "MO061";
     case RuleId::kMO062_CostEnvelope: return "MO062";
+    case RuleId::kMO070_FusedGroupInvalid: return "MO070";
+    case RuleId::kMO071_FusionNotBeneficial: return "MO071";
   }
   return "MO???";
 }
@@ -94,6 +96,11 @@ const char* RuleIdDescription(RuleId rule) {
              "sound bounds";
     case RuleId::kMO062_CostEnvelope:
       return "planner cost lies outside the bounds-derived cost envelope";
+    case RuleId::kMO070_FusedGroupInvalid:
+      return "fused group violates the shape/ownership/chain fusion rules";
+    case RuleId::kMO071_FusionNotBeneficial:
+      return "fused group's predicted savings are not positive (the costed "
+             "no-fusion alternative was cheaper)";
   }
   return "unknown rule";
 }
@@ -111,6 +118,7 @@ std::vector<RuleId> AllRuleIds() {
       RuleId::kMO042_BadCost,        RuleId::kMO050_NotOptimal,
       RuleId::kMO051_CheckSkipped,   RuleId::kMO060_DistBudgetExceeded,
       RuleId::kMO061_DistBudgetRisk, RuleId::kMO062_CostEnvelope,
+      RuleId::kMO070_FusedGroupInvalid, RuleId::kMO071_FusionNotBeneficial,
   };
 }
 

@@ -28,6 +28,7 @@ const char* SeverityName(Severity severity);
 ///   MO04x  annotation completeness & cost (CompletenessPass)
 ///   MO05x  optimality cross-check         (OptimalityCheckPass)
 ///   MO06x  dataflow bounds & pre-flight   (DataflowPass)
+///   MO07x  fused-group consistency        (FusionPass)
 /// Identifiers are append-only: never renumber a shipped rule.
 enum class RuleId {
   kMO001_TypeMismatch = 0,   // re-inferred type differs from Vertex::type
@@ -52,6 +53,8 @@ enum class RuleId {
   kMO060_DistBudgetExceeded, // a dist stage definitely breaks a budget
   kMO061_DistBudgetRisk,     // a dist stage may break a budget (upper bound)
   kMO062_CostEnvelope,       // planner cost outside the bounds-derived envelope
+  kMO070_FusedGroupInvalid,  // fused group breaks shape/ownership/chain rules
+  kMO071_FusionNotBeneficial,  // costed no-fusion alternative was cheaper
 };
 
 /// The stable "MOxxx" spelling of a rule id.

@@ -97,7 +97,7 @@ class AnalysisPipeline {
   std::vector<std::unique_ptr<AnalysisPass>> passes_;
 };
 
-/// The default pipeline: the six shipped passes in dependency order
+/// The default pipeline: the seven shipped passes in dependency order
 /// (structure first, so later passes may assume a well-formed graph).
 /// `with_optimality_check` appends the debug-mode brute-force cross-check
 /// (expensive; off in production paths).
@@ -112,6 +112,7 @@ std::unique_ptr<AnalysisPass> MakeCompletenessPass();
 std::unique_ptr<AnalysisPass> MakeLayoutCompatPass();
 std::unique_ptr<AnalysisPass> MakeOptimalityCheckPass();
 std::unique_ptr<AnalysisPass> MakeDataflowPass();
+std::unique_ptr<AnalysisPass> MakeFusionPass();
 
 }  // namespace matopt
 

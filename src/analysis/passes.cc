@@ -6,6 +6,7 @@
 #include "analysis/pass.h"
 #include "core/cost/sparsity.h"
 #include "core/format/format.h"
+#include "core/fusion/fusion.h"
 
 namespace matopt {
 
@@ -535,6 +536,72 @@ class DataflowPass : public AnalysisPass {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Pass 7: fused-group consistency (DESIGN.md §15). Every group the plan
+// carries must satisfy the full fusion legality rules (MO070) — the
+// executor's pre-flight runs this pass, so illegal hand-built groups are
+// rejected before any member passes payloads through. Groups must also be
+// pairwise vertex-disjoint and no group's base may be another group's
+// member (an in-place chain over shared payloads would corrupt them).
+// When a cost model is in scope, a group whose predicted savings are not
+// positive draws an MO071 warning: the costed no-fusion alternative was
+// cheaper, so the planner should not have kept it.
+
+class FusionPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "fusion-groups"; }
+  bool needs_annotation() const override { return true; }
+
+  void Run(const AnalysisContext& ctx, DiagnosticList* out) const override {
+    const Annotation& plan = *ctx.annotation;
+    if (plan.fusion.empty()) return;
+    if (static_cast<int>(plan.vertices.size()) != ctx.graph.num_vertices()) {
+      return;  // MO040 covers malformed annotations
+    }
+    std::vector<int> claimed(ctx.graph.num_vertices(), -1);  // -1 = free
+    for (size_t g = 0; g < plan.fusion.groups.size(); ++g) {
+      const FusedGroup& group = plan.fusion.groups[g];
+      Status st = ValidateFusedGroup(ctx.graph, plan, group);
+      if (!st.ok()) {
+        out->Add(Severity::kError, RuleId::kMO070_FusedGroupInvalid,
+                 "fused group " + std::to_string(g) + ": " + st.message(),
+                 group.base >= 0 && group.base < ctx.graph.num_vertices()
+                     ? group.base
+                     : -1);
+        continue;
+      }
+      auto claim = [&](int v, const char* role) {
+        if (claimed[v] >= 0) {
+          out->Add(Severity::kError, RuleId::kMO070_FusedGroupInvalid,
+                   "fused group " + std::to_string(g) + ": " + role + " " +
+                       VertexLabel(ctx.graph, v) +
+                       " already belongs to fused group " +
+                       std::to_string(claimed[v]),
+                   v);
+          return;
+        }
+        claimed[v] = static_cast<int>(g);
+      };
+      claim(group.base, "base");
+      for (int m : group.members) claim(m, "member");
+      if (ctx.model != nullptr) {
+        double savings = FusedGroupSavings(ctx.graph, plan, ctx.catalog,
+                                           *ctx.model, ctx.cluster, group);
+        if (!(savings > 0.0)) {
+          std::ostringstream msg;
+          msg << "fused group " << g << " (base "
+              << VertexLabel(ctx.graph, group.base) << ", "
+              << group.members.size()
+              << " member(s)) predicts savings of " << savings
+              << " sec; the costed no-fusion alternative was cheaper";
+          out->Add(Severity::kWarning, RuleId::kMO071_FusionNotBeneficial,
+                   msg.str(), group.base);
+        }
+      }
+    }
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<AnalysisPass> MakeGraphHygienePass() {
@@ -554,6 +621,9 @@ std::unique_ptr<AnalysisPass> MakeLayoutCompatPass() {
 }
 std::unique_ptr<AnalysisPass> MakeDataflowPass() {
   return std::make_unique<DataflowPass>();
+}
+std::unique_ptr<AnalysisPass> MakeFusionPass() {
+  return std::make_unique<FusionPass>();
 }
 
 DiagnosticList AnalysisPipeline::Run(const AnalysisContext& ctx) const {
@@ -589,6 +659,7 @@ AnalysisPipeline DefaultPipeline(bool with_optimality_check) {
   pipeline.AddPass(MakeCompletenessPass());
   pipeline.AddPass(MakeLayoutCompatPass());
   pipeline.AddPass(MakeDataflowPass());
+  pipeline.AddPass(MakeFusionPass());
   if (with_optimality_check) pipeline.AddPass(MakeOptimalityCheckPass());
   return pipeline;
 }

@@ -1,0 +1,376 @@
+#include "core/fusion/fusion.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "core/format/format.h"
+
+namespace matopt {
+
+namespace {
+
+// -1 = no override (environment decides), 0 = forced off, 1 = forced on.
+// Same shape as the SIMD and BufferPool overrides.
+std::atomic<int> g_fusion_override{-1};
+
+bool ReadEnvEnabled() {
+  const char* env = std::getenv("MATOPT_FUSION");
+  if (env != nullptr) return env[0] != '0';
+  return FusionCompiled();
+}
+
+/// True for the dense elementwise implementations whose in-place kernels
+/// back the fused interpreter (la/fused.h). Sparse and GPU variants stay
+/// unfused: their outputs are not plain dense payloads.
+bool FusableMemberImpl(ImplKind impl) {
+  switch (impl) {
+    case ImplKind::kAddZip:
+    case ImplKind::kSubZip:
+    case ImplKind::kHadamardZip:
+    case ImplKind::kElemDivZip:
+    case ImplKind::kReluGradZip:
+    case ImplKind::kScalarMulMap:
+    case ImplKind::kReluMap:
+    case ImplKind::kSigmoidMap:
+    case ImplKind::kExpMap:
+    case ImplKind::kBroadcastRowAddBcastVec:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Checks one candidate member `m` continuing the chain at `prev` inside a
+/// group based at `base` (output format `fmt`, shape `base_type`).
+/// Returns nullptr when the member is admissible, else a static message
+/// describing the violation (shared by ValidateFusedGroup and the
+/// detector so they can never disagree).
+const char* MemberViolation(const ComputeGraph& graph,
+                            const Annotation& annotation, int base,
+                            FormatId fmt, const MatrixType& base_type,
+                            const std::vector<char>& in_group, int prev,
+                            int m) {
+  if (m < 0 || m >= graph.num_vertices()) return "member id out of range";
+  if (in_group[m]) return "member listed twice in the group";
+  const Vertex& mx = graph.vertex(m);
+  if (!FusableMemberOp(mx.op)) return "member op is not elementwise-fusable";
+  const VertexAnnotation& mva = annotation.at(m);
+  if (!FusableMemberImpl(mva.impl)) {
+    return "member impl is not a dense elementwise kernel";
+  }
+  if (mva.output_format != fmt) {
+    return "member output format differs from the base (exchange boundary)";
+  }
+  if (mx.type.rows() != base_type.rows() ||
+      mx.type.cols() != base_type.cols()) {
+    return "member shape differs from the base output";
+  }
+  const int acc = FusedAccumulatorArg(mx.op, mx, prev);
+  if (acc < 0) {
+    return "member does not consume the previous group vertex as its "
+           "accumulator";
+  }
+  if (mva.input_edges.size() != mx.inputs.size()) {
+    return "member annotation is missing input edges";
+  }
+  for (size_t j = 0; j < mx.inputs.size(); ++j) {
+    const EdgeAnnotation& e = mva.input_edges[j];
+    // The chain applies at the base, before any member-edge transform has
+    // run, so transformed operands are normally unreachable (an edge
+    // transform is the engine's data exchange). The one exception is the
+    // broadcast-row-add vector: its producer's 1 x cols output is
+    // physically a single tuple under single-tuple and row-strip layouts,
+    // so the chain can read the untransformed payload directly — the
+    // repartition changes metadata, not values.
+    const Layout pin_layout = BuiltinFormats()[e.pin].layout;
+    const bool single_tuple_vector =
+        mx.op == OpKind::kBroadcastRowAdd && static_cast<int>(j) != acc &&
+        (pin_layout == Layout::kSingleTuple ||
+         pin_layout == Layout::kRowStrips);
+    if (e.transform.has_value() && !single_tuple_vector) {
+      return "member input edge carries a transform (exchange boundary)";
+    }
+    if (e.pin != annotation.at(mx.inputs[j]).output_format ||
+        (!e.transform.has_value() && e.pout != e.pin)) {
+      return "member input edge format disagrees with its producer";
+    }
+    if (static_cast<int>(j) == acc) continue;
+    const int operand = mx.inputs[j];
+    if (operand == prev || in_group[operand]) {
+      return "member operand lies inside the group";
+    }
+    if (operand >= base) {
+      return "member operand is not produced before the base (would be "
+             "dead when the fused chain runs)";
+    }
+    // Zip operands must be tuple-aligned with the accumulator; the
+    // broadcast-row-add vector rides in its own single-tuple format.
+    if (mx.op != OpKind::kBroadcastRowAdd && e.pout != fmt) {
+      return "member operand format differs from the base";
+    }
+  }
+  return nullptr;
+}
+
+/// Base admissibility shared by the validator and the detector. The
+/// consumer count is checked by the caller (it needs the consumer lists).
+const char* BaseViolation(const ComputeGraph& graph,
+                          const Annotation& annotation, int base) {
+  if (base < 0 || base >= graph.num_vertices()) return "base id out of range";
+  const Vertex& bx = graph.vertex(base);
+  if (bx.op == OpKind::kInput) return "base is an input vertex";
+  const VertexAnnotation& bva = annotation.at(base);
+  if (bva.output_format == kNoFormat ||
+      BuiltinFormats()[bva.output_format].sparse()) {
+    return "base output is not a dense format";
+  }
+  if (ImplClassOf(bva.impl) == ImplClass::kGpu) {
+    return "base runs on the GPU (payloads are staged, not fused)";
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool FusionCompiled() {
+#ifdef MATOPT_FUSION_OFF
+  return false;
+#else
+  return true;
+#endif
+}
+
+bool FusionEnabled() {
+  const int override_value = g_fusion_override.load(std::memory_order_relaxed);
+  if (override_value >= 0) return override_value != 0;
+  return ReadEnvEnabled();
+}
+
+void OverrideFusionEnabled(bool enabled) {
+  g_fusion_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void ClearFusionOverride() {
+  g_fusion_override.store(-1, std::memory_order_relaxed);
+}
+
+bool FusableMemberOp(OpKind op) {
+  switch (op) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kHadamard:
+    case OpKind::kElemDiv:
+    case OpKind::kScalarMul:
+    case OpKind::kRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kExp:
+    case OpKind::kReluGrad:
+    case OpKind::kBroadcastRowAdd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int FusedAccumulatorArg(OpKind op, const Vertex& vertex, int producer) {
+  if (!FusableMemberOp(op)) return -1;
+  switch (op) {
+    case OpKind::kScalarMul:
+    case OpKind::kRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kExp:
+    case OpKind::kBroadcastRowAdd:
+      // Unary maps and the row broadcast transform their first argument.
+      return !vertex.inputs.empty() && vertex.inputs[0] == producer ? 0 : -1;
+    default:
+      break;
+  }
+  // Binary zips accept the accumulator on either side, but not both: the
+  // secondary operand must be live outside the group.
+  if (vertex.inputs.size() != 2) return -1;
+  const bool lhs = vertex.inputs[0] == producer;
+  const bool rhs = vertex.inputs[1] == producer;
+  if (lhs == rhs) return -1;
+  return lhs ? 0 : 1;
+}
+
+Status ValidateFusedGroup(const ComputeGraph& graph,
+                          const Annotation& annotation,
+                          const FusedGroup& group) {
+  if (static_cast<int>(annotation.vertices.size()) != graph.num_vertices()) {
+    return Status::InvalidArgument("annotation does not match the graph");
+  }
+  if (group.members.empty()) {
+    return Status::InvalidArgument("fused group has no members");
+  }
+  if (const char* why = BaseViolation(graph, annotation, group.base)) {
+    return Status::InvalidArgument(why);
+  }
+  const auto consumers = graph.BuildConsumers();
+  std::vector<char> in_group(graph.num_vertices(), 0);
+  in_group[group.base] = 1;
+  const FormatId fmt = annotation.at(group.base).output_format;
+  const MatrixType& base_type = graph.vertex(group.base).type;
+  int prev = group.base;
+  for (size_t i = 0; i < group.members.size(); ++i) {
+    // Every non-final group vertex must feed exactly its successor: a
+    // second consumer would read the chain's intermediate value, which is
+    // never materialized.
+    if (consumers[prev].size() != 1) {
+      return Status::InvalidArgument(
+          "non-final group vertex has multiple consumers (materialization "
+          "point)");
+    }
+    const int m = group.members[i];
+    if (const char* why = MemberViolation(graph, annotation, group.base, fmt,
+                                          base_type, in_group, prev, m)) {
+      return Status::InvalidArgument(why);
+    }
+    in_group[m] = 1;
+    prev = m;
+  }
+  return Status::OK();
+}
+
+FusionPlan DetectFusionPlan(const ComputeGraph& graph,
+                            const Annotation& annotation) {
+  FusionPlan plan;
+  if (static_cast<int>(annotation.vertices.size()) != graph.num_vertices()) {
+    return plan;
+  }
+  const auto consumers = graph.BuildConsumers();
+  std::vector<char> used(graph.num_vertices(), 0);
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    if (used[v]) continue;
+    if (BaseViolation(graph, annotation, v) != nullptr) continue;
+    if (consumers[v].size() != 1) continue;
+    const FormatId fmt = annotation.at(v).output_format;
+    const MatrixType& base_type = graph.vertex(v).type;
+    FusedGroup group;
+    group.base = v;
+    std::vector<char> in_group(graph.num_vertices(), 0);
+    in_group[v] = 1;
+    int prev = v;
+    while (consumers[prev].size() == 1) {
+      const int next = consumers[prev][0];
+      if (used[next] != 0 ||
+          MemberViolation(graph, annotation, v, fmt, base_type, in_group, prev,
+                          next) != nullptr) {
+        break;
+      }
+      group.members.push_back(next);
+      in_group[next] = 1;
+      prev = next;
+      // A multi-consumer member is a CSE-aware materialization point: it
+      // ends this chain (its value must exist for the other consumers)
+      // and may seed a fresh chain of its own later.
+    }
+    if (group.members.empty()) continue;
+    used[v] = 1;
+    for (int m : group.members) used[m] = 1;
+    plan.groups.push_back(std::move(group));
+  }
+  return plan;
+}
+
+double FusedGroupBytesAvoided(const ComputeGraph& graph,
+                              const FusedGroup& group) {
+  double bytes = 0.0;
+  for (int m : group.members) {
+    const MatrixType& t = graph.vertex(m).type;
+    bytes += 8.0 * static_cast<double>(t.rows()) *
+             static_cast<double>(t.cols());
+  }
+  return bytes;
+}
+
+double FusedGroupSavings(const ComputeGraph& graph,
+                         const Annotation& annotation, const Catalog& catalog,
+                         const CostModel& model, const ClusterConfig& cluster,
+                         const FusedGroup& group) {
+  double total = 0.0;
+  for (int m : group.members) {
+    const std::vector<ArgInfo> args = ArgsForVertex(graph, annotation, m);
+    const ImplKind impl = annotation.at(m).impl;
+    const OpFeatures full = catalog.ImplFeatures(impl, args, cluster);
+    // Fused-op features: the member's output is never materialized (no
+    // intermediate-store or output bytes), its per-tuple dispatch loop is
+    // not re-paid, and one operator stage of latency disappears. Flops
+    // and network bytes are still spent, so they do not appear here.
+    OpFeatures saved{};
+    saved.inter_bytes = full.out_bytes;
+    saved.tuples = full.tuples;
+    saved.out_bytes = full.out_bytes;
+    saved.latency_ops = 1.0;
+    const double savings = model.Predict(ImplClass::kMap, saved);
+    // Cap at the member's full predicted cost: a fused member can at best
+    // become free, so a (learned) model can never drive the plan cost
+    // negative through fusion.
+    const double cap = model.Predict(ImplClassOf(impl), full);
+    total += std::min(savings, cap);
+  }
+  return total;
+}
+
+double FusionPlanSavings(const ComputeGraph& graph,
+                         const Annotation& annotation, const Catalog& catalog,
+                         const CostModel& model, const ClusterConfig& cluster) {
+  double total = 0.0;
+  for (const FusedGroup& group : annotation.fusion.groups) {
+    total += FusedGroupSavings(graph, annotation, catalog, model, cluster,
+                               group);
+  }
+  return total;
+}
+
+void PlanFusion(const ComputeGraph& graph, const Catalog& catalog,
+                const CostModel& model, const ClusterConfig& cluster,
+                const OptimizerOptions& options, PlanResult* result) {
+  result->annotation.fusion.groups.clear();
+  result->fused_cost = result->cost;
+  if (!options.plan_fusion || !FusionEnabled()) return;
+
+  // Maximal chains bound the grouping space: chains are vertex-disjoint
+  // and every contiguous segmentation of a maximal chain is itself a
+  // valid set of groups (each interior vertex is single-consumer and
+  // dense, so it qualifies as a segment head). Savings are per-member and
+  // independent, so the split-point DP reduces to one head-or-extend
+  // decision per member — exactly the brute-force optimum over all
+  // segmentations, including "no fusion".
+  const FusionPlan maximal = DetectFusionPlan(graph, result->annotation);
+  int64_t states = 0;
+  double total_savings = 0.0;
+  for (const FusedGroup& chain : maximal.groups) {
+    FusedGroup current;
+    current.base = chain.base;
+    for (int m : chain.members) {
+      FusedGroup single;
+      single.base = current.base;  // unused; savings are per-member
+      single.members = {m};
+      const double s = FusedGroupSavings(graph, result->annotation, catalog,
+                                         model, cluster, single);
+      states += 2;  // fuse-into-current vs materialize-and-restart
+      if (s > 0.0) {
+        current.members.push_back(m);
+        total_savings += s;
+      } else {
+        // The costed no-fusion alternative is cheaper: materialize here
+        // and let the rest of the chain regroup behind a new base.
+        if (!current.members.empty()) {
+          result->annotation.fusion.groups.push_back(current);
+        }
+        current = FusedGroup();
+        current.base = m;
+      }
+    }
+    if (!current.members.empty()) {
+      result->annotation.fusion.groups.push_back(current);
+    }
+  }
+  result->states_explored += states;
+  result->fused_cost = result->cost - total_savings;
+}
+
+}  // namespace matopt

@@ -1,0 +1,108 @@
+#ifndef MATOPT_CORE_FUSION_FUSION_H_
+#define MATOPT_CORE_FUSION_FUSION_H_
+
+#include "common/status.h"
+#include "core/cost/cost_model.h"
+#include "core/fusion/fusion_plan.h"
+#include "core/graph/graph.h"
+#include "core/ops/catalog.h"
+#include "core/opt/annotation.h"
+#include "core/opt/optimizer.h"
+#include "engine/cluster.h"
+
+namespace matopt {
+
+// ---------------------------------------------------------------------------
+// Runtime knob (mirrors the MATOPT_SIMD trio in la/simd.h).
+
+/// True when the build compiled with fusion on by default
+/// (-DMATOPT_FUSION=ON, the default).
+bool FusionCompiled();
+
+/// Effective switch: test override if set, else the MATOPT_FUSION
+/// environment variable (on unless exactly "0"), else the compiled
+/// default. Fusion is output-invariant — the knob only changes which
+/// buffers are materialized, never a single sink byte.
+bool FusionEnabled();
+
+/// Forces fusion on/off for the calling process (tests, benches).
+void OverrideFusionEnabled(bool enabled);
+
+/// Returns control to the environment variable / compiled default.
+void ClearFusionOverride();
+
+// ---------------------------------------------------------------------------
+// Fusable-chain structure.
+
+/// True when `op` may appear as a fused-group *member*: a pure elementwise
+/// epilogue whose dense in-place kernel overwrites the accumulator tuple
+/// by tuple. Softmax (row-global), transposes, reductions, matmuls, and
+/// inverse are never members.
+bool FusableMemberOp(OpKind op);
+
+/// Index of the member's accumulator argument (the input that carries the
+/// group payload): 0 for unary maps and kBroadcastRowAdd, either side for
+/// binary zips (resolved against `producer`). Returns -1 when `op` is not
+/// fusable.
+int FusedAccumulatorArg(OpKind op, const Vertex& vertex, int producer);
+
+/// Checks one group against the annotated plan (shared by the detector,
+/// the MO070 analysis rule, and tests):
+///   - base is a non-input vertex with a dense, non-GPU annotated output;
+///   - members form a chain: each member's accumulator argument is the
+///     previous group vertex, shapes match the base output exactly, every
+///     member input edge is transform-free and format-matched (a format
+///     change is an exchange boundary — never fused across), and every
+///     interior member has exactly one consumer;
+///   - secondary operands are produced strictly before the base (so they
+///     are live when the chain runs) and lie outside the group.
+Status ValidateFusedGroup(const ComputeGraph& graph,
+                          const Annotation& annotation,
+                          const FusedGroup& group);
+
+/// Finds the maximal fusable chains of the annotated plan: for every
+/// candidate base, the longest valid member chain, stopping at
+/// multi-consumer vertices (CSE-aware materialization points — the chain
+/// may resume with the multi-consumer vertex as a new base). Groups are
+/// vertex-disjoint; single-vertex "chains" (no members) are dropped.
+FusionPlan DetectFusionPlan(const ComputeGraph& graph,
+                            const Annotation& annotation);
+
+/// Dense bytes the group never materializes: 8 * rows * cols summed over
+/// the members (each member's output payload is written in place instead
+/// of allocated + copied). Static — usable by explain before execution.
+double FusedGroupBytesAvoided(const ComputeGraph& graph,
+                              const FusedGroup& group);
+
+/// Model-predicted cost saved by running `group` fused: per member, the
+/// kMap-class prediction over the fused-op features (bytes not
+/// materialized, per-tuple loop overhead not re-paid), capped at the
+/// member's full annotated implementation cost so savings can never turn
+/// a plan cost negative.
+double FusedGroupSavings(const ComputeGraph& graph,
+                         const Annotation& annotation, const Catalog& catalog,
+                         const CostModel& model, const ClusterConfig& cluster,
+                         const FusedGroup& group);
+
+/// Total savings of `annotation.fusion` (the fuzz cost-agreement oracle
+/// recomputes this against PlanResult::fused_cost).
+double FusionPlanSavings(const ComputeGraph& graph,
+                         const Annotation& annotation, const Catalog& catalog,
+                         const CostModel& model, const ClusterConfig& cluster);
+
+/// Fuse-plan enumeration (DESIGN.md §15): for every maximal chain,
+/// enumerates the contiguous segmentations (including "no fusion") with a
+/// split-point DP, costs each grouping with the learned model, and keeps
+/// the cheapest. Writes the chosen groups into result->annotation.fusion,
+/// sets result->fused_cost = result->cost - total savings (result->cost
+/// itself is untouched — it remains the materialized-plan cost that
+/// AnnotationCost reconstructs), and adds the enumerated states to
+/// result->states_explored. No-op (fused_cost = cost) when
+/// options.plan_fusion is false or the runtime knob disables fusion.
+void PlanFusion(const ComputeGraph& graph, const Catalog& catalog,
+                const CostModel& model, const ClusterConfig& cluster,
+                const OptimizerOptions& options, PlanResult* result);
+
+}  // namespace matopt
+
+#endif  // MATOPT_CORE_FUSION_FUSION_H_

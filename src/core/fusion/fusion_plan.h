@@ -1,0 +1,33 @@
+#ifndef MATOPT_CORE_FUSION_FUSION_PLAN_H_
+#define MATOPT_CORE_FUSION_FUSION_PLAN_H_
+
+#include <vector>
+
+namespace matopt {
+
+/// One fused execution group (DESIGN.md §15). `base` is the vertex whose
+/// kernel actually runs (a matmul strip, a reduce, an elementwise head);
+/// `members` are elementwise epilogue vertices, in chain order, applied
+/// in place over the base's freshly materialized output payloads. Member
+/// vertices never materialize an output of their own: at their executor
+/// step they pass the already-transformed payloads through. The final
+/// member is the group's materialization point; every interior member is
+/// single-consumer.
+struct FusedGroup {
+  int base = -1;
+  std::vector<int> members;
+};
+
+/// The fusion decisions of one plan: vertex-disjoint groups in ascending
+/// base order. An empty plan means "no fusion". Carried on the Annotation
+/// so the decision is serialized, explained, and lint-checked like every
+/// other plan choice.
+struct FusionPlan {
+  std::vector<FusedGroup> groups;
+
+  bool empty() const { return groups.empty(); }
+};
+
+}  // namespace matopt
+
+#endif  // MATOPT_CORE_FUSION_FUSION_PLAN_H_

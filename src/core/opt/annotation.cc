@@ -160,6 +160,23 @@ std::string Annotation::ToString(const ComputeGraph& graph) const {
     }
     out << "\n";
   }
+  // Fused groups (DESIGN.md §15): each line names the base, the in-place
+  // member chain, and the intermediate bytes the chain never materializes
+  // (dense payload bytes of every member output).
+  for (size_t g = 0; g < fusion.groups.size(); ++g) {
+    const FusedGroup& group = fusion.groups[g];
+    double bytes_avoided = 0.0;
+    out << "fused group " << g << ": v" << group.base;
+    for (int m : group.members) {
+      out << " + v" << m;
+      if (m >= 0 && m < graph.num_vertices()) {
+        const MatrixType& t = graph.vertex(m).type;
+        bytes_avoided += 8.0 * static_cast<double>(t.rows()) *
+                         static_cast<double>(t.cols());
+      }
+    }
+    out << " (avoids " << bytes_avoided << " bytes)\n";
+  }
   return out.str();
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "core/cost/cost_model.h"
+#include "core/fusion/fusion_plan.h"
 #include "core/graph/graph.h"
 #include "core/ops/catalog.h"
 
@@ -31,9 +32,11 @@ struct VertexAnnotation {
 };
 
 /// An annotated compute graph G' (Section 4.2): implementation choices for
-/// every vertex and transformation choices for every edge.
+/// every vertex and transformation choices for every edge, plus the fused
+/// execution groups chosen by the fuse-plan enumerator (DESIGN.md §15).
 struct Annotation {
   std::vector<VertexAnnotation> vertices;
+  FusionPlan fusion;
 
   const VertexAnnotation& at(int v) const { return vertices[v]; }
   VertexAnnotation& at(int v) { return vertices[v]; }

@@ -6,6 +6,7 @@
 #include "analysis/analyze.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "core/fusion/fusion.h"
 #include "core/opt/enumerate.h"
 #include "core/opt/optimizer.h"
 
@@ -169,6 +170,7 @@ Result<PlanResult> BruteForceOptimize(const ComputeGraph& graph,
   if (sh.op_vertices.empty()) {
     result.annotation = std::move(init);
     result.cost = 0.0;
+    result.fused_cost = 0.0;
     result.opt_seconds = sh.watch.ElapsedSeconds();
     return result;
   }
@@ -225,6 +227,7 @@ Result<PlanResult> BruteForceOptimize(const ComputeGraph& graph,
   result.states_explored = states;
   MATOPT_RETURN_IF_ERROR(
       VerifySearchResult(graph, result.annotation, catalog, model, cluster));
+  PlanFusion(graph, catalog, model, cluster, options, &result);
   return result;
 }
 

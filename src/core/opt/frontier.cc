@@ -11,6 +11,7 @@
 #include "analysis/analyze.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "core/fusion/fusion.h"
 #include "core/opt/enumerate.h"
 #include "core/opt/optimizer.h"
 
@@ -593,6 +594,7 @@ Result<PlanResult> FrontierOptimize(const ComputeGraph& graph,
   result.beam_pruned = beam_pruned;
   MATOPT_RETURN_IF_ERROR(
       VerifySearchResult(graph, result.annotation, catalog, model, cluster));
+  PlanFusion(graph, catalog, model, cluster, options, &result);
   return result;
 }
 

@@ -45,12 +45,22 @@ struct OptimizerOptions {
   /// When false, dense->sparse conversions are disabled, pinning the plan
   /// to dense operations (the "PC No Sparsity" configuration of Fig 12).
   bool allow_sparse = true;
+
+  /// When true (default), the fuse-plan enumerator (DESIGN.md §15) runs
+  /// over the chosen annotation: elementwise epilogue chains are grouped
+  /// and costed with the same model, the winning grouping lands in
+  /// Annotation::fusion and PlanResult::fused_cost. The MATOPT_FUSION
+  /// runtime knob gates it as well.
+  bool plan_fusion = true;
 };
 
 /// Output of an optimization run.
 struct PlanResult {
   Annotation annotation;
   double cost = 0.0;         // predicted Cost(G*) under the cost model
+  /// cost minus the predicted savings of annotation.fusion — the cost the
+  /// plan is expected to run at. Equal to `cost` when nothing fused.
+  double fused_cost = 0.0;
   double opt_seconds = 0.0;  // wall-clock optimization time
   int64_t states_explored = 0;
   /// True when the frontier DP hit its table beam cap; the plan is then

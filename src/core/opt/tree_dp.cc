@@ -3,6 +3,7 @@
 
 #include "analysis/analyze.h"
 #include "common/stopwatch.h"
+#include "core/fusion/fusion.h"
 #include "core/opt/enumerate.h"
 #include "core/opt/optimizer.h"
 
@@ -145,6 +146,7 @@ Result<PlanResult> TreeDpOptimize(const ComputeGraph& graph,
   result.states_explored = states;
   MATOPT_RETURN_IF_ERROR(
       VerifySearchResult(graph, result.annotation, catalog, model, cluster));
+  PlanFusion(graph, catalog, model, cluster, options, &result);
   return result;
 }
 

@@ -716,7 +716,7 @@ Result<ExecResult> ExecuteDistributedPlan(
     const Catalog& catalog, const ClusterConfig& cluster,
     const ComputeGraph& graph, const Annotation& annotation,
     std::unordered_map<int, Relation> inputs, int num_workers,
-    Transport* transport, bool zero_copy) {
+    Transport* transport, bool zero_copy, bool fusion) {
   if (num_workers < 1) {
     return Status::InvalidArgument("distributed execution needs >= 1 worker");
   }
@@ -734,6 +734,7 @@ Result<ExecResult> ExecuteDistributedPlan(
   // reproduces the sim-side budget failures.
   PlanExecutor sim(catalog, cluster);
   sim.set_zero_copy(zero_copy);
+  sim.set_fusion(fusion);
   sim.set_dist_workers(0);
   MATOPT_ASSIGN_OR_RETURN(ExecResult result,
                           sim.Execute(graph, annotation, make_dry_inputs()));

@@ -29,11 +29,14 @@ namespace matopt::dist {
 /// send: single_tuple_cap_bytes per routed tuple, broadcast_cap_bytes per
 /// replicated relation, worker_spill_bytes on a worker's per-stage remote
 /// shuffle inbound. Violations return typed kOutOfMemory errors.
+/// `fusion` is forwarded to the dry pass so the simulated MemoryStats
+/// reflect the caller's fused-group setting; the data pass itself runs
+/// stage-by-stage per shard and never applies fused chains.
 Result<ExecResult> ExecuteDistributedPlan(
     const Catalog& catalog, const ClusterConfig& cluster,
     const ComputeGraph& graph, const Annotation& annotation,
     std::unordered_map<int, Relation> inputs, int num_workers,
-    Transport* transport, bool zero_copy);
+    Transport* transport, bool zero_copy, bool fusion);
 
 }  // namespace matopt::dist
 

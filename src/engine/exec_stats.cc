@@ -16,6 +16,10 @@ std::string MemoryStats::ToString() const {
       << ", pool hit rate " << static_cast<int>(pool_hit_rate() * 100.0 + 0.5)
       << "% (" << FormatBytes(static_cast<double>(pool_bytes_recycled))
       << " recycled)";
+  if (fused_groups > 0) {
+    out << ", fusion avoided " << FormatBytes(fused_bytes_avoided) << " in "
+        << fused_groups << " group" << (fused_groups == 1 ? "" : "s");
+  }
   return out.str();
 }
 

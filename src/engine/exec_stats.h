@@ -27,8 +27,13 @@ struct MemoryStats {
   double bytes_moved = 0.0;    // payload bytes reused in place / shared
   int64_t allocs_avoided = 0;  // temporaries never materialized
   int64_t inplace_kernels = 0;  // kernel calls writing into an operand
-  int64_t fused_kernels = 0;    // fused BiasRelu / ReluGradHadamard calls
+  int64_t fused_kernels = 0;    // fused-group member kernels applied in place
   int64_t moved_payloads = 0;   // tuple payloads transferred, not copied
+  /// Payload bytes fused-group members never materialized: their results
+  /// were written in place over the base's output instead of being
+  /// allocated and copied (DESIGN.md §15).
+  double fused_bytes_avoided = 0.0;
+  int64_t fused_groups = 0;  // fused groups that actually executed
   int64_t pool_hits = 0;
   int64_t pool_misses = 0;
   int64_t pool_bytes_recycled = 0;
@@ -101,6 +106,13 @@ struct ExecStats {
     double kernel_flops = 0.0;
     double kernel_bytes = 0.0;
     double kernel_seconds = 0.0;
+    /// Local memory traffic attributed to this stage (same deterministic
+    /// tallies as MemoryStats, sliced per stage so fused and unfused
+    /// stages are separately attributable).
+    double mem_bytes_copied = 0.0;
+    double mem_bytes_moved = 0.0;
+    double mem_fused_bytes_avoided = 0.0;
+    int64_t mem_fused_kernels = 0;
   };
   std::vector<StageRecord> stages;
 

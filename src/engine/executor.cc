@@ -11,8 +11,10 @@
 #include "analysis/analyze.h"
 #include "common/buffer_pool.h"
 #include "common/thread_pool.h"
+#include "core/fusion/fusion.h"
 #include "dist/runtime.h"
 #include "engine/operators.h"
+#include "la/fused.h"
 #include "la/kernels.h"
 
 namespace matopt {
@@ -102,10 +104,12 @@ void CountElemOutput(const Ctx& ctx, const EngineTuple& t, bool in_place) {
   }
 }
 
-/// Output relation for a vertex whose compute was fused into its
-/// producer: the skeleton is built normally (same placement/accounting)
-/// and payloads are shared from `src` — a pointer transfer per tuple, no
-/// copy.
+/// Output relation for a fused-group member: its value was already
+/// applied in place over the group base's output, so the skeleton is
+/// built normally (same placement/accounting) and payloads are shared
+/// from `src` — a pointer transfer per tuple, no allocation, no copy.
+/// Those never-materialized bytes are the fusion win and are tallied as
+/// such (identically in dry and data mode — the decision is plan-level).
 Relation FinishPassthrough(const Ctx& ctx, const Relation& src) {
   double out_sparsity =
       FormatOf(ctx.out_format).sparse() ? ctx.vertex.sparsity : 1.0;
@@ -117,8 +121,9 @@ Relation FinishPassthrough(const Ctx& ctx, const Relation& src) {
     m = MapTuples(src);
   }
   for (EngineTuple& t : out.tuples) {
-    ctx.mem()->bytes_moved += TupleBytes(t);
+    ctx.mem()->fused_bytes_avoided += TupleBytes(t);
     ++ctx.mem()->moved_payloads;
+    ++ctx.mem()->fused_kernels;
     if (ctx.data) t.dense = m.at(Key(t.r, t.c))->dense;
   }
   return out;
@@ -672,13 +677,12 @@ Result<Relation> ExecZip(const Ctx& ctx, ImplKind kind, const ExecInput& a_in,
     default: return Status::Internal("not a zip implementation");
   }
 
-  // This vertex's compute was fused into its producer: accounting above
-  // stays, payloads transfer through.
+  // This vertex is a fused-group member: its value was applied in place
+  // at the group base. Accounting above stays, payloads transfer through.
   if (ctx.opts.passthrough_arg >= 0) {
     return FinishPassthrough(ctx, ctx.opts.passthrough_arg == 0 ? a : b);
   }
 
-  const bool fuse_rg = ctx.opts.fuse == ExecOptions::Fuse::kReluGradHadamard;
   const size_t n = a.tuples.size();
 
   // Steal/reuse decisions on the coordinating thread, before any parallel
@@ -688,30 +692,17 @@ Result<Relation> ExecZip(const Ctx& ctx, ImplKind kind, const ExecInput& a_in,
     bool in_place = StealDecision(ctx, a_in, i);
     if (in_place && ctx.data) stolen[i] = StealPayload(a_in, i);
     CountElemOutput(ctx, a.tuples[i], in_place);
-    if (fuse_rg) ++ctx.mem()->fused_kernels;
   }
 
   std::unordered_map<uint64_t, DenseMatrix> payloads;
   if (ctx.data) {
     TupleMap mb = MapTuples(b);
-    TupleMap mo;
-    if (fuse_rg) mo = MapTuples(*ctx.opts.fuse_other);
-    const bool other_lhs = ctx.opts.fuse_other_is_lhs;
     std::vector<DenseMatrix> outs(n);
     ParallelTuples(n, [&](int64_t i) {
       const EngineTuple& ta = a.tuples[i];
       const DenseMatrix& da = *ta.dense;
       const DenseMatrix& db = *mb.at(Key(ta.r, ta.c))->dense;
       DenseMatrix* dst = stolen[i] ? stolen[i].get() : nullptr;
-      if (fuse_rg) {
-        const DenseMatrix& dother = *mo.at(Key(ta.r, ta.c))->dense;
-        if (dst != nullptr) {
-          ReluGradHadamardInto(da, db, dother, other_lhs, dst);
-        } else {
-          outs[i] = ReluGradHadamard(da, db, dother, other_lhs);
-        }
-        return;
-      }
       switch (kind) {
         case ImplKind::kAddZip:
           dst ? AddInto(da, db, dst) : void(outs[i] = Add(da, db));
@@ -806,9 +797,9 @@ Result<Relation> ExecMap(const Ctx& ctx, ImplKind kind, const ExecInput& a_in) {
     default: return Status::Internal("not a map implementation");
   }
 
-  // This vertex's compute was fused into its producer (e.g. Relu after
-  // BroadcastRowAdd -> BiasRelu): accounting above stays, payloads
-  // transfer through.
+  // This vertex is a fused-group member (e.g. Relu applied in place
+  // after a matmul base): accounting above stays, payloads transfer
+  // through.
   if (ctx.opts.passthrough_arg >= 0) return FinishPassthrough(ctx, a);
 
   const size_t n = a.tuples.size();
@@ -989,14 +980,16 @@ Result<Relation> ExecBroadcastRowAdd(const Ctx& ctx, const ExecInput& a_in,
   acct.AddTuples(2.0 * a.tuples.size() + ctx.workers());
   MATOPT_RETURN_IF_ERROR(acct.Commit());
 
-  const bool fuse_relu = ctx.opts.fuse == ExecOptions::Fuse::kBiasRelu;
+  // This vertex is a fused-group member (the bias add ran in place at
+  // the group base): accounting above stays, payloads transfer through.
+  if (ctx.opts.passthrough_arg >= 0) return FinishPassthrough(ctx, a);
+
   const size_t n = a.tuples.size();
   std::vector<std::shared_ptr<DenseMatrix>> stolen(n);
   for (size_t i = 0; i < n; ++i) {
     bool in_place = StealDecision(ctx, a_in, i);
     if (in_place && ctx.data) stolen[i] = StealPayload(a_in, i);
     CountElemOutput(ctx, a.tuples[i], in_place);
-    if (fuse_relu) ++ctx.mem()->fused_kernels;
   }
 
   std::unordered_map<uint64_t, DenseMatrix> payloads;
@@ -1007,13 +1000,8 @@ Result<Relation> ExecBroadcastRowAdd(const Ctx& ctx, const ExecInput& a_in,
       const EngineTuple& t = a.tuples[i];
       DenseMatrix slice = vec.dense->Block(0, t.c * ad.cols, 1, t.cols);
       DenseMatrix* dst = stolen[i] ? stolen[i].get() : nullptr;
-      if (fuse_relu) {
-        dst ? BiasReluInto(*t.dense, slice, dst)
-            : void(outs[i] = BiasRelu(*t.dense, slice));
-      } else {
-        dst ? BroadcastRowAddInto(*t.dense, slice, dst)
-            : void(outs[i] = BroadcastRowAdd(*t.dense, slice));
-      }
+      dst ? BroadcastRowAddInto(*t.dense, slice, dst)
+          : void(outs[i] = BroadcastRowAdd(*t.dense, slice));
     });
     for (size_t i = 0; i < n; ++i) {
       DenseMatrix& out = stolen[i] ? *stolen[i] : outs[i];
@@ -1168,13 +1156,85 @@ void RecycleRelation(Relation* rel) {
   }
 }
 
-/// An epilogue fusion found by the planning pre-pass: the producer vertex
-/// computes the fused kernel and its sole consumer becomes a passthrough.
-struct FusedInfo {
-  ExecOptions::Fuse fuse = ExecOptions::Fuse::kNone;
-  int other = -1;            // Hadamard's second operand vertex
-  bool other_is_lhs = false;
-};
+/// Translates one fused-group member vertex into its la-level step
+/// descriptor. The operand relation (for binary ops) is resolved by the
+/// caller; kBroadcastRowAdd slices its vector operand per tuple.
+FusedOp FusedOpFor(OpKind op) {
+  switch (op) {
+    case OpKind::kAdd: return FusedOp::kAdd;
+    case OpKind::kSub: return FusedOp::kSub;
+    case OpKind::kHadamard: return FusedOp::kHadamard;
+    case OpKind::kElemDiv: return FusedOp::kElemDiv;
+    case OpKind::kReluGrad: return FusedOp::kReluGrad;
+    case OpKind::kScalarMul: return FusedOp::kScalarMul;
+    case OpKind::kRelu: return FusedOp::kRelu;
+    case OpKind::kSigmoid: return FusedOp::kSigmoid;
+    case OpKind::kExp: return FusedOp::kExp;
+    default: return FusedOp::kBiasRowAdd;  // kBroadcastRowAdd
+  }
+}
+
+/// Applies a fused group's member chain in place over the base vertex's
+/// freshly materialized output payloads (data mode only). The base's
+/// outputs are uniquely owned make_shared buffers at this point, so the
+/// const_pointer_cast is safe; each step delegates to the same *Into
+/// kernels the members' unfused stages would run, in the same order, so
+/// sinks stay bit-identical. Kernel roofline deltas land on the base's
+/// stage record (the caller attaches them after this returns).
+void ApplyFusedGroupChain(const ComputeGraph& graph, const FusedGroup& group,
+                          const std::unordered_map<int, int>& acc_args,
+                          const std::unordered_map<int, Relation>& live,
+                          Relation* out) {
+  struct MemberInfo {
+    FusedOp op;
+    bool acc_is_lhs = true;
+    double scalar = 0.0;
+    const Relation* operand = nullptr;  // null for unary maps
+    TupleMap operand_tuples;            // zip operands, keyed like `out`
+  };
+  std::vector<MemberInfo> members;
+  members.reserve(group.members.size());
+  for (int m : group.members) {
+    const Vertex& mx = graph.vertex(m);
+    MemberInfo info;
+    info.op = FusedOpFor(mx.op);
+    info.scalar = mx.scalar;
+    const int acc = acc_args.at(m);
+    info.acc_is_lhs = acc == 0;
+    for (size_t j = 0; j < mx.inputs.size(); ++j) {
+      if (static_cast<int>(j) == acc) continue;
+      info.operand = &live.at(mx.inputs[j]);
+      if (info.op != FusedOp::kBiasRowAdd) {
+        info.operand_tuples = MapTuples(*info.operand);
+      }
+    }
+    members.push_back(std::move(info));
+  }
+  const ChunkDims od = ChunkDimsFor(out->type, BuiltinFormats()[out->format]);
+  ParallelTuples(out->tuples.size(), [&](int64_t i) {
+    EngineTuple& t = out->tuples[i];
+    DenseMatrix* acc = std::const_pointer_cast<DenseMatrix>(t.dense).get();
+    std::vector<FusedStep> steps(members.size());
+    // Bias slices must outlive ApplyFusedChain; reserve so the operand
+    // pointers stay stable as more slices are appended.
+    std::vector<DenseMatrix> slices;
+    slices.reserve(members.size());
+    for (size_t k = 0; k < members.size(); ++k) {
+      const MemberInfo& info = members[k];
+      steps[k].op = info.op;
+      steps[k].acc_is_lhs = info.acc_is_lhs;
+      steps[k].scalar = info.scalar;
+      if (info.op == FusedOp::kBiasRowAdd) {
+        slices.push_back(info.operand->tuples[0].dense->Block(
+            0, t.c * od.cols, 1, t.cols));
+        steps[k].operand = &slices.back();
+      } else if (info.operand != nullptr) {
+        steps[k].operand = info.operand_tuples.at(Key(t.r, t.c))->dense.get();
+      }
+    }
+    ApplyFusedChain(steps, acc);
+  });
+}
 
 }  // namespace
 
@@ -1182,6 +1242,8 @@ bool PlanExecutor::DefaultZeroCopy() {
   const char* env = std::getenv("MATOPT_ZERO_COPY");
   return !(env != nullptr && env[0] == '0' && env[1] == '\0');
 }
+
+bool PlanExecutor::DefaultFusion() { return FusionEnabled(); }
 
 int PlanExecutor::DefaultDistWorkers() {
   const char* env = std::getenv("MATOPT_WORKERS");
@@ -1207,7 +1269,7 @@ Result<ExecResult> PlanExecutor::Execute(
     if (all_data) {
       Result<ExecResult> dist_result = dist::ExecuteDistributedPlan(
           catalog_, cluster_, graph, annotation, std::move(inputs),
-          dist_workers_, transport_, zero_copy_);
+          dist_workers_, transport_, zero_copy_, fusion_);
       if (dist_result.ok()) {
         dist_result.value().stats.kernels =
             KernelCountersDelta(kernels_run_before, KernelCountersSnapshot());
@@ -1233,53 +1295,37 @@ Result<ExecResult> PlanExecutor::Execute(
   const BufferPool::Stats pool_before = BufferPool::Default().snapshot();
 
   // Number of not-yet-executed consumer edges per vertex (used both to
-  // free relations and to prove producers dead for payload stealing), and
-  // the single consumer when there is exactly one such edge.
+  // free relations and to prove producers dead for payload stealing).
   std::vector<int> remaining(graph.num_vertices(), 0);
-  std::vector<int> sole_consumer(graph.num_vertices(), -1);
   for (int w = 0; w < graph.num_vertices(); ++w) {
-    for (int in : graph.vertex(w).inputs) {
-      ++remaining[in];
-      sole_consumer[in] = w;
-    }
+    for (int in : graph.vertex(w).inputs) ++remaining[in];
   }
 
-  // Epilogue-fusion planning (zero-copy only): a producer whose sole
-  // consumer is a compatible element-wise epilogue computes the fused
-  // kernel; the consumer becomes a passthrough that charges its normal
-  // accounting but transfers payload pointers. Decisions depend only on
-  // the graph and annotation, so dry-run and data mode agree.
-  std::unordered_map<int, FusedInfo> fused_at;  // producer v -> fusion
-  std::unordered_map<int, int> passthrough;     // consumer w -> arg index
-  if (zero_copy_) {
-    for (int v = 0; v < graph.num_vertices(); ++v) {
-      if (graph.vertex(v).op == OpKind::kInput || remaining[v] != 1) continue;
-      if (passthrough.count(v) != 0) continue;  // already fused upstream
-      const int w = sole_consumer[v];
-      const VertexAnnotation& va = annotation.at(v);
-      const VertexAnnotation& wa = annotation.at(w);
-      if (va.output_format != wa.output_format) continue;
-      bool w_clean = true;
-      for (const EdgeAnnotation& e : wa.input_edges) {
-        w_clean = w_clean && !e.transform.has_value();
-      }
-      if (!w_clean || passthrough.count(w) != 0) continue;
-      if (va.impl == ImplKind::kBroadcastRowAddBcastVec &&
-          wa.impl == ImplKind::kReluMap) {
-        fused_at[v] = FusedInfo{ExecOptions::Fuse::kBiasRelu, -1, false};
-        passthrough[w] = 0;
-      } else if (va.impl == ImplKind::kReluGradZip &&
-                 wa.impl == ImplKind::kHadamardZip) {
-        const Vertex& wx = graph.vertex(w);
-        const int pos = wx.inputs[0] == v ? 0 : 1;
-        const int other = wx.inputs[pos == 0 ? 1 : 0];
-        // The other operand must already be live when v runs (it stays
-        // live until w consumes it) and be tuple-aligned with v's output.
-        if (other == v || other >= v) continue;
-        if (annotation.at(other).output_format != va.output_format) continue;
-        fused_at[v] =
-            FusedInfo{ExecOptions::Fuse::kReluGradHadamard, other, pos == 1};
-        passthrough[w] = pos;
+  // Fused-group consumption (DESIGN.md §15, zero-copy only): the plan's
+  // fused groups run as in-place epilogue chains at their base vertex;
+  // every member becomes a passthrough that charges its normal accounting
+  // but transfers payload pointers. Plans without a fusion plan (hand-
+  // built annotations, baseline planners) fall back to the detector's
+  // maximal chains. Decisions depend only on the graph and annotation, so
+  // dry-run and data mode agree. Plan-carried groups were already
+  // validated by the pre-flight's MO070 rule; detector output is valid by
+  // construction.
+  std::unordered_map<int, const FusedGroup*> group_at;  // base v -> group
+  std::unordered_map<int, int> passthrough;  // member w -> accumulator arg
+  FusionPlan detected;
+  if (fusion_ && zero_copy_) {
+    const FusionPlan* fusion_plan = &annotation.fusion;
+    if (fusion_plan->empty()) {
+      detected = DetectFusionPlan(graph, annotation);
+      fusion_plan = &detected;
+    }
+    for (const FusedGroup& g : fusion_plan->groups) {
+      group_at[g.base] = &g;
+      int prev = g.base;
+      for (int m : g.members) {
+        const Vertex& mx = graph.vertex(m);
+        passthrough[m] = FusedAccumulatorArg(mx.op, mx, prev);
+        prev = m;
       }
     }
   }
@@ -1326,9 +1372,13 @@ Result<ExecResult> PlanExecutor::Execute(
       continue;
     }
 
-    // Attributes the local-kernel activity since `before` to the most
-    // recently appended stage record (the call that just committed it).
-    auto attach_kernels = [&result](const KernelCounters& before) {
+    // Attributes the local-kernel activity and the deterministic memory
+    // tallies accumulated since the snapshots to the most recently
+    // appended stage record (the call that just committed it), so fused
+    // and unfused stages are separately attributable. Pool counters stay
+    // global: they are scheduling-dependent observability.
+    auto attach_stage = [&result](const KernelCounters& before,
+                                  const MemoryStats& mem_before) {
       const KernelCounters delta =
           KernelCountersDelta(before, KernelCountersSnapshot());
       if (result.stats.stages.empty()) return;
@@ -1336,6 +1386,12 @@ Result<ExecResult> PlanExecutor::Execute(
       rec.kernel_flops += delta.gemm_flops + delta.elem_flops;
       rec.kernel_bytes += delta.gemm_bytes + delta.elem_bytes;
       rec.kernel_seconds += delta.gemm_seconds;
+      const MemoryStats& now = result.stats.memory;
+      rec.mem_bytes_copied += now.bytes_copied - mem_before.bytes_copied;
+      rec.mem_bytes_moved += now.bytes_moved - mem_before.bytes_moved;
+      rec.mem_fused_bytes_avoided +=
+          now.fused_bytes_avoided - mem_before.fused_bytes_avoided;
+      rec.mem_fused_kernels += now.fused_kernels - mem_before.fused_kernels;
     };
 
     // Apply per-edge transformations, then the implementation. An
@@ -1350,10 +1406,11 @@ Result<ExecResult> PlanExecutor::Execute(
       const EdgeAnnotation& e = va.input_edges[j];
       if (e.transform.has_value()) {
         const KernelCounters kernels_before = KernelCountersSnapshot();
+        const MemoryStats mem_before = result.stats.memory;
         MATOPT_ASSIGN_OR_RETURN(
             transformed[j], ExecuteTransform(catalog_, *e.transform, src,
                                              cluster_, &result.stats));
-        attach_kernels(kernels_before);
+        attach_stage(kernels_before, mem_before);
         track(transformed[j], +1.0);
         arg_inputs[j].rel = &transformed[j];
         if (zero_copy_) arg_inputs[j].owned = &transformed[j];
@@ -1366,23 +1423,27 @@ Result<ExecResult> PlanExecutor::Execute(
     }
     ExecOptions opts;
     opts.zero_copy = zero_copy_;
-    if (auto fit = fused_at.find(v); fit != fused_at.end()) {
-      opts.fuse = fit->second.fuse;
-      if (fit->second.other >= 0) {
-        opts.fuse_other = &live.at(fit->second.other);
-        opts.fuse_other_is_lhs = fit->second.other_is_lhs;
-      }
-    }
     if (auto pit = passthrough.find(v); pit != passthrough.end()) {
       opts.passthrough_arg = pit->second;
     }
     MATOPT_RETURN_IF_ERROR(check_disk());
     const KernelCounters kernels_before = KernelCountersSnapshot();
+    const MemoryStats mem_before = result.stats.memory;
     MATOPT_ASSIGN_OR_RETURN(
         Relation out,
         ExecuteImpl(catalog_, va.impl, va.output_format, arg_inputs, vx,
                     cluster_, &result.stats, opts));
-    attach_kernels(kernels_before);
+    // Base of a fused group: apply the member chain in place over the
+    // fresh output payloads. The kernel work lands on this vertex's stage
+    // via the attach below; the members' own steps keep their normal
+    // simulated accounting and pass the transformed payloads through.
+    if (auto git = group_at.find(v); git != group_at.end()) {
+      if (out.has_data) {
+        ApplyFusedGroupChain(graph, *git->second, passthrough, live, &out);
+      }
+      ++result.stats.memory.fused_groups;
+    }
+    attach_stage(kernels_before, mem_before);
     track(out, +1.0);
     MATOPT_RETURN_IF_ERROR(check_disk());
     live[v] = std::move(out);

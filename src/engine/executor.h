@@ -57,6 +57,18 @@ class PlanExecutor {
   /// set to 0).
   static bool DefaultZeroCopy();
 
+  /// Toggles fused-group execution (DESIGN.md §15): when on (and zero-copy
+  /// is on), the plan's fused groups — or, for plans without one, the
+  /// detector's maximal chains — run as in-place epilogue chains over the
+  /// base's output and members pass payloads through. Results are
+  /// bit-identical either way; only materialized bytes change.
+  void set_fusion(bool enabled) { fusion_ = enabled; }
+  bool fusion() const { return fusion_; }
+
+  /// Process default for new executors: FusionEnabled() at construction
+  /// time (MATOPT_FUSION env / override / compiled default).
+  static bool DefaultFusion();
+
   /// Number of sharded runtime workers (DESIGN.md §12). When > 0, data-mode
   /// executions run on the multi-worker runtime: relations are
   /// hash-partitioned across workers, operators run per shard, and data
@@ -81,6 +93,7 @@ class PlanExecutor {
   const Catalog& catalog_;
   const ClusterConfig& cluster_;
   bool zero_copy_ = DefaultZeroCopy();
+  bool fusion_ = DefaultFusion();
   int dist_workers_ = DefaultDistWorkers();
   dist::Transport* transport_ = nullptr;
 };

@@ -34,27 +34,17 @@ struct ExecInput {
 /// Per-call execution options for the zero-copy memory layer. The
 /// defaults give the zero-copy behaviour with no fusion; a
 /// default-constructed ExecOptions is what the compatibility ExecuteImpl
-/// overload uses. Every option changes only where bytes live or which
-/// fused kernel computes them — results stay bit-identical.
+/// overload uses. Every option changes only where bytes live — results
+/// stay bit-identical.
 struct ExecOptions {
   /// Master switch: false restores the copy-everything paths (fresh
   /// output per kernel, Block/SetBlock round-trips) for A/B comparison.
   bool zero_copy = true;
 
-  enum class Fuse { kNone, kBiasRelu, kReluGradHadamard };
-  /// Epilogue fused into this vertex's kernel (its sole consumer becomes
-  /// a passthrough).
-  Fuse fuse = Fuse::kNone;
-  /// Second Hadamard operand for kReluGradHadamard; must be tuple-aligned
-  /// with this vertex's output.
-  const Relation* fuse_other = nullptr;
-  /// True when `fuse_other` was the consumer's lhs operand (preserves
-  /// multiplication operand order bit-for-bit).
-  bool fuse_other_is_lhs = false;
-
-  /// >= 0 when this vertex's compute was fused into its producer: charge
-  /// normal accounting but pass through arg `passthrough_arg`'s payloads
-  /// instead of recomputing.
+  /// >= 0 when this vertex is a fused-group member (DESIGN.md §15): its
+  /// value was already applied in place over the group base's output, so
+  /// the vertex charges its normal accounting but passes through arg
+  /// `passthrough_arg`'s payloads instead of recomputing.
   int passthrough_arg = -1;
 };
 
@@ -69,8 +59,9 @@ Result<Relation> ExecuteImpl(const Catalog& catalog, ImplKind kind,
                              const ClusterConfig& cluster, ExecStats* stats);
 
 /// Move-aware overload: arguments carry ownership information and
-/// `options` selects zero-copy behaviour and epilogue fusion. The plain
-/// overload forwards here with default options and no owned arguments.
+/// `options` selects zero-copy behaviour and fused-member passthrough.
+/// The plain overload forwards here with default options and no owned
+/// arguments.
 Result<Relation> ExecuteImpl(const Catalog& catalog, ImplKind kind,
                              FormatId out_format,
                              const std::vector<ExecInput>& args,

@@ -296,6 +296,77 @@ FuzzProgram GenRandom(uint64_t seed, const FuzzLimits& limits) {
   return std::move(b.program);
 }
 
+/// Matmul root followed by a long elementwise epilogue chain — the
+/// fusable-chain shape of DESIGN.md §15. Every binary operand is an input
+/// created before the root, so maximal chains are legal fusion candidates
+/// (operands live before the base executes).
+FuzzProgram GenElemChain(uint64_t seed, const FuzzLimits& limits) {
+  Builder b(FuzzShape::kElemChain, seed, limits);
+  const int64_t rows = b.RandDim();
+  const int64_t inner = b.RandDim();
+  const int64_t cols = b.RandDim();
+  int x = b.AddDense(rows, inner);
+  int w = b.AddDense(inner, cols);
+  int bias = b.AddDense(1, cols);
+  std::vector<int> operands;
+  for (int i = 0; i < 3; ++i) operands.push_back(b.AddDense(rows, cols));
+
+  int acc = b.Op(OpKind::kMatMul, {x, w});
+  const int steps = 3 + static_cast<int>(b.rng.UniformInt(4));
+  for (int i = 0; i < steps; ++i) {
+    const int operand =
+        operands[b.rng.UniformInt(static_cast<int64_t>(operands.size()))];
+    // Binary zips take the running value on a random side: both
+    // accumulator positions of the fused interpreter get exercised.
+    const bool acc_lhs = b.rng.Uniform() < 0.5;
+    auto zip_args = [&] {
+      return acc_lhs ? std::vector<int>{acc, operand}
+                     : std::vector<int>{operand, acc};
+    };
+    switch (b.rng.UniformInt(8)) {
+      case 0: acc = b.Op(OpKind::kAdd, zip_args()); break;
+      case 1: acc = b.Op(OpKind::kSub, zip_args()); break;
+      case 2: acc = b.Op(OpKind::kHadamard, zip_args()); break;
+      case 3: acc = b.Op(OpKind::kReluGrad, zip_args()); break;
+      case 4:
+        acc = b.Op(OpKind::kScalarMul, {acc}, 0.25 + b.rng.Uniform());
+        break;
+      case 5: acc = b.Op(OpKind::kRelu, {acc}); break;
+      case 6: acc = b.Op(OpKind::kSigmoid, {acc}); break;
+      default:
+        acc = b.Op(OpKind::kBroadcastRowAdd, {acc, bias});
+        break;
+    }
+  }
+  return std::move(b.program);
+}
+
+/// Diamond over a fused epilogue: the relu feeds two consumers, so a chain
+/// through it must materialize there (the CSE materialization-point rule),
+/// while the branches re-join below. Exercises multi-consumer epilogues in
+/// the detector, the enumerator, and the MO070 pass.
+FuzzProgram GenDiamond(uint64_t seed, const FuzzLimits& limits) {
+  Builder b(FuzzShape::kDiamond, seed, limits);
+  const int64_t rows = b.RandDim();
+  const int64_t inner = b.RandDim();
+  const int64_t cols = b.RandDim();
+  int x = b.AddDense(rows, inner);
+  int w = b.AddDense(inner, cols);
+  int bias = b.AddDense(1, cols);
+  int p = b.AddDense(rows, cols);
+  int q = b.AddDense(rows, cols);
+
+  int z = b.Op(OpKind::kMatMul, {x, w});
+  int zb = b.Op(OpKind::kBroadcastRowAdd, {z, bias});
+  int r = b.Op(OpKind::kRelu, {zb});  // two consumers: chain must stop here
+  int a1 = b.Op(OpKind::kAdd, {r, p});
+  int h1 = b.Op(OpKind::kHadamard, {r, q});
+  int join = b.Op(OpKind::kSub, {a1, h1});
+  int tail = b.Op(OpKind::kScalarMul, {join}, 0.25 + b.rng.Uniform());
+  if (b.rng.Uniform() < 0.5) b.Op(OpKind::kRowSum, {tail});
+  return std::move(b.program);
+}
+
 }  // namespace
 
 FuzzProgram GenerateProgram(FuzzShape shape, uint64_t seed,
@@ -307,6 +378,8 @@ FuzzProgram GenerateProgram(FuzzShape shape, uint64_t seed,
     case FuzzShape::kSparse: return GenSparse(seed, limits);
     case FuzzShape::kShared: return GenShared(seed, limits);
     case FuzzShape::kRandom: return GenRandom(seed, limits);
+    case FuzzShape::kElemChain: return GenElemChain(seed, limits);
+    case FuzzShape::kDiamond: return GenDiamond(seed, limits);
   }
   return GenRandom(seed, limits);
 }

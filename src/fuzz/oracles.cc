@@ -10,6 +10,7 @@
 #include "common/buffer_pool.h"
 #include "common/thread_pool.h"
 #include "core/format/format.h"
+#include "core/fusion/fusion.h"
 #include "core/opt/annotation.h"
 #include "engine/executor.h"
 #include "engine/relation.h"
@@ -30,6 +31,7 @@ class GlobalStateGuard {
     ThreadPool::SetDefaultThreads(saved_threads_);
     BufferPool::ClearEnabledOverride();
     ClearSimdOverride();
+    ClearFusionOverride();
   }
   GlobalStateGuard(const GlobalStateGuard&) = delete;
   GlobalStateGuard& operator=(const GlobalStateGuard&) = delete;
@@ -87,6 +89,7 @@ struct RunConfig {
   bool pool = true;
   int dist_workers = 0;  // 0 = single-node path
   bool simd = true;      // false forces the scalar kernel path
+  bool fusion = true;    // false disables fused-group execution
 };
 
 struct RunOutput {
@@ -108,6 +111,7 @@ Result<RunOutput> RunPlan(const FuzzProgram& program,
   }
   PlanExecutor executor(catalog, cluster);
   executor.set_zero_copy(config.zero_copy);
+  executor.set_fusion(config.fusion);
   // Always pin the worker count so a MATOPT_WORKERS environment override
   // cannot silently turn the baseline runs distributed.
   executor.set_dist_workers(config.dist_workers);
@@ -228,6 +232,26 @@ OracleReport RunOracles(const FuzzProgram& program, const Catalog& catalog,
              FmtG(frontier.value().cost));
   }
 
+  // Fusion cost agreement: the plan's fused cost must reconstruct as the
+  // unfused cost minus the savings the fused groups predict, and fusing
+  // can never make the plan look more expensive (savings are clamped to
+  // each member's own predicted cost).
+  {
+    const double savings =
+        FusionPlanSavings(graph, annotation, catalog, model, cluster);
+    const double fused = frontier.value().fused_cost;
+    if (!NearRel(frontier.value().cost - savings, fused, options.cost_rtol)) {
+      fail("fusion_cost_agreement",
+           "cost " + FmtG(frontier.value().cost) + " - savings " +
+               FmtG(savings) + " vs fused_cost " + FmtG(fused));
+    }
+    if (fused > frontier.value().cost * (1.0 + options.cost_rtol) + 1e-12) {
+      fail("fusion_cost_agreement", "fused_cost " + FmtG(fused) +
+                                        " exceeds unfused cost " +
+                                        FmtG(frontier.value().cost));
+    }
+  }
+
   // --- 2. Optimizer cross-agreement ---------------------------------------
   // Tree DP and brute force are exact; the frontier DP is exact unless it
   // hit its beam cap, in which case it may only be costlier.
@@ -307,6 +331,10 @@ OracleReport RunOracles(const FuzzProgram& program, const Catalog& catalog,
         {"one_thread", 1, true, true},
         {"zero_copy_off", options.threads, false, true},
         {"pool_off", options.threads, true, false},
+        // Fused-group execution changes only where bytes live: sinks and
+        // the simulated accounting must be bit-identical with fusion off.
+        {"fusion_off", options.threads, true, true, /*dist_workers=*/0,
+         /*simd=*/true, /*fusion=*/false},
     };
     // Kernel-dispatch boundary: forcing the scalar kernels must reproduce
     // the (default, possibly vectorized) baseline bit-for-bit. Skipped

@@ -67,6 +67,8 @@ const char* FuzzShapeName(FuzzShape shape) {
     case FuzzShape::kSparse: return "sparse";
     case FuzzShape::kShared: return "shared";
     case FuzzShape::kRandom: return "random";
+    case FuzzShape::kElemChain: return "elem_chain";
+    case FuzzShape::kDiamond: return "diamond";
   }
   return "unknown";
 }
@@ -81,7 +83,8 @@ std::optional<FuzzShape> ParseFuzzShape(const std::string& name) {
 const std::vector<FuzzShape>& AllFuzzShapes() {
   static const std::vector<FuzzShape> shapes = {
       FuzzShape::kChain,  FuzzShape::kFfnn,   FuzzShape::kBlockInverse,
-      FuzzShape::kSparse, FuzzShape::kShared, FuzzShape::kRandom};
+      FuzzShape::kSparse, FuzzShape::kShared, FuzzShape::kRandom,
+      FuzzShape::kElemChain, FuzzShape::kDiamond};
   return shapes;
 }
 

@@ -28,9 +28,11 @@ enum class FuzzShape {
   kSparse,        // sparse inputs in sparse formats, SpMM-heavy
   kShared,        // same-dim square ops, high reuse: frontier-class-heavy
   kRandom,        // unconstrained random DAG over random shapes
+  kElemChain,     // matmul root + long elementwise epilogue: fusion-heavy
+  kDiamond,       // multi-consumer epilogues: materialization points
 };
 
-inline constexpr int kNumFuzzShapes = 6;
+inline constexpr int kNumFuzzShapes = 8;
 
 const char* FuzzShapeName(FuzzShape shape);
 std::optional<FuzzShape> ParseFuzzShape(const std::string& name);

@@ -1,0 +1,51 @@
+#include "la/fused.h"
+
+#include "la/kernels.h"
+
+namespace matopt {
+
+void ApplyFusedChain(const std::vector<FusedStep>& steps, DenseMatrix* acc) {
+  for (const FusedStep& step : steps) {
+    switch (step.op) {
+      case FusedOp::kAdd:
+        step.acc_is_lhs ? AddInto(*acc, *step.operand, acc)
+                        : AddInto(*step.operand, *acc, acc);
+        break;
+      case FusedOp::kSub:
+        step.acc_is_lhs ? SubInto(*acc, *step.operand, acc)
+                        : SubInto(*step.operand, *acc, acc);
+        break;
+      case FusedOp::kHadamard:
+        step.acc_is_lhs ? HadamardInto(*acc, *step.operand, acc)
+                        : HadamardInto(*step.operand, *acc, acc);
+        break;
+      case FusedOp::kElemDiv:
+        step.acc_is_lhs ? ElemDivInto(*acc, *step.operand, acc)
+                        : ElemDivInto(*step.operand, *acc, acc);
+        break;
+      case FusedOp::kReluGrad:
+        // acc_is_lhs: the accumulator carries z; else it is the upstream
+        // gradient.
+        step.acc_is_lhs ? ReluGradInto(*acc, *step.operand, acc)
+                        : ReluGradInto(*step.operand, *acc, acc);
+        break;
+      case FusedOp::kScalarMul:
+        ScalarMulInto(*acc, step.scalar, acc);
+        break;
+      case FusedOp::kRelu:
+        ReluInto(*acc, acc);
+        break;
+      case FusedOp::kSigmoid:
+        SigmoidInto(*acc, acc);
+        break;
+      case FusedOp::kExp:
+        ExpInto(*acc, acc);
+        break;
+      case FusedOp::kBiasRowAdd:
+        BroadcastRowAddInto(*acc, *step.operand, acc);
+        break;
+    }
+  }
+}
+
+}  // namespace matopt

@@ -1,0 +1,47 @@
+#ifndef MATOPT_LA_FUSED_H_
+#define MATOPT_LA_FUSED_H_
+
+#include <vector>
+
+#include "la/dense_matrix.h"
+
+namespace matopt {
+
+/// One elementwise operation of a fused epilogue chain (DESIGN.md §15).
+/// The accumulator is the payload being transformed in place; `operand`
+/// is the secondary input of binary ops (null for unary maps).
+enum class FusedOp {
+  kAdd,
+  kSub,
+  kHadamard,
+  kElemDiv,
+  kReluGrad,    // relu'(z) ⊙ upstream
+  kScalarMul,
+  kRelu,
+  kSigmoid,
+  kExp,
+  kBiasRowAdd,  // accumulator + row vector broadcast over rows
+};
+
+/// One step of a fused chain. For binary ops `acc_is_lhs` says which side
+/// the accumulator feeds (Sub and ReluGrad are not commutative); for
+/// kScalarMul the factor rides in `scalar`; for kBiasRowAdd `operand` is
+/// the 1 x cols slice aligned with the accumulator tuple.
+struct FusedStep {
+  FusedOp op = FusedOp::kAdd;
+  bool acc_is_lhs = true;
+  double scalar = 0.0;
+  const DenseMatrix* operand = nullptr;
+};
+
+/// Applies the chain to `*acc` in place, one whole-matrix pass per step.
+/// Each step delegates to the corresponding *Into kernel, so every
+/// element takes exactly the value the out-of-place kernel sequence would
+/// produce (same order, mul-then-add, no FMA) and the SIMD dispatch plus
+/// roofline accounting of the kernels apply unchanged — fusion is
+/// bit-invisible by construction.
+void ApplyFusedChain(const std::vector<FusedStep>& steps, DenseMatrix* acc);
+
+}  // namespace matopt
+
+#endif  // MATOPT_LA_FUSED_H_

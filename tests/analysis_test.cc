@@ -75,7 +75,7 @@ class AnalysisTest : public ::testing::Test {
 
 TEST_F(AnalysisTest, RuleCatalogIsCompleteAndStable) {
   std::vector<RuleId> rules = AllRuleIds();
-  EXPECT_EQ(rules.size(), 22u);
+  EXPECT_EQ(rules.size(), 24u);
   std::set<std::string> names;
   for (RuleId rule : rules) {
     std::string name = RuleIdName(rule);
@@ -679,11 +679,12 @@ TEST_F(AnalysisTest, ExecutorAcceptsCleanPlan) {
 
 TEST_F(AnalysisTest, DefaultPipelineHasDocumentedPassOrder) {
   AnalysisPipeline pipeline = DefaultPipeline();
-  ASSERT_EQ(pipeline.passes().size(), 6u);
+  ASSERT_EQ(pipeline.passes().size(), 7u);
   EXPECT_STREQ(pipeline.passes()[0]->name(), "graph-hygiene");
   EXPECT_STREQ(pipeline.passes()[5]->name(), "dataflow-bounds");
+  EXPECT_STREQ(pipeline.passes()[6]->name(), "fusion-groups");
   AnalysisPipeline debug = DefaultPipeline(/*with_optimality_check=*/true);
-  ASSERT_EQ(debug.passes().size(), 7u);
+  ASSERT_EQ(debug.passes().size(), 8u);
   EXPECT_STREQ(debug.passes().back()->name(), "optimality-cross-check");
 }
 
