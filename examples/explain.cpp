@@ -18,9 +18,11 @@
 #include <string>
 #include <unordered_map>
 
+#include "analysis/rewrite_check.h"
 #include "common/units.h"
 #include "core/cost/cost_model.h"
 #include "core/opt/optimizer.h"
+#include "core/rewrite/rewrite.h"
 #include "engine/executor.h"
 #include "frontend/frontend_lint.h"
 #include "frontend/sql_gen.h"
@@ -79,20 +81,58 @@ int main(int argc, char** argv) {
               program.value().graph.num_vertices(),
               program.value().graph.ToString().c_str());
 
-  auto plan = Optimize(program.value().graph, catalog, model, cluster);
-  if (!plan.ok()) {
+  // Logical rewriter in front of the physical search (DESIGN.md §16):
+  // every candidate DAG within the rule closure is planned and the global
+  // best wins. Everything downstream — dry run, distributed run, SQL —
+  // uses the winning (possibly rewritten) graph.
+  auto rewritten = OptimizeWithRewrites(program.value().graph, catalog, model,
+                                        cluster);
+  if (!rewritten.ok()) {
     std::fprintf(stderr, "optimization failed: %s\n",
-                 plan.status().ToString().c_str());
+                 rewritten.status().ToString().c_str());
     return 1;
   }
+  const ComputeGraph& graph = rewritten.value().graph;
+  const PlanResult& plan = rewritten.value().plan;
+
+  DiagnosticList rewrite_diags;
+  AnalyzeRewrite(program.value().graph, rewritten.value(), &rewrite_diags);
+  for (const Diagnostic& d : rewrite_diags.diagnostics()) {
+    std::fputs(RenderDiagnostic(d, argc > 1 ? argv[1] : "<demo>", source)
+                   .c_str(),
+               stderr);
+  }
+  if (rewrite_diags.HasErrors()) return 1;
+
+  RewriteStats rewrite_stats;
+  rewrite_stats.enabled = RewriteEnabled();
+  rewrite_stats.rewritten = rewritten.value().rewritten;
+  rewrite_stats.exact = rewritten.value().exact;
+  rewrite_stats.budget_hit = rewritten.value().budget_hit;
+  rewrite_stats.candidates = rewritten.value().candidates_considered;
+  rewrite_stats.baseline_cost = rewritten.value().baseline_cost;
+  rewrite_stats.chosen_cost = plan.fused_cost;
+  for (const RewriteStep& step : rewritten.value().chain) {
+    rewrite_stats.chain.push_back(step.description);
+  }
+  std::string rewrite_section = rewrite_stats.ToString();
+  if (!rewrite_section.empty()) {
+    std::printf("=== logical rewrites ===\n%s\n", rewrite_section.c_str());
+    if (rewritten.value().rewritten) {
+      std::printf("=== rewritten compute graph (%d vertices) ===\n%s\n",
+                  graph.num_vertices(), graph.ToString().c_str());
+    }
+  }
+
   std::printf("=== optimized physical plan (predicted %s, optimized in "
               "%.2f s) ===\n%s\n",
-              FormatHms(plan.value().cost).c_str(), plan.value().opt_seconds,
-              plan.value().annotation.ToString(program.value().graph).c_str());
+              FormatHms(plan.cost).c_str(), plan.opt_seconds,
+              plan.annotation.ToString(graph).c_str());
 
   PlanExecutor executor(catalog, cluster);
-  auto run = executor.DryRun(program.value().graph, plan.value().annotation);
+  auto run = executor.DryRun(graph, plan.annotation);
   if (run.ok()) {
+    run.value().stats.rewrite = rewrite_stats;
     std::printf("=== simulated execution ===\n%s\n",
                 run.value().stats.ToString().c_str());
     std::printf("memory: %s\n\n",
@@ -108,7 +148,6 @@ int main(int argc, char** argv) {
   // size: paper-scale programs are for dry-run EXPLAIN only.
   int dist_workers = PlanExecutor::DefaultDistWorkers();
   if (dist_workers > 0 && run.ok()) {
-    const ComputeGraph& graph = program.value().graph;
     double input_entries = 0.0;
     for (int v = 0; v < graph.num_vertices(); ++v) {
       if (graph.vertex(v).op != OpKind::kInput) continue;
@@ -139,8 +178,7 @@ int main(int argc, char** argv) {
       PlanExecutor dist_executor(catalog, cluster);
       dist_executor.set_dist_workers(dist_workers);
       auto dist_run =
-          dist_executor.Execute(graph, plan.value().annotation,
-                                std::move(inputs));
+          dist_executor.Execute(graph, plan.annotation, std::move(inputs));
       if (dist_run.ok()) {
         std::printf("=== distributed execution (measured) ===\n%s\n",
                     dist_run.value().stats.dist.ComparisonTable().c_str());
@@ -183,8 +221,6 @@ int main(int argc, char** argv) {
   }
 
   std::printf("=== generated SQL ===\n%s",
-              GenerateSql(program.value().graph, plan.value().annotation,
-                          catalog)
-                  .c_str());
+              GenerateSql(graph, plan.annotation, catalog).c_str());
   return 0;
 }

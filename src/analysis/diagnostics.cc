@@ -42,6 +42,8 @@ const char* RuleIdName(RuleId rule) {
     case RuleId::kMO062_CostEnvelope: return "MO062";
     case RuleId::kMO070_FusedGroupInvalid: return "MO070";
     case RuleId::kMO071_FusionNotBeneficial: return "MO071";
+    case RuleId::kMO080_RewriteSparsityMismatch: return "MO080";
+    case RuleId::kMO081_RewriteBudgetHit: return "MO081";
   }
   return "MO???";
 }
@@ -101,6 +103,13 @@ const char* RuleIdDescription(RuleId rule) {
     case RuleId::kMO071_FusionNotBeneficial:
       return "fused group's predicted savings are not positive (the costed "
              "no-fusion alternative was cheaper)";
+    case RuleId::kMO080_RewriteSparsityMismatch:
+      return "rewritten sink's sound sparsity interval is disjoint from the "
+             "original program's (the rewrite changed declared sparsity "
+             "semantics)";
+    case RuleId::kMO081_RewriteBudgetHit:
+      return "logical-rewrite enumeration stopped at its saturation budget "
+             "(the candidate set may be incomplete)";
   }
   return "unknown rule";
 }
@@ -119,6 +128,7 @@ std::vector<RuleId> AllRuleIds() {
       RuleId::kMO051_CheckSkipped,   RuleId::kMO060_DistBudgetExceeded,
       RuleId::kMO061_DistBudgetRisk, RuleId::kMO062_CostEnvelope,
       RuleId::kMO070_FusedGroupInvalid, RuleId::kMO071_FusionNotBeneficial,
+      RuleId::kMO080_RewriteSparsityMismatch, RuleId::kMO081_RewriteBudgetHit,
   };
 }
 

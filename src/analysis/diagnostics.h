@@ -29,6 +29,7 @@ const char* SeverityName(Severity severity);
 ///   MO05x  optimality cross-check         (OptimalityCheckPass)
 ///   MO06x  dataflow bounds & pre-flight   (DataflowPass)
 ///   MO07x  fused-group consistency        (FusionPass)
+///   MO08x  logical-rewrite consistency    (AnalyzeRewrite)
 /// Identifiers are append-only: never renumber a shipped rule.
 enum class RuleId {
   kMO001_TypeMismatch = 0,   // re-inferred type differs from Vertex::type
@@ -55,6 +56,9 @@ enum class RuleId {
   kMO062_CostEnvelope,       // planner cost outside the bounds-derived envelope
   kMO070_FusedGroupInvalid,  // fused group breaks shape/ownership/chain rules
   kMO071_FusionNotBeneficial,  // costed no-fusion alternative was cheaper
+  kMO080_RewriteSparsityMismatch,  // rewritten sink's sound sparsity interval
+                                   // is disjoint from the original's
+  kMO081_RewriteBudgetHit,  // rewrite saturation budget stopped the closure
 };
 
 /// The stable "MOxxx" spelling of a rule id.

@@ -1,0 +1,58 @@
+#include "analysis/rewrite_check.h"
+
+#include <string>
+
+#include "analysis/dataflow.h"
+#include "analysis/domains.h"
+
+namespace matopt {
+
+void AnalyzeRewrite(const ComputeGraph& original, const RewrittenPlan& plan,
+                    DiagnosticList* diagnostics) {
+  if (plan.budget_hit) {
+    diagnostics->Add(Severity::kNote, RuleId::kMO081_RewriteBudgetHit,
+                     "rewrite enumeration stopped at its saturation budget "
+                     "after " +
+                         std::to_string(plan.candidates_considered) +
+                         " candidates");
+  }
+  if (!plan.rewritten) return;
+
+  const DataflowResult before = RunSparsityDataflow(original);
+  const DataflowResult after = RunSparsityDataflow(plan.graph);
+  for (int s : original.Sinks()) {
+    const Vertex& sink = original.vertex(s);
+    const int ms = s < static_cast<int>(plan.vertex_map.size())
+                       ? plan.vertex_map[s]
+                       : -1;
+    if (ms < 0 || ms >= plan.graph.num_vertices()) {
+      Diagnostic d;
+      d.severity = Severity::kError;
+      d.rule = RuleId::kMO080_RewriteSparsityMismatch;
+      d.message = "rewrite chain [" + plan.ChainString() +
+                  "] dropped output '" + sink.name + "'";
+      d.vertex = s;
+      d.line = sink.src_line;
+      d.column = sink.src_column;
+      diagnostics->Add(std::move(d));
+      continue;
+    }
+    const SparsityInterval& a = before.at(s);
+    const SparsityInterval& b = after.at(ms);
+    if (a.lo <= b.hi + 1e-9 && b.lo <= a.hi + 1e-9) continue;
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.rule = RuleId::kMO080_RewriteSparsityMismatch;
+    d.message = "output '" + sink.name + "': rewritten sparsity interval [" +
+                std::to_string(b.lo) + ", " + std::to_string(b.hi) +
+                "] is disjoint from the original [" + std::to_string(a.lo) +
+                ", " + std::to_string(a.hi) + "] (chain: " +
+                plan.ChainString() + ")";
+    d.vertex = s;
+    d.line = sink.src_line;
+    d.column = sink.src_column;
+    diagnostics->Add(std::move(d));
+  }
+}
+
+}  // namespace matopt

@@ -1,0 +1,27 @@
+#ifndef MATOPT_ANALYSIS_REWRITE_CHECK_H_
+#define MATOPT_ANALYSIS_REWRITE_CHECK_H_
+
+#include "analysis/diagnostics.h"
+#include "core/graph/graph.h"
+#include "core/rewrite/rewrite.h"
+
+namespace matopt {
+
+/// MO08x: consistency of a chosen logical rewrite against the original
+/// program (run by matopt_lint and the explain path after
+/// OptimizeWithRewrites; EnumerateRewrites already applies the MO080
+/// condition as an apply-time guard, so a firing here means a rewrite
+/// produced outside the guarded enumerator).
+///
+///   MO080 (error): a rewritten sink's sound sparsity interval — from the
+///       same forward dataflow the MO022 check uses — is disjoint from the
+///       original sink's, i.e. the rewrite changed the program's declared
+///       sparsity semantics. Anchored at the original sink vertex.
+///   MO081 (note): the enumeration stopped at its saturation budget, so
+///       the candidate set (and hence the chosen plan) may be incomplete.
+void AnalyzeRewrite(const ComputeGraph& original, const RewrittenPlan& plan,
+                    DiagnosticList* diagnostics);
+
+}  // namespace matopt
+
+#endif  // MATOPT_ANALYSIS_REWRITE_CHECK_H_

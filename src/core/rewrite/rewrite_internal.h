@@ -1,0 +1,79 @@
+#ifndef MATOPT_CORE_REWRITE_REWRITE_INTERNAL_H_
+#define MATOPT_CORE_REWRITE_REWRITE_INTERNAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/dataflow.h"
+#include "common/status.h"
+#include "core/graph/graph.h"
+#include "core/rewrite/rewrite.h"
+
+namespace matopt {
+namespace rewrite_internal {
+
+/// Rebuilds a source graph into a fresh ComputeGraph with one vertex
+/// redefined by a rule emitter. Cloning is memoized top-down from the
+/// sinks, so vertices made unreachable by the rewrite are dropped (dead
+/// code elimination), and every Emit is CSE'd on (op, args, scalar bits)
+/// so structurally equal subexpressions share one vertex — sound because
+/// the kernels are deterministic, so equal expressions compute equal bits.
+class Rebuilder {
+ public:
+  /// `emit` defines the replacement of `target` (in terms of Clone() of
+  /// the target's operand subtrees and Emit() of new vertices).
+  Rebuilder(const ComputeGraph& src, int target,
+            const std::function<Result<int>(Rebuilder&)>& emit);
+
+  /// Memoized clone of source vertex `v` (the redefinition for `target`).
+  /// Returns -1 after a failure; check ok() once cloning is done.
+  int Clone(int v);
+
+  /// CSE'd AddOp into the output graph. Arguments are *output* vertex ids.
+  Result<int> Emit(OpKind op, std::vector<int> args, double scalar = 0.0);
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  const ComputeGraph& graph() const { return out_; }
+  ComputeGraph TakeGraph() { return std::move(out_); }
+  /// source vertex id -> output vertex id; -1 = not cloned (dead).
+  std::vector<int> TakeMap() { return std::move(memo_); }
+
+ private:
+  const ComputeGraph& src_;
+  int target_;
+  const std::function<Result<int>(Rebuilder&)>& emit_;
+  ComputeGraph out_;
+  std::vector<int> memo_;
+  std::vector<char> in_progress_;
+  // CSE key: op, argument ids, scalar bit pattern.
+  std::map<std::tuple<int, std::vector<int>, uint64_t>, int> cse_;
+  Status status_;
+};
+
+/// One applicable rule instance found on a graph: the provenance step and
+/// the emitter that Rebuilder uses to produce the replacement definition.
+struct Match {
+  RewriteStep step;
+  std::function<Result<int>(Rebuilder&)> emit;
+};
+
+/// All rule applications admissible on `graph` under the sparsity-interval
+/// guards derived from `flow` (see DESIGN.md §16 for the guard semantics).
+/// Reassociating rules are omitted when !options.allow_reassociation.
+std::vector<Match> FindMatches(const ComputeGraph& graph,
+                               const DataflowResult& flow,
+                               const RewriteOptions& options);
+
+/// True when scaling by `s` is IEEE-exact (|s| is a power of two, so the
+/// significand is unchanged; sign flips are always exact).
+bool ExactScalar(double s);
+
+}  // namespace rewrite_internal
+}  // namespace matopt
+
+#endif  // MATOPT_CORE_REWRITE_REWRITE_INTERNAL_H_

@@ -1,0 +1,363 @@
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/rewrite/rewrite_internal.h"
+
+namespace matopt {
+
+const char* RewriteRuleName(RewriteRule rule) {
+  switch (rule) {
+    case RewriteRule::kTransposeElim: return "transpose_elim";
+    case RewriteRule::kTransposePushMatMul: return "transpose_push_matmul";
+    case RewriteRule::kTransposePushElemwise: return "transpose_push_elemwise";
+    case RewriteRule::kAggregateReorder: return "aggregate_reorder";
+    case RewriteRule::kMatMulAssoc: return "matmul_assoc";
+    case RewriteRule::kDistribute: return "distribute";
+    case RewriteRule::kFactor: return "factor";
+    case RewriteRule::kScalarHoist: return "scalar_hoist";
+  }
+  return "unknown";
+}
+
+namespace rewrite_internal {
+
+bool ExactScalar(double s) {
+  if (s == 0.0 || !std::isfinite(s)) return false;
+  int exp = 0;
+  return std::frexp(std::fabs(s), &exp) == 0.5;
+}
+
+namespace {
+
+/// Elementwise zips that commute with transpose entry for entry.
+bool TransposableZip(OpKind op) {
+  switch (op) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kHadamard:
+    case OpKind::kElemDiv:
+    case OpKind::kReluGrad:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Elementwise unary maps that commute with transpose. Softmax is
+/// row-global and reductions change shape — neither commutes.
+bool TransposableMap(OpKind op) {
+  switch (op) {
+    case OpKind::kScalarMul:
+    case OpKind::kRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kExp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Distribution guard threshold: when every addend is provably denser
+/// than this, A*(B+C) -> A*B + A*C strictly doubles dense matmul flops
+/// and bytes and can never win, so the candidate is pruned before any DP
+/// runs. A possibly-sparse addend keeps the candidate: two SpMMs against
+/// sparse operands can beat one dense matmul over the densified sum.
+constexpr double kDistributeSparseGuard = 0.5;
+
+RewriteStep MakeStep(RewriteRule rule, int v, bool exact, const char* sketch) {
+  RewriteStep step;
+  step.rule = rule;
+  step.vertex = v;
+  step.exact = exact;
+  step.description = std::string(RewriteRuleName(rule)) + " at v" +
+                     std::to_string(v) + ": " + sketch;
+  return step;
+}
+
+/// Provably-zero operand: both forms of any rewrite over it are the zero
+/// matrix, so rewriting is pure search-budget churn.
+bool ProvablyZero(const DataflowResult& flow, int v, double slack) {
+  return flow.at(v).hi <= slack;
+}
+
+}  // namespace
+
+std::vector<Match> FindMatches(const ComputeGraph& graph,
+                               const DataflowResult& flow,
+                               const RewriteOptions& options) {
+  std::vector<Match> out;
+  const bool reassoc = options.allow_reassociation;
+  const double slack = options.guard_slack;
+
+  auto add = [&out](RewriteStep step,
+                    std::function<Result<int>(Rebuilder&)> emit) {
+    Match m;
+    m.step = std::move(step);
+    m.emit = std::move(emit);
+    out.push_back(std::move(m));
+  };
+
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    const Vertex& vx = graph.vertex(v);
+    if (vx.op == OpKind::kInput) continue;
+    const int a0 = vx.inputs.empty() ? -1 : vx.inputs[0];
+    const int a1 = vx.inputs.size() > 1 ? vx.inputs[1] : -1;
+    const Vertex* x0 = a0 >= 0 ? &graph.vertex(a0) : nullptr;
+    const Vertex* x1 = a1 >= 0 ? &graph.vertex(a1) : nullptr;
+
+    switch (vx.op) {
+      case OpKind::kTranspose: {
+        if (x0->op == OpKind::kTranspose) {
+          const int inner = x0->inputs[0];
+          add(MakeStep(RewriteRule::kTransposeElim, v, true, "(A')' => A"),
+              [inner](Rebuilder& rb) -> Result<int> {
+                int r = rb.Clone(inner);
+                if (r < 0) return rb.status();
+                return r;
+              });
+        }
+        if (x0->op == OpKind::kMatMul) {
+          const int l = x0->inputs[0];
+          const int r = x0->inputs[1];
+          add(MakeStep(RewriteRule::kTransposePushMatMul, v, true,
+                       "(A*B)' => B'*A'"),
+              [l, r](Rebuilder& rb) -> Result<int> {
+                int cr = rb.Clone(r);
+                int cl = rb.Clone(l);
+                if (cr < 0 || cl < 0) return rb.status();
+                MATOPT_ASSIGN_OR_RETURN(int tr,
+                                        rb.Emit(OpKind::kTranspose, {cr}));
+                MATOPT_ASSIGN_OR_RETURN(int tl,
+                                        rb.Emit(OpKind::kTranspose, {cl}));
+                return rb.Emit(OpKind::kMatMul, {tr, tl});
+              });
+        }
+        if (TransposableZip(x0->op)) {
+          const OpKind zip = x0->op;
+          const int l = x0->inputs[0];
+          const int r = x0->inputs[1];
+          add(MakeStep(RewriteRule::kTransposePushElemwise, v, true,
+                       "(A op B)' => A' op B'"),
+              [zip, l, r](Rebuilder& rb) -> Result<int> {
+                int cl = rb.Clone(l);
+                int cr = rb.Clone(r);
+                if (cl < 0 || cr < 0) return rb.status();
+                MATOPT_ASSIGN_OR_RETURN(int tl,
+                                        rb.Emit(OpKind::kTranspose, {cl}));
+                MATOPT_ASSIGN_OR_RETURN(int tr,
+                                        rb.Emit(OpKind::kTranspose, {cr}));
+                return rb.Emit(zip, {tl, tr});
+              });
+        }
+        if (TransposableMap(x0->op)) {
+          const OpKind map = x0->op;
+          const double s = x0->scalar;
+          const int inner = x0->inputs[0];
+          add(MakeStep(RewriteRule::kTransposePushElemwise, v, true,
+                       "f(A)' => f(A')"),
+              [map, s, inner](Rebuilder& rb) -> Result<int> {
+                int c = rb.Clone(inner);
+                if (c < 0) return rb.status();
+                MATOPT_ASSIGN_OR_RETURN(int t,
+                                        rb.Emit(OpKind::kTranspose, {c}));
+                return rb.Emit(map, {t}, s);
+              });
+        }
+        break;
+      }
+
+      case OpKind::kMatMul: {
+        // Transpose pull-up: B'*A' => (A*B)' (drops a transpose vertex).
+        if (x0->op == OpKind::kTranspose && x1->op == OpKind::kTranspose) {
+          const int ib = x0->inputs[0];
+          const int ia = x1->inputs[0];
+          add(MakeStep(RewriteRule::kTransposePushMatMul, v, true,
+                       "B'*A' => (A*B)'"),
+              [ia, ib](Rebuilder& rb) -> Result<int> {
+                int ca = rb.Clone(ia);
+                int cb = rb.Clone(ib);
+                if (ca < 0 || cb < 0) return rb.status();
+                MATOPT_ASSIGN_OR_RETURN(int mm,
+                                        rb.Emit(OpKind::kMatMul, {ca, cb}));
+                return rb.Emit(OpKind::kTranspose, {mm});
+              });
+        }
+        if (reassoc && x0->op == OpKind::kMatMul) {
+          const int ia = x0->inputs[0];
+          const int ib = x0->inputs[1];
+          const int ic = a1;
+          add(MakeStep(RewriteRule::kMatMulAssoc, v, false,
+                       "(A*B)*C => A*(B*C)"),
+              [ia, ib, ic](Rebuilder& rb) -> Result<int> {
+                int ca = rb.Clone(ia);
+                int cb = rb.Clone(ib);
+                int cc = rb.Clone(ic);
+                if (ca < 0 || cb < 0 || cc < 0) return rb.status();
+                MATOPT_ASSIGN_OR_RETURN(int bc,
+                                        rb.Emit(OpKind::kMatMul, {cb, cc}));
+                return rb.Emit(OpKind::kMatMul, {ca, bc});
+              });
+        }
+        if (reassoc && x1->op == OpKind::kMatMul) {
+          const int ia = a0;
+          const int ib = x1->inputs[0];
+          const int ic = x1->inputs[1];
+          add(MakeStep(RewriteRule::kMatMulAssoc, v, false,
+                       "A*(B*C) => (A*B)*C"),
+              [ia, ib, ic](Rebuilder& rb) -> Result<int> {
+                int ca = rb.Clone(ia);
+                int cb = rb.Clone(ib);
+                int cc = rb.Clone(ic);
+                if (ca < 0 || cb < 0 || cc < 0) return rb.status();
+                MATOPT_ASSIGN_OR_RETURN(int ab,
+                                        rb.Emit(OpKind::kMatMul, {ca, cb}));
+                return rb.Emit(OpKind::kMatMul, {ab, cc});
+              });
+        }
+        // Distribute over a (possibly sparse) sum on either side.
+        for (int side = 0; side < 2; ++side) {
+          const Vertex* sum = side == 0 ? x1 : x0;
+          const int other = side == 0 ? a0 : a1;
+          if (!reassoc) break;
+          if (sum->op != OpKind::kAdd && sum->op != OpKind::kSub) continue;
+          const int ib = sum->inputs[0];
+          const int ic = sum->inputs[1];
+          if (std::min(flow.at(ib).lo, flow.at(ic).lo) >
+              kDistributeSparseGuard + slack) {
+            continue;  // both addends provably dense: can never win
+          }
+          if (ProvablyZero(flow, other, slack)) continue;
+          const OpKind zip = sum->op;
+          add(MakeStep(RewriteRule::kDistribute, v, false,
+                       side == 0 ? "A*(B+C) => A*B + A*C"
+                                 : "(B+C)*A => B*A + C*A"),
+              [side, other, ib, ic, zip](Rebuilder& rb) -> Result<int> {
+                int ca = rb.Clone(other);
+                int cb = rb.Clone(ib);
+                int cc = rb.Clone(ic);
+                if (ca < 0 || cb < 0 || cc < 0) return rb.status();
+                int m1 = -1;
+                int m2 = -1;
+                if (side == 0) {
+                  MATOPT_ASSIGN_OR_RETURN(m1,
+                                          rb.Emit(OpKind::kMatMul, {ca, cb}));
+                  MATOPT_ASSIGN_OR_RETURN(m2,
+                                          rb.Emit(OpKind::kMatMul, {ca, cc}));
+                } else {
+                  MATOPT_ASSIGN_OR_RETURN(m1,
+                                          rb.Emit(OpKind::kMatMul, {cb, ca}));
+                  MATOPT_ASSIGN_OR_RETURN(m2,
+                                          rb.Emit(OpKind::kMatMul, {cc, ca}));
+                }
+                return rb.Emit(zip, {m1, m2});
+              });
+        }
+        // Scalar hoist out of either matmul operand: (s.A)*B => s.(A*B).
+        for (int side = 0; side < 2; ++side) {
+          const Vertex* sm = side == 0 ? x0 : x1;
+          const int other = side == 0 ? a1 : a0;
+          if (sm->op != OpKind::kScalarMul) continue;
+          const bool exact = ExactScalar(sm->scalar);
+          if (!exact && !reassoc) continue;
+          const double s = sm->scalar;
+          const int inner = sm->inputs[0];
+          add(MakeStep(RewriteRule::kScalarHoist, v, exact,
+                       side == 0 ? "(s.A)*B => s.(A*B)"
+                                 : "A*(s.B) => s.(A*B)"),
+              [side, other, inner, s](Rebuilder& rb) -> Result<int> {
+                int ci = rb.Clone(inner);
+                int co = rb.Clone(other);
+                if (ci < 0 || co < 0) return rb.status();
+                MATOPT_ASSIGN_OR_RETURN(
+                    int mm, side == 0 ? rb.Emit(OpKind::kMatMul, {ci, co})
+                                      : rb.Emit(OpKind::kMatMul, {co, ci}));
+                return rb.Emit(OpKind::kScalarMul, {mm}, s);
+              });
+        }
+        break;
+      }
+
+      case OpKind::kColSum:
+      case OpKind::kRowSum: {
+        // Aggregate-transpose reorder: colsum(A') => rowsum(A)' (and the
+        // dual). Regroups the per-entry sum across physical chunks, so it
+        // is classified reassociating even though it is exact in real
+        // arithmetic.
+        if (x0->op == OpKind::kTranspose && reassoc) {
+          const bool col = vx.op == OpKind::kColSum;
+          const int inner = x0->inputs[0];
+          add(MakeStep(RewriteRule::kAggregateReorder, v, false,
+                       col ? "colsum(A') => rowsum(A)'"
+                           : "rowsum(A') => colsum(A)'"),
+              [col, inner](Rebuilder& rb) -> Result<int> {
+                int c = rb.Clone(inner);
+                if (c < 0) return rb.status();
+                MATOPT_ASSIGN_OR_RETURN(
+                    int agg, rb.Emit(col ? OpKind::kRowSum : OpKind::kColSum,
+                                     {c}));
+                return rb.Emit(OpKind::kTranspose, {agg});
+              });
+        }
+        break;
+      }
+
+      case OpKind::kAdd:
+      case OpKind::kSub: {
+        // Factor a shared matmul operand: A*B + A*C => A*(B+C). The
+        // shared factor must be the same vertex (structural sharing; the
+        // rebuilder's CSE canonicalizes equal subtrees into one vertex).
+        if (!reassoc) break;
+        if (x0->op != OpKind::kMatMul || x1->op != OpKind::kMatMul) break;
+        const OpKind zip = vx.op;
+        for (int side = 0; side < 2; ++side) {
+          if (x0->inputs[side] != x1->inputs[side]) continue;
+          const int shared = x0->inputs[side];
+          const int ib = x0->inputs[1 - side];
+          const int ic = x1->inputs[1 - side];
+          if (ProvablyZero(flow, shared, slack)) continue;
+          add(MakeStep(RewriteRule::kFactor, v, false,
+                       side == 0 ? "A*B + A*C => A*(B+C)"
+                                 : "B*A + C*A => (B+C)*A"),
+              [side, shared, ib, ic, zip](Rebuilder& rb) -> Result<int> {
+                int ca = rb.Clone(shared);
+                int cb = rb.Clone(ib);
+                int cc = rb.Clone(ic);
+                if (ca < 0 || cb < 0 || cc < 0) return rb.status();
+                MATOPT_ASSIGN_OR_RETURN(int sum, rb.Emit(zip, {cb, cc}));
+                return side == 0 ? rb.Emit(OpKind::kMatMul, {ca, sum})
+                                 : rb.Emit(OpKind::kMatMul, {sum, ca});
+              });
+        }
+        break;
+      }
+
+      case OpKind::kScalarMul: {
+        // s.(t.A) => (s*t).A — exact only when both factors scale by a
+        // power of two (the significands are untouched).
+        if (x0->op == OpKind::kScalarMul) {
+          const bool exact = ExactScalar(vx.scalar) && ExactScalar(x0->scalar);
+          if (!exact && !reassoc) break;
+          const double st = vx.scalar * x0->scalar;
+          const int inner = x0->inputs[0];
+          add(MakeStep(RewriteRule::kScalarHoist, v, exact,
+                       "s.(t.A) => (s*t).A"),
+              [st, inner](Rebuilder& rb) -> Result<int> {
+                int c = rb.Clone(inner);
+                if (c < 0) return rb.status();
+                return rb.Emit(OpKind::kScalarMul, {c}, st);
+              });
+        }
+        break;
+      }
+
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace rewrite_internal
+}  // namespace matopt

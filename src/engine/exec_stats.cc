@@ -32,6 +32,27 @@ std::string ExecStats::ToString() const {
   return out.str();
 }
 
+std::string RewriteStats::ToString() const {
+  if (!enabled) return "";
+  std::ostringstream out;
+  out << "logical rewriter: " << candidates << " candidate DAG"
+      << (candidates == 1 ? "" : "s");
+  if (budget_hit) out << " (saturation budget hit)";
+  out << "\n";
+  if (!rewritten) {
+    out << "  chosen: original DAG (no rewrite beat cost " << baseline_cost
+        << ")\n";
+    return out.str();
+  }
+  out << "  chosen: rewritten DAG (" << (exact ? "exact" : "reassociating")
+      << " chain), cost " << baseline_cost << " -> " << chosen_cost
+      << " (delta " << CostDelta() << ")\n";
+  for (const std::string& step : chain) {
+    out << "  rewrite: " << step << "\n";
+  }
+  return out.str();
+}
+
 std::string ExecStats::RooflineString() const {
   if (kernels.gemm_calls == 0 && kernels.elem_calls == 0) return "";
   std::ostringstream out;

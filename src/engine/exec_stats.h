@@ -84,6 +84,28 @@ struct DistStats {
   std::string ToString() const;
 };
 
+/// Logical-rewrite provenance of the plan an execution ran (DESIGN.md
+/// §16). Populated by planning front-ends (explain) from
+/// OptimizeWithRewrites — the executor itself never rewrites. Kept as
+/// plain strings/numbers so the engine layer does not depend on
+/// core/rewrite. Default state (enabled == false) means the rewriter was
+/// off or never consulted.
+struct RewriteStats {
+  bool enabled = false;
+  bool rewritten = false;   // a non-empty chain won the plan search
+  bool exact = true;        // every applied step preserves IEEE arithmetic
+  bool budget_hit = false;  // enumeration stopped at its saturation budget
+  int candidates = 0;       // candidate DAGs costed (incl. the original)
+  double baseline_cost = 0.0;  // best fused cost of the unrewritten DAG
+  double chosen_cost = 0.0;    // fused cost of the winning DAG
+  /// One "rule at vN: sketch" line per applied step, in order.
+  std::vector<std::string> chain;
+
+  double CostDelta() const { return baseline_cost - chosen_cost; }
+  /// Multi-line EXPLAIN section; empty when !enabled.
+  std::string ToString() const;
+};
+
 /// Aggregated outcome of executing one annotated plan on the simulated
 /// cluster. `sim_seconds` is the simulated wall-clock time under the
 /// machine model; the remaining fields are raw resource totals.
@@ -122,6 +144,10 @@ struct ExecStats {
 
   /// Distributed-runtime measurements; default-empty for single-node runs.
   DistStats dist;
+
+  /// Logical-rewrite provenance; default-empty unless a planning
+  /// front-end ran OptimizeWithRewrites and filled it in.
+  RewriteStats rewrite;
 
   std::string ToString() const;
 

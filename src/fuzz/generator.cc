@@ -367,6 +367,81 @@ FuzzProgram GenDiamond(uint64_t seed, const FuzzLimits& limits) {
   return std::move(b.program);
 }
 
+/// Transpose-saturated matmul chain: double transposes wrap the running
+/// product and single transposes flip it mid-chain, so every transpose
+/// rule of the logical rewriter (elimination, push-down over matmul) has
+/// targets while the program stays a well-typed chain.
+FuzzProgram GenTransposeChain(uint64_t seed, const FuzzLimits& limits) {
+  Builder b(FuzzShape::kTransposeChain, seed, limits);
+  const int links = 2 + static_cast<int>(b.rng.UniformInt(3));
+  std::vector<int64_t> dims(links + 1);
+  for (int64_t& d : dims) d = b.RandDim();
+
+  int64_t rows = dims[0];
+  int64_t cols = dims[1];
+  int acc = b.AddDense(rows, cols);
+  for (int i = 1; i <= links; ++i) {
+    // A double transpose is pure elimination bait; a single transpose
+    // flips the running shape and makes the following matmul a push-down
+    // candidate once the product itself gets transposed.
+    switch (b.rng.UniformInt(3)) {
+      case 0:
+        acc = b.Op(OpKind::kTranspose, {acc});
+        acc = b.Op(OpKind::kTranspose, {acc});
+        break;
+      case 1:
+        acc = b.Op(OpKind::kTranspose, {acc});
+        std::swap(rows, cols);
+        break;
+      default:
+        break;
+    }
+    if (i == links) break;
+    int rhs = b.AddDense(cols, dims[i + 1]);
+    acc = b.Op(OpKind::kMatMul, {acc, rhs});
+    cols = dims[i + 1];
+  }
+  if (b.rng.Uniform() < 0.5) {
+    acc = b.Op(b.rng.Uniform() < 0.5 ? OpKind::kRelu : OpKind::kSigmoid,
+               {acc});
+  }
+  return std::move(b.program);
+}
+
+/// Distributive fan-in: one shared factor multiplies a sum of addends
+/// (A(B+C+...)) right next to the expanded spelling (AB + AC + ...), over
+/// the same inputs. Both of the rewriter's distributivity directions have
+/// targets, and the symmetric expanded subtrees exercise the canonical-
+/// fingerprint dedup of the candidate set.
+FuzzProgram GenDistribFanIn(uint64_t seed, const FuzzLimits& limits) {
+  Builder b(FuzzShape::kDistribFanIn, seed, limits);
+  const int64_t rows = b.RandDim();
+  const int64_t inner = b.RandDim();
+  const int64_t cols = b.RandDim();
+  int a = b.AddDense(rows, inner);
+  const int addends = 2 + static_cast<int>(b.rng.UniformInt(2));
+  std::vector<int> bs;
+  for (int i = 0; i < addends; ++i) bs.push_back(b.AddDense(inner, cols));
+
+  int sum = bs[0];
+  for (int i = 1; i < addends; ++i) sum = b.Op(OpKind::kAdd, {sum, bs[i]});
+  int factored = b.Op(OpKind::kMatMul, {a, sum});
+
+  int expanded = b.Op(OpKind::kMatMul, {a, bs[0]});
+  for (int i = 1; i < addends; ++i) {
+    expanded = b.Op(OpKind::kAdd, {expanded, b.Op(OpKind::kMatMul,
+                                                  {a, bs[i]})});
+  }
+  // Half the runs join the two spellings (kSub makes the output the pure
+  // accumulated rounding difference — a worst-case cancellation stressor
+  // for the execution-vs-reference tolerance); the rest keep two sinks.
+  if (b.rng.Uniform() < 0.5) {
+    int join = b.Op(OpKind::kSub, {factored, expanded});
+    b.Op(OpKind::kScalarMul, {join}, 0.25 + b.rng.Uniform());
+  }
+  return std::move(b.program);
+}
+
 }  // namespace
 
 FuzzProgram GenerateProgram(FuzzShape shape, uint64_t seed,
@@ -380,6 +455,8 @@ FuzzProgram GenerateProgram(FuzzShape shape, uint64_t seed,
     case FuzzShape::kRandom: return GenRandom(seed, limits);
     case FuzzShape::kElemChain: return GenElemChain(seed, limits);
     case FuzzShape::kDiamond: return GenDiamond(seed, limits);
+    case FuzzShape::kTransposeChain: return GenTransposeChain(seed, limits);
+    case FuzzShape::kDistribFanIn: return GenDistribFanIn(seed, limits);
   }
   return GenRandom(seed, limits);
 }

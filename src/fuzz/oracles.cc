@@ -12,6 +12,7 @@
 #include "core/format/format.h"
 #include "core/fusion/fusion.h"
 #include "core/opt/annotation.h"
+#include "core/rewrite/rewrite.h"
 #include "engine/executor.h"
 #include "engine/relation.h"
 #include "fuzz/reference.h"
@@ -32,6 +33,7 @@ class GlobalStateGuard {
     BufferPool::ClearEnabledOverride();
     ClearSimdOverride();
     ClearFusionOverride();
+    ClearRewriteOverride();
   }
   GlobalStateGuard(const GlobalStateGuard&) = delete;
   GlobalStateGuard& operator=(const GlobalStateGuard&) = delete;
@@ -553,6 +555,127 @@ OracleReport RunOracles(const FuzzProgram& program, const Catalog& catalog,
                  config.label + ": stage " + s.label + " delivered " +
                      FmtG(s.measured_tuples) + " tuples, analyzer expects " +
                      FmtG(sb.tuples));
+          }
+        }
+      }
+    }
+  }
+
+  // --- 8. Logical-rewrite semantics preservation ---------------------------
+  // Re-plan through the rewriter (DESIGN.md §16) with a reduced saturation
+  // budget so the oracle stays fuzz-speed, execute the winning graph on
+  // the same input data, and require every mapped sink to agree with the
+  // unrewritten execution and the naive reference within the execution
+  // tolerance (reassociating chains change summation order, so exact
+  // equality is not the contract here). The chosen fused cost may never
+  // exceed the unrewritten baseline's, and forcing the knob off must
+  // reproduce the baseline plan.
+  if (options.check_rewrite &&
+      NumOpVertices(graph) <= options.rewrite_max_ops) {
+    RewriteOptions rw_options;
+    rw_options.max_depth = 2;
+    rw_options.max_candidates = 12;
+    OptimizerOptions rw_optimizer = options.optimizer;
+    rw_optimizer.max_table_entries = std::min(
+        rw_optimizer.max_table_entries, options.rewrite_max_table_entries);
+    auto rw = OptimizeWithRewrites(graph, catalog, model, cluster,
+                                   rw_optimizer, rw_options);
+    if (!rw.ok()) {
+      fail("rewrite", rw.status().ToString());
+      return report;
+    }
+    const RewrittenPlan& rw_plan = rw.value();
+    if (rw_plan.plan.fused_cost >
+        rw_plan.baseline_cost * (1.0 + options.cost_rtol) + 1e-12) {
+      fail("rewrite_cost",
+           "chosen fused cost " + FmtG(rw_plan.plan.fused_cost) +
+               " exceeds the unrewritten baseline " +
+               FmtG(rw_plan.baseline_cost) + " (chain: " +
+               rw_plan.ChainString() + ")");
+    }
+
+    // rewrite_off determinism variant: with the process-wide override
+    // forced off, the facade must degenerate to the plain optimizer.
+    OverrideRewriteEnabled(false);
+    auto off = OptimizeWithRewrites(graph, catalog, model, cluster,
+                                    rw_optimizer, rw_options);
+    ClearRewriteOverride();
+    if (!off.ok()) {
+      fail("rewrite_off", off.status().ToString());
+    } else if (off.value().rewritten ||
+               off.value().candidates_considered != 1) {
+      fail("rewrite_off",
+           "rewriter enumerated " +
+               std::to_string(off.value().candidates_considered) +
+               " candidates with the override off");
+    } else if (!NearRel(off.value().plan.fused_cost, rw_plan.baseline_cost,
+                        options.cost_rtol)) {
+      fail("rewrite_off",
+           "fused cost " + FmtG(off.value().plan.fused_cost) +
+               " vs unrewritten baseline " + FmtG(rw_plan.baseline_cost));
+    }
+
+    if (rw_plan.rewritten) {
+      std::unordered_map<int, Relation> remapped;
+      bool map_ok = true;
+      for (const auto& [v, rel] : relations.value()) {
+        const int mv = v < static_cast<int>(rw_plan.vertex_map.size())
+                           ? rw_plan.vertex_map[v]
+                           : -1;
+        if (mv < 0) {
+          fail("rewrite", "input v" + std::to_string(v) +
+                              " has no image in the rewritten graph");
+          map_ok = false;
+          break;
+        }
+        remapped.emplace(mv, rel);
+      }
+      if (map_ok) {
+        FuzzProgram rw_program;
+        rw_program.graph = rw_plan.graph;
+        const RunConfig config = {"rewrite_exec", options.threads, true,
+                                  true};
+        auto rw_run = RunPlan(rw_program, rw_plan.plan.annotation, catalog,
+                              cluster, remapped, config);
+        if (!rw_run.ok()) {
+          fail("rewrite_exec", rw_run.status().ToString());
+        } else {
+          auto reference =
+              EvaluateReference(graph, MaterializeDenseInputs(program));
+          for (int s : graph.Sinks()) {
+            const int ms = s < static_cast<int>(rw_plan.vertex_map.size())
+                               ? rw_plan.vertex_map[s]
+                               : -1;
+            auto it = rw_run.value().sinks.find(ms);
+            if (ms < 0 || it == rw_run.value().sinks.end()) {
+              fail("rewrite_exec",
+                   "sink v" + std::to_string(s) +
+                       " has no image in the rewritten execution (chain: " +
+                       rw_plan.ChainString() + ")");
+              continue;
+            }
+            auto base = baseline.value().sinks.find(s);
+            if (base != baseline.value().sinks.end() &&
+                !AllClose(it->second, base->second, options.exec_rtol,
+                          options.exec_atol)) {
+              fail("rewrite_exec",
+                   "sink v" + std::to_string(s) +
+                       " diverges from the unrewritten run, max abs diff " +
+                       FmtG(MaxAbsDiff(it->second, base->second)) +
+                       " (chain: " + rw_plan.ChainString() + ")");
+            }
+            if (reference.ok()) {
+              auto ref = reference.value().find(s);
+              if (ref != reference.value().end() &&
+                  !AllClose(it->second, ref->second, options.exec_rtol,
+                            options.exec_atol)) {
+                fail("rewrite_exec",
+                     "sink v" + std::to_string(s) +
+                         " diverges from the reference, max abs diff " +
+                         FmtG(MaxAbsDiff(it->second, ref->second)) +
+                         " (chain: " + rw_plan.ChainString() + ")");
+              }
+            }
           }
         }
       }

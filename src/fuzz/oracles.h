@@ -69,6 +69,25 @@ struct OracleOptions {
   /// Absolute slack on density membership; relative slack on byte
   /// membership (floating-point headroom for chains of transfers).
   double bounds_slack = 1e-9;
+
+  /// Semantics-preservation oracle for the logical rewriter (DESIGN.md
+  /// §16): re-plan with rewrites enabled (reduced saturation budget),
+  /// execute the winning graph, and require every mapped sink to match
+  /// both the unrewritten plan's execution and the naive reference within
+  /// the execution tolerance; the rewritten fused cost may never exceed
+  /// the baseline's. Also replays the search with the rewriter forced off
+  /// (`rewrite_off`) and requires it to reproduce the baseline plan.
+  bool check_rewrite = true;
+
+  /// The rewrite oracle re-plans every candidate DAG, and rewritten
+  /// variants of heavily shared graphs (extra transposes widen the live
+  /// frontier) can cost orders of magnitude more DP time than the
+  /// original, so it only runs on programs with at most this many op
+  /// vertices, and candidate planning is beam-capped at
+  /// `rewrite_max_table_entries` (self-consistent: every §8 cost
+  /// comparison uses the same capped options).
+  int rewrite_max_ops = 12;
+  int64_t rewrite_max_table_entries = 20000;
 };
 
 /// One oracle disagreement: which oracle tripped and a human-readable
@@ -105,6 +124,11 @@ struct OracleReport {
 ///      at every configured worker count; measured per-stage exchange
 ///      bytes must lie inside the statically derived byte intervals and
 ///      delivery counts must match exactly.
+///   8. The logical rewriter must preserve semantics: the winning
+///      (possibly rewritten) graph's execution must match the unrewritten
+///      execution and the naive reference at every mapped sink, its fused
+///      cost may never exceed the baseline's, and forcing the rewriter
+///      off must reproduce the baseline plan.
 /// Global state (default thread count, pool override) is restored before
 /// returning, even on failure.
 OracleReport RunOracles(const FuzzProgram& program, const Catalog& catalog,

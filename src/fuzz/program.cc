@@ -69,6 +69,8 @@ const char* FuzzShapeName(FuzzShape shape) {
     case FuzzShape::kRandom: return "random";
     case FuzzShape::kElemChain: return "elem_chain";
     case FuzzShape::kDiamond: return "diamond";
+    case FuzzShape::kTransposeChain: return "transpose_chain";
+    case FuzzShape::kDistribFanIn: return "distrib_fanin";
   }
   return "unknown";
 }
@@ -84,7 +86,8 @@ const std::vector<FuzzShape>& AllFuzzShapes() {
   static const std::vector<FuzzShape> shapes = {
       FuzzShape::kChain,  FuzzShape::kFfnn,   FuzzShape::kBlockInverse,
       FuzzShape::kSparse, FuzzShape::kShared, FuzzShape::kRandom,
-      FuzzShape::kElemChain, FuzzShape::kDiamond};
+      FuzzShape::kElemChain, FuzzShape::kDiamond,
+      FuzzShape::kTransposeChain, FuzzShape::kDistribFanIn};
   return shapes;
 }
 

@@ -30,9 +30,11 @@ enum class FuzzShape {
   kRandom,        // unconstrained random DAG over random shapes
   kElemChain,     // matmul root + long elementwise epilogue: fusion-heavy
   kDiamond,       // multi-consumer epilogues: materialization points
+  kTransposeChain,  // transpose-saturated matmul chain: rewrite-rich
+  kDistribFanIn,    // A(B+C) next to AB+AC: distribute/factor targets
 };
 
-inline constexpr int kNumFuzzShapes = 8;
+inline constexpr int kNumFuzzShapes = 10;
 
 const char* FuzzShapeName(FuzzShape shape);
 std::optional<FuzzShape> ParseFuzzShape(const std::string& name);

@@ -13,7 +13,9 @@
 #include <string>
 
 #include "analysis/analyze.h"
+#include "analysis/rewrite_check.h"
 #include "core/cost/cost_model.h"
+#include "core/rewrite/rewrite.h"
 #include "core/opt/annotation.h"
 #include "core/opt/optimizer.h"
 #include "engine/executor.h"
@@ -75,7 +77,7 @@ class AnalysisTest : public ::testing::Test {
 
 TEST_F(AnalysisTest, RuleCatalogIsCompleteAndStable) {
   std::vector<RuleId> rules = AllRuleIds();
-  EXPECT_EQ(rules.size(), 24u);
+  EXPECT_EQ(rules.size(), 26u);
   std::set<std::string> names;
   for (RuleId rule : rules) {
     std::string name = RuleIdName(rule);
@@ -89,6 +91,8 @@ TEST_F(AnalysisTest, RuleCatalogIsCompleteAndStable) {
   EXPECT_STREQ(RuleIdName(RuleId::kMO050_NotOptimal), "MO050");
   EXPECT_STREQ(RuleIdName(RuleId::kMO060_DistBudgetExceeded), "MO060");
   EXPECT_STREQ(RuleIdName(RuleId::kMO062_CostEnvelope), "MO062");
+  EXPECT_STREQ(RuleIdName(RuleId::kMO080_RewriteSparsityMismatch), "MO080");
+  EXPECT_STREQ(RuleIdName(RuleId::kMO081_RewriteBudgetHit), "MO081");
 }
 
 TEST_F(AnalysisTest, RenderDiagnosticShowsSnippetAndCaret) {
@@ -711,6 +715,63 @@ TEST_F(AnalysisTest, VerifySearchResultFoldsErrorsIntoStatus) {
   EXPECT_NE(status.message().find("optimizer produced an invalid plan"),
             std::string::npos)
       << status.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// MO08x: logical-rewrite consistency (AnalyzeRewrite).
+
+TEST_F(AnalysisTest, AnalyzeRewriteBudgetHitIsNote) {
+  Small s = SmallGraph();
+  RewrittenPlan plan;
+  plan.graph = s.graph;
+  plan.budget_hit = true;
+  plan.candidates_considered = 32;
+  DiagnosticList list;
+  AnalyzeRewrite(s.graph, plan, &list);
+  EXPECT_EQ(list.CountRule(RuleId::kMO081_RewriteBudgetHit), 1);
+  EXPECT_EQ(list.CountRule(RuleId::kMO080_RewriteSparsityMismatch), 0);
+  EXPECT_FALSE(list.HasErrors());
+}
+
+TEST_F(AnalysisTest, AnalyzeRewriteIdentityChainIsClean) {
+  Small s = SmallGraph();
+  RewrittenPlan plan;
+  plan.graph = s.graph;
+  plan.rewritten = true;
+  for (int v = 0; v < s.graph.num_vertices(); ++v) {
+    plan.vertex_map.push_back(v);
+  }
+  DiagnosticList list;
+  AnalyzeRewrite(s.graph, plan, &list);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST_F(AnalysisTest, AnalyzeRewriteFlagsDisjointSinkSparsity) {
+  // A "rewrite" that turns a 0.1%-sparse output into a dense one changed
+  // the program's declared sparsity semantics: MO080, as an error.
+  ComputeGraph original;
+  original.AddInput(MatrixType(1000, 1000), SparseCsr(), "A", 0.001);
+  RewrittenPlan plan;
+  plan.rewritten = true;
+  plan.graph.AddInput(MatrixType(1000, 1000), RowStrips1000(), "A", 1.0);
+  plan.vertex_map = {0};
+  DiagnosticList list;
+  AnalyzeRewrite(original, plan, &list);
+  EXPECT_EQ(list.CountRule(RuleId::kMO080_RewriteSparsityMismatch), 1);
+  EXPECT_TRUE(list.HasErrors());
+}
+
+TEST_F(AnalysisTest, AnalyzeRewriteFlagsDroppedOutput) {
+  Small s = SmallGraph();
+  RewrittenPlan plan;
+  plan.graph = s.graph;
+  plan.rewritten = true;
+  plan.vertex_map.assign(s.graph.num_vertices(), -1);
+  DiagnosticList list;
+  AnalyzeRewrite(s.graph, plan, &list);
+  // Only sinks are program outputs; the single sink is reported once.
+  EXPECT_EQ(list.CountRule(RuleId::kMO080_RewriteSparsityMismatch), 1);
+  EXPECT_TRUE(list.HasErrors());
 }
 
 }  // namespace

@@ -42,7 +42,8 @@ TEST_P(MlaProgramTest, ParsesAndOptimizes) {
 
 INSTANTIATE_TEST_SUITE_P(Programs, MlaProgramTest,
                          ::testing::Values("ffnn_step.mla",
-                                           "sparse_logreg.mla"));
+                                           "sparse_logreg.mla",
+                                           "matmul_chain.mla"));
 
 }  // namespace
 }  // namespace matopt

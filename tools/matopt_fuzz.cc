@@ -32,7 +32,8 @@ int Usage(const std::string& error) {
          "  --raw-seed        iteration i uses program seed S+i (replay "
          "mode)\n"
          "  --shape NAME      fuzz only this shape; repeatable "
-         "(chain|ffnn|block_inverse|sparse|shared|random)\n"
+         "(chain|ffnn|block_inverse|sparse|shared|random|elem_chain|\n"
+         "                    diamond|transpose_chain|distrib_fanin)\n"
          "  --quick           small matrices / few ops: the CI smoke "
          "configuration\n"
          "  --repro FILE      replay one repro file and exit\n"

@@ -11,6 +11,8 @@
 // Usage: matopt_lint [options] program.mla...
 //   --workers N          cluster size for format feasibility (default 10)
 //   --no-plan            lint the logical graph only; skip the optimizer
+//   --no-rewrite         plan the program as written; skip the logical
+//                        rewriter (DESIGN.md §16)
 //   --check-optimality   debug harness: cross-check the DP plan against
 //                        brute force on small graphs (rule MO050)
 //   --format=FMT         text (default), json, or sarif (SARIF 2.1.0 for
@@ -29,9 +31,11 @@
 #include <vector>
 
 #include "analysis/analyze.h"
+#include "analysis/rewrite_check.h"
 #include "analysis/sarif.h"
 #include "core/cost/cost_model.h"
 #include "core/opt/optimizer.h"
+#include "core/rewrite/rewrite.h"
 #include "frontend/frontend_lint.h"
 
 using namespace matopt;
@@ -43,6 +47,7 @@ enum class OutputFormat { kText, kJson, kSarif };
 struct LintConfig {
   int workers = 10;
   bool plan = true;
+  bool rewrite = true;
   bool check_optimality = false;
   bool fail_on_warning = false;
   bool quiet = false;
@@ -114,8 +119,11 @@ int LintFile(const std::string& path, const LintConfig& config,
   if (program.ok() && config.plan) {
     CostModel model = CostModel::Analytic(cluster);
     options.outputs = program.value().outputs;
-    Result<PlanResult> plan = Optimize(program.value().graph, catalog, model,
-                                       cluster);
+    RewriteOptions rewrite_options;
+    rewrite_options.enable = config.rewrite;
+    Result<RewrittenPlan> plan =
+        OptimizeWithRewrites(program.value().graph, catalog, model, cluster,
+                             {}, rewrite_options);
     if (!plan.ok()) {
       Diagnostic d;
       d.severity = Severity::kError;
@@ -123,11 +131,26 @@ int LintFile(const std::string& path, const LintConfig& config,
       d.message = "no executable physical plan: " + plan.status().ToString();
       diagnostics.Add(std::move(d));
     } else {
+      // Plan passes run over the winning (possibly rewritten) graph, so
+      // declared output ids are remapped through the rewrite's vertex map.
+      if (plan.value().rewritten) {
+        std::vector<int> outputs;
+        for (int v : options.outputs) {
+          int mapped = v < static_cast<int>(plan.value().vertex_map.size())
+                           ? plan.value().vertex_map[v]
+                           : -1;
+          if (mapped >= 0) outputs.push_back(mapped);
+        }
+        options.outputs = std::move(outputs);
+      }
       // The full pipeline re-runs the graph passes, so its findings are a
       // superset of the post-parse ones: replace, don't append.
-      diagnostics = AnalyzePlan(program.value().graph,
-                                plan.value().annotation, catalog, &model,
-                                cluster, options, config.check_optimality);
+      diagnostics = AnalyzePlan(plan.value().graph, plan.value().plan.annotation,
+                                catalog, &model, cluster, options,
+                                config.check_optimality);
+      // MO08x: rewrite-vs-original consistency (sink sparsity intervals)
+      // and the saturation-budget note.
+      AnalyzeRewrite(program.value().graph, plan.value(), &diagnostics);
     }
   }
   // Post-parse and post-search entry points can double-report the same
@@ -171,6 +194,8 @@ int main(int argc, char** argv) {
       config.workers = std::atoi(argv[++i]);
     } else if (std::strcmp(arg, "--no-plan") == 0) {
       config.plan = false;
+    } else if (std::strcmp(arg, "--no-rewrite") == 0) {
+      config.rewrite = false;
     } else if (std::strcmp(arg, "--check-optimality") == 0) {
       config.check_optimality = true;
     } else if (std::strcmp(arg, "--werror") == 0) {
@@ -212,6 +237,7 @@ int main(int argc, char** argv) {
   if (files.empty()) {
     std::fprintf(stderr,
                  "usage: matopt_lint [--workers N] [--no-plan] "
+                 "[--no-rewrite] "
                  "[--check-optimality] [--format=text|json|sarif] "
                  "[--fail-on=error|warning] [--werror] [--rules] [-q] "
                  "program.mla...\n");
