@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/stopwatch.h"
 #include "core/opt/optimizer.h"
 #include "dist/exchange.h"
@@ -205,9 +206,10 @@ int Main(int argc, char** argv) {
               plan_match ? "yes" : "NO");
 
   // --- JSON ---------------------------------------------------------------
-  FILE* out = std::fopen("BENCH_dist.json", "w");
+  const std::string json_path = BenchOutputPath("BENCH_dist.json");
+  FILE* out = std::fopen(json_path.c_str(), "w");
   if (out == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_dist.json\n");
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
   std::fprintf(out,
@@ -244,7 +246,7 @@ int Main(int argc, char** argv) {
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
-  std::printf("wrote BENCH_dist.json\n");
+  std::printf("wrote %s\n", json_path.c_str());
   return exchange_match && plan_match ? 0 : 1;
 }
 

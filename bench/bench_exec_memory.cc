@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/opt/optimizer.h"
@@ -217,9 +218,10 @@ int main(int argc, char** argv) {
   std::printf("outputs bit-identical across all configurations: %s\n",
               all_identical ? "yes" : "NO");
 
-  FILE* out = std::fopen("BENCH_exec_memory.json", "w");
+  const std::string json_path = BenchOutputPath("BENCH_exec_memory.json");
+  FILE* out = std::fopen(json_path.c_str(), "w");
   if (out == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_exec_memory.json\n");
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
   std::fprintf(out, "{\n  \"identical\": %s,\n  \"results\": [\n",
@@ -245,6 +247,6 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
-  std::printf("wrote BENCH_exec_memory.json\n");
+  std::printf("wrote %s\n", json_path.c_str());
   return all_identical ? 0 : 1;
 }

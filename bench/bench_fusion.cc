@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/format/format.h"
@@ -276,9 +277,10 @@ int main(int argc, char** argv) {
   std::printf("outputs bit-identical across all configurations: %s\n",
               all_identical ? "yes" : "NO");
 
-  FILE* out = std::fopen("BENCH_fusion.json", "w");
+  const std::string json_path = BenchOutputPath("BENCH_fusion.json");
+  FILE* out = std::fopen(json_path.c_str(), "w");
   if (out == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_fusion.json\n");
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
   std::fprintf(out,
@@ -303,7 +305,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
-  std::printf("wrote BENCH_fusion.json\n");
+  std::printf("wrote %s\n", json_path.c_str());
 
   if (!all_identical) return 2;
   return pass ? 0 : 1;

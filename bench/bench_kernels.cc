@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "la/kernels.h"
@@ -82,7 +83,8 @@ void PrintRow(const CaseResult& r) {
 }
 
 void WriteJson(const std::vector<CaseResult>& results, int threads) {
-  std::FILE* f = std::fopen("BENCH_kernels.json", "w");
+  const std::string json_path = BenchOutputPath("BENCH_kernels.json");
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) return;
   std::fprintf(f, "{\n  \"isa\": \"%s\",\n  \"threads\": %d,\n",
                SimdCompiled() && SimdSupportedByCpu() ? "avx2" : "scalar",
@@ -104,7 +106,7 @@ void WriteJson(const std::vector<CaseResult>& results, int threads) {
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
-  std::printf("wrote BENCH_kernels.json\n");
+  std::printf("wrote %s\n", json_path.c_str());
 }
 
 int Main(int argc, char** argv) {

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/opt/optimizer.h"
@@ -132,9 +133,10 @@ int main() {
   }
   ThreadPool::SetDefaultThreads(0);
 
-  FILE* out = std::fopen("BENCH_parallel.json", "w");
+  const std::string json_path = BenchOutputPath("BENCH_parallel.json");
+  FILE* out = std::fopen(json_path.c_str(), "w");
   if (out == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_parallel.json\n");
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
   std::fprintf(out, "{\n  \"hardware_threads\": %d,\n  \"results\": [\n",
@@ -148,6 +150,6 @@ int main() {
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
-  std::printf("wrote BENCH_parallel.json\n");
+  std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/opt/optimizer.h"
@@ -341,9 +342,10 @@ int main(int argc, char** argv) {
   std::printf("cost contract: %s; values: %s\n", cost_ok ? "ok" : "VIOLATED",
               values_ok ? "ok" : "MISMATCH");
 
-  FILE* out = std::fopen("BENCH_rewrite.json", "w");
+  const std::string json_path = BenchOutputPath("BENCH_rewrite.json");
+  FILE* out = std::fopen(json_path.c_str(), "w");
   if (out == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_rewrite.json\n");
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
   std::fprintf(out, "{\n  \"cost_ok\": %s,\n  \"values_ok\": %s,\n"
@@ -365,7 +367,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
-  std::printf("wrote BENCH_rewrite.json\n");
+  std::printf("wrote %s\n", json_path.c_str());
 
   if (!values_ok) return 2;
   return cost_ok ? 0 : 1;

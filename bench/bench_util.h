@@ -6,7 +6,11 @@
 // prints the measured rows next to the paper's published values (see
 // EXPERIMENTS.md for the comparison record).
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "baselines/all_tile_planner.h"
@@ -75,6 +79,34 @@ inline BenchCell RunRules(const ComputeGraph& graph, const Catalog& catalog,
   }
   cell.sim_seconds = run.value().stats.sim_seconds;
   return cell;
+}
+
+/// Where a bench harness writes its BENCH_*.json result file. Every
+/// harness uses this so the checked-in JSONs land in one place no matter
+/// which directory the binary runs from:
+///   1. $MATOPT_BENCH_DIR when set (CI points this at the workspace);
+///   2. else the enclosing repo root — the nearest ancestor of the current
+///      directory containing ROADMAP.md;
+///   3. else the current directory (standalone installs).
+inline std::string BenchOutputPath(const std::string& file_name) {
+  const char* override_dir = std::getenv("MATOPT_BENCH_DIR");
+  if (override_dir != nullptr && override_dir[0] != '\0') {
+    return std::string(override_dir) + "/" + file_name;
+  }
+  char cwd[4096];
+  if (::getcwd(cwd, sizeof(cwd)) != nullptr) {
+    std::string dir = cwd;
+    while (!dir.empty()) {
+      struct stat st;
+      if (::stat((dir + "/ROADMAP.md").c_str(), &st) == 0) {
+        return dir + "/" + file_name;
+      }
+      size_t slash = dir.rfind('/');
+      if (slash == std::string::npos || slash == 0) break;
+      dir.resize(slash);
+    }
+  }
+  return file_name;
 }
 
 inline void PrintHeader(const char* figure, const char* title) {

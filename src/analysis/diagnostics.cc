@@ -44,6 +44,9 @@ const char* RuleIdName(RuleId rule) {
     case RuleId::kMO071_FusionNotBeneficial: return "MO071";
     case RuleId::kMO080_RewriteSparsityMismatch: return "MO080";
     case RuleId::kMO081_RewriteBudgetHit: return "MO081";
+    case RuleId::kMO090_StalePlanReuse: return "MO090";
+    case RuleId::kMO091_ServeBudgetRejected: return "MO091";
+    case RuleId::kMO092_AdmissionThrottled: return "MO092";
   }
   return "MO???";
 }
@@ -110,6 +113,15 @@ const char* RuleIdDescription(RuleId rule) {
     case RuleId::kMO081_RewriteBudgetHit:
       return "logical-rewrite enumeration stopped at its saturation budget "
              "(the candidate set may be incomplete)";
+    case RuleId::kMO090_StalePlanReuse:
+      return "cached plan re-costed outside the parameterized-reuse envelope "
+             "of a fresh search (stale entry invalidated)";
+    case RuleId::kMO091_ServeBudgetRejected:
+      return "request rejected: predicted plan cost exceeds the tenant's "
+             "per-request cost budget";
+    case RuleId::kMO092_AdmissionThrottled:
+      return "request rejected: tenant exceeded its concurrent-request "
+             "admission cap";
   }
   return "unknown rule";
 }
@@ -129,6 +141,8 @@ std::vector<RuleId> AllRuleIds() {
       RuleId::kMO061_DistBudgetRisk, RuleId::kMO062_CostEnvelope,
       RuleId::kMO070_FusedGroupInvalid, RuleId::kMO071_FusionNotBeneficial,
       RuleId::kMO080_RewriteSparsityMismatch, RuleId::kMO081_RewriteBudgetHit,
+      RuleId::kMO090_StalePlanReuse, RuleId::kMO091_ServeBudgetRejected,
+      RuleId::kMO092_AdmissionThrottled,
   };
 }
 

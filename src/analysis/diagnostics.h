@@ -30,6 +30,7 @@ const char* SeverityName(Severity severity);
 ///   MO06x  dataflow bounds & pre-flight   (DataflowPass)
 ///   MO07x  fused-group consistency        (FusionPass)
 ///   MO08x  logical-rewrite consistency    (AnalyzeRewrite)
+///   MO09x  optimizer-service diagnostics  (src/serve, DESIGN.md §17)
 /// Identifiers are append-only: never renumber a shipped rule.
 enum class RuleId {
   kMO001_TypeMismatch = 0,   // re-inferred type differs from Vertex::type
@@ -59,6 +60,10 @@ enum class RuleId {
   kMO080_RewriteSparsityMismatch,  // rewritten sink's sound sparsity interval
                                    // is disjoint from the original's
   kMO081_RewriteBudgetHit,  // rewrite saturation budget stopped the closure
+  kMO090_StalePlanReuse,    // cached plan re-costed outside the reuse
+                            // envelope of a fresh search; entry invalidated
+  kMO091_ServeBudgetRejected,   // plan cost exceeds the tenant's cost budget
+  kMO092_AdmissionThrottled,    // tenant over its concurrent-request cap
 };
 
 /// The stable "MOxxx" spelling of a rule id.

@@ -29,6 +29,37 @@ std::string ExecStats::ToString() const {
       << ", net " << FormatBytes(net_bytes) << ", tuples " << tuples
       << ", peak mem/worker " << FormatBytes(peak_worker_mem_bytes);
   if (dist.num_workers > 0) out << "; " << dist.ToString();
+  if (serve.requests > 0) out << "\n" << serve.ToString();
+  return out.str();
+}
+
+std::string ServeStats::ToString() const {
+  if (requests == 0) return "";
+  std::ostringstream out;
+  out << "serve: " << requests << " request" << (requests == 1 ? "" : "s")
+      << ", cache " << cache_hits << " hit" << (cache_hits == 1 ? "" : "s")
+      << " / " << param_hits << " param / " << cache_misses << " miss / "
+      << cache_evictions << " evicted ("
+      << static_cast<int>(hit_rate() * 100.0 + 0.5) << "% hit rate)\n";
+  if (param_rejects > 0) {
+    out << "  param reuse rejected " << param_rejects << " time"
+        << (param_rejects == 1 ? "" : "s") << " (envelope/validation)\n";
+  }
+  if (admission_rejects > 0 || budget_rejects > 0) {
+    out << "  rejected: " << admission_rejects << " admission, "
+        << budget_rejects << " budget\n";
+  }
+  out << "  latency: optimize " << FormatMs(optimize_seconds) << ", execute "
+      << FormatMs(execute_seconds) << ", search amortized "
+      << FormatMs(optimize_seconds_saved) << " saved";
+  if (optimize_seconds + optimize_seconds_saved > 0.0) {
+    out << " ("
+        << static_cast<int>(100.0 * optimize_seconds_saved /
+                                (optimize_seconds + optimize_seconds_saved) +
+                            0.5)
+        << "% of total search latency)";
+  }
+  out << "\n";
   return out.str();
 }
 

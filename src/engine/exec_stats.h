@@ -106,6 +106,37 @@ struct RewriteStats {
   std::string ToString() const;
 };
 
+/// Serving-layer counters of the optimizer service (DESIGN.md §17).
+/// Populated by src/serve (the engine layer never serves); kept here —
+/// like RewriteStats — as plain numbers so explain and the daemon's STATS
+/// verb share one rendering. Default state (requests == 0) means the run
+/// never went through the service.
+struct ServeStats {
+  int64_t requests = 0;
+  int64_t cache_hits = 0;        // exact-fingerprint plan reuse
+  int64_t cache_misses = 0;      // full OptimizeWithRewrites searches
+  int64_t cache_evictions = 0;   // LRU entries dropped at the size bound
+  int64_t param_hits = 0;        // dimension-only reuse served sans search
+  int64_t param_rejects = 0;     // reuse refused (envelope / validation)
+  int64_t admission_rejects = 0; // tenant over its concurrent-request cap
+  int64_t budget_rejects = 0;    // plan cost over the tenant budget
+  double optimize_seconds = 0.0;  // wall-clock spent in plan searches
+  double execute_seconds = 0.0;   // wall-clock spent executing plans
+  /// Cold-search wall-clock the cache amortized away: the sum, over every
+  /// hit, of the search time a missing request would have paid.
+  double optimize_seconds_saved = 0.0;
+
+  double hit_rate() const {
+    int64_t lookups = cache_hits + param_hits + cache_misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(cache_hits + param_hits) /
+                              static_cast<double>(lookups);
+  }
+
+  /// Multi-line EXPLAIN/STATS section; empty when requests == 0.
+  std::string ToString() const;
+};
+
 /// Aggregated outcome of executing one annotated plan on the simulated
 /// cluster. `sim_seconds` is the simulated wall-clock time under the
 /// machine model; the remaining fields are raw resource totals.
@@ -148,6 +179,10 @@ struct ExecStats {
   /// Logical-rewrite provenance; default-empty unless a planning
   /// front-end ran OptimizeWithRewrites and filled it in.
   RewriteStats rewrite;
+
+  /// Optimizer-service counters; default-empty unless the run was served
+  /// by src/serve (DESIGN.md §17).
+  ServeStats serve;
 
   std::string ToString() const;
 

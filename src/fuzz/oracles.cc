@@ -682,6 +682,110 @@ OracleReport RunOracles(const FuzzProgram& program, const Catalog& catalog,
     }
   }
 
+  // --- 9. Serve parameterized-reuse envelope (DESIGN.md §17) ---------------
+  // The optimizer service reuses a cached physical plan across
+  // dimension-only variants of a program once it re-costs within an
+  // envelope of a fresh search. Replay that protocol: scale every
+  // dimension by the same factor (structure, names, formats, and declared
+  // sparsity unchanged — exactly what the param fingerprint coalesces),
+  // re-cost the baseline annotation on the variant, and hold a validating
+  // donor to the protocol's two promises. The re-cost may never undercut
+  // the fresh search (frontier DP is optimal absent beam pruning, so a
+  // cheaper reused plan means the cost model went inconsistent), and an
+  // envelope-accepted plan must execute the variant to the reference.
+  if (options.check_serve_reuse &&
+      NumOpVertices(graph) <= options.serve_max_ops) {
+    ComputeGraph scaled;
+    bool build_ok = true;
+    for (int v = 0; v < graph.num_vertices() && build_ok; ++v) {
+      const Vertex& vx = graph.vertex(v);
+      if (vx.op == OpKind::kInput) {
+        MatrixType type = vx.type;
+        // Extent-1 dimensions carry broadcast semantics (bias rows,
+        // rank-1 factors) and must survive the scaling unchanged.
+        for (int64_t& d : type.shape) {
+          if (d > 1) d *= options.serve_dim_scale;
+        }
+        scaled.AddInput(type, vx.input_format, vx.name, vx.sparsity);
+      } else {
+        auto added = scaled.AddOp(vx.op, vx.inputs, vx.name, vx.scalar);
+        if (!added.ok()) {
+          fail("serve_reuse", "dimension-scaled variant failed type "
+                              "inference: " +
+                                  added.status().ToString());
+          build_ok = false;
+        }
+      }
+    }
+    // The donor plan may legitimately not validate on the new shapes (the
+    // service falls through to a fresh search then), so only a validating
+    // donor is held to the promises.
+    if (build_ok &&
+        ValidateAnnotation(scaled, annotation, catalog, cluster).ok()) {
+      const double recost =
+          AnnotationCost(scaled, annotation, catalog, model, cluster);
+      auto fresh =
+          FrontierOptimize(scaled, catalog, model, cluster, options.optimizer);
+      if (!fresh.ok()) {
+        fail("serve_reuse", "fresh search on the scaled variant failed: " +
+                                fresh.status().ToString());
+      } else {
+        if (!fresh.value().beam_pruned && std::isfinite(recost) &&
+            recost < fresh.value().cost * (1.0 - options.cost_rtol) - 1e-12) {
+          fail("serve_reuse", "re-costed donor " + FmtG(recost) +
+                                  " undercuts the fresh optimal search " +
+                                  FmtG(fresh.value().cost));
+        }
+        const bool accepted =
+            std::isfinite(recost) &&
+            recost <= options.serve_reuse_envelope *
+                          std::max(fresh.value().fused_cost, 1e-12);
+        if (accepted) {
+          FuzzProgram scaled_program;
+          scaled_program.graph = scaled;
+          scaled_program.shape = program.shape;
+          scaled_program.seed = program.seed;
+          scaled_program.inputs = program.inputs;
+          auto scaled_relations =
+              MaterializeRelations(scaled_program, cluster);
+          if (!scaled_relations.ok()) {
+            fail("serve_reuse", scaled_relations.status().ToString());
+          } else {
+            const RunConfig config = {"serve_reuse", options.threads, true,
+                                      true};
+            auto reused = RunPlan(scaled_program, annotation, catalog,
+                                  cluster, scaled_relations.value(), config);
+            auto reference = EvaluateReference(
+                scaled, MaterializeDenseInputs(scaled_program));
+            if (!reused.ok()) {
+              fail("serve_reuse",
+                   "envelope-accepted reused plan failed to execute: " +
+                       reused.status().ToString());
+            } else if (!reference.ok()) {
+              fail("serve_reuse", reference.status().ToString());
+            } else {
+              for (const auto& [s, expected] : reference.value()) {
+                auto it = reused.value().sinks.find(s);
+                if (it == reused.value().sinks.end()) {
+                  fail("serve_reuse",
+                       "sink v" + std::to_string(s) +
+                           " missing from the reused execution");
+                } else if (!AllClose(it->second, expected, options.exec_rtol,
+                                     options.exec_atol)) {
+                  fail("serve_reuse",
+                       "sink v" + std::to_string(s) +
+                           " of the reused plan diverges from the "
+                           "reference, max abs diff " +
+                           FmtG(MaxAbsDiff(it->second, expected)));
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
   return report;
 }
 

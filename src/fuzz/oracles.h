@@ -88,6 +88,18 @@ struct OracleOptions {
   /// comparison uses the same capped options).
   int rewrite_max_ops = 12;
   int64_t rewrite_max_table_entries = 20000;
+
+  /// Parameterized-reuse oracle for the optimizer service (DESIGN.md §17):
+  /// re-cost the baseline plan on a dimension-only variant of the program
+  /// (every dimension scaled by `serve_dim_scale`) the way the serve
+  /// layer's param fingerprint coalesces them. The re-cost may never
+  /// undercut a fresh optimal search there, and whenever the reuse
+  /// envelope would accept the cached plan, executing it on the variant
+  /// must match the naive reference.
+  bool check_serve_reuse = true;
+  double serve_reuse_envelope = 1.25;
+  int serve_dim_scale = 2;
+  int serve_max_ops = 10;
 };
 
 /// One oracle disagreement: which oracle tripped and a human-readable
@@ -129,6 +141,11 @@ struct OracleReport {
 ///      execution and the naive reference at every mapped sink, its fused
 ///      cost may never exceed the baseline's, and forcing the rewriter
 ///      off must reproduce the baseline plan.
+///   9. Parameterized plan reuse (the optimizer service's envelope
+///      protocol) must be sound: on a dimension-scaled variant, the
+///      baseline plan's re-cost never undercuts a fresh optimal search,
+///      and when the envelope accepts it, the reused plan executes the
+///      variant to the naive reference.
 /// Global state (default thread count, pool override) is restored before
 /// returning, even on failure.
 OracleReport RunOracles(const FuzzProgram& program, const Catalog& catalog,

@@ -1,0 +1,170 @@
+#include "serve/fingerprint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "core/fusion/fusion.h"
+
+namespace matopt {
+namespace serve {
+
+namespace {
+
+// Same mixing primitives as core/rewrite's canonical fingerprint so the
+// two subsystems bucket identically-shaped expressions the same way.
+uint64_t HashCombine(uint64_t h, uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return h ^ (x + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2));
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t b = 0;
+  std::memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : s) h = (h ^ static_cast<unsigned char>(c)) * 0x100000001B3ull;
+  return h;
+}
+
+/// Post-order canonical vertex hash with dimensions dropped and sparsity
+/// bucketed. Input *names* stay in the hash: the serving layer binds data
+/// by name, so "same program over differently named tables" must miss.
+uint64_t HashVertexParam(const ComputeGraph& g, int v,
+                         std::vector<uint64_t>* memo, std::vector<char>* done) {
+  if ((*done)[v]) return (*memo)[v];
+  const Vertex& vx = g.vertex(v);
+  uint64_t h = 0x13198A2E03707344ull;
+  h = HashCombine(h, static_cast<uint64_t>(vx.op));
+  if (vx.op == OpKind::kInput) {
+    h = HashCombine(h, HashString(vx.name));
+    h = HashCombine(h, static_cast<uint64_t>(vx.input_format));
+    h = HashCombine(h, static_cast<uint64_t>(SparsityBucket(vx.sparsity)));
+  } else {
+    h = HashCombine(h, DoubleBits(vx.scalar));
+    for (int a : vx.inputs) {
+      h = HashCombine(h, HashVertexParam(g, a, memo, done));
+    }
+  }
+  (*done)[v] = 1;
+  (*memo)[v] = h;
+  return h;
+}
+
+uint64_t CombineSinks(const ComputeGraph& graph,
+                      const std::function<uint64_t(int)>& hash_sink) {
+  std::vector<uint64_t> sink_hashes;
+  for (int s : graph.Sinks()) sink_hashes.push_back(hash_sink(s));
+  std::sort(sink_hashes.begin(), sink_hashes.end());
+  uint64_t h = HashCombine(0xA4093822299F31D0ull, sink_hashes.size());
+  for (uint64_t sh : sink_hashes) h = HashCombine(h, sh);
+  return h;
+}
+
+int Log2Bucket(int64_t extent) {
+  int bucket = 0;
+  while (extent > 1) {
+    extent >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+int SparsityBucket(double sparsity) {
+  if (sparsity >= 1.0) return 0;
+  if (!(sparsity > 0.0)) return 41;  // empty / NaN estimates share a bucket
+  int bucket = 1 + static_cast<int>(std::floor(-2.0 * std::log10(sparsity)));
+  return std::min(bucket, 40);
+}
+
+uint64_t PlanningContextFingerprint(const ClusterConfig& cluster,
+                                    const OptimizerOptions& options,
+                                    const RewriteOptions& rewrite) {
+  uint64_t h = 0x082EFA98EC4E6C89ull;
+  h = HashCombine(h, static_cast<uint64_t>(cluster.num_workers));
+  h = HashCombine(h, DoubleBits(cluster.flops_per_sec));
+  h = HashCombine(h, DoubleBits(cluster.net_bytes_per_sec));
+  h = HashCombine(h, DoubleBits(cluster.disk_bytes_per_sec));
+  h = HashCombine(h, DoubleBits(cluster.per_tuple_overhead_sec));
+  h = HashCombine(h, DoubleBits(cluster.per_op_latency_sec));
+  h = HashCombine(h, DoubleBits(cluster.worker_mem_bytes));
+  h = HashCombine(h, DoubleBits(cluster.worker_spill_bytes));
+  h = HashCombine(h, DoubleBits(cluster.broadcast_cap_bytes));
+  h = HashCombine(h, DoubleBits(cluster.single_tuple_cap_bytes));
+  h = HashCombine(h, static_cast<uint64_t>(cluster.gpus_per_worker));
+  h = HashCombine(h, DoubleBits(cluster.gpu_flops_per_sec));
+  h = HashCombine(h, static_cast<uint64_t>(options.max_class_size));
+  h = HashCombine(h, static_cast<uint64_t>(options.max_table_entries));
+  h = HashCombine(h, static_cast<uint64_t>(options.enforce_resource_limits));
+  h = HashCombine(h, static_cast<uint64_t>(options.cost_transforms));
+  h = HashCombine(h, static_cast<uint64_t>(options.allow_sparse));
+  h = HashCombine(h, static_cast<uint64_t>(options.plan_fusion));
+  h = HashCombine(h, static_cast<uint64_t>(rewrite.enable));
+  h = HashCombine(h, static_cast<uint64_t>(rewrite.max_depth));
+  h = HashCombine(h, static_cast<uint64_t>(rewrite.max_candidates));
+  h = HashCombine(h, static_cast<uint64_t>(rewrite.allow_reassociation));
+  // Process-wide runtime switches change which plan wins; fold them in so
+  // a knob flip can never serve a plan searched under the other setting.
+  h = HashCombine(h, static_cast<uint64_t>(FusionEnabled()));
+  h = HashCombine(h, static_cast<uint64_t>(RewriteEnabled()));
+  return h;
+}
+
+uint64_t ParamFingerprint(const ComputeGraph& graph) {
+  std::vector<uint64_t> memo(graph.num_vertices(), 0);
+  std::vector<char> done(graph.num_vertices(), 0);
+  return CombineSinks(graph, [&](int s) {
+    return HashVertexParam(graph, s, &memo, &done);
+  });
+}
+
+uint64_t ShapeBucketFingerprint(const ComputeGraph& graph) {
+  // Vertices are stored in a canonical topological order by construction;
+  // hashing per-vertex dimension buckets in that order is stable for
+  // structurally identical graphs (the only graphs whose buckets are ever
+  // compared — lookups go through the param fingerprint first).
+  uint64_t h = 0x3F84D5B5B5470917ull;
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    const MatrixType& type = graph.vertex(v).type;
+    h = HashCombine(h, static_cast<uint64_t>(Log2Bucket(type.rows())));
+    h = HashCombine(h, static_cast<uint64_t>(Log2Bucket(type.cols())));
+  }
+  return h;
+}
+
+GraphKey MakeGraphKey(const ComputeGraph& graph, const ClusterConfig& cluster,
+                      const OptimizerOptions& options,
+                      const RewriteOptions& rewrite) {
+  const uint64_t context = PlanningContextFingerprint(cluster, options,
+                                                      rewrite);
+  GraphKey key;
+  key.exact = HashCombine(GraphFingerprint(graph), context);
+  key.param = HashCombine(ParamFingerprint(graph), context);
+  key.shape_bucket = ShapeBucketFingerprint(graph);
+  return key;
+}
+
+std::string GraphKey::ToString() const {
+  // Colon-separated, no whitespace: the wire protocol carries this as a
+  // single header-field value.
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%016llx:%016llx:%016llx",
+                static_cast<unsigned long long>(exact),
+                static_cast<unsigned long long>(param),
+                static_cast<unsigned long long>(shape_bucket));
+  return buf;
+}
+
+}  // namespace serve
+}  // namespace matopt

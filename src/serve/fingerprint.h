@@ -1,0 +1,73 @@
+#ifndef MATOPT_SERVE_FINGERPRINT_H_
+#define MATOPT_SERVE_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/graph/graph.h"
+#include "core/opt/optimizer.h"
+#include "core/rewrite/rewrite.h"
+#include "engine/cluster.h"
+
+namespace matopt {
+namespace serve {
+
+/// Cache key of one optimize request (DESIGN.md §17). Two layers:
+///
+///  - `exact` — the rewrite subsystem's canonical structural fingerprint
+///    (GraphFingerprint, DESIGN.md §16: invariant under vertex
+///    renumbering, covering ops, scalars, input names/formats/sparsities
+///    and exact shapes) combined with the planning context (cluster and
+///    optimizer knobs). Equal exact keys mean the cached PlanResult is the
+///    plan a fresh search would find — a straight cache hit.
+///
+///  - `param` — the same canonical walk with every dimension dropped and
+///    every sparsity bucketed (half-decade log buckets; exactly-dense kept
+///    distinct). Equal param keys with different exact keys mean the
+///    request is a dimension-only variant of a cached program — the
+///    parameterized-reuse path re-costs the cached physical plan against
+///    the new shapes (SystemML's runtime-plan costing shows these
+///    estimates are stable under dimension-only change).
+///
+///  - `shape_bucket` — log2 buckets of every vertex dimension. Reuse
+///    envelopes are validated per (param, shape_bucket): the first request
+///    in a new bucket runs the fresh search and cross-checks the re-costed
+///    plan against it before later dimension variants skip the search.
+struct GraphKey {
+  uint64_t exact = 0;
+  uint64_t param = 0;
+  uint64_t shape_bucket = 0;
+
+  std::string ToString() const;  // "<exact hex>:<param hex>:<bucket hex>"
+};
+
+/// Sparsity bucket index used by the param fingerprint: 0 for exactly
+/// dense (1.0), otherwise 1 + floor(-2 * log10(sparsity)) clamped to 40
+/// (half-decade buckets down to 1e-20).
+int SparsityBucket(double sparsity);
+
+/// Canonical fingerprint context: everything besides the graph that can
+/// change which plan wins. Folds the cluster's cost-relevant fields and
+/// the optimizer/rewrite knobs (including the process-wide fusion/rewrite
+/// runtime switches) into the key so a knob flip can never serve a stale
+/// plan.
+uint64_t PlanningContextFingerprint(const ClusterConfig& cluster,
+                                    const OptimizerOptions& options,
+                                    const RewriteOptions& rewrite);
+
+/// Builds the full key for one request.
+GraphKey MakeGraphKey(const ComputeGraph& graph, const ClusterConfig& cluster,
+                      const OptimizerOptions& options,
+                      const RewriteOptions& rewrite);
+
+/// Dimension-free, sparsity-bucketed canonical fingerprint (the `param`
+/// layer on its own, without the planning context).
+uint64_t ParamFingerprint(const ComputeGraph& graph);
+
+/// Log2-bucketed shape fingerprint (the `shape_bucket` layer).
+uint64_t ShapeBucketFingerprint(const ComputeGraph& graph);
+
+}  // namespace serve
+}  // namespace matopt
+
+#endif  // MATOPT_SERVE_FINGERPRINT_H_

@@ -1,0 +1,256 @@
+#include "serve/protocol.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace matopt {
+namespace serve {
+
+namespace {
+
+constexpr const char kMagic[] = "MATOPT/1";
+// A header line longer than this is malformed, not merely incomplete.
+constexpr size_t kMaxHeaderBytes = 64 * 1024;
+// Payloads are .mla programs or rendered reports; 16 MiB is generous.
+constexpr size_t kMaxPayloadBytes = 16u << 20;
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string FormatHex64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string WireMessage::Encode() const {
+  std::ostringstream out;
+  out << kMagic << ' ' << verb;
+  for (const auto& [key, value] : fields) {
+    out << ' ' << key << '=' << value;
+  }
+  out << " bytes=" << payload.size() << '\n' << payload;
+  return out.str();
+}
+
+Result<WireMessage> DecodeMessage(const std::string& data, size_t* offset) {
+  size_t start = *offset;
+  size_t eol = data.find('\n', start);
+  if (eol == std::string::npos) {
+    if (data.size() - start > kMaxHeaderBytes) {
+      return Status::InvalidArgument("serve protocol: header exceeds " +
+                                     std::to_string(kMaxHeaderBytes) +
+                                     " bytes without a newline");
+    }
+    return Status::NotFound("incomplete message");
+  }
+
+  std::istringstream header(data.substr(start, eol - start));
+  std::string magic;
+  WireMessage message;
+  if (!(header >> magic >> message.verb) || magic != kMagic) {
+    return Status::InvalidArgument(
+        "serve protocol: bad header (expected \"MATOPT/1 <verb> ...\"): " +
+        data.substr(start, std::min<size_t>(eol - start, 120)));
+  }
+  size_t payload_bytes = 0;
+  bool saw_bytes = false;
+  std::string token;
+  while (header >> token) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          "serve protocol: header field without '=': " + token);
+    }
+    std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    if (key == "bytes") {
+      char* end = nullptr;
+      errno = 0;
+      unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+      if (errno != 0 || end == value.c_str() || *end != '\0' ||
+          n > kMaxPayloadBytes) {
+        return Status::InvalidArgument(
+            "serve protocol: bad bytes= value: " + value);
+      }
+      payload_bytes = static_cast<size_t>(n);
+      saw_bytes = true;
+    } else {
+      message.fields[key] = value;
+    }
+  }
+  if (!saw_bytes) {
+    return Status::InvalidArgument("serve protocol: header missing bytes=");
+  }
+  size_t body_start = eol + 1;
+  if (data.size() - body_start < payload_bytes) {
+    return Status::NotFound("incomplete message");
+  }
+  message.payload = data.substr(body_start, payload_bytes);
+  *offset = body_start + payload_bytes;
+  return message;
+}
+
+WireMessage EncodeRequest(const ServeRequest& request) {
+  WireMessage message;
+  message.verb = request.execute ? "RUN" : "PLAN";
+  message.fields["tenant"] = request.tenant;
+  message.fields["seed"] = std::to_string(request.input_seed);
+  message.payload = request.program;
+  return message;
+}
+
+WireMessage EncodeResponse(const ServeResponse& response) {
+  WireMessage message;
+  message.verb = "OK";
+  message.fields["cache"] = CacheOutcomeName(response.cache);
+  message.fields["key"] = response.key.ToString();
+  message.fields["cost"] = FormatDouble(response.cost);
+  message.fields["fused_cost"] = FormatDouble(response.fused_cost);
+  message.fields["sim_seconds"] = FormatDouble(response.sim_seconds);
+  message.fields["rewritten"] = response.rewritten ? "1" : "0";
+  message.fields["optimize_seconds"] = FormatDouble(response.optimize_seconds);
+  message.fields["execute_seconds"] = FormatDouble(response.execute_seconds);
+  message.fields["executed"] = response.executed ? "1" : "0";
+  for (const auto& [name, checksum] : response.sink_checksums) {
+    message.fields["sink." + name] = FormatHex64(checksum);
+  }
+
+  std::ostringstream body;
+  if (response.rewritten) {
+    body << "rewrite chain: " << response.rewrite_chain << "\n";
+  }
+  if (!response.diagnostics.empty()) {
+    body << response.diagnostics.ToString();
+  }
+  body << response.stats.ToString();
+  message.payload = body.str();
+  return message;
+}
+
+WireMessage EncodeError(const Status& status) {
+  WireMessage message;
+  message.verb = "ERROR";
+  message.fields["code"] = Status::CodeName(status.code());
+  message.payload = status.message();
+  return message;
+}
+
+WireMessage HandleMessage(OptimizerService& service,
+                          const WireMessage& request, bool* shutdown) {
+  if (shutdown != nullptr) *shutdown = false;
+
+  if (request.verb == "PING") {
+    WireMessage pong;
+    pong.verb = "OK";
+    pong.payload = "pong";
+    return pong;
+  }
+  if (request.verb == "SHUTDOWN") {
+    if (shutdown != nullptr) *shutdown = true;
+    WireMessage bye;
+    bye.verb = "OK";
+    bye.payload = "shutting down";
+    return bye;
+  }
+  if (request.verb == "STATS") {
+    WireMessage stats;
+    stats.verb = "OK";
+    ServeStats s = service.Stats();
+    stats.fields["requests"] = std::to_string(s.requests);
+    stats.fields["cache_hits"] = std::to_string(s.cache_hits);
+    stats.fields["cache_misses"] = std::to_string(s.cache_misses);
+    stats.fields["cache_evictions"] = std::to_string(s.cache_evictions);
+    stats.fields["param_hits"] = std::to_string(s.param_hits);
+    stats.fields["param_rejects"] = std::to_string(s.param_rejects);
+    stats.fields["admission_rejects"] = std::to_string(s.admission_rejects);
+    stats.fields["budget_rejects"] = std::to_string(s.budget_rejects);
+    stats.fields["optimize_seconds"] = FormatDouble(s.optimize_seconds);
+    stats.fields["execute_seconds"] = FormatDouble(s.execute_seconds);
+    stats.fields["optimize_seconds_saved"] =
+        FormatDouble(s.optimize_seconds_saved);
+    stats.payload = s.ToString();
+    return stats;
+  }
+  if (request.verb != "PLAN" && request.verb != "RUN") {
+    return EncodeError(
+        Status::InvalidArgument("serve protocol: unknown verb " +
+                                request.verb));
+  }
+
+  ServeRequest serve_request;
+  serve_request.execute = request.verb == "RUN";
+  serve_request.program = request.payload;
+  auto tenant = request.fields.find("tenant");
+  if (tenant != request.fields.end()) serve_request.tenant = tenant->second;
+  auto seed = request.fields.find("seed");
+  if (seed != request.fields.end()) {
+    char* end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(seed->second.c_str(), &end, 10);
+    if (errno != 0 || end == seed->second.c_str() || *end != '\0') {
+      return EncodeError(Status::InvalidArgument(
+          "serve protocol: bad seed= value: " + seed->second));
+    }
+    serve_request.input_seed = static_cast<uint64_t>(v);
+  }
+
+  auto response = service.Handle(serve_request);
+  if (!response.ok()) return EncodeError(response.status());
+  return EncodeResponse(response.value());
+}
+
+Status WriteMessage(int fd, const WireMessage& message) {
+  std::string bytes = message.Encode();
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("serve protocol: write failed: ") +
+                              std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<WireMessage> ReadMessage(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  size_t offset = 0;
+  for (;;) {
+    auto message = DecodeMessage(buffer, &offset);
+    if (message.ok()) return message;
+    if (message.status().code() != StatusCode::kNotFound) {
+      return message.status();
+    }
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("serve protocol: read failed: ") +
+                              std::strerror(errno));
+    }
+    if (n == 0) {
+      if (buffer.empty()) return Status::NotFound("connection closed");
+      return Status::InvalidArgument(
+          "serve protocol: connection closed mid-message");
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace serve
+}  // namespace matopt

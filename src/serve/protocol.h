@@ -1,0 +1,80 @@
+#ifndef MATOPT_SERVE_PROTOCOL_H_
+#define MATOPT_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "serve/service.h"
+
+namespace matopt {
+namespace serve {
+
+/// The matopt_serve line protocol, version 1. One message per request and
+/// per response, each a single header line followed by an exact-length
+/// payload:
+///
+///   MATOPT/1 <VERB> key=value key=value ... bytes=<N>\n
+///   <N bytes of payload>
+///
+/// The header is ASCII; `bytes=` is always the last header field; the
+/// payload is uninterpreted bytes (the .mla program for requests, the
+/// rendered body for responses). Values must not contain whitespace or
+/// newlines — free-form text always travels in the payload.
+///
+/// Request verbs:
+///   PLAN      optimize only (payload = .mla source)
+///   RUN       optimize + execute with fabricated inputs (payload = .mla)
+///   STATS     service counters, no payload
+///   PING      liveness check, no payload
+///   SHUTDOWN  stop the daemon after responding, no payload
+/// Request keys: tenant=<name> seed=<uint64>.
+///
+/// Responses use verb OK or ERROR. ERROR carries code=<StatusCode name>
+/// and the message as payload. OK responses to PLAN/RUN carry the plan
+/// summary as keys (cache=, cost=, fused_cost=, sim_seconds=, rewritten=,
+/// optimize_seconds=, execute_seconds=, sink.<name>=<hex checksum>) and
+/// the human-readable report (chain + diagnostics) as payload.
+struct WireMessage {
+  std::string verb;
+  std::map<std::string, std::string> fields;
+  std::string payload;
+
+  /// Serializes to the on-wire bytes (header line + payload).
+  std::string Encode() const;
+};
+
+/// Parses one message from `data` starting at `offset`. On success returns
+/// the message and advances `offset` past it. Returns NotFound when the
+/// buffer does not yet hold a complete message (caller reads more bytes),
+/// InvalidArgument on a malformed header.
+Result<WireMessage> DecodeMessage(const std::string& data, size_t* offset);
+
+/// Builds the wire request for one ServeRequest (verb PLAN or RUN).
+WireMessage EncodeRequest(const ServeRequest& request);
+
+/// Executes one decoded request against the service and renders the
+/// response message. Unknown verbs produce an ERROR response; `shutdown`
+/// (optional) is set true when the verb was SHUTDOWN. Never returns a
+/// non-OK Status for request-level failures — those become ERROR messages
+/// so the connection survives.
+WireMessage HandleMessage(OptimizerService& service, const WireMessage& request,
+                          bool* shutdown = nullptr);
+
+/// Renders a ServeResponse as the OK wire message (shared by the daemon
+/// and in-process tests so both ends agree byte-for-byte).
+WireMessage EncodeResponse(const ServeResponse& response);
+
+/// Renders a failed request as an ERROR wire message.
+WireMessage EncodeError(const Status& status);
+
+/// Blocking whole-message I/O over a connected socket/pipe fd. ReadMessage
+/// returns NotFound on clean EOF before any byte of a message.
+Status WriteMessage(int fd, const WireMessage& message);
+Result<WireMessage> ReadMessage(int fd);
+
+}  // namespace serve
+}  // namespace matopt
+
+#endif  // MATOPT_SERVE_PROTOCOL_H_

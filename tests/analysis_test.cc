@@ -77,7 +77,7 @@ class AnalysisTest : public ::testing::Test {
 
 TEST_F(AnalysisTest, RuleCatalogIsCompleteAndStable) {
   std::vector<RuleId> rules = AllRuleIds();
-  EXPECT_EQ(rules.size(), 26u);
+  EXPECT_EQ(rules.size(), 29u);
   std::set<std::string> names;
   for (RuleId rule : rules) {
     std::string name = RuleIdName(rule);

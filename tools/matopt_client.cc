@@ -1,0 +1,206 @@
+// matopt_client: command-line client for the matopt_serve daemon.
+// Connects over the daemon's Unix socket (or local TCP port), sends one
+// MATOPT/1 request, and prints the response — the header fields one per
+// line, then the payload.
+//
+// Exit code: 0 on an OK response, 1 on an ERROR response, 2 on usage,
+// connection, or protocol problems.
+//
+// Usage: matopt_client [options] <verb> [program.mla]
+//   verbs: plan | run | stats | ping | shutdown
+//   --socket PATH   Unix socket path (default $MATOPT_SERVE_SOCKET or
+//                   /tmp/matopt_serve.sock)
+//   --tcp PORT      connect to 127.0.0.1:PORT instead
+//   --tenant NAME   tenant for admission/budget accounting (default
+//                   "default")
+//   --seed N        input-fabrication seed for run (default 100)
+//   -q              print only the header fields, not the payload
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/env.h"
+#include "serve/protocol.h"
+
+using namespace matopt;
+using namespace matopt::serve;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: matopt_client [--socket PATH | --tcp PORT] "
+               "[--tenant NAME] [--seed N] [-q] "
+               "<plan|run|stats|ping|shutdown> [program.mla]\n");
+  return 2;
+}
+
+int ConnectUnix(const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("matopt_client: socket");
+    return -1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "matopt_client: socket path too long: %s\n",
+                 path.c_str());
+    ::close(fd);
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::fprintf(stderr, "matopt_client: cannot connect to %s: %s\n",
+                 path.c_str(), std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int ConnectTcp(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("matopt_client: socket");
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::fprintf(stderr, "matopt_client: cannot connect to 127.0.0.1:%d: %s\n",
+                 port, std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Status env = ValidateMatoptEnv();
+  if (!env.ok()) {
+    std::fprintf(stderr, "matopt_client: %s\n", env.ToString().c_str());
+    return 2;
+  }
+
+  std::string socket_path;
+  if (const char* sock = std::getenv("MATOPT_SERVE_SOCKET")) {
+    socket_path = sock;
+  }
+  if (socket_path.empty()) socket_path = "/tmp/matopt_serve.sock";
+
+  int tcp_port = -1;
+  std::string tenant = "default";
+  uint64_t seed = 100;
+  bool quiet = false;
+  std::string verb;
+  std::string program_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+      tcp_port = -1;
+    } else if (arg == "--tcp" && i + 1 < argc) {
+      char* end = nullptr;
+      long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 1 || v > 65535) {
+        std::fprintf(stderr, "matopt_client: bad --tcp value: %s\n", argv[i]);
+        return 2;
+      }
+      tcp_port = static_cast<int>(v);
+    } else if (arg == "--tenant" && i + 1 < argc) {
+      tenant = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      char* end = nullptr;
+      errno = 0;
+      unsigned long long v = std::strtoull(argv[++i], &end, 10);
+      if (errno != 0 || end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "matopt_client: bad --seed value: %s\n", argv[i]);
+        return 2;
+      }
+      seed = static_cast<uint64_t>(v);
+    } else if (arg == "-q") {
+      quiet = true;
+    } else if (verb.empty()) {
+      verb = arg;
+    } else if (program_path.empty()) {
+      program_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (verb.empty()) return Usage();
+
+  WireMessage request;
+  if (verb == "plan" || verb == "run") {
+    if (program_path.empty()) {
+      std::fprintf(stderr, "matopt_client: %s needs a program.mla argument\n",
+                   verb.c_str());
+      return 2;
+    }
+    std::ifstream file(program_path);
+    if (!file) {
+      std::fprintf(stderr, "matopt_client: cannot open %s\n",
+                   program_path.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+
+    ServeRequest serve_request;
+    serve_request.tenant = tenant;
+    serve_request.program = buffer.str();
+    serve_request.execute = verb == "run";
+    serve_request.input_seed = seed;
+    request = EncodeRequest(serve_request);
+  } else if (verb == "stats" || verb == "ping" || verb == "shutdown") {
+    for (char& c : verb) c = static_cast<char>(std::toupper(c));
+    request.verb = verb;
+  } else {
+    return Usage();
+  }
+
+  int fd = tcp_port > 0 ? ConnectTcp(tcp_port) : ConnectUnix(socket_path);
+  if (fd < 0) return 2;
+
+  Status sent = WriteMessage(fd, request);
+  if (!sent.ok()) {
+    std::fprintf(stderr, "matopt_client: %s\n", sent.ToString().c_str());
+    ::close(fd);
+    return 2;
+  }
+  auto response = ReadMessage(fd);
+  ::close(fd);
+  if (!response.ok()) {
+    std::fprintf(stderr, "matopt_client: %s\n",
+                 response.status().ToString().c_str());
+    return 2;
+  }
+
+  const WireMessage& message = response.value();
+  std::printf("%s\n", message.verb.c_str());
+  for (const auto& [key, value] : message.fields) {
+    std::printf("%s=%s\n", key.c_str(), value.c_str());
+  }
+  if (!quiet && !message.payload.empty()) {
+    std::printf("%s%s", message.payload.c_str(),
+                message.payload.back() == '\n' ? "" : "\n");
+  }
+  return message.verb == "OK" ? 0 : 1;
+}

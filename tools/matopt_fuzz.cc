@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "fuzz/fuzzer.h"
 
 namespace {
@@ -48,6 +49,14 @@ int Usage(const std::string& error) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strict startup validation of every MATOPT_* knob (library call sites
+  // stay lenient; CLI entry points refuse malformed values by name).
+  matopt::Status env = matopt::ValidateMatoptEnv();
+  if (!env.ok()) {
+    std::cerr << "matopt_fuzz: " << env.ToString() << "\n";
+    return 2;
+  }
+
   using matopt::fuzz::FuzzConfig;
   using matopt::fuzz::FuzzLimits;
 

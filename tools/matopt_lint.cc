@@ -32,6 +32,7 @@
 
 #include "analysis/analyze.h"
 #include "analysis/rewrite_check.h"
+#include "common/env.h"
 #include "analysis/sarif.h"
 #include "core/cost/cost_model.h"
 #include "core/opt/optimizer.h"
@@ -186,6 +187,15 @@ int LintFile(const std::string& path, const LintConfig& config,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Every MATOPT_* knob is validated up front: a typo'd value is a usage
+  // error naming the knob, not a silently ignored setting (library call
+  // sites stay lenient; CLI entry points are strict).
+  Status env = ValidateMatoptEnv();
+  if (!env.ok()) {
+    std::fprintf(stderr, "matopt_lint: %s\n", env.ToString().c_str());
+    return 2;
+  }
+
   LintConfig config;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {

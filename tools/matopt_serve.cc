@@ -1,0 +1,284 @@
+// matopt_serve: the long-lived optimizer-and-execution daemon (DESIGN.md
+// §17). Listens on a Unix-domain socket (default) or a local TCP port,
+// speaks the MATOPT/1 line protocol (src/serve/protocol.h), and serves
+// PLAN/RUN/STATS/PING/SHUTDOWN requests against one shared OptimizerService
+// — so repeated optimizations of the same (or dimension-shifted) program
+// hit the fingerprinted plan cache instead of re-running the search.
+//
+// Exit code: 0 on clean shutdown, 2 on usage/startup problems (including
+// invalid MATOPT_* environment values — the daemon validates every knob at
+// startup and refuses to start on a malformed one).
+//
+// Usage: matopt_serve [options]
+//   --socket PATH        Unix socket path (default $MATOPT_SERVE_SOCKET or
+//                        /tmp/matopt_serve.sock)
+//   --tcp PORT           listen on 127.0.0.1:PORT instead of a Unix socket
+//   --workers N          simulated cluster size (default 10)
+//   --cache-entries N    plan-cache capacity (default 64;
+//                        $MATOPT_SERVE_CACHE_ENTRIES overrides)
+//   --max-inflight N     global concurrent-request cap (default 64)
+//   --tenant-inflight N  per-tenant concurrent-request cap (default 16)
+//   --tenant-budget SEC  per-request plan-cost budget in simulated seconds
+//                        for the default tenant (default off)
+//   --envelope X         parameterized-reuse envelope (default 1.25)
+//   --no-rewrite         plan programs as written; skip the logical rewriter
+//   --once               exit after the first connection closes (tests)
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "engine/cluster.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+
+using namespace matopt;
+using namespace matopt::serve;
+
+namespace {
+
+struct ServeConfig {
+  std::string socket_path;
+  int tcp_port = -1;  // -1 = Unix socket
+  int workers = 10;
+  bool once = false;
+  ServeOptions options;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: matopt_serve [--socket PATH | --tcp PORT] "
+               "[--workers N] [--cache-entries N] [--max-inflight N] "
+               "[--tenant-inflight N] [--tenant-budget SEC] [--envelope X] "
+               "[--no-rewrite] [--once]\n");
+  return 2;
+}
+
+bool ParseIntFlag(const char* name, const char* text, long min, long max,
+                  long* out) {
+  char* end = nullptr;
+  long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || v < min || v > max) {
+    std::fprintf(stderr, "matopt_serve: bad %s value: %s\n", name, text);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+int ListenUnix(const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("matopt_serve: socket");
+    return -1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "matopt_serve: socket path too long: %s\n",
+                 path.c_str());
+    ::close(fd);
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    std::perror("matopt_serve: bind/listen");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int ListenTcp(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("matopt_serve: socket");
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    std::perror("matopt_serve: bind/listen");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::atomic<bool> g_stop{false};
+std::atomic<int> g_listen_fd{-1};
+
+void RequestStop() {
+  g_stop.store(true);
+  int fd = g_listen_fd.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+void HandleConnection(OptimizerService* service, int fd) {
+  for (;;) {
+    auto request = ReadMessage(fd);
+    if (!request.ok()) {
+      // Clean EOF ends the connection silently; a malformed message gets
+      // one ERROR reply, then the connection closes (framing is lost).
+      if (request.status().code() != StatusCode::kNotFound) {
+        (void)WriteMessage(fd, EncodeError(request.status()));
+      }
+      break;
+    }
+    bool shutdown = false;
+    WireMessage response = HandleMessage(*service, request.value(), &shutdown);
+    Status sent = WriteMessage(fd, response);
+    if (shutdown) {
+      RequestStop();
+      break;
+    }
+    if (!sent.ok()) break;
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Satellite: every MATOPT_* knob is validated before the daemon binds its
+  // socket; a typo'd value is a startup error naming the knob, not a
+  // silently ignored setting.
+  Status env = ValidateMatoptEnv();
+  if (!env.ok()) {
+    std::fprintf(stderr, "matopt_serve: %s\n", env.ToString().c_str());
+    return 2;
+  }
+
+  ServeConfig config;
+  if (const char* sock = std::getenv("MATOPT_SERVE_SOCKET")) {
+    config.socket_path = sock;
+  }
+  if (config.socket_path.empty()) {
+    config.socket_path = "/tmp/matopt_serve.sock";
+  }
+
+  double tenant_budget = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    long v = 0;
+    if (arg == "--socket" && i + 1 < argc) {
+      config.socket_path = argv[++i];
+      config.tcp_port = -1;
+    } else if (arg == "--tcp" && i + 1 < argc) {
+      if (!ParseIntFlag("--tcp", argv[++i], 1, 65535, &v)) return 2;
+      config.tcp_port = static_cast<int>(v);
+    } else if (arg == "--workers" && i + 1 < argc) {
+      if (!ParseIntFlag("--workers", argv[++i], 1, 4096, &v)) return 2;
+      config.workers = static_cast<int>(v);
+    } else if (arg == "--cache-entries" && i + 1 < argc) {
+      if (!ParseIntFlag("--cache-entries", argv[++i], 1, 1 << 20, &v)) {
+        return 2;
+      }
+      config.options.cache_entries = static_cast<int>(v);
+    } else if (arg == "--max-inflight" && i + 1 < argc) {
+      if (!ParseIntFlag("--max-inflight", argv[++i], 1, 1 << 20, &v)) return 2;
+      config.options.max_inflight = static_cast<int>(v);
+    } else if (arg == "--tenant-inflight" && i + 1 < argc) {
+      if (!ParseIntFlag("--tenant-inflight", argv[++i], 1, 1 << 20, &v)) {
+        return 2;
+      }
+      config.options.default_budget.max_inflight = static_cast<int>(v);
+    } else if (arg == "--tenant-budget" && i + 1 < argc) {
+      char* end = nullptr;
+      tenant_budget = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || tenant_budget < 0.0) {
+        std::fprintf(stderr, "matopt_serve: bad --tenant-budget value: %s\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (arg == "--envelope" && i + 1 < argc) {
+      char* end = nullptr;
+      double e = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || e < 1.0) {
+        std::fprintf(stderr, "matopt_serve: bad --envelope value: %s\n",
+                     argv[i]);
+        return 2;
+      }
+      config.options.reuse_envelope = e;
+    } else if (arg == "--no-rewrite") {
+      config.options.rewrite.enable = false;
+    } else if (arg == "--once") {
+      config.once = true;
+    } else {
+      return Usage();
+    }
+  }
+  config.options.default_budget.max_plan_cost_seconds = tenant_budget;
+
+  // A client vanishing mid-response must not kill the daemon.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  Catalog catalog;
+  ClusterConfig cluster = SimSqlProfile(config.workers);
+  OptimizerService service(catalog, cluster, config.options);
+
+  int listen_fd = config.tcp_port > 0 ? ListenTcp(config.tcp_port)
+                                      : ListenUnix(config.socket_path);
+  if (listen_fd < 0) return 2;
+  g_listen_fd.store(listen_fd);
+
+  if (config.tcp_port > 0) {
+    std::printf("matopt_serve: listening on 127.0.0.1:%d (cache %d entries, "
+                "%d workers)\n",
+                config.tcp_port, service.cache().capacity(), config.workers);
+  } else {
+    std::printf("matopt_serve: listening on %s (cache %d entries, "
+                "%d workers)\n",
+                config.socket_path.c_str(), service.cache().capacity(),
+                config.workers);
+  }
+  std::fflush(stdout);
+
+  std::vector<std::thread> sessions;
+  while (!g_stop.load()) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by SHUTDOWN
+    }
+    if (config.once) {
+      HandleConnection(&service, fd);
+      break;
+    }
+    sessions.emplace_back(HandleConnection, &service, fd);
+  }
+  RequestStop();
+  for (std::thread& session : sessions) session.join();
+  if (config.tcp_port <= 0) ::unlink(config.socket_path.c_str());
+
+  ServeStats stats = service.Stats();
+  std::printf("matopt_serve: exiting after %lld requests (%lld hits, "
+              "%lld param hits, %lld misses)\n",
+              static_cast<long long>(stats.requests),
+              static_cast<long long>(stats.cache_hits),
+              static_cast<long long>(stats.param_hits),
+              static_cast<long long>(stats.cache_misses));
+  return 0;
+}
